@@ -1,0 +1,41 @@
+// Ablation A7 — emergency priority for critical groups (extension).
+//
+// A group that has exhausted its fault tolerance is one failure from data
+// loss; modern declustered systems promote such rebuilds above the normal
+// recovery bandwidth cap.  Under two-way mirroring every degraded group is
+// critical, so the knob effectively multiplies FARM's rebuild rate; for
+// deeper codes it only fires in the rare two-failure overlap.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace farm;
+  bench::Stopwatch timer;
+  const std::size_t trials = core::bench_trials(40);
+  bench::print_header("Ablation: emergency priority for critical groups",
+                      "extension (cf. Ceph degraded-PG priority)", trials);
+
+  util::Table table({"scheme", "critical speedup", "P(loss) [95% CI]",
+                     "mean window"});
+  for (const char* scheme : {"1/2", "4/6"}) {
+    for (const double speedup : {1.0, 5.0}) {
+      core::SystemConfig cfg = analysis::apply_env_scale(analysis::paper_base_config());
+      cfg.scheme = erasure::Scheme::parse(scheme);
+      cfg.detection_latency = util::seconds(30);
+      cfg.critical_rebuild_speedup = speedup;
+      cfg.stop_at_first_loss = true;
+
+      core::MonteCarloOptions opts;
+      opts.trials = trials;
+      opts.master_seed = 0xAB1'0007;
+      const core::MonteCarloResult r = core::run_monte_carlo(cfg, opts);
+      table.add_row({scheme, speedup == 1.0 ? "off" : "5x",
+                     analysis::loss_cell(r),
+                     util::to_string(util::Seconds{r.mean_window_sec})});
+    }
+  }
+  std::cout << table
+            << "\nExpected: for 1/2 the 5x emergency rate divides the rebuild\n"
+               "window (and with it P(loss)) by nearly 5; for 4/6 losses are\n"
+               "already negligible and only the rare critical overlap changes.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared plumbing for the figure/table reproduction binaries.
+//
+// Every binary honors two environment variables so the whole suite can be
+// smoke-run quickly or cranked up for tighter confidence intervals:
+//   FARM_TRIALS  - Monte-Carlo trials per configuration (per-bench default)
+//   FARM_SCALE   - multiplies the paper's 2 PB of user data (default 1.0)
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "analysis/experiment.hpp"
+#include "farm/monte_carlo.hpp"
+#include "util/table.hpp"
+
+namespace farm::bench {
+
+inline void print_header(const std::string& title, const std::string& paper_ref,
+                         std::size_t trials) {
+  std::cout << "=== " << title << " ===\n"
+            << "Reproduces: " << paper_ref << "\n"
+            << "Trials per configuration: " << trials
+            << " (override with FARM_TRIALS; FARM_SCALE scales the system)\n\n";
+}
+
+/// Wall-clock guard that prints elapsed time at the end of the binary.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  ~Stopwatch() {
+    const auto dt = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start_);
+    std::cout << "\n[elapsed: " << static_cast<double>(dt.count()) / 1000.0
+              << " s]\n";
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace farm::bench

@@ -1,0 +1,49 @@
+// Figure 7 — the effect of disk-drive replacement timing on reliability,
+// with 95 % confidence intervals.
+//
+// New disks are installed in batches once the system has lost 20/40/60/80 %
+// of its drives.  Fresh batches sit at the infant-mortality end of the
+// bathtub (the "cohort effect"), but with 10 GB groups only ~10 % of disks
+// fail in six years, so batches are small and the paper finds no visible
+// effect: the four bars are flat within their confidence intervals.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace farm;
+  bench::Stopwatch timer;
+  const std::size_t trials = core::bench_trials(60);
+  bench::print_header("Figure 7: batch replacement timing vs reliability",
+                      "Xin et al., HPDC 2004, Fig. 7", trials);
+
+  std::vector<analysis::SweepPoint> points;
+  for (const double pct : {0.02, 0.04, 0.06, 0.08, -1.0}) {
+    core::SystemConfig cfg = analysis::apply_env_scale(analysis::paper_base_config());
+    cfg.detection_latency = util::seconds(30);
+    cfg.stop_at_first_loss = false;  // batches must keep landing after a loss
+    if (pct > 0.0) {
+      cfg.replacement.enabled = true;
+      cfg.replacement.loss_fraction_threshold = pct;
+      points.push_back({util::fmt_percent(pct, 0) + " replacement", cfg});
+    } else {
+      points.push_back({"no replacement", cfg});
+    }
+  }
+  // Note: the paper replaces at 20-80 % of *failed* disks; with ~11 % of
+  // 10,000 disks failing in six years we express the thresholds as the same
+  // batch cadence relative to the population (2 %, 4 %, 6 %, 8 % of total),
+  // giving the paper's "about five batches at the smallest setting, about
+  // one at the largest".
+  const auto results = analysis::run_sweep(points, trials, 0xF16'7000);
+
+  util::Table table({"replacement threshold", "P(loss) [95% CI]",
+                     "batches/trial", "migrated blocks/trial"});
+  for (const auto& r : results) {
+    table.add_row({r.point.label, analysis::loss_cell(r.result),
+                   util::fmt_fixed(r.result.mean_batches, 1),
+                   util::fmt_fixed(r.result.mean_migrated_blocks, 0)});
+  }
+  std::cout << table
+            << "\nExpected shape: all thresholds statistically indistinguishable\n"
+               "(overlapping CIs) - no visible cohort effect at 10 GB groups.\n";
+  return 0;
+}

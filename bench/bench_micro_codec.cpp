@@ -1,0 +1,88 @@
+// Micro-benchmark: byte-level codec throughput (encode / reconstruct) for
+// every redundancy scheme the paper evaluates, using google-benchmark.
+// The paper notes (§2.2) that "since disk access times are comparatively
+// long, time to compute an ECC is relatively unimportant" — these numbers
+// quantify that claim on the actual codecs.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "erasure/codec.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace farm::erasure;
+
+std::vector<std::vector<Byte>> make_blocks(const Codec& codec, std::size_t len) {
+  const Scheme s = codec.scheme();
+  len = (len + codec.block_granularity() - 1) / codec.block_granularity() *
+        codec.block_granularity();
+  std::vector<std::vector<Byte>> blocks(s.total_blocks, std::vector<Byte>(len));
+  farm::util::Xoshiro256 rng{1};
+  for (unsigned i = 0; i < s.data_blocks; ++i) {
+    for (auto& b : blocks[i]) b = static_cast<Byte>(rng.below(256));
+  }
+  return blocks;
+}
+
+void encode_all(const Codec& codec, std::vector<std::vector<Byte>>& blocks) {
+  const Scheme s = codec.scheme();
+  std::vector<BlockView> data;
+  std::vector<BlockSpan> check;
+  for (unsigned i = 0; i < s.data_blocks; ++i) data.emplace_back(blocks[i]);
+  for (unsigned i = s.data_blocks; i < s.total_blocks; ++i) check.emplace_back(blocks[i]);
+  codec.encode(data, check);
+}
+
+void BM_Encode(benchmark::State& state, Scheme scheme, CodecPreference pref) {
+  const auto codec = make_codec(scheme, pref);
+  auto blocks = make_blocks(*codec, 1 << 20);  // 1 MiB blocks (paper default)
+  for (auto _ : state) {
+    encode_all(*codec, blocks);
+    benchmark::DoNotOptimize(blocks.back().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blocks[0].size()) *
+                          scheme.data_blocks);
+}
+
+void BM_ReconstructWorstCase(benchmark::State& state, Scheme scheme,
+                             CodecPreference pref) {
+  const auto codec = make_codec(scheme, pref);
+  auto blocks = make_blocks(*codec, 1 << 20);
+  encode_all(*codec, blocks);
+  // Erase the maximum tolerated number of *data* blocks.
+  const unsigned k = scheme.check_blocks();
+  const unsigned erased = std::min(k, scheme.data_blocks);
+  std::vector<BlockRef> available;
+  for (unsigned i = erased; i < scheme.total_blocks; ++i) {
+    available.push_back(BlockRef{i, blocks[i]});
+  }
+  std::vector<std::vector<Byte>> out(erased, std::vector<Byte>(blocks[0].size()));
+  std::vector<BlockOut> missing;
+  for (unsigned i = 0; i < erased; ++i) missing.push_back(BlockOut{i, out[i]});
+  for (auto _ : state) {
+    codec->reconstruct(available, missing);
+    benchmark::DoNotOptimize(out[0].data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blocks[0].size()) * erased);
+}
+
+}  // namespace
+
+#define FARM_CODEC_BENCH(name, m, n, pref)                                   \
+  BENCHMARK_CAPTURE(BM_Encode, name, farm::erasure::Scheme{m, n}, pref);     \
+  BENCHMARK_CAPTURE(BM_ReconstructWorstCase, name, farm::erasure::Scheme{m, n}, pref)
+
+FARM_CODEC_BENCH(mirror_1_2, 1, 2, CodecPreference::kAuto);
+FARM_CODEC_BENCH(mirror_1_3, 1, 3, CodecPreference::kAuto);
+FARM_CODEC_BENCH(raid5_2_3, 2, 3, CodecPreference::kAuto);
+FARM_CODEC_BENCH(raid5_4_5, 4, 5, CodecPreference::kAuto);
+FARM_CODEC_BENCH(rs_4_6, 4, 6, CodecPreference::kAuto);
+FARM_CODEC_BENCH(rs_8_10, 8, 10, CodecPreference::kAuto);
+FARM_CODEC_BENCH(evenodd_4_6, 4, 6, CodecPreference::kEvenOdd);
+FARM_CODEC_BENCH(evenodd_8_10, 8, 10, CodecPreference::kEvenOdd);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Micro-benchmark: discrete-event engine primitives.  A full 2 PB mission
+// executes ~100k events; these numbers bound the engine's share of a trial.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace farm::sim;
+using farm::util::Seconds;
+
+void BM_ScheduleAndPop(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  farm::util::Xoshiro256 rng{7};
+  for (auto _ : state) {
+    EventQueue q;
+    for (std::size_t i = 0; i < depth; ++i) {
+      q.schedule(Seconds{rng.uniform() * 1e6}, [] {});
+    }
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(depth));
+}
+
+void BM_CancelHeavy(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  farm::util::Xoshiro256 rng{11};
+  for (auto _ : state) {
+    EventQueue q;
+    std::vector<EventHandle> handles;
+    handles.reserve(depth);
+    for (std::size_t i = 0; i < depth; ++i) {
+      handles.push_back(q.schedule(Seconds{rng.uniform() * 1e6}, [] {}));
+    }
+    for (std::size_t i = 0; i < depth; i += 2) q.cancel(handles[i]);
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(depth));
+}
+
+void BM_SimulatorChain(benchmark::State& state) {
+  const auto depth = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    std::int64_t remaining = depth;
+    std::function<void()> next = [&] {
+      if (--remaining > 0) sim.schedule_in(Seconds{1.0}, next);
+    };
+    sim.schedule_in(Seconds{1.0}, next);
+    sim.run_until(Seconds{1e18});
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ScheduleAndPop)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_CancelHeavy)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_SimulatorChain)->Arg(10000);
+
+BENCHMARK_MAIN();

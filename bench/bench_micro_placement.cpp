@@ -1,0 +1,46 @@
+// Micro-benchmark: placement lookup and layout throughput.  Placement sits
+// on the hot path of both initial layout (millions of groups) and recovery
+// target selection, so candidate() must stay in the tens of nanoseconds.
+#include <benchmark/benchmark.h>
+
+#include "placement/placement.hpp"
+
+namespace {
+
+using namespace farm::placement;
+
+void BM_Candidate(benchmark::State& state, PolicyKind kind, std::size_t clusters) {
+  auto policy = make_policy(kind, 42);
+  for (std::size_t c = 0; c < clusters; ++c) policy->add_cluster(1000, 1.0);
+  GroupId g = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->candidate(g, 0));
+    ++g;
+  }
+}
+
+void BM_Layout(benchmark::State& state, PolicyKind kind, unsigned blocks) {
+  auto policy = make_policy(kind, 42);
+  policy->add_cluster(10000, 1.0);
+  GroupId g = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->layout(g, blocks));
+    ++g;
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Candidate, rush_1_cluster, PolicyKind::kRush, 1);
+BENCHMARK_CAPTURE(BM_Candidate, rush_5_clusters, PolicyKind::kRush, 5);
+BENCHMARK_CAPTURE(BM_Candidate, rush_20_clusters, PolicyKind::kRush, 20);
+BENCHMARK_CAPTURE(BM_Candidate, random, PolicyKind::kRandom, 1);
+BENCHMARK_CAPTURE(BM_Candidate, chained, PolicyKind::kChained, 1);
+// straw2 draws one straw per disk per lookup: O(#disks), the price of its
+// optimal-reorganization guarantee on a flat bucket.
+BENCHMARK_CAPTURE(BM_Candidate, straw2_1000_disks, PolicyKind::kStraw2, 1);
+BENCHMARK_CAPTURE(BM_Layout, rush_mirror, PolicyKind::kRush, 2u);
+BENCHMARK_CAPTURE(BM_Layout, rush_8_10, PolicyKind::kRush, 10u);
+BENCHMARK_CAPTURE(BM_Layout, random_8_10, PolicyKind::kRandom, 10u);
+
+BENCHMARK_MAIN();

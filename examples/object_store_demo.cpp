@@ -1,0 +1,94 @@
+// End-to-end object store demo: the paper's full data path on real bytes.
+//
+//   $ ./object_store_demo
+//
+// Builds a 12-disk cluster with 4/6 Reed-Solomon redundancy groups, stores
+// objects, survives a double disk failure with degraded reads, performs
+// FARM-style declustered recovery, grows the cluster with a batch of new
+// disks, and shows where everything ended up.
+#include <iostream>
+#include <string>
+
+#include "store/object_store.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace farm;
+
+std::vector<store::Byte> make_payload(std::size_t n, std::uint64_t seed) {
+  std::vector<store::Byte> data(n);
+  util::Xoshiro256 rng{seed};
+  for (auto& b : data) b = static_cast<store::Byte>(rng.below(256));
+  return data;
+}
+
+void print_cluster(const store::ObjectStore& s, const std::string& caption) {
+  std::cout << caption << "\n";
+  util::Table t({"disk", "status", "blocks", "bytes"});
+  for (store::DiskId d = 0; d < s.cluster().disk_count(); ++d) {
+    t.add_row({std::to_string(d), s.cluster().alive(d) ? "alive" : "FAILED",
+               std::to_string(s.cluster().blocks_on(d)),
+               std::to_string(s.cluster().bytes_on(d))});
+  }
+  std::cout << t << "\n";
+}
+
+}  // namespace
+
+int main() {
+  store::StoreConfig cfg;
+  cfg.scheme = erasure::Scheme{4, 6};      // tolerates any 2 failures
+  cfg.group_payload = 256 << 10;           // 256 KiB user data per group
+  store::ObjectStore s(cfg, /*disks=*/12);
+
+  std::cout << "Cluster: 12 disks, scheme " << cfg.scheme.str()
+            << " (Reed-Solomon), " << cfg.group_payload / 1024
+            << " KiB redundancy groups\n\n";
+
+  // 1. Store some objects.
+  const auto alpha = make_payload(1 << 20, 1);
+  const auto beta = make_payload(700 << 10, 2);
+  const auto gamma = make_payload(42, 3);
+  s.put("alpha.bin", alpha);
+  s.put("beta.bin", beta);
+  s.put("gamma.txt", gamma);
+  std::cout << "Stored 3 objects in " << s.group_count()
+            << " redundancy groups\n";
+  print_cluster(s, "Initial layout:");
+
+  // 2. Double disk failure.
+  std::cout << ">> disks 2 and 7 fail simultaneously\n\n";
+  s.fail_disk(2);
+  s.fail_disk(7);
+
+  // 3. Degraded reads still succeed (any 4 of 6 blocks reconstruct).
+  const bool ok = s.get("alpha.bin") == alpha && s.get("beta.bin") == beta &&
+                  s.get("gamma.txt") == gamma;
+  std::cout << "Degraded reads through the double failure: "
+            << (ok ? "all objects intact" : "CORRUPTION!") << "\n";
+  std::cout << "Damaged objects: " << s.damaged_objects().size() << "\n\n";
+
+  // 4. FARM-style declustered recovery.
+  const auto report = s.recover();
+  std::cout << "Recovery: " << report.blocks_rebuilt << " blocks rebuilt across "
+            << report.groups_repaired << " groups ("
+            << report.groups_lost << " lost)\n";
+  print_cluster(s, "After recovery (blocks scattered over survivors):");
+
+  // 5. Grow the cluster; new disks join the placement function.
+  std::cout << ">> adding a batch of 4 new disks, then failing disk 0\n\n";
+  s.add_disks(4);
+  s.fail_disk(0);
+  const auto report2 = s.recover();
+  std::cout << "Second recovery: " << report2.blocks_rebuilt
+            << " blocks rebuilt\n";
+  print_cluster(s, "Final layout (note the batch absorbing rebuilt blocks):");
+
+  const bool final_ok = s.get("alpha.bin") == alpha &&
+                        s.get("beta.bin") == beta && s.get("gamma.txt") == gamma;
+  std::cout << "Final integrity check: "
+            << (final_ok ? "every byte accounted for" : "CORRUPTION!") << "\n";
+  return ok && final_ok && report.groups_lost == 0 ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// A miniature rendition of the paper's Figure 2: watch what happens to a
+// small cluster when a disk dies, under FARM and under a traditional
+// dedicated-spare rebuild.
+//
+//   $ ./trace_recovery
+//
+// Prints the block map before the failure, the recovery timeline, and the
+// block map afterwards — under FARM the dead disk's blocks scatter across
+// the cluster; with a dedicated spare they all pile onto the new disk.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "farm/recovery.hpp"
+#include "farm/storage_system.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace farm;
+using namespace farm::core;
+
+SystemConfig demo_config(RecoveryMode mode) {
+  SystemConfig cfg;
+  cfg.total_user_data = util::terabytes(1);  // 20 mirrored groups on 5 disks
+  cfg.group_size = util::gigabytes(50);
+  cfg.recovery_mode = mode;
+  cfg.detection_latency = util::seconds(30);
+  cfg.smart.enabled = false;
+  return cfg;
+}
+
+/// "disk0: <A,0> <C,1> ..." rows, naming groups A, B, C, ... like Fig 2.
+void print_block_map(StorageSystem& sys, const std::string& caption) {
+  std::cout << caption << "\n";
+  std::map<DiskId, std::vector<std::string>> per_disk;
+  for (GroupIndex g = 0; g < sys.group_count(); ++g) {
+    for (BlockIndex b = 0; b < sys.blocks_per_group(); ++b) {
+      std::string name;
+      name += static_cast<char>('A' + g % 26);
+      if (g >= 26) name += std::to_string(g / 26);
+      per_disk[sys.home(g, b)].push_back("<" + name + "," + std::to_string(b) + ">");
+    }
+  }
+  for (DiskId d = 0; d < sys.disk_slots(); ++d) {
+    std::cout << "  disk" << d << (sys.disk_at(d).alive() ? "  " : "† ") << ": ";
+    for (const auto& s : per_disk[d]) std::cout << s << " ";
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+}
+
+void run_demo(RecoveryMode mode) {
+  std::cout << "==================== " << to_string(mode)
+            << " ====================\n";
+  const SystemConfig cfg = demo_config(mode);
+  StorageSystem sys(cfg, /*seed=*/7);
+  sys.initialize();
+  sim::Simulator sim;
+  Metrics metrics;
+  const auto policy = make_recovery_policy(sys, sim, metrics);
+
+  print_block_map(sys, "Initial layout (" + std::to_string(sys.disk_slots()) +
+                           " disks, " + std::to_string(sys.group_count()) +
+                           " two-way-mirrored groups):");
+
+  const DiskId victim = 3;
+  std::cout << ">> t=0s: disk" << victim << " fails\n";
+  sys.fail_disk(victim);
+  policy->on_disk_failed(victim);
+  sim.schedule_in(cfg.detection_latency,
+                  [&] { policy->on_failure_detected(victim); });
+
+  std::cout << ">> t=" << cfg.detection_latency.value()
+            << "s: failure detected, recovery begins ("
+            << util::to_string(cfg.block_rebuild_time()) << " per block at "
+            << util::to_string(cfg.recovery_bandwidth) << ")\n";
+  // Step the simulation manually so the timeline is visible.
+  while (sim.pending_events() > 0) {
+    const std::uint64_t done_before = metrics.rebuilds_completed();
+    sim.step();
+    if (metrics.rebuilds_completed() != done_before) {
+      std::cout << "   t=" << util::to_string(sim.now()) << ": block rebuilt ("
+                << metrics.rebuilds_completed() << " total)\n";
+    }
+  }
+  std::cout << ">> recovery complete at t=" << util::to_string(sim.now())
+            << " (" << metrics.rebuilds_completed() << " blocks)\n\n";
+
+  print_block_map(sys, "Layout after recovery:");
+}
+
+}  // namespace
+
+int main() {
+  run_demo(RecoveryMode::kFarm);
+  run_demo(RecoveryMode::kDedicatedSpare);
+  std::cout << "Note how FARM scattered the dead disk's blocks across every\n"
+               "surviving drive (Fig 2(d)), while the traditional scheme\n"
+               "re-collected them all on the freshly provisioned spare disk\n"
+               "(Fig 2(c)) — serializing the rebuild and stretching the\n"
+               "window of vulnerability.\n";
+  return 0;
+}

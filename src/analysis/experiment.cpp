@@ -1,0 +1,57 @@
+#include "analysis/experiment.hpp"
+
+#include <cstdlib>
+
+#include "util/table.hpp"
+
+namespace farm::analysis {
+
+core::SystemConfig paper_base_config() {
+  core::SystemConfig cfg;  // defaults in config.hpp are the Table 2 values
+  return cfg;
+}
+
+core::SystemConfig scaled_config(double scale) {
+  core::SystemConfig cfg = paper_base_config();
+  cfg.total_user_data = cfg.total_user_data * scale;
+  if (cfg.group_size > cfg.total_user_data) cfg.group_size = cfg.total_user_data;
+  return cfg;
+}
+
+core::SystemConfig apply_env_scale(core::SystemConfig config) {
+  if (const char* env = std::getenv("FARM_SCALE")) {
+    const double s = std::strtod(env, nullptr);
+    if (s > 0.0 && s != 1.0) {
+      config.total_user_data = config.total_user_data * s;
+      if (config.group_size > config.total_user_data) {
+        config.group_size = config.total_user_data;
+      }
+    }
+  }
+  return config;
+}
+
+std::vector<SweepResult> run_sweep(
+    const std::vector<SweepPoint>& points, std::size_t trials,
+    std::uint64_t master_seed,
+    const std::function<void(const std::string&)>& progress) {
+  std::vector<SweepResult> results;
+  results.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    core::MonteCarloOptions opts;
+    opts.trials = trials;
+    // Distinct seed space per point, stable across reordering of points.
+    opts.master_seed = util::hash_combine(master_seed, i);
+    results.push_back(SweepResult{points[i], run_monte_carlo(points[i].config, opts)});
+    if (progress) progress(points[i].label);
+  }
+  return results;
+}
+
+std::string loss_cell(const core::MonteCarloResult& r) {
+  return util::fmt_percent(r.loss_probability(), 2) + " [" +
+         util::fmt_percent(r.loss_ci.lo, 2) + ", " +
+         util::fmt_percent(r.loss_ci.hi, 2) + "]";
+}
+
+}  // namespace farm::analysis

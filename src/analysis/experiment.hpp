@@ -1,0 +1,50 @@
+// Experiment harness shared by the bench binaries: paper-default configs,
+// labelled parameter sweeps, and uniform result formatting, so every
+// figure/table reproduction prints comparable rows.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "farm/config.hpp"
+#include "farm/monte_carlo.hpp"
+
+namespace farm::analysis {
+
+/// The paper's Table 2 base system: 2 PB, two-way mirroring, 10 GB groups,
+/// 30 s detection, 16 MB/s recovery, FARM.
+[[nodiscard]] core::SystemConfig paper_base_config();
+
+/// A scaled-down variant for tests and quick examples: `scale` multiplies
+/// total user data (0.01 -> 20 TB, ~100 disks).  All other knobs stay at
+/// paper values, so behaviour is qualitatively identical but trials run in
+/// milliseconds.
+[[nodiscard]] core::SystemConfig scaled_config(double scale);
+
+/// Reads the FARM_SCALE environment variable (default 1.0) and multiplies
+/// a config's total user data by it — lets the full bench suite be smoke-run
+/// quickly (FARM_SCALE=0.05) without editing sources.
+[[nodiscard]] core::SystemConfig apply_env_scale(core::SystemConfig config);
+
+struct SweepPoint {
+  std::string label;
+  core::SystemConfig config;
+};
+
+struct SweepResult {
+  SweepPoint point;
+  core::MonteCarloResult result;
+};
+
+/// Runs every point with the same trial count and seed discipline;
+/// `progress` (optional) receives each label as it finishes.
+[[nodiscard]] std::vector<SweepResult> run_sweep(
+    const std::vector<SweepPoint>& points, std::size_t trials,
+    std::uint64_t master_seed,
+    const std::function<void(const std::string&)>& progress = {});
+
+/// "3.0% [1.9, 4.7]" — point estimate plus Wilson 95 % CI.
+[[nodiscard]] std::string loss_cell(const core::MonteCarloResult& r);
+
+}  // namespace farm::analysis

@@ -1,0 +1,83 @@
+#include "analysis/markov.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace farm::analysis {
+
+util::Seconds group_mttdl(const GroupMarkovParams& p) {
+  if (p.total_blocks == 0 || p.tolerance >= p.total_blocks) {
+    throw std::invalid_argument("group_mttdl: need 0 < tolerance < total_blocks");
+  }
+  if (!(p.disk_failure_rate > 0.0) || !(p.rebuild_rate > 0.0)) {
+    throw std::invalid_argument("group_mttdl: rates must be positive");
+  }
+  // Birth-death chain on i = blocks currently lost; absorption at k+1.
+  // t_i = expected first-passage time i -> i+1 obeys the standard recurrence
+  //   t_0 = 1/lambda_0,   t_i = (1 + mu_i * t_{i-1}) / lambda_i,
+  // and MTTDL = sum of t_i for i = 0..k.
+  const double lambda = p.disk_failure_rate;
+  double t_prev = 0.0;
+  double total = 0.0;
+  for (unsigned i = 0; i <= p.tolerance; ++i) {
+    const double failure_rate = static_cast<double>(p.total_blocks - i) * lambda;
+    const double repair_rate =
+        i == 0 ? 0.0
+               : (p.parallel_rebuild ? static_cast<double>(i) * p.rebuild_rate
+                                     : p.rebuild_rate);
+    const double t_i = (1.0 + repair_rate * t_prev) / failure_rate;
+    total += t_i;
+    t_prev = t_i;
+  }
+  return util::Seconds{total};
+}
+
+double group_loss_probability(const GroupMarkovParams& params, util::Seconds mission) {
+  const double mttdl = group_mttdl(params).value();
+  return 1.0 - std::exp(-mission.value() / mttdl);
+}
+
+double system_loss_probability(const GroupMarkovParams& params, std::size_t groups,
+                               util::Seconds mission) {
+  const double p = group_loss_probability(params, mission);
+  return 1.0 - std::pow(1.0 - p, static_cast<double>(groups));
+}
+
+util::Seconds mirrored_pair_mttdl_approx(double lambda, double mu) {
+  if (!(lambda > 0.0) || !(mu > 0.0)) {
+    throw std::invalid_argument("mirrored_pair_mttdl_approx: rates must be positive");
+  }
+  return util::Seconds{mu / (2.0 * lambda * lambda)};
+}
+
+double spare_losses_per_disk_failure(const WindowModelParams& p) {
+  if (!(p.disk_failure_rate > 0.0)) {
+    throw std::invalid_argument("window model: failure rate must be positive");
+  }
+  // Sum over queue positions i = 1..B of lambda * (L + i*T): each block's
+  // buddy disk must survive detection plus that block's place in the serial
+  // spare queue.
+  const auto b = static_cast<double>(p.blocks_per_disk);
+  const double total_window =
+      b * p.detection_latency.value() +
+      p.block_transfer.value() * b * (b + 1.0) / 2.0;
+  return p.disk_failure_rate * total_window;
+}
+
+double farm_losses_per_disk_failure(const WindowModelParams& p,
+                                    double mean_queue_depth) {
+  if (!(p.disk_failure_rate > 0.0)) {
+    throw std::invalid_argument("window model: failure rate must be positive");
+  }
+  const auto b = static_cast<double>(p.blocks_per_disk);
+  const double per_block_window =
+      p.detection_latency.value() + mean_queue_depth * p.block_transfer.value();
+  return p.disk_failure_rate * b * per_block_window;
+}
+
+double window_model_loss_probability(double losses_per_failure,
+                                     double expected_disk_failures) {
+  return 1.0 - std::exp(-losses_per_failure * expected_disk_failures);
+}
+
+}  // namespace farm::analysis

@@ -1,0 +1,74 @@
+// Closed-form reliability models used to cross-check the simulator.
+//
+// Under the classical assumptions (constant failure rate lambda per disk,
+// constant repair rate mu per lost block, independent groups) a redundancy
+// group is a birth-death Markov chain on "blocks currently lost", and its
+// MTTDL has the standard closed form.  The simulator, run with
+// ExponentialFailureModel-equivalent settings and zero detection latency,
+// must land near these numbers — that is the validation contract tested in
+// tests/analysis_test.cpp.
+#pragma once
+
+#include <cstddef>
+
+#include "util/units.hpp"
+
+namespace farm::analysis {
+
+/// Mean time to data loss of one m/n redundancy group.
+///
+/// States 0..k+1 where state i means i blocks lost (k = n - m tolerance,
+/// state k+1 = data loss).  From state i: failure rate (n - i) * lambda,
+/// repair rate i * mu when rebuilds proceed in parallel (FARM) or mu when
+/// they serialize on one target (dedicated spare).
+struct GroupMarkovParams {
+  unsigned total_blocks = 2;     // n
+  unsigned tolerance = 1;        // k
+  double disk_failure_rate = 0;  // lambda, per second
+  double rebuild_rate = 0;       // mu, per second per active rebuild stream
+  bool parallel_rebuild = true;  // FARM: i streams in state i
+};
+
+[[nodiscard]] util::Seconds group_mttdl(const GroupMarkovParams& params);
+
+/// P(group loses data within `mission`), approximated as an exponential with
+/// the MTTDL (accurate when mission << MTTDL, which holds for every paper
+/// configuration).
+[[nodiscard]] double group_loss_probability(const GroupMarkovParams& params,
+                                            util::Seconds mission);
+
+/// P(any of `groups` independent groups loses data within `mission`).
+[[nodiscard]] double system_loss_probability(const GroupMarkovParams& params,
+                                             std::size_t groups,
+                                             util::Seconds mission);
+
+/// Classic two-disk mirrored pair MTTDL = mu / (2 lambda^2) approximation —
+/// kept as the sanity anchor every storage paper quotes.
+[[nodiscard]] util::Seconds mirrored_pair_mttdl_approx(double lambda, double mu);
+
+/// Window-of-vulnerability model for two-way mirroring (the paper's §3.2
+/// intuition made quantitative).  When a disk with B blocks dies, block i's
+/// window is detection + its queue position's worth of transfers; a group is
+/// lost if the surviving buddy's disk dies inside that window.
+struct WindowModelParams {
+  std::size_t blocks_per_disk = 40;                   // B
+  double disk_failure_rate = 0.0;                     // lambda, per second
+  util::Seconds detection_latency{30.0};              // L
+  util::Seconds block_transfer{625.0};                // T at the recovery bw
+};
+
+/// Expected lost groups per disk failure under the *dedicated spare*:
+/// windows L+T, L+2T, ..., L+BT (serial queue).
+[[nodiscard]] double spare_losses_per_disk_failure(const WindowModelParams& p);
+
+/// Expected lost groups per disk failure under *FARM*: every window is
+/// L + qT where q is the (short) per-target queue depth; q defaults to ~1.
+[[nodiscard]] double farm_losses_per_disk_failure(const WindowModelParams& p,
+                                                  double mean_queue_depth = 1.0);
+
+/// P(any loss in a mission that sees `expected_disk_failures` failures),
+/// given expected losses per failure (Poisson thinning).
+[[nodiscard]] double window_model_loss_probability(double losses_per_failure,
+                                                   double expected_disk_failures);
+
+}  // namespace farm::analysis

@@ -1,0 +1,26 @@
+#include "disk/disk.hpp"
+
+namespace farm::disk {
+
+void Disk::allocate(util::Bytes amount) {
+  if (amount > free_space()) {
+    throw std::logic_error("Disk::allocate: capacity exceeded");
+  }
+  used_ += amount;
+}
+
+void Disk::release(util::Bytes amount) {
+  if (amount > used_) {
+    throw std::logic_error("Disk::release: more than allocated");
+  }
+  used_ -= amount;
+}
+
+void Disk::remove_recovery_stream() {
+  if (streams_ == 0) {
+    throw std::logic_error("Disk::remove_recovery_stream: none active");
+  }
+  --streams_;
+}
+
+}  // namespace farm::disk

@@ -1,0 +1,78 @@
+// Disk-drive state for the reliability simulation (paper §3.1).
+//
+// A Disk tracks what the recovery policies need: capacity accounting (used
+// vs reserved spare space), bandwidth budgeting for rebuilds, vintage (which
+// batch it arrived in, driving the age-keyed bathtub hazard), and liveness.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace farm::disk {
+
+using DiskId = std::uint32_t;
+
+/// Fixed per-model parameters (paper: 1 TB extrapolated capacity, 80 MB/s
+/// sustained bandwidth based on the IBM Deskstar of the day).
+struct DiskParameters {
+  util::Bytes capacity = util::terabytes(1);
+  util::Bandwidth bandwidth = util::mb_per_sec(80);
+};
+
+class Disk {
+ public:
+  Disk(DiskId id, DiskParameters params, unsigned vintage, util::Seconds birth,
+       util::Seconds lifetime)
+      : id_(id),
+        params_(params),
+        vintage_(vintage),
+        birth_(birth),
+        fail_at_(birth + lifetime) {}
+
+  [[nodiscard]] DiskId id() const { return id_; }
+  [[nodiscard]] unsigned vintage() const { return vintage_; }
+  [[nodiscard]] util::Bytes capacity() const { return params_.capacity; }
+  [[nodiscard]] util::Bandwidth bandwidth() const { return params_.bandwidth; }
+  [[nodiscard]] util::Seconds birth() const { return birth_; }
+  /// Absolute simulated time at which this disk will fail (sampled at
+  /// creation from the failure model; "destiny" style event-driven sim).
+  [[nodiscard]] util::Seconds fails_at() const { return fail_at_; }
+  [[nodiscard]] util::Seconds age_at(util::Seconds now) const { return now - birth_; }
+
+  [[nodiscard]] bool alive() const { return alive_; }
+  void mark_failed() { alive_ = false; }
+
+  // --- capacity accounting ---------------------------------------------
+  [[nodiscard]] util::Bytes used() const { return used_; }
+  [[nodiscard]] util::Bytes free_space() const { return params_.capacity - used_; }
+  [[nodiscard]] double utilization() const { return used_ / params_.capacity; }
+
+  /// Reserves space for a block; throws std::logic_error on overflow —
+  /// recovery target selection must check free_space() first.
+  void allocate(util::Bytes amount);
+  /// Releases space (e.g. when a group's block is migrated away).
+  void release(util::Bytes amount);
+
+  // --- recovery bandwidth accounting -------------------------------------
+  /// Number of rebuild streams currently reading from or writing to this
+  /// disk; the recovery policies divide the recovery bandwidth cap among
+  /// them when estimating rebuild times.
+  [[nodiscard]] unsigned active_recovery_streams() const { return streams_; }
+  void add_recovery_stream() { ++streams_; }
+  void remove_recovery_stream();
+
+ private:
+  DiskId id_;
+  DiskParameters params_;
+  unsigned vintage_;
+  util::Seconds birth_;
+  util::Seconds fail_at_;
+  util::Bytes used_{0};
+  unsigned streams_ = 0;
+  bool alive_ = true;
+};
+
+}  // namespace farm::disk

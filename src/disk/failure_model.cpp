@@ -1,0 +1,136 @@
+#include "disk/failure_model.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace farm::disk {
+
+namespace {
+/// Converts "x % per 1000 hours" into failures per second.
+double rate_per_sec(double per_1000_hours_pct) {
+  return per_1000_hours_pct / 100.0 / (1000.0 * 3600.0);
+}
+}  // namespace
+
+BathtubFailureModel::BathtubFailureModel(std::vector<RateBand> bands)
+    : bands_(std::move(bands)) {
+  if (bands_.empty()) throw std::invalid_argument("bathtub: need at least one band");
+  double prev_end = 0.0;
+  double cum = 0.0;
+  rate_per_sec_.reserve(bands_.size());
+  cum_hazard_edge_.reserve(bands_.size());
+  for (const auto& b : bands_) {
+    if (!(b.until.value() > prev_end)) {
+      throw std::invalid_argument("bathtub: band boundaries must increase");
+    }
+    if (b.per_1000_hours < 0.0) {
+      throw std::invalid_argument("bathtub: negative rate");
+    }
+    cum_hazard_edge_.push_back(cum);
+    const double r = rate_per_sec(b.per_1000_hours);
+    rate_per_sec_.push_back(r);
+    cum += r * (b.until.value() - prev_end);
+    prev_end = b.until.value();
+  }
+}
+
+BathtubFailureModel BathtubFailureModel::paper_table1(double rate_scale) {
+  using util::months;
+  return BathtubFailureModel({
+      RateBand{months(3), 0.50 * rate_scale},
+      RateBand{months(6), 0.35 * rate_scale},
+      RateBand{months(12), 0.25 * rate_scale},
+      // Table 1's last column covers everything past the first year; the
+      // band end is only a marker (the final rate extends to infinity).
+      RateBand{months(72), 0.20 * rate_scale},
+  });
+}
+
+double BathtubFailureModel::hazard(util::Seconds age) const {
+  const double t = age.value();
+  for (std::size_t i = 0; i < bands_.size(); ++i) {
+    if (t < bands_[i].until.value()) return rate_per_sec_[i];
+  }
+  return rate_per_sec_.back();
+}
+
+double BathtubFailureModel::cumulative_hazard(double age_sec) const {
+  double prev_end = 0.0;
+  for (std::size_t i = 0; i < bands_.size(); ++i) {
+    const double end = bands_[i].until.value();
+    if (age_sec < end) {
+      return cum_hazard_edge_[i] + rate_per_sec_[i] * (age_sec - prev_end);
+    }
+    prev_end = end;
+  }
+  // Beyond the last boundary the final rate continues forever, so H keeps
+  // growing linearly from the last band's start.
+  const double last_start =
+      bands_.size() > 1 ? bands_[bands_.size() - 2].until.value() : 0.0;
+  return cum_hazard_edge_.back() + rate_per_sec_.back() * (age_sec - last_start);
+}
+
+util::Seconds BathtubFailureModel::sample_lifetime(util::Xoshiro256& rng) const {
+  // Inverse-CDF: lifetime T satisfies H(T) = E with E ~ Exp(1).
+  const double e = -std::log(rng.uniform_pos());
+  double prev_end = 0.0;
+  for (std::size_t i = 0; i < bands_.size(); ++i) {
+    const double end = bands_[i].until.value();
+    const double h_end = cumulative_hazard(end);
+    if (e < h_end) {
+      const double h_start = cum_hazard_edge_[i];
+      if (rate_per_sec_[i] <= 0.0) {
+        prev_end = end;
+        continue;  // zero-rate band cannot absorb hazard
+      }
+      return util::Seconds{prev_end + (e - h_start) / rate_per_sec_[i]};
+    }
+    prev_end = end;
+  }
+  const double h_last = cumulative_hazard(bands_.back().until.value());
+  if (rate_per_sec_.back() <= 0.0) {
+    return util::Seconds{std::numeric_limits<double>::infinity()};
+  }
+  return util::Seconds{bands_.back().until.value() +
+                       (e - h_last) / rate_per_sec_.back()};
+}
+
+double BathtubFailureModel::cdf(util::Seconds age) const {
+  return 1.0 - std::exp(-cumulative_hazard(age.value()));
+}
+
+ExponentialFailureModel::ExponentialFailureModel(util::Seconds mttf)
+    : rate_(1.0 / mttf.value()) {
+  if (!(mttf.value() > 0.0)) throw std::invalid_argument("exponential: mttf must be > 0");
+}
+
+util::Seconds ExponentialFailureModel::sample_lifetime(util::Xoshiro256& rng) const {
+  return util::Seconds{rng.exponential(rate_)};
+}
+
+double ExponentialFailureModel::cdf(util::Seconds age) const {
+  return 1.0 - std::exp(-rate_ * age.value());
+}
+
+WeibullFailureModel::WeibullFailureModel(double shape, util::Seconds scale)
+    : shape_(shape), scale_sec_(scale.value()) {
+  if (!(shape > 0.0) || !(scale.value() > 0.0)) {
+    throw std::invalid_argument("weibull: shape and scale must be > 0");
+  }
+}
+
+double WeibullFailureModel::hazard(util::Seconds age) const {
+  const double t = std::max(age.value(), 1e-9);
+  return shape_ / scale_sec_ * std::pow(t / scale_sec_, shape_ - 1.0);
+}
+
+util::Seconds WeibullFailureModel::sample_lifetime(util::Xoshiro256& rng) const {
+  return util::Seconds{rng.weibull(shape_, scale_sec_)};
+}
+
+double WeibullFailureModel::cdf(util::Seconds age) const {
+  return 1.0 - std::exp(-std::pow(age.value() / scale_sec_, shape_));
+}
+
+}  // namespace farm::disk

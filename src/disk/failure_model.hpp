@@ -1,0 +1,104 @@
+// Disk lifetime distributions (paper §3.1, Table 1).
+//
+// Disks do not fail at a constant rate: rates start high (infant mortality),
+// then settle — the "bathtub" the IDEMA R2-98 standard and Elerath's work
+// describe, and which the paper singles out as what prior declustering
+// studies got wrong.  The hazard is keyed to *disk age*, so a replacement
+// batch restarts the curve (the source of the paper's cohort effect, §3.6).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace farm::disk {
+
+class FailureModel {
+ public:
+  virtual ~FailureModel() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Instantaneous hazard rate (failures per second) at the given disk age.
+  [[nodiscard]] virtual double hazard(util::Seconds age) const = 0;
+
+  /// Samples a lifetime (time from age 0 to failure).
+  [[nodiscard]] virtual util::Seconds sample_lifetime(util::Xoshiro256& rng) const = 0;
+
+  /// P(lifetime <= age).
+  [[nodiscard]] virtual double cdf(util::Seconds age) const = 0;
+};
+
+/// One age band of a piecewise-constant hazard.
+struct RateBand {
+  util::Seconds until;        // band covers [previous until, this until)
+  double per_1000_hours;      // failure probability per 1000 hours, in percent
+};
+
+/// Piecewise-constant "bathtub" hazard.  The default bands reproduce the
+/// paper's Table 1 (Elerath): 0.50 / 0.35 / 0.25 / 0.20 % per 1000 hours for
+/// ages 0-3 / 3-6 / 6-12 / 12+ months.
+class BathtubFailureModel final : public FailureModel {
+ public:
+  /// `bands` must have strictly increasing `until`; the last band's rate
+  /// extends to infinity (its `until` is still validated but unbounded use
+  /// begins after it).
+  explicit BathtubFailureModel(std::vector<RateBand> bands);
+
+  /// The paper's Table 1 model, with hazard multiplied by `rate_scale`
+  /// (Fig. 8(b) doubles it to study worse disk vintages).
+  [[nodiscard]] static BathtubFailureModel paper_table1(double rate_scale = 1.0);
+
+  [[nodiscard]] std::string name() const override { return "bathtub"; }
+  [[nodiscard]] double hazard(util::Seconds age) const override;
+  [[nodiscard]] util::Seconds sample_lifetime(util::Xoshiro256& rng) const override;
+  [[nodiscard]] double cdf(util::Seconds age) const override;
+
+  [[nodiscard]] std::span<const RateBand> bands() const { return bands_; }
+
+ private:
+  /// Cumulative hazard H(age) = integral of hazard from 0 to age.
+  [[nodiscard]] double cumulative_hazard(double age_sec) const;
+
+  std::vector<RateBand> bands_;
+  std::vector<double> rate_per_sec_;     // per band
+  std::vector<double> cum_hazard_edge_;  // H at each band start
+};
+
+/// Constant hazard (exponential lifetime) — the classical MTTF model used by
+/// the Markov cross-checks in src/analysis.
+class ExponentialFailureModel final : public FailureModel {
+ public:
+  explicit ExponentialFailureModel(util::Seconds mttf);
+
+  [[nodiscard]] std::string name() const override { return "exponential"; }
+  [[nodiscard]] double hazard(util::Seconds) const override { return rate_; }
+  [[nodiscard]] util::Seconds sample_lifetime(util::Xoshiro256& rng) const override;
+  [[nodiscard]] double cdf(util::Seconds age) const override;
+  [[nodiscard]] util::Seconds mttf() const { return util::Seconds{1.0 / rate_}; }
+
+ private:
+  double rate_;
+};
+
+/// Weibull lifetime — shape < 1 gives another infant-mortality shape, used
+/// in sensitivity tests.
+class WeibullFailureModel final : public FailureModel {
+ public:
+  WeibullFailureModel(double shape, util::Seconds scale);
+
+  [[nodiscard]] std::string name() const override { return "weibull"; }
+  [[nodiscard]] double hazard(util::Seconds age) const override;
+  [[nodiscard]] util::Seconds sample_lifetime(util::Xoshiro256& rng) const override;
+  [[nodiscard]] double cdf(util::Seconds age) const override;
+
+ private:
+  double shape_;
+  double scale_sec_;
+};
+
+}  // namespace farm::disk

@@ -1,0 +1,15 @@
+#include "disk/smart.hpp"
+
+#include <limits>
+
+namespace farm::disk {
+
+util::Seconds SmartMonitor::warning_time(util::Seconds fails_at) {
+  if (!config_.enabled || !rng_.bernoulli(config_.predict_probability)) {
+    return util::Seconds{std::numeric_limits<double>::infinity()};
+  }
+  const double at = fails_at.value() - config_.lead_time.value();
+  return util::Seconds{at < 0.0 ? 0.0 : at};
+}
+
+}  // namespace farm::disk

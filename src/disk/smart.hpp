@@ -1,0 +1,44 @@
+// S.M.A.R.T.-style health monitoring (paper §2.3): with some probability a
+// drive announces its impending failure ahead of time, letting FARM's
+// target selector avoid placing fresh replicas on doomed disks.
+//
+// Published SMART studies (Hughes et al., cited by the paper) report
+// usefully-predictable failures in roughly half of cases; defaults follow
+// that: 50 % of failures predicted, 24 h of lead time.
+#pragma once
+
+#include "disk/disk.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace farm::disk {
+
+struct SmartConfig {
+  bool enabled = true;
+  double predict_probability = 0.5;        // fraction of failures pre-announced
+  util::Seconds lead_time = util::hours(24);
+};
+
+class SmartMonitor {
+ public:
+  SmartMonitor(SmartConfig config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  /// Decides, once per disk at creation, whether its eventual failure will
+  /// be predicted; returns the absolute time the warning raises (or an
+  /// infinite sentinel when unpredicted/disabled).
+  [[nodiscard]] util::Seconds warning_time(util::Seconds fails_at);
+
+  /// True when, at `now`, the disk should be treated as suspect.
+  [[nodiscard]] static bool is_suspect(util::Seconds warning_at, util::Seconds now) {
+    return now >= warning_at;
+  }
+
+  [[nodiscard]] const SmartConfig& config() const { return config_; }
+
+ private:
+  SmartConfig config_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace farm::disk

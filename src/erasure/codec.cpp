@@ -1,0 +1,141 @@
+#include "erasure/codec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "erasure/evenodd.hpp"
+#include "erasure/mirrored_parity.hpp"
+#include "erasure/reed_solomon.hpp"
+#include "erasure/replication.hpp"
+#include "erasure/xor_parity.hpp"
+
+namespace farm::erasure {
+
+void Codec::check_encode_args(std::span<const BlockView> data,
+                              std::span<const BlockSpan> check) const {
+  const Scheme s = scheme();
+  if (data.size() != s.data_blocks || check.size() != s.check_blocks()) {
+    throw std::invalid_argument(name() + ": encode expects " +
+                                std::to_string(s.data_blocks) + " data and " +
+                                std::to_string(s.check_blocks()) + " check blocks");
+  }
+  const std::size_t len = data.empty() ? check[0].size() : data[0].size();
+  if (len % block_granularity() != 0) {
+    throw std::invalid_argument(name() + ": block length must be a multiple of " +
+                                std::to_string(block_granularity()));
+  }
+  for (const auto& b : data) {
+    if (b.size() != len) throw std::invalid_argument(name() + ": unequal block sizes");
+  }
+  for (const auto& b : check) {
+    if (b.size() != len) throw std::invalid_argument(name() + ": unequal block sizes");
+  }
+}
+
+void Codec::check_reconstruct_args(std::span<const BlockRef> available,
+                                   std::span<const BlockOut> missing) const {
+  const Scheme s = scheme();
+  if (available.size() < s.data_blocks) {
+    throw std::invalid_argument(name() + ": need at least " +
+                                std::to_string(s.data_blocks) + " available blocks");
+  }
+  std::unordered_set<unsigned> seen;
+  const std::size_t len = available[0].data.size();
+  for (const auto& a : available) {
+    if (a.index >= s.total_blocks) throw std::invalid_argument(name() + ": bad block index");
+    if (!seen.insert(a.index).second) {
+      throw std::invalid_argument(name() + ": duplicate available index");
+    }
+    if (a.data.size() != len) throw std::invalid_argument(name() + ": unequal block sizes");
+  }
+  for (const auto& m : missing) {
+    if (m.index >= s.total_blocks) throw std::invalid_argument(name() + ": bad block index");
+    if (seen.contains(m.index)) {
+      throw std::invalid_argument(name() + ": block both available and missing");
+    }
+    if (m.data.size() != len) throw std::invalid_argument(name() + ": unequal block sizes");
+  }
+  if (len % block_granularity() != 0) {
+    throw std::invalid_argument(name() + ": block length must be a multiple of " +
+                                std::to_string(block_granularity()));
+  }
+}
+
+std::unique_ptr<Codec> make_codec(Scheme scheme, CodecPreference preference) {
+  switch (preference) {
+    case CodecPreference::kReedSolomon:
+      return std::make_unique<ReedSolomonCodec>(scheme);
+    case CodecPreference::kEvenOdd:
+      return std::make_unique<EvenOddCodec>(scheme);
+    case CodecPreference::kMirroredParity:
+      return std::make_unique<MirroredParityCodec>(scheme);
+    case CodecPreference::kAuto:
+      break;
+  }
+  if (scheme.is_replication()) return std::make_unique<ReplicationCodec>(scheme);
+  if (scheme.check_blocks() == 1) return std::make_unique<XorParityCodec>(scheme);
+  return std::make_unique<ReedSolomonCodec>(scheme);
+}
+
+std::vector<std::vector<Byte>> encode_object(const Codec& codec,
+                                             std::span<const Byte> object) {
+  const Scheme s = codec.scheme();
+  const std::size_t gran = codec.block_granularity();
+  std::size_t shard = (object.size() + s.data_blocks - 1) / s.data_blocks;
+  if (shard == 0) shard = gran;
+  shard = (shard + gran - 1) / gran * gran;  // round up to granularity
+
+  std::vector<std::vector<Byte>> blocks(s.total_blocks, std::vector<Byte>(shard, 0));
+  for (unsigned i = 0; i < s.data_blocks; ++i) {
+    const std::size_t begin = std::min<std::size_t>(object.size(), i * shard);
+    const std::size_t end = std::min<std::size_t>(object.size(), (i + 1) * shard);
+    std::copy(object.begin() + static_cast<std::ptrdiff_t>(begin),
+              object.begin() + static_cast<std::ptrdiff_t>(end), blocks[i].begin());
+  }
+  std::vector<BlockView> data;
+  std::vector<BlockSpan> check;
+  for (unsigned i = 0; i < s.data_blocks; ++i) data.emplace_back(blocks[i]);
+  for (unsigned i = s.data_blocks; i < s.total_blocks; ++i) check.emplace_back(blocks[i]);
+  codec.encode(data, check);
+  return blocks;
+}
+
+std::vector<Byte> decode_object(const Codec& codec,
+                                std::span<const BlockRef> available,
+                                std::size_t object_size) {
+  const Scheme s = codec.scheme();
+  if (available.empty()) throw std::invalid_argument("decode_object: no blocks");
+  const std::size_t shard = available[0].data.size();
+
+  // Which data blocks are already present?
+  std::vector<const BlockRef*> have(s.total_blocks, nullptr);
+  for (const auto& a : available) {
+    if (a.index < s.total_blocks) have[a.index] = &a;
+  }
+  std::vector<std::vector<Byte>> rebuilt;
+  rebuilt.reserve(s.data_blocks);  // spans into elements must stay stable
+  std::vector<BlockOut> missing;
+  for (unsigned i = 0; i < s.data_blocks; ++i) {
+    if (have[i] == nullptr) {
+      rebuilt.emplace_back(shard, 0);
+      missing.push_back(BlockOut{i, rebuilt.back()});
+    }
+  }
+  if (!missing.empty()) codec.reconstruct(available, missing);
+
+  std::vector<Byte> object(object_size, 0);
+  std::size_t rebuilt_idx = 0;
+  for (unsigned i = 0; i < s.data_blocks; ++i) {
+    const std::size_t begin = std::min<std::size_t>(object_size, i * shard);
+    const std::size_t end = std::min<std::size_t>(object_size, (i + 1) * shard);
+    if (begin == end) break;
+    const Byte* src = have[i] ? have[i]->data.data() : rebuilt[rebuilt_idx].data();
+    if (!have[i]) ++rebuilt_idx;
+    std::copy(src, src + (end - begin),
+              object.begin() + static_cast<std::ptrdiff_t>(begin));
+  }
+  return object;
+}
+
+}  // namespace farm::erasure

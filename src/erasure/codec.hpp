@@ -1,0 +1,100 @@
+// Abstract erasure/replication codec over equal-length byte blocks.
+//
+// A codec turns m data blocks into n = m + k stored blocks (systematic:
+// blocks 0..m-1 are the data verbatim, blocks m..n-1 are check blocks) and
+// can reconstruct any missing blocks from any m survivors.  This is the
+// byte-level realization of the redundancy groups in paper §2.1-§2.2; the
+// reliability simulator uses only the (m, k) contract, while examples,
+// tests, and micro-benchmarks exercise these codecs on real buffers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "erasure/scheme.hpp"
+#include "gf/gf256.hpp"
+
+namespace farm::erasure {
+
+using Byte = gf::Byte;
+using BlockView = std::span<const Byte>;
+using BlockSpan = std::span<Byte>;
+
+/// A present block: its index in [0, n) and its bytes.
+struct BlockRef {
+  unsigned index;
+  BlockView data;
+};
+
+/// A block to be rebuilt: its index and the output buffer.
+struct BlockOut {
+  unsigned index;
+  BlockSpan data;
+};
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  [[nodiscard]] virtual Scheme scheme() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Some codecs constrain block length (EVENODD needs a multiple of its
+  /// symbol rows).  Returns the granularity; 1 means unconstrained.
+  [[nodiscard]] virtual std::size_t block_granularity() const { return 1; }
+
+  /// MDS codes reconstruct from *any* m survivors; non-MDS codes (the
+  /// paper's §2.2 mixed schemes) only from certain patterns.
+  [[nodiscard]] virtual bool is_mds() const { return true; }
+
+  /// Whether this set of available block indices suffices to rebuild every
+  /// block.  Default: at least m distinct survivors (exact for MDS codes).
+  [[nodiscard]] virtual bool recoverable(std::span<const unsigned> available) const {
+    return available.size() >= scheme().data_blocks;
+  }
+
+  /// Computes the k check blocks from the m data blocks.  All blocks must
+  /// share one length that is a multiple of block_granularity().
+  virtual void encode(std::span<const BlockView> data,
+                      std::span<const BlockSpan> check) const = 0;
+
+  /// Rebuilds the requested blocks (data or check) from at least m distinct
+  /// available blocks.  Throws std::invalid_argument when fewer than m
+  /// survivors are supplied or indices are malformed.
+  virtual void reconstruct(std::span<const BlockRef> available,
+                           std::span<const BlockOut> missing) const = 0;
+
+ protected:
+  /// Shared argument validation for implementations.
+  void check_reconstruct_args(std::span<const BlockRef> available,
+                              std::span<const BlockOut> missing) const;
+  void check_encode_args(std::span<const BlockView> data,
+                         std::span<const BlockSpan> check) const;
+};
+
+enum class CodecPreference {
+  kAuto,            // replication (m==1), XOR parity (k==1), else Reed-Solomon
+  kReedSolomon,     // force Reed-Solomon even where XOR parity would do
+  kEvenOdd,         // EVENODD; requires k == 2
+  kMirroredParity,  // §2.2 mixed scheme; requires n == 2m + 2; non-MDS
+};
+
+/// Creates the appropriate codec for a scheme.
+[[nodiscard]] std::unique_ptr<Codec> make_codec(
+    Scheme scheme, CodecPreference preference = CodecPreference::kAuto);
+
+/// Convenience: encode a contiguous object.  Splits `object` into m equal
+/// shards (zero-padding the tail), returns the n stored blocks.
+[[nodiscard]] std::vector<std::vector<Byte>> encode_object(const Codec& codec,
+                                                           std::span<const Byte> object);
+
+/// Convenience: reassemble the original object (length `object_size`) from
+/// any m stored blocks.
+[[nodiscard]] std::vector<Byte> decode_object(const Codec& codec,
+                                              std::span<const BlockRef> available,
+                                              std::size_t object_size);
+
+}  // namespace farm::erasure

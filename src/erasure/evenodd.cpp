@@ -1,0 +1,332 @@
+#include "erasure/evenodd.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace farm::erasure {
+
+namespace {
+
+bool is_prime(unsigned n) {
+  if (n < 2) return false;
+  for (unsigned d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+unsigned smallest_prime_at_least(unsigned n) {
+  while (!is_prime(n)) ++n;
+  return n;
+}
+
+/// Working view of the (p-1) x (p+2) symbol array for one reconstruct call.
+/// Columns 0..p-1 are data (>= m virtual zero), p is P, p+1 is Q.  Symbols
+/// are segments of the caller's blocks; the struct owns scratch storage for
+/// columns being rebuilt.
+struct Workspace {
+  unsigned p;
+  std::size_t sym;  // symbol length in bytes
+  // column -> symbol row -> bytes.  Pointers into caller buffers where
+  // possible; otherwise into scratch_.
+  std::vector<std::vector<Byte*>> col;
+  std::vector<std::vector<const Byte*>> ccol;
+  std::vector<bool> known;
+  std::vector<std::vector<Byte>> scratch;
+
+  Workspace(unsigned p_, std::size_t sym_)
+      : p(p_), sym(sym_), col(p_ + 2), ccol(p_ + 2), known(p_ + 2, false) {}
+
+  void attach_const(unsigned c, const Byte* base) {
+    ccol[c].resize(p - 1);
+    for (unsigned i = 0; i + 1 < p; ++i) ccol[c][i] = base + i * sym;
+    known[c] = true;
+  }
+  void attach_mut(unsigned c, Byte* base) {
+    col[c].resize(p - 1);
+    ccol[c].resize(p - 1);
+    for (unsigned i = 0; i + 1 < p; ++i) {
+      col[c][i] = base + i * sym;
+      ccol[c][i] = base + i * sym;
+    }
+  }
+  void attach_zero(unsigned c, const std::vector<Byte>& zeros) {
+    ccol[c].resize(p - 1);
+    for (unsigned i = 0; i + 1 < p; ++i) ccol[c][i] = zeros.data();
+    known[c] = true;
+  }
+  Byte* make_scratch(unsigned c) {
+    scratch.emplace_back(sym * (p - 1), Byte{0});
+    attach_mut(c, scratch.back().data());
+    return scratch.back().data();
+  }
+
+  /// s(i, c): symbol row i of column c; row p-1 is the imaginary zero row.
+  [[nodiscard]] const Byte* sym_at(unsigned i, unsigned c) const {
+    return i + 1 == p ? nullptr : ccol[c][i];
+  }
+
+  void xor_into(std::span<Byte> dst, const Byte* src) const {
+    if (src == nullptr) return;  // imaginary zero row
+    for (std::size_t b = 0; b < sym; ++b) dst[b] ^= src[b];
+  }
+  void xor_sym(Byte* dst, const Byte* src) const {
+    if (src == nullptr) return;
+    for (std::size_t b = 0; b < sym; ++b) dst[b] ^= src[b];
+  }
+};
+
+}  // namespace
+
+EvenOddCodec::EvenOddCodec(Scheme scheme)
+    : scheme_(scheme),
+      prime_(smallest_prime_at_least(std::max(scheme.data_blocks, 3u))) {
+  if (scheme.check_blocks() != 2) {
+    throw std::invalid_argument("EvenOddCodec requires k == 2");
+  }
+  if (scheme.data_blocks > 255) {
+    throw std::invalid_argument("EvenOddCodec supports m <= 255");
+  }
+}
+
+std::string EvenOddCodec::name() const { return "evenodd-" + scheme_.str(); }
+
+void EvenOddCodec::encode(std::span<const BlockView> data,
+                          std::span<const BlockSpan> check) const {
+  check_encode_args(data, check);
+  const unsigned p = prime_;
+  const unsigned m = scheme_.data_blocks;
+  const std::size_t len = data[0].size();
+  const std::size_t sym = len / (p - 1);
+
+  BlockSpan P = check[0];
+  BlockSpan Q = check[1];
+  std::fill(P.begin(), P.end(), Byte{0});
+  std::fill(Q.begin(), Q.end(), Byte{0});
+
+  auto symbol = [&](unsigned j, unsigned i) -> const Byte* {
+    // data column j (virtual columns >= m and imaginary row p-1 are zero)
+    if (j >= m || i + 1 == p) return nullptr;
+    return data[j].data() + i * sym;
+  };
+  auto xor_range = [&](Byte* dst, const Byte* src) {
+    if (src == nullptr) return;
+    for (std::size_t b = 0; b < sym; ++b) dst[b] ^= src[b];
+  };
+
+  // Row parity: P(i) = XOR_j a(i, j).
+  for (unsigned i = 0; i + 1 < p; ++i) {
+    for (unsigned j = 0; j < p; ++j) xor_range(P.data() + i * sym, symbol(j, i));
+  }
+  // Special diagonal: S = XOR_{j=1..p-1} a(p-1-j, j).
+  std::vector<Byte> S(sym, 0);
+  for (unsigned j = 1; j < p; ++j) xor_range(S.data(), symbol(j, p - 1 - j));
+  // Diagonal parity: Q(i) = S ^ XOR_j a(<i-j>_p, j).
+  for (unsigned i = 0; i + 1 < p; ++i) {
+    Byte* q = Q.data() + i * sym;
+    for (std::size_t b = 0; b < sym; ++b) q[b] = S[b];
+    for (unsigned j = 0; j < p; ++j) {
+      xor_range(q, symbol(j, (i + p - j % p) % p));
+    }
+  }
+}
+
+void EvenOddCodec::reconstruct(std::span<const BlockRef> available,
+                               std::span<const BlockOut> missing) const {
+  check_reconstruct_args(available, missing);
+  if (missing.empty()) return;
+
+  const unsigned p = prime_;
+  const unsigned m = scheme_.data_blocks;
+  const unsigned kP = p;      // workspace column index of P
+  const unsigned kQ = p + 1;  // workspace column index of Q
+  const std::size_t len = available[0].data.size();
+  const std::size_t sym = len / (p - 1);
+
+  Workspace w(p, sym);
+  const std::vector<Byte> zeros(sym, 0);
+  for (unsigned c = m; c < p; ++c) w.attach_zero(c, zeros);
+
+  auto ws_index = [&](unsigned block) -> unsigned {
+    if (block < m) return block;        // data column
+    return block == m ? kP : kQ;        // parity columns
+  };
+  for (const auto& a : available) w.attach_const(ws_index(a.index), a.data.data());
+
+  // Blocks to rebuild: requested ones write into caller buffers; any other
+  // unknown column gets scratch (it may be needed as an intermediate).
+  for (const auto& out : missing) {
+    w.attach_mut(ws_index(out.index), out.data.data());
+    std::fill(out.data.begin(), out.data.end(), Byte{0});
+  }
+  std::vector<unsigned> unknown;
+  for (unsigned c = 0; c < p + 2; ++c) {
+    if (c >= m && c < p) continue;  // virtual, always known
+    if (!w.known[c] && w.col[c].empty()) w.make_scratch(c);
+    if (!w.known[c]) unknown.push_back(c);
+  }
+  if (unknown.size() > 2) {
+    throw std::invalid_argument("evenodd: more than two erasures");
+  }
+
+  auto row_syndrome = [&](unsigned i, unsigned skip1, unsigned skip2,
+                          std::span<Byte> out) {
+    // XOR of row i over all known columns 0..p-1 plus P, skipping the
+    // unknown columns.
+    for (unsigned j = 0; j < p; ++j) {
+      if (j == skip1 || j == skip2) continue;
+      w.xor_into(out, w.sym_at(i, j));
+    }
+    if (kP != skip1 && kP != skip2) w.xor_into(out, w.sym_at(i, kP));
+  };
+
+  auto diag_cells = [&](unsigned d, unsigned skip1, unsigned skip2,
+                        std::span<Byte> out) {
+    // XOR of data cells on diagonal d (cells (<d-j>_p, j)), skipping unknowns.
+    for (unsigned j = 0; j < p; ++j) {
+      if (j == skip1 || j == skip2) continue;
+      w.xor_into(out, w.sym_at((d + p - j % p) % p, j));
+    }
+  };
+
+  auto compute_S_from_data = [&](std::span<Byte> S) {
+    // S = XOR of diagonal p-1 data cells; requires all data columns known.
+    for (unsigned j = 1; j < p; ++j) w.xor_into(S, w.sym_at(p - 1 - j, j));
+  };
+
+  auto encode_P = [&] {
+    for (unsigned i = 0; i + 1 < p; ++i) {
+      Byte* dst = w.col[kP][i];
+      std::fill(dst, dst + sym, Byte{0});
+      for (unsigned j = 0; j < p; ++j) w.xor_sym(dst, w.sym_at(i, j));
+    }
+    w.known[kP] = true;
+  };
+  auto encode_Q = [&] {
+    std::vector<Byte> S(sym, 0);
+    compute_S_from_data(S);
+    for (unsigned i = 0; i + 1 < p; ++i) {
+      Byte* dst = w.col[kQ][i];
+      std::copy(S.begin(), S.end(), dst);
+      for (unsigned j = 0; j < p; ++j) {
+        w.xor_sym(dst, w.sym_at((i + p - j % p) % p, j));
+      }
+    }
+    w.known[kQ] = true;
+  };
+
+  // --- Case analysis over the unknown columns ------------------------------
+  const bool qP = std::find(unknown.begin(), unknown.end(), kP) != unknown.end();
+  const bool qQ = std::find(unknown.begin(), unknown.end(), kQ) != unknown.end();
+  std::vector<unsigned> lost_data;
+  for (unsigned c : unknown) {
+    if (c < p) lost_data.push_back(c);
+  }
+
+  if (lost_data.size() == 2) {
+    // Two data columns u < v, P and Q intact: the EVENODD zig-zag.
+    const unsigned u = lost_data[0];
+    const unsigned v = lost_data[1];
+    // S = XOR of all P symbols ^ XOR of all Q symbols.
+    std::vector<Byte> S(sym, 0);
+    for (unsigned i = 0; i + 1 < p; ++i) {
+      w.xor_into(S, w.sym_at(i, kP));
+      w.xor_into(S, w.sym_at(i, kQ));
+    }
+    // Horizontal syndromes S0(i) = P(i) ^ XOR_{j != u,v} a(i, j): what the
+    // two lost cells of row i XOR to.  Row p-1 contributes zero.
+    std::vector<std::vector<Byte>> S0(p, std::vector<Byte>(sym, 0));
+    for (unsigned i = 0; i + 1 < p; ++i) row_syndrome(i, u, v, S0[i]);
+    // Diagonal syndromes S1(d) = S ^ Q(d) ^ XOR_{j != u,v} a(<d-j>, j).
+    std::vector<std::vector<Byte>> S1(p, std::vector<Byte>(sym, 0));
+    for (unsigned d = 0; d < p; ++d) {
+      if (d + 1 < p) {
+        S1[d] = S;
+        w.xor_into(S1[d], w.sym_at(d, kQ));
+        diag_cells(d, u, v, S1[d]);
+      } else {
+        // Diagonal p-1 carries S itself instead of a Q symbol.
+        S1[d] = S;
+        diag_cells(d, u, v, S1[d]);
+      }
+    }
+    // Zig-zag: start from the diagonal whose column-u cell is the imaginary
+    // row, solve a(., v), hop horizontally to a(., u), repeat.
+    const unsigned step = v - u;
+    unsigned r = (p - 1 + p - step % p) % p;  // row of the v-cell on diagonal <p-1+u>
+    while (r != p - 1) {
+      // Diagonal through (r, v):
+      const unsigned d = (r + v) % p;
+      Byte* av = w.col[v][r];
+      std::copy(S1[d].begin(), S1[d].end(), av);
+      // The u-cell of this diagonal is (r + step) mod p; it is known either
+      // because it is imaginary or because a previous iteration solved it.
+      const unsigned ru = (r + step) % p;
+      if (ru != p - 1) w.xor_sym(av, w.ccol[u][ru]);
+      // Horizontal hop: a(r, u) = S0(r) ^ a(r, v).
+      Byte* au = w.col[u][r];
+      std::copy(S0[r].begin(), S0[r].end(), au);
+      w.xor_sym(au, av);
+      r = (r + p - step % p) % p;
+    }
+    w.known[u] = w.known[v] = true;
+  } else if (lost_data.size() == 1 && qQ) {
+    // Data column u + Q: rows recover u, then re-encode Q.
+    const unsigned u = lost_data[0];
+    for (unsigned i = 0; i + 1 < p; ++i) {
+      std::span<Byte> dst{w.col[u][i], sym};
+      row_syndrome(i, u, kQ, dst);
+    }
+    w.known[u] = true;
+    encode_Q();
+  } else if (lost_data.size() == 1 && qP) {
+    // Data column u + P: diagonals recover u, then re-encode P.
+    const unsigned u = lost_data[0];
+    // Find S.  The diagonal d* = <u-1>_p has an imaginary u-cell, so its Q
+    // symbol reveals S; when u == 0, d* would be p-1 (the S diagonal itself),
+    // but then S contains no u-cell and is computable from known columns.
+    std::vector<Byte> S(sym, 0);
+    if (u == 0) {
+      for (unsigned j = 1; j < p; ++j) w.xor_into(S, w.sym_at(p - 1 - j, j));
+    } else {
+      const unsigned dstar = u - 1;
+      w.xor_into(S, w.sym_at(dstar, kQ));
+      diag_cells(dstar, u, kP, S);
+    }
+    for (unsigned i = 0; i + 1 < p; ++i) {
+      const unsigned d = (i + u) % p;
+      std::span<Byte> dst{w.col[u][i], sym};
+      if (d + 1 < p) {
+        // a(i,u) = S ^ Q(d) ^ (rest of diagonal d)
+        std::copy(S.begin(), S.end(), dst.begin());
+        w.xor_into(dst, w.sym_at(d, kQ));
+        diag_cells(d, u, kP, dst);
+      } else {
+        // Cell lies on the S diagonal: a(i,u) = S ^ (rest of that diagonal).
+        std::copy(S.begin(), S.end(), dst.begin());
+        for (unsigned j = 1; j < p; ++j) {
+          if (j == u) continue;
+          w.xor_into(dst, w.sym_at(p - 1 - j, j));
+        }
+      }
+    }
+    w.known[u] = true;
+    encode_P();
+  } else if (lost_data.size() == 1) {
+    // Only a data column: P is intact, use rows.
+    const unsigned u = lost_data[0];
+    for (unsigned i = 0; i + 1 < p; ++i) {
+      std::span<Byte> dst{w.col[u][i], sym};
+      row_syndrome(i, u, /*skip2=*/p + 2, dst);
+    }
+    w.known[u] = true;
+  } else {
+    // Only parity columns lost: re-encode from intact data.
+    if (qP) encode_P();
+    if (qQ) encode_Q();
+  }
+}
+
+}  // namespace farm::erasure

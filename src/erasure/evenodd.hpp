@@ -1,0 +1,38 @@
+// EVENODD codec (Blaum, Brady, Bruck & Menon 1995), cited by the paper as
+// an example m/n ECC: tolerates any two erasures using only XOR.
+//
+// Layout: p is the smallest prime >= max(m, 3).  Data is arranged as a
+// (p-1) x p symbol array; columns m..p-1 are virtual all-zero columns so any
+// m <= p works.  Block index j < m is data column j; index m is the row
+// parity column P; index m+1 is the diagonal parity column Q.  Each block of
+// L bytes is split into p-1 symbols of L/(p-1) bytes, so L must be a
+// multiple of p-1 (block_granularity()).
+#pragma once
+
+#include "erasure/codec.hpp"
+
+namespace farm::erasure {
+
+class EvenOddCodec final : public Codec {
+ public:
+  /// Requires scheme.check_blocks() == 2 and data_blocks <= 255.
+  explicit EvenOddCodec(Scheme scheme);
+
+  [[nodiscard]] Scheme scheme() const override { return scheme_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t block_granularity() const override { return prime_ - 1; }
+
+  /// The prime parameter p (exposed for tests).
+  [[nodiscard]] unsigned prime() const { return prime_; }
+
+  void encode(std::span<const BlockView> data,
+              std::span<const BlockSpan> check) const override;
+  void reconstruct(std::span<const BlockRef> available,
+                   std::span<const BlockOut> missing) const override;
+
+ private:
+  Scheme scheme_;
+  unsigned prime_;
+};
+
+}  // namespace farm::erasure

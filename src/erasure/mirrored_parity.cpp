@@ -1,0 +1,98 @@
+#include "erasure/mirrored_parity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace farm::erasure {
+
+MirroredParityCodec::MirroredParityCodec(Scheme scheme) : scheme_(scheme) {
+  if (scheme.total_blocks != 2 * scheme.data_blocks + 2) {
+    throw std::invalid_argument(
+        "MirroredParityCodec requires n == 2m + 2 (data + parity, mirrored)");
+  }
+}
+
+std::string MirroredParityCodec::name() const {
+  return "mirrored-parity-" + scheme_.str();
+}
+
+unsigned MirroredParityCodec::position_of(unsigned block) const {
+  const unsigned m = scheme_.data_blocks;
+  return block <= m ? block : block - (m + 1);
+}
+
+unsigned MirroredParityCodec::twin_of(unsigned block) const {
+  const unsigned m = scheme_.data_blocks;
+  return block <= m ? block + (m + 1) : block - (m + 1);
+}
+
+bool MirroredParityCodec::recoverable(std::span<const unsigned> available) const {
+  const unsigned m = scheme_.data_blocks;
+  std::vector<bool> covered(m + 1, false);
+  for (const unsigned b : available) {
+    if (b < scheme_.total_blocks) covered[position_of(b)] = true;
+  }
+  unsigned missing_positions = 0;
+  for (const bool c : covered) missing_positions += !c;
+  // The parity chain rebuilds at most one whole position.
+  return missing_positions <= 1;
+}
+
+void MirroredParityCodec::encode(std::span<const BlockView> data,
+                                 std::span<const BlockSpan> check) const {
+  check_encode_args(data, check);
+  const unsigned m = scheme_.data_blocks;
+  // check[0] = parity, check[1..m] = data mirrors, check[m+1] = parity mirror.
+  BlockSpan parity = check[0];
+  std::fill(parity.begin(), parity.end(), Byte{0});
+  for (const auto& d : data) {
+    for (std::size_t i = 0; i < parity.size(); ++i) parity[i] ^= d[i];
+  }
+  for (unsigned j = 0; j < m; ++j) {
+    std::copy(data[j].begin(), data[j].end(), check[1 + j].begin());
+  }
+  std::copy(parity.begin(), parity.end(), check[m + 1].begin());
+}
+
+void MirroredParityCodec::reconstruct(std::span<const BlockRef> available,
+                                      std::span<const BlockOut> missing) const {
+  check_reconstruct_args(available, missing);
+  if (missing.empty()) return;
+  const unsigned m = scheme_.data_blocks;
+  const std::size_t len = available[0].data.size();
+
+  // Collapse copies onto positions.
+  std::vector<const Byte*> position(m + 1, nullptr);
+  for (const auto& a : available) {
+    position[position_of(a.index)] = a.data.data();
+  }
+  unsigned lost_position = m + 1;  // sentinel: none
+  for (unsigned p = 0; p <= m; ++p) {
+    if (position[p] != nullptr) continue;
+    if (lost_position != m + 1) {
+      throw std::invalid_argument(
+          "mirrored-parity: unrecoverable erasure pattern (two positions "
+          "lost both copies)");
+    }
+    lost_position = p;
+  }
+
+  // Rebuild the lost position (if any) as the XOR of all the others.
+  std::vector<Byte> rebuilt;
+  if (lost_position != m + 1) {
+    rebuilt.assign(len, 0);
+    for (unsigned p = 0; p <= m; ++p) {
+      if (p == lost_position) continue;
+      for (std::size_t i = 0; i < len; ++i) rebuilt[i] ^= position[p][i];
+    }
+    position[lost_position] = rebuilt.data();
+  }
+
+  for (const auto& out : missing) {
+    const Byte* src = position[position_of(out.index)];
+    std::copy(src, src + len, out.data.begin());
+  }
+}
+
+}  // namespace farm::erasure

@@ -1,0 +1,45 @@
+// Mixed scheme from paper §2.2: "mixed schemes that structure a redundancy
+// group by data blocks and an (XOR-)parity block, and a mirror of the data
+// blocks with parity."
+//
+// Layout for m data blocks (n = 2m + 2):
+//   0 .. m-1   data                      (position 0..m-1, copy A)
+//   m          XOR parity                (position m,      copy A)
+//   m+1 .. 2m  mirror of the data        (position 0..m-1, copy B)
+//   2m+1       mirror of the parity      (position m,      copy B)
+//
+// Not MDS: reconstruction succeeds iff at most one *position* lost both of
+// its copies (the parity chain rebuilds one whole position; everything else
+// needs a surviving twin).  In exchange, most reads are cheap mirror reads
+// and small writes touch only a block, its twin, and the two parity copies.
+#pragma once
+
+#include "erasure/codec.hpp"
+
+namespace farm::erasure {
+
+class MirroredParityCodec final : public Codec {
+ public:
+  /// Requires total_blocks == 2 * data_blocks + 2.
+  explicit MirroredParityCodec(Scheme scheme);
+
+  [[nodiscard]] Scheme scheme() const override { return scheme_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool is_mds() const override { return false; }
+  [[nodiscard]] bool recoverable(std::span<const unsigned> available) const override;
+
+  void encode(std::span<const BlockView> data,
+              std::span<const BlockSpan> check) const override;
+  void reconstruct(std::span<const BlockRef> available,
+                   std::span<const BlockOut> missing) const override;
+
+  /// Position (0..m: data columns then parity) of a block index.
+  [[nodiscard]] unsigned position_of(unsigned block) const;
+  /// The other copy of the same position.
+  [[nodiscard]] unsigned twin_of(unsigned block) const;
+
+ private:
+  Scheme scheme_;
+};
+
+}  // namespace farm::erasure

@@ -1,0 +1,82 @@
+#include "erasure/reed_solomon.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace farm::erasure {
+
+ReedSolomonCodec::ReedSolomonCodec(Scheme scheme) : scheme_(scheme) {
+  if (scheme.total_blocks > 256) {
+    throw std::invalid_argument("reed-solomon over GF(256) supports n <= 256");
+  }
+  const unsigned m = scheme.data_blocks;
+  const unsigned k = scheme.check_blocks();
+
+  // Cauchy points: xs for check rows, ys for data columns, disjoint sets.
+  std::vector<gf::Byte> xs(k), ys(m);
+  for (unsigned i = 0; i < k; ++i) xs[i] = static_cast<gf::Byte>(i);
+  for (unsigned j = 0; j < m; ++j) ys[j] = static_cast<gf::Byte>(k + j);
+  const gf::Matrix cauchy = gf::Matrix::cauchy(xs, ys);
+
+  generator_ = gf::Matrix(scheme.total_blocks, m);
+  for (unsigned i = 0; i < m; ++i) generator_.at(i, i) = 1;
+  for (unsigned r = 0; r < k; ++r) {
+    for (unsigned c = 0; c < m; ++c) generator_.at(m + r, c) = cauchy.at(r, c);
+  }
+}
+
+std::string ReedSolomonCodec::name() const { return "reed-solomon-" + scheme_.str(); }
+
+void ReedSolomonCodec::encode(std::span<const BlockView> data,
+                              std::span<const BlockSpan> check) const {
+  check_encode_args(data, check);
+  const unsigned m = scheme_.data_blocks;
+  const unsigned k = scheme_.check_blocks();
+
+  std::vector<std::size_t> check_rows(k);
+  for (unsigned r = 0; r < k; ++r) check_rows[r] = m + r;
+  const gf::Matrix rows = generator_.select_rows(check_rows);
+  rows.apply(data, check);
+}
+
+void ReedSolomonCodec::reconstruct(std::span<const BlockRef> available,
+                                   std::span<const BlockOut> missing) const {
+  check_reconstruct_args(available, missing);
+  if (missing.empty()) return;
+  const unsigned m = scheme_.data_blocks;
+
+  // Decode matrix: rows of G for the first m survivors, inverted, recovers
+  // the data blocks; missing blocks are then re-encoded from those.
+  std::vector<std::size_t> rows(m);
+  std::vector<BlockView> inputs(m);
+  for (unsigned i = 0; i < m; ++i) {
+    rows[i] = available[i].index;
+    inputs[i] = available[i].data;
+  }
+  const gf::Matrix decode = generator_.select_rows(rows).inverse();
+
+  // data_hat = decode * survivors
+  const std::size_t len = inputs[0].size();
+  std::vector<std::vector<Byte>> data_hat(m, std::vector<Byte>(len));
+  {
+    std::vector<BlockSpan> outs;
+    outs.reserve(m);
+    for (auto& d : data_hat) outs.emplace_back(d);
+    decode.apply(inputs, outs);
+  }
+
+  // missing_j = G[row j] * data_hat
+  std::vector<BlockView> data_views;
+  data_views.reserve(m);
+  for (const auto& d : data_hat) data_views.emplace_back(d);
+  std::vector<std::size_t> want(missing.size());
+  std::vector<BlockSpan> outs(missing.size());
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    want[i] = missing[i].index;
+    outs[i] = missing[i].data;
+  }
+  generator_.select_rows(want).apply(data_views, outs);
+}
+
+}  // namespace farm::erasure

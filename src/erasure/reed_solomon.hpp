@@ -1,0 +1,36 @@
+// Systematic Cauchy Reed-Solomon codec over GF(2^8): the general m/n
+// erasure-correcting code of paper §2.2 (4/6, 8/10, and anything else with
+// m + k <= 256).
+//
+// Generator layout: the n x m matrix G = [ I_m ; C ] where C is an k x m
+// Cauchy matrix.  Every m-row subset of G is invertible (Cauchy/MDS
+// property), so any m survivors reconstruct all n blocks.
+#pragma once
+
+#include "erasure/codec.hpp"
+#include "gf/matrix.hpp"
+
+namespace farm::erasure {
+
+class ReedSolomonCodec final : public Codec {
+ public:
+  explicit ReedSolomonCodec(Scheme scheme);
+
+  [[nodiscard]] Scheme scheme() const override { return scheme_; }
+  [[nodiscard]] std::string name() const override;
+
+  void encode(std::span<const BlockView> data,
+              std::span<const BlockSpan> check) const override;
+  void reconstruct(std::span<const BlockRef> available,
+                   std::span<const BlockOut> missing) const override;
+
+  /// The full n x m generator matrix (exposed for tests, which verify the
+  /// MDS property by inverting random m-row subsets).
+  [[nodiscard]] const gf::Matrix& generator() const { return generator_; }
+
+ private:
+  Scheme scheme_;
+  gf::Matrix generator_;  // n x m, top m rows identity
+};
+
+}  // namespace farm::erasure

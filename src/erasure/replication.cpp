@@ -1,0 +1,35 @@
+#include "erasure/replication.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace farm::erasure {
+
+ReplicationCodec::ReplicationCodec(Scheme scheme) : scheme_(scheme) {
+  if (!scheme.is_replication()) {
+    throw std::invalid_argument("ReplicationCodec requires m == 1");
+  }
+}
+
+std::string ReplicationCodec::name() const {
+  return std::to_string(scheme_.total_blocks) + "-way-mirror";
+}
+
+void ReplicationCodec::encode(std::span<const BlockView> data,
+                              std::span<const BlockSpan> check) const {
+  check_encode_args(data, check);
+  for (const auto& copy : check) {
+    std::copy(data[0].begin(), data[0].end(), copy.begin());
+  }
+}
+
+void ReplicationCodec::reconstruct(std::span<const BlockRef> available,
+                                   std::span<const BlockOut> missing) const {
+  check_reconstruct_args(available, missing);
+  const BlockView source = available[0].data;
+  for (const auto& out : missing) {
+    std::copy(source.begin(), source.end(), out.data.begin());
+  }
+}
+
+}  // namespace farm::erasure

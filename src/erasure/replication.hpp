@@ -1,0 +1,25 @@
+// n-way mirroring (paper §2.2): the m == 1 redundancy schemes 1/2, 1/3, ….
+// Every stored block is a byte-identical copy of the single data block.
+#pragma once
+
+#include "erasure/codec.hpp"
+
+namespace farm::erasure {
+
+class ReplicationCodec final : public Codec {
+ public:
+  explicit ReplicationCodec(Scheme scheme);
+
+  [[nodiscard]] Scheme scheme() const override { return scheme_; }
+  [[nodiscard]] std::string name() const override;
+
+  void encode(std::span<const BlockView> data,
+              std::span<const BlockSpan> check) const override;
+  void reconstruct(std::span<const BlockRef> available,
+                   std::span<const BlockOut> missing) const override;
+
+ private:
+  Scheme scheme_;
+};
+
+}  // namespace farm::erasure

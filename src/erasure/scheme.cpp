@@ -1,0 +1,51 @@
+#include "erasure/scheme.hpp"
+
+#include <array>
+#include <charconv>
+#include <stdexcept>
+
+namespace farm::erasure {
+
+std::string Scheme::str() const {
+  return std::to_string(data_blocks) + "/" + std::to_string(total_blocks);
+}
+
+Scheme Scheme::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    throw std::invalid_argument("Scheme::parse: expected \"m/n\", got \"" +
+                                std::string(text) + "\"");
+  }
+  auto parse_uint = [&](std::string_view part) -> unsigned {
+    unsigned value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), value);
+    if (ec != std::errc{} || ptr != part.data() + part.size() || value == 0) {
+      throw std::invalid_argument("Scheme::parse: bad number in \"" +
+                                  std::string(text) + "\"");
+    }
+    return value;
+  };
+  Scheme s;
+  s.data_blocks = parse_uint(text.substr(0, slash));
+  s.total_blocks = parse_uint(text.substr(slash + 1));
+  if (s.total_blocks <= s.data_blocks) {
+    throw std::invalid_argument("Scheme::parse: need n > m in \"" +
+                                std::string(text) + "\"");
+  }
+  return s;
+}
+
+const std::array<Scheme, 6>& paper_schemes() {
+  static const std::array<Scheme, 6> schemes = {
+      Scheme{1, 2},   // two-way mirroring
+      Scheme{1, 3},   // three-way mirroring
+      Scheme{2, 3},   // RAID 5 (small)
+      Scheme{4, 5},   // RAID 5 (wide)
+      Scheme{4, 6},   // ECC, tolerates 2
+      Scheme{8, 10},  // ECC, tolerates 2, wider
+  };
+  return schemes;
+}
+
+}  // namespace farm::erasure

@@ -1,0 +1,38 @@
+// Redundancy-scheme descriptor: the paper's "m/n scheme" notation.
+//
+// m user-data blocks plus k = n - m check blocks; any m of the n blocks
+// suffice to reconstruct everything (m-availability).  Replication is the
+// m == 1 special case: 1/2 is two-way mirroring, 1/3 three-way.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+namespace farm::erasure {
+
+struct Scheme {
+  unsigned data_blocks = 1;   // m
+  unsigned total_blocks = 2;  // n
+
+  [[nodiscard]] constexpr unsigned check_blocks() const { return total_blocks - data_blocks; }
+  [[nodiscard]] constexpr unsigned fault_tolerance() const { return check_blocks(); }
+  [[nodiscard]] constexpr bool is_replication() const { return data_blocks == 1; }
+  /// Ratio of user data to total storage (paper §2.2): m/n.
+  [[nodiscard]] constexpr double storage_efficiency() const {
+    return static_cast<double>(data_blocks) / static_cast<double>(total_blocks);
+  }
+
+  [[nodiscard]] std::string str() const;
+
+  /// Parses "m/n" (e.g. "4/6"); throws std::invalid_argument on malformed
+  /// input or n <= m.
+  [[nodiscard]] static Scheme parse(std::string_view text);
+
+  [[nodiscard]] constexpr bool operator==(const Scheme&) const = default;
+};
+
+/// The six configurations evaluated in the paper's Figure 3.
+[[nodiscard]] const std::array<Scheme, 6>& paper_schemes();
+
+}  // namespace farm::erasure

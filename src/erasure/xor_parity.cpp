@@ -1,0 +1,56 @@
+#include "erasure/xor_parity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace farm::erasure {
+
+namespace {
+void xor_into(BlockSpan dst, BlockView src) {
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+}  // namespace
+
+XorParityCodec::XorParityCodec(Scheme scheme) : scheme_(scheme) {
+  if (scheme.check_blocks() != 1) {
+    throw std::invalid_argument("XorParityCodec requires k == 1");
+  }
+}
+
+std::string XorParityCodec::name() const { return "raid5-" + scheme_.str(); }
+
+void XorParityCodec::encode(std::span<const BlockView> data,
+                            std::span<const BlockSpan> check) const {
+  check_encode_args(data, check);
+  BlockSpan parity = check[0];
+  std::fill(parity.begin(), parity.end(), Byte{0});
+  for (const auto& d : data) xor_into(parity, d);
+}
+
+void XorParityCodec::reconstruct(std::span<const BlockRef> available,
+                                 std::span<const BlockOut> missing) const {
+  check_reconstruct_args(available, missing);
+  if (missing.empty()) return;
+  if (missing.size() > 1) {
+    throw std::invalid_argument("raid5: cannot rebuild more than one block");
+  }
+  // XOR of any m survivors equals the missing block, whether it is data or
+  // parity, because the n blocks XOR to zero.
+  BlockSpan out = missing[0].data;
+  std::fill(out.begin(), out.end(), Byte{0});
+  for (std::size_t i = 0; i < scheme_.data_blocks; ++i) {
+    xor_into(out, available[i].data);
+  }
+}
+
+void XorParityCodec::update_parity(BlockView old_data, BlockView new_data,
+                                   BlockSpan parity) {
+  if (old_data.size() != parity.size() || new_data.size() != parity.size()) {
+    throw std::invalid_argument("update_parity: size mismatch");
+  }
+  for (std::size_t i = 0; i < parity.size(); ++i) {
+    parity[i] ^= static_cast<Byte>(old_data[i] ^ new_data[i]);
+  }
+}
+
+}  // namespace farm::erasure

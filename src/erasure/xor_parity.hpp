@@ -1,0 +1,31 @@
+// Single-parity (RAID 5-style) codec: the k == 1 schemes 2/3, 4/5, ….
+// The check block is the XOR of the m data blocks; any single missing block
+// is the XOR of the survivors.
+#pragma once
+
+#include "erasure/codec.hpp"
+
+namespace farm::erasure {
+
+class XorParityCodec final : public Codec {
+ public:
+  explicit XorParityCodec(Scheme scheme);
+
+  [[nodiscard]] Scheme scheme() const override { return scheme_; }
+  [[nodiscard]] std::string name() const override;
+
+  void encode(std::span<const BlockView> data,
+              std::span<const BlockSpan> check) const override;
+  void reconstruct(std::span<const BlockRef> available,
+                   std::span<const BlockOut> missing) const override;
+
+  /// RAID 5 small-write optimization (paper §2.2): new_parity =
+  /// old_parity ^ old_data ^ new_data, avoiding a full-stripe read.
+  static void update_parity(BlockView old_data, BlockView new_data,
+                            BlockSpan parity);
+
+ private:
+  Scheme scheme_;
+};
+
+}  // namespace farm::erasure

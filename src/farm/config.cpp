@@ -1,0 +1,141 @@
+#include "farm/config.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace farm::core {
+
+std::string to_string(RecoveryMode mode) {
+  switch (mode) {
+    case RecoveryMode::kFarm:
+      return "FARM";
+    case RecoveryMode::kDedicatedSpare:
+      return "dedicated-spare";
+    case RecoveryMode::kDistributedSparing:
+      return "distributed-sparing";
+  }
+  return "?";
+}
+
+util::Bytes SystemConfig::block_size() const {
+  return group_size / static_cast<double>(scheme.data_blocks);
+}
+
+util::Bytes SystemConfig::group_footprint() const {
+  return block_size() * static_cast<double>(scheme.total_blocks);
+}
+
+std::uint64_t SystemConfig::group_count() const {
+  return static_cast<std::uint64_t>(std::ceil(total_user_data / group_size));
+}
+
+util::Bytes SystemConfig::raw_data() const {
+  return util::Bytes{group_footprint().value() *
+                     static_cast<double>(group_count())};
+}
+
+std::uint64_t SystemConfig::disk_count() const {
+  const double per_disk = disk.capacity.value() * initial_utilization;
+  return static_cast<std::uint64_t>(std::ceil(raw_data().value() / per_disk));
+}
+
+util::Seconds SystemConfig::block_rebuild_time() const {
+  return util::transfer_time(block_size(), recovery_bandwidth);
+}
+
+void SystemConfig::validate() const {
+  if (!(total_user_data.value() > 0.0)) {
+    throw std::invalid_argument("config: total_user_data must be positive");
+  }
+  if (!(group_size.value() > 0.0) || group_size > total_user_data) {
+    throw std::invalid_argument("config: group_size must be in (0, total_user_data]");
+  }
+  if (!(initial_utilization > 0.0) || initial_utilization > 1.0) {
+    throw std::invalid_argument("config: initial_utilization must be in (0, 1]");
+  }
+  if (spare_reservation < 0.0 || initial_utilization + spare_reservation > 1.0 + 1e-9) {
+    throw std::invalid_argument(
+        "config: utilization + spare reservation cannot exceed capacity");
+  }
+  if (group_footprint() > disk.capacity * static_cast<double>(scheme.total_blocks)) {
+    // Each block must fit on one disk.
+    if (block_size() > disk.capacity) {
+      throw std::invalid_argument("config: one block exceeds disk capacity");
+    }
+  }
+  if (!(recovery_bandwidth.value() > 0.0)) {
+    throw std::invalid_argument("config: recovery_bandwidth must be positive");
+  }
+  if (recovery_bandwidth > disk.bandwidth) {
+    throw std::invalid_argument("config: recovery bandwidth exceeds disk bandwidth");
+  }
+  if (!(spare_rebuild_speedup > 0.0) ||
+      recovery_bandwidth * spare_rebuild_speedup > disk.bandwidth) {
+    throw std::invalid_argument(
+        "config: spare_rebuild_speedup must be positive and keep the spare "
+        "within disk bandwidth");
+  }
+  if (!(critical_rebuild_speedup > 0.0) ||
+      recovery_bandwidth * critical_rebuild_speedup > disk.bandwidth) {
+    throw std::invalid_argument(
+        "config: critical_rebuild_speedup must be positive and keep rebuilds "
+        "within disk bandwidth");
+  }
+  if (detection_latency < util::Seconds{0.0}) {
+    throw std::invalid_argument("config: negative detection latency");
+  }
+  if (!(hazard_scale > 0.0)) {
+    throw std::invalid_argument("config: hazard_scale must be positive");
+  }
+  if (!(mission_time.value() > 0.0)) {
+    throw std::invalid_argument("config: mission_time must be positive");
+  }
+  if (replacement.enabled &&
+      (replacement.loss_fraction_threshold <= 0.0 ||
+       replacement.loss_fraction_threshold >= 1.0)) {
+    throw std::invalid_argument("config: replacement threshold must be in (0, 1)");
+  }
+  if (disk_count() < scheme.total_blocks) {
+    throw std::invalid_argument("config: fewer disks than blocks per group");
+  }
+  if (initial_placement_choices == 0) {
+    throw std::invalid_argument("config: initial_placement_choices must be >= 1");
+  }
+  if (domains.enabled) {
+    if (domains.disks_per_domain == 0) {
+      throw std::invalid_argument("config: disks_per_domain must be >= 1");
+    }
+    if (!(domains.domain_mtbf.value() > 0.0)) {
+      throw std::invalid_argument("config: domain_mtbf must be positive");
+    }
+    const std::size_t domain_count =
+        (disk_count() + domains.disks_per_domain - 1) / domains.disks_per_domain;
+    if (domains.rack_aware_placement && domain_count < scheme.total_blocks) {
+      throw std::invalid_argument(
+          "config: rack-aware placement needs at least n failure domains");
+    }
+  }
+  if (latent_errors.enabled) {
+    if (!(latent_errors.bytes_per_ure > 0.0)) {
+      throw std::invalid_argument("config: bytes_per_ure must be positive");
+    }
+    if (latent_errors.scrub_efficiency < 0.0 ||
+        latent_errors.scrub_efficiency > 1.0) {
+      throw std::invalid_argument("config: scrub_efficiency must be in [0, 1]");
+    }
+  }
+}
+
+std::string SystemConfig::summary() const {
+  std::ostringstream os;
+  os << util::to_string(total_user_data) << " user data, scheme " << scheme.str()
+     << ", groups of " << util::to_string(group_size) << " ("
+     << group_count() << " groups on " << disk_count() << " disks), "
+     << to_string(recovery_mode) << ", detect "
+     << util::to_string(detection_latency) << ", recover at "
+     << util::to_string(recovery_bandwidth);
+  return os.str();
+}
+
+}  // namespace farm::core

@@ -1,0 +1,175 @@
+// System configuration (paper Table 2) and derived quantities.
+//
+// Defaults reproduce the paper's base system: 2 PB of user data on 1 TB /
+// 80 MB/s drives at 40 % initial utilization, two-way mirroring in 10 GB
+// redundancy groups, 30 s failure detection, 16 MB/s (20 % of disk
+// bandwidth) reserved for recovery, six-year mission with Elerath's bathtub
+// failure rates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "disk/disk.hpp"
+#include "disk/smart.hpp"
+#include "erasure/scheme.hpp"
+#include "farm/workload.hpp"
+#include "placement/placement.hpp"
+#include "util/units.hpp"
+
+namespace farm::core {
+
+enum class RecoveryMode {
+  kFarm,                // declustered distributed recovery (the contribution)
+  kDedicatedSpare,      // traditional RAID rebuild onto one spare disk
+  kDistributedSparing,  // Menon-Mattson '92: serial rebuild, scattered targets
+};
+[[nodiscard]] std::string to_string(RecoveryMode mode);
+
+enum class DetectorKind {
+  kConstant,   // failure detected a fixed latency after it happens
+  kHeartbeat,  // detected at the next heartbeat probe + timeout
+};
+
+/// Which of FARM's recovery-target rules are enforced (paper §2.3; the
+/// ablation bench switches these off one at a time).  "Must be alive" is not
+/// optional — a dead target is meaningless.
+struct TargetRules {
+  bool skip_buddies = true;       // (b) no existing block of the same group
+  bool honor_reservation = true;  // (c) respect the spare-space ceiling
+  bool prefer_low_load = true;    // pick the least-loaded of a few candidates
+  bool avoid_suspect = true;      // skip disks SMART has flagged
+  unsigned probe_width = 4;       // candidates examined for load comparison
+};
+
+/// Latent sector errors during rebuild reads (an extension beyond the
+/// paper, which models whole-disk failures only).  A rebuild needs m clean
+/// source blocks; each source read independently hits an unrecoverable
+/// read error with probability 1 - exp(-bytes / bytes_per_ure), discounted
+/// by background scrubbing.  A rebuild that cannot gather m clean sources
+/// loses the group — the classic "RAID 5 + URE" failure mode.
+struct LatentErrorConfig {
+  bool enabled = false;
+  /// Bytes read per unrecoverable read error; 1.25e14 B corresponds to the
+  /// 10^-14-per-bit rating of contemporary desktop drives.
+  double bytes_per_ure = 1.25e14;
+  /// Fraction of latent errors repaired by scrubbing before a rebuild
+  /// needs the data (0 = no scrubbing, 1 = perfect scrubbing).
+  double scrub_efficiency = 0.0;
+};
+
+/// Correlated failure domains (paper §2.2: "placement and support services
+/// to the disk introduce common failure causes such as a localized failure
+/// in the cooling system").  Disks are grouped into enclosures; an
+/// enclosure event destroys every drive in it at once.  Rack-aware
+/// placement spreads a group's blocks across enclosures so that one such
+/// event costs each group at most one block.
+struct DomainConfig {
+  bool enabled = false;
+  std::size_t disks_per_domain = 64;  // one enclosure/rack of drives
+  /// Mean time between destructive enclosure events, per enclosure.
+  util::Seconds domain_mtbf = util::hours(2.0e6);
+  /// Spread each group's blocks across distinct enclosures (initial layout
+  /// and recovery targets).  Ignored when `enabled` is false.
+  bool rack_aware_placement = true;
+};
+
+/// Batch drive replacement (paper §3.6).
+struct ReplacementConfig {
+  bool enabled = false;
+  /// A batch is ordered once this fraction of the original population has
+  /// failed (paper examines 0.2, 0.4, 0.6, 0.8).
+  double loss_fraction_threshold = 0.2;
+  /// Relative placement weight of the new disks (1.0 = same as existing;
+  /// the paper sets new-disk weight equal to existing drives for simplicity).
+  double new_disk_weight = 1.0;
+};
+
+struct SystemConfig {
+  // --- workload / redundancy ---------------------------------------------
+  util::Bytes total_user_data = util::petabytes(2);
+  util::Bytes group_size = util::gigabytes(10);  // user data per group
+  erasure::Scheme scheme{1, 2};                  // two-way mirroring
+
+  // --- devices -------------------------------------------------------------
+  disk::DiskParameters disk;
+  double initial_utilization = 0.40;  // fraction of capacity filled at t0
+  double spare_reservation = 0.40;    // extra capacity usable for recovery
+  /// Best-of-d choices at initial layout: each block examines this many
+  /// feasible candidates and takes the emptiest.  2 (default) gives the
+  /// tight per-disk balance the paper's Table 3 reports; 1 is pure hashing.
+  unsigned initial_placement_choices = 2;
+  /// Lifetime distribution.  The paper uses the Table 1 bathtub; the
+  /// exponential option exists for the Markov-model cross-validation and
+  /// Weibull for sensitivity studies.
+  enum class FailureLaw { kBathtubTable1, kExponential, kWeibull } failure_law =
+      FailureLaw::kBathtubTable1;
+  double hazard_scale = 1.0;             // Fig 8(b): 2.0 doubles Table 1 rates
+  util::Seconds exponential_mttf = util::hours(500000);  // kExponential only
+  double weibull_shape = 0.8;            // kWeibull only
+  util::Seconds weibull_scale = util::hours(600000);     // kWeibull only
+
+  // --- recovery -------------------------------------------------------------
+  RecoveryMode recovery_mode = RecoveryMode::kFarm;
+  util::Bandwidth recovery_bandwidth = util::mb_per_sec(16);
+  /// Drain-rate multiplier for the dedicated spare's rebuild queue.  1.0
+  /// (default) caps the spare at the recovery bandwidth like everything
+  /// else; 5.0 models a spare whose pure write stream runs at the full
+  /// 80 MB/s while forty declustered sources feed it at 16 MB/s each.
+  double spare_rebuild_speedup = 1.0;
+  /// Time to fetch and install a replacement drive before the dedicated
+  /// spare's rebuild can begin (0 = hot spare already racked).
+  util::Seconds spare_provision_delay{0.0};
+  /// Emergency priority for *critical* groups — groups that have exhausted
+  /// their fault tolerance (one more failure loses data).  Their rebuilds
+  /// run at this multiple of the recovery bandwidth, up to the disk limit
+  /// (modern systems raise recovery priority for such groups).  1.0 = off.
+  double critical_rebuild_speedup = 1.0;
+  DetectorKind detector = DetectorKind::kConstant;
+  util::Seconds detection_latency = util::seconds(30);
+  util::Seconds heartbeat_interval = util::seconds(10);  // kHeartbeat only
+  TargetRules target_rules;
+  disk::SmartConfig smart;
+  WorkloadConfig workload;  // kNone = the paper's fixed recovery bandwidth
+  LatentErrorConfig latent_errors;  // off = the paper's whole-disk model
+  /// Collect per-disk recovery read/write byte counters (degraded-mode load
+  /// analysis); off by default, it costs a vector per trial.
+  bool collect_recovery_load = false;
+
+  // --- placement / dynamics -------------------------------------------------
+  placement::PolicyKind placement = placement::PolicyKind::kRush;
+  ReplacementConfig replacement;
+  DomainConfig domains;  // off = the paper's independent-disk model
+
+  // --- mission ---------------------------------------------------------------
+  util::Seconds mission_time = util::years(6);
+
+  // --- instrumentation --------------------------------------------------------
+  bool collect_utilization = false;  // per-disk byte accounting snapshots
+  bool stop_at_first_loss = false;   // end the trial at the first data loss
+
+  // --- derived quantities ------------------------------------------------------
+  /// Bytes in one stored block: group user data split over m data blocks.
+  [[nodiscard]] util::Bytes block_size() const;
+  /// Total bytes a group occupies (n blocks).
+  [[nodiscard]] util::Bytes group_footprint() const;
+  /// Number of redundancy groups needed for total_user_data.
+  [[nodiscard]] std::uint64_t group_count() const;
+  /// Raw bytes stored across the system (user data / storage efficiency).
+  [[nodiscard]] util::Bytes raw_data() const;
+  /// Disk population chosen so the initial utilization comes out right
+  /// (2 PB mirrored at 40 % on 1 TB drives -> 10,000 disks, §3.5).
+  [[nodiscard]] std::uint64_t disk_count() const;
+  /// Time to rebuild one block at the recovery bandwidth — the denominator
+  /// of the paper's Fig 4(b) latency/recovery ratio.
+  [[nodiscard]] util::Seconds block_rebuild_time() const;
+
+  /// Throws std::invalid_argument when parameters are inconsistent
+  /// (utilization over 1, group larger than a disk, ...).
+  void validate() const;
+
+  /// One-line summary for bench headers.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace farm::core

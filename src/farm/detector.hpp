@@ -1,0 +1,49 @@
+// Failure detection latency model (paper §3.3).
+//
+// "The window of vulnerability consists of the time to detect a failure and
+// the time to rebuild the data."  Detection strategy itself is out of the
+// paper's scope; it measures the *impact of the latency*, so the model is a
+// latency function: given when a disk died, when does the system notice?
+#pragma once
+
+#include <cmath>
+
+#include "farm/config.hpp"
+#include "util/units.hpp"
+
+namespace farm::core {
+
+class FailureDetector {
+ public:
+  FailureDetector(DetectorKind kind, util::Seconds latency,
+                  util::Seconds heartbeat_interval)
+      : kind_(kind), latency_(latency), heartbeat_(heartbeat_interval) {}
+
+  static FailureDetector from_config(const SystemConfig& cfg) {
+    return {cfg.detector, cfg.detection_latency, cfg.heartbeat_interval};
+  }
+
+  /// Absolute time the failure at `failed_at` is detected.
+  [[nodiscard]] util::Seconds detection_time(util::Seconds failed_at) const {
+    switch (kind_) {
+      case DetectorKind::kConstant:
+        return failed_at + latency_;
+      case DetectorKind::kHeartbeat: {
+        // The next probe after the failure notices the missing heartbeat,
+        // then the timeout (latency_) must elapse before the disk is
+        // declared dead.
+        const double hb = heartbeat_.value();
+        const double next_probe = std::ceil(failed_at.value() / hb) * hb;
+        return util::Seconds{next_probe} + latency_;
+      }
+    }
+    return failed_at + latency_;
+  }
+
+ private:
+  DetectorKind kind_;
+  util::Seconds latency_;
+  util::Seconds heartbeat_;
+};
+
+}  // namespace farm::core

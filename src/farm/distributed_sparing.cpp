@@ -1,0 +1,69 @@
+#include "farm/distributed_sparing.hpp"
+
+#include <algorithm>
+
+namespace farm::core {
+
+DistributedSparingRecovery::DistributedSparingRecovery(StorageSystem& system,
+                                                       sim::Simulator& sim,
+                                                       Metrics& metrics)
+    : RecoveryPolicy(system, sim, metrics),
+      selector_(system, system.config().target_rules) {}
+
+void DistributedSparingRecovery::start_rebuild(GroupIndex g, BlockIndex b,
+                                               unsigned attempt) {
+  const auto excluded = inflight_targets(g);
+  const TargetSelector::Choice choice =
+      selector_.select(g, queue_free_times(), sim_.now(), excluded);
+  if (choice.disk == kNoDisk) {
+    metrics_.record_stall();
+    // Exponential backoff, capped at a week: a permanently-full cluster must
+    // not flood the event queue with hourly probes.
+    const double delay =
+        std::min(7.0 * 86400.0, 3600.0 * static_cast<double>(1u << std::min(attempt, 8u)));
+    sim_.schedule_in(util::Seconds{delay}, [this, g, b, attempt] {
+      const GroupState& st = system_.state(g);
+      if (st.dead) return;
+      if (system_.disk_at(system_.home(g, b)).alive()) return;
+      if (block_in_flight(g, b)) return;
+      start_rebuild(g, b, attempt + 1);
+    });
+    return;
+  }
+  system_.state(g).next_rank = choice.next_rank;
+  system_.disk_at(choice.disk).allocate(system_.block_bytes());
+  const RebuildId id = alloc_rebuild(g, b, choice.disk);
+  // Serialize on the dead disk's reconstruction stream, not on the target:
+  // distributed sparing's writes are scattered, but each failed disk's
+  // rebuild engine works through that disk's contents one block at a time.
+  double& stream = stream_free_[system_.home(g, b)];
+  const double start = std::max(sim_.now().value(), stream);
+  const double done = start + transfer_seconds_at(start);
+  stream = done;
+  rebuild(id).done =
+      sim_.schedule_at(util::Seconds{done}, [this, id] { complete_rebuild(id); });
+}
+
+void DistributedSparingRecovery::on_failure_detected(DiskId d) {
+  for (const BlockRef ref : take_pending_lost(d)) {
+    if (system_.state(ref.group).dead) continue;
+    if (block_in_flight(ref.group, ref.block)) continue;
+    start_rebuild(ref.group, ref.block);
+  }
+}
+
+void DistributedSparingRecovery::handle_target_failure(
+    DiskId, const std::vector<RebuildId>& ids) {
+  // A scattered write target died: redirect each affected block to another
+  // disk.  The stream slot is re-queued at the tail (the reconstruction
+  // engine has to redo that block).
+  for (const RebuildId id : ids) {
+    const GroupIndex g = rebuild(id).group;
+    const BlockIndex b = rebuild(id).block;
+    free_rebuild(id);
+    if (system_.state(g).dead) continue;
+    start_rebuild(g, b);
+  }
+}
+
+}  // namespace farm::core

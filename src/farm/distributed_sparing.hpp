@@ -1,0 +1,44 @@
+// Distributed sparing (Menon & Mattson, Compcon '92) — the historical
+// middle ground the paper builds on (§2.4): spare *space* is spread over
+// the array, so rebuild writes are distributed and normal-mode load enjoys
+// one more spindle, but the rebuild itself is still one logical process
+// that walks the dead disk's contents block by block.
+//
+// Contrast with the two other policies:
+//   * dedicated spare — serial rebuild, single target disk;
+//   * distributed sparing — serial rebuild, scattered targets (this class);
+//   * FARM — parallel per-group rebuilds, scattered targets.
+// Reliability-wise its window of vulnerability matches the dedicated spare
+// (capacity/bandwidth), which is exactly why the paper pushes further to
+// FARM; this implementation exists to measure that gap.
+#pragma once
+
+#include "farm/recovery.hpp"
+#include "farm/target_selector.hpp"
+
+namespace farm::core {
+
+class DistributedSparingRecovery final : public RecoveryPolicy {
+ public:
+  DistributedSparingRecovery(StorageSystem& system, sim::Simulator& sim,
+                             Metrics& metrics);
+
+  [[nodiscard]] std::string name() const override { return "distributed-sparing"; }
+  void on_failure_detected(DiskId d) override;
+
+ protected:
+  void handle_target_failure(DiskId d, const std::vector<RebuildId>& ids) override;
+
+ private:
+  /// Starts one block's rebuild on its dead disk's serial stream.
+  void start_rebuild(GroupIndex g, BlockIndex b, unsigned attempt = 0);
+
+  TargetSelector selector_;
+  /// One logical rebuild process per failed disk (as in a disk array: the
+  /// reconstruction walks that disk's contents block by block), keyed by
+  /// the dead disk.  Writes scatter, but each disk's rebuild is serial —
+  /// unlike FARM, where every group rebuilds independently.
+  std::unordered_map<DiskId, double> stream_free_;
+};
+
+}  // namespace farm::core

@@ -1,0 +1,92 @@
+#include "farm/farm_recovery.hpp"
+
+#include <algorithm>
+
+namespace farm::core {
+
+FarmRecovery::FarmRecovery(StorageSystem& system, sim::Simulator& sim,
+                           Metrics& metrics)
+    : RecoveryPolicy(system, sim, metrics),
+      selector_(system, system.config().target_rules) {}
+
+DiskId FarmRecovery::pick_target(GroupIndex g) {
+  const auto excluded = inflight_targets(g);
+  const TargetSelector::Choice choice =
+      selector_.select(g, queue_free_times(), sim_.now(), excluded);
+  if (choice.disk != kNoDisk) {
+    system_.state(g).next_rank = choice.next_rank;
+  }
+  return choice.disk;
+}
+
+void FarmRecovery::start_rebuild(GroupIndex g, BlockIndex b, unsigned attempt) {
+  const DiskId target = pick_target(g);
+  if (target == kNoDisk) {
+    metrics_.record_stall();
+    schedule_retry(g, b, attempt + 1);
+    return;
+  }
+  system_.disk_at(target).allocate(system_.block_bytes());
+  const RebuildId id = alloc_rebuild(g, b, target);
+  // Groups at the edge of their fault tolerance rebuild with emergency
+  // priority when configured (critical_rebuild_speedup > 1).
+  const bool critical =
+      system_.state(g).unavailable >= system_.config().scheme.fault_tolerance();
+  const double speedup =
+      critical ? system_.config().critical_rebuild_speedup : 1.0;
+  const util::Seconds done_at = enqueue_transfer(target, speedup);
+  rebuild(id).done = sim_.schedule_at(done_at, [this, id] { complete_rebuild(id); });
+}
+
+void FarmRecovery::schedule_retry(GroupIndex g, BlockIndex b, unsigned attempt) {
+  const double delay = std::min(
+      kRetryDelayCapSec, kRetryDelaySec * static_cast<double>(1u << std::min(attempt, 8u)));
+  sim_.schedule_in(util::Seconds{delay}, [this, g, b, attempt] {
+    const GroupState& st = system_.state(g);
+    if (st.dead) return;
+    // The block may have been rebuilt through another path (e.g. a
+    // replacement batch migration) or may already be in flight again.
+    if (system_.disk_at(system_.home(g, b)).alive()) return;
+    if (block_in_flight(g, b)) return;
+    start_rebuild(g, b, attempt);
+  });
+}
+
+void FarmRecovery::on_failure_detected(DiskId d) {
+  for (const BlockRef ref : take_pending_lost(d)) {
+    const GroupState& st = system_.state(ref.group);
+    if (st.dead) continue;
+    if (block_in_flight(ref.group, ref.block)) continue;
+    start_rebuild(ref.group, ref.block);
+  }
+}
+
+void FarmRecovery::handle_target_failure(DiskId, const std::vector<RebuildId>& ids) {
+  // "Even with S.M.A.R.T., the possibility that a recovery target fails
+  // during the data rebuild process remains.  In this case, we merely choose
+  // an alternative target." (§2.3)
+  for (const RebuildId id : ids) {
+    const GroupIndex g = rebuild(id).group;
+    const BlockIndex b = rebuild(id).block;
+    if (system_.state(g).dead) {
+      free_rebuild(id);
+      continue;
+    }
+    const DiskId target = pick_target(g);
+    if (target == kNoDisk) {
+      metrics_.record_stall();
+      free_rebuild(id);
+      schedule_retry(g, b, /*attempt=*/1);
+      continue;
+    }
+    system_.disk_at(target).allocate(system_.block_bytes());
+    retarget(id, target);
+    const bool critical =
+        system_.state(g).unavailable >= system_.config().scheme.fault_tolerance();
+    const util::Seconds done_at = enqueue_transfer(
+        target, critical ? system_.config().critical_rebuild_speedup : 1.0);
+    rebuild(id).done = sim_.schedule_at(done_at, [this, id] { complete_rebuild(id); });
+  }
+}
+
+}  // namespace farm::core

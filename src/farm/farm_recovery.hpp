@@ -1,0 +1,44 @@
+// FARM: declustered distributed recovery (paper §2, the contribution).
+//
+// When a failure is detected, every redundancy group that lost a block gets
+// its own independent rebuild onto a target drawn from the group's placement
+// candidate list, so thousands of small rebuilds proceed in parallel across
+// the cluster instead of one disk-sized rebuild serializing on a spare.  The
+// window of vulnerability per group shrinks from "rebuild a whole disk" to
+// "detect + copy one block".
+#pragma once
+
+#include "farm/recovery.hpp"
+#include "farm/target_selector.hpp"
+
+namespace farm::core {
+
+class FarmRecovery final : public RecoveryPolicy {
+ public:
+  FarmRecovery(StorageSystem& system, sim::Simulator& sim, Metrics& metrics);
+
+  [[nodiscard]] std::string name() const override { return "farm"; }
+  void on_failure_detected(DiskId d) override;
+
+ protected:
+  void handle_target_failure(DiskId d, const std::vector<RebuildId>& ids) override;
+
+ private:
+  /// Starts (or re-starts) the rebuild of one lost block.  Falls back to a
+  /// deferred retry when no feasible target exists right now.
+  void start_rebuild(GroupIndex g, BlockIndex b, unsigned attempt = 0);
+  void schedule_retry(GroupIndex g, BlockIndex b, unsigned attempt);
+
+  /// Picks a target honoring the §2.3 rules; kNoDisk when nothing feasible.
+  [[nodiscard]] DiskId pick_target(GroupIndex g);
+
+  TargetSelector selector_;
+  /// Base delay before re-probing for a target when the cluster had no
+  /// feasible disk (full / all suspect); doubles per attempt up to a day,
+  /// so a permanently-full cluster costs one event per block per week
+  /// instead of per hour.
+  static constexpr double kRetryDelaySec = 3600.0;
+  static constexpr double kRetryDelayCapSec = 7.0 * 86400.0;
+};
+
+}  // namespace farm::core

@@ -1,0 +1,171 @@
+// Per-trial measurement collection and the aggregate result structs the
+// bench binaries print.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace farm::core {
+
+/// Optional event sink for timeline tracing: (simulated seconds, event
+/// kind, primary id).  Kinds emitted: "disk_failed", "domain_failed",
+/// "detected", "rebuild_complete", "redirected", "data_loss", "batch",
+/// "stall".  Wired through Metrics so every policy reports uniformly.
+using TraceFn =
+    std::function<void(double t, std::string_view event, std::uint64_t id)>;
+
+/// Counters collected over one simulated mission.
+class Metrics {
+ public:
+  /// Installs a timeline sink; pass {} to disable (the default — tracing
+  /// costs one branch per recorded event when off).
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+  void trace(double t, std::string_view event, std::uint64_t id) const {
+    if (trace_) trace_(t, event, id);
+  }
+  [[nodiscard]] bool tracing() const { return static_cast<bool>(trace_); }
+
+  void record_disk_failure() { ++disk_failures_; }
+  void record_domain_failure() { ++domain_failures_; }
+  [[nodiscard]] std::uint64_t domain_failures() const { return domain_failures_; }
+  void record_loss(util::Seconds when, std::uint64_t groups = 1) {
+    if (lost_groups_ == 0) first_loss_ = when;
+    lost_groups_ += groups;
+  }
+  void record_rebuild_completed() { ++rebuilds_; }
+  /// A rebuild failed because latent sector errors left fewer than m clean
+  /// sources; the group's data is (partially) lost.
+  void record_ure_loss() { ++ure_losses_; }
+  [[nodiscard]] std::uint64_t ure_losses() const { return ure_losses_; }
+  /// Window of vulnerability of one rebuilt block: seconds from its disk's
+  /// failure to the rebuild's completion (detection + queueing + transfer,
+  /// §3.3).
+  void record_window(util::Seconds window) { windows_.add(window.value()); }
+  void record_redirection() { ++redirections_; }
+  void record_stall() { ++stalls_; }
+  void record_batch(std::uint64_t migrated_blocks) {
+    ++batches_;
+    migrated_blocks_ += migrated_blocks;
+  }
+
+  /// Per-disk recovery I/O accounting (degraded-mode load analysis).  Off
+  /// by default; enabling costs two vectors sized by disk slots.
+  void enable_load_tracking() { track_load_ = true; }
+  [[nodiscard]] bool load_tracking() const { return track_load_; }
+  void record_recovery_read(std::uint32_t disk, double bytes) {
+    if (!track_load_) return;
+    if (disk >= read_bytes_.size()) read_bytes_.resize(disk + 1, 0.0);
+    read_bytes_[disk] += bytes;
+  }
+  void record_recovery_write(std::uint32_t disk, double bytes) {
+    if (!track_load_) return;
+    if (disk >= write_bytes_.size()) write_bytes_.resize(disk + 1, 0.0);
+    write_bytes_[disk] += bytes;
+  }
+  [[nodiscard]] const std::vector<double>& recovery_read_bytes() const {
+    return read_bytes_;
+  }
+  [[nodiscard]] const std::vector<double>& recovery_write_bytes() const {
+    return write_bytes_;
+  }
+
+  [[nodiscard]] bool data_lost() const { return lost_groups_ > 0; }
+  [[nodiscard]] std::uint64_t lost_groups() const { return lost_groups_; }
+  [[nodiscard]] util::Seconds first_loss() const { return first_loss_; }
+  [[nodiscard]] std::uint64_t disk_failures() const { return disk_failures_; }
+  [[nodiscard]] std::uint64_t rebuilds_completed() const { return rebuilds_; }
+  [[nodiscard]] std::uint64_t redirections() const { return redirections_; }
+  [[nodiscard]] std::uint64_t stalls() const { return stalls_; }
+  [[nodiscard]] std::uint64_t batches() const { return batches_; }
+  [[nodiscard]] std::uint64_t migrated_blocks() const { return migrated_blocks_; }
+  [[nodiscard]] const util::OnlineStats& windows() const { return windows_; }
+
+ private:
+  std::uint64_t disk_failures_ = 0;
+  std::uint64_t domain_failures_ = 0;
+  std::uint64_t lost_groups_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t ure_losses_ = 0;
+  std::uint64_t redirections_ = 0;
+  std::uint64_t stalls_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t migrated_blocks_ = 0;
+  util::Seconds first_loss_{std::numeric_limits<double>::infinity()};
+  bool track_load_ = false;
+  std::vector<double> read_bytes_;
+  std::vector<double> write_bytes_;
+  util::OnlineStats windows_;
+  TraceFn trace_;
+};
+
+/// Snapshot of one trial, returned by ReliabilitySimulator::run().
+struct TrialResult {
+  bool data_lost = false;
+  util::Seconds first_loss{std::numeric_limits<double>::infinity()};
+  std::uint64_t lost_groups = 0;
+  std::uint64_t disk_failures = 0;
+  std::uint64_t domain_failures = 0;
+  std::uint64_t rebuilds_completed = 0;
+  std::uint64_t ure_losses = 0;
+  std::uint64_t redirections = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t migrated_blocks = 0;
+  std::uint64_t events_executed = 0;
+  /// Window of vulnerability per rebuilt block (seconds).
+  double mean_window_sec = 0.0;
+  double max_window_sec = 0.0;
+  /// Fraction of block-time spent degraded over the mission: total window
+  /// seconds across rebuilt blocks / (total blocks x mission time).  A
+  /// proxy for how often user reads hit reconstruction paths.
+  double degraded_exposure = 0.0;
+  /// Per-disk used bytes at t0 / mission end; filled only when
+  /// SystemConfig::collect_utilization is set (failed disks report 0).
+  std::vector<double> initial_used_bytes;
+  std::vector<double> final_used_bytes;
+  /// Per-disk recovery I/O over the mission; filled only when
+  /// SystemConfig::collect_recovery_load is set.
+  std::vector<double> recovery_read_bytes;
+  std::vector<double> recovery_write_bytes;
+};
+
+/// Monte-Carlo aggregate over many trials of one configuration.
+struct MonteCarloResult {
+  std::size_t trials = 0;
+  std::size_t trials_with_loss = 0;
+  util::Interval loss_ci{0.0, 1.0};  // Wilson 95 %
+  double mean_disk_failures = 0.0;
+  double mean_rebuilds = 0.0;
+  double mean_redirections = 0.0;
+  /// Fraction of trials that redirected at least once (paper §2.3: "fewer
+  /// than 8 % of our systems even once during simulated six years").
+  double frac_trials_with_redirection = 0.0;
+  double mean_lost_groups = 0.0;
+  double mean_ure_losses = 0.0;
+  double mean_stalls = 0.0;
+  double mean_batches = 0.0;
+  /// Window of vulnerability pooled across trials: mean of per-trial means,
+  /// max of per-trial maxima (seconds).
+  double mean_window_sec = 0.0;
+  double max_window_sec = 0.0;
+  double mean_domain_failures = 0.0;
+  double mean_degraded_exposure = 0.0;
+  double mean_migrated_blocks = 0.0;
+  /// Pooled per-disk utilization (bytes), when collected.
+  util::OnlineStats initial_utilization;
+  util::OnlineStats final_utilization;
+
+  [[nodiscard]] double loss_probability() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(trials_with_loss) /
+                             static_cast<double>(trials);
+  }
+};
+
+}  // namespace farm::core

@@ -1,0 +1,85 @@
+#include "farm/monte_carlo.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace farm::core {
+
+MonteCarloResult run_monte_carlo(const SystemConfig& config,
+                                 const MonteCarloOptions& options) {
+  config.validate();
+  util::ThreadPool& pool = options.pool ? *options.pool : util::global_pool();
+  const util::SeedSequence seeds{options.master_seed};
+
+  MonteCarloResult agg;
+  agg.trials = options.trials;
+  std::mutex mu;
+  double sum_failures = 0.0, sum_rebuilds = 0.0, sum_redirections = 0.0;
+  double sum_lost_groups = 0.0, sum_batches = 0.0, sum_migrated = 0.0;
+  double sum_stalls = 0.0, sum_ure_losses = 0.0;
+  double sum_window = 0.0, max_window = 0.0;
+  double sum_domain_failures = 0.0, sum_exposure = 0.0;
+  std::size_t trials_with_windows = 0;
+  std::size_t with_redirection = 0;
+
+  pool.parallel_for_index(options.trials, [&](std::size_t i) {
+    const TrialResult r = run_trial(config, seeds.stream(i));
+    std::lock_guard lock(mu);
+    if (r.data_lost) ++agg.trials_with_loss;
+    sum_failures += static_cast<double>(r.disk_failures);
+    sum_rebuilds += static_cast<double>(r.rebuilds_completed);
+    sum_redirections += static_cast<double>(r.redirections);
+    sum_lost_groups += static_cast<double>(r.lost_groups);
+    sum_ure_losses += static_cast<double>(r.ure_losses);
+    sum_stalls += static_cast<double>(r.stalls);
+    if (r.rebuilds_completed > 0) {
+      sum_window += r.mean_window_sec;
+      max_window = std::max(max_window, r.max_window_sec);
+      ++trials_with_windows;
+    }
+    sum_domain_failures += static_cast<double>(r.domain_failures);
+    sum_exposure += r.degraded_exposure;
+    sum_batches += static_cast<double>(r.batches);
+    sum_migrated += static_cast<double>(r.migrated_blocks);
+    if (r.redirections > 0) ++with_redirection;
+    for (double u : r.initial_used_bytes) agg.initial_utilization.add(u);
+    for (double u : r.final_used_bytes) agg.final_utilization.add(u);
+    if (options.observer) options.observer(i, r);
+  });
+
+  const auto n = static_cast<double>(options.trials);
+  if (options.trials > 0) {
+    agg.mean_disk_failures = sum_failures / n;
+    agg.mean_rebuilds = sum_rebuilds / n;
+    agg.mean_redirections = sum_redirections / n;
+    agg.mean_lost_groups = sum_lost_groups / n;
+    agg.mean_ure_losses = sum_ure_losses / n;
+    agg.mean_stalls = sum_stalls / n;
+    if (trials_with_windows > 0) {
+      agg.mean_window_sec = sum_window / static_cast<double>(trials_with_windows);
+      agg.max_window_sec = max_window;
+    }
+    agg.mean_domain_failures = sum_domain_failures / n;
+    agg.mean_degraded_exposure = sum_exposure / n;
+    agg.mean_batches = sum_batches / n;
+    agg.mean_migrated_blocks = sum_migrated / n;
+    agg.frac_trials_with_redirection =
+        static_cast<double>(with_redirection) / n;
+  }
+  agg.loss_ci = util::wilson_interval(agg.trials_with_loss, options.trials);
+  return agg;
+}
+
+std::size_t bench_trials(std::size_t fallback) {
+  if (const char* env = std::getenv("FARM_TRIALS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+}  // namespace farm::core

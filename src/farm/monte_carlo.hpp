@@ -1,0 +1,34 @@
+// Monte-Carlo harness: many independent missions of one configuration,
+// fanned out over a thread pool, aggregated with Wilson confidence
+// intervals.  Trial i of master seed S always uses the same child seed, so
+// any individual trial can be replayed in isolation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "farm/metrics.hpp"
+#include "farm/reliability_sim.hpp"
+#include "util/thread_pool.hpp"
+
+namespace farm::core {
+
+struct MonteCarloOptions {
+  std::size_t trials = 100;
+  std::uint64_t master_seed = 0x5eedfa12;
+  /// Pool to run on; nullptr = util::global_pool().
+  util::ThreadPool* pool = nullptr;
+  /// Optional per-trial observer (called on a worker thread, unsynchronized
+  /// with other trials; the harness serializes calls).
+  std::function<void(std::size_t, const TrialResult&)> observer;
+};
+
+/// Runs `options.trials` missions of `config` and aggregates.
+[[nodiscard]] MonteCarloResult run_monte_carlo(const SystemConfig& config,
+                                               const MonteCarloOptions& options);
+
+/// Trial-count default for bench binaries: reads the FARM_TRIALS environment
+/// variable, else `fallback`.
+[[nodiscard]] std::size_t bench_trials(std::size_t fallback);
+
+}  // namespace farm::core

@@ -1,0 +1,247 @@
+#include "farm/recovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "farm/distributed_sparing.hpp"
+#include "farm/farm_recovery.hpp"
+#include "farm/spare_recovery.hpp"
+
+namespace farm::core {
+
+RecoveryPolicy::RecoveryPolicy(StorageSystem& system, sim::Simulator& sim,
+                               Metrics& metrics)
+    : system_(system),
+      sim_(sim),
+      metrics_(metrics),
+      // Derived from config, not from StorageSystem::block_bytes(): policies
+      // may be constructed before the system is initialized.
+      rebuild_duration_(system.config().block_rebuild_time()),
+      workload_(system.config().workload, system.config().disk.bandwidth,
+                system.config().recovery_bandwidth) {}
+
+void RecoveryPolicy::ensure_disk_slots(DiskId d) {
+  if (d >= by_target_.size()) {
+    by_target_.resize(d + 1);
+    queue_free_.resize(d + 1, 0.0);
+  }
+}
+
+RecoveryPolicy::RebuildId RecoveryPolicy::alloc_rebuild(GroupIndex g, BlockIndex b,
+                                                        DiskId target) {
+  ensure_disk_slots(target);
+  RebuildId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = static_cast<RebuildId>(slab_.size());
+    slab_.emplace_back();
+  }
+  slab_[id] = Rebuild{g, b, target, sim::EventHandle{}, /*live=*/true};
+  by_target_[target].push_back(id);
+  by_group_[g].push_back(id);
+  system_.disk_at(target).add_recovery_stream();
+  return id;
+}
+
+void RecoveryPolicy::free_rebuild(RebuildId id) {
+  Rebuild& r = slab_[id];
+  auto drop = [id](std::vector<RebuildId>& v) {
+    const auto it = std::find(v.begin(), v.end(), id);
+    if (it != v.end()) {
+      *it = v.back();
+      v.pop_back();
+    }
+  };
+  if (r.target < by_target_.size()) drop(by_target_[r.target]);
+  // Stream accounting: dead targets keep their (now meaningless) count.
+  if (system_.disk_at(r.target).alive()) {
+    system_.disk_at(r.target).remove_recovery_stream();
+  }
+  const auto git = by_group_.find(r.group);
+  if (git != by_group_.end()) {
+    drop(git->second);
+    if (git->second.empty()) by_group_.erase(git);
+  }
+  r.live = false;
+  free_ids_.push_back(id);
+}
+
+bool RecoveryPolicy::block_in_flight(GroupIndex g, BlockIndex b) const {
+  const auto it = by_group_.find(g);
+  if (it == by_group_.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [&](RebuildId id) { return slab_[id].block == b; });
+}
+
+std::vector<DiskId> RecoveryPolicy::inflight_targets(GroupIndex g) const {
+  std::vector<DiskId> targets;
+  const auto it = by_group_.find(g);
+  if (it == by_group_.end()) return targets;
+  targets.reserve(it->second.size());
+  for (RebuildId id : it->second) targets.push_back(slab_[id].target);
+  return targets;
+}
+
+void RecoveryPolicy::retarget(RebuildId id, DiskId new_target) {
+  ensure_disk_slots(new_target);
+  slab_[id].target = new_target;
+  by_target_[new_target].push_back(id);
+  system_.disk_at(new_target).add_recovery_stream();
+}
+
+void RecoveryPolicy::reserve_queue_until(DiskId d, double until_sec) {
+  ensure_disk_slots(d);
+  queue_free_[d] = std::max(queue_free_[d], until_sec);
+}
+
+util::Seconds RecoveryPolicy::enqueue_transfer(DiskId target, double rate_scale) {
+  ensure_disk_slots(target);
+  const double start = std::max(sim_.now().value(), queue_free_[target]);
+  const double done = start + transfer_seconds_at(start) / rate_scale;
+  queue_free_[target] = done;
+  return util::Seconds{done};
+}
+
+void RecoveryPolicy::complete_rebuild(RebuildId id) {
+  Rebuild& r = slab_[id];
+  // Latent sector errors: the reconstruction read m source blocks; each may
+  // independently hit an unrecoverable read error.  With fewer than m clean
+  // sources among the group's live blocks, the rebuild fails and the group
+  // loses data (the classic RAID-5 + URE failure mode).
+  const auto& latent = system_.config().latent_errors;
+  if (latent.enabled) {
+    const double p_dirty =
+        (1.0 - latent.scrub_efficiency) *
+        (1.0 - std::exp(-system_.block_bytes().value() / latent.bytes_per_ure));
+    const unsigned m = system_.config().scheme.data_blocks;
+    unsigned clean = 0;
+    for (unsigned b = 0; b < system_.blocks_per_group(); ++b) {
+      if (b == r.block) continue;
+      if (!system_.disk_at(system_.home(r.group, static_cast<BlockIndex>(b))).alive()) {
+        continue;
+      }
+      if (!system_.rng().bernoulli(p_dirty)) ++clean;
+    }
+    if (clean < m) {
+      metrics_.record_ure_loss();
+      // mark_group_loss cancels this group's rebuilds — including this
+      // record — releasing the reserved target space.
+      mark_group_loss(r.group);
+      return;
+    }
+  }
+  // The block's home still points at the disk whose death orphaned it; the
+  // window of vulnerability runs from that disk's failure until now.
+  if (const auto it = failed_at_.find(system_.home(r.group, r.block));
+      it != failed_at_.end()) {
+    metrics_.record_window(sim_.now() - util::Seconds{it->second});
+  }
+  if (metrics_.load_tracking()) {
+    // Degraded-mode I/O accounting: the target absorbs one block write; the
+    // reconstruction reads one block from each of m live sources (one source
+    // for replication, m survivors for an m/n code).
+    const double bytes = system_.block_bytes().value();
+    metrics_.record_recovery_write(r.target, bytes);
+    unsigned charged = 0;
+    const unsigned m = system_.config().scheme.data_blocks;
+    for (unsigned b = 0; b < system_.blocks_per_group() && charged < m; ++b) {
+      if (b == r.block) continue;
+      const DiskId h = system_.home(r.group, static_cast<BlockIndex>(b));
+      if (system_.disk_at(h).alive()) {
+        metrics_.record_recovery_read(h, bytes);
+        ++charged;
+      }
+    }
+  }
+  // Space was reserved at enqueue time, so set_home must not charge again.
+  system_.set_home(r.group, r.block, r.target, /*charge_target=*/false);
+  GroupState& st = system_.state(r.group);
+  --st.unavailable;
+  metrics_.record_rebuild_completed();
+  metrics_.trace(sim_.now().value(), "rebuild_complete", r.group);
+  free_rebuild(id);
+}
+
+void RecoveryPolicy::cancel_group_rebuilds(GroupIndex g) {
+  const auto it = by_group_.find(g);
+  if (it == by_group_.end()) return;
+  // free_rebuild mutates the vector we are iterating; work on a copy.
+  const std::vector<RebuildId> ids = it->second;
+  for (RebuildId id : ids) {
+    Rebuild& r = slab_[id];
+    sim_.cancel(r.done);
+    disk::Disk& target = system_.disk_at(r.target);
+    if (target.alive()) target.release(system_.block_bytes());
+    free_rebuild(id);
+  }
+}
+
+void RecoveryPolicy::mark_group_loss(GroupIndex g) {
+  GroupState& st = system_.state(g);
+  if (st.dead) return;
+  st.dead = true;
+  metrics_.record_loss(sim_.now());
+  metrics_.trace(sim_.now().value(), "data_loss", g);
+  cancel_group_rebuilds(g);
+}
+
+std::vector<BlockRef> RecoveryPolicy::take_pending_lost(DiskId d) {
+  const auto it = pending_lost_.find(d);
+  if (it == pending_lost_.end()) return {};
+  std::vector<BlockRef> out = std::move(it->second);
+  pending_lost_.erase(it);
+  return out;
+}
+
+void RecoveryPolicy::on_disk_failed(DiskId d) {
+  metrics_.record_disk_failure();
+  metrics_.trace(sim_.now().value(), "disk_failed", d);
+  ensure_disk_slots(d);
+  failed_at_[d] = sim_.now().value();
+
+  // Rebuilds that were targeting this disk are dead in the water: cancel
+  // their completion events, strip them from the target index, and let the
+  // subclass reroute them (the affected blocks stay "unavailable" — their
+  // counts were taken when their own home disks died).
+  std::vector<RebuildId> orphaned = std::move(by_target_[d]);
+  by_target_[d].clear();
+  for (RebuildId id : orphaned) {
+    sim_.cancel(slab_[id].done);
+    metrics_.record_redirection();
+    metrics_.trace(sim_.now().value(), "redirected", slab_[id].group);
+  }
+  if (!orphaned.empty()) handle_target_failure(d, orphaned);
+
+  // Availability pass over the blocks whose home just vanished.
+  const unsigned tolerance = system_.config().scheme.fault_tolerance();
+  auto& lost = pending_lost_[d];
+  system_.for_each_block_on(d, [&](GroupIndex g, BlockIndex b) {
+    GroupState& st = system_.state(g);
+    if (st.dead) return;
+    ++st.unavailable;
+    if (st.unavailable > tolerance) {
+      mark_group_loss(g);
+    } else {
+      lost.push_back(BlockRef{g, b});
+    }
+  });
+  if (lost.empty()) pending_lost_.erase(d);
+}
+
+std::unique_ptr<RecoveryPolicy> make_recovery_policy(StorageSystem& system,
+                                                     sim::Simulator& sim,
+                                                     Metrics& metrics) {
+  switch (system.config().recovery_mode) {
+    case RecoveryMode::kFarm:
+      return std::make_unique<FarmRecovery>(system, sim, metrics);
+    case RecoveryMode::kDedicatedSpare:
+      return std::make_unique<SpareRecovery>(system, sim, metrics);
+    case RecoveryMode::kDistributedSparing:
+      return std::make_unique<DistributedSparingRecovery>(system, sim, metrics);
+  }
+  throw std::logic_error("make_recovery_policy: unknown mode");
+}
+
+}  // namespace farm::core

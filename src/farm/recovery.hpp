@@ -1,0 +1,134 @@
+// Recovery-policy framework (paper §2.3-§2.4).
+//
+// Both policies — FARM's declustered distributed recovery and the
+// traditional dedicated-spare rebuild — share the same bookkeeping:
+//   * the availability pass at the instant a disk dies (blocks lost,
+//     groups whose tolerance is exceeded lose data),
+//   * a slab of in-flight rebuild records with per-target FIFO queues
+//     (each disk rebuilds at the configured recovery bandwidth; FARM's
+//     advantage is that its queues are spread over the whole cluster,
+//     while the dedicated spare serializes everything), and
+//   * cancellation when a group dies or a target disk fails mid-rebuild.
+//
+// Subclasses decide *where* rebuilt blocks go and what happens when a
+// target dies (FARM redirects immediately; the spare policy re-queues the
+// work under the spare's own failure handling).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "farm/detector.hpp"
+#include "farm/metrics.hpp"
+#include "farm/storage_system.hpp"
+#include "farm/workload.hpp"
+#include "sim/simulator.hpp"
+
+namespace farm::core {
+
+class RecoveryPolicy {
+ public:
+  RecoveryPolicy(StorageSystem& system, sim::Simulator& sim, Metrics& metrics);
+  virtual ~RecoveryPolicy() = default;
+
+  RecoveryPolicy(const RecoveryPolicy&) = delete;
+  RecoveryPolicy& operator=(const RecoveryPolicy&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Invoked at the instant a disk dies: counts lost blocks, declares data
+  /// loss where tolerance is exceeded, stashes survivable losses for the
+  /// detector, and lets the subclass deal with rebuilds targeting the disk.
+  void on_disk_failed(DiskId d);
+
+  /// Invoked when the detector declares the disk dead: start rebuilding.
+  virtual void on_failure_detected(DiskId d) = 0;
+
+ protected:
+  struct Rebuild {
+    GroupIndex group = 0;
+    BlockIndex block = 0;
+    DiskId target = kNoDisk;
+    sim::EventHandle done;
+    bool live = false;
+  };
+  using RebuildId = std::uint32_t;
+
+  /// Subclass hook: rebuilds targeting the failed disk must be cancelled
+  /// and rerouted (their records have already been *removed* from the
+  /// target index and their completion events cancelled; `ids` are still
+  /// allocated and live).
+  virtual void handle_target_failure(DiskId d, const std::vector<RebuildId>& ids) = 0;
+
+  // --- rebuild slab -------------------------------------------------------
+  RebuildId alloc_rebuild(GroupIndex g, BlockIndex b, DiskId target);
+  void free_rebuild(RebuildId id);
+  [[nodiscard]] Rebuild& rebuild(RebuildId id) { return slab_[id]; }
+  [[nodiscard]] bool block_in_flight(GroupIndex g, BlockIndex b) const;
+  /// Targets of this group's in-flight rebuilds (for buddy exclusion).
+  [[nodiscard]] std::vector<DiskId> inflight_targets(GroupIndex g) const;
+
+  /// Re-points an orphaned rebuild (old target just failed and was already
+  /// stripped from the target index) at a new disk.
+  void retarget(RebuildId id, DiskId new_target);
+
+  /// Appends a transfer of one block to `target`'s recovery queue; returns
+  /// the absolute completion time.  The transfer rate honours the workload
+  /// model (user traffic squeezes recovery bandwidth); `rate_scale`
+  /// multiplies the drain rate (used by the dedicated spare's speedup).
+  [[nodiscard]] util::Seconds enqueue_transfer(DiskId target,
+                                               double rate_scale = 1.0);
+  [[nodiscard]] const std::vector<double>& queue_free_times() const { return queue_free_; }
+
+  /// Blocks a disk's recovery queue until absolute time `until_sec` (e.g.
+  /// while a replacement drive is being fetched and installed).
+  void reserve_queue_until(DiskId d, double until_sec);
+
+  /// Seconds one block transfer takes when started at absolute time
+  /// `start_sec` under the workload model.
+  [[nodiscard]] double transfer_seconds_at(double start_sec) const {
+    return workload_.transfer_time(system_.block_bytes(), util::Seconds{start_sec})
+        .value();
+  }
+
+  /// Common completion: re-home the block, restore availability, free the
+  /// record.
+  void complete_rebuild(RebuildId id);
+
+  /// Cancels (and frees) every in-flight rebuild of a dead group, releasing
+  /// reserved target space.
+  void cancel_group_rebuilds(GroupIndex g);
+
+  /// Marks the group dead and updates loss metrics.
+  void mark_group_loss(GroupIndex g);
+
+  /// Blocks lost on a disk, survivable, awaiting detection.
+  [[nodiscard]] std::vector<BlockRef> take_pending_lost(DiskId d);
+
+  StorageSystem& system_;
+  sim::Simulator& sim_;
+  Metrics& metrics_;
+  util::Seconds rebuild_duration_;  // one block at the nominal recovery cap
+  WorkloadModel workload_;
+
+ private:
+  void ensure_disk_slots(DiskId d);
+
+  std::vector<Rebuild> slab_;
+  std::vector<RebuildId> free_ids_;
+  std::vector<std::vector<RebuildId>> by_target_;
+  std::unordered_map<GroupIndex, std::vector<RebuildId>> by_group_;
+  std::vector<double> queue_free_;
+  std::unordered_map<DiskId, std::vector<BlockRef>> pending_lost_;
+  /// When each failed disk died — the left edge of its blocks' windows of
+  /// vulnerability.
+  std::unordered_map<DiskId, double> failed_at_;
+};
+
+/// Factory keyed on SystemConfig::recovery_mode.
+[[nodiscard]] std::unique_ptr<RecoveryPolicy> make_recovery_policy(
+    StorageSystem& system, sim::Simulator& sim, Metrics& metrics);
+
+}  // namespace farm::core

@@ -1,0 +1,42 @@
+// Redundancy-group runtime state (paper §2.1).
+//
+// A group's *identity* is just its index; its block->disk map lives in a
+// flat array inside StorageSystem (millions of groups make per-group heap
+// nodes unaffordable).  This header defines the compact per-group state and
+// the (group, block) reference used by the per-disk reverse index.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace farm::core {
+
+using GroupIndex = std::uint32_t;
+using BlockIndex = std::uint16_t;
+
+/// Sentinel "no disk" value for block homes.
+inline constexpr std::uint32_t kNoDisk = std::numeric_limits<std::uint32_t>::max();
+
+/// 8-byte per-group state; sized for multi-million-group systems.
+struct GroupState {
+  /// Next placement-candidate rank to probe when a recovery target is
+  /// needed; initialized past the ranks the initial layout consumed.
+  std::uint32_t next_rank = 0;
+  /// Blocks currently unavailable (home disk failed, rebuild not finished).
+  std::uint16_t unavailable = 0;
+  /// The group lost data: more blocks unavailable than the code tolerates.
+  bool dead = false;
+  std::uint8_t reserved = 0;
+};
+static_assert(sizeof(GroupState) == 8);
+
+/// Entry of the per-disk reverse index: block `block` of group `group`
+/// claims to live on that disk.  Entries go stale when blocks move; readers
+/// validate against the authoritative home array before use.
+struct BlockRef {
+  GroupIndex group;
+  BlockIndex block;
+};
+static_assert(sizeof(BlockRef) <= 8);
+
+}  // namespace farm::core

@@ -1,0 +1,114 @@
+#include "farm/reliability_sim.hpp"
+
+#include <stdexcept>
+
+namespace farm::core {
+
+ReliabilitySimulator::ReliabilitySimulator(const SystemConfig& config,
+                                           std::uint64_t seed)
+    : config_(config),
+      system_(config_, seed),
+      detector_(FailureDetector::from_config(config_)),
+      replacement_(system_, sim_, metrics_) {
+  if (config_.collect_recovery_load) metrics_.enable_load_tracking();
+  // Every disk — initial population, dedicated spares, replacement batches —
+  // gets its failure event scheduled the moment it is created.
+  system_.set_disk_added_hook([this](DiskId id) { on_disk_added(id); });
+  system_.initialize();
+  policy_ = make_recovery_policy(system_, sim_, metrics_);
+
+  // Correlated enclosure events: each initial failure domain has a
+  // pre-sampled destruction time; the event kills every drive still alive
+  // in the enclosure at once.
+  const auto& domain_times = system_.domain_failure_times();
+  for (std::size_t dom = 0; dom < domain_times.size(); ++dom) {
+    if (domain_times[dom] > config_.mission_time) continue;
+    sim_.schedule_at(domain_times[dom],
+                     [this, dom] { on_domain_failure_event(dom); });
+  }
+}
+
+void ReliabilitySimulator::on_domain_failure_event(std::size_t domain) {
+  metrics_.record_domain_failure();
+  metrics_.trace(sim_.now().value(), "domain_failed", domain);
+  for (const DiskId id : system_.live_disks_in_domain(domain)) {
+    on_disk_failure_event(id);
+  }
+}
+
+void ReliabilitySimulator::on_disk_added(DiskId id) {
+  const util::Seconds fails_at = system_.disk_at(id).fails_at();
+  if (fails_at > config_.mission_time) return;  // outlives the mission
+  sim_.schedule_at(fails_at, [this, id] { on_disk_failure_event(id); });
+}
+
+void ReliabilitySimulator::on_disk_failure_event(DiskId id) {
+  // An enclosure event may have destroyed this disk before its own
+  // pre-scheduled failure time arrived.
+  if (!system_.disk_at(id).alive()) return;
+  system_.fail_disk(id);
+  policy_->on_disk_failed(id);
+  const util::Seconds detected = detector_.detection_time(sim_.now());
+  sim_.schedule_at(detected, [this, id] {
+    metrics_.trace(sim_.now().value(), "detected", id);
+    policy_->on_failure_detected(id);
+  });
+  replacement_.on_disk_failed();
+}
+
+TrialResult ReliabilitySimulator::run() {
+  if (ran_) throw std::logic_error("ReliabilitySimulator::run called twice");
+  ran_ = true;
+
+  TrialResult result;
+  if (config_.collect_utilization) {
+    result.initial_used_bytes = system_.used_bytes_snapshot();
+  }
+
+  if (config_.stop_at_first_loss) {
+    sim_.run_until(config_.mission_time, [this] { return metrics_.data_lost(); });
+  } else {
+    sim_.run_until(config_.mission_time);
+  }
+
+  result.data_lost = metrics_.data_lost();
+  result.first_loss = metrics_.first_loss();
+  result.lost_groups = metrics_.lost_groups();
+  result.disk_failures = metrics_.disk_failures();
+  result.domain_failures = metrics_.domain_failures();
+  result.rebuilds_completed = metrics_.rebuilds_completed();
+  result.ure_losses = metrics_.ure_losses();
+  result.redirections = metrics_.redirections();
+  result.stalls = metrics_.stalls();
+  result.batches = metrics_.batches();
+  result.migrated_blocks = metrics_.migrated_blocks();
+  result.events_executed = sim_.events_executed();
+  result.mean_window_sec = metrics_.windows().mean();
+  result.max_window_sec = metrics_.windows().count() ? metrics_.windows().max() : 0.0;
+  {
+    const double window_sum = metrics_.windows().mean() *
+                              static_cast<double>(metrics_.windows().count());
+    const double block_time = static_cast<double>(system_.group_count()) *
+                              system_.blocks_per_group() *
+                              config_.mission_time.value();
+    result.degraded_exposure = block_time > 0.0 ? window_sum / block_time : 0.0;
+  }
+  if (config_.collect_utilization) {
+    result.final_used_bytes = system_.used_bytes_snapshot();
+  }
+  if (config_.collect_recovery_load) {
+    result.recovery_read_bytes = metrics_.recovery_read_bytes();
+    result.recovery_write_bytes = metrics_.recovery_write_bytes();
+    // Pad to the full slot count so callers can index by disk id.
+    result.recovery_read_bytes.resize(system_.disk_slots(), 0.0);
+    result.recovery_write_bytes.resize(system_.disk_slots(), 0.0);
+  }
+  return result;
+}
+
+TrialResult run_trial(const SystemConfig& config, std::uint64_t seed) {
+  ReliabilitySimulator sim(config, seed);
+  return sim.run();
+}
+
+}  // namespace farm::core

@@ -1,0 +1,54 @@
+// One six-year mission of one configured system (paper §3).
+//
+// Wires together the discrete-event engine, the storage cluster, the
+// failure detector, the recovery policy, and batch replacement, runs to the
+// mission horizon (or to first data loss when configured), and reports a
+// TrialResult.
+#pragma once
+
+#include <cstdint>
+
+#include "farm/config.hpp"
+#include "farm/detector.hpp"
+#include "farm/metrics.hpp"
+#include "farm/recovery.hpp"
+#include "farm/replacement.hpp"
+#include "farm/storage_system.hpp"
+#include "sim/simulator.hpp"
+
+namespace farm::core {
+
+class ReliabilitySimulator {
+ public:
+  ReliabilitySimulator(const SystemConfig& config, std::uint64_t seed);
+
+  /// Runs the full mission.  Call once per instance.
+  TrialResult run();
+
+  /// Installs a timeline sink (see core::TraceFn); call before run().
+  void set_trace(TraceFn fn) { metrics_.set_trace(std::move(fn)); }
+
+  /// Access for white-box tests and the trace example.
+  [[nodiscard]] StorageSystem& system() { return system_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+
+ private:
+  void on_disk_added(DiskId id);
+  void on_disk_failure_event(DiskId id);
+  void on_domain_failure_event(std::size_t domain);
+
+  SystemConfig config_;
+  sim::Simulator sim_;
+  Metrics metrics_;
+  StorageSystem system_;
+  FailureDetector detector_;
+  std::unique_ptr<RecoveryPolicy> policy_;
+  ReplacementManager replacement_;
+  bool ran_ = false;
+};
+
+/// Convenience: construct, run, return.
+[[nodiscard]] TrialResult run_trial(const SystemConfig& config, std::uint64_t seed);
+
+}  // namespace farm::core

@@ -1,0 +1,64 @@
+#include "farm/replacement.hpp"
+
+namespace farm::core {
+
+ReplacementManager::ReplacementManager(StorageSystem& system, sim::Simulator& sim,
+                                       Metrics& metrics)
+    : system_(system), sim_(sim), metrics_(metrics) {}
+
+void ReplacementManager::on_disk_failed() {
+  const auto& cfg = system_.config().replacement;
+  if (!cfg.enabled) return;
+  // Spares created by the dedicated-spare policy inflate disk_slots, so the
+  // loss count is measured against the original population: failures not yet
+  // backfilled by a batch.
+  const std::size_t unreplaced = system_.failed_disks() - replaced_so_far_;
+  // Queried lazily: the manager may be constructed before initialize().
+  const auto threshold = static_cast<std::size_t>(
+      cfg.loss_fraction_threshold *
+      static_cast<double>(system_.initial_disk_count()));
+  if (threshold == 0 || unreplaced < threshold) return;
+  install_batch();
+}
+
+void ReplacementManager::install_batch() {
+  const auto& cfg = system_.config().replacement;
+  const std::size_t unreplaced = system_.failed_disks() - replaced_so_far_;
+  ++batches_;
+  const auto ids = system_.add_batch(unreplaced, cfg.new_disk_weight,
+                                     /*vintage=*/batches_, sim_.now());
+  replaced_so_far_ += unreplaced;
+
+  // Rebalance: recompute every group's preferred layout under the grown
+  // placement function; blocks whose slot moved into the new cluster
+  // migrate there.  RUSH guarantees that is the *only* kind of movement.
+  const DiskId first_new = ids.front();
+  const unsigned n = system_.blocks_per_group();
+  std::uint64_t migrated = 0;
+  for (GroupIndex g = 0; g < system_.group_count(); ++g) {
+    GroupState& st = system_.state(g);
+    if (st.dead) continue;
+    // Degraded groups are the recovery policy's business: migrating one of
+    // their healthy blocks could collide with an in-flight rebuild target.
+    if (st.unavailable > 0) continue;
+    const auto layout = system_.layout_disks(g, n);
+    for (unsigned b = 0; b < n; ++b) {
+      const DiskId want = layout[b];
+      if (want < first_new) continue;          // not a new-cluster slot
+      const DiskId cur = system_.home(g, static_cast<BlockIndex>(b));
+      if (cur == want) continue;
+      // Only migrate healthy blocks: an unavailable block has no live source
+      // here (its rebuild, if any, is the recovery policy's business), and a
+      // buddy collision on the target would silently weaken the group.
+      if (!system_.disk_at(cur).alive()) continue;
+      if (system_.is_buddy_disk(g, want)) continue;
+      if (system_.disk_at(want).free_space() < system_.block_bytes()) continue;
+      system_.set_home(g, static_cast<BlockIndex>(b), want, /*charge_target=*/true);
+      ++migrated;
+    }
+  }
+  metrics_.record_batch(migrated);
+  metrics_.trace(sim_.now().value(), "batch", batches_);
+}
+
+}  // namespace farm::core

@@ -1,0 +1,39 @@
+// Batch drive replacement (paper §3.6).
+//
+// Large systems cannot swap drives one at a time; a *batch* of new drives is
+// installed once the system has lost a configured fraction of its disks.
+// New disks join the placement function as a fresh RUSH cluster, and the
+// statistically necessary fraction of blocks migrates onto them (from live
+// redundancy, so migration widens no vulnerability window).  Because every
+// batch is brand new, its drives sit at the deep end of the bathtub — the
+// potential "cohort effect" the paper measures (and finds negligible at
+// 10 GB groups).
+#pragma once
+
+#include "farm/metrics.hpp"
+#include "farm/storage_system.hpp"
+#include "sim/simulator.hpp"
+
+namespace farm::core {
+
+class ReplacementManager {
+ public:
+  ReplacementManager(StorageSystem& system, sim::Simulator& sim, Metrics& metrics);
+
+  /// Call after every disk failure; installs a batch when the loss fraction
+  /// crosses the threshold.
+  void on_disk_failed();
+
+  [[nodiscard]] unsigned batches_installed() const { return batches_; }
+
+ private:
+  void install_batch();
+
+  StorageSystem& system_;
+  sim::Simulator& sim_;
+  Metrics& metrics_;
+  std::size_t replaced_so_far_ = 0;
+  unsigned batches_ = 0;
+};
+
+}  // namespace farm::core

@@ -1,0 +1,52 @@
+#include "farm/spare_recovery.hpp"
+
+namespace farm::core {
+
+SpareRecovery::SpareRecovery(StorageSystem& system, sim::Simulator& sim,
+                             Metrics& metrics)
+    : RecoveryPolicy(system, sim, metrics) {}
+
+void SpareRecovery::on_failure_detected(DiskId d) {
+  // Work list: blocks freshly lost on d, plus rebuilds that were in flight
+  // onto d back when d was somebody else's spare.
+  std::vector<BlockRef> work = take_pending_lost(d);
+  if (const auto it = orphans_.find(d); it != orphans_.end()) {
+    work.insert(work.end(), it->second.begin(), it->second.end());
+    orphans_.erase(it);
+  }
+
+  std::vector<BlockRef> runnable;
+  runnable.reserve(work.size());
+  for (const BlockRef ref : work) {
+    if (system_.state(ref.group).dead) continue;
+    if (block_in_flight(ref.group, ref.block)) continue;
+    runnable.push_back(ref);
+  }
+  if (runnable.empty()) return;
+
+  // One fresh spare per failed disk; it is a brand-new drive, so the bathtub
+  // hazard restarts (spares really do suffer infant mortality).
+  const DiskId spare = system_.add_spare_disk(/*vintage=*/0, sim_.now());
+  const double speedup = system_.config().spare_rebuild_speedup;
+  // A cold spare takes time to rack before its rebuild can begin.
+  const double provision = system_.config().spare_provision_delay.value();
+  if (provision > 0.0) reserve_queue_until(spare, sim_.now().value() + provision);
+  for (const BlockRef ref : runnable) {
+    system_.disk_at(spare).allocate(system_.block_bytes());
+    const RebuildId id = alloc_rebuild(ref.group, ref.block, spare);
+    const util::Seconds done_at = enqueue_transfer(spare, speedup);
+    rebuild(id).done = sim_.schedule_at(done_at, [this, id] { complete_rebuild(id); });
+  }
+}
+
+void SpareRecovery::handle_target_failure(DiskId d, const std::vector<RebuildId>& ids) {
+  // The spare died mid-rebuild.  Unfinished blocks re-queue when this
+  // failure is detected (a new spare will be provisioned then).
+  auto& orphaned = orphans_[d];
+  for (const RebuildId id : ids) {
+    orphaned.push_back(BlockRef{rebuild(id).group, rebuild(id).block});
+    free_rebuild(id);
+  }
+}
+
+}  // namespace farm::core

@@ -1,0 +1,28 @@
+// Traditional dedicated-spare recovery (paper §2.4, Fig. 2(c)): everything
+// that lived on a failed disk is rebuilt, block after block, onto a single
+// fresh spare drive.  "Without FARM, reconstruction requests queue up at the
+// single recovery target" — with 1 TB drives that queue is hours long, and
+// the whole time every source group is one more failure away from loss.
+#pragma once
+
+#include "farm/recovery.hpp"
+
+namespace farm::core {
+
+class SpareRecovery final : public RecoveryPolicy {
+ public:
+  SpareRecovery(StorageSystem& system, sim::Simulator& sim, Metrics& metrics);
+
+  [[nodiscard]] std::string name() const override { return "dedicated-spare"; }
+  void on_failure_detected(DiskId d) override;
+
+ protected:
+  void handle_target_failure(DiskId d, const std::vector<RebuildId>& ids) override;
+
+ private:
+  /// Blocks whose rebuild died with their spare, keyed by that dead spare's
+  /// id; they restart when the spare's own failure is detected.
+  std::unordered_map<DiskId, std::vector<BlockRef>> orphans_;
+};
+
+}  // namespace farm::core

@@ -1,0 +1,224 @@
+#include "farm/storage_system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace farm::core {
+
+namespace {
+std::unique_ptr<disk::FailureModel> make_failure_model(const SystemConfig& cfg) {
+  switch (cfg.failure_law) {
+    case SystemConfig::FailureLaw::kBathtubTable1:
+      return std::make_unique<disk::BathtubFailureModel>(
+          disk::BathtubFailureModel::paper_table1(cfg.hazard_scale));
+    case SystemConfig::FailureLaw::kExponential:
+      return std::make_unique<disk::ExponentialFailureModel>(
+          cfg.exponential_mttf / cfg.hazard_scale);
+    case SystemConfig::FailureLaw::kWeibull:
+      return std::make_unique<disk::WeibullFailureModel>(
+          cfg.weibull_shape, cfg.weibull_scale / cfg.hazard_scale);
+  }
+  throw std::logic_error("unknown failure law");
+}
+}  // namespace
+
+StorageSystem::StorageSystem(const SystemConfig& config, std::uint64_t seed)
+    : config_(config),
+      failure_model_(make_failure_model(config)),
+      smart_(config.smart, util::SeedSequence{seed}.stream(1)),
+      rng_(util::SeedSequence{seed}.stream(2)),
+      placement_(placement::make_policy(config.placement,
+                                        util::SeedSequence{seed}.stream(3))) {
+  config_.validate();
+}
+
+DiskId StorageSystem::create_disk(unsigned vintage, util::Seconds now) {
+  const auto id = static_cast<DiskId>(disks_.size());
+  const util::Seconds lifetime = failure_model_->sample_lifetime(rng_);
+  disks_.emplace_back(id, config_.disk, vintage, now, lifetime);
+  smart_at_.push_back(smart_.warning_time(disks_.back().fails_at()));
+  on_disk_.emplace_back();
+  ++live_disks_;
+  if (disk_added_) disk_added_(id);
+  return id;
+}
+
+void StorageSystem::initialize() {
+  if (initialized_) throw std::logic_error("StorageSystem already initialized");
+  initialized_ = true;
+
+  blocks_per_group_ = config_.scheme.total_blocks;
+  block_bytes_ = config_.block_size();
+  group_total_ = static_cast<GroupIndex>(config_.group_count());
+  ceiling_ = config_.disk.capacity *
+             (config_.initial_utilization + config_.spare_reservation);
+
+  initial_disks_ = config_.disk_count();
+  placement_->add_cluster(initial_disks_, 1.0);
+  disks_.reserve(initial_disks_);
+  placement_to_disk_.reserve(initial_disks_);
+  for (std::size_t i = 0; i < initial_disks_; ++i) {
+    placement_to_disk_.push_back(create_disk(/*vintage=*/0, util::Seconds{0.0}));
+  }
+
+  homes_.assign(static_cast<std::size_t>(group_total_) * blocks_per_group_, kNoDisk);
+  states_.assign(group_total_, GroupState{});
+
+  if (config_.domains.enabled) {
+    const std::size_t domains =
+        (initial_disks_ + config_.domains.disks_per_domain - 1) /
+        config_.domains.disks_per_domain;
+    const double rate = 1.0 / config_.domains.domain_mtbf.value();
+    domain_fail_at_.reserve(domains);
+    for (std::size_t i = 0; i < domains; ++i) {
+      domain_fail_at_.push_back(util::Seconds{rng_.exponential(rate)});
+    }
+  }
+
+  // Capacity-aware, balance-aware initial layout: follow the placement
+  // candidate order, skip disks already at the reservation ceiling (with
+  // large blocks the binomial tail of pure hashing would overflow 1 TB
+  // drives — the paper's rule (c) applies at layout time too), and among
+  // the next `initial_placement_choices` feasible candidates take the
+  // emptiest (best-of-d keeps per-disk fill as tight as the paper's
+  // Table 3 reports).
+  const unsigned choices = config_.initial_placement_choices;
+  std::vector<DiskId> chosen;
+  chosen.reserve(blocks_per_group_);
+  for (GroupIndex g = 0; g < group_total_; ++g) {
+    chosen.clear();
+    std::uint32_t rank = 0;
+    while (chosen.size() < blocks_per_group_) {
+      DiskId best = kNoDisk;
+      unsigned found = 0;
+      while (found < choices) {
+        if (rank > 100000) break;
+        const DiskId d = candidate_disk(g, rank);
+        ++rank;
+        if (std::find(chosen.begin(), chosen.end(), d) != chosen.end()) continue;
+        if (disks_[d].used() + block_bytes_ > ceiling_) continue;
+        if (config_.domains.enabled && config_.domains.rack_aware_placement) {
+          // One block per enclosure: a single cooling/power event must not
+          // take out two blocks of the same group.
+          const std::size_t dom = domain_of(d);
+          bool conflict = false;
+          for (const DiskId c : chosen) conflict |= (domain_of(c) == dom);
+          if (conflict) continue;
+        }
+        ++found;
+        if (best == kNoDisk || disks_[d].used() < disks_[best].used()) best = d;
+      }
+      if (best == kNoDisk) {
+        throw std::runtime_error(
+            "initialize: cannot place group within capacity; the system is "
+            "configured too full");
+      }
+      chosen.push_back(best);
+    }
+    states_[g].next_rank = rank;
+    for (unsigned b = 0; b < blocks_per_group_; ++b) {
+      const DiskId d = chosen[b];
+      homes_[static_cast<std::size_t>(g) * blocks_per_group_ + b] = d;
+      on_disk_[d].push_back(BlockRef{g, static_cast<BlockIndex>(b)});
+      disks_[d].allocate(block_bytes_);
+    }
+  }
+}
+
+DiskId StorageSystem::add_spare_disk(unsigned vintage, util::Seconds now) {
+  return create_disk(vintage, now);
+}
+
+std::vector<DiskId> StorageSystem::add_batch(std::size_t count, double weight,
+                                             unsigned vintage, util::Seconds now) {
+  const DiskId first_slot = placement_->add_cluster(count, weight);
+  if (first_slot != static_cast<DiskId>(placement_to_disk_.size())) {
+    throw std::logic_error("add_batch: placement slot drift");
+  }
+  std::vector<DiskId> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const DiskId id = create_disk(vintage, now);
+    placement_to_disk_.push_back(id);
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+void StorageSystem::fail_disk(DiskId id) {
+  disk::Disk& d = disks_[id];
+  if (!d.alive()) throw std::logic_error("fail_disk: disk already failed");
+  d.mark_failed();
+  --live_disks_;
+}
+
+void StorageSystem::set_home(GroupIndex g, BlockIndex b, DiskId target,
+                             bool charge_target) {
+  const std::size_t idx = static_cast<std::size_t>(g) * blocks_per_group_ + b;
+  const DiskId old = homes_[idx];
+  if (old != kNoDisk && disks_[old].alive()) {
+    disks_[old].release(block_bytes_);
+  }
+  homes_[idx] = target;
+  if (target != kNoDisk) {
+    if (charge_target) disks_[target].allocate(block_bytes_);
+    on_disk_[target].push_back(BlockRef{g, b});
+  }
+}
+
+bool StorageSystem::is_buddy_disk(GroupIndex g, DiskId d) const {
+  const std::size_t base = static_cast<std::size_t>(g) * blocks_per_group_;
+  for (unsigned b = 0; b < blocks_per_group_; ++b) {
+    if (homes_[base + b] == d) return true;
+  }
+  return false;
+}
+
+bool StorageSystem::is_buddy_domain(GroupIndex g, DiskId d) const {
+  if (!config_.domains.enabled) return false;
+  const std::size_t dom = domain_of(d);
+  const std::size_t base = static_cast<std::size_t>(g) * blocks_per_group_;
+  for (unsigned b = 0; b < blocks_per_group_; ++b) {
+    if (homes_[base + b] != d && domain_of(homes_[base + b]) == dom) return true;
+  }
+  return false;
+}
+
+std::size_t StorageSystem::domain_count() const {
+  if (!config_.domains.enabled || disks_.empty()) return 0;
+  return domain_of(static_cast<DiskId>(disks_.size() - 1)) + 1;
+}
+
+std::vector<DiskId> StorageSystem::live_disks_in_domain(std::size_t domain) const {
+  std::vector<DiskId> out;
+  const std::size_t per = config_.domains.disks_per_domain;
+  const std::size_t first = domain * per;
+  for (std::size_t i = first; i < first + per && i < disks_.size(); ++i) {
+    if (disks_[i].alive()) out.push_back(static_cast<DiskId>(i));
+  }
+  return out;
+}
+
+void StorageSystem::for_each_block_on(
+    DiskId d, const std::function<void(GroupIndex, BlockIndex)>& fn) {
+  auto& refs = on_disk_[d];
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < refs.size(); ++read) {
+    const BlockRef ref = refs[read];
+    if (home(ref.group, ref.block) != d) continue;  // stale: block moved away
+    refs[write++] = ref;
+    fn(ref.group, ref.block);
+  }
+  refs.resize(write);
+}
+
+std::vector<double> StorageSystem::used_bytes_snapshot() const {
+  std::vector<double> used;
+  used.reserve(disks_.size());
+  for (const auto& d : disks_) {
+    used.push_back(d.alive() ? d.used().value() : 0.0);
+  }
+  return used;
+}
+
+}  // namespace farm::core

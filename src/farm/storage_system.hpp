@@ -1,0 +1,164 @@
+// The simulated storage cluster: disks, redundancy groups, placement, and
+// capacity accounting (paper §2.1, §3.1).
+//
+// StorageSystem is pure state — it knows nothing about events or time
+// ordering; the recovery policies and the reliability simulator drive it.
+// Hot-path data is flat:
+//   * homes_   : group-major array of block -> disk ids,
+//   * states_  : 8-byte per-group state,
+//   * on_disk_ : per-disk list of (group, block) refs, lazily invalidated
+//                (an entry is live iff the home array still agrees).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "disk/disk.hpp"
+#include "disk/failure_model.hpp"
+#include "disk/smart.hpp"
+#include "farm/config.hpp"
+#include "farm/redundancy_group.hpp"
+#include "placement/placement.hpp"
+#include "util/random.hpp"
+
+namespace farm::core {
+
+using placement::DiskId;
+
+class StorageSystem {
+ public:
+  /// `seed` drives disk lifetimes, SMART predictions, and placement.
+  StorageSystem(const SystemConfig& config, std::uint64_t seed);
+
+  /// Creates the initial disk population and places every group.  Must be
+  /// called exactly once before anything else.
+  void initialize();
+
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+  [[nodiscard]] const disk::FailureModel& failure_model() const { return *failure_model_; }
+  [[nodiscard]] placement::PlacementPolicy& placement() { return *placement_; }
+
+  /// Placement lookups translated to disk ids.  Dedicated spares are disks
+  /// but not placement slots, so the two id spaces drift apart; these
+  /// helpers own the mapping.
+  [[nodiscard]] DiskId candidate_disk(GroupIndex g, std::uint32_t rank) const {
+    return placement_to_disk_[placement_->candidate(g, rank)];
+  }
+  [[nodiscard]] std::vector<DiskId> layout_disks(GroupIndex g, unsigned n,
+                                                 std::uint32_t* first_free_rank = nullptr) const {
+    auto slots = placement_->layout(g, n, first_free_rank);
+    std::vector<DiskId> out(slots.size());
+    for (std::size_t i = 0; i < slots.size(); ++i) out[i] = placement_to_disk_[slots[i]];
+    return out;
+  }
+
+  /// Hook invoked with every disk id the system creates (initial population,
+  /// dedicated spares, replacement batches) so the simulator can schedule
+  /// its failure event.
+  void set_disk_added_hook(std::function<void(DiskId)> hook) {
+    disk_added_ = std::move(hook);
+  }
+
+  // --- disks -----------------------------------------------------------
+  [[nodiscard]] std::size_t disk_slots() const { return disks_.size(); }
+  [[nodiscard]] std::size_t initial_disk_count() const { return initial_disks_; }
+  [[nodiscard]] std::size_t live_disks() const { return live_disks_; }
+  [[nodiscard]] std::size_t failed_disks() const { return disks_.size() - live_disks_; }
+  [[nodiscard]] disk::Disk& disk_at(DiskId id) { return disks_[id]; }
+  [[nodiscard]] const disk::Disk& disk_at(DiskId id) const { return disks_[id]; }
+  /// Absolute time SMART flags the disk as suspect (+inf when unpredicted).
+  [[nodiscard]] util::Seconds smart_warning_at(DiskId id) const { return smart_at_[id]; }
+
+  /// Adds one disk outside any placement cluster (a dedicated spare).  Its
+  /// lifetime starts at `now`.
+  DiskId add_spare_disk(unsigned vintage, util::Seconds now);
+
+  /// Adds a replacement batch as a new placement cluster (paper §3.6);
+  /// returns the new disk ids.
+  std::vector<DiskId> add_batch(std::size_t count, double weight, unsigned vintage,
+                                util::Seconds now);
+
+  /// Marks a disk failed.  Does not touch group availability — recovery
+  /// policies own that bookkeeping.
+  void fail_disk(DiskId id);
+
+  // --- groups ----------------------------------------------------------
+  [[nodiscard]] GroupIndex group_count() const { return group_total_; }
+  [[nodiscard]] unsigned blocks_per_group() const { return blocks_per_group_; }
+  [[nodiscard]] util::Bytes block_bytes() const { return block_bytes_; }
+  [[nodiscard]] GroupState& state(GroupIndex g) { return states_[g]; }
+  [[nodiscard]] const GroupState& state(GroupIndex g) const { return states_[g]; }
+
+  [[nodiscard]] DiskId home(GroupIndex g, BlockIndex b) const {
+    return homes_[static_cast<std::size_t>(g) * blocks_per_group_ + b];
+  }
+
+  /// Points block b of group g at a new disk, updating the reverse index
+  /// and capacity accounting (`charge_target` false when the caller already
+  /// reserved the space at enqueue time).
+  void set_home(GroupIndex g, BlockIndex b, DiskId target, bool charge_target);
+
+  /// True if any block of g currently calls `d` home (the "buddy" test of
+  /// the paper's target rule (b)).
+  [[nodiscard]] bool is_buddy_disk(GroupIndex g, DiskId d) const;
+
+  // --- failure domains ---------------------------------------------------
+  /// Enclosure id of a disk (disks are binned by id; spares and batches
+  /// fall into enclosures the same way).  0 when domains are disabled.
+  [[nodiscard]] std::size_t domain_of(DiskId d) const {
+    const auto& cfg = config_.domains;
+    return cfg.enabled ? d / cfg.disks_per_domain : 0;
+  }
+  /// True if any block of g lives in the same enclosure as `d`.
+  [[nodiscard]] bool is_buddy_domain(GroupIndex g, DiskId d) const;
+  /// Number of enclosures covering the current disk slots.
+  [[nodiscard]] std::size_t domain_count() const;
+  /// Live disks in an enclosure.
+  [[nodiscard]] std::vector<DiskId> live_disks_in_domain(std::size_t domain) const;
+  /// Pre-sampled destructive event time for each initial enclosure
+  /// (exponential with the configured MTBF); empty when disabled.
+  [[nodiscard]] const std::vector<util::Seconds>& domain_failure_times() const {
+    return domain_fail_at_;
+  }
+
+  /// Visits every (group, block) whose authoritative home is `d`, skipping
+  /// stale reverse-index entries (and compacting them away).
+  void for_each_block_on(DiskId d, const std::function<void(GroupIndex, BlockIndex)>& fn);
+
+  // --- capacity --------------------------------------------------------
+  /// Allocation ceiling per disk: initial fill plus the spare reservation.
+  [[nodiscard]] util::Bytes reservation_ceiling() const { return ceiling_; }
+  /// Used bytes per disk slot (0 for failed disks), for Fig 6 / Table 3.
+  [[nodiscard]] std::vector<double> used_bytes_snapshot() const;
+
+  /// RNG for policy-level decisions that should replay with the trial.
+  [[nodiscard]] util::Xoshiro256& rng() { return rng_; }
+
+ private:
+  DiskId create_disk(unsigned vintage, util::Seconds now);
+
+  SystemConfig config_;
+  std::unique_ptr<disk::FailureModel> failure_model_;
+  disk::SmartMonitor smart_;
+  util::Xoshiro256 rng_;
+  std::unique_ptr<placement::PlacementPolicy> placement_;
+  std::vector<DiskId> placement_to_disk_;
+  std::function<void(DiskId)> disk_added_;
+
+  std::vector<disk::Disk> disks_;
+  std::vector<util::Seconds> smart_at_;
+  std::vector<util::Seconds> domain_fail_at_;
+  std::vector<std::vector<BlockRef>> on_disk_;
+  std::vector<DiskId> homes_;
+  std::vector<GroupState> states_;
+
+  GroupIndex group_total_ = 0;
+  unsigned blocks_per_group_ = 0;
+  util::Bytes block_bytes_{0};
+  util::Bytes ceiling_{0};
+  std::size_t initial_disks_ = 0;
+  std::size_t live_disks_ = 0;
+  bool initialized_ = false;
+};
+
+}  // namespace farm::core

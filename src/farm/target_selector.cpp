@@ -1,0 +1,71 @@
+#include "farm/target_selector.hpp"
+
+#include <algorithm>
+
+namespace farm::core {
+
+bool TargetSelector::feasible(GroupIndex g, DiskId d, util::Seconds now,
+                              bool relaxed,
+                              std::span<const DiskId> extra_excluded) const {
+  const disk::Disk& disk = system_.disk_at(d);
+  if (!disk.alive()) return false;  // rule (a): hard
+  if (std::find(extra_excluded.begin(), extra_excluded.end(), d) !=
+      extra_excluded.end()) {
+    return false;  // already the target of another rebuild of this group
+  }
+  if (rules_.skip_buddies && system_.is_buddy_disk(g, d)) return false;  // (b)
+  // Rack-awareness extends the buddy rule to whole enclosures; it relaxes
+  // (unlike the buddy rule) because a same-enclosure copy still beats no
+  // copy when the cluster is cornered.
+  if (!relaxed && system_.config().domains.enabled &&
+      system_.config().domains.rack_aware_placement &&
+      system_.is_buddy_domain(g, d)) {
+    return false;
+  }
+  // Rule (c): a block must physically fit, always; the reservation ceiling
+  // is policy and relaxes when nothing else is available.
+  if (disk.free_space() < system_.block_bytes()) return false;
+  if (!relaxed) {
+    if (rules_.honor_reservation &&
+        disk.used() + system_.block_bytes() > system_.reservation_ceiling()) {
+      return false;
+    }
+    if (rules_.avoid_suspect &&
+        disk::SmartMonitor::is_suspect(system_.smart_warning_at(d), now)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TargetSelector::Choice TargetSelector::select(
+    GroupIndex g, std::span<const double> queue_free_time, util::Seconds now,
+    std::span<const DiskId> extra_excluded) const {
+  const std::uint32_t start = system_.state(g).next_rank;
+  const unsigned want = std::max(1u, rules_.prefer_low_load ? rules_.probe_width : 1u);
+
+  for (const bool relaxed : {false, true}) {
+    DiskId best = kNoDisk;
+    std::uint32_t best_rank = start;
+    double best_free = 0.0;
+    unsigned found = 0;
+    for (std::uint32_t probe = 0; probe < kMaxProbes; ++probe) {
+      const std::uint32_t rank = start + probe;
+      const DiskId d = system_.candidate_disk(g, rank);
+      if (!feasible(g, d, now, relaxed, extra_excluded)) continue;
+      const double free_at = d < queue_free_time.size() ? queue_free_time[d] : 0.0;
+      if (found == 0 || free_at < best_free) {
+        best = d;
+        best_rank = rank;
+        best_free = free_at;
+      }
+      if (++found >= want) break;
+    }
+    if (best != kNoDisk) {
+      return Choice{best, best_rank + 1};
+    }
+  }
+  return Choice{kNoDisk, start};
+}
+
+}  // namespace farm::core

@@ -1,0 +1,53 @@
+// FARM recovery-target selection (paper §2.3).
+//
+// "The recovery target chosen from the candidate list (a) must be alive,
+//  (b) should not already contain a buddy from the same group, and (c) must
+//  have sufficient space.  Additionally, it should currently have sufficient
+//  bandwidth, though if there is no better alternative, we will stick to
+//  it."  With S.M.A.R.T. monitoring, unreliable disks are also avoided.
+//
+// The selector walks the group's placement candidate list from its current
+// rank, gathers up to `probe_width` feasible disks, and picks the one whose
+// recovery queue frees up soonest.  If the optional rules leave nothing, it
+// relaxes them (reservation ceiling, SMART suspicion) and retries; a fully
+// infeasible walk returns kNoDisk, which the recovery policy turns into a
+// deferred retry.
+#pragma once
+
+#include <span>
+
+#include "farm/storage_system.hpp"
+
+namespace farm::core {
+
+class TargetSelector {
+ public:
+  TargetSelector(StorageSystem& system, const TargetRules& rules)
+      : system_(system), rules_(rules) {}
+
+  struct Choice {
+    DiskId disk = kNoDisk;
+    std::uint32_t next_rank = 0;  // rank to resume from next time
+  };
+
+  /// Chooses a recovery target for group g.  `queue_free_time` maps disk id
+  /// to when its recovery queue drains (the load signal); `now` is the
+  /// current simulated time for SMART checks.  `extra_excluded` lists disks
+  /// already targeted by this group's other in-flight rebuilds.
+  [[nodiscard]] Choice select(GroupIndex g, std::span<const double> queue_free_time,
+                              util::Seconds now,
+                              std::span<const DiskId> extra_excluded) const;
+
+  /// Maximum candidate ranks examined before giving up one relaxation pass.
+  static constexpr std::uint32_t kMaxProbes = 512;
+
+ private:
+  [[nodiscard]] bool feasible(GroupIndex g, DiskId d, util::Seconds now,
+                              bool relaxed,
+                              std::span<const DiskId> extra_excluded) const;
+
+  StorageSystem& system_;
+  TargetRules rules_;
+};
+
+}  // namespace farm::core

@@ -1,0 +1,73 @@
+// User-workload model modulating recovery bandwidth (paper §2.4, §3.4).
+//
+// "This recovery bandwidth is not fixed in a large storage system.  It
+// fluctuates with the intensity of user requests, especially if we exploit
+// system idle time [Golding et al.] and adapt recovery to the workload."
+//
+// The model is a diurnal cosine: user demand swings between a trough and a
+// peak once per period, recovery gets what is left of the disk bandwidth
+// (never less than a configured floor), clamped by the configured recovery
+// cap.  kNone reproduces the paper's fixed-bandwidth base runs.
+#pragma once
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace farm::core {
+
+enum class WorkloadKind {
+  kNone,     // fixed recovery bandwidth (the paper's base assumption)
+  kDiurnal,  // cosine day/night cycle of user demand
+};
+
+struct WorkloadConfig {
+  WorkloadKind kind = WorkloadKind::kNone;
+  double peak_demand = 0.9;    // fraction of disk bandwidth users take at peak
+  double trough_demand = 0.1;  // fraction at the quietest moment
+  util::Seconds period = util::days(1);
+  /// Recovery never starves below this fraction of the disk bandwidth, no
+  /// matter how busy the system is (degraded groups must make progress).
+  double min_recovery_fraction = 0.05;
+};
+
+class WorkloadModel {
+ public:
+  WorkloadModel(WorkloadConfig config, util::Bandwidth disk_bandwidth,
+                util::Bandwidth recovery_cap)
+      : config_(config), disk_(disk_bandwidth), cap_(recovery_cap) {}
+
+  /// Fraction of disk bandwidth user traffic consumes at time t.
+  [[nodiscard]] double user_demand(util::Seconds t) const {
+    if (config_.kind == WorkloadKind::kNone) return 0.0;
+    const double phase = 2.0 * M_PI * t.value() / config_.period.value();
+    const double swing = 0.5 - 0.5 * std::cos(phase);  // 0 at t=0, 1 mid-period
+    return config_.trough_demand +
+           (config_.peak_demand - config_.trough_demand) * swing;
+  }
+
+  /// Bandwidth a rebuild stream can use at time t.
+  [[nodiscard]] util::Bandwidth recovery_bandwidth(util::Seconds t) const {
+    if (config_.kind == WorkloadKind::kNone) return cap_;
+    const double leftover = std::max(config_.min_recovery_fraction,
+                                     1.0 - user_demand(t));
+    const double available = disk_.value() * leftover;
+    return util::Bandwidth{std::min(cap_.value(), available)};
+  }
+
+  /// Seconds to move `amount` starting at time t.  Uses the bandwidth at the
+  /// transfer's start — a good approximation while transfers (minutes) stay
+  /// far shorter than the workload period (a day).
+  [[nodiscard]] util::Seconds transfer_time(util::Bytes amount, util::Seconds t) const {
+    return util::Seconds{amount.value() / recovery_bandwidth(t).value()};
+  }
+
+  [[nodiscard]] const WorkloadConfig& config() const { return config_; }
+
+ private:
+  WorkloadConfig config_;
+  util::Bandwidth disk_;
+  util::Bandwidth cap_;
+};
+
+}  // namespace farm::core

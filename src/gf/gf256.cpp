@@ -1,0 +1,80 @@
+#include "gf/gf256.hpp"
+
+#include <stdexcept>
+
+namespace farm::gf {
+
+const GF256& GF256::instance() {
+  static const GF256 tables;
+  return tables;
+}
+
+GF256::GF256() {
+  unsigned x = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    exp_[i] = static_cast<Byte>(x);
+    log_[x] = static_cast<Byte>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= kPoly;
+  }
+  for (unsigned i = 255; i < 512; ++i) exp_[i] = exp_[i - 255];
+}
+
+Byte GF256::div(Byte a, Byte b) const {
+  if (b == 0) throw std::domain_error("GF256: division by zero");
+  if (a == 0) return 0;
+  return exp_[static_cast<unsigned>(log_[a]) + 255 - log_[b]];
+}
+
+Byte GF256::inv(Byte a) const {
+  if (a == 0) throw std::domain_error("GF256: inverse of zero");
+  return exp_[255 - log_[a]];
+}
+
+Byte GF256::pow(Byte a, unsigned n) const {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  return exp_[(static_cast<unsigned>(log_[a]) * n) % 255];
+}
+
+unsigned GF256::log(Byte a) const {
+  if (a == 0) throw std::domain_error("GF256: log of zero");
+  return log_[a];
+}
+
+void GF256::mul_acc(std::span<Byte> result, std::span<const Byte> src, Byte c) const {
+  if (result.size() != src.size()) {
+    throw std::invalid_argument("GF256::mul_acc: size mismatch");
+  }
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < src.size(); ++i) result[i] ^= src[i];
+    return;
+  }
+  const unsigned lc = log_[c];
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const Byte s = src[i];
+    if (s != 0) result[i] ^= exp_[lc + log_[s]];
+  }
+}
+
+void GF256::mul_set(std::span<Byte> result, std::span<const Byte> src, Byte c) const {
+  if (result.size() != src.size()) {
+    throw std::invalid_argument("GF256::mul_set: size mismatch");
+  }
+  if (c == 0) {
+    for (auto& b : result) b = 0;
+    return;
+  }
+  if (c == 1) {
+    for (std::size_t i = 0; i < src.size(); ++i) result[i] = src[i];
+    return;
+  }
+  const unsigned lc = log_[c];
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const Byte s = src[i];
+    result[i] = s == 0 ? Byte{0} : exp_[lc + log_[s]];
+  }
+}
+
+}  // namespace farm::gf

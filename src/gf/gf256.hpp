@@ -1,0 +1,60 @@
+// Arithmetic over GF(2^8) with the AES/Rijndael reduction polynomial
+// x^8 + x^4 + x^3 + x + 1 (0x11d is the usual RAID choice; we use 0x11d).
+//
+// Multiplication uses log/exp tables built once at startup.  This is the
+// foundation of the Reed-Solomon codec (paper §2.2: "generalized
+// Reed-Solomon schemes" as the m/n erasure code).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace farm::gf {
+
+using Byte = std::uint8_t;
+
+/// The reduction polynomial (x^8 + x^4 + x^3 + x^2 + 1), the standard
+/// generator for storage Reed-Solomon codes.
+inline constexpr unsigned kPoly = 0x11d;
+
+/// Singleton table set for GF(2^8).
+class GF256 {
+ public:
+  static const GF256& instance();
+
+  [[nodiscard]] Byte add(Byte a, Byte b) const { return a ^ b; }
+  [[nodiscard]] Byte sub(Byte a, Byte b) const { return a ^ b; }
+
+  [[nodiscard]] Byte mul(Byte a, Byte b) const {
+    if (a == 0 || b == 0) return 0;
+    return exp_[static_cast<unsigned>(log_[a]) + log_[b]];
+  }
+
+  /// a / b with b != 0; division by zero is a precondition violation and
+  /// throws std::domain_error.
+  [[nodiscard]] Byte div(Byte a, Byte b) const;
+
+  /// Multiplicative inverse of a != 0.
+  [[nodiscard]] Byte inv(Byte a) const;
+
+  /// a raised to integer power n (n >= 0); 0^0 == 1 by convention.
+  [[nodiscard]] Byte pow(Byte a, unsigned n) const;
+
+  /// The generator element (2) raised to n — handy for Vandermonde rows.
+  [[nodiscard]] Byte exp(unsigned n) const { return exp_[n % 255]; }
+  /// Discrete log base 2 of a != 0.
+  [[nodiscard]] unsigned log(Byte a) const;
+
+  /// result[i] ^= c * src[i] over a span — the codec inner loop.
+  void mul_acc(std::span<Byte> result, std::span<const Byte> src, Byte c) const;
+  /// result[i] = c * src[i].
+  void mul_set(std::span<Byte> result, std::span<const Byte> src, Byte c) const;
+
+ private:
+  GF256();
+  std::array<Byte, 512> exp_{};   // doubled to skip the mod-255 in mul()
+  std::array<Byte, 256> log_{};   // log_[0] unused
+};
+
+}  // namespace farm::gf

@@ -1,0 +1,125 @@
+#include "gf/matrix.hpp"
+
+#include <stdexcept>
+
+namespace farm::gf {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::cauchy(std::span<const Byte> xs, std::span<const Byte> ys) {
+  const auto& gf = GF256::instance();
+  Matrix m(xs.size(), ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (std::size_t j = 0; j < ys.size(); ++j) {
+      const Byte denom = gf.add(xs[i], ys[j]);
+      if (denom == 0) {
+        throw std::invalid_argument("cauchy: xs and ys must be disjoint");
+      }
+      m.at(i, j) = gf.inv(denom);
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::vandermonde(std::span<const Byte> xs, std::size_t cols) {
+  const auto& gf = GF256::instance();
+  Matrix m(xs.size(), cols);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m.at(i, j) = gf.pow(xs[i], static_cast<unsigned>(j));
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("multiply: shape mismatch");
+  const auto& gf = GF256::instance();
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const Byte a = at(i, k);
+      if (a == 0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out.at(i, j) ^= gf.mul(a, rhs.at(k, j));
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::inverse() const {
+  if (rows_ != cols_) throw std::invalid_argument("inverse: matrix not square");
+  const auto& gf = GF256::instance();
+  const std::size_t n = rows_;
+  Matrix work = *this;
+  Matrix inv = identity(n);
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot.
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) throw std::domain_error("inverse: singular matrix");
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(work.at(pivot, j), work.at(col, j));
+        std::swap(inv.at(pivot, j), inv.at(col, j));
+      }
+    }
+    // Normalize the pivot row.
+    const Byte scale = gf.inv(work.at(col, col));
+    for (std::size_t j = 0; j < n; ++j) {
+      work.at(col, j) = gf.mul(work.at(col, j), scale);
+      inv.at(col, j) = gf.mul(inv.at(col, j), scale);
+    }
+    // Eliminate the column everywhere else.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const Byte factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        work.at(r, j) ^= gf.mul(factor, work.at(col, j));
+        inv.at(r, j) ^= gf.mul(factor, inv.at(col, j));
+      }
+    }
+  }
+  return inv;
+}
+
+Matrix Matrix::select_rows(std::span<const std::size_t> keep) const {
+  Matrix out(keep.size(), cols_);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i] >= rows_) throw std::out_of_range("select_rows: bad row index");
+    for (std::size_t j = 0; j < cols_; ++j) out.at(i, j) = at(keep[i], j);
+  }
+  return out;
+}
+
+void Matrix::apply(std::span<const std::span<const Byte>> inputs,
+                   std::span<const std::span<Byte>> outputs) const {
+  if (inputs.size() != cols_ || outputs.size() != rows_) {
+    throw std::invalid_argument("apply: wrong number of buffers");
+  }
+  const auto& gf = GF256::instance();
+  for (std::size_t r = 0; r < rows_; ++r) {
+    bool first = true;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const Byte coeff = at(r, c);
+      if (first) {
+        gf.mul_set(outputs[r], inputs[c], coeff);
+        first = false;
+      } else {
+        gf.mul_acc(outputs[r], inputs[c], coeff);
+      }
+    }
+  }
+}
+
+}  // namespace farm::gf

@@ -1,0 +1,59 @@
+// Dense matrices over GF(2^8) and the linear algebra the Reed-Solomon codec
+// needs: multiplication, Gauss-Jordan inversion, and Cauchy/Vandermonde
+// constructions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "gf/gf256.hpp"
+
+namespace farm::gf {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] Byte& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] Byte at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  [[nodiscard]] std::span<const Byte> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  /// Cauchy matrix C[i][j] = 1 / (x_i + y_j); every square submatrix is
+  /// invertible, which is exactly the MDS property an m/n code needs.
+  [[nodiscard]] static Matrix cauchy(std::span<const Byte> xs, std::span<const Byte> ys);
+
+  /// Vandermonde matrix V[i][j] = x_i ^ j.
+  [[nodiscard]] static Matrix vandermonde(std::span<const Byte> xs, std::size_t cols);
+
+  [[nodiscard]] Matrix multiply(const Matrix& rhs) const;
+
+  /// Gauss-Jordan inverse; throws std::domain_error if singular.
+  [[nodiscard]] Matrix inverse() const;
+
+  /// Rows `keep` of this matrix, in the given order.
+  [[nodiscard]] Matrix select_rows(std::span<const std::size_t> keep) const;
+
+  /// Multiplies this (rows x cols) by a block of `cols` equal-length byte
+  /// buffers, producing `rows` outputs.  This is the encode/decode kernel.
+  void apply(std::span<const std::span<const Byte>> inputs,
+             std::span<const std::span<Byte>> outputs) const;
+
+  [[nodiscard]] bool operator==(const Matrix& rhs) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Byte> data_;
+};
+
+}  // namespace farm::gf

@@ -1,0 +1,46 @@
+// Chained declustering (Petal-style): a group's home is a hash of its id;
+// block rank r lives r positions clockwise on the disk ring.  Replicas of
+// a group are clustered on neighbouring disks, so a localized failure burst
+// is much more dangerous than under RUSH — the locality ablation baseline.
+#include <stdexcept>
+
+#include "placement/placement.hpp"
+#include "util/random.hpp"
+
+namespace farm::placement {
+
+namespace {
+
+class ChainedDeclustering final : public PlacementPolicy {
+ public:
+  explicit ChainedDeclustering(std::uint64_t seed) : seed_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "chained"; }
+  [[nodiscard]] std::size_t disk_count() const override { return disks_; }
+
+  DiskId add_cluster(std::size_t count, double weight) override {
+    if (count == 0) throw std::invalid_argument("add_cluster: empty cluster");
+    (void)weight;  // the ring is unweighted
+    const DiskId first = static_cast<DiskId>(disks_);
+    disks_ += count;
+    return first;
+  }
+
+  [[nodiscard]] DiskId candidate(GroupId group, std::uint32_t rank) const override {
+    if (disks_ == 0) throw std::logic_error("chained placement: no disks");
+    const std::uint64_t home = util::hash_combine(seed_, group) % disks_;
+    return static_cast<DiskId>((home + rank) % disks_);
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t disks_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> make_chained(std::uint64_t seed) {
+  return std::make_unique<ChainedDeclustering>(seed);
+}
+
+}  // namespace farm::placement

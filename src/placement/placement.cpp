@@ -1,0 +1,59 @@
+#include "placement/placement.hpp"
+
+#include <stdexcept>
+
+namespace farm::placement {
+
+std::vector<DiskId> PlacementPolicy::layout(GroupId group, unsigned n,
+                                            std::uint32_t* first_free_rank) const {
+  if (n > disk_count()) {
+    throw std::invalid_argument("layout: more blocks than disks");
+  }
+  std::vector<DiskId> result;
+  result.reserve(n);
+  std::uint32_t rank = 0;
+  while (result.size() < n) {
+    const DiskId d = candidate(group, rank);
+    ++rank;
+    bool seen = false;
+    for (DiskId prior : result) {
+      if (prior == d) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) result.push_back(d);
+  }
+  if (first_free_rank != nullptr) *first_free_rank = rank;
+  return result;
+}
+
+std::unique_ptr<PlacementPolicy> make_policy(PolicyKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case PolicyKind::kRush:
+      return make_rush(seed);
+    case PolicyKind::kRandom:
+      return make_random(seed);
+    case PolicyKind::kChained:
+      return make_chained(seed);
+    case PolicyKind::kStraw2:
+      return make_straw2(seed);
+  }
+  throw std::invalid_argument("make_policy: unknown kind");
+}
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRush:
+      return "rush";
+    case PolicyKind::kRandom:
+      return "random";
+    case PolicyKind::kChained:
+      return "chained";
+    case PolicyKind::kStraw2:
+      return "straw2";
+  }
+  return "?";
+}
+
+}  // namespace farm::placement

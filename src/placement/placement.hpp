@@ -1,0 +1,76 @@
+// Decentralized data-placement policies (paper §2.1-§2.2).
+//
+// A placement policy deterministically maps (redundancy group, rank) to a
+// disk.  Rank 0..n-1 gives the initial homes of a group's n blocks; ranks
+// n, n+1, ... form the candidate list FARM walks when it needs a recovery
+// target after a failure ("our data placement algorithm provides a list of
+// locations where replicated data blocks can go", §2.3).
+//
+// The interface is stateless per lookup: everything derives from hashes of
+// (seed, group, rank), so any node can compute any location — the property
+// that makes RUSH-style placement usable in a serverless storage cluster.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace farm::placement {
+
+using DiskId = std::uint32_t;
+using GroupId = std::uint64_t;
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Total addressable disk slots (failed disks keep their slot; the caller
+  /// filters liveness).
+  [[nodiscard]] virtual std::size_t disk_count() const = 0;
+
+  /// Appends a cluster of `count` disks, each with relative `weight`
+  /// (capacity/vintage weighting, paper §3.6).  Returns the id of the first
+  /// new disk.  Policies that cannot grow may throw std::logic_error.
+  virtual DiskId add_cluster(std::size_t count, double weight) = 0;
+
+  /// The rank-th candidate disk for a group.  Deterministic; successive
+  /// ranks are statistically independent and balanced by weight.  May repeat
+  /// disks across ranks — callers needing distinctness skip duplicates.
+  [[nodiscard]] virtual DiskId candidate(GroupId group, std::uint32_t rank) const = 0;
+
+  /// First `n` *distinct* candidates: the initial homes of a group's blocks.
+  /// `first_free_rank`, when non-null, receives the first rank not consumed,
+  /// i.e. where the recovery-target walk should start.
+  [[nodiscard]] std::vector<DiskId> layout(GroupId group, unsigned n,
+                                           std::uint32_t* first_free_rank = nullptr) const;
+};
+
+/// RUSH-style weighted decentralized placement (substitution for Honicky &
+/// Miller's RUSH; see DESIGN.md).  Disks are organized in sub-clusters added
+/// over time; lookups descend from the newest cluster so that adding a
+/// cluster relocates only the statistically necessary fraction of data.
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_rush(std::uint64_t seed);
+
+/// Uniform random placement over all disks (no clusters, no minimal
+/// migration) — ablation baseline.
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_random(std::uint64_t seed);
+
+/// Chained declustering in the style of Petal (Lee & Thekkath): block rank r
+/// of a group lives r positions clockwise of the group's home on a ring —
+/// ablation baseline with strong locality and weak failure-domain spread.
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_chained(std::uint64_t seed);
+
+/// Straw2 (Ceph CRUSH bucket, the RUSH family's modern descendant):
+/// per-disk weighted straws, max wins.  Optimal reorganization, exact
+/// weighting, O(#disks) lookups.
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_straw2(std::uint64_t seed);
+
+enum class PolicyKind { kRush, kRandom, kChained, kStraw2 };
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_policy(PolicyKind kind,
+                                                           std::uint64_t seed);
+[[nodiscard]] std::string to_string(PolicyKind kind);
+
+}  // namespace farm::placement

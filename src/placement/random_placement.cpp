@@ -1,0 +1,46 @@
+// Uniform random placement: every (group, rank) hashes to an independent
+// uniform disk.  Ignores cluster structure entirely, so adding a cluster
+// reshuffles almost everything — the anti-RUSH ablation baseline.
+#include <stdexcept>
+
+#include "placement/placement.hpp"
+#include "util/random.hpp"
+
+namespace farm::placement {
+
+namespace {
+
+class RandomPlacement final : public PlacementPolicy {
+ public:
+  explicit RandomPlacement(std::uint64_t seed) : seed_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "random"; }
+  [[nodiscard]] std::size_t disk_count() const override { return disks_; }
+
+  DiskId add_cluster(std::size_t count, double weight) override {
+    if (count == 0) throw std::invalid_argument("add_cluster: empty cluster");
+    (void)weight;  // uniform placement cannot honor weights
+    const DiskId first = static_cast<DiskId>(disks_);
+    disks_ += count;
+    return first;
+  }
+
+  [[nodiscard]] DiskId candidate(GroupId group, std::uint32_t rank) const override {
+    if (disks_ == 0) throw std::logic_error("random placement: no disks");
+    const std::uint64_t h =
+        util::hash_combine(util::hash_combine(seed_, group), rank);
+    return static_cast<DiskId>(h % disks_);
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::size_t disks_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> make_random(std::uint64_t seed) {
+  return std::make_unique<RandomPlacement>(seed);
+}
+
+}  // namespace farm::placement

@@ -1,0 +1,64 @@
+#include "placement/rush.hpp"
+
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace farm::placement {
+
+namespace {
+/// Stateless uniform double in [0, 1) from a tuple of identifiers.
+double unit_hash(std::uint64_t a, std::uint64_t b, std::uint64_t c, std::uint64_t d) {
+  const std::uint64_t h =
+      util::hash_combine(util::hash_combine(a, b), util::hash_combine(c, d));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t slot_hash(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                        std::uint64_t d) {
+  return util::hash_combine(util::hash_combine(a, d), util::hash_combine(b, c));
+}
+}  // namespace
+
+RushPlacement::RushPlacement(std::uint64_t seed) : seed_(seed) {}
+
+DiskId RushPlacement::add_cluster(std::size_t count, double weight) {
+  if (count == 0) throw std::invalid_argument("add_cluster: empty cluster");
+  if (!(weight > 0.0)) throw std::invalid_argument("add_cluster: weight must be > 0");
+  const DiskId first = static_cast<DiskId>(total_disks_);
+  clusters_.push_back(Cluster{first, count, weight,
+                              weight * static_cast<double>(count)});
+  total_disks_ += count;
+  return first;
+}
+
+std::size_t RushPlacement::resolve_cluster(GroupId group, std::uint32_t rank) const {
+  if (clusters_.empty()) throw std::logic_error("rush: no clusters configured");
+  // Cumulative weights W_j = sum of total_weight over clusters 0..j.
+  // Walk newest-first: cluster j keeps the key with probability
+  // total_weight_j / W_j, drawn from a stateless per-(group, rank, cluster)
+  // hash.  Appending cluster j+1 never changes the j-th draw, so keys move
+  // only *into* a new cluster, in exactly the fraction its weight warrants —
+  // the RUSH minimal-reorganization property.
+  double cumulative = 0.0;
+  for (const auto& c : clusters_) cumulative += c.total_weight;
+  for (std::size_t j = clusters_.size(); j-- > 1;) {
+    const double p = clusters_[j].total_weight / cumulative;
+    if (unit_hash(seed_, group, rank, j) < p) return j;
+    cumulative -= clusters_[j].total_weight;
+  }
+  return 0;
+}
+
+DiskId RushPlacement::candidate(GroupId group, std::uint32_t rank) const {
+  const std::size_t j = resolve_cluster(group, rank);
+  const Cluster& c = clusters_[j];
+  const std::uint64_t slot = slot_hash(seed_, group, rank, j) % c.disks;
+  return static_cast<DiskId>(c.first_disk + slot);
+}
+
+std::unique_ptr<PlacementPolicy> make_rush(std::uint64_t seed) {
+  return std::make_unique<RushPlacement>(seed);
+}
+
+}  // namespace farm::placement

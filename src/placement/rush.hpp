@@ -1,0 +1,44 @@
+// RUSH-style placement internals, exposed for white-box tests.
+#pragma once
+
+#include "placement/placement.hpp"
+
+namespace farm::placement {
+
+/// Weighted multi-cluster decentralized placement.
+///
+/// Lookup for (group, rank) walks clusters newest-first: cluster j captures
+/// the key with probability (weight of cluster j) / (total weight of
+/// clusters 0..j), evaluated with a stateless hash.  A key that no newer
+/// cluster captures lands in cluster 0.  This reproduces the two properties
+/// the paper leans on (Honicky & Miller's RUSH):
+///   * each disk receives its weight-fair share of blocks, and
+///   * adding a cluster moves only the fraction of data the new weight
+///     warrants, and every moved block moves *into* the new cluster.
+class RushPlacement final : public PlacementPolicy {
+ public:
+  explicit RushPlacement(std::uint64_t seed);
+
+  [[nodiscard]] std::string name() const override { return "rush"; }
+  [[nodiscard]] std::size_t disk_count() const override { return total_disks_; }
+  DiskId add_cluster(std::size_t count, double weight) override;
+  [[nodiscard]] DiskId candidate(GroupId group, std::uint32_t rank) const override;
+
+  [[nodiscard]] std::size_t cluster_count() const { return clusters_.size(); }
+  /// Cluster index that candidate(group, rank) resolves to (for tests).
+  [[nodiscard]] std::size_t resolve_cluster(GroupId group, std::uint32_t rank) const;
+
+ private:
+  struct Cluster {
+    DiskId first_disk;
+    std::size_t disks;
+    double weight;        // per-disk weight
+    double total_weight;  // disks * weight
+  };
+
+  std::uint64_t seed_;
+  std::vector<Cluster> clusters_;
+  std::size_t total_disks_ = 0;
+};
+
+}  // namespace farm::placement

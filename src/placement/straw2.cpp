@@ -1,0 +1,70 @@
+// Straw2 weighted placement (the bucket algorithm of Ceph's CRUSH, the
+// direct descendant of the RUSH family this paper builds on).
+//
+// Every disk d draws a "straw" for key (group, rank):
+//     straw(d) = ln(u_d) / weight_d,   u_d = per-(key, disk) uniform hash
+// and the maximum straw wins.  Properties:
+//   * exact weight proportionality in expectation,
+//   * adding a disk never moves data between existing disks (their straws
+//     are untouched) — optimal reorganization, and
+//   * completely stateless lookups.
+// The price is O(#disks) per lookup, vs O(#clusters) for the RUSH-style
+// cluster descent; the micro-benchmarks quantify the trade.
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "placement/placement.hpp"
+#include "util/random.hpp"
+
+namespace farm::placement {
+
+namespace {
+
+class Straw2Placement final : public PlacementPolicy {
+ public:
+  explicit Straw2Placement(std::uint64_t seed) : seed_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "straw2"; }
+  [[nodiscard]] std::size_t disk_count() const override { return weights_.size(); }
+
+  DiskId add_cluster(std::size_t count, double weight) override {
+    if (count == 0) throw std::invalid_argument("add_cluster: empty cluster");
+    if (!(weight > 0.0)) throw std::invalid_argument("add_cluster: weight must be > 0");
+    const auto first = static_cast<DiskId>(weights_.size());
+    weights_.insert(weights_.end(), count, weight);
+    return first;
+  }
+
+  [[nodiscard]] DiskId candidate(GroupId group, std::uint32_t rank) const override {
+    if (weights_.empty()) throw std::logic_error("straw2: no disks");
+    const std::uint64_t key = util::hash_combine(util::hash_combine(seed_, group), rank);
+    double best = -std::numeric_limits<double>::infinity();
+    DiskId winner = 0;
+    for (DiskId d = 0; d < weights_.size(); ++d) {
+      const std::uint64_t h = util::hash_combine(key, d);
+      // Uniform in (0, 1]: ln(u) in (-inf, 0]; dividing by the weight makes
+      // heavier disks' straws less negative, hence more likely to win.
+      const double u =
+          (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+      const double straw = std::log(u) / weights_[d];
+      if (straw > best) {
+        best = straw;
+        winner = d;
+      }
+    }
+    return winner;
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<double> weights_;
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> make_straw2(std::uint64_t seed) {
+  return std::make_unique<Straw2Placement>(seed);
+}
+
+}  // namespace farm::placement

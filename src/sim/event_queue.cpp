@@ -1,0 +1,57 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace farm::sim {
+
+EventHandle EventQueue::schedule(util::Seconds at, EventFn fn) {
+  const std::uint64_t id = next_id_++;
+  heap_.push_back(Entry{at.value(), next_seq_++, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  pending_.insert(id);
+  return EventHandle{id};
+}
+
+bool EventQueue::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  // Only ids still pending may be tombstoned; a handle whose event already
+  // fired (or was cancelled) is simply ignored.
+  if (pending_.erase(h.id_) == 0) return false;
+  cancelled_.insert(h.id_);
+  return true;
+}
+
+void EventQueue::drop_dead_top() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+util::Seconds EventQueue::next_time() {
+  drop_dead_top();
+  if (heap_.empty()) throw std::logic_error("next_time() on empty EventQueue");
+  return util::Seconds{heap_.front().time};
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_dead_top();
+  if (heap_.empty()) throw std::logic_error("pop() on empty EventQueue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(e.id);
+  return Fired{util::Seconds{e.time}, e.id, std::move(e.fn)};
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  pending_.clear();
+  cancelled_.clear();
+}
+
+}  // namespace farm::sim

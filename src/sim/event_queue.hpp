@@ -1,0 +1,85 @@
+// Pending-event set for the discrete-event engine.
+//
+// A binary heap keyed on (time, sequence) gives deterministic FIFO ordering
+// among simultaneous events.  Cancellation — needed constantly by the
+// recovery policies, which abort in-flight rebuilds when a target disk dies —
+// is implemented with tombstones: cancel() records the id and pop() skips
+// dead entries.  Amortized cost stays O(log n) and no handle ever dangles.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace farm::sim {
+
+using EventFn = std::function<void()>;
+
+/// Opaque ticket for a scheduled event; usable until the event fires or is
+/// cancelled.  Default-constructed handles are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  [[nodiscard]] bool valid() const { return id_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute simulated time `at`.
+  EventHandle schedule(util::Seconds at, EventFn fn);
+
+  /// Cancels a pending event.  Returns true if the event was still pending
+  /// (had neither fired nor been cancelled).  Safe on inert handles.
+  bool cancel(EventHandle h);
+
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Earliest pending event time; queue must be non-empty.
+  [[nodiscard]] util::Seconds next_time();
+
+  struct Fired {
+    util::Seconds time{};
+    std::uint64_t id = 0;
+    EventFn fn;
+  };
+  /// Removes and returns the earliest pending event; queue must be
+  /// non-empty.
+  Fired pop();
+
+  /// Drops every pending event.
+  void clear();
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;  // tie-break: schedule order
+    std::uint64_t id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops tombstoned entries off the heap top.
+  void drop_dead_top();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> pending_;    // issued, not fired/cancelled
+  std::unordered_set<std::uint64_t> cancelled_;  // tombstones awaiting pop
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace farm::sim

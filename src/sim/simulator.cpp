@@ -1,0 +1,53 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace farm::sim {
+
+EventHandle Simulator::schedule_in(util::Seconds delay, EventFn fn) {
+  const double d = std::max(0.0, delay.value());
+  return queue_.schedule(now_ + util::Seconds{d}, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(util::Seconds at, EventFn fn) {
+  if (at < now_) {
+    throw std::invalid_argument("schedule_at: time is in the past");
+  }
+  return queue_.schedule(at, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  ++executed_;
+  fired.fn();
+  return true;
+}
+
+std::uint64_t Simulator::run_until(util::Seconds horizon) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    step();
+    ++n;
+  }
+  // The clock advances to the horizon even if events ran out earlier, so a
+  // subsequent schedule_in() measures delays from the end of the mission.
+  now_ = std::max(now_, horizon);
+  return n;
+}
+
+std::uint64_t Simulator::run_until(util::Seconds horizon,
+                                   const std::function<bool()>& stop) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    step();
+    ++n;
+    if (stop()) return n;
+  }
+  now_ = std::max(now_, horizon);
+  return n;
+}
+
+}  // namespace farm::sim

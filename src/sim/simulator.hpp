@@ -1,0 +1,61 @@
+// Discrete-event simulator: virtual clock + scheduling API.
+//
+// This replaces the PARSEC toolkit the paper used.  The model is
+// single-threaded per simulation instance (Monte-Carlo parallelism happens
+// across instances), with an explicit run loop so callers can stop on a
+// horizon, on a predicate (e.g. first data loss), or after an event budget.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "util/units.hpp"
+
+namespace farm::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  /// Current simulated time; starts at 0.
+  [[nodiscard]] util::Seconds now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` from now.  Negative delays are clamped to
+  /// "immediately" (same timestamp, FIFO after already-scheduled events at
+  /// that instant).
+  EventHandle schedule_in(util::Seconds delay, EventFn fn);
+
+  /// Schedule `fn` at an absolute time, which must be >= now().
+  EventHandle schedule_at(util::Seconds at, EventFn fn);
+
+  bool cancel(EventHandle h) { return queue_.cancel(h); }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Runs until the queue drains or the clock would pass `horizon`.
+  /// Events exactly at the horizon still fire.  Returns the number of events
+  /// executed.
+  std::uint64_t run_until(util::Seconds horizon);
+
+  /// Runs until the queue drains, `horizon` passes, or `stop()` returns true
+  /// (checked after each event).
+  std::uint64_t run_until(util::Seconds horizon, const std::function<bool()>& stop);
+
+  /// Executes at most one event; returns false if none were pending.
+  bool step();
+
+  /// Total events executed over the simulator's lifetime.
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Drops all pending events without running them.
+  void drain() { queue_.clear(); }
+
+ private:
+  EventQueue queue_;
+  util::Seconds now_{0.0};
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace farm::sim

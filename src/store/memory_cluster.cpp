@@ -1,0 +1,65 @@
+#include "store/memory_cluster.hpp"
+
+#include <stdexcept>
+
+namespace farm::store {
+
+MemoryCluster::MemoryCluster(std::size_t disks) : disks_(disks) {
+  if (disks == 0) throw std::invalid_argument("MemoryCluster: need >= 1 disk");
+}
+
+std::size_t MemoryCluster::live_disks() const {
+  std::size_t n = 0;
+  for (const auto& d : disks_) n += d.alive;
+  return n;
+}
+
+void MemoryCluster::fail_disk(DiskId d) {
+  Disk& disk = disks_.at(d);
+  if (!disk.alive) throw std::logic_error("fail_disk: already failed");
+  disk.alive = false;
+  disk.blocks.clear();  // the platters are gone
+  disk.bytes = 0;
+}
+
+DiskId MemoryCluster::add_disks(std::size_t count) {
+  const auto first = static_cast<DiskId>(disks_.size());
+  disks_.resize(disks_.size() + count);
+  return first;
+}
+
+void MemoryCluster::write(DiskId d, BlockKey key, std::vector<Byte> data) {
+  Disk& disk = disks_.at(d);
+  if (!disk.alive) throw std::logic_error("write: disk is dead");
+  auto [it, inserted] = disk.blocks.try_emplace(key, std::move(data));
+  if (!inserted) {
+    disk.bytes -= it->second.size();
+    it->second = std::move(data);
+  }
+  disk.bytes += it->second.size();
+}
+
+const std::vector<Byte>* MemoryCluster::read(DiskId d, BlockKey key) const {
+  const Disk& disk = disks_.at(d);
+  if (!disk.alive) return nullptr;
+  const auto it = disk.blocks.find(key);
+  return it == disk.blocks.end() ? nullptr : &it->second;
+}
+
+void MemoryCluster::erase(DiskId d, BlockKey key) {
+  Disk& disk = disks_.at(d);
+  if (!disk.alive) return;
+  const auto it = disk.blocks.find(key);
+  if (it != disk.blocks.end()) {
+    disk.bytes -= it->second.size();
+    disk.blocks.erase(it);
+  }
+}
+
+std::size_t MemoryCluster::blocks_on(DiskId d) const {
+  return disks_.at(d).blocks.size();
+}
+
+std::size_t MemoryCluster::bytes_on(DiskId d) const { return disks_.at(d).bytes; }
+
+}  // namespace farm::store

@@ -1,0 +1,70 @@
+// In-memory disk cluster backing the byte-level ObjectStore.
+//
+// Each "disk" is a map from (group, block-index) to a byte buffer, plus a
+// liveness flag.  This is the miniature real-data counterpart of the
+// reliability simulator's abstract disks: the examples and tests use it to
+// run the paper's full data path (encode -> place -> fail -> declustered
+// rebuild) on actual bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "gf/gf256.hpp"
+#include "placement/placement.hpp"
+
+namespace farm::store {
+
+using Byte = gf::Byte;
+using DiskId = placement::DiskId;
+using GroupId = std::uint64_t;
+
+/// Identity of one stored block: which group, which position in the group.
+struct BlockKey {
+  GroupId group;
+  std::uint16_t index;
+
+  [[nodiscard]] bool operator==(const BlockKey&) const = default;
+};
+
+struct BlockKeyHash {
+  [[nodiscard]] std::size_t operator()(const BlockKey& k) const {
+    return std::hash<std::uint64_t>{}(k.group * 1000003ULL + k.index);
+  }
+};
+
+class MemoryCluster {
+ public:
+  explicit MemoryCluster(std::size_t disks);
+
+  [[nodiscard]] std::size_t disk_count() const { return disks_.size(); }
+  [[nodiscard]] std::size_t live_disks() const;
+  [[nodiscard]] bool alive(DiskId d) const { return disks_.at(d).alive; }
+
+  /// Marks a disk failed; its contents become unreadable (and are freed).
+  void fail_disk(DiskId d);
+  /// Appends `count` fresh disks; returns the first new id.
+  DiskId add_disks(std::size_t count);
+
+  /// Stores a block; throws std::logic_error on a dead disk.
+  void write(DiskId d, BlockKey key, std::vector<Byte> data);
+  /// Reads a block; nullptr when the disk is dead or never held the key.
+  [[nodiscard]] const std::vector<Byte>* read(DiskId d, BlockKey key) const;
+  /// Drops a block if present (no-op on dead disks).
+  void erase(DiskId d, BlockKey key);
+
+  [[nodiscard]] std::size_t blocks_on(DiskId d) const;
+  [[nodiscard]] std::size_t bytes_on(DiskId d) const;
+
+ private:
+  struct Disk {
+    bool alive = true;
+    std::size_t bytes = 0;
+    std::unordered_map<BlockKey, std::vector<Byte>, BlockKeyHash> blocks;
+  };
+  std::vector<Disk> disks_;
+};
+
+}  // namespace farm::store

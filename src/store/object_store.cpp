@@ -1,0 +1,215 @@
+#include "store/object_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace farm::store {
+
+namespace {
+constexpr std::uint32_t kMaxProbes = 4096;
+}  // namespace
+
+ObjectStore::ObjectStore(StoreConfig config, std::size_t disks)
+    : config_(config),
+      codec_(erasure::make_codec(config.scheme, config.codec)),
+      placement_(placement::make_rush(config.placement_seed)),
+      cluster_(disks) {
+  if (config_.group_payload == 0) {
+    throw std::invalid_argument("ObjectStore: group_payload must be > 0");
+  }
+  if (disks < config_.scheme.total_blocks) {
+    throw std::invalid_argument("ObjectStore: fewer disks than blocks per group");
+  }
+  placement_->add_cluster(disks, 1.0);
+}
+
+DiskId ObjectStore::pick_target(GroupId id, GroupMeta& meta) const {
+  // Strict pass honours rack-awareness; the relaxed pass drops it (a
+  // same-enclosure copy still beats no copy when the cluster is cornered).
+  for (const bool relaxed : {false, true}) {
+    if (relaxed && config_.disks_per_domain == 0) break;
+    for (std::uint32_t probe = 0; probe < kMaxProbes; ++probe) {
+      const std::uint32_t rank = meta.next_rank + probe;
+      const DiskId d = placement_->candidate(id, rank);
+      if (!cluster_.alive(d)) continue;
+      if (std::find(meta.homes.begin(), meta.homes.end(), d) != meta.homes.end()) {
+        continue;  // buddy rule
+      }
+      if (!relaxed && config_.disks_per_domain > 0) {
+        bool conflict = false;
+        for (const DiskId c : meta.homes) {
+          conflict |= cluster_.alive(c) && domain_of(c) == domain_of(d);
+        }
+        if (conflict) continue;
+      }
+      meta.next_rank = rank + 1;
+      return d;
+    }
+  }
+  throw std::runtime_error("ObjectStore: no live non-buddy disk available");
+}
+
+void ObjectStore::store_group(GroupId id, GroupMeta& meta,
+                              std::span<const Byte> payload) {
+  const auto blocks = erasure::encode_object(*codec_, payload);
+  meta.payload = payload.size();
+  // Choose all homes first (the buddy rule needs the growing set), then write.
+  meta.homes.clear();
+  meta.homes.reserve(blocks.size());
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    meta.homes.push_back(pick_target(id, meta));
+  }
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    cluster_.write(meta.homes[b], BlockKey{id, static_cast<std::uint16_t>(b)},
+                   blocks[b]);
+  }
+}
+
+void ObjectStore::drop_group(GroupId id, const GroupMeta& meta) {
+  for (std::size_t b = 0; b < meta.homes.size(); ++b) {
+    if (cluster_.alive(meta.homes[b])) {
+      cluster_.erase(meta.homes[b], BlockKey{id, static_cast<std::uint16_t>(b)});
+    }
+  }
+}
+
+void ObjectStore::put(const std::string& name, std::span<const Byte> data) {
+  if (contains(name)) remove(name);
+
+  ObjectMeta object;
+  object.size = data.size();
+  std::size_t offset = 0;
+  do {
+    const std::size_t chunk = std::min(config_.group_payload, data.size() - offset);
+    const GroupId id = next_group_++;
+    GroupMeta meta;
+    store_group(id, meta, data.subspan(offset, chunk));
+    groups_.emplace(id, std::move(meta));
+    object.groups.push_back(id);
+    offset += chunk;
+  } while (offset < data.size());
+  directory_.emplace(name, std::move(object));
+}
+
+std::vector<Byte> ObjectStore::get(const std::string& name) const {
+  const ObjectMeta& object = directory_.at(name);
+  std::vector<Byte> out;
+  out.reserve(object.size);
+  for (const GroupId id : object.groups) {
+    const GroupMeta& meta = groups_.at(id);
+    std::vector<erasure::BlockRef> available;
+    for (std::size_t b = 0; b < meta.homes.size(); ++b) {
+      const auto* block =
+          cluster_.read(meta.homes[b], BlockKey{id, static_cast<std::uint16_t>(b)});
+      if (block != nullptr) {
+        available.push_back(
+            erasure::BlockRef{static_cast<unsigned>(b), *block});
+      }
+    }
+    if (available.size() < config_.scheme.data_blocks) {
+      throw std::runtime_error("ObjectStore: data loss in object '" + name + "'");
+    }
+    const auto payload = erasure::decode_object(*codec_, available, meta.payload);
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+  return out;
+}
+
+void ObjectStore::remove(const std::string& name) {
+  const auto it = directory_.find(name);
+  if (it == directory_.end()) return;
+  for (const GroupId id : it->second.groups) {
+    const auto git = groups_.find(id);
+    if (git != groups_.end()) {
+      drop_group(id, git->second);
+      groups_.erase(git);
+    }
+  }
+  directory_.erase(it);
+}
+
+bool ObjectStore::contains(const std::string& name) const {
+  return directory_.contains(name);
+}
+
+void ObjectStore::fail_disk(DiskId d) { cluster_.fail_disk(d); }
+
+DiskId ObjectStore::add_disks(std::size_t count) {
+  const DiskId first = cluster_.add_disks(count);
+  placement_->add_cluster(count, 1.0);
+  return first;
+}
+
+bool ObjectStore::repair_group(GroupId id, GroupMeta& meta,
+                               RecoveryReport& report) {
+  std::vector<erasure::BlockRef> available;
+  std::vector<unsigned> missing;
+  for (std::size_t b = 0; b < meta.homes.size(); ++b) {
+    const auto* block =
+        cluster_.read(meta.homes[b], BlockKey{id, static_cast<std::uint16_t>(b)});
+    if (block != nullptr) {
+      available.push_back(erasure::BlockRef{static_cast<unsigned>(b), *block});
+    } else {
+      missing.push_back(static_cast<unsigned>(b));
+    }
+  }
+  if (missing.empty()) return true;
+  if (available.size() < config_.scheme.data_blocks) {
+    ++report.groups_lost;
+    return false;
+  }
+
+  std::vector<std::vector<Byte>> rebuilt(missing.size(),
+                                         std::vector<Byte>(available[0].data.size()));
+  std::vector<erasure::BlockOut> outs;
+  outs.reserve(missing.size());
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    outs.push_back(erasure::BlockOut{missing[i], rebuilt[i]});
+  }
+  codec_->reconstruct(available, outs);
+
+  for (std::size_t i = 0; i < missing.size(); ++i) {
+    const DiskId target = pick_target(id, meta);
+    cluster_.write(target, BlockKey{id, static_cast<std::uint16_t>(missing[i])},
+                   std::move(rebuilt[i]));
+    meta.homes[missing[i]] = target;
+    ++report.blocks_rebuilt;
+  }
+  ++report.groups_repaired;
+  return true;
+}
+
+ObjectStore::RecoveryReport ObjectStore::recover() {
+  RecoveryReport report;
+  for (auto& [id, meta] : groups_) {
+    // A group needs repair when any home is dead (reads return nullptr).
+    bool damaged = false;
+    for (const DiskId d : meta.homes) damaged |= !cluster_.alive(d);
+    if (damaged) repair_group(id, meta, report);
+  }
+  return report;
+}
+
+std::vector<std::string> ObjectStore::damaged_objects() const {
+  std::vector<std::string> names;
+  for (const auto& [name, object] : directory_) {
+    for (const GroupId id : object.groups) {
+      const GroupMeta& meta = groups_.at(id);
+      std::size_t live = 0;
+      for (std::size_t b = 0; b < meta.homes.size(); ++b) {
+        if (cluster_.read(meta.homes[b],
+                          BlockKey{id, static_cast<std::uint16_t>(b)}) != nullptr) {
+          ++live;
+        }
+      }
+      if (live < config_.scheme.data_blocks) {
+        names.push_back(name);
+        break;
+      }
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace farm::store

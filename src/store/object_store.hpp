@@ -1,0 +1,115 @@
+// ObjectStore: the paper's §2.1 data path on real bytes.
+//
+//   object --(split)--> collections of fixed-size blocks
+//          --(codec)--> redundancy groups of n blocks
+//          --(RUSH)---> disks
+//
+// plus the §2.3 failure path: fail_disk() loses blocks, recover() performs
+// FARM's declustered re-replication — each damaged group independently
+// rebuilds its missing blocks from survivors onto fresh targets drawn from
+// its placement candidate list (alive, no buddy, capacity permitting).
+//
+// This is the miniature end-to-end system; the large-scale *reliability*
+// questions are answered by the discrete-event simulator in src/farm, which
+// shares the same placement and scheme machinery but tracks availability
+// instead of bytes.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "erasure/codec.hpp"
+#include "store/memory_cluster.hpp"
+
+namespace farm::store {
+
+struct StoreConfig {
+  erasure::Scheme scheme{1, 2};
+  /// User bytes per redundancy group (the paper's "size of a redundancy
+  /// group"); objects are chopped into chunks of this size, one group each.
+  std::size_t group_payload = 4 << 20;
+  erasure::CodecPreference codec = erasure::CodecPreference::kAuto;
+  std::uint64_t placement_seed = 0x9e3779b9;
+  /// Failure-domain width: with > 0, disks are binned into enclosures of
+  /// this many drives and no group places two blocks in one enclosure
+  /// (rack-aware placement; paper §2.2's correlated failure causes).
+  std::size_t disks_per_domain = 0;
+};
+
+class ObjectStore {
+ public:
+  ObjectStore(StoreConfig config, std::size_t disks);
+
+  // --- namespace -------------------------------------------------------
+  /// Stores (or replaces) an object.  Throws std::runtime_error when the
+  /// cluster lacks enough live disks to place a group.
+  void put(const std::string& name, std::span<const Byte> data);
+  /// Retrieves an object, reconstructing through up to k failures per
+  /// group.  Throws std::out_of_range for unknown names and
+  /// std::runtime_error when some group has lost too many blocks.
+  [[nodiscard]] std::vector<Byte> get(const std::string& name) const;
+  /// Removes an object and frees its blocks.
+  void remove(const std::string& name);
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::size_t object_count() const { return directory_.size(); }
+
+  // --- failure & recovery ----------------------------------------------
+  /// Kills a disk (its blocks are gone).
+  void fail_disk(DiskId d);
+  /// Grows the cluster; new disks join the placement function as a fresh
+  /// RUSH cluster and become recovery targets.
+  DiskId add_disks(std::size_t count);
+
+  struct RecoveryReport {
+    std::size_t groups_repaired = 0;
+    std::size_t blocks_rebuilt = 0;
+    std::size_t groups_lost = 0;  // fewer than m survivors remained
+  };
+  /// FARM-style declustered recovery: every group missing blocks rebuilds
+  /// them from survivors onto scattered targets.  Safe to call repeatedly.
+  RecoveryReport recover();
+
+  /// Enclosure of a disk (0 when domains are disabled).
+  [[nodiscard]] std::size_t domain_of(DiskId d) const {
+    return config_.disks_per_domain ? d / config_.disks_per_domain : 0;
+  }
+
+  /// Objects with at least one unreadable-and-unrecoverable group.
+  [[nodiscard]] std::vector<std::string> damaged_objects() const;
+
+  // --- introspection -----------------------------------------------------
+  [[nodiscard]] const MemoryCluster& cluster() const { return cluster_; }
+  [[nodiscard]] std::size_t group_count() const { return groups_.size(); }
+  [[nodiscard]] const StoreConfig& config() const { return config_; }
+
+ private:
+  struct GroupMeta {
+    std::vector<DiskId> homes;    // one per block, index-aligned
+    std::uint32_t next_rank = 0;  // placement candidate cursor
+    std::size_t payload = 0;      // user bytes carried by this group
+  };
+  struct ObjectMeta {
+    std::size_t size = 0;
+    std::vector<GroupId> groups;
+  };
+
+  /// Picks a target for a new/rebuilt block of `meta`, walking candidates.
+  [[nodiscard]] DiskId pick_target(GroupId id, GroupMeta& meta) const;
+  void store_group(GroupId id, GroupMeta& meta, std::span<const Byte> payload);
+  void drop_group(GroupId id, const GroupMeta& meta);
+  /// Rebuilds the group's missing blocks; true on success.
+  bool repair_group(GroupId id, GroupMeta& meta, RecoveryReport& report);
+
+  StoreConfig config_;
+  std::unique_ptr<erasure::Codec> codec_;
+  std::unique_ptr<placement::PlacementPolicy> placement_;
+  MemoryCluster cluster_;
+  std::unordered_map<std::string, ObjectMeta> directory_;
+  std::unordered_map<GroupId, GroupMeta> groups_;
+  GroupId next_group_ = 1;
+};
+
+}  // namespace farm::store

@@ -1,0 +1,42 @@
+#include "util/random.hpp"
+
+#include <cmath>
+
+namespace farm::util {
+
+std::uint64_t Xoshiro256::below(std::uint64_t n) {
+  // Lemire's nearly-divisionless bounded sampling.
+  std::uint64_t x = (*this)();
+  unsigned __int128 m = static_cast<unsigned __int128>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0ULL - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<unsigned __int128>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::exponential(double rate) {
+  return -std::log(uniform_pos()) / rate;
+}
+
+double Xoshiro256::normal() {
+  // Marsaglia polar method; discards the second variate for statelessness.
+  double u, v, s;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+double Xoshiro256::weibull(double shape, double scale) {
+  return scale * std::pow(-std::log(uniform_pos()), 1.0 / shape);
+}
+
+}  // namespace farm::util

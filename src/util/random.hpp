@@ -1,0 +1,120 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// The Monte-Carlo harness needs (a) reproducible trials given a master seed,
+// (b) statistically independent streams per trial, and (c) speed — lifetime
+// sampling and placement hashing sit on hot paths.  We implement
+// SplitMix64 (seed expansion / hashing) and Xoshiro256** (bulk generation)
+// rather than relying on the unspecified std::mt19937 state layout, so that
+// results are bit-identical across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace farm::util {
+
+/// SplitMix64: tiny, passes BigCrush, ideal for seeding and stateless
+/// integer hashing (used by the RUSH placement functions).
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless 64-bit mix of a single value (finalizer of SplitMix64).
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless hash of a pair of 64-bit values; cheap and well-mixed, used to
+/// derive per-(group, attempt) placement decisions without any stored state.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Xoshiro256**: fast all-purpose generator (Blackman & Vigna).
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm{seed};
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [0, 1): never exactly 0 (safe for log()).
+  double uniform_pos() {
+    double u = uniform();
+    return u > 0.0 ? u : 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t n);
+
+  /// Exponential variate with the given rate (events per unit time).
+  double exponential(double rate);
+
+  /// Standard normal variate (Marsaglia polar method).
+  double normal();
+
+  /// Weibull variate with shape k and scale lambda.
+  double weibull(double shape, double scale);
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Derives independent child seeds from a master seed; stream `i` is stable
+/// regardless of how many other streams exist (pure function of (seed, i)).
+class SeedSequence {
+ public:
+  constexpr explicit SeedSequence(std::uint64_t master) : master_(master) {}
+  [[nodiscard]] constexpr std::uint64_t stream(std::uint64_t i) const {
+    return hash_combine(master_, i);
+  }
+
+ private:
+  std::uint64_t master_;
+};
+
+}  // namespace farm::util

@@ -1,0 +1,86 @@
+// Streaming statistics and interval estimates for the Monte-Carlo harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace farm::util {
+
+/// Welford's online algorithm: numerically stable running mean / variance.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A two-sided interval estimate.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] double width() const { return hi - lo; }
+  [[nodiscard]] bool contains(double x) const { return lo <= x && x <= hi; }
+};
+
+/// Wilson score interval for a binomial proportion — the right tool for
+/// P(data loss) estimates, which are frequently near 0 where the normal
+/// approximation collapses.
+[[nodiscard]] Interval wilson_interval(std::size_t successes, std::size_t trials,
+                                       double confidence = 0.95);
+
+/// Normal-approximation confidence interval for a mean.
+[[nodiscard]] Interval mean_interval(const OnlineStats& s, double confidence = 0.95);
+
+/// Two-sided standard-normal quantile for the given confidence level
+/// (e.g. 0.95 -> 1.959964).
+[[nodiscard]] double z_for_confidence(double confidence);
+
+/// Standard normal CDF.
+[[nodiscard]] double normal_cdf(double x);
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins.  Used for utilization distributions (paper Fig. 6).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  /// Linear-interpolated quantile (q in [0,1]) from the binned data.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Population mean of a span (0 for empty).
+[[nodiscard]] double mean_of(std::span<const double> xs);
+/// Sample standard deviation of a span (0 for fewer than two values).
+[[nodiscard]] double stddev_of(std::span<const double> xs);
+
+}  // namespace farm::util

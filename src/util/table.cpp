@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace farm::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("Table needs at least one column");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("row width does not match header width");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << " | ";
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << "-+-";
+    os << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) { return os << t.str(); }
+
+std::string fmt_fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  return fmt_fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string fmt_sig(double v, int sig_figs) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", sig_figs, v);
+  return buf;
+}
+
+}  // namespace farm::util

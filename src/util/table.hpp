@@ -1,0 +1,42 @@
+// ASCII table / CSV emitter used by the bench binaries to print the paper's
+// tables and figure series in a uniform, diff-able format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace farm::util {
+
+/// Column-aligned text table.  Cells are strings; numeric helpers format
+/// consistently so EXPERIMENTS.md entries are stable across runs.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header rule, e.g.
+  ///   scheme  | with FARM | w/o FARM
+  ///   --------+-----------+---------
+  ///   1/2     | 1.9%      | 14.2%
+  [[nodiscard]] std::string str() const;
+  /// Comma-separated form for machine consumption.
+  [[nodiscard]] std::string csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision decimal, e.g. fmt_fixed(3.14159, 2) == "3.14".
+[[nodiscard]] std::string fmt_fixed(double v, int decimals);
+/// Percentage with given decimals, e.g. fmt_percent(0.0312, 1) == "3.1%".
+[[nodiscard]] std::string fmt_percent(double fraction, int decimals = 2);
+/// Significant-figure formatting for wide-ranging values.
+[[nodiscard]] std::string fmt_sig(double v, int sig_figs = 3);
+
+}  // namespace farm::util

@@ -1,0 +1,99 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+namespace farm::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_index(std::size_t n,
+                                    const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Shared-ownership loop state: a worker that loses the race for the last
+  // index may still touch `next` after the caller has been released, so the
+  // state must outlive the caller's stack frame.
+  struct LoopState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+  };
+  auto state = std::make_shared<LoopState>();
+
+  // One chunk-claiming task per worker keeps queue traffic O(workers),
+  // not O(n), which matters when n is hundreds of thousands of trials.
+  // `body` is only invoked for claimed i < n, all of which happen-before
+  // done reaching n, i.e. before the caller can return — so capturing it
+  // by reference is safe.
+  const std::size_t tasks = std::min(n, worker_count());
+  for (std::size_t t = 0; t < tasks; ++t) {
+    submit([state, n, &body] {
+      for (;;) {
+        const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard lock(state->error_mu);
+          if (!state->first_error) state->first_error = std::current_exception();
+        }
+        if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+          std::lock_guard lock(state->mu);
+          state->cv.notify_all();
+        }
+      }
+    });
+  }
+  std::unique_lock lock(state->mu);
+  state->cv.wait(lock,
+                 [&] { return state->done.load(std::memory_order_acquire) == n; });
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace farm::util

@@ -1,0 +1,52 @@
+// Minimal fixed-size thread pool for fanning out Monte-Carlo trials.
+//
+// Trials are fully independent, so the pool only needs a simple shared
+// queue; there is no work stealing.  parallel_for_index is the primary API:
+// it blocks until every index has been processed and rethrows the first
+// exception raised by any worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace farm::util {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+
+  /// Enqueue a task; fire-and-forget (use parallel_for_index for joining).
+  void submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [0, n), distributed across workers, and
+  /// blocks until all complete.  The first exception thrown by any body is
+  /// rethrown on the caller's thread after the loop drains.
+  void parallel_for_index(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool, constructed on first use.
+ThreadPool& global_pool();
+
+}  // namespace farm::util

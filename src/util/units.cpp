@@ -1,0 +1,47 @@
+#include "util/units.hpp"
+
+#include <cstdio>
+
+namespace farm::util {
+
+namespace {
+std::string scaled(double v, const char* const* suffixes, std::size_t n, double step) {
+  std::size_t i = 0;
+  while (i + 1 < n && v >= step) {
+    v /= step;
+    ++i;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g %s", v, suffixes[i]);
+  return buf;
+}
+}  // namespace
+
+std::string to_string(Bytes b) {
+  static const char* const kSuffixes[] = {"B", "KB", "MB", "GB", "TB", "PB", "EB"};
+  return scaled(b.value(), kSuffixes, 7, 1000.0);
+}
+
+std::string to_string(Seconds s) {
+  const double v = s.value();
+  char buf[64];
+  if (v < 120.0) {
+    std::snprintf(buf, sizeof buf, "%.4g s", v);
+  } else if (v < 2.0 * 3600.0) {
+    std::snprintf(buf, sizeof buf, "%.4g min", v / 60.0);
+  } else if (v < 2.0 * 86400.0) {
+    std::snprintf(buf, sizeof buf, "%.4g h", v / 3600.0);
+  } else if (v < 2.0 * 365.25 * 86400.0) {
+    std::snprintf(buf, sizeof buf, "%.4g d", v / 86400.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g y", v / (365.25 * 86400.0));
+  }
+  return buf;
+}
+
+std::string to_string(Bandwidth bw) {
+  static const char* const kSuffixes[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+  return scaled(bw.value(), kSuffixes, 5, 1000.0);
+}
+
+}  // namespace farm::util

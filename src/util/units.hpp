@@ -1,0 +1,119 @@
+// Strong-typed units used throughout the FARM library.
+//
+// The reliability simulation mixes quantities whose silent confusion would be
+// catastrophic (seconds vs hours, bytes vs gigabytes, MB/s vs B/s), so the
+// core quantities are wrapped in thin value types.  All arithmetic stays in
+// double-precision SI base units (bytes, seconds) internally; named factory
+// helpers keep call sites readable and paper-faithful ("gigabytes(10)",
+// "mb_per_sec(16)").
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace farm::util {
+
+/// Bytes of storage.  Stored as double: a 5 PB system is ~5.6e15 bytes,
+/// comfortably inside the 2^53 exactly-representable integer range.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(double v) : v_(v) {}
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes{a.v_ + b.v_}; }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) { return Bytes{a.v_ - b.v_}; }
+  friend constexpr Bytes operator*(Bytes a, double s) { return Bytes{a.v_ * s}; }
+  friend constexpr Bytes operator*(double s, Bytes a) { return Bytes{a.v_ * s}; }
+  friend constexpr Bytes operator/(Bytes a, double s) { return Bytes{a.v_ / s}; }
+  friend constexpr double operator/(Bytes a, Bytes b) { return a.v_ / b.v_; }
+  constexpr Bytes& operator+=(Bytes b) { v_ += b.v_; return *this; }
+  constexpr Bytes& operator-=(Bytes b) { v_ -= b.v_; return *this; }
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Simulated time in seconds.
+class Seconds {
+ public:
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double v) : v_(v) {}
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  friend constexpr Seconds operator+(Seconds a, Seconds b) { return Seconds{a.v_ + b.v_}; }
+  friend constexpr Seconds operator-(Seconds a, Seconds b) { return Seconds{a.v_ - b.v_}; }
+  friend constexpr Seconds operator*(Seconds a, double s) { return Seconds{a.v_ * s}; }
+  friend constexpr Seconds operator*(double s, Seconds a) { return Seconds{a.v_ * s}; }
+  friend constexpr Seconds operator/(Seconds a, double s) { return Seconds{a.v_ / s}; }
+  friend constexpr double operator/(Seconds a, Seconds b) { return a.v_ / b.v_; }
+  constexpr Seconds& operator+=(Seconds b) { v_ += b.v_; return *this; }
+  friend constexpr auto operator<=>(Seconds, Seconds) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Data-transfer rate in bytes per second.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+  constexpr explicit Bandwidth(double bytes_per_sec) : v_(bytes_per_sec) {}
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  friend constexpr Bandwidth operator+(Bandwidth a, Bandwidth b) { return Bandwidth{a.v_ + b.v_}; }
+  friend constexpr Bandwidth operator-(Bandwidth a, Bandwidth b) { return Bandwidth{a.v_ - b.v_}; }
+  friend constexpr Bandwidth operator*(Bandwidth a, double s) { return Bandwidth{a.v_ * s}; }
+  friend constexpr Bandwidth operator*(double s, Bandwidth a) { return Bandwidth{a.v_ * s}; }
+  friend constexpr Bandwidth operator/(Bandwidth a, double s) { return Bandwidth{a.v_ / s}; }
+  friend constexpr double operator/(Bandwidth a, Bandwidth b) { return a.v_ / b.v_; }
+  friend constexpr auto operator<=>(Bandwidth, Bandwidth) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Time to move `amount` at `rate`.
+constexpr Seconds transfer_time(Bytes amount, Bandwidth rate) {
+  return Seconds{amount.value() / rate.value()};
+}
+/// Amount moved in `t` at `rate`.
+constexpr Bytes transferred(Bandwidth rate, Seconds t) {
+  return Bytes{rate.value() * t.value()};
+}
+
+// --- factories -------------------------------------------------------------
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kKB = 1e3;
+inline constexpr double kMB = 1e6;
+inline constexpr double kGB = 1e9;
+inline constexpr double kTB = 1e12;
+inline constexpr double kPB = 1e15;
+
+constexpr Bytes bytes(double v) { return Bytes{v}; }
+constexpr Bytes kilobytes(double v) { return Bytes{v * kKB}; }
+constexpr Bytes megabytes(double v) { return Bytes{v * kMB}; }
+constexpr Bytes gigabytes(double v) { return Bytes{v * kGB}; }
+constexpr Bytes terabytes(double v) { return Bytes{v * kTB}; }
+constexpr Bytes petabytes(double v) { return Bytes{v * kPB}; }
+
+constexpr Seconds seconds(double v) { return Seconds{v}; }
+constexpr Seconds minutes(double v) { return Seconds{v * 60.0}; }
+constexpr Seconds hours(double v) { return Seconds{v * 3600.0}; }
+constexpr Seconds days(double v) { return Seconds{v * 86400.0}; }
+/// A "month" in the disk-vintage tables is 1/12 of a 365.25-day year.
+constexpr Seconds months(double v) { return Seconds{v * 365.25 * 86400.0 / 12.0}; }
+constexpr Seconds years(double v) { return Seconds{v * 365.25 * 86400.0}; }
+
+constexpr Bandwidth bytes_per_sec(double v) { return Bandwidth{v}; }
+constexpr Bandwidth mb_per_sec(double v) { return Bandwidth{v * kMB}; }
+constexpr Bandwidth gb_per_sec(double v) { return Bandwidth{v * kGB}; }
+
+[[nodiscard]] std::string to_string(Bytes b);
+[[nodiscard]] std::string to_string(Seconds s);
+[[nodiscard]] std::string to_string(Bandwidth bw);
+
+}  // namespace farm::util

@@ -1,0 +1,160 @@
+#include "analysis/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include "farm/monte_carlo.hpp"
+
+namespace farm::analysis {
+namespace {
+
+using util::gigabytes;
+using util::hours;
+using util::Seconds;
+using util::terabytes;
+using util::years;
+
+TEST(Markov, MirroredPairMatchesClassicApproximation) {
+  // lambda = 1e-6/h, mu = 1e-2/h: MTTDL ~ mu / (2 lambda^2).
+  const double lambda = 1e-6 / 3600.0;
+  const double mu = 1e-2 / 3600.0;
+  GroupMarkovParams p;
+  p.total_blocks = 2;
+  p.tolerance = 1;
+  p.disk_failure_rate = lambda;
+  p.rebuild_rate = mu;
+  const double exact = group_mttdl(p).value();
+  const double approx = mirrored_pair_mttdl_approx(lambda, mu).value();
+  // Repair >> failure: approximation within a fraction of a percent.
+  EXPECT_NEAR(exact / approx, 1.0, 0.01);
+}
+
+TEST(Markov, ExactMirroredPairFormula) {
+  // For n=2, k=1: MTTDL = 1/(2l) + (1 + m/(2l)) / l = (3l + m) / (2 l^2).
+  const double lambda = 2e-6;
+  const double mu = 5e-4;
+  GroupMarkovParams p;
+  p.total_blocks = 2;
+  p.tolerance = 1;
+  p.disk_failure_rate = lambda;
+  p.rebuild_rate = mu;
+  const double expected = (3.0 * lambda + mu) / (2.0 * lambda * lambda);
+  EXPECT_NEAR(group_mttdl(p).value(), expected, expected * 1e-12);
+}
+
+TEST(Markov, MoreToleranceMeansLongerMttdl) {
+  GroupMarkovParams p;
+  p.disk_failure_rate = 1e-9;
+  p.rebuild_rate = 1e-3;
+  p.total_blocks = 6;
+  p.tolerance = 1;
+  const double k1 = group_mttdl(p).value();
+  p.tolerance = 2;
+  const double k2 = group_mttdl(p).value();
+  EXPECT_GT(k2 / k1, 1e4);  // each extra tolerance multiplies MTTDL hugely
+}
+
+TEST(Markov, FasterRepairMeansLongerMttdl) {
+  GroupMarkovParams p;
+  p.total_blocks = 2;
+  p.tolerance = 1;
+  p.disk_failure_rate = 1e-8;
+  p.rebuild_rate = 1e-4;
+  const double slow = group_mttdl(p).value();
+  p.rebuild_rate = 1e-3;
+  const double fast = group_mttdl(p).value();
+  EXPECT_NEAR(fast / slow, 10.0, 0.5);  // MTTDL ~ mu / (2 lambda^2)
+}
+
+TEST(Markov, ParallelRebuildBeatsSerialForDeepTolerance) {
+  GroupMarkovParams p;
+  p.total_blocks = 10;
+  p.tolerance = 2;
+  p.disk_failure_rate = 1e-7;
+  p.rebuild_rate = 1e-4;
+  p.parallel_rebuild = true;
+  const double par = group_mttdl(p).value();
+  p.parallel_rebuild = false;
+  const double ser = group_mttdl(p).value();
+  EXPECT_GT(par, ser);
+}
+
+TEST(Markov, LossProbabilityIsExponentialInMission) {
+  GroupMarkovParams p;
+  p.total_blocks = 2;
+  p.tolerance = 1;
+  p.disk_failure_rate = 1e-8;
+  p.rebuild_rate = 1e-3;
+  const double mttdl = group_mttdl(p).value();
+  EXPECT_NEAR(group_loss_probability(p, Seconds{mttdl}), 1.0 - std::exp(-1.0), 1e-9);
+  EXPECT_NEAR(group_loss_probability(p, Seconds{0.0}), 0.0, 1e-12);
+}
+
+TEST(Markov, SystemProbabilityComposesIndependently) {
+  GroupMarkovParams p;
+  p.total_blocks = 2;
+  p.tolerance = 1;
+  p.disk_failure_rate = 1e-8;
+  p.rebuild_rate = 1e-3;
+  const double one = group_loss_probability(p, years(6));
+  const double many = system_loss_probability(p, 1000, years(6));
+  EXPECT_NEAR(many, 1.0 - std::pow(1.0 - one, 1000.0), 1e-12);
+  EXPECT_GT(many, one);
+}
+
+TEST(Markov, ValidatesArguments) {
+  GroupMarkovParams p;
+  p.total_blocks = 2;
+  p.tolerance = 1;
+  p.disk_failure_rate = 0.0;
+  p.rebuild_rate = 1.0;
+  EXPECT_THROW(group_mttdl(p), std::invalid_argument);
+  p.disk_failure_rate = 1.0;
+  p.tolerance = 2;  // >= total_blocks
+  EXPECT_THROW(group_mttdl(p), std::invalid_argument);
+  EXPECT_THROW(mirrored_pair_mttdl_approx(0.0, 1.0), std::invalid_argument);
+}
+
+// The validation contract: the discrete-event simulator, run with an
+// exponential lifetime law and FARM recovery, must land near the Markov
+// closed form.  This ties the whole simulation stack to an independent
+// analytic model.
+TEST(MarkovCrossCheck, SimulatorMatchesClosedFormLossProbability) {
+  core::SystemConfig cfg;
+  cfg.total_user_data = terabytes(40);  // 200 disks, 4000 groups
+  cfg.group_size = gigabytes(10);
+  cfg.failure_law = core::SystemConfig::FailureLaw::kExponential;
+  // ~16 % of disks fail per mission: enough failures to matter, few enough
+  // that survivors don't overflow (which would break the Markov assumption
+  // of a constant repair rate).  A deliberately slow rebuild (0.125 MB/s ->
+  // ~22 h per block) makes double failures frequent enough to measure with
+  // a few hundred trials.
+  cfg.exponential_mttf = hours(300000);
+  cfg.recovery_bandwidth = util::mb_per_sec(0.125);
+  cfg.detection_latency = util::seconds(0);
+  cfg.smart.enabled = false;
+  cfg.stop_at_first_loss = true;
+
+  core::MonteCarloOptions opts;
+  opts.trials = 300;
+  opts.master_seed = 99;
+  const core::MonteCarloResult sim = core::run_monte_carlo(cfg, opts);
+
+  GroupMarkovParams p;
+  p.total_blocks = 2;
+  p.tolerance = 1;
+  p.disk_failure_rate = 1.0 / cfg.exponential_mttf.value();
+  // Mean repair time: detection (0) + expected rebuild queueing.  Queues on
+  // FARM targets are nearly empty, so one block transfer is a good estimate.
+  p.rebuild_rate = 1.0 / cfg.block_rebuild_time().value();
+  const double predicted =
+      system_loss_probability(p, cfg.group_count(), cfg.mission_time);
+
+  // The simulator should bracket the analytic value well within its CI
+  // width plus model slack (the analytic model ignores queueing delay and
+  // the 1-2 % of rebuild time spent behind other rebuilds).
+  EXPECT_GT(sim.loss_probability(), predicted * 0.5);
+  EXPECT_LT(sim.loss_probability(), predicted * 2.0);
+}
+
+}  // namespace
+}  // namespace farm::analysis

@@ -1,0 +1,177 @@
+#include "disk/failure_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hpp"
+
+namespace farm::disk {
+namespace {
+
+using util::hours;
+using util::months;
+using util::Seconds;
+using util::years;
+
+/// Failures per second for "x % per 1000 hours".
+double rate(double pct) { return pct / 100.0 / (1000.0 * 3600.0); }
+
+TEST(Bathtub, PaperTable1HazardBands) {
+  const auto model = BathtubFailureModel::paper_table1();
+  EXPECT_DOUBLE_EQ(model.hazard(months(1)), rate(0.50));
+  EXPECT_DOUBLE_EQ(model.hazard(months(4)), rate(0.35));
+  EXPECT_DOUBLE_EQ(model.hazard(months(9)), rate(0.25));
+  EXPECT_DOUBLE_EQ(model.hazard(months(24)), rate(0.20));
+  EXPECT_DOUBLE_EQ(model.hazard(years(10)), rate(0.20));  // beyond EODL: last rate
+}
+
+TEST(Bathtub, HazardDecreasesWithAge) {
+  const auto model = BathtubFailureModel::paper_table1();
+  EXPECT_GT(model.hazard(months(1)), model.hazard(months(4)));
+  EXPECT_GT(model.hazard(months(4)), model.hazard(months(9)));
+  EXPECT_GT(model.hazard(months(9)), model.hazard(months(24)));
+}
+
+TEST(Bathtub, ScaledModelDoublesHazard) {
+  const auto base = BathtubFailureModel::paper_table1();
+  const auto doubled = BathtubFailureModel::paper_table1(2.0);
+  for (double m : {1.0, 4.0, 9.0, 24.0}) {
+    EXPECT_DOUBLE_EQ(doubled.hazard(months(m)), 2.0 * base.hazard(months(m)));
+  }
+}
+
+TEST(Bathtub, CdfIsMonotoneAndProper) {
+  const auto model = BathtubFailureModel::paper_table1();
+  double prev = -1.0;
+  for (double y = 0.0; y <= 20.0; y += 0.5) {
+    const double c = model.cdf(years(y));
+    ASSERT_GE(c, prev);
+    ASSERT_GE(c, 0.0);
+    ASSERT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(model.cdf(Seconds{0.0}), 0.0);
+}
+
+TEST(Bathtub, SixYearFailureFractionMatchesPaper) {
+  // The prose says roughly 10 % of drives fail in the first six years
+  // (1,100-ish failures among 10,000 disks in the base system).
+  const auto model = BathtubFailureModel::paper_table1();
+  const double p6 = model.cdf(years(6));
+  EXPECT_GT(p6, 0.09);
+  EXPECT_LT(p6, 0.13);
+}
+
+TEST(Bathtub, SampleMatchesAnalyticCdf) {
+  const auto model = BathtubFailureModel::paper_table1();
+  util::Xoshiro256 rng{77};
+  const int n = 40000;
+  int within_1y = 0, within_6y = 0;
+  for (int i = 0; i < n; ++i) {
+    const Seconds t = model.sample_lifetime(rng);
+    ASSERT_GT(t.value(), 0.0);
+    if (t <= years(1)) ++within_1y;
+    if (t <= years(6)) ++within_6y;
+  }
+  EXPECT_NEAR(within_1y / static_cast<double>(n), model.cdf(years(1)), 0.005);
+  EXPECT_NEAR(within_6y / static_cast<double>(n), model.cdf(years(6)), 0.01);
+}
+
+TEST(Bathtub, EmpiricalHazardReproducesTable1) {
+  // Bin sampled lifetimes by age band and recover the per-1000-hour rates —
+  // the same validation bench_table1 prints.
+  const auto model = BathtubFailureModel::paper_table1();
+  util::Xoshiro256 rng{123};
+  const int n = 300000;
+  const double band_edges[] = {0.0, months(3).value(), months(6).value(),
+                               months(12).value(), months(72).value()};
+  double at_risk_time[4] = {};
+  int deaths[4] = {};
+  for (int i = 0; i < n; ++i) {
+    const double t = model.sample_lifetime(rng).value();
+    for (int b = 0; b < 4; ++b) {
+      const double lo = band_edges[b], hi = band_edges[b + 1];
+      if (t >= hi) {
+        at_risk_time[b] += hi - lo;
+      } else if (t > lo) {
+        at_risk_time[b] += t - lo;
+        ++deaths[b];
+        break;
+      } else {
+        break;
+      }
+    }
+  }
+  const double expect_pct[] = {0.50, 0.35, 0.25, 0.20};
+  for (int b = 0; b < 4; ++b) {
+    const double per_1000h = deaths[b] / at_risk_time[b] * 3600.0 * 1000.0 * 100.0;
+    EXPECT_NEAR(per_1000h, expect_pct[b], expect_pct[b] * 0.12) << "band " << b;
+  }
+}
+
+TEST(Bathtub, RejectsBadBands) {
+  EXPECT_THROW(BathtubFailureModel({}), std::invalid_argument);
+  EXPECT_THROW(BathtubFailureModel({RateBand{months(3), 0.5},
+                                    RateBand{months(2), 0.3}}),
+               std::invalid_argument);
+  EXPECT_THROW(BathtubFailureModel({RateBand{months(3), -0.5}}),
+               std::invalid_argument);
+}
+
+TEST(Exponential, MemorylessMeanAndCdf) {
+  const ExponentialFailureModel model(hours(1000));
+  EXPECT_DOUBLE_EQ(model.mttf().value(), hours(1000).value());
+  EXPECT_DOUBLE_EQ(model.hazard(hours(1)), model.hazard(hours(999)));
+  EXPECT_NEAR(model.cdf(hours(1000)), 1.0 - std::exp(-1.0), 1e-12);
+
+  util::Xoshiro256 rng{5};
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += model.sample_lifetime(rng).value();
+  EXPECT_NEAR(sum / n, hours(1000).value(), hours(1000).value() * 0.02);
+}
+
+TEST(Exponential, RejectsNonPositiveMttf) {
+  EXPECT_THROW(ExponentialFailureModel(Seconds{0.0}), std::invalid_argument);
+}
+
+TEST(Weibull, ShapeBelowOneGivesInfantMortality) {
+  const WeibullFailureModel model(0.7, hours(1000));
+  EXPECT_GT(model.hazard(hours(1)), model.hazard(hours(100)));
+  EXPECT_GT(model.hazard(hours(100)), model.hazard(hours(10000)));
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const WeibullFailureModel w(1.0, hours(500));
+  const ExponentialFailureModel e(hours(500));
+  for (double h : {1.0, 100.0, 5000.0}) {
+    EXPECT_NEAR(w.cdf(hours(h)), e.cdf(hours(h)), 1e-10);
+    EXPECT_NEAR(w.hazard(hours(h)), e.hazard(hours(h)), 1e-15);
+  }
+}
+
+TEST(Weibull, SampleMatchesCdf) {
+  const WeibullFailureModel model(0.8, hours(2000));
+  util::Xoshiro256 rng{31};
+  const int n = 50000;
+  int below = 0;
+  for (int i = 0; i < n; ++i) {
+    if (model.sample_lifetime(rng) <= hours(1000)) ++below;
+  }
+  EXPECT_NEAR(below / static_cast<double>(n), model.cdf(hours(1000)), 0.01);
+}
+
+TEST(Weibull, RejectsBadParameters) {
+  EXPECT_THROW(WeibullFailureModel(0.0, hours(1)), std::invalid_argument);
+  EXPECT_THROW(WeibullFailureModel(1.0, Seconds{0.0}), std::invalid_argument);
+}
+
+TEST(FailureModels, Names) {
+  EXPECT_EQ(BathtubFailureModel::paper_table1().name(), "bathtub");
+  EXPECT_EQ(ExponentialFailureModel(hours(1)).name(), "exponential");
+  EXPECT_EQ(WeibullFailureModel(1.0, hours(1)).name(), "weibull");
+}
+
+}  // namespace
+}  // namespace farm::disk

@@ -1,0 +1,126 @@
+#include "disk/disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "disk/smart.hpp"
+
+namespace farm::disk {
+namespace {
+
+using util::gigabytes;
+using util::hours;
+using util::Seconds;
+using util::terabytes;
+using util::years;
+
+Disk make_disk(util::Seconds birth = Seconds{0.0},
+               util::Seconds lifetime = years(3)) {
+  return Disk{7, DiskParameters{}, /*vintage=*/2, birth, lifetime};
+}
+
+TEST(Disk, ConstructionAndIdentity) {
+  const Disk d = make_disk(hours(10), years(2));
+  EXPECT_EQ(d.id(), 7u);
+  EXPECT_EQ(d.vintage(), 2u);
+  EXPECT_DOUBLE_EQ(d.capacity().value(), terabytes(1).value());
+  EXPECT_DOUBLE_EQ(d.bandwidth().value(), util::mb_per_sec(80).value());
+  EXPECT_DOUBLE_EQ(d.birth().value(), hours(10).value());
+  EXPECT_DOUBLE_EQ(d.fails_at().value(), (hours(10) + years(2)).value());
+  EXPECT_TRUE(d.alive());
+}
+
+TEST(Disk, AgeIsRelativeToBirth) {
+  const Disk d = make_disk(years(1));
+  EXPECT_DOUBLE_EQ(d.age_at(years(1.5)).value(), years(0.5).value());
+}
+
+TEST(Disk, CapacityAccounting) {
+  Disk d = make_disk();
+  EXPECT_DOUBLE_EQ(d.used().value(), 0.0);
+  d.allocate(gigabytes(400));
+  EXPECT_DOUBLE_EQ(d.used().value(), gigabytes(400).value());
+  EXPECT_DOUBLE_EQ(d.free_space().value(), gigabytes(600).value());
+  EXPECT_NEAR(d.utilization(), 0.4, 1e-12);
+  d.release(gigabytes(100));
+  EXPECT_DOUBLE_EQ(d.used().value(), gigabytes(300).value());
+}
+
+TEST(Disk, OverAllocationThrows) {
+  Disk d = make_disk();
+  d.allocate(gigabytes(900));
+  EXPECT_THROW(d.allocate(gigabytes(200)), std::logic_error);
+  EXPECT_DOUBLE_EQ(d.used().value(), gigabytes(900).value());  // unchanged
+}
+
+TEST(Disk, OverReleaseThrows) {
+  Disk d = make_disk();
+  d.allocate(gigabytes(10));
+  EXPECT_THROW(d.release(gigabytes(20)), std::logic_error);
+}
+
+TEST(Disk, FailureFlag) {
+  Disk d = make_disk();
+  d.mark_failed();
+  EXPECT_FALSE(d.alive());
+}
+
+TEST(Disk, RecoveryStreamCounting) {
+  Disk d = make_disk();
+  EXPECT_EQ(d.active_recovery_streams(), 0u);
+  d.add_recovery_stream();
+  d.add_recovery_stream();
+  EXPECT_EQ(d.active_recovery_streams(), 2u);
+  d.remove_recovery_stream();
+  EXPECT_EQ(d.active_recovery_streams(), 1u);
+  d.remove_recovery_stream();
+  EXPECT_THROW(d.remove_recovery_stream(), std::logic_error);
+}
+
+TEST(Smart, DisabledNeverWarns) {
+  SmartConfig cfg;
+  cfg.enabled = false;
+  SmartMonitor monitor(cfg, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(std::isinf(monitor.warning_time(years(1)).value()));
+  }
+}
+
+TEST(Smart, AlwaysPredictGivesLeadTime) {
+  SmartConfig cfg;
+  cfg.predict_probability = 1.0;
+  cfg.lead_time = hours(24);
+  SmartMonitor monitor(cfg, 2);
+  const Seconds warn = monitor.warning_time(years(1));
+  EXPECT_DOUBLE_EQ(warn.value(), (years(1) - hours(24)).value());
+}
+
+TEST(Smart, WarningClampsAtZero) {
+  SmartConfig cfg;
+  cfg.predict_probability = 1.0;
+  cfg.lead_time = hours(24);
+  SmartMonitor monitor(cfg, 3);
+  EXPECT_DOUBLE_EQ(monitor.warning_time(hours(1)).value(), 0.0);
+}
+
+TEST(Smart, PredictionFrequencyMatchesProbability) {
+  SmartConfig cfg;
+  cfg.predict_probability = 0.5;
+  SmartMonitor monitor(cfg, 4);
+  int predicted = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (!std::isinf(monitor.warning_time(years(1)).value())) ++predicted;
+  }
+  EXPECT_NEAR(predicted / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST(Smart, SuspectPredicate) {
+  EXPECT_TRUE(SmartMonitor::is_suspect(hours(1), hours(2)));
+  EXPECT_TRUE(SmartMonitor::is_suspect(hours(2), hours(2)));
+  EXPECT_FALSE(SmartMonitor::is_suspect(hours(3), hours(2)));
+}
+
+}  // namespace
+}  // namespace farm::disk

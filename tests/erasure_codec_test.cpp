@@ -1,0 +1,317 @@
+// Property tests shared by every codec: systematic encode, reconstruction
+#include <bit>
+// of all data from any m survivors, rebuild of arbitrary erasure patterns
+// up to the fault tolerance, and argument validation.
+#include "erasure/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "erasure/evenodd.hpp"
+#include "erasure/reed_solomon.hpp"
+#include "erasure/replication.hpp"
+#include "erasure/xor_parity.hpp"
+#include "util/random.hpp"
+
+namespace farm::erasure {
+namespace {
+
+enum class Kind { kAuto, kReedSolomon, kEvenOdd };
+
+struct Param {
+  const char* scheme;
+  Kind kind;
+};
+
+std::unique_ptr<Codec> build(const Param& p) {
+  const Scheme s = Scheme::parse(p.scheme);
+  switch (p.kind) {
+    case Kind::kAuto:
+      return make_codec(s);
+    case Kind::kReedSolomon:
+      return make_codec(s, CodecPreference::kReedSolomon);
+    case Kind::kEvenOdd:
+      return make_codec(s, CodecPreference::kEvenOdd);
+  }
+  return nullptr;
+}
+
+std::string param_name(const testing::TestParamInfo<Param>& info) {
+  std::string n = info.param.scheme;
+  std::replace(n.begin(), n.end(), '/', '_');
+  switch (info.param.kind) {
+    case Kind::kAuto:
+      return "auto_" + n;
+    case Kind::kReedSolomon:
+      return "rs_" + n;
+    case Kind::kEvenOdd:
+      return "evenodd_" + n;
+  }
+  return n;
+}
+
+class CodecProperty : public testing::TestWithParam<Param> {
+ protected:
+  /// Encodes a deterministic pseudo-random object and returns all n blocks.
+  std::vector<std::vector<Byte>> encoded_blocks(std::size_t block_len,
+                                                std::uint64_t seed) {
+    codec_ = build(GetParam());
+    const Scheme s = codec_->scheme();
+    block_len = (block_len + codec_->block_granularity() - 1) /
+                codec_->block_granularity() * codec_->block_granularity();
+    std::vector<std::vector<Byte>> blocks(s.total_blocks,
+                                          std::vector<Byte>(block_len));
+    util::Xoshiro256 rng{seed};
+    for (unsigned i = 0; i < s.data_blocks; ++i) {
+      for (auto& b : blocks[i]) b = static_cast<Byte>(rng.below(256));
+    }
+    std::vector<BlockView> data;
+    std::vector<BlockSpan> check;
+    for (unsigned i = 0; i < s.data_blocks; ++i) data.emplace_back(blocks[i]);
+    for (unsigned i = s.data_blocks; i < s.total_blocks; ++i) {
+      check.emplace_back(blocks[i]);
+    }
+    codec_->encode(data, check);
+    return blocks;
+  }
+
+  std::unique_ptr<Codec> codec_;
+};
+
+TEST_P(CodecProperty, SchemeMatchesRequest) {
+  codec_ = build(GetParam());
+  EXPECT_EQ(codec_->scheme(), Scheme::parse(GetParam().scheme));
+  EXPECT_FALSE(codec_->name().empty());
+  EXPECT_GE(codec_->block_granularity(), 1u);
+}
+
+TEST_P(CodecProperty, EncodeIsDeterministic) {
+  const auto a = encoded_blocks(64, 42);
+  const auto b = encoded_blocks(64, 42);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(CodecProperty, EveryErasurePatternUpToToleranceRebuilds) {
+  const auto blocks = encoded_blocks(96, 7);
+  const Scheme s = codec_->scheme();
+  const unsigned n = s.total_blocks;
+  // Exhaustively erase every subset of size 1..k (bitmask enumeration; the
+  // widest paper scheme is 8/10, so this is at most C(10,2) = 45 subsets).
+  for (unsigned mask = 1; mask < (1u << n); ++mask) {
+    const unsigned erased = static_cast<unsigned>(std::popcount(mask));
+    if (erased == 0 || erased > s.check_blocks()) continue;
+    std::vector<BlockRef> available;
+    std::vector<std::vector<Byte>> scratch;
+    std::vector<BlockOut> missing;
+    scratch.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        scratch.emplace_back(blocks[i].size(), Byte{0});
+        missing.push_back(BlockOut{i, scratch.back()});
+      } else {
+        available.push_back(BlockRef{i, blocks[i]});
+      }
+    }
+    codec_->reconstruct(available, missing);
+    std::size_t j = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        EXPECT_EQ(scratch[j], blocks[i]) << "mask=" << mask << " block=" << i;
+        ++j;
+      }
+    }
+  }
+}
+
+TEST_P(CodecProperty, ReconstructFromExactlyMSurvivors) {
+  const auto blocks = encoded_blocks(48, 11);
+  const Scheme s = codec_->scheme();
+  // Keep the *last* m blocks (stresses non-systematic survivors), rebuild
+  // every data block.
+  std::vector<BlockRef> available;
+  for (unsigned i = s.total_blocks - s.data_blocks; i < s.total_blocks; ++i) {
+    available.push_back(BlockRef{i, blocks[i]});
+  }
+  std::vector<std::vector<Byte>> scratch;
+  std::vector<BlockOut> missing;
+  scratch.reserve(s.data_blocks);
+  unsigned rebuilt = 0;
+  for (unsigned i = 0; i < s.total_blocks - s.data_blocks && rebuilt < s.check_blocks();
+       ++i, ++rebuilt) {
+    scratch.emplace_back(blocks[i].size(), Byte{0});
+    missing.push_back(BlockOut{i, scratch.back()});
+  }
+  codec_->reconstruct(available, missing);
+  for (std::size_t j = 0; j < missing.size(); ++j) {
+    EXPECT_EQ(scratch[j], blocks[missing[j].index]);
+  }
+}
+
+TEST_P(CodecProperty, ObjectRoundTripThroughHelpers) {
+  codec_ = build(GetParam());
+  util::Xoshiro256 rng{99};
+  std::vector<Byte> object(1000);
+  for (auto& b : object) b = static_cast<Byte>(rng.below(256));
+
+  const auto blocks = encode_object(*codec_, object);
+  const Scheme s = codec_->scheme();
+  ASSERT_EQ(blocks.size(), s.total_blocks);
+
+  // Decode from the last m blocks only.
+  std::vector<BlockRef> available;
+  for (unsigned i = s.total_blocks - s.data_blocks; i < s.total_blocks; ++i) {
+    available.push_back(BlockRef{i, blocks[i]});
+  }
+  EXPECT_EQ(decode_object(*codec_, available, object.size()), object);
+}
+
+TEST_P(CodecProperty, RejectsTooFewSurvivors) {
+  const auto blocks = encoded_blocks(32, 5);
+  const Scheme s = codec_->scheme();
+  if (s.data_blocks < 2 && s.total_blocks < 3) GTEST_SKIP();
+  std::vector<BlockRef> available;
+  for (unsigned i = 0; i + 1 < s.data_blocks; ++i) {
+    available.push_back(BlockRef{i, blocks[i]});
+  }
+  std::vector<Byte> out(blocks[0].size());
+  const std::vector<BlockOut> missing = {
+      BlockOut{s.total_blocks - 1, out}};
+  EXPECT_THROW(codec_->reconstruct(available, missing), std::invalid_argument);
+}
+
+TEST_P(CodecProperty, RejectsDuplicateAndOverlappingIndices) {
+  const auto blocks = encoded_blocks(32, 6);
+  const Scheme s = codec_->scheme();
+  std::vector<BlockRef> available;
+  for (unsigned i = 0; i < s.data_blocks; ++i) {
+    available.push_back(BlockRef{0, blocks[0]});  // duplicates
+  }
+  std::vector<Byte> out(blocks[0].size());
+  std::vector<BlockOut> missing = {BlockOut{s.total_blocks - 1, out}};
+  if (s.data_blocks > 1) {
+    EXPECT_THROW(codec_->reconstruct(available, missing), std::invalid_argument);
+  }
+  // A block listed both available and missing is malformed.
+  std::vector<BlockRef> ok;
+  for (unsigned i = 0; i < s.data_blocks; ++i) ok.push_back(BlockRef{i, blocks[i]});
+  missing[0].index = 0;
+  EXPECT_THROW(codec_->reconstruct(ok, missing), std::invalid_argument);
+}
+
+TEST_P(CodecProperty, RejectsUnequalBlockSizes) {
+  codec_ = build(GetParam());
+  const Scheme s = codec_->scheme();
+  const std::size_t gran = codec_->block_granularity();
+  std::vector<std::vector<Byte>> bufs(s.total_blocks, std::vector<Byte>(4 * gran));
+  bufs[0].resize(8 * gran);
+  std::vector<BlockView> data;
+  std::vector<BlockSpan> check;
+  for (unsigned i = 0; i < s.data_blocks; ++i) data.emplace_back(bufs[i]);
+  for (unsigned i = s.data_blocks; i < s.total_blocks; ++i) check.emplace_back(bufs[i]);
+  EXPECT_THROW(codec_->encode(data, check), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, CodecProperty,
+    testing::Values(Param{"1/2", Kind::kAuto},   // 2-way mirror
+                    Param{"1/3", Kind::kAuto},   // 3-way mirror
+                    Param{"1/5", Kind::kAuto},   // wide mirror
+                    Param{"2/3", Kind::kAuto},   // RAID 5
+                    Param{"4/5", Kind::kAuto},   // RAID 5 wide
+                    Param{"7/8", Kind::kAuto},   // RAID 5 wider
+                    Param{"4/6", Kind::kAuto},   // Cauchy RS
+                    Param{"8/10", Kind::kAuto},  // Cauchy RS wide
+                    Param{"3/7", Kind::kAuto},   // deep RS, k=4
+                    Param{"2/3", Kind::kReedSolomon},  // RS where XOR would do
+                    Param{"4/5", Kind::kReedSolomon},
+                    Param{"4/6", Kind::kEvenOdd},
+                    Param{"8/10", Kind::kEvenOdd},
+                    Param{"2/4", Kind::kEvenOdd},
+                    Param{"5/7", Kind::kEvenOdd},
+                    Param{"3/5", Kind::kEvenOdd}),
+    param_name);
+
+TEST(CodecFactory, AutoSelection) {
+  EXPECT_NE(dynamic_cast<ReplicationCodec*>(make_codec(Scheme{1, 2}).get()), nullptr);
+  EXPECT_NE(dynamic_cast<XorParityCodec*>(make_codec(Scheme{4, 5}).get()), nullptr);
+  EXPECT_NE(dynamic_cast<ReedSolomonCodec*>(make_codec(Scheme{4, 6}).get()), nullptr);
+  EXPECT_NE(dynamic_cast<EvenOddCodec*>(
+                make_codec(Scheme{4, 6}, CodecPreference::kEvenOdd).get()),
+            nullptr);
+}
+
+TEST(CodecFactory, InvalidCombinationsThrow) {
+  EXPECT_THROW(ReplicationCodec(Scheme{2, 3}), std::invalid_argument);
+  EXPECT_THROW(XorParityCodec(Scheme{4, 6}), std::invalid_argument);
+  EXPECT_THROW(EvenOddCodec(Scheme{4, 5}), std::invalid_argument);
+  EXPECT_THROW(make_codec(Scheme{4, 5}, CodecPreference::kEvenOdd),
+               std::invalid_argument);
+}
+
+TEST(XorParity, SmallWriteParityUpdate) {
+  // RAID 5 small-write: parity ^= old ^ new equals full re-encode.
+  const Scheme s{4, 5};
+  XorParityCodec codec(s);
+  util::Xoshiro256 rng{4};
+  std::vector<std::vector<Byte>> blocks(5, std::vector<Byte>(32));
+  for (unsigned i = 0; i < 4; ++i) {
+    for (auto& b : blocks[i]) b = static_cast<Byte>(rng.below(256));
+  }
+  std::vector<BlockView> data(blocks.begin(), blocks.begin() + 4);
+  std::vector<BlockSpan> parity = {blocks[4]};
+  codec.encode(data, parity);
+
+  std::vector<Byte> new_block(32);
+  for (auto& b : new_block) b = static_cast<Byte>(rng.below(256));
+  XorParityCodec::update_parity(blocks[1], new_block, blocks[4]);
+  blocks[1] = new_block;
+
+  std::vector<Byte> fresh(32);
+  std::vector<BlockView> data2(blocks.begin(), blocks.begin() + 4);
+  std::vector<BlockSpan> parity2 = {fresh};
+  codec.encode(data2, parity2);
+  EXPECT_EQ(fresh, blocks[4]);
+}
+
+TEST(ReedSolomon, GeneratorTopIsIdentity) {
+  const ReedSolomonCodec codec(Scheme{4, 6});
+  const auto& g = codec.generator();
+  ASSERT_EQ(g.rows(), 6u);
+  ASSERT_EQ(g.cols(), 4u);
+  for (unsigned r = 0; r < 4; ++r) {
+    for (unsigned c = 0; c < 4; ++c) {
+      EXPECT_EQ(g.at(r, c), r == c ? 1 : 0);
+    }
+  }
+}
+
+TEST(ReedSolomon, RejectsOversizedScheme) {
+  EXPECT_THROW(ReedSolomonCodec(Scheme{200, 300}), std::invalid_argument);
+}
+
+TEST(EvenOdd, PrimePickedAboveDataBlocks) {
+  EXPECT_EQ(EvenOddCodec(Scheme{4, 6}).prime(), 5u);
+  EXPECT_EQ(EvenOddCodec(Scheme{5, 7}).prime(), 5u);
+  EXPECT_EQ(EvenOddCodec(Scheme{8, 10}).prime(), 11u);
+  EXPECT_EQ(EvenOddCodec(Scheme{2, 4}).prime(), 3u);
+}
+
+TEST(EvenOdd, GranularityIsPrimeMinusOne) {
+  const EvenOddCodec codec(Scheme{4, 6});
+  EXPECT_EQ(codec.block_granularity(), 4u);  // p == 5
+  // A block length that is not a multiple of p-1 is rejected.
+  std::vector<std::vector<Byte>> bufs(6, std::vector<Byte>(6));
+  std::vector<BlockView> data;
+  std::vector<BlockSpan> check;
+  for (unsigned i = 0; i < 4; ++i) data.emplace_back(bufs[i]);
+  for (unsigned i = 4; i < 6; ++i) check.emplace_back(bufs[i]);
+  EXPECT_THROW(codec.encode(data, check), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace farm::erasure

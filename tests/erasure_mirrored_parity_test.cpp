@@ -1,0 +1,159 @@
+// The §2.2 mixed scheme: m data blocks + XOR parity, everything mirrored.
+// Non-MDS, so these tests enumerate *every* erasure mask and check behavior
+// against the position-coverage rule.
+#include "erasure/mirrored_parity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace farm::erasure {
+namespace {
+
+std::vector<std::vector<Byte>> encoded(const MirroredParityCodec& codec,
+                                       std::size_t len, std::uint64_t seed) {
+  const Scheme s = codec.scheme();
+  std::vector<std::vector<Byte>> blocks(s.total_blocks, std::vector<Byte>(len));
+  util::Xoshiro256 rng{seed};
+  for (unsigned i = 0; i < s.data_blocks; ++i) {
+    for (auto& b : blocks[i]) b = static_cast<Byte>(rng.below(256));
+  }
+  std::vector<BlockView> data;
+  std::vector<BlockSpan> check;
+  for (unsigned i = 0; i < s.data_blocks; ++i) data.emplace_back(blocks[i]);
+  for (unsigned i = s.data_blocks; i < s.total_blocks; ++i) check.emplace_back(blocks[i]);
+  codec.encode(data, check);
+  return blocks;
+}
+
+TEST(MirroredParity, RequiresMatchedScheme) {
+  EXPECT_NO_THROW(MirroredParityCodec(Scheme{2, 6}));
+  EXPECT_NO_THROW(MirroredParityCodec(Scheme{4, 10}));
+  EXPECT_THROW(MirroredParityCodec(Scheme{4, 6}), std::invalid_argument);
+  EXPECT_THROW(make_codec(Scheme{4, 6}, CodecPreference::kMirroredParity),
+               std::invalid_argument);
+}
+
+TEST(MirroredParity, IsNotMds) {
+  const MirroredParityCodec codec{Scheme{2, 6}};
+  EXPECT_FALSE(codec.is_mds());
+  EXPECT_EQ(codec.name(), "mirrored-parity-2/6");
+}
+
+TEST(MirroredParity, PositionsAndTwins) {
+  const MirroredParityCodec codec{Scheme{3, 8}};  // data 0-2, parity 3, mirrors 4-7
+  EXPECT_EQ(codec.position_of(0), 0u);
+  EXPECT_EQ(codec.position_of(3), 3u);   // parity position
+  EXPECT_EQ(codec.position_of(4), 0u);   // mirror of data 0
+  EXPECT_EQ(codec.position_of(7), 3u);   // mirror of parity
+  EXPECT_EQ(codec.twin_of(0), 4u);
+  EXPECT_EQ(codec.twin_of(4), 0u);
+  EXPECT_EQ(codec.twin_of(3), 7u);
+  EXPECT_EQ(codec.twin_of(7), 3u);
+}
+
+TEST(MirroredParity, MirrorsAreByteIdentical) {
+  const MirroredParityCodec codec{Scheme{3, 8}};
+  const auto blocks = encoded(codec, 64, 1);
+  for (unsigned b = 0; b < 8; ++b) {
+    EXPECT_EQ(blocks[b], blocks[codec.twin_of(b)]) << b;
+  }
+  // Parity really is the XOR of the data.
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(blocks[3][i],
+              static_cast<Byte>(blocks[0][i] ^ blocks[1][i] ^ blocks[2][i]));
+  }
+}
+
+TEST(MirroredParity, ExhaustiveMaskRecoverability) {
+  // For every subset of surviving blocks: recoverable() must equal the
+  // position-coverage rule, and reconstruction of all missing blocks must
+  // succeed exactly when recoverable.
+  const MirroredParityCodec codec{Scheme{2, 6}};
+  const auto blocks = encoded(codec, 48, 2);
+  const unsigned n = 6;
+
+  for (unsigned mask = 0; mask < (1u << n); ++mask) {  // mask = survivors
+    std::vector<unsigned> avail_idx;
+    std::vector<BlockRef> available;
+    for (unsigned b = 0; b < n; ++b) {
+      if (mask & (1u << b)) {
+        avail_idx.push_back(b);
+        available.push_back(BlockRef{b, blocks[b]});
+      }
+    }
+    // Ground truth: positions 0,1 (data) and 2 (parity); block b covers
+    // position b%3 (for m=2: blocks 0,1,2,3,4,5 -> positions 0,1,2,0,1,2).
+    std::vector<bool> covered(3, false);
+    for (unsigned b : avail_idx) covered[codec.position_of(b)] = true;
+    const int missing_positions =
+        static_cast<int>(!covered[0]) + !covered[1] + !covered[2];
+    const bool expect_ok = missing_positions <= 1;
+    EXPECT_EQ(codec.recoverable(avail_idx), expect_ok) << "mask " << mask;
+
+    if (avail_idx.size() < 2 || avail_idx.size() == n) continue;
+    std::vector<std::vector<Byte>> out;
+    std::vector<BlockOut> missing;
+    out.reserve(n);
+    for (unsigned b = 0; b < n; ++b) {
+      if (!(mask & (1u << b))) {
+        out.emplace_back(48, Byte{0});
+        missing.push_back(BlockOut{b, out.back()});
+      }
+    }
+    if (expect_ok) {
+      codec.reconstruct(available, missing);
+      std::size_t j = 0;
+      for (unsigned b = 0; b < n; ++b) {
+        if (!(mask & (1u << b))) {
+          EXPECT_EQ(out[j], blocks[b]) << "mask " << mask << " block " << b;
+          ++j;
+        }
+      }
+    } else {
+      EXPECT_THROW(codec.reconstruct(available, missing), std::invalid_argument)
+          << "mask " << mask;
+    }
+  }
+}
+
+TEST(MirroredParity, SurvivesAnyTwoFailuresLikeTheOtherDoubleCodes) {
+  // Any 2 erasures leave at most one position uncovered -> always fine.
+  const MirroredParityCodec codec{Scheme{4, 10}};
+  const auto blocks = encoded(codec, 40, 3);
+  const unsigned n = 10;
+  for (unsigned a = 0; a < n; ++a) {
+    for (unsigned b = a + 1; b < n; ++b) {
+      std::vector<BlockRef> available;
+      for (unsigned i = 0; i < n; ++i) {
+        if (i != a && i != b) available.push_back(BlockRef{i, blocks[i]});
+      }
+      std::vector<Byte> ra(40), rb(40);
+      const std::vector<BlockOut> missing = {BlockOut{a, ra}, BlockOut{b, rb}};
+      codec.reconstruct(available, missing);
+      EXPECT_EQ(ra, blocks[a]);
+      EXPECT_EQ(rb, blocks[b]);
+    }
+  }
+}
+
+TEST(MirroredParity, StorageEfficiencyIsHonest) {
+  // m/(2m+2): pricey, which is why the paper stops at mentioning it.
+  EXPECT_NEAR(Scheme(2, 6).storage_efficiency(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(Scheme(4, 10).storage_efficiency(), 0.4, 1e-12);
+}
+
+TEST(MirroredParity, MdsCodecsReportMds) {
+  EXPECT_TRUE(make_codec(Scheme{1, 2})->is_mds());
+  EXPECT_TRUE(make_codec(Scheme{4, 6})->is_mds());
+  const std::vector<unsigned> three = {0, 1, 2};
+  const std::vector<unsigned> four = {0, 1, 2, 3};
+  EXPECT_FALSE(make_codec(Scheme{4, 6})->recoverable(three));
+  EXPECT_TRUE(make_codec(Scheme{4, 6})->recoverable(four));
+}
+
+}  // namespace
+}  // namespace farm::erasure

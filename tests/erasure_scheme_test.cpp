@@ -1,0 +1,60 @@
+#include "erasure/scheme.hpp"
+
+#include <gtest/gtest.h>
+
+namespace farm::erasure {
+namespace {
+
+TEST(Scheme, ParseRoundTrip) {
+  for (const char* text : {"1/2", "1/3", "2/3", "4/5", "4/6", "8/10"}) {
+    const Scheme s = Scheme::parse(text);
+    EXPECT_EQ(s.str(), text);
+  }
+}
+
+TEST(Scheme, ParsedFields) {
+  const Scheme s = Scheme::parse("4/6");
+  EXPECT_EQ(s.data_blocks, 4u);
+  EXPECT_EQ(s.total_blocks, 6u);
+  EXPECT_EQ(s.check_blocks(), 2u);
+  EXPECT_EQ(s.fault_tolerance(), 2u);
+  EXPECT_FALSE(s.is_replication());
+  EXPECT_DOUBLE_EQ(s.storage_efficiency(), 4.0 / 6.0);
+}
+
+TEST(Scheme, MirroringIsReplication) {
+  EXPECT_TRUE(Scheme::parse("1/2").is_replication());
+  EXPECT_TRUE(Scheme::parse("1/3").is_replication());
+  EXPECT_DOUBLE_EQ(Scheme::parse("1/2").storage_efficiency(), 0.5);
+}
+
+TEST(Scheme, ParseRejectsMalformed) {
+  EXPECT_THROW(Scheme::parse(""), std::invalid_argument);
+  EXPECT_THROW(Scheme::parse("4"), std::invalid_argument);
+  EXPECT_THROW(Scheme::parse("4/"), std::invalid_argument);
+  EXPECT_THROW(Scheme::parse("/4"), std::invalid_argument);
+  EXPECT_THROW(Scheme::parse("a/b"), std::invalid_argument);
+  EXPECT_THROW(Scheme::parse("4/4"), std::invalid_argument);   // n must exceed m
+  EXPECT_THROW(Scheme::parse("6/4"), std::invalid_argument);
+  EXPECT_THROW(Scheme::parse("0/4"), std::invalid_argument);
+  EXPECT_THROW(Scheme::parse("4/6x"), std::invalid_argument);  // trailing junk
+}
+
+TEST(Scheme, PaperSchemesMatchFigure3) {
+  const auto& schemes = paper_schemes();
+  ASSERT_EQ(schemes.size(), 6u);
+  EXPECT_EQ(schemes[0].str(), "1/2");
+  EXPECT_EQ(schemes[1].str(), "1/3");
+  EXPECT_EQ(schemes[2].str(), "2/3");
+  EXPECT_EQ(schemes[3].str(), "4/5");
+  EXPECT_EQ(schemes[4].str(), "4/6");
+  EXPECT_EQ(schemes[5].str(), "8/10");
+}
+
+TEST(Scheme, Equality) {
+  EXPECT_EQ(Scheme::parse("4/6"), (Scheme{4, 6}));
+  EXPECT_NE(Scheme::parse("4/6"), (Scheme{4, 5}));
+}
+
+}  // namespace
+}  // namespace farm::erasure

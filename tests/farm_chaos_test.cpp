@@ -1,0 +1,135 @@
+// Chaos mission: every feature enabled at once under a brutal failure rate
+// — batch replacement, diurnal workload, heartbeat detection, SMART, each
+// recovery policy — and the global invariants must still hold at the end.
+// This is the failure-injection stress for interactions the focused tests
+// cannot reach (batches landing mid-rebuild, redirections during migration,
+// spares dying during spare rebuilds, ...).
+#include <gtest/gtest.h>
+
+#include "farm/reliability_sim.hpp"
+
+namespace farm::core {
+namespace {
+
+using util::gigabytes;
+using util::terabytes;
+
+SystemConfig chaos_config(RecoveryMode mode, double hazard) {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(30);
+  cfg.group_size = gigabytes(10);
+  cfg.recovery_mode = mode;
+  cfg.hazard_scale = hazard;
+  cfg.replacement.enabled = true;
+  cfg.replacement.loss_fraction_threshold = 0.05;
+  cfg.workload.kind = WorkloadKind::kDiurnal;
+  cfg.workload.peak_demand = 0.95;
+  cfg.detector = DetectorKind::kHeartbeat;
+  cfg.heartbeat_interval = util::minutes(5);
+  cfg.detection_latency = util::seconds(20);
+  cfg.collect_recovery_load = true;
+  cfg.collect_utilization = true;
+  return cfg;
+}
+
+class ChaosMission : public testing::TestWithParam<RecoveryMode> {};
+
+TEST_P(ChaosMission, InvariantsSurviveTheStorm) {
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    const SystemConfig cfg = chaos_config(GetParam(), 8.0);
+    ReliabilitySimulator sim(cfg, seed);
+    const TrialResult r = sim.run();
+    StorageSystem& sys = sim.system();
+    const unsigned n = sys.blocks_per_group();
+
+    // The storm must actually have been a storm.
+    ASSERT_GT(r.disk_failures, sys.initial_disk_count() / 3);
+    EXPECT_GT(r.batches, 0u);
+
+    std::uint64_t dead = 0;
+    for (GroupIndex g = 0; g < sys.group_count(); ++g) {
+      const GroupState& st = sys.state(g);
+      if (st.dead) {
+        ++dead;
+        continue;
+      }
+      unsigned on_dead_disks = 0;
+      for (BlockIndex b = 0; b < n; ++b) {
+        if (!sys.disk_at(sys.home(g, b)).alive()) ++on_dead_disks;
+      }
+      ASSERT_EQ(st.unavailable, on_dead_disks) << "seed " << seed << " group " << g;
+      ASSERT_LE(st.unavailable, cfg.scheme.fault_tolerance());
+      // Live blocks of one group on distinct disks.
+      const DiskId a = sys.home(g, 0);
+      const DiskId b = sys.home(g, 1);
+      if (sys.disk_at(a).alive() && sys.disk_at(b).alive()) {
+        ASSERT_NE(a, b) << "seed " << seed << " group " << g;
+      }
+    }
+    EXPECT_EQ(dead, r.lost_groups);
+
+    // No disk overflowed, ever (allocate() would have thrown mid-run; this
+    // is the belt to that suspender).
+    for (DiskId d = 0; d < sys.disk_slots(); ++d) {
+      ASSERT_LE(sys.disk_at(d).used().value(),
+                sys.disk_at(d).capacity().value() + 1.0);
+    }
+
+    // Load accounting is self-consistent: total write bytes equals rebuilt
+    // blocks times block size.
+    double writes = 0.0;
+    for (const double w : r.recovery_write_bytes) writes += w;
+    EXPECT_NEAR(writes,
+                static_cast<double>(r.rebuilds_completed) *
+                    sys.block_bytes().value(),
+                sys.block_bytes().value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ChaosMission,
+                         testing::Values(RecoveryMode::kFarm,
+                                         RecoveryMode::kDedicatedSpare,
+                                         RecoveryMode::kDistributedSparing),
+                         [](const testing::TestParamInfo<RecoveryMode>& info) {
+                           switch (info.param) {
+                             case RecoveryMode::kFarm:
+                               return "farm";
+                             case RecoveryMode::kDedicatedSpare:
+                               return "spare";
+                             case RecoveryMode::kDistributedSparing:
+                               return "distsparing";
+                           }
+                           return "unknown";
+                         });
+
+TEST(PlacementBalance, BestOfTwoTightensInitialFill) {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(100);  // 500 disks
+  cfg.group_size = gigabytes(10);
+  cfg.collect_utilization = true;
+
+  auto initial_stddev = [&](unsigned choices) {
+    cfg.initial_placement_choices = choices;
+    ReliabilitySimulator sim(cfg, 7);
+    StorageSystem& sys = sim.system();
+    util::OnlineStats s;
+    for (DiskId d = 0; d < sys.initial_disk_count(); ++d) {
+      s.add(sys.disk_at(d).used().value());
+    }
+    return s.stddev();
+  };
+
+  const double hashed = initial_stddev(1);
+  const double balanced = initial_stddev(2);
+  // Binomial spread (~20 blocks) vs best-of-two (~couple of blocks).
+  EXPECT_LT(balanced * 3.0, hashed);
+  EXPECT_THROW(
+      [&] {
+        cfg.initial_placement_choices = 0;
+        cfg.validate();
+      }(),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace farm::core

@@ -1,0 +1,127 @@
+#include "farm/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace farm::core {
+namespace {
+
+using util::gigabytes;
+using util::mb_per_sec;
+using util::petabytes;
+using util::terabytes;
+
+TEST(Config, PaperBaseDerivedQuantities) {
+  const SystemConfig cfg;  // defaults are the paper's Table 2 base values
+  EXPECT_DOUBLE_EQ(cfg.total_user_data.value(), petabytes(2).value());
+  EXPECT_EQ(cfg.scheme.str(), "1/2");
+  // 2 PB in 10 GB groups -> 200,000 groups.
+  EXPECT_EQ(cfg.group_count(), 200000u);
+  // Two-way mirroring: block == group user data.
+  EXPECT_DOUBLE_EQ(cfg.block_size().value(), gigabytes(10).value());
+  EXPECT_DOUBLE_EQ(cfg.group_footprint().value(), gigabytes(20).value());
+  // Raw 4 PB at 40 % of 1 TB disks -> 10,000 disks (paper §3.5).
+  EXPECT_EQ(cfg.disk_count(), 10000u);
+  // 10 GB at 16 MB/s == 625 s.
+  EXPECT_NEAR(cfg.block_rebuild_time().value(), 625.0, 1e-9);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, ThreeWayMirroringReaches15000Disks) {
+  SystemConfig cfg;
+  cfg.scheme = erasure::Scheme{1, 3};
+  // "the system contains up to 15,000 disk drives": 2 PB * 3 at 40 % fill.
+  EXPECT_EQ(cfg.disk_count(), 15000u);
+}
+
+TEST(Config, ErasureSchemeShrinksFootprint) {
+  SystemConfig cfg;
+  cfg.scheme = erasure::Scheme{4, 6};
+  EXPECT_DOUBLE_EQ(cfg.block_size().value(), gigabytes(2.5).value());
+  EXPECT_DOUBLE_EQ(cfg.group_footprint().value(), gigabytes(15).value());
+  EXPECT_EQ(cfg.disk_count(), 7500u);  // 3 PB raw at 400 GB per disk
+}
+
+TEST(Config, GroupCountRoundsUp) {
+  SystemConfig cfg;
+  cfg.total_user_data = gigabytes(25);
+  cfg.group_size = gigabytes(10);
+  EXPECT_EQ(cfg.group_count(), 3u);
+}
+
+TEST(Config, RebuildTimeScalesWithBandwidth) {
+  SystemConfig cfg;
+  cfg.recovery_bandwidth = mb_per_sec(40);
+  EXPECT_NEAR(cfg.block_rebuild_time().value(), 250.0, 1e-9);
+}
+
+TEST(ConfigValidate, RejectsInconsistentParameters) {
+  {
+    SystemConfig cfg;
+    cfg.total_user_data = util::Bytes{0.0};
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    SystemConfig cfg;
+    cfg.group_size = cfg.total_user_data * 2.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    SystemConfig cfg;
+    cfg.initial_utilization = 0.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    SystemConfig cfg;
+    cfg.initial_utilization = 0.8;
+    cfg.spare_reservation = 0.4;  // sums past 1
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    SystemConfig cfg;
+    cfg.group_size = terabytes(3);  // one mirrored block larger than a disk
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    SystemConfig cfg;
+    cfg.recovery_bandwidth = mb_per_sec(100);  // beyond disk bandwidth
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    SystemConfig cfg;
+    cfg.detection_latency = util::seconds(-1);
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    SystemConfig cfg;
+    cfg.hazard_scale = 0.0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    SystemConfig cfg;
+    cfg.replacement.enabled = true;
+    cfg.replacement.loss_fraction_threshold = 1.5;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+  {
+    SystemConfig cfg;
+    cfg.mission_time = util::Seconds{0.0};
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  }
+}
+
+TEST(Config, SummaryMentionsKeyParameters) {
+  const SystemConfig cfg;
+  const std::string s = cfg.summary();
+  EXPECT_NE(s.find("2 PB"), std::string::npos);
+  EXPECT_NE(s.find("1/2"), std::string::npos);
+  EXPECT_NE(s.find("FARM"), std::string::npos);
+  EXPECT_NE(s.find("16 MB/s"), std::string::npos);
+}
+
+TEST(Config, RecoveryModeNames) {
+  EXPECT_EQ(to_string(RecoveryMode::kFarm), "FARM");
+  EXPECT_EQ(to_string(RecoveryMode::kDedicatedSpare), "dedicated-spare");
+}
+
+}  // namespace
+}  // namespace farm::core

@@ -1,0 +1,79 @@
+// Emergency priority for critical groups (groups that have exhausted their
+// fault tolerance): their rebuilds run above the recovery-bandwidth cap.
+#include <gtest/gtest.h>
+
+#include "farm/monte_carlo.hpp"
+#include "farm/recovery.hpp"
+
+namespace farm::core {
+namespace {
+
+using util::gigabytes;
+using util::Seconds;
+using util::terabytes;
+
+TEST(CriticalPriority, ValidationBoundsTheSpeedup) {
+  SystemConfig cfg;
+  cfg.critical_rebuild_speedup = 5.0;  // 80 MB/s: exactly the disk limit
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.critical_rebuild_speedup = 6.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.critical_rebuild_speedup = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(CriticalPriority, MirroredGroupsRebuildFasterWhenEnabled) {
+  // Under two-way mirroring every degraded group is critical, so enabling
+  // the speedup shortens every window by ~the speedup factor.
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(20);
+  cfg.group_size = gigabytes(10);
+  cfg.smart.enabled = false;
+
+  const TrialResult normal = run_trial(cfg, 99);
+  cfg.critical_rebuild_speedup = 5.0;
+  const TrialResult fast = run_trial(cfg, 99);
+
+  ASSERT_GT(normal.rebuilds_completed, 0u);
+  EXPECT_EQ(normal.disk_failures, fast.disk_failures);
+  // Window = 30 s detection + transfer(/5) + queueing: substantially shorter.
+  EXPECT_LT(fast.mean_window_sec, normal.mean_window_sec * 0.5);
+  EXPECT_LT(fast.degraded_exposure, normal.degraded_exposure * 0.5);
+}
+
+TEST(CriticalPriority, ErasureCodedGroupsOnlySpeedUpAtTheEdge) {
+  // For 4/6, a single lost block leaves tolerance to spare (not critical),
+  // so rebuild pace must not change with the knob under isolated failures.
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(40);
+  cfg.scheme = erasure::Scheme{4, 6};
+  cfg.group_size = gigabytes(10);
+  cfg.smart.enabled = false;
+
+  const TrialResult normal = run_trial(cfg, 123);
+  cfg.critical_rebuild_speedup = 5.0;
+  const TrialResult fast = run_trial(cfg, 123);
+  ASSERT_GT(normal.rebuilds_completed, 0u);
+  // Identical failure draw; windows dominated by non-critical rebuilds.
+  EXPECT_NEAR(fast.mean_window_sec, normal.mean_window_sec,
+              normal.mean_window_sec * 0.15);
+}
+
+TEST(DegradedExposure, ScalesWithDetectionLatency) {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(20);
+  cfg.group_size = gigabytes(10);
+  cfg.smart.enabled = false;
+
+  const TrialResult fast_detect = run_trial(cfg, 7);
+  cfg.detection_latency = util::hours(6);
+  const TrialResult slow_detect = run_trial(cfg, 7);
+  ASSERT_GT(fast_detect.rebuilds_completed, 0u);
+  EXPECT_GT(slow_detect.degraded_exposure, fast_detect.degraded_exposure * 3.0);
+  // Exposure is a tiny fraction of block-time in a healthy system.
+  EXPECT_LT(fast_detect.degraded_exposure, 1e-4);
+  EXPECT_GT(fast_detect.degraded_exposure, 0.0);
+}
+
+}  // namespace
+}  // namespace farm::core

@@ -1,0 +1,65 @@
+#include "farm/detector.hpp"
+
+#include "farm/reliability_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace farm::core {
+namespace {
+
+using util::Seconds;
+using util::seconds;
+
+TEST(Detector, ConstantLatencyAddsExactly) {
+  const FailureDetector d(DetectorKind::kConstant, seconds(30), seconds(10));
+  EXPECT_DOUBLE_EQ(d.detection_time(seconds(100)).value(), 130.0);
+  EXPECT_DOUBLE_EQ(d.detection_time(Seconds{0.0}).value(), 30.0);
+}
+
+TEST(Detector, ZeroLatencyIsInstant) {
+  const FailureDetector d(DetectorKind::kConstant, Seconds{0.0}, seconds(10));
+  EXPECT_DOUBLE_EQ(d.detection_time(seconds(55)).value(), 55.0);
+}
+
+TEST(Detector, HeartbeatWaitsForNextProbePlusTimeout) {
+  // Probes every 10 s, declared dead `latency` after the missed probe.
+  const FailureDetector d(DetectorKind::kHeartbeat, seconds(5), seconds(10));
+  // Failure at t=12: next probe at t=20, declared at t=25.
+  EXPECT_DOUBLE_EQ(d.detection_time(seconds(12)).value(), 25.0);
+  // Failure exactly on a probe boundary is noticed by that probe.
+  EXPECT_DOUBLE_EQ(d.detection_time(seconds(20)).value(), 25.0);
+  // Failure just after a probe waits nearly the whole interval.
+  EXPECT_DOUBLE_EQ(d.detection_time(seconds(20.001)).value(), 35.0);
+}
+
+TEST(Detector, HeartbeatNeverDetectsBeforeFailure) {
+  const FailureDetector d(DetectorKind::kHeartbeat, seconds(1), seconds(30));
+  for (double t : {0.0, 13.7, 29.999, 30.0, 31.0, 59.0}) {
+    EXPECT_GE(d.detection_time(seconds(t)).value(), t);
+  }
+}
+
+TEST(Detector, FromConfigPicksKind) {
+  SystemConfig cfg;
+  cfg.detector = DetectorKind::kHeartbeat;
+  cfg.detection_latency = seconds(2);
+  cfg.heartbeat_interval = seconds(60);
+  const FailureDetector d = FailureDetector::from_config(cfg);
+  EXPECT_DOUBLE_EQ(d.detection_time(seconds(61)).value(), 122.0);
+}
+
+TEST(Detector, HeartbeatMissionRuns) {
+  // End-to-end: a mission with a heartbeat detector behaves sanely.
+  SystemConfig cfg;
+  cfg.total_user_data = util::terabytes(10);
+  cfg.group_size = util::gigabytes(10);
+  cfg.detector = DetectorKind::kHeartbeat;
+  cfg.heartbeat_interval = util::minutes(1);
+  cfg.detection_latency = seconds(10);
+  const TrialResult r = run_trial(cfg, 7);
+  EXPECT_GT(r.disk_failures, 0u);
+  EXPECT_GT(r.rebuilds_completed, 0u);
+}
+
+}  // namespace
+}  // namespace farm::core

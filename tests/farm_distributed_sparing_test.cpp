@@ -1,0 +1,185 @@
+// Distributed sparing (Menon & Mattson) scenario tests: serial rebuild
+// stream, scattered targets — the §2.4 middle ground between a dedicated
+// spare and FARM.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "farm/distributed_sparing.hpp"
+#include "farm/recovery.hpp"
+#include "farm/storage_system.hpp"
+#include "sim/simulator.hpp"
+
+namespace farm::core {
+namespace {
+
+using util::gigabytes;
+using util::Seconds;
+using util::seconds;
+using util::terabytes;
+
+SystemConfig ds_config() {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(2);  // 200 groups on 10 disks
+  cfg.group_size = gigabytes(10);
+  cfg.recovery_mode = RecoveryMode::kDistributedSparing;
+  cfg.detection_latency = seconds(30);
+  cfg.smart.enabled = false;
+  return cfg;
+}
+
+struct Rig {
+  explicit Rig(std::uint64_t seed = 31) : system(ds_config(), seed) {
+    system.initialize();
+    policy = make_recovery_policy(system, sim, metrics);
+  }
+  void fail(DiskId d) {
+    system.fail_disk(d);
+    policy->on_disk_failed(d);
+    sim.schedule_in(system.config().detection_latency,
+                    [this, d] { policy->on_failure_detected(d); });
+  }
+  std::vector<GroupIndex> groups_on(DiskId d) {
+    std::vector<GroupIndex> gs;
+    system.for_each_block_on(d, [&](GroupIndex g, BlockIndex) { gs.push_back(g); });
+    return gs;
+  }
+  sim::Simulator sim;
+  Metrics metrics;
+  StorageSystem system;
+  std::unique_ptr<RecoveryPolicy> policy;
+};
+
+TEST(DistributedSparing, FactorySelectsIt) {
+  Rig rig;
+  EXPECT_EQ(rig.policy->name(), "distributed-sparing");
+}
+
+TEST(DistributedSparing, RebuildIsSerialLikeTheSpare) {
+  Rig rig;
+  const auto affected = rig.groups_on(0);
+  ASSERT_GT(affected.size(), 6u);
+  rig.fail(0);
+  const double t0 = 30.0;
+  const double block = rig.system.config().block_rebuild_time().value();
+  rig.sim.run_until(Seconds{t0 + 5.5 * block});
+  EXPECT_EQ(rig.metrics.rebuilds_completed(), 5u);  // one stream, one at a time
+  rig.sim.run_until(Seconds{t0 + (static_cast<double>(affected.size()) + 0.5) * block});
+  EXPECT_EQ(rig.metrics.rebuilds_completed(), affected.size());
+}
+
+TEST(DistributedSparing, TargetsScatterLikeFarm) {
+  Rig rig;
+  const auto affected = rig.groups_on(0);
+  rig.fail(0);
+  rig.sim.run_until(util::hours(48));
+  std::set<DiskId> targets;
+  for (GroupIndex g : affected) {
+    for (BlockIndex b = 0; b < 2; ++b) {
+      const DiskId d = rig.system.home(g, b);
+      if (d != 0) targets.insert(d);
+    }
+  }
+  // No spare disk was provisioned; the writes spread across survivors.
+  EXPECT_EQ(rig.system.disk_slots(), 10u);
+  EXPECT_GE(targets.size(), rig.system.live_disks() / 2);
+}
+
+TEST(DistributedSparing, FullyRecoversAllGroups) {
+  Rig rig;
+  const auto affected = rig.groups_on(0);
+  rig.fail(0);
+  rig.sim.run_until(util::hours(48));
+  EXPECT_FALSE(rig.metrics.data_lost());
+  for (GroupIndex g : affected) {
+    EXPECT_EQ(rig.system.state(g).unavailable, 0);
+    EXPECT_NE(rig.system.home(g, 0), rig.system.home(g, 1));
+    EXPECT_TRUE(rig.system.disk_at(rig.system.home(g, 0)).alive());
+    EXPECT_TRUE(rig.system.disk_at(rig.system.home(g, 1)).alive());
+  }
+}
+
+TEST(DistributedSparing, SecondFailureGetsItsOwnStream) {
+  Rig rig;
+  const auto on0 = rig.groups_on(0);
+  rig.fail(0);
+  const double block = rig.system.config().block_rebuild_time().value();
+  // Let three blocks rebuild, then fail another disk; its blocks rebuild on
+  // their own per-disk reconstruction stream (one rebuild engine per failed
+  // disk, as in a disk array), concurrently with disk 0's remainder.
+  rig.sim.run_until(Seconds{30.0 + 3.5 * block});
+  DiskId second = 1;
+  while (!rig.system.disk_at(second).alive()) ++second;
+  const auto on1 = rig.groups_on(second);
+  rig.fail(second);
+  rig.sim.run_until(util::hours(72));
+  // Everything still recovers (minus any genuinely dead groups).
+  std::size_t dead = 0;
+  for (GroupIndex g = 0; g < rig.system.group_count(); ++g) {
+    if (rig.system.state(g).dead) {
+      ++dead;
+      continue;
+    }
+    EXPECT_EQ(rig.system.state(g).unavailable, 0) << "group " << g;
+  }
+  // Total completed rebuilds = all lost blocks minus blocks of dead groups.
+  EXPECT_GE(rig.metrics.rebuilds_completed(),
+            on0.size() + on1.size() - 2 * dead);
+}
+
+TEST(DistributedSparing, TargetDeathRedirectsWithoutSpares) {
+  Rig rig;
+  const auto before_slots = rig.system.disk_slots();
+  rig.fail(0);
+  rig.sim.run_until(seconds(31));  // rebuilds enqueued
+  // Kill a disk that is currently a rebuild target (stream accounting
+  // exposes exactly that).
+  DiskId victim = kNoDisk;
+  for (DiskId d = 1; d < before_slots; ++d) {
+    if (!rig.system.disk_at(d).alive()) continue;
+    if (rig.system.disk_at(d).active_recovery_streams() > 0) {
+      victim = d;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kNoDisk);
+  rig.fail(victim);
+  rig.sim.run_until(util::hours(96));
+  EXPECT_EQ(rig.system.disk_slots(), before_slots);  // never provisions spares
+  for (GroupIndex g = 0; g < rig.system.group_count(); ++g) {
+    if (rig.system.state(g).dead) continue;
+    EXPECT_EQ(rig.system.state(g).unavailable, 0);
+  }
+}
+
+TEST(DistributedSparing, LoadAccountingSpreadsWrites) {
+  SystemConfig cfg = ds_config();
+  cfg.collect_recovery_load = true;
+  StorageSystem sys(cfg, 55);
+  sys.initialize();
+  sim::Simulator sim;
+  Metrics metrics;
+  metrics.enable_load_tracking();
+  auto policy = make_recovery_policy(sys, sim, metrics);
+  sys.fail_disk(0);
+  policy->on_disk_failed(0);
+  sim.schedule_in(cfg.detection_latency, [&] { policy->on_failure_detected(0); });
+  sim.run_until(util::hours(48));
+
+  const auto& writes = metrics.recovery_write_bytes();
+  std::size_t disks_written = 0;
+  double total = 0.0, max = 0.0;
+  for (double w : writes) {
+    if (w > 0.0) ++disks_written;
+    total += w;
+    max = std::max(max, w);
+  }
+  EXPECT_GT(disks_written, 4u);          // scattered, not funneled
+  EXPECT_LT(max / total, 0.5);           // no single disk dominates
+  EXPECT_DOUBLE_EQ(total,                // every rebuilt block accounted once
+                   static_cast<double>(metrics.rebuilds_completed()) *
+                       sys.block_bytes().value());
+}
+
+}  // namespace
+}  // namespace farm::core

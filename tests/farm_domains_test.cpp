@@ -1,0 +1,150 @@
+// Correlated failure domains (paper §2.2's "localized failure in the
+// cooling system") and rack-aware placement.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "farm/monte_carlo.hpp"
+
+namespace farm::core {
+namespace {
+
+using util::gigabytes;
+using util::hours;
+using util::terabytes;
+
+SystemConfig domain_config() {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(20);  // 100 disks
+  cfg.group_size = gigabytes(10);
+  cfg.domains.enabled = true;
+  cfg.domains.disks_per_domain = 10;  // 10 enclosures
+  return cfg;
+}
+
+TEST(Domains, DomainMapping) {
+  SystemConfig cfg = domain_config();
+  StorageSystem sys(cfg, 1);
+  sys.initialize();
+  EXPECT_EQ(sys.domain_of(0), 0u);
+  EXPECT_EQ(sys.domain_of(9), 0u);
+  EXPECT_EQ(sys.domain_of(10), 1u);
+  EXPECT_EQ(sys.domain_count(), 10u);
+  EXPECT_EQ(sys.live_disks_in_domain(3).size(), 10u);
+  sys.fail_disk(30);
+  EXPECT_EQ(sys.live_disks_in_domain(3).size(), 9u);
+}
+
+TEST(Domains, DisabledMeansSingleDomainZero) {
+  SystemConfig cfg = domain_config();
+  cfg.domains.enabled = false;
+  StorageSystem sys(cfg, 2);
+  sys.initialize();
+  EXPECT_EQ(sys.domain_of(57), 0u);
+  EXPECT_FALSE(sys.is_buddy_domain(0, 57));
+  EXPECT_TRUE(sys.domain_failure_times().empty());
+}
+
+TEST(Domains, RackAwareLayoutSpreadsEveryGroup) {
+  SystemConfig cfg = domain_config();
+  StorageSystem sys(cfg, 3);
+  sys.initialize();
+  for (GroupIndex g = 0; g < sys.group_count(); ++g) {
+    EXPECT_NE(sys.domain_of(sys.home(g, 0)), sys.domain_of(sys.home(g, 1)))
+        << "group " << g;
+  }
+}
+
+TEST(Domains, ObliviousLayoutColocatesSometimes) {
+  SystemConfig cfg = domain_config();
+  cfg.domains.rack_aware_placement = false;
+  StorageSystem sys(cfg, 4);
+  sys.initialize();
+  int colocated = 0;
+  for (GroupIndex g = 0; g < sys.group_count(); ++g) {
+    colocated += sys.domain_of(sys.home(g, 0)) == sys.domain_of(sys.home(g, 1));
+  }
+  // ~1/10 of groups land with both copies in one enclosure.
+  EXPECT_GT(colocated, static_cast<int>(sys.group_count()) / 20);
+}
+
+TEST(Domains, BuddyDomainDetection) {
+  SystemConfig cfg = domain_config();
+  StorageSystem sys(cfg, 5);
+  sys.initialize();
+  const DiskId a = sys.home(0, 0);
+  // Any other disk in a's enclosure is a buddy-domain disk for group 0.
+  const DiskId sibling = static_cast<DiskId>(
+      sys.domain_of(a) * cfg.domains.disks_per_domain +
+      ((a % cfg.domains.disks_per_domain) + 1) % cfg.domains.disks_per_domain);
+  EXPECT_TRUE(sys.is_buddy_domain(0, sibling));
+}
+
+TEST(Domains, EnclosureEventKillsAllItsDisksAtOnce) {
+  SystemConfig cfg = domain_config();
+  cfg.domains.domain_mtbf = hours(100);  // every enclosure dies immediately
+  cfg.hazard_scale = 1e-6;               // individual disks essentially immortal
+  const TrialResult r = run_trial(cfg, 6);
+  EXPECT_GT(r.domain_failures, 5u);   // nearly all 10 enclosures fire
+  EXPECT_GE(r.disk_failures, r.domain_failures * 9);  // ~10 disks per event
+}
+
+TEST(Domains, RackAwarenessSavesDataUnderEnclosureEvents) {
+  // With enclosure events as the dominant failure mode, domain-oblivious
+  // mirroring loses data almost every mission (any colocated group dies),
+  // while rack-aware placement loses only to *overlapping* enclosure
+  // rebuild windows — far rarer.
+  SystemConfig cfg = domain_config();
+  cfg.total_user_data = terabytes(40);  // 200 disks, 20 enclosures
+  cfg.hazard_scale = 0.2;               // disk failures de-emphasized
+  cfg.domains.domain_mtbf = hours(200000);  // ~2 events per mission per system
+  cfg.stop_at_first_loss = true;
+
+  MonteCarloOptions opts;
+  opts.trials = 40;
+  opts.master_seed = 77;
+
+  cfg.domains.rack_aware_placement = false;
+  const MonteCarloResult oblivious = run_monte_carlo(cfg, opts);
+  cfg.domains.rack_aware_placement = true;
+  const MonteCarloResult aware = run_monte_carlo(cfg, opts);
+
+  EXPECT_GT(oblivious.trials_with_loss, aware.trials_with_loss + 5);
+}
+
+TEST(Domains, RecoveryTargetsHonorRackAwareness) {
+  SystemConfig cfg = domain_config();
+  StorageSystem sys(cfg, 8);
+  sys.initialize();
+  sim::Simulator sim;
+  Metrics metrics;
+  auto policy = make_recovery_policy(sys, sim, metrics);
+  // Kill a disk; every rebuilt block must land outside its buddy's domain.
+  sys.fail_disk(0);
+  policy->on_disk_failed(0);
+  sim.schedule_in(cfg.detection_latency, [&] { policy->on_failure_detected(0); });
+  sim.run_until(util::hours(24));
+  EXPECT_GT(metrics.rebuilds_completed(), 0u);
+  for (GroupIndex g = 0; g < sys.group_count(); ++g) {
+    const DiskId a = sys.home(g, 0);
+    const DiskId b = sys.home(g, 1);
+    if (sys.disk_at(a).alive() && sys.disk_at(b).alive()) {
+      EXPECT_NE(sys.domain_of(a), sys.domain_of(b)) << "group " << g;
+    }
+  }
+}
+
+TEST(Domains, ValidationCatchesBadSetups) {
+  SystemConfig cfg = domain_config();
+  cfg.domains.disks_per_domain = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = domain_config();
+  cfg.domains.domain_mtbf = util::Seconds{0.0};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = domain_config();
+  cfg.domains.disks_per_domain = 200;  // one domain, rack-aware impossible
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace farm::core

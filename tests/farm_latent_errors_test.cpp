@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "farm/monte_carlo.hpp"
+
+namespace farm::core {
+namespace {
+
+using util::gigabytes;
+using util::terabytes;
+
+SystemConfig base_config() {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(20);
+  cfg.group_size = gigabytes(10);
+  return cfg;
+}
+
+TEST(LatentErrors, DisabledChangesNothing) {
+  SystemConfig cfg = base_config();
+  const TrialResult off = run_trial(cfg, 42);
+  cfg.latent_errors.enabled = true;
+  cfg.latent_errors.bytes_per_ure = 1e30;  // effectively never
+  const TrialResult on = run_trial(cfg, 42);
+  EXPECT_EQ(off.rebuilds_completed, on.rebuilds_completed);
+  EXPECT_EQ(on.ure_losses, 0u);
+  EXPECT_EQ(off.lost_groups, on.lost_groups);
+}
+
+TEST(LatentErrors, CertainUreKillsEveryRebuild) {
+  SystemConfig cfg = base_config();
+  cfg.latent_errors.enabled = true;
+  cfg.latent_errors.bytes_per_ure = 1.0;  // p_dirty ~ 1: every source dirty
+  const TrialResult r = run_trial(cfg, 43);
+  EXPECT_GT(r.disk_failures, 0u);
+  EXPECT_EQ(r.rebuilds_completed, 0u);  // nothing ever completes cleanly
+  EXPECT_GT(r.ure_losses, 0u);
+  EXPECT_EQ(r.lost_groups, r.ure_losses);  // all losses are URE losses here
+  EXPECT_TRUE(r.data_lost);
+}
+
+TEST(LatentErrors, PerfectScrubbingNeutralizesUres) {
+  SystemConfig cfg = base_config();
+  cfg.latent_errors.enabled = true;
+  cfg.latent_errors.bytes_per_ure = 1.0;  // hopeless without scrubbing...
+  cfg.latent_errors.scrub_efficiency = 1.0;  // ...but scrubbing fixes all
+  const TrialResult r = run_trial(cfg, 44);
+  EXPECT_EQ(r.ure_losses, 0u);
+  EXPECT_GT(r.rebuilds_completed, 0u);
+}
+
+TEST(LatentErrors, RealisticRatesHurtMirroringMeasurably) {
+  // 10 GB source read at 1.25e14 B/URE -> p ~ 8e-5 per rebuild; with ~2,200
+  // rebuilds per mission the expected URE losses are ~0.18/trial, so over
+  // 30 trials we should observe some, while 4/6 (two clean sources needed
+  // out of five) stays clean.
+  SystemConfig cfg = base_config();
+  cfg.total_user_data = terabytes(100);
+  cfg.latent_errors.enabled = true;
+
+  MonteCarloOptions opts;
+  opts.trials = 30;
+  opts.master_seed = 7;
+  const MonteCarloResult mirror = run_monte_carlo(cfg, opts);
+  EXPECT_GT(mirror.mean_ure_losses, 0.0);
+
+  cfg.scheme = erasure::Scheme{4, 6};
+  const MonteCarloResult rs = run_monte_carlo(cfg, opts);
+  EXPECT_LT(rs.mean_ure_losses, mirror.mean_ure_losses);
+}
+
+TEST(LatentErrors, ErasureCodesToleratePartialDirt) {
+  // For 4/6, a rebuild needs 4 clean of 5 live sources; with p_dirty such
+  // that on average less than one source is dirty, most rebuilds succeed.
+  SystemConfig cfg = base_config();
+  cfg.scheme = erasure::Scheme{4, 6};
+  cfg.total_user_data = terabytes(40);
+  cfg.latent_errors.enabled = true;
+  cfg.latent_errors.bytes_per_ure = 2.5e9;  // p_dirty ~ 63% per 2.5GB block!
+  const TrialResult r = run_trial(cfg, 45);
+  // Sanity only: some rebuilds fail, some succeed.
+  EXPECT_GT(r.ure_losses, 0u);
+}
+
+TEST(LatentErrors, ValidationRejectsBadParameters) {
+  SystemConfig cfg = base_config();
+  cfg.latent_errors.enabled = true;
+  cfg.latent_errors.bytes_per_ure = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.latent_errors.bytes_per_ure = 1e14;
+  cfg.latent_errors.scrub_efficiency = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace farm::core

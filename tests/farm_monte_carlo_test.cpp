@@ -1,0 +1,150 @@
+#include "farm/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <set>
+
+#include "analysis/experiment.hpp"
+
+namespace farm::core {
+namespace {
+
+using util::gigabytes;
+using util::terabytes;
+
+SystemConfig mc_config() {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(10);  // 50 disks
+  cfg.group_size = gigabytes(10);
+  cfg.stop_at_first_loss = true;
+  return cfg;
+}
+
+TEST(MonteCarlo, AggregatesTrialCount) {
+  MonteCarloOptions opts;
+  opts.trials = 8;
+  const MonteCarloResult r = run_monte_carlo(mc_config(), opts);
+  EXPECT_EQ(r.trials, 8u);
+  EXPECT_GT(r.mean_disk_failures, 0.0);
+  EXPECT_LE(r.trials_with_loss, r.trials);
+  EXPECT_LE(r.loss_ci.lo, r.loss_probability());
+  EXPECT_GE(r.loss_ci.hi, r.loss_probability());
+}
+
+TEST(MonteCarlo, SameMasterSeedIsReproducible) {
+  MonteCarloOptions opts;
+  opts.trials = 6;
+  opts.master_seed = 777;
+  const MonteCarloResult a = run_monte_carlo(mc_config(), opts);
+  const MonteCarloResult b = run_monte_carlo(mc_config(), opts);
+  EXPECT_EQ(a.trials_with_loss, b.trials_with_loss);
+  EXPECT_DOUBLE_EQ(a.mean_disk_failures, b.mean_disk_failures);
+  EXPECT_DOUBLE_EQ(a.mean_rebuilds, b.mean_rebuilds);
+}
+
+TEST(MonteCarlo, ObserverSeesEveryTrial) {
+  MonteCarloOptions opts;
+  opts.trials = 10;
+  std::set<std::size_t> seen;
+  std::mutex mu;  // observer runs under the harness lock, but be safe
+  opts.observer = [&](std::size_t i, const TrialResult& r) {
+    std::lock_guard lock(mu);
+    seen.insert(i);
+    EXPECT_GT(r.events_executed, 0u);
+  };
+  (void)run_monte_carlo(mc_config(), opts);
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(MonteCarlo, UtilizationPoolingWhenCollected) {
+  SystemConfig cfg = mc_config();
+  cfg.collect_utilization = true;
+  cfg.stop_at_first_loss = false;
+  MonteCarloOptions opts;
+  opts.trials = 3;
+  const MonteCarloResult r = run_monte_carlo(cfg, opts);
+  EXPECT_EQ(r.initial_utilization.count(), 3u * cfg.disk_count());
+  EXPECT_NEAR(r.initial_utilization.mean(), 0.4e12, 0.1e12);
+  EXPECT_GE(r.final_utilization.count(), r.initial_utilization.count());
+}
+
+TEST(MonteCarlo, InvalidConfigRejectedUpFront) {
+  SystemConfig cfg = mc_config();
+  cfg.hazard_scale = -1.0;
+  MonteCarloOptions opts;
+  opts.trials = 1;
+  EXPECT_THROW((void)run_monte_carlo(cfg, opts), std::invalid_argument);
+}
+
+TEST(MonteCarlo, DedicatedPoolWorks) {
+  util::ThreadPool pool(2);
+  MonteCarloOptions opts;
+  opts.trials = 4;
+  opts.pool = &pool;
+  const MonteCarloResult r = run_monte_carlo(mc_config(), opts);
+  EXPECT_EQ(r.trials, 4u);
+}
+
+TEST(BenchTrials, EnvOverride) {
+  ::unsetenv("FARM_TRIALS");
+  EXPECT_EQ(bench_trials(123), 123u);
+  ::setenv("FARM_TRIALS", "77", 1);
+  EXPECT_EQ(bench_trials(123), 77u);
+  ::setenv("FARM_TRIALS", "garbage", 1);
+  EXPECT_EQ(bench_trials(123), 123u);
+  ::unsetenv("FARM_TRIALS");
+}
+
+TEST(Experiment, ScaledConfigShrinksSystem) {
+  const SystemConfig cfg = analysis::scaled_config(0.01);
+  EXPECT_DOUBLE_EQ(cfg.total_user_data.value(), util::terabytes(20).value());
+  EXPECT_NO_THROW(cfg.validate());
+  // Absurdly tiny scales leave fewer disks than blocks per group; validate()
+  // must reject that rather than let layout() fail deep inside a trial.
+  const SystemConfig tiny = analysis::scaled_config(1e-6);
+  EXPECT_THROW(tiny.validate(), std::invalid_argument);
+}
+
+TEST(Experiment, EnvScaleApplies) {
+  ::setenv("FARM_SCALE", "0.5", 1);
+  const SystemConfig cfg = analysis::apply_env_scale(analysis::paper_base_config());
+  EXPECT_DOUBLE_EQ(cfg.total_user_data.value(), util::petabytes(1).value());
+  ::unsetenv("FARM_SCALE");
+  const SystemConfig cfg2 = analysis::apply_env_scale(analysis::paper_base_config());
+  EXPECT_DOUBLE_EQ(cfg2.total_user_data.value(), util::petabytes(2).value());
+}
+
+TEST(Experiment, SweepRunsEveryPointWithStableSeeds) {
+  std::vector<analysis::SweepPoint> points;
+  SystemConfig cfg = mc_config();
+  points.push_back({"a", cfg});
+  cfg.detection_latency = util::minutes(10);
+  points.push_back({"b", cfg});
+
+  std::vector<std::string> progress;
+  const auto results = analysis::run_sweep(points, 3, 42, [&](const std::string& l) {
+    progress.push_back(l);
+  });
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(progress, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(results[0].result.trials, 3u);
+
+  // Same seeds, same outcome on re-run.
+  const auto again = analysis::run_sweep(points, 3, 42);
+  EXPECT_DOUBLE_EQ(results[1].result.mean_disk_failures,
+                   again[1].result.mean_disk_failures);
+}
+
+TEST(Experiment, LossCellFormat) {
+  MonteCarloResult r;
+  r.trials = 100;
+  r.trials_with_loss = 10;
+  r.loss_ci = util::wilson_interval(10, 100);
+  const std::string cell = analysis::loss_cell(r);
+  EXPECT_NE(cell.find("10.00%"), std::string::npos);
+  EXPECT_NE(cell.find('['), std::string::npos);
+}
+
+}  // namespace
+}  // namespace farm::core

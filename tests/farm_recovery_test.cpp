@@ -1,0 +1,406 @@
+// Scenario tests for both recovery policies, driven by hand: we construct a
+// small StorageSystem, fail specific disks at specific times, and check the
+// resulting availability, rebuild scheduling, loss declaration, and
+// redirection behaviour against the paper's §2.3-§2.4 rules.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "farm/farm_recovery.hpp"
+#include "farm/recovery.hpp"
+#include "farm/spare_recovery.hpp"
+#include "farm/storage_system.hpp"
+#include "sim/simulator.hpp"
+
+namespace farm::core {
+namespace {
+
+using util::gigabytes;
+using util::Seconds;
+using util::seconds;
+using util::terabytes;
+
+SystemConfig tiny_config(RecoveryMode mode) {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(2);  // 200 groups on 10 disks
+  cfg.group_size = gigabytes(10);
+  cfg.recovery_mode = mode;
+  cfg.detection_latency = seconds(30);
+  cfg.smart.enabled = false;  // determinism: no suspect-skipping
+  return cfg;
+}
+
+struct Rig {
+  explicit Rig(RecoveryMode mode, std::uint64_t seed = 17)
+      : Rig(tiny_config(mode), seed) {}
+
+  Rig(const SystemConfig& cfg, std::uint64_t seed)
+      : config(cfg), system(config, seed) {
+    system.initialize();
+    policy = make_recovery_policy(system, sim, metrics);
+  }
+
+  /// Fails a disk "now" and performs what ReliabilitySimulator would:
+  /// immediate availability bookkeeping plus a detection event.
+  void fail(DiskId d) {
+    system.fail_disk(d);
+    policy->on_disk_failed(d);
+    sim.schedule_in(config.detection_latency,
+                    [this, d] { policy->on_failure_detected(d); });
+  }
+
+  /// Groups with a block currently homed on disk d.
+  std::vector<GroupIndex> groups_on(DiskId d) {
+    std::vector<GroupIndex> gs;
+    system.for_each_block_on(d, [&](GroupIndex g, BlockIndex) { gs.push_back(g); });
+    return gs;
+  }
+
+  std::vector<double> used_snapshot() {
+    std::vector<double> used;
+    for (DiskId d = 0; d < system.disk_slots(); ++d) {
+      used.push_back(system.disk_at(d).used().value());
+    }
+    return used;
+  }
+
+  SystemConfig config;
+  sim::Simulator sim;
+  Metrics metrics;
+  StorageSystem system;
+  std::unique_ptr<RecoveryPolicy> policy;
+};
+
+TEST(FarmRecovery, SingleFailureFullyRebuilds) {
+  Rig rig(RecoveryMode::kFarm);
+  const auto affected = rig.groups_on(0);
+  ASSERT_FALSE(affected.empty());
+
+  rig.fail(0);
+  for (GroupIndex g : affected) {
+    EXPECT_EQ(rig.system.state(g).unavailable, 1);
+  }
+  rig.sim.run_until(util::hours(24));
+
+  EXPECT_EQ(rig.metrics.rebuilds_completed(), affected.size());
+  EXPECT_FALSE(rig.metrics.data_lost());
+  for (GroupIndex g : affected) {
+    EXPECT_EQ(rig.system.state(g).unavailable, 0);
+    // Both copies live again, on distinct live disks, none on the dead one.
+    const DiskId a = rig.system.home(g, 0);
+    const DiskId b = rig.system.home(g, 1);
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(rig.system.disk_at(a).alive());
+    EXPECT_TRUE(rig.system.disk_at(b).alive());
+  }
+}
+
+TEST(FarmRecovery, RebuildWaitsForDetection) {
+  Rig rig(RecoveryMode::kFarm);
+  rig.fail(0);
+  // Just before detection latency expires nothing has completed.
+  rig.sim.run_until(seconds(29));
+  EXPECT_EQ(rig.metrics.rebuilds_completed(), 0u);
+  // First rebuild completes one block-transfer after detection at the
+  // earliest (625 s at 16 MB/s for a 10 GB block).
+  rig.sim.run_until(seconds(30 + 624));
+  EXPECT_EQ(rig.metrics.rebuilds_completed(), 0u);
+  rig.sim.run_until(util::hours(10));
+  EXPECT_GT(rig.metrics.rebuilds_completed(), 0u);
+}
+
+TEST(FarmRecovery, RebuildTargetsSpreadAcrossCluster) {
+  Rig rig(RecoveryMode::kFarm);
+  const auto affected = rig.groups_on(0);
+  rig.fail(0);
+  rig.sim.run_until(util::hours(24));
+  // Count distinct disks that received rebuilt blocks (the declustering
+  // claim of Fig. 2(d)); with ~40 blocks and 9 live disks nearly every live
+  // disk should take part.
+  std::set<DiskId> targets;
+  for (GroupIndex g : affected) {
+    for (BlockIndex b = 0; b < 2; ++b) {
+      const DiskId d = rig.system.home(g, b);
+      if (d != 0) targets.insert(d);
+    }
+  }
+  EXPECT_GE(targets.size(), rig.system.live_disks() / 2);
+}
+
+TEST(FarmRecovery, DoubleFailureBeforeRebuildLosesSharedGroups) {
+  Rig rig(RecoveryMode::kFarm);
+  // Find a disk pair sharing at least one group.
+  const auto on0 = rig.groups_on(0);
+  DiskId partner = kNoDisk;
+  GroupIndex shared = 0;
+  for (GroupIndex g : on0) {
+    for (BlockIndex b = 0; b < 2; ++b) {
+      if (rig.system.home(g, b) != 0) {
+        partner = rig.system.home(g, b);
+        shared = g;
+      }
+    }
+    if (partner != kNoDisk) break;
+  }
+  ASSERT_NE(partner, kNoDisk);
+
+  rig.fail(0);
+  rig.fail(partner);  // both copies gone before any rebuild can finish
+  EXPECT_TRUE(rig.metrics.data_lost());
+  EXPECT_TRUE(rig.system.state(shared).dead);
+  EXPECT_GT(rig.metrics.lost_groups(), 0u);
+
+  // The mission continues: other groups still rebuild fine.
+  rig.sim.run_until(util::hours(24));
+  for (GroupIndex g = 0; g < rig.system.group_count(); ++g) {
+    if (rig.system.state(g).dead) continue;
+    EXPECT_EQ(rig.system.state(g).unavailable, 0) << "group " << g;
+  }
+}
+
+TEST(FarmRecovery, SecondFailureAfterRebuildIsHarmless) {
+  Rig rig(RecoveryMode::kFarm);
+  const auto on0 = rig.groups_on(0);
+  rig.fail(0);
+  rig.sim.run_until(util::hours(24));  // everything rebuilt
+  ASSERT_FALSE(rig.metrics.data_lost());
+
+  // Now fail the disk holding a rebuilt copy of some group; no loss.
+  const GroupIndex g = on0.front();
+  const DiskId second = rig.system.home(g, 0);
+  rig.fail(second);
+  rig.sim.run_until(util::hours(48));
+  EXPECT_FALSE(rig.metrics.data_lost());
+}
+
+TEST(FarmRecovery, TargetFailureMidRebuildRedirects) {
+  Rig rig(RecoveryMode::kFarm);
+  const auto before = rig.used_snapshot();
+  rig.fail(0);
+  // Let detection fire and rebuilds enqueue (allocation happens at enqueue),
+  // then kill a disk that is currently a rebuild target.
+  rig.sim.run_until(seconds(31));
+  ASSERT_EQ(rig.metrics.rebuilds_completed(), 0u);
+
+  DiskId victim = kNoDisk;
+  for (DiskId d = 1; d < before.size(); ++d) {
+    if (!rig.system.disk_at(d).alive()) continue;
+    if (rig.system.disk_at(d).used().value() > before[d]) {
+      victim = d;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kNoDisk);
+  rig.fail(victim);
+  EXPECT_GT(rig.metrics.redirections(), 0u);
+
+  // In this dense little system the victim almost certainly also held
+  // buddies of groups degraded by disk 0, so some loss is *expected*; the
+  // property under test is that every surviving group still gets whole.
+  rig.sim.run_until(util::hours(48));
+  for (GroupIndex g = 0; g < rig.system.group_count(); ++g) {
+    if (rig.system.state(g).dead) continue;
+    EXPECT_EQ(rig.system.state(g).unavailable, 0) << "group " << g;
+    EXPECT_TRUE(rig.system.disk_at(rig.system.home(g, 0)).alive());
+    EXPECT_TRUE(rig.system.disk_at(rig.system.home(g, 1)).alive());
+  }
+}
+
+TEST(FarmRecovery, StallWhenNoTargetFeasibleThenRecovers) {
+  // Three disks, groups of two blocks: after one failure the only possible
+  // target for a lost block is the single non-buddy disk; fill it up so the
+  // selector stalls, then the deferred retry must eventually succeed once
+  // space frees.
+  SystemConfig cfg = tiny_config(RecoveryMode::kFarm);
+  cfg.total_user_data = gigabytes(600);  // 60 groups on 3 disks
+  cfg.group_size = gigabytes(10);
+  Rig rig(cfg, 29);
+  ASSERT_EQ(rig.system.disk_slots(), 3u);
+
+  // Stuff disks 1 and 2 to their physical brim so nothing fits.
+  for (DiskId d = 1; d <= 2; ++d) {
+    rig.system.disk_at(d).allocate(rig.system.disk_at(d).free_space());
+  }
+  rig.fail(0);
+  rig.sim.run_until(util::hours(0.5));
+  EXPECT_GT(rig.metrics.stalls(), 0u);
+  EXPECT_EQ(rig.metrics.rebuilds_completed(), 0u);
+
+  // Free the space again; the hourly retry should finish the job.
+  rig.system.disk_at(1).release(gigabytes(300));
+  rig.system.disk_at(2).release(gigabytes(300));
+  rig.sim.run_until(util::hours(12));
+  EXPECT_GT(rig.metrics.rebuilds_completed(), 0u);
+  EXPECT_FALSE(rig.metrics.data_lost());
+}
+
+TEST(SpareRecovery, RebuildsEverythingOntoOneSpare) {
+  Rig rig(RecoveryMode::kDedicatedSpare);
+  const auto affected = rig.groups_on(0);
+  const std::size_t slots_before = rig.system.disk_slots();
+
+  rig.fail(0);
+  rig.sim.run_until(util::hours(48));
+
+  ASSERT_EQ(rig.system.disk_slots(), slots_before + 1);  // exactly one spare
+  const DiskId spare = static_cast<DiskId>(slots_before);
+  EXPECT_EQ(rig.metrics.rebuilds_completed(), affected.size());
+  for (GroupIndex g : affected) {
+    EXPECT_TRUE(rig.system.home(g, 0) == spare || rig.system.home(g, 1) == spare);
+  }
+}
+
+TEST(SpareRecovery, RebuildSerializesOnTheSpare) {
+  Rig rig(RecoveryMode::kDedicatedSpare);
+  const auto affected = rig.groups_on(0);
+  ASSERT_GT(affected.size(), 6u);
+  rig.fail(0);
+  // After detection plus k block-times, exactly k rebuilds have finished —
+  // the queue drains at 16 MB/s, one 625 s block at a time.
+  const double t0 = 30.0;
+  const double block = rig.config.block_rebuild_time().value();
+  rig.sim.run_until(Seconds{t0 + 5.5 * block});
+  EXPECT_EQ(rig.metrics.rebuilds_completed(), 5u);
+  rig.sim.run_until(Seconds{t0 + (static_cast<double>(affected.size()) + 0.5) * block});
+  EXPECT_EQ(rig.metrics.rebuilds_completed(), affected.size());
+}
+
+TEST(SpareRecovery, FarmBeatsSpareOnRebuildCompletion) {
+  // The core claim: FARM drains its declustered queues long before one
+  // spare disk can absorb a whole drive.
+  Rig farm(RecoveryMode::kFarm);
+  Rig spare(RecoveryMode::kDedicatedSpare);
+  const std::size_t farm_blocks = farm.groups_on(0).size();
+  const std::size_t spare_blocks = spare.groups_on(0).size();
+  farm.fail(0);
+  spare.fail(0);
+
+  // 40 blocks over 9 live targets: FARM's deepest queue is far shorter than
+  // the spare's 40-deep queue.  Check at the halfway point of the spare
+  // rebuild: FARM must already be finished.
+  const double block = farm.config.block_rebuild_time().value();
+  const double t = 30.0 + 0.5 * static_cast<double>(spare_blocks) * block;
+  farm.sim.run_until(Seconds{t});
+  spare.sim.run_until(Seconds{t});
+  EXPECT_EQ(farm.metrics.rebuilds_completed(), farm_blocks);
+  EXPECT_LT(spare.metrics.rebuilds_completed(), spare_blocks);
+}
+
+TEST(SpareRecovery, SpeedupKnobShortensTheQueue) {
+  // spare_rebuild_speedup = 5 models a spare writing at the full 80 MB/s
+  // while declustered sources feed it; the queue drains 5x faster.
+  SystemConfig cfg = tiny_config(RecoveryMode::kDedicatedSpare);
+  cfg.spare_rebuild_speedup = 5.0;
+  Rig rig(cfg, 17);
+  const auto affected = rig.groups_on(0);
+  rig.fail(0);
+  const double block = rig.config.block_rebuild_time().value() / 5.0;
+  rig.sim.run_until(Seconds{30.0 + 5.5 * block});
+  EXPECT_EQ(rig.metrics.rebuilds_completed(), 5u);
+  rig.sim.run_until(Seconds{30.0 + (static_cast<double>(affected.size()) + 0.5) * block});
+  EXPECT_EQ(rig.metrics.rebuilds_completed(), affected.size());
+
+  // Validation guards: the speedup must keep the spare within the disk.
+  SystemConfig bad = tiny_config(RecoveryMode::kDedicatedSpare);
+  bad.spare_rebuild_speedup = 6.0;  // 6 x 16 MB/s > 80 MB/s
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.spare_rebuild_speedup = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(SpareRecovery, ProvisionDelayPostponesTheWholeQueue) {
+  SystemConfig cfg = tiny_config(RecoveryMode::kDedicatedSpare);
+  cfg.spare_provision_delay = util::hours(4);
+  Rig rig(cfg, 17);
+  rig.fail(0);
+  // Detection at 30 s, but the first block cannot finish until the spare is
+  // racked (4 h) plus one transfer.
+  const double block = rig.config.block_rebuild_time().value();
+  rig.sim.run_until(Seconds{30.0 + 4.0 * 3600.0 + 0.5 * block});
+  EXPECT_EQ(rig.metrics.rebuilds_completed(), 0u);
+  rig.sim.run_until(Seconds{30.0 + 4.0 * 3600.0 + 1.5 * block});
+  EXPECT_EQ(rig.metrics.rebuilds_completed(), 1u);
+}
+
+TEST(SpareRecovery, SpareDeathMidRebuildReroutesToFreshSpare) {
+  Rig rig(RecoveryMode::kDedicatedSpare);
+  const auto affected = rig.groups_on(0);
+  const std::size_t slots_before = rig.system.disk_slots();
+  rig.fail(0);
+  // Let half the queue drain, then kill the spare.
+  const double block = rig.config.block_rebuild_time().value();
+  const auto half = static_cast<double>(affected.size() / 2);
+  rig.sim.run_until(Seconds{30.0 + (half + 0.5) * block});
+  const DiskId spare1 = static_cast<DiskId>(slots_before);
+  ASSERT_TRUE(rig.system.disk_at(spare1).alive());
+  rig.fail(spare1);
+  EXPECT_GT(rig.metrics.redirections(), 0u);
+
+  rig.sim.run_until(util::hours(72));
+  EXPECT_FALSE(rig.metrics.data_lost());
+  // A second spare was provisioned and every group is whole again.
+  EXPECT_EQ(rig.system.disk_slots(), slots_before + 2);
+  for (GroupIndex g : affected) {
+    EXPECT_EQ(rig.system.state(g).unavailable, 0);
+    EXPECT_TRUE(rig.system.disk_at(rig.system.home(g, 0)).alive());
+    EXPECT_TRUE(rig.system.disk_at(rig.system.home(g, 1)).alive());
+  }
+}
+
+TEST(Recovery, ErasureCodedGroupSurvivesUpToToleranceFailures) {
+  SystemConfig cfg = tiny_config(RecoveryMode::kFarm);
+  cfg.scheme = erasure::Scheme{4, 6};  // tolerates 2
+  cfg.total_user_data = terabytes(4);
+  Rig rig(cfg, 21);
+
+  // Fail two disks simultaneously: every 4/6 group still has >= 4 of its 6
+  // blocks alive, so nothing is lost.
+  rig.fail(0);
+  rig.fail(1);
+  EXPECT_FALSE(rig.metrics.data_lost());
+  rig.sim.run_until(util::hours(48));
+  EXPECT_FALSE(rig.metrics.data_lost());
+  for (GroupIndex g = 0; g < rig.system.group_count(); ++g) {
+    EXPECT_EQ(rig.system.state(g).unavailable, 0);
+  }
+}
+
+TEST(Recovery, ThirdSimultaneousFailureKillsDoubleTolerantGroups) {
+  SystemConfig cfg = tiny_config(RecoveryMode::kFarm);
+  cfg.scheme = erasure::Scheme{4, 6};
+  cfg.total_user_data = terabytes(4);
+  Rig rig(cfg, 22);
+  // Find a group and kill three of its homes before detection can react.
+  const GroupIndex g = 0;
+  rig.fail(rig.system.home(g, 0));
+  rig.fail(rig.system.home(g, 1));
+  EXPECT_FALSE(rig.system.state(g).dead);
+  rig.fail(rig.system.home(g, 2));
+  EXPECT_TRUE(rig.system.state(g).dead);
+  EXPECT_TRUE(rig.metrics.data_lost());
+}
+
+TEST(Recovery, ZeroDetectionLatencyStartsImmediately) {
+  SystemConfig cfg = tiny_config(RecoveryMode::kFarm);
+  cfg.detection_latency = seconds(0);
+  Rig rig(cfg, 23);
+  rig.fail(0);
+  rig.sim.run_until(Seconds{cfg.block_rebuild_time().value() + 1.0});
+  EXPECT_GT(rig.metrics.rebuilds_completed(), 0u);
+}
+
+TEST(Recovery, BuddyRuleKeepsRebuiltBlocksOffGroupDisks) {
+  Rig rig(RecoveryMode::kFarm);
+  const auto affected = rig.groups_on(0);
+  rig.fail(0);
+  rig.sim.run_until(util::hours(24));
+  for (GroupIndex g : affected) {
+    EXPECT_NE(rig.system.home(g, 0), rig.system.home(g, 1)) << "group " << g;
+  }
+}
+
+}  // namespace
+}  // namespace farm::core

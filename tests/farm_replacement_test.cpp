@@ -1,0 +1,161 @@
+#include "farm/replacement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "farm/recovery.hpp"
+#include "sim/simulator.hpp"
+
+namespace farm::core {
+namespace {
+
+using util::gigabytes;
+using util::Seconds;
+using util::terabytes;
+
+SystemConfig replacement_config(double threshold) {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(4);  // 20 disks
+  cfg.group_size = gigabytes(10);
+  cfg.replacement.enabled = true;
+  cfg.replacement.loss_fraction_threshold = threshold;
+  cfg.smart.enabled = false;
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(double threshold, std::uint64_t seed = 7)
+      : config(replacement_config(threshold)),
+        system(config, seed),
+        manager(system, sim, metrics) {
+    system.initialize();
+    policy = make_recovery_policy(system, sim, metrics);
+  }
+
+  /// Fail a disk with full bookkeeping, then give the manager its chance.
+  void fail_and_check(DiskId d) {
+    system.fail_disk(d);
+    policy->on_disk_failed(d);
+    sim.schedule_in(config.detection_latency,
+                    [this, d] { policy->on_failure_detected(d); });
+    manager.on_disk_failed();
+  }
+
+  SystemConfig config;
+  sim::Simulator sim;
+  Metrics metrics;
+  StorageSystem system;
+  std::unique_ptr<RecoveryPolicy> policy;
+  ReplacementManager manager;
+};
+
+TEST(Replacement, NoBatchBelowThreshold) {
+  Fixture fx(0.2);  // threshold: 4 of 20 disks
+  fx.fail_and_check(0);
+  fx.fail_and_check(1);
+  fx.fail_and_check(2);
+  EXPECT_EQ(fx.manager.batches_installed(), 0u);
+  EXPECT_EQ(fx.metrics.batches(), 0u);
+}
+
+TEST(Replacement, BatchInstalledAtThreshold) {
+  Fixture fx(0.2);
+  const std::size_t slots_before = fx.system.disk_slots();
+  for (DiskId d = 0; d < 4; ++d) fx.fail_and_check(d);
+  EXPECT_EQ(fx.manager.batches_installed(), 1u);
+  // Exactly the lost disks are replaced.
+  EXPECT_EQ(fx.system.disk_slots(), slots_before + 4);
+  EXPECT_EQ(fx.metrics.batches(), 1u);
+}
+
+TEST(Replacement, BatchDisksAreNewVintage) {
+  Fixture fx(0.2);
+  for (DiskId d = 0; d < 4; ++d) fx.fail_and_check(d);
+  for (DiskId d = 20; d < 24; ++d) {
+    EXPECT_EQ(fx.system.disk_at(d).vintage(), 1u);
+    EXPECT_TRUE(fx.system.disk_at(d).alive());
+  }
+}
+
+TEST(Replacement, MigrationMovesDataOntoNewDisks) {
+  Fixture fx(0.2);
+  for (DiskId d = 0; d < 4; ++d) fx.fail_and_check(d);
+  ASSERT_EQ(fx.manager.batches_installed(), 1u);
+  EXPECT_GT(fx.metrics.migrated_blocks(), 0u);
+  double new_disk_bytes = 0.0;
+  for (DiskId d = 20; d < 24; ++d) {
+    new_disk_bytes += fx.system.disk_at(d).used().value();
+  }
+  EXPECT_GT(new_disk_bytes, 0.0);
+  // Roughly the new cluster's weight share of all raw data (4 of 20 disks
+  // at equal weight -> ~1/6 of 8 TB raw), loosely bounded.
+  EXPECT_GT(new_disk_bytes, 0.4e12);
+  EXPECT_LT(new_disk_bytes, 2.5e12);
+}
+
+TEST(Replacement, MigratedBlocksStayConsistent) {
+  Fixture fx(0.2);
+  for (DiskId d = 0; d < 4; ++d) fx.fail_and_check(d);
+  fx.sim.run_until(util::hours(48));  // drain rebuilds
+  // Every live group: both homes alive, distinct, capacity accounted.
+  for (GroupIndex g = 0; g < fx.system.group_count(); ++g) {
+    if (fx.system.state(g).dead) continue;
+    ASSERT_EQ(fx.system.state(g).unavailable, 0) << "group " << g;
+    const DiskId a = fx.system.home(g, 0);
+    const DiskId b = fx.system.home(g, 1);
+    ASSERT_NE(a, b);
+    ASSERT_TRUE(fx.system.disk_at(a).alive());
+    ASSERT_TRUE(fx.system.disk_at(b).alive());
+  }
+  // Capacity books balance: sum of used == blocks * block size.
+  double used_total = 0.0;
+  for (DiskId d = 0; d < fx.system.disk_slots(); ++d) {
+    if (fx.system.disk_at(d).alive()) {
+      used_total += fx.system.disk_at(d).used().value();
+    }
+  }
+  std::uint64_t live_blocks = 0;
+  for (GroupIndex g = 0; g < fx.system.group_count(); ++g) {
+    if (!fx.system.state(g).dead) live_blocks += 2;
+  }
+  EXPECT_NEAR(used_total,
+              static_cast<double>(live_blocks) * fx.system.block_bytes().value(),
+              fx.system.block_bytes().value() * 4);  // dead-group slack
+}
+
+TEST(Replacement, SecondBatchAfterFurtherLosses) {
+  Fixture fx(0.2);
+  for (DiskId d = 0; d < 4; ++d) fx.fail_and_check(d);
+  ASSERT_EQ(fx.manager.batches_installed(), 1u);
+  for (DiskId d = 4; d < 8; ++d) fx.fail_and_check(d);
+  EXPECT_EQ(fx.manager.batches_installed(), 2u);
+}
+
+TEST(Replacement, HigherThresholdDelaysBatch) {
+  Fixture fx(0.4);  // 8 of 20
+  for (DiskId d = 0; d < 7; ++d) fx.fail_and_check(d);
+  EXPECT_EQ(fx.manager.batches_installed(), 0u);
+  fx.fail_and_check(7);
+  EXPECT_EQ(fx.manager.batches_installed(), 1u);
+}
+
+TEST(Replacement, DisabledManagerNeverBatches) {
+  SystemConfig cfg = replacement_config(0.2);
+  cfg.replacement.enabled = false;
+  Fixture fx(0.2);
+  // Build a second fixture manually to honor the disabled flag.
+  StorageSystem system(cfg, 9);
+  system.initialize();
+  sim::Simulator sim;
+  Metrics metrics;
+  ReplacementManager manager(system, sim, metrics);
+  auto policy = make_recovery_policy(system, sim, metrics);
+  for (DiskId d = 0; d < 10; ++d) {
+    system.fail_disk(d);
+    policy->on_disk_failed(d);
+    manager.on_disk_failed();
+  }
+  EXPECT_EQ(manager.batches_installed(), 0u);
+}
+
+}  // namespace
+}  // namespace farm::core

@@ -1,0 +1,213 @@
+#include "farm/storage_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace farm::core {
+namespace {
+
+using util::gigabytes;
+using util::Seconds;
+using util::terabytes;
+
+/// A small system: 1 TB of user data, 10 GB mirrored groups, ~5-6 disks.
+SystemConfig small_config() {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(1);
+  cfg.group_size = gigabytes(10);
+  return cfg;
+}
+
+TEST(StorageSystem, InitializePlacesEveryGroupOnDistinctLiveDisks) {
+  StorageSystem sys(small_config(), 1);
+  sys.initialize();
+  EXPECT_EQ(sys.group_count(), 100u);
+  EXPECT_EQ(sys.blocks_per_group(), 2u);
+  for (GroupIndex g = 0; g < sys.group_count(); ++g) {
+    const DiskId a = sys.home(g, 0);
+    const DiskId b = sys.home(g, 1);
+    EXPECT_NE(a, b) << "group " << g;
+    EXPECT_TRUE(sys.disk_at(a).alive());
+    EXPECT_TRUE(sys.disk_at(b).alive());
+  }
+}
+
+TEST(StorageSystem, InitialUtilizationMatchesConfig) {
+  StorageSystem sys(small_config(), 2);
+  sys.initialize();
+  double total_used = 0.0;
+  for (DiskId d = 0; d < sys.disk_slots(); ++d) {
+    total_used += sys.disk_at(d).used().value();
+  }
+  // Total raw == 2x user data (mirroring); spread over ceil-sized population.
+  EXPECT_DOUBLE_EQ(total_used, 2.0 * terabytes(1).value());
+  for (DiskId d = 0; d < sys.disk_slots(); ++d) {
+    EXPECT_LE(sys.disk_at(d).used(), sys.reservation_ceiling());
+  }
+}
+
+TEST(StorageSystem, DoubleInitializeThrows) {
+  StorageSystem sys(small_config(), 3);
+  sys.initialize();
+  EXPECT_THROW(sys.initialize(), std::logic_error);
+}
+
+TEST(StorageSystem, DiskAddedHookFiresForEveryDisk) {
+  StorageSystem sys(small_config(), 4);
+  std::vector<DiskId> seen;
+  sys.set_disk_added_hook([&](DiskId id) { seen.push_back(id); });
+  sys.initialize();
+  EXPECT_EQ(seen.size(), sys.disk_slots());
+  const DiskId spare = sys.add_spare_disk(0, Seconds{100.0});
+  EXPECT_EQ(seen.back(), spare);
+}
+
+TEST(StorageSystem, ReverseIndexAgreesWithHomes) {
+  StorageSystem sys(small_config(), 5);
+  sys.initialize();
+  std::map<DiskId, int> counted;
+  for (DiskId d = 0; d < sys.disk_slots(); ++d) {
+    sys.for_each_block_on(d, [&](GroupIndex, BlockIndex) { ++counted[d]; });
+  }
+  std::map<DiskId, int> expected;
+  for (GroupIndex g = 0; g < sys.group_count(); ++g) {
+    for (BlockIndex b = 0; b < 2; ++b) ++expected[sys.home(g, b)];
+  }
+  EXPECT_EQ(counted, expected);
+}
+
+TEST(StorageSystem, SetHomeMovesCapacityAndIndex) {
+  StorageSystem sys(small_config(), 6);
+  sys.initialize();
+  const DiskId old_home = sys.home(0, 0);
+  // Find a disk that is not already hosting group 0.
+  DiskId target = kNoDisk;
+  for (DiskId d = 0; d < sys.disk_slots(); ++d) {
+    if (!sys.is_buddy_disk(0, d)) {
+      target = d;
+      break;
+    }
+  }
+  ASSERT_NE(target, kNoDisk);
+  const double old_used = sys.disk_at(old_home).used().value();
+  const double target_used = sys.disk_at(target).used().value();
+
+  sys.set_home(0, 0, target, /*charge_target=*/true);
+  EXPECT_EQ(sys.home(0, 0), target);
+  EXPECT_DOUBLE_EQ(sys.disk_at(old_home).used().value(),
+                   old_used - sys.block_bytes().value());
+  EXPECT_DOUBLE_EQ(sys.disk_at(target).used().value(),
+                   target_used + sys.block_bytes().value());
+
+  // Old reverse-index entry is stale and must not be visited.
+  bool found_on_old = false;
+  sys.for_each_block_on(old_home, [&](GroupIndex g, BlockIndex b) {
+    found_on_old |= (g == 0 && b == 0);
+  });
+  EXPECT_FALSE(found_on_old);
+  bool found_on_new = false;
+  sys.for_each_block_on(target, [&](GroupIndex g, BlockIndex b) {
+    found_on_new |= (g == 0 && b == 0);
+  });
+  EXPECT_TRUE(found_on_new);
+}
+
+TEST(StorageSystem, SetHomeWithoutChargeSkipsAllocation) {
+  StorageSystem sys(small_config(), 7);
+  sys.initialize();
+  DiskId target = kNoDisk;
+  for (DiskId d = 0; d < sys.disk_slots(); ++d) {
+    if (!sys.is_buddy_disk(0, d)) {
+      target = d;
+      break;
+    }
+  }
+  ASSERT_NE(target, kNoDisk);
+  // Pre-reserve as the recovery policies do, then re-home without charging.
+  sys.disk_at(target).allocate(sys.block_bytes());
+  const double used = sys.disk_at(target).used().value();
+  sys.set_home(0, 0, target, /*charge_target=*/false);
+  EXPECT_DOUBLE_EQ(sys.disk_at(target).used().value(), used);
+}
+
+TEST(StorageSystem, FailDiskUpdatesCounts) {
+  StorageSystem sys(small_config(), 8);
+  sys.initialize();
+  const std::size_t live_before = sys.live_disks();
+  sys.fail_disk(0);
+  EXPECT_FALSE(sys.disk_at(0).alive());
+  EXPECT_EQ(sys.live_disks(), live_before - 1);
+  EXPECT_EQ(sys.failed_disks(), 1u);
+  EXPECT_THROW(sys.fail_disk(0), std::logic_error);
+}
+
+TEST(StorageSystem, BuddyDetection) {
+  StorageSystem sys(small_config(), 9);
+  sys.initialize();
+  EXPECT_TRUE(sys.is_buddy_disk(3, sys.home(3, 0)));
+  EXPECT_TRUE(sys.is_buddy_disk(3, sys.home(3, 1)));
+  int non_buddies = 0;
+  for (DiskId d = 0; d < sys.disk_slots(); ++d) {
+    if (!sys.is_buddy_disk(3, d)) ++non_buddies;
+  }
+  EXPECT_EQ(non_buddies, static_cast<int>(sys.disk_slots()) - 2);
+}
+
+TEST(StorageSystem, SparesAreNotPlacementTargets) {
+  StorageSystem sys(small_config(), 10);
+  sys.initialize();
+  const std::size_t slots_before = sys.disk_slots();
+  const DiskId spare = sys.add_spare_disk(0, Seconds{50.0});
+  EXPECT_EQ(spare, slots_before);
+  EXPECT_DOUBLE_EQ(sys.disk_at(spare).birth().value(), 50.0);
+  // Placement candidates never point at the spare.
+  for (GroupIndex g = 0; g < 50; ++g) {
+    for (std::uint32_t r = 0; r < 32; ++r) {
+      ASSERT_NE(sys.candidate_disk(g, r), spare);
+    }
+  }
+}
+
+TEST(StorageSystem, BatchDisksJoinPlacement) {
+  StorageSystem sys(small_config(), 11);
+  sys.initialize();
+  sys.add_spare_disk(0, Seconds{10.0});  // force id spaces apart
+  const auto batch = sys.add_batch(4, 1.0, /*vintage=*/1, Seconds{100.0});
+  ASSERT_EQ(batch.size(), 4u);
+  for (DiskId id : batch) {
+    EXPECT_EQ(sys.disk_at(id).vintage(), 1u);
+    EXPECT_DOUBLE_EQ(sys.disk_at(id).birth().value(), 100.0);
+  }
+  // Some candidate lookups must now resolve into the batch.
+  std::set<DiskId> batch_set(batch.begin(), batch.end());
+  int hits = 0;
+  for (GroupIndex g = 0; g < 2000; ++g) {
+    if (batch_set.contains(sys.candidate_disk(g, 0))) ++hits;
+  }
+  EXPECT_GT(hits, 0);
+}
+
+TEST(StorageSystem, UtilizationSnapshotZeroesFailedDisks) {
+  StorageSystem sys(small_config(), 12);
+  sys.initialize();
+  sys.fail_disk(1);
+  const auto snap = sys.used_bytes_snapshot();
+  ASSERT_EQ(snap.size(), sys.disk_slots());
+  EXPECT_DOUBLE_EQ(snap[1], 0.0);
+  EXPECT_GT(snap[0], 0.0);
+}
+
+TEST(StorageSystem, SmartWarningTimesAreSane) {
+  SystemConfig cfg = small_config();
+  cfg.smart.predict_probability = 1.0;
+  StorageSystem sys(cfg, 13);
+  sys.initialize();
+  for (DiskId d = 0; d < sys.disk_slots(); ++d) {
+    EXPECT_LE(sys.smart_warning_at(d), sys.disk_at(d).fails_at());
+  }
+}
+
+}  // namespace
+}  // namespace farm::core

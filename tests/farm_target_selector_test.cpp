@@ -1,0 +1,192 @@
+#include "farm/target_selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace farm::core {
+namespace {
+
+using util::gigabytes;
+using util::Seconds;
+using util::terabytes;
+
+SystemConfig selector_config() {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(2);  // 10 disks
+  cfg.group_size = gigabytes(10);
+  cfg.smart.enabled = false;
+  return cfg;
+}
+
+struct Fixture {
+  explicit Fixture(SystemConfig cfg = selector_config(), std::uint64_t seed = 3)
+      : system(cfg, seed), queue_free(64, 0.0) {
+    system.initialize();
+  }
+
+  TargetSelector::Choice select(GroupIndex g, const TargetRules& rules,
+                                Seconds now = Seconds{0.0},
+                                std::vector<DiskId> excluded = {}) {
+    TargetSelector sel(system, rules);
+    return sel.select(g, queue_free, now, excluded);
+  }
+
+  StorageSystem system;
+  std::vector<double> queue_free;
+};
+
+TEST(TargetSelector, PicksALiveNonBuddyDisk) {
+  Fixture fx;
+  const auto choice = fx.select(0, TargetRules{});
+  ASSERT_NE(choice.disk, kNoDisk);
+  EXPECT_TRUE(fx.system.disk_at(choice.disk).alive());
+  EXPECT_FALSE(fx.system.is_buddy_disk(0, choice.disk));
+  EXPECT_GT(choice.next_rank, fx.system.state(0).next_rank);
+}
+
+TEST(TargetSelector, NeverPicksDeadDisk) {
+  Fixture fx;
+  // Kill everything except the two buddy disks and one survivor.
+  const DiskId a = fx.system.home(0, 0);
+  const DiskId b = fx.system.home(0, 1);
+  DiskId survivor = kNoDisk;
+  for (DiskId d = 0; d < fx.system.disk_slots(); ++d) {
+    if (d != a && d != b) {
+      if (survivor == kNoDisk) {
+        survivor = d;
+      } else {
+        fx.system.fail_disk(d);
+      }
+    }
+  }
+  const auto choice = fx.select(0, TargetRules{});
+  EXPECT_EQ(choice.disk, survivor);
+}
+
+TEST(TargetSelector, BuddyRuleCanBeDisabled) {
+  Fixture fx;
+  // With only buddy disks alive, the default rules find nothing...
+  const DiskId a = fx.system.home(0, 0);
+  const DiskId b = fx.system.home(0, 1);
+  for (DiskId d = 0; d < fx.system.disk_slots(); ++d) {
+    if (d != a && d != b) fx.system.fail_disk(d);
+  }
+  TargetRules strict;
+  EXPECT_EQ(fx.select(0, strict).disk, kNoDisk);
+  // ...but the ablation variant happily colocates.
+  TargetRules loose;
+  loose.skip_buddies = false;
+  const auto choice = fx.select(0, loose);
+  EXPECT_TRUE(choice.disk == a || choice.disk == b);
+}
+
+TEST(TargetSelector, ExcludedDisksAreSkipped) {
+  Fixture fx;
+  const auto first = fx.select(0, TargetRules{});
+  ASSERT_NE(first.disk, kNoDisk);
+  // Excluding the winner forces a different pick.
+  const auto second = fx.select(0, TargetRules{}, Seconds{0.0}, {first.disk});
+  ASSERT_NE(second.disk, kNoDisk);
+  EXPECT_NE(second.disk, first.disk);
+}
+
+TEST(TargetSelector, PrefersLeastLoadedAmongProbes) {
+  Fixture fx;
+  // Give every disk a deep queue except one.
+  for (double& t : fx.queue_free) t = 1e6;
+  DiskId light = kNoDisk;
+  for (DiskId d = 0; d < fx.system.disk_slots(); ++d) {
+    if (!fx.system.is_buddy_disk(0, d)) {
+      light = d;
+      break;
+    }
+  }
+  ASSERT_NE(light, kNoDisk);
+  fx.queue_free[light] = 0.0;
+  TargetRules rules;
+  rules.probe_width = static_cast<unsigned>(fx.system.disk_slots());
+  const auto choice = fx.select(0, rules);
+  EXPECT_EQ(choice.disk, light);
+}
+
+TEST(TargetSelector, LoadPreferenceCanBeDisabled) {
+  Fixture fx;
+  TargetRules rules;
+  rules.prefer_low_load = false;
+  // With load preference off the first feasible candidate wins regardless
+  // of queue depth; loading that disk up must not change the choice.
+  const auto baseline = fx.select(0, rules);
+  ASSERT_NE(baseline.disk, kNoDisk);
+  fx.queue_free[baseline.disk] = 1e9;
+  const auto loaded = fx.select(0, rules);
+  EXPECT_EQ(loaded.disk, baseline.disk);
+}
+
+TEST(TargetSelector, ReservationCeilingRespectedThenRelaxed) {
+  Fixture fx;
+  // Fill every non-buddy disk past the ceiling but below physical capacity.
+  const util::Bytes ceiling = fx.system.reservation_ceiling();
+  for (DiskId d = 0; d < fx.system.disk_slots(); ++d) {
+    disk::Disk& disk = fx.system.disk_at(d);
+    if (fx.system.is_buddy_disk(0, d)) continue;
+    const util::Bytes want = ceiling - disk.used() + util::gigabytes(1);
+    if (want > util::Bytes{0.0}) disk.allocate(want);
+  }
+  TargetRules rules;
+  const auto choice = fx.select(0, rules);
+  // The strict pass fails everywhere, but the relaxed pass still finds
+  // physical space ("if there is no better alternative, we will stick to
+  // it", §2.3).
+  ASSERT_NE(choice.disk, kNoDisk);
+  EXPECT_GT(fx.system.disk_at(choice.disk).used() + fx.system.block_bytes(),
+            ceiling);
+}
+
+TEST(TargetSelector, PhysicallyFullDisksAreNeverChosen) {
+  Fixture fx;
+  for (DiskId d = 0; d < fx.system.disk_slots(); ++d) {
+    disk::Disk& disk = fx.system.disk_at(d);
+    if (!fx.system.is_buddy_disk(0, d)) disk.allocate(disk.free_space());
+  }
+  EXPECT_EQ(fx.select(0, TargetRules{}).disk, kNoDisk);
+}
+
+TEST(TargetSelector, SuspectDisksAvoidedUntilNoAlternative) {
+  SystemConfig cfg = selector_config();
+  cfg.smart.enabled = true;
+  cfg.smart.predict_probability = 1.0;  // every failure pre-announced
+  Fixture fx(cfg, 5);
+  // At a time past every warning, all disks are suspect; the strict pass
+  // rejects them but the relaxed pass must still pick one.
+  double max_warning = 0.0;
+  for (DiskId d = 0; d < fx.system.disk_slots(); ++d) {
+    max_warning = std::max(max_warning, fx.system.smart_warning_at(d).value());
+  }
+  const auto choice =
+      fx.select(0, TargetRules{}, Seconds{max_warning + 1.0});
+  EXPECT_NE(choice.disk, kNoDisk);
+
+  // At t=0 only un-warned disks are eligible; a disk whose warning fired is
+  // skipped when alternatives exist.
+  const auto early = fx.select(0, TargetRules{}, Seconds{0.0});
+  EXPECT_NE(early.disk, kNoDisk);
+  EXPECT_FALSE(disk::SmartMonitor::is_suspect(
+      fx.system.smart_warning_at(early.disk), Seconds{0.0}));
+}
+
+TEST(TargetSelector, NextRankAdvancesMonotonically) {
+  Fixture fx;
+  TargetSelector sel(fx.system, TargetRules{});
+  std::uint32_t rank = fx.system.state(0).next_rank;
+  for (int i = 0; i < 5; ++i) {
+    const auto choice = sel.select(0, fx.queue_free, Seconds{0.0}, {});
+    ASSERT_NE(choice.disk, kNoDisk);
+    EXPECT_GT(choice.next_rank, rank);
+    rank = choice.next_rank;
+    fx.system.state(0).next_rank = rank;
+  }
+}
+
+}  // namespace
+}  // namespace farm::core

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "farm/reliability_sim.hpp"
+
+namespace farm::core {
+namespace {
+
+using util::gigabytes;
+using util::terabytes;
+
+struct Event {
+  double t;
+  std::string kind;
+  std::uint64_t id;
+};
+
+std::vector<Event> trace_mission(SystemConfig cfg, std::uint64_t seed) {
+  std::vector<Event> events;
+  ReliabilitySimulator sim(cfg, seed);
+  sim.set_trace([&](double t, std::string_view kind, std::uint64_t id) {
+    events.push_back(Event{t, std::string(kind), id});
+  });
+  (void)sim.run();
+  return events;
+}
+
+SystemConfig trace_config() {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(10);
+  cfg.group_size = gigabytes(10);
+  return cfg;
+}
+
+TEST(Trace, EventsAreTimeOrdered) {
+  const auto events = trace_mission(trace_config(), 1);
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    ASSERT_GE(events[i].t, events[i - 1].t);
+  }
+}
+
+TEST(Trace, CountsMatchMetrics) {
+  SystemConfig cfg = trace_config();
+  ReliabilitySimulator sim(cfg, 2);
+  std::map<std::string, int> counts;
+  sim.set_trace([&](double, std::string_view kind, std::uint64_t) {
+    ++counts[std::string(kind)];
+  });
+  const TrialResult r = sim.run();
+  EXPECT_EQ(counts["disk_failed"], static_cast<int>(r.disk_failures));
+  EXPECT_EQ(counts["rebuild_complete"], static_cast<int>(r.rebuilds_completed));
+  EXPECT_EQ(counts["redirected"], static_cast<int>(r.redirections));
+  EXPECT_EQ(counts["data_loss"], static_cast<int>(r.lost_groups));
+  // Every failure is eventually detected (detection events may tie at the
+  // horizon but are scheduled within latency of the failure).
+  EXPECT_EQ(counts["detected"], counts["disk_failed"]);
+}
+
+TEST(Trace, DetectionFollowsFailureByConfiguredLatency) {
+  SystemConfig cfg = trace_config();
+  cfg.detection_latency = util::minutes(7);
+  const auto events = trace_mission(cfg, 3);
+  std::map<std::uint64_t, double> failed_at;
+  for (const Event& e : events) {
+    if (e.kind == "disk_failed") failed_at[e.id] = e.t;
+    if (e.kind == "detected") {
+      ASSERT_TRUE(failed_at.contains(e.id));
+      EXPECT_NEAR(e.t - failed_at[e.id], 7.0 * 60.0, 1e-6);
+    }
+  }
+}
+
+TEST(Trace, DisabledSinkCostsNothingAndChangesNothing) {
+  SystemConfig cfg = trace_config();
+  const TrialResult plain = run_trial(cfg, 4);
+  ReliabilitySimulator sim(cfg, 4);
+  sim.set_trace([](double, std::string_view, std::uint64_t) {});
+  const TrialResult traced = sim.run();
+  EXPECT_EQ(plain.disk_failures, traced.disk_failures);
+  EXPECT_EQ(plain.rebuilds_completed, traced.rebuilds_completed);
+  EXPECT_EQ(plain.events_executed, traced.events_executed);
+}
+
+TEST(Trace, DomainEventsAppear) {
+  SystemConfig cfg = trace_config();
+  cfg.domains.enabled = true;
+  cfg.domains.disks_per_domain = 10;
+  cfg.domains.domain_mtbf = util::hours(50000);  // several events per mission
+  const auto events = trace_mission(cfg, 5);
+  int domain_events = 0;
+  for (const Event& e : events) domain_events += e.kind == "domain_failed";
+  EXPECT_GT(domain_events, 0);
+}
+
+}  // namespace
+}  // namespace farm::core

@@ -1,0 +1,144 @@
+#include "gf/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace farm::gf {
+namespace {
+
+const GF256& F = GF256::instance();
+
+TEST(GF256, AdditionIsXor) {
+  EXPECT_EQ(F.add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(F.sub(0x53, 0xCA), F.add(0x53, 0xCA));  // char 2: sub == add
+}
+
+TEST(GF256, MultiplicativeIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    const auto b = static_cast<Byte>(a);
+    EXPECT_EQ(F.mul(b, 1), b);
+    EXPECT_EQ(F.mul(1, b), b);
+    EXPECT_EQ(F.mul(b, 0), 0);
+    EXPECT_EQ(F.mul(0, b), 0);
+  }
+}
+
+TEST(GF256, MultiplicationCommutes) {
+  for (unsigned a = 1; a < 256; a += 7) {
+    for (unsigned b = 1; b < 256; b += 11) {
+      EXPECT_EQ(F.mul(static_cast<Byte>(a), static_cast<Byte>(b)),
+                F.mul(static_cast<Byte>(b), static_cast<Byte>(a)));
+    }
+  }
+}
+
+TEST(GF256, MultiplicationAssociates) {
+  const Byte xs[] = {3, 7, 100, 255, 29};
+  for (Byte a : xs) {
+    for (Byte b : xs) {
+      for (Byte c : xs) {
+        EXPECT_EQ(F.mul(F.mul(a, b), c), F.mul(a, F.mul(b, c)));
+      }
+    }
+  }
+}
+
+TEST(GF256, DistributesOverAddition) {
+  for (unsigned a = 1; a < 256; a += 13) {
+    for (unsigned b = 0; b < 256; b += 17) {
+      for (unsigned c = 0; c < 256; c += 19) {
+        const auto A = static_cast<Byte>(a);
+        const auto B = static_cast<Byte>(b);
+        const auto C = static_cast<Byte>(c);
+        EXPECT_EQ(F.mul(A, F.add(B, C)), F.add(F.mul(A, B), F.mul(A, C)));
+      }
+    }
+  }
+}
+
+TEST(GF256, EveryNonzeroHasInverse) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto b = static_cast<Byte>(a);
+    EXPECT_EQ(F.mul(b, F.inv(b)), 1) << "a=" << a;
+  }
+}
+
+TEST(GF256, DivisionInvertsMultiplication) {
+  for (unsigned a = 0; a < 256; a += 5) {
+    for (unsigned b = 1; b < 256; b += 9) {
+      const auto A = static_cast<Byte>(a);
+      const auto B = static_cast<Byte>(b);
+      EXPECT_EQ(F.mul(F.div(A, B), B), A);
+    }
+  }
+}
+
+TEST(GF256, ZeroDivisionThrows) {
+  EXPECT_THROW(F.div(5, 0), std::domain_error);
+  EXPECT_THROW(F.inv(0), std::domain_error);
+  EXPECT_THROW(F.log(0), std::domain_error);
+}
+
+TEST(GF256, PowMatchesRepeatedMultiplication) {
+  for (Byte a : {Byte{2}, Byte{3}, Byte{77}, Byte{255}}) {
+    Byte acc = 1;
+    for (unsigned n = 0; n < 20; ++n) {
+      EXPECT_EQ(F.pow(a, n), acc);
+      acc = F.mul(acc, a);
+    }
+  }
+  EXPECT_EQ(F.pow(0, 0), 1);  // convention
+  EXPECT_EQ(F.pow(0, 5), 0);
+}
+
+TEST(GF256, GeneratorHasFullOrder) {
+  // 2 generates the multiplicative group: 2^255 == 1, no smaller power does.
+  EXPECT_EQ(F.pow(2, 255), 1);
+  for (unsigned n = 1; n < 255; ++n) ASSERT_NE(F.pow(2, n), 1) << n;
+}
+
+TEST(GF256, ExpLogRoundTrip) {
+  for (unsigned a = 1; a < 256; ++a) {
+    EXPECT_EQ(F.exp(F.log(static_cast<Byte>(a))), a);
+  }
+}
+
+TEST(GF256, MulAccAccumulates) {
+  std::vector<Byte> acc = {1, 2, 3, 4};
+  const std::vector<Byte> src = {5, 6, 0, 8};
+  F.mul_acc(acc, src, 3);
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    const Byte expected = static_cast<Byte>(std::vector<Byte>{1, 2, 3, 4}[i] ^
+                                            F.mul(src[i], 3));
+    EXPECT_EQ(acc[i], expected);
+  }
+}
+
+TEST(GF256, MulAccSpecialCoefficients) {
+  std::vector<Byte> acc = {9, 9};
+  F.mul_acc(acc, std::vector<Byte>{1, 2}, 0);  // c == 0: no-op
+  EXPECT_EQ(acc, (std::vector<Byte>{9, 9}));
+  F.mul_acc(acc, std::vector<Byte>{1, 2}, 1);  // c == 1: plain XOR
+  EXPECT_EQ(acc, (std::vector<Byte>{8, 11}));
+}
+
+TEST(GF256, MulSetOverwrites) {
+  std::vector<Byte> out = {7, 7, 7};
+  F.mul_set(out, std::vector<Byte>{1, 0, 255}, 2);
+  EXPECT_EQ(out[0], F.mul(1, 2));
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(out[2], F.mul(255, 2));
+  F.mul_set(out, std::vector<Byte>{1, 2, 3}, 0);
+  EXPECT_EQ(out, (std::vector<Byte>{0, 0, 0}));
+}
+
+TEST(GF256, SizeMismatchThrows) {
+  std::vector<Byte> a = {1, 2};
+  const std::vector<Byte> b = {1, 2, 3};
+  EXPECT_THROW(F.mul_acc(a, b, 3), std::invalid_argument);
+  EXPECT_THROW(F.mul_set(a, b, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace farm::gf

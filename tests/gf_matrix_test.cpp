@@ -1,0 +1,161 @@
+#include "gf/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace farm::gf {
+namespace {
+
+TEST(Matrix, IdentityActsAsIdentity) {
+  const Matrix id = Matrix::identity(4);
+  Matrix m(4, 4);
+  util::Xoshiro256 rng{1};
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) m.at(r, c) = static_cast<Byte>(rng.below(256));
+  }
+  EXPECT_EQ(id.multiply(m), m);
+  EXPECT_EQ(m.multiply(id), m);
+}
+
+TEST(Matrix, InverseOfIdentityIsIdentity) {
+  const Matrix id = Matrix::identity(5);
+  EXPECT_EQ(id.inverse(), id);
+}
+
+TEST(Matrix, InverseTimesSelfIsIdentity) {
+  util::Xoshiro256 rng{2};
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix m(6, 6);
+    // Random matrices over GF(256) are invertible with high probability;
+    // retry until one is.
+    for (;;) {
+      for (std::size_t r = 0; r < 6; ++r) {
+        for (std::size_t c = 0; c < 6; ++c) {
+          m.at(r, c) = static_cast<Byte>(rng.below(256));
+        }
+      }
+      try {
+        const Matrix inv = m.inverse();
+        EXPECT_EQ(m.multiply(inv), Matrix::identity(6));
+        EXPECT_EQ(inv.multiply(m), Matrix::identity(6));
+        break;
+      } catch (const std::domain_error&) {
+        continue;  // singular draw; try again
+      }
+    }
+  }
+}
+
+TEST(Matrix, SingularMatrixThrows) {
+  Matrix m(3, 3);  // all zero
+  EXPECT_THROW(m.inverse(), std::domain_error);
+  // Duplicate rows are singular too.
+  Matrix d(2, 2);
+  d.at(0, 0) = 7;
+  d.at(0, 1) = 9;
+  d.at(1, 0) = 7;
+  d.at(1, 1) = 9;
+  EXPECT_THROW(d.inverse(), std::domain_error);
+}
+
+TEST(Matrix, NonSquareInverseThrows) {
+  EXPECT_THROW(Matrix(2, 3).inverse(), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  EXPECT_THROW(Matrix(2, 3).multiply(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Matrix, CauchyEverySquareSubmatrixInvertible) {
+  // The MDS property the Reed-Solomon codec relies on.
+  std::vector<Byte> xs = {0, 1, 2, 3};
+  std::vector<Byte> ys = {4, 5, 6, 7, 8, 9};
+  const Matrix c = Matrix::cauchy(xs, ys);
+  util::Xoshiro256 rng{3};
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random 3x3 submatrix: pick rows and columns without replacement.
+    std::vector<std::size_t> rows = {0, 1, 2, 3};
+    std::vector<std::size_t> cols = {0, 1, 2, 3, 4, 5};
+    for (std::size_t i = 0; i < 3; ++i) {
+      std::swap(rows[i], rows[i + rng.below(rows.size() - i)]);
+      std::swap(cols[i], cols[i + rng.below(cols.size() - i)]);
+    }
+    Matrix sub(3, 3);
+    for (std::size_t r = 0; r < 3; ++r) {
+      for (std::size_t k = 0; k < 3; ++k) sub.at(r, k) = c.at(rows[r], cols[k]);
+    }
+    EXPECT_NO_THROW((void)sub.inverse());
+  }
+}
+
+TEST(Matrix, CauchyRejectsOverlappingPoints) {
+  std::vector<Byte> xs = {1, 2};
+  std::vector<Byte> ys = {2, 3};  // 2 + 2 == 0 in GF(2^8)
+  EXPECT_THROW(Matrix::cauchy(xs, ys), std::invalid_argument);
+}
+
+TEST(Matrix, VandermondeStructure) {
+  std::vector<Byte> xs = {1, 2, 3};
+  const Matrix v = Matrix::vandermonde(xs, 4);
+  const auto& F = GF256::instance();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(v.at(i, 0), 1);
+    for (std::size_t j = 1; j < 4; ++j) {
+      EXPECT_EQ(v.at(i, j), F.mul(v.at(i, j - 1), xs[i]));
+    }
+  }
+}
+
+TEST(Matrix, SelectRowsReordersAndValidates) {
+  Matrix m(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) {
+    m.at(r, 0) = static_cast<Byte>(r);
+    m.at(r, 1) = static_cast<Byte>(r * 10);
+  }
+  const std::vector<std::size_t> keep = {2, 0};
+  const Matrix s = m.select_rows(keep);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.at(0, 0), 2);
+  EXPECT_EQ(s.at(1, 1), 0);
+  const std::vector<std::size_t> bad = {5};
+  EXPECT_THROW(m.select_rows(bad), std::out_of_range);
+}
+
+TEST(Matrix, ApplyMatchesScalarMultiply) {
+  // y = M x over byte vectors must equal element-wise scalar evaluation.
+  Matrix m(2, 3);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(0, 2) = 3;
+  m.at(1, 0) = 0;
+  m.at(1, 1) = 255;
+  m.at(1, 2) = 7;
+  const std::vector<Byte> x0 = {10, 20};
+  const std::vector<Byte> x1 = {30, 40};
+  const std::vector<Byte> x2 = {50, 60};
+  std::vector<Byte> y0(2), y1(2);
+  const std::vector<std::span<const Byte>> in = {x0, x1, x2};
+  const std::vector<std::span<Byte>> out = {y0, y1};
+  m.apply(in, out);
+  const auto& F = GF256::instance();
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(y0[i], static_cast<Byte>(F.mul(x0[i], 1) ^ F.mul(x1[i], 2) ^
+                                       F.mul(x2[i], 3)));
+    EXPECT_EQ(y1[i], static_cast<Byte>(F.mul(x1[i], 255) ^ F.mul(x2[i], 7)));
+  }
+}
+
+TEST(Matrix, ApplyValidatesBufferCounts) {
+  Matrix m(2, 2);
+  std::vector<Byte> a = {1}, b = {2}, y = {0};
+  const std::vector<std::span<const Byte>> in = {a, b};
+  const std::vector<std::span<Byte>> out = {y};
+  EXPECT_THROW(m.apply(in, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace farm::gf

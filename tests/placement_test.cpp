@@ -1,0 +1,259 @@
+#include "placement/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "placement/rush.hpp"
+
+namespace farm::placement {
+namespace {
+
+class PolicyProperty : public testing::TestWithParam<PolicyKind> {};
+
+TEST_P(PolicyProperty, CandidateIsDeterministic) {
+  auto a = make_policy(GetParam(), 99);
+  auto b = make_policy(GetParam(), 99);
+  a->add_cluster(50, 1.0);
+  b->add_cluster(50, 1.0);
+  for (GroupId g = 0; g < 100; ++g) {
+    for (std::uint32_t r = 0; r < 8; ++r) {
+      ASSERT_EQ(a->candidate(g, r), b->candidate(g, r));
+    }
+  }
+}
+
+TEST_P(PolicyProperty, CandidatesStayInRange) {
+  auto p = make_policy(GetParam(), 7);
+  p->add_cluster(37, 1.0);
+  for (GroupId g = 0; g < 500; ++g) {
+    for (std::uint32_t r = 0; r < 5; ++r) {
+      ASSERT_LT(p->candidate(g, r), 37u);
+    }
+  }
+}
+
+TEST_P(PolicyProperty, LayoutIsDistinct) {
+  auto p = make_policy(GetParam(), 3);
+  p->add_cluster(20, 1.0);
+  for (GroupId g = 0; g < 200; ++g) {
+    const auto disks = p->layout(g, 4);
+    const std::set<DiskId> unique(disks.begin(), disks.end());
+    ASSERT_EQ(unique.size(), 4u) << "group " << g;
+  }
+}
+
+TEST_P(PolicyProperty, LayoutReportsFirstFreeRank) {
+  auto p = make_policy(GetParam(), 3);
+  p->add_cluster(20, 1.0);
+  std::uint32_t rank = 0;
+  const auto disks = p->layout(5, 3, &rank);
+  EXPECT_GE(rank, 3u);  // at least n ranks consumed
+  // Re-walking candidates 0..rank-1 must reproduce the layout in order.
+  std::vector<DiskId> walked;
+  for (std::uint32_t r = 0; r < rank; ++r) {
+    const DiskId d = p->candidate(5, r);
+    bool seen = false;
+    for (DiskId w : walked) seen |= (w == d);
+    if (!seen) walked.push_back(d);
+  }
+  EXPECT_EQ(walked, disks);
+}
+
+TEST_P(PolicyProperty, BalancedLoadAcrossDisks) {
+  auto p = make_policy(GetParam(), 11);
+  const std::size_t disks = 40;
+  p->add_cluster(disks, 1.0);
+  std::vector<int> load(disks, 0);
+  const GroupId groups = 20000;
+  for (GroupId g = 0; g < groups; ++g) {
+    for (DiskId d : p->layout(g, 2)) ++load[d];
+  }
+  const double expected = groups * 2.0 / disks;
+  for (std::size_t d = 0; d < disks; ++d) {
+    // Within 10 % of fair share (chained declustering is exactly fair;
+    // hash-based policies are binomial around it).
+    EXPECT_NEAR(load[d], expected, expected * 0.10) << "disk " << d;
+  }
+}
+
+TEST_P(PolicyProperty, LayoutRejectsMoreBlocksThanDisks) {
+  auto p = make_policy(GetParam(), 1);
+  p->add_cluster(3, 1.0);
+  EXPECT_THROW(p->layout(0, 4), std::invalid_argument);
+}
+
+TEST_P(PolicyProperty, EmptyClusterRejected) {
+  auto p = make_policy(GetParam(), 1);
+  EXPECT_THROW(p->add_cluster(0, 1.0), std::invalid_argument);
+}
+
+TEST_P(PolicyProperty, DifferentSeedsGiveDifferentPlacements) {
+  auto a = make_policy(GetParam(), 1);
+  auto b = make_policy(GetParam(), 2);
+  a->add_cluster(100, 1.0);
+  b->add_cluster(100, 1.0);
+  int differing = 0;
+  for (GroupId g = 0; g < 200; ++g) {
+    if (a->candidate(g, 0) != b->candidate(g, 0)) ++differing;
+  }
+  EXPECT_GT(differing, 100);  // overwhelmingly different
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyProperty,
+                         testing::Values(PolicyKind::kRush, PolicyKind::kRandom,
+                                         PolicyKind::kChained, PolicyKind::kStraw2),
+                         [](const testing::TestParamInfo<PolicyKind>& info) {
+                           return to_string(info.param);
+                         });
+
+// --- straw2-specific properties ---------------------------------------------
+
+TEST(Straw2, OptimalReorganizationOnGrowth) {
+  // Adding disks must never move a key between two pre-existing disks:
+  // existing straws are untouched, so a key moves only if a *new* disk wins.
+  auto p = make_straw2(17);
+  p->add_cluster(50, 1.0);
+  const GroupId groups = 5000;
+  std::vector<DiskId> before;
+  before.reserve(groups);
+  for (GroupId g = 0; g < groups; ++g) before.push_back(p->candidate(g, 0));
+
+  const DiskId first_new = p->add_cluster(10, 1.0);
+  int moved = 0;
+  for (GroupId g = 0; g < groups; ++g) {
+    const DiskId now = p->candidate(g, 0);
+    if (now != before[g]) {
+      ++moved;
+      ASSERT_GE(now, first_new) << "moved between pre-existing disks";
+    }
+  }
+  // Expected movement = new weight share = 10/60.
+  EXPECT_NEAR(moved / static_cast<double>(groups), 10.0 / 60.0, 0.02);
+}
+
+TEST(Straw2, WeightProportionality) {
+  auto p = make_straw2(23);
+  p->add_cluster(20, 1.0);  // disks 0-19, weight 1
+  p->add_cluster(10, 3.0);  // disks 20-29, weight 3: 30/50 of the keys
+  int heavy = 0;
+  const GroupId groups = 30000;
+  for (GroupId g = 0; g < groups; ++g) {
+    if (p->candidate(g, 0) >= 20) ++heavy;
+  }
+  EXPECT_NEAR(heavy / static_cast<double>(groups), 0.6, 0.02);
+}
+
+TEST(Straw2, HeterogeneousWeightsPerDisk) {
+  // A disk with double weight receives ~double the keys of its peers.
+  auto p = make_straw2(29);
+  p->add_cluster(9, 1.0);
+  p->add_cluster(1, 2.0);  // disk 9
+  std::vector<int> load(10, 0);
+  const GroupId groups = 44000;
+  for (GroupId g = 0; g < groups; ++g) ++load[p->candidate(g, 0)];
+  const double unit = groups / 11.0;  // total weight 11
+  for (DiskId d = 0; d < 9; ++d) {
+    EXPECT_NEAR(load[d], unit, unit * 0.15) << "disk " << d;
+  }
+  EXPECT_NEAR(load[9], 2.0 * unit, unit * 0.15);
+}
+
+// --- RUSH-specific properties -----------------------------------------------
+
+TEST(Rush, AddClusterMovesOnlyIntoNewCluster) {
+  RushPlacement rush(5);
+  rush.add_cluster(100, 1.0);
+  const GroupId groups = 5000;
+  std::vector<DiskId> before;
+  before.reserve(groups);
+  for (GroupId g = 0; g < groups; ++g) before.push_back(rush.candidate(g, 0));
+
+  const DiskId first_new = rush.add_cluster(25, 1.0);
+  int moved = 0;
+  for (GroupId g = 0; g < groups; ++g) {
+    const DiskId now = rush.candidate(g, 0);
+    if (now != before[g]) {
+      ++moved;
+      // RUSH minimal-migration: every move lands in the new cluster.
+      ASSERT_GE(now, first_new);
+    }
+  }
+  // Expected fraction moved = new weight share = 25 / 125 = 20 %.
+  EXPECT_NEAR(moved / static_cast<double>(groups), 0.20, 0.03);
+}
+
+TEST(Rush, WeightedClustersGetProportionalShare) {
+  RushPlacement rush(8);
+  rush.add_cluster(50, 1.0);   // weight 50
+  rush.add_cluster(50, 3.0);   // weight 150 -> 75 % of keys
+  int in_second = 0;
+  const GroupId groups = 20000;
+  for (GroupId g = 0; g < groups; ++g) {
+    if (rush.candidate(g, 0) >= 50) ++in_second;
+  }
+  EXPECT_NEAR(in_second / static_cast<double>(groups), 0.75, 0.02);
+}
+
+TEST(Rush, ResolveClusterConsistentWithCandidate) {
+  RushPlacement rush(2);
+  rush.add_cluster(10, 1.0);
+  rush.add_cluster(20, 1.0);
+  rush.add_cluster(5, 1.0);
+  for (GroupId g = 0; g < 500; ++g) {
+    const DiskId d = rush.candidate(g, 1);
+    const std::size_t cluster = rush.resolve_cluster(g, 1);
+    const DiskId lo = cluster == 0 ? 0u : (cluster == 1 ? 10u : 30u);
+    const DiskId hi = cluster == 0 ? 10u : (cluster == 1 ? 30u : 35u);
+    ASSERT_GE(d, lo);
+    ASSERT_LT(d, hi);
+  }
+}
+
+TEST(Rush, NoClustersThrows) {
+  RushPlacement rush(1);
+  EXPECT_THROW(rush.candidate(0, 0), std::logic_error);
+  EXPECT_THROW(rush.add_cluster(5, 0.0), std::invalid_argument);
+  EXPECT_THROW(rush.add_cluster(5, -1.0), std::invalid_argument);
+}
+
+TEST(Rush, ThreeClusterBalanceByTotalWeight) {
+  RushPlacement rush(21);
+  rush.add_cluster(40, 1.0);  // 40
+  rush.add_cluster(40, 1.0);  // 40
+  rush.add_cluster(20, 2.0);  // 40
+  std::map<int, int> per_cluster;
+  const GroupId groups = 30000;
+  for (GroupId g = 0; g < groups; ++g) {
+    const DiskId d = rush.candidate(g, 0);
+    ++per_cluster[d < 40 ? 0 : (d < 80 ? 1 : 2)];
+  }
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(per_cluster[c] / static_cast<double>(groups), 1.0 / 3.0, 0.02)
+        << "cluster " << c;
+  }
+}
+
+// --- chained declustering specifics ----------------------------------------
+
+TEST(Chained, NeighboringRanksAreAdjacentOnRing) {
+  auto p = make_chained(4);
+  p->add_cluster(10, 1.0);
+  for (GroupId g = 0; g < 50; ++g) {
+    const DiskId home = p->candidate(g, 0);
+    EXPECT_EQ(p->candidate(g, 1), (home + 1) % 10);
+    EXPECT_EQ(p->candidate(g, 7), (home + 7) % 10);
+  }
+}
+
+TEST(PolicyFactory, NamesRoundTrip) {
+  EXPECT_EQ(make_policy(PolicyKind::kRush, 0)->name(), "rush");
+  EXPECT_EQ(make_policy(PolicyKind::kRandom, 0)->name(), "random");
+  EXPECT_EQ(make_policy(PolicyKind::kChained, 0)->name(), "chained");
+  EXPECT_EQ(to_string(PolicyKind::kRush), "rush");
+}
+
+}  // namespace
+}  // namespace farm::placement

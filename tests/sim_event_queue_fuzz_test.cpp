@@ -1,0 +1,123 @@
+// Model-based randomized test: EventQueue against a trivially-correct
+// reference (a sorted multimap), through long random schedules/cancels/pops.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/random.hpp"
+
+namespace farm::sim {
+namespace {
+
+class Reference {
+ public:
+  std::uint64_t schedule(double t) {
+    const std::uint64_t id = next_++;
+    by_time_.emplace(std::pair{t, seq_++}, id);
+    pending_.insert(id);
+    return id;
+  }
+  bool cancel(std::uint64_t id) { return pending_.erase(id) > 0; }
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+  /// Earliest pending id, erasing it; 0 when empty.
+  std::uint64_t pop() {
+    while (!by_time_.empty()) {
+      const auto it = by_time_.begin();
+      const std::uint64_t id = it->second;
+      by_time_.erase(it);
+      if (pending_.erase(id) > 0) return id;
+    }
+    return 0;
+  }
+
+ private:
+  std::map<std::pair<double, std::uint64_t>, std::uint64_t> by_time_;
+  std::set<std::uint64_t> pending_;
+  std::uint64_t next_ = 1;
+  std::uint64_t seq_ = 0;
+};
+
+TEST(EventQueueFuzz, AgreesWithReferenceModel) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Xoshiro256 rng{seed};
+    EventQueue queue;
+    Reference ref;
+    // id-correlated bookkeeping: our EventHandle vs reference id, plus the
+    // payload each event would deliver.
+    std::vector<std::pair<EventHandle, std::uint64_t>> live;
+
+    for (int step = 0; step < 20000; ++step) {
+      const double roll = rng.uniform();
+      if (roll < 0.5) {
+        // schedule; times from a small set to force heavy ties
+        const double t = static_cast<double>(rng.below(64));
+        const std::uint64_t ref_id = ref.schedule(t);
+        const EventHandle h = queue.schedule(util::Seconds{t}, [] {});
+        live.emplace_back(h, ref_id);
+      } else if (roll < 0.75 && !live.empty()) {
+        // cancel a random (possibly already consumed) handle
+        const std::size_t i = rng.below(live.size());
+        const bool ours = queue.cancel(live[i].first);
+        const bool theirs = ref.cancel(live[i].second);
+        ASSERT_EQ(ours, theirs) << "step " << step;
+      } else if (!queue.empty()) {
+        const auto fired = queue.pop();
+        const std::uint64_t expected = ref.pop();
+        // Identify which reference id our fired event corresponds to by
+        // searching the live list for the handle... handles are opaque, so
+        // instead exploit determinism: both structures must agree on *time
+        // order including FIFO ties*, which the paired push order encodes.
+        ASSERT_NE(expected, 0u) << "reference empty but queue was not";
+        (void)fired;
+      }
+      ASSERT_EQ(queue.size(), ref.size()) << "step " << step;
+    }
+    // Drain both completely; sizes must stay in lockstep.
+    while (!queue.empty()) {
+      queue.pop();
+      ref.pop();
+      ASSERT_EQ(queue.size(), ref.size());
+    }
+    ASSERT_EQ(ref.size(), 0u);
+  }
+}
+
+TEST(EventQueueFuzz, FiredOrderMatchesReferenceExactly) {
+  // Stronger variant: carry an id in each callback and compare pop order
+  // one-for-one (no cancels racing pops here; cancels happen up front).
+  for (std::uint64_t seed = 100; seed < 105; ++seed) {
+    util::Xoshiro256 rng{seed};
+    EventQueue queue;
+    Reference ref;
+    std::vector<EventHandle> handles;
+    std::vector<std::uint64_t> ref_ids;
+    std::uint64_t fired_id = 0;
+
+    for (int i = 0; i < 5000; ++i) {
+      const double t = static_cast<double>(rng.below(97));
+      const std::uint64_t rid = ref.schedule(t);
+      // Bake the reference id into the callback payload.
+      handles.push_back(queue.schedule(util::Seconds{t},
+                                       [rid, &fired_id] { fired_id = rid; }));
+      ref_ids.push_back(rid);
+    }
+    // Cancel a random third.
+    for (std::size_t i = 0; i < handles.size(); ++i) {
+      if (rng.uniform() < 0.33) {
+        ASSERT_EQ(queue.cancel(handles[i]), ref.cancel(ref_ids[i]));
+      }
+    }
+    while (!queue.empty()) {
+      auto fired = queue.pop();
+      fired.fn();
+      ASSERT_EQ(fired_id, ref.pop());
+    }
+    ASSERT_EQ(ref.pop(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace farm::sim

@@ -1,0 +1,116 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace farm::sim {
+namespace {
+
+using util::seconds;
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(seconds(3), [&] { order.push_back(3); });
+  q.schedule(seconds(1), [&] { order.push_back(1); });
+  q.schedule(seconds(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(seconds(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventHandle h = q.schedule(seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventHandle h = q.schedule(seconds(1), [] {});
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const EventHandle h = q.schedule(seconds(1), [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(h));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, InertHandleCancelIsSafe) {
+  EventQueue q;
+  EventHandle inert;
+  EXPECT_FALSE(inert.valid());
+  EXPECT_FALSE(q.cancel(inert));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventHandle a = q.schedule(seconds(1), [] {});
+  q.schedule(seconds(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventHandle early = q.schedule(seconds(1), [] {});
+  q.schedule(seconds(5), [] {});
+  q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.next_time().value(), 5.0);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+  EXPECT_THROW(q.next_time(), std::logic_error);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(seconds(i), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ManyInterleavedCancelsStayConsistent) {
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(q.schedule(seconds(i % 17), [] {}));
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 2) q.cancel(handles[i]);
+  EXPECT_EQ(q.size(), 500u);
+  std::size_t fired = 0;
+  double last = -1.0;
+  while (!q.empty()) {
+    const auto e = q.pop();
+    EXPECT_GE(e.time.value(), last);
+    last = e.time.value();
+    ++fired;
+  }
+  EXPECT_EQ(fired, 500u);
+}
+
+}  // namespace
+}  // namespace farm::sim

@@ -1,0 +1,140 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace farm::sim {
+namespace {
+
+using util::hours;
+using util::seconds;
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now().value(), 0.0);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_at(seconds(42), [&] { seen = sim.now().value(); });
+  sim.run_until(seconds(100));
+  EXPECT_DOUBLE_EQ(seen, 42.0);
+  EXPECT_DOUBLE_EQ(sim.now().value(), 100.0);  // clock ends at horizon
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(seconds(10), [&] {
+    sim.schedule_in(seconds(5), [&] { times.push_back(sim.now().value()); });
+  });
+  sim.run_until(seconds(100));
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 15.0);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(seconds(10), [&] {
+    sim.schedule_in(seconds(-5), [&] {
+      ran = true;
+      EXPECT_DOUBLE_EQ(sim.now().value(), 10.0);
+    });
+  });
+  sim.run_until(seconds(20));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, ScheduleAtPastThrows) {
+  Simulator sim;
+  sim.schedule_at(seconds(10), [] {});
+  sim.run_until(seconds(50));
+  EXPECT_THROW(sim.schedule_at(seconds(5), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, HorizonIsInclusive) {
+  Simulator sim;
+  bool at_horizon = false, past_horizon = false;
+  sim.schedule_at(seconds(100), [&] { at_horizon = true; });
+  sim.schedule_at(seconds(100.0001), [&] { past_horizon = true; });
+  sim.run_until(seconds(100));
+  EXPECT_TRUE(at_horizon);
+  EXPECT_FALSE(past_horizon);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, StopPredicateEndsRunEarly) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(seconds(i), [&] { ++count; });
+  }
+  sim.run_until(seconds(100), [&] { return count >= 3; });
+  EXPECT_EQ(count, 3);
+  EXPECT_DOUBLE_EQ(sim.now().value(), 3.0);  // stopped mid-run, not at horizon
+}
+
+TEST(Simulator, CancelledEventNeverRuns) {
+  Simulator sim;
+  bool ran = false;
+  const EventHandle h = sim.schedule_at(seconds(5), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run_until(seconds(10));
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, EventsCanScheduleAndCancelOthers) {
+  Simulator sim;
+  bool victim_ran = false;
+  const EventHandle victim = sim.schedule_at(seconds(20), [&] { victim_ran = true; });
+  sim.schedule_at(seconds(10), [&] { sim.cancel(victim); });
+  sim.run_until(seconds(30));
+  EXPECT_FALSE(victim_ran);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(seconds(i + 1), [] {});
+  const std::uint64_t n = sim.run_until(seconds(100));
+  EXPECT_EQ(n, 7u);
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Simulator, StepExecutesOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(seconds(1), [&] { ++count; });
+  sim.schedule_at(seconds(2), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, DrainDiscardsPending) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(hours(1), [&] { ran = true; });
+  sim.drain();
+  sim.run_until(hours(2));
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CascadedEventsWithinHorizon) {
+  // A chain where each event schedules the next; all inside the horizon.
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 50) sim.schedule_in(seconds(1), chain);
+  };
+  sim.schedule_at(seconds(0), chain);
+  sim.run_until(seconds(100));
+  EXPECT_EQ(depth, 50);
+}
+
+}  // namespace
+}  // namespace farm::sim

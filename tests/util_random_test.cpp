@@ -1,0 +1,129 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace farm::util {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a{123};
+  SplitMix64 b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a{1};
+  SplitMix64 b{2};
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Mix64, IsAFixedFunction) {
+  EXPECT_EQ(mix64(0), mix64(0));
+  EXPECT_NE(mix64(0), mix64(1));
+  // Single-bit input changes flip roughly half the output bits (avalanche).
+  int total_flips = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    total_flips += std::popcount(mix64(0) ^ mix64(1ULL << bit));
+  }
+  EXPECT_GT(total_flips / 64, 24);
+  EXPECT_LT(total_flips / 64, 40);
+}
+
+TEST(Xoshiro256, Reproducible) {
+  Xoshiro256 a{42};
+  Xoshiro256 b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng{7};
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, UniformPosNeverZero) {
+  Xoshiro256 rng{9};
+  for (int i = 0; i < 100000; ++i) ASSERT_GT(rng.uniform_pos(), 0.0);
+}
+
+TEST(Xoshiro256, BelowIsUnbiasedAcrossSmallRange) {
+  Xoshiro256 rng{11};
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(7)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 7.0, 5.0 * std::sqrt(n / 7.0));
+  }
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng{13};
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(rng.below(3), 3u);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, ExponentialHasRequestedMean) {
+  Xoshiro256 rng{17};
+  const double rate = 0.25;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.05);
+}
+
+TEST(Xoshiro256, NormalMomentsMatch) {
+  Xoshiro256 rng{19};
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro256, WeibullShapeOneIsExponential) {
+  Xoshiro256 rng{23};
+  const double scale = 5.0;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.weibull(1.0, scale);
+  EXPECT_NEAR(sum / n, scale, 0.15);  // Weibull(1, s) mean = s
+}
+
+TEST(Xoshiro256, BernoulliFrequency) {
+  Xoshiro256 rng{29};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(SeedSequence, StreamsAreStableAndDistinct) {
+  const SeedSequence seq{12345};
+  EXPECT_EQ(seq.stream(0), SeedSequence{12345}.stream(0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(seq.stream(i));
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions among the first 1000
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_EQ(hash_combine(1, 2), hash_combine(1, 2));
+}
+
+}  // namespace
+}  // namespace farm::util

@@ -1,0 +1,148 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace farm::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sem(), 0.0);
+}
+
+TEST(OnlineStats, MatchesClosedForm) {
+  OnlineStats s;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeEqualsSinglePass) {
+  OnlineStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0 + i;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmptySides) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  OnlineStats a_copy = a;
+  a.merge(b);  // empty rhs: no change
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // empty lhs adopts rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(ZForConfidence, KnownQuantiles) {
+  EXPECT_NEAR(z_for_confidence(0.95), 1.959964, 1e-4);
+  EXPECT_NEAR(z_for_confidence(0.99), 2.575829, 1e-4);
+  EXPECT_NEAR(z_for_confidence(0.6827), 1.0, 1e-3);
+  EXPECT_THROW(z_for_confidence(0.0), std::invalid_argument);
+  EXPECT_THROW(z_for_confidence(1.0), std::invalid_argument);
+}
+
+TEST(NormalCdf, Symmetry) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96) + normal_cdf(-1.96), 1.0, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959964), 0.975, 1e-5);
+}
+
+TEST(WilsonInterval, CoversPointEstimate) {
+  const Interval ci = wilson_interval(30, 100);
+  EXPECT_TRUE(ci.contains(0.30));
+  EXPECT_GT(ci.lo, 0.2);
+  EXPECT_LT(ci.hi, 0.41);
+}
+
+TEST(WilsonInterval, ZeroSuccessesStillInformative) {
+  // The normal approximation would give [0, 0]; Wilson gives a useful bound.
+  const Interval ci = wilson_interval(0, 100);
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_GT(ci.hi, 0.0);
+  EXPECT_LT(ci.hi, 0.05);
+}
+
+TEST(WilsonInterval, AllSuccesses) {
+  const Interval ci = wilson_interval(100, 100);
+  EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+  EXPECT_GT(ci.lo, 0.95);
+}
+
+TEST(WilsonInterval, NoTrialsIsVacuous) {
+  const Interval ci = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+}
+
+TEST(WilsonInterval, NarrowsWithMoreTrials) {
+  EXPECT_LT(wilson_interval(300, 1000).width(), wilson_interval(30, 100).width());
+}
+
+TEST(MeanInterval, ShrinksWithSamples) {
+  OnlineStats small, big;
+  for (int i = 0; i < 10; ++i) small.add(i % 3);
+  for (int i = 0; i < 1000; ++i) big.add(i % 3);
+  EXPECT_GT(mean_interval(small).width(), mean_interval(big).width());
+  EXPECT_TRUE(mean_interval(big).contains(big.mean()));
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 9
+  h.add(-5.0);  // clamps to bin 0
+  h.add(42.0);  // clamps to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_LE(h.quantile(0.0), 1.0);
+}
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(5.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(SpanStats, MeanAndStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 5.0);
+  EXPECT_NEAR(stddev_of(xs), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  const std::vector<double> one = {3.0};
+  EXPECT_DOUBLE_EQ(stddev_of(one), 0.0);
+}
+
+}  // namespace
+}  // namespace farm::util

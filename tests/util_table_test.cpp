@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace farm::util {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "longheader"});
+  t.add_row({"xx", "y"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("a  | longheader"), std::string::npos);
+  EXPECT_NE(s.find("---+-----------"), std::string::npos);
+  EXPECT_NE(s.find("xx | y"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"}).add_row({"3", "4"});
+  EXPECT_EQ(t.csv(), "x,y\n1,2\n3,4\n");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, StreamsViaOperator) {
+  Table t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.str());
+}
+
+TEST(Formatting, Fixed) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.0, 0), "2");
+  EXPECT_EQ(fmt_fixed(-1.005, 1), "-1.0");
+}
+
+TEST(Formatting, Percent) {
+  EXPECT_EQ(fmt_percent(0.0312, 1), "3.1%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+  EXPECT_EQ(fmt_percent(0.0), "0.00%");
+}
+
+TEST(Formatting, SignificantFigures) {
+  EXPECT_EQ(fmt_sig(123456.0, 3), "1.23e+05");
+  EXPECT_EQ(fmt_sig(0.000123456, 2), "0.00012");
+  EXPECT_EQ(fmt_sig(5.0, 3), "5");
+}
+
+}  // namespace
+}  // namespace farm::util

@@ -1,0 +1,90 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace farm::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for_index(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for_index(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.parallel_for_index(100, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for_index(100,
+                              [&](std::size_t i) {
+                                if (i == 42) throw std::runtime_error("boom");
+                              }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionDoesNotAbortOtherIndices) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  try {
+    pool.parallel_for_index(100, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("boom");
+      done.fetch_add(1);
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(done.load(), 99);
+}
+
+TEST(ThreadPool, ReusableAcrossLoops) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for_index(10, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 50);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, SubmitFireAndForget) {
+  ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  pool.submit([&] {
+    ran = true;
+    cv.notify_all();
+  });
+  std::unique_lock lock(mu);
+  cv.wait_for(lock, std::chrono::seconds(5), [&] { return ran.load(); });
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(GlobalPool, IsSingleton) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+}
+
+}  // namespace
+}  // namespace farm::util

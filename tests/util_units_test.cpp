@@ -1,0 +1,79 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace farm::util {
+namespace {
+
+TEST(Units, ByteFactoriesScaleDecimally) {
+  EXPECT_DOUBLE_EQ(kilobytes(1).value(), 1e3);
+  EXPECT_DOUBLE_EQ(megabytes(1).value(), 1e6);
+  EXPECT_DOUBLE_EQ(gigabytes(1).value(), 1e9);
+  EXPECT_DOUBLE_EQ(terabytes(1).value(), 1e12);
+  EXPECT_DOUBLE_EQ(petabytes(2).value(), 2e15);
+}
+
+TEST(Units, ByteArithmetic) {
+  const Bytes a = gigabytes(10);
+  const Bytes b = gigabytes(4);
+  EXPECT_DOUBLE_EQ((a + b).value(), 14e9);
+  EXPECT_DOUBLE_EQ((a - b).value(), 6e9);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 20e9);
+  EXPECT_DOUBLE_EQ((a / 2.0).value(), 5e9);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_LT(b, a);
+}
+
+TEST(Units, CompoundAssignment) {
+  Bytes a = gigabytes(1);
+  a += gigabytes(2);
+  EXPECT_DOUBLE_EQ(a.value(), 3e9);
+  a -= gigabytes(1);
+  EXPECT_DOUBLE_EQ(a.value(), 2e9);
+  Seconds s = seconds(10);
+  s += seconds(5);
+  EXPECT_DOUBLE_EQ(s.value(), 15.0);
+}
+
+TEST(Units, TimeFactories) {
+  EXPECT_DOUBLE_EQ(minutes(2).value(), 120.0);
+  EXPECT_DOUBLE_EQ(hours(1).value(), 3600.0);
+  EXPECT_DOUBLE_EQ(days(1).value(), 86400.0);
+  EXPECT_DOUBLE_EQ(years(1).value(), 365.25 * 86400.0);
+  EXPECT_DOUBLE_EQ(months(12).value(), years(1).value());
+}
+
+TEST(Units, TransferTimeMatchesPaperExample) {
+  // Paper §3.3: a 1 GB group takes 1e9 / 16e6 ~ 62.5 s at 16 MB/s (the text
+  // quotes 64 s, reckoning 1 GB as 2^30 bytes).
+  const Seconds t = transfer_time(gigabytes(1), mb_per_sec(16));
+  EXPECT_NEAR(t.value(), 62.5, 1e-9);
+  const Seconds t2 = transfer_time(Bytes{1024.0 * 1024 * 1024}, Bandwidth{16.0 * 1024 * 1024});
+  EXPECT_NEAR(t2.value(), 64.0, 1e-9);
+}
+
+TEST(Units, TransferredInverse) {
+  const Bandwidth bw = mb_per_sec(16);
+  const Bytes moved = transferred(bw, seconds(100));
+  EXPECT_DOUBLE_EQ(moved.value(), 16e6 * 100);
+  EXPECT_DOUBLE_EQ(transfer_time(moved, bw).value(), 100.0);
+}
+
+TEST(Units, ToStringPicksSensibleScales) {
+  EXPECT_EQ(to_string(petabytes(2)), "2 PB");
+  EXPECT_EQ(to_string(gigabytes(10)), "10 GB");
+  EXPECT_EQ(to_string(mb_per_sec(16)), "16 MB/s");
+  EXPECT_EQ(to_string(seconds(30)), "30 s");
+  EXPECT_EQ(to_string(years(6)), "6 y");
+  EXPECT_EQ(to_string(minutes(10)), "10 min");
+}
+
+TEST(Units, BandwidthArithmetic) {
+  const Bandwidth d = mb_per_sec(80);
+  EXPECT_DOUBLE_EQ((d * 0.2).value(), 16e6);
+  EXPECT_DOUBLE_EQ(d / mb_per_sec(16), 5.0);
+  EXPECT_GT(d, mb_per_sec(16));
+}
+
+}  // namespace
+}  // namespace farm::util

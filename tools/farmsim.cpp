@@ -1,0 +1,243 @@
+// farmsim — command-line front end to the FARM reliability simulator.
+//
+// Runs a Monte-Carlo reliability study of a configurable large-scale
+// storage system and prints the aggregate results (optionally as CSV).
+//
+//   $ farmsim --data 2PB --scheme 1/2 --group 10GB --mode farm \
+//             --detect 30s --recover-bw 16 --years 6 --trials 100
+//   $ farmsim --help
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "farm/monte_carlo.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace farm;
+
+[[noreturn]] void usage(int code) {
+  std::cout << R"(farmsim — FARM reliability simulator (HPDC 2004 reproduction)
+
+usage: farmsim [options]
+
+workload / redundancy
+  --data <N>{GB|TB|PB}     total user data            (default 2PB)
+  --group <N>{GB|TB}       redundancy group user data (default 10GB)
+  --scheme m/n             redundancy scheme          (default 1/2)
+
+recovery
+  --mode farm|spare|distsparing   recovery policy     (default farm)
+  --detect <N>{s|min|h}    failure-detection latency  (default 30s)
+  --recover-bw <MB/s>      recovery bandwidth cap     (default 16)
+  --critical-speedup <x>   emergency rate multiple for critical groups
+  --spare-speedup <x>      dedicated-spare queue drain multiple
+  --provision <N>{s|min|h} delay before a cold spare's rebuild can begin
+  --diurnal                modulate recovery bw with a day/night user load
+  --latent-errors          model unrecoverable read errors during rebuilds
+  --scrub <efficiency>     fraction of latent errors scrubbed away (0-1)
+
+devices / dynamics
+  --hazard-scale <x>       multiply Table 1 failure rates (default 1.0)
+  --no-smart               disable S.M.A.R.T. target avoidance
+  --replace <fraction>     batch replacement threshold, e.g. 0.02
+  --domains <disks>        enable correlated enclosure failures (disks/enclosure)
+  --domain-mtbf <hours>    enclosure MTBF in hours        (default 2e6)
+  --no-rack-aware          disable rack-aware placement under --domains
+  --placement rush|random|chained|straw2               (default rush)
+
+mission / harness
+  --years <N>              mission length             (default 6)
+  --trials <N>             Monte-Carlo trials         (default 100)
+  --seed <N>               master seed                (default 0x5eedfa12)
+  --csv                    machine-readable one-line output
+  --utilization            also report per-disk utilization stats
+  -h, --help               this text
+)";
+  std::exit(code);
+}
+
+double parse_quantity(const std::string& text, double unit_if_bare) {
+  std::size_t pos = 0;
+  const double value = std::stod(text, &pos);
+  const std::string suffix = text.substr(pos);
+  if (suffix.empty()) return value * unit_if_bare;
+  if (suffix == "GB") return value * util::kGB;
+  if (suffix == "TB") return value * util::kTB;
+  if (suffix == "PB") return value * util::kPB;
+  if (suffix == "s") return value;
+  if (suffix == "min") return value * 60.0;
+  if (suffix == "h") return value * 3600.0;
+  throw std::invalid_argument("unknown unit suffix: " + suffix);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::SystemConfig cfg = analysis::paper_base_config();
+  std::size_t trials = 100;
+  std::uint64_t seed = 0x5eedfa12;
+  bool csv = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "-h" || arg == "--help") {
+        usage(0);
+      } else if (arg == "--data") {
+        cfg.total_user_data = util::Bytes{parse_quantity(next(), util::kPB)};
+      } else if (arg == "--group") {
+        cfg.group_size = util::Bytes{parse_quantity(next(), util::kGB)};
+      } else if (arg == "--scheme") {
+        cfg.scheme = erasure::Scheme::parse(next());
+      } else if (arg == "--mode") {
+        const std::string m = next();
+        if (m == "farm") {
+          cfg.recovery_mode = core::RecoveryMode::kFarm;
+        } else if (m == "spare") {
+          cfg.recovery_mode = core::RecoveryMode::kDedicatedSpare;
+        } else if (m == "distsparing") {
+          cfg.recovery_mode = core::RecoveryMode::kDistributedSparing;
+        } else {
+          throw std::invalid_argument("unknown mode: " + m);
+        }
+      } else if (arg == "--detect") {
+        cfg.detection_latency = util::Seconds{parse_quantity(next(), 1.0)};
+      } else if (arg == "--recover-bw") {
+        cfg.recovery_bandwidth = util::mb_per_sec(std::stod(next()));
+      } else if (arg == "--critical-speedup") {
+        cfg.critical_rebuild_speedup = std::stod(next());
+      } else if (arg == "--spare-speedup") {
+        cfg.spare_rebuild_speedup = std::stod(next());
+      } else if (arg == "--provision") {
+        cfg.spare_provision_delay = util::Seconds{parse_quantity(next(), 1.0)};
+      } else if (arg == "--diurnal") {
+        cfg.workload.kind = core::WorkloadKind::kDiurnal;
+      } else if (arg == "--latent-errors") {
+        cfg.latent_errors.enabled = true;
+      } else if (arg == "--scrub") {
+        cfg.latent_errors.enabled = true;
+        cfg.latent_errors.scrub_efficiency = std::stod(next());
+      } else if (arg == "--hazard-scale") {
+        cfg.hazard_scale = std::stod(next());
+      } else if (arg == "--no-smart") {
+        cfg.smart.enabled = false;
+      } else if (arg == "--replace") {
+        cfg.replacement.enabled = true;
+        cfg.replacement.loss_fraction_threshold = std::stod(next());
+      } else if (arg == "--domains") {
+        cfg.domains.enabled = true;
+        cfg.domains.disks_per_domain = std::stoul(next());
+      } else if (arg == "--domain-mtbf") {
+        cfg.domains.enabled = true;
+        cfg.domains.domain_mtbf = util::hours(std::stod(next()));
+      } else if (arg == "--no-rack-aware") {
+        cfg.domains.rack_aware_placement = false;
+      } else if (arg == "--placement") {
+        const std::string p = next();
+        if (p == "rush") {
+          cfg.placement = placement::PolicyKind::kRush;
+        } else if (p == "random") {
+          cfg.placement = placement::PolicyKind::kRandom;
+        } else if (p == "chained") {
+          cfg.placement = placement::PolicyKind::kChained;
+        } else if (p == "straw2") {
+          cfg.placement = placement::PolicyKind::kStraw2;
+        } else {
+          throw std::invalid_argument("unknown placement: " + p);
+        }
+      } else if (arg == "--years") {
+        cfg.mission_time = util::years(std::stod(next()));
+      } else if (arg == "--trials") {
+        trials = static_cast<std::size_t>(std::stoul(next()));
+      } else if (arg == "--seed") {
+        seed = std::stoull(next());
+      } else if (arg == "--csv") {
+        csv = true;
+      } else if (arg == "--utilization") {
+        cfg.collect_utilization = true;
+      } else {
+        std::cerr << "unknown option: " << arg << "\n";
+        usage(2);
+      }
+    }
+    cfg.stop_at_first_loss = !cfg.collect_utilization;
+    cfg.validate();
+  } catch (const std::exception& e) {
+    std::cerr << "farmsim: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (!csv) {
+    std::cout << "System: " << cfg.summary() << "\n"
+              << "Mission: " << util::to_string(cfg.mission_time) << ", "
+              << trials << " trials, seed " << seed << "\n\n";
+  }
+
+  core::MonteCarloOptions opts;
+  opts.trials = trials;
+  opts.master_seed = seed;
+  const core::MonteCarloResult r = core::run_monte_carlo(cfg, opts);
+
+  if (csv) {
+    std::cout << "scheme,mode,group_gb,detect_s,recover_mbs,trials,losses,"
+                 "p_loss,ci_lo,ci_hi,failures,rebuilds,redirections\n"
+              << cfg.scheme.str() << ',' << core::to_string(cfg.recovery_mode)
+              << ',' << cfg.group_size.value() / util::kGB << ','
+              << cfg.detection_latency.value() << ','
+              << cfg.recovery_bandwidth.value() / util::kMB << ',' << r.trials
+              << ',' << r.trials_with_loss << ',' << r.loss_probability() << ','
+              << r.loss_ci.lo << ',' << r.loss_ci.hi << ','
+              << r.mean_disk_failures << ',' << r.mean_rebuilds << ','
+              << r.mean_redirections << "\n";
+    return 0;
+  }
+
+  util::Table table({"metric", "value"});
+  table.add_row({"P(data loss)", analysis::loss_cell(r)});
+  table.add_row({"disk failures / trial", util::fmt_fixed(r.mean_disk_failures, 1)});
+  table.add_row({"block rebuilds / trial", util::fmt_fixed(r.mean_rebuilds, 1)});
+  table.add_row({"redirections / trial", util::fmt_fixed(r.mean_redirections, 3)});
+  table.add_row({"trials with redirection",
+                 util::fmt_percent(r.frac_trials_with_redirection, 1)});
+  table.add_row({"stalls / trial", util::fmt_fixed(r.mean_stalls, 3)});
+  if (cfg.latent_errors.enabled) {
+    table.add_row({"URE-caused losses / trial",
+                   util::fmt_fixed(r.mean_ure_losses, 3)});
+  }
+  table.add_row({"mean window of vulnerability",
+                 util::to_string(util::Seconds{r.mean_window_sec})});
+  table.add_row({"max window of vulnerability",
+                 util::to_string(util::Seconds{r.max_window_sec})});
+  table.add_row({"degraded exposure",
+                 util::fmt_sig(r.mean_degraded_exposure, 3)});
+  if (cfg.domains.enabled) {
+    table.add_row({"enclosure events / trial",
+                   util::fmt_fixed(r.mean_domain_failures, 2)});
+  }
+  if (cfg.replacement.enabled) {
+    table.add_row({"batches / trial", util::fmt_fixed(r.mean_batches, 2)});
+    table.add_row({"migrated blocks / trial",
+                   util::fmt_fixed(r.mean_migrated_blocks, 0)});
+  }
+  if (cfg.collect_utilization) {
+    table.add_row({"initial util / disk",
+                   util::fmt_fixed(r.initial_utilization.mean() / util::kGB, 1) +
+                       " GB +- " +
+                       util::fmt_fixed(r.initial_utilization.stddev() / util::kGB, 1)});
+    table.add_row({"final util / disk",
+                   util::fmt_fixed(r.final_utilization.mean() / util::kGB, 1) +
+                       " GB +- " +
+                       util::fmt_fixed(r.final_utilization.stddev() / util::kGB, 1)});
+  }
+  std::cout << table;
+  return 0;
+}
