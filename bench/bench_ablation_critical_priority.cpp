@@ -5,37 +5,68 @@
 // recovery bandwidth cap.  Under two-way mirroring every degraded group is
 // critical, so the knob effectively multiplies FARM's rebuild rate; for
 // deeper codes it only fires in the rare two-failure overlap.
-#include "bench_common.hpp"
+#include <sstream>
 
-int main() {
-  using namespace farm;
-  bench::Stopwatch timer;
-  const std::size_t trials = core::bench_trials(40);
-  bench::print_header("Ablation: emergency priority for critical groups",
-                      "extension (cf. Ceph degraded-PG priority)", trials);
+#include "analysis/scenario.hpp"
+#include "erasure/scheme.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
 
-  util::Table table({"scheme", "critical speedup", "P(loss) [95% CI]",
-                     "mean window"});
-  for (const char* scheme : {"1/2", "4/6"}) {
-    for (const double speedup : {1.0, 5.0}) {
-      core::SystemConfig cfg = analysis::apply_env_scale(analysis::paper_base_config());
-      cfg.scheme = erasure::Scheme::parse(scheme);
-      cfg.detection_latency = util::seconds(30);
-      cfg.critical_rebuild_speedup = speedup;
-      cfg.stop_at_first_loss = true;
+namespace {
 
-      core::MonteCarloOptions opts;
-      opts.trials = trials;
-      opts.master_seed = 0xAB1'0007;
-      const core::MonteCarloResult r = core::run_monte_carlo(cfg, opts);
-      table.add_row({scheme, speedup == 1.0 ? "off" : "5x",
-                     analysis::loss_cell(r),
-                     util::to_string(util::Seconds{r.mean_window_sec})});
-    }
-  }
-  std::cout << table
-            << "\nExpected: for 1/2 the 5x emergency rate divides the rebuild\n"
-               "window (and with it P(loss)) by nearly 5; for 4/6 losses are\n"
-               "already negligible and only the rare critical overlap changes.\n";
-  return 0;
+using namespace farm;
+
+constexpr const char* kSchemes[] = {"1/2", "4/6"};
+constexpr double kSpeedups[] = {1.0, 5.0};
+
+std::string point_label(const char* scheme, double speedup) {
+  return std::string(scheme) + "/" + (speedup == 1.0 ? "off" : "5x");
 }
+
+class AblationCriticalPriority final : public analysis::Scenario {
+ public:
+  AblationCriticalPriority()
+      : Scenario({"ablation_critical_priority",
+                  "Ablation: emergency priority for critical groups",
+                  "extension (cf. Ceph degraded-PG priority)", 40}) {}
+
+  std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override {
+    std::vector<analysis::SweepPoint> points;
+    for (const char* scheme : kSchemes) {
+      for (const double speedup : kSpeedups) {
+        core::SystemConfig cfg = base_config(opts);
+        cfg.scheme = erasure::Scheme::parse(scheme);
+        cfg.detection_latency = util::seconds(30);
+        cfg.critical_rebuild_speedup = speedup;
+        cfg.stop_at_first_loss = true;
+        points.push_back({point_label(scheme, speedup), cfg});
+      }
+    }
+    return points;
+  }
+
+ protected:
+  std::string format(const analysis::ScenarioRun& run) const override {
+    util::Table table({"scheme", "critical speedup", "P(loss) [95% CI]",
+                       "mean window"});
+    for (const char* scheme : kSchemes) {
+      for (const double speedup : kSpeedups) {
+        const auto& r = run.at(point_label(scheme, speedup)).result;
+        table.add_row({scheme, speedup == 1.0 ? "off" : "5x",
+                       analysis::loss_cell(r),
+                       util::to_string(util::Seconds{r.mean_window_sec})});
+      }
+    }
+    std::ostringstream os;
+    os << table
+       << "\nExpected: for 1/2 the 5x emergency rate divides the rebuild\n"
+          "window (and with it P(loss)) by nearly 5; for 4/6 losses are\n"
+          "already negligible and only the rare critical overlap changes.\n";
+    return os.str();
+  }
+};
+
+FARM_REGISTER_SCENARIO(AblationCriticalPriority);
+
+}  // namespace

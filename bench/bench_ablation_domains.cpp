@@ -2,54 +2,81 @@
 //
 // Paper §2.2: "placement and support services to the disk introduce common
 // failure causes such as a localized failure in the cooling system."  This
-// bench adds destructive enclosure events (64-disk domains) to the 2 PB
+// scenario adds destructive enclosure events (64-disk domains) to the 2 PB
 // base system and compares domain-oblivious against rack-aware placement,
 // under FARM, for two-way mirroring and 4/6.
-#include "bench_common.hpp"
+#include <algorithm>
+#include <sstream>
 
-#include <mutex>
+#include "analysis/scenario.hpp"
+#include "erasure/scheme.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
 
-int main() {
-  using namespace farm;
-  bench::Stopwatch timer;
-  const std::size_t trials = core::bench_trials(30);
-  bench::print_header("Ablation: correlated enclosure failures",
-                      "paper §2.2 common failure causes (extension)", trials);
+namespace {
 
-  util::Table table({"scheme", "placement", "P(loss) [95% CI]",
-                     "enclosure events/trial"});
-  for (const char* scheme : {"1/2", "4/6"}) {
-    for (const bool aware : {false, true}) {
-      core::SystemConfig cfg = analysis::apply_env_scale(analysis::paper_base_config());
-      cfg.scheme = erasure::Scheme::parse(scheme);
-      cfg.detection_latency = util::seconds(30);
-      cfg.domains.enabled = true;
-      cfg.domains.disks_per_domain = 64;
-      // ~1 enclosure event per system per decade of enclosure-hours:
-      // with ~156 enclosures, a handful of events per 6-year mission.
-      cfg.domains.domain_mtbf = util::hours(2.0e6);
-      cfg.domains.rack_aware_placement = aware;
-      cfg.stop_at_first_loss = false;
+using namespace farm;
 
-      core::MonteCarloOptions opts;
-      opts.trials = trials;
-      opts.master_seed = 0xAB1'0006;
-      double domain_events = 0.0;
-      std::mutex mu;
-      opts.observer = [&](std::size_t, const core::TrialResult& r) {
-        std::lock_guard lock(mu);
-        domain_events += static_cast<double>(r.domain_failures);
-      };
-      const core::MonteCarloResult r = core::run_monte_carlo(cfg, opts);
-      table.add_row({scheme, aware ? "rack-aware" : "oblivious",
-                     analysis::loss_cell(r),
-                     util::fmt_fixed(domain_events / static_cast<double>(trials), 1)});
-    }
-  }
-  std::cout << table
-            << "\nExpected: oblivious placement loses data whenever an enclosure\n"
-               "event catches a group with two blocks in that enclosure;\n"
-               "rack-aware placement reduces each event to ordinary single-block\n"
-               "recoveries.\n";
-  return 0;
+constexpr const char* kSchemes[] = {"1/2", "4/6"};
+
+std::string point_label(const char* scheme, bool aware) {
+  return std::string(scheme) + "/" + (aware ? "rack-aware" : "oblivious");
 }
+
+class AblationDomains final : public analysis::Scenario {
+ public:
+  AblationDomains()
+      : Scenario({"ablation_domains",
+                  "Ablation: correlated enclosure failures",
+                  "paper §2.2 common failure causes (extension)", 30}) {}
+
+  std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override {
+    std::vector<analysis::SweepPoint> points;
+    for (const char* scheme : kSchemes) {
+      for (const bool aware : {false, true}) {
+        core::SystemConfig cfg = base_config(opts);
+        cfg.scheme = erasure::Scheme::parse(scheme);
+        cfg.detection_latency = util::seconds(30);
+        cfg.domains.enabled = true;
+        // 64 disks per enclosure at full scale; shrink enclosures on scaled-
+        // down systems so rack-aware placement still has enough domains to
+        // spread a group across.
+        cfg.domains.disks_per_domain =
+            std::max<std::size_t>(1, std::min<std::uint64_t>(64, cfg.disk_count() / 16));
+        // ~1 enclosure event per system per decade of enclosure-hours:
+        // with ~156 enclosures, a handful of events per 6-year mission.
+        cfg.domains.domain_mtbf = util::hours(2.0e6);
+        cfg.domains.rack_aware_placement = aware;
+        cfg.stop_at_first_loss = false;
+        points.push_back({point_label(scheme, aware), cfg});
+      }
+    }
+    return points;
+  }
+
+ protected:
+  std::string format(const analysis::ScenarioRun& run) const override {
+    util::Table table({"scheme", "placement", "P(loss) [95% CI]",
+                       "enclosure events/trial"});
+    for (const char* scheme : kSchemes) {
+      for (const bool aware : {false, true}) {
+        const auto& r = run.at(point_label(scheme, aware)).result;
+        table.add_row({scheme, aware ? "rack-aware" : "oblivious",
+                       analysis::loss_cell(r),
+                       util::fmt_fixed(r.mean_domain_failures, 1)});
+      }
+    }
+    std::ostringstream os;
+    os << table
+       << "\nExpected: oblivious placement loses data whenever an enclosure\n"
+          "event catches a group with two blocks in that enclosure;\n"
+          "rack-aware placement reduces each event to ordinary single-block\n"
+          "recoveries.\n";
+    return os.str();
+  }
+};
+
+FARM_REGISTER_SCENARIO(AblationDomains);
+
+}  // namespace

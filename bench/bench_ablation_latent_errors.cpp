@@ -6,49 +6,80 @@
 // group that is already degraded loses data — the well-known reason RAID 5
 // aged out as drives grew.  Double-fault-tolerant codes shrug UREs off, and
 // scrubbing recovers most of the margin for the single-fault schemes.
-#include "bench_common.hpp"
+#include <sstream>
 
-int main() {
-  using namespace farm;
-  bench::Stopwatch timer;
-  const std::size_t trials = core::bench_trials(30);
-  bench::print_header("Ablation: latent sector errors + scrubbing",
-                      "extension (classic RAID5+URE analysis) on the 2 PB base",
-                      trials);
+#include "analysis/scenario.hpp"
+#include "erasure/scheme.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
 
-  struct Variant {
-    const char* label;
-    bool enabled;
-    double scrub;
-  };
-  const Variant variants[] = {
-      {"no UREs (paper model)", false, 0.0},
-      {"UREs, no scrubbing", true, 0.0},
-      {"UREs + 90% scrubbing", true, 0.9},
-  };
+namespace {
 
-  util::Table table({"scheme", "variant", "P(loss) [95% CI]",
-                     "URE-caused losses/trial"});
-  for (const char* scheme : {"1/2", "2/3", "4/6"}) {
-    for (const Variant& v : variants) {
-      core::SystemConfig cfg = analysis::apply_env_scale(analysis::paper_base_config());
-      cfg.scheme = erasure::Scheme::parse(scheme);
-      cfg.detection_latency = util::seconds(30);
-      cfg.latent_errors.enabled = v.enabled;
-      cfg.latent_errors.scrub_efficiency = v.scrub;
-      // Count every loss, not just the first (URE losses accumulate).
-      cfg.stop_at_first_loss = false;
+using namespace farm;
 
-      core::MonteCarloOptions opts;
-      opts.trials = trials;
-      opts.master_seed = 0xAB1'0005;
-      const core::MonteCarloResult r = core::run_monte_carlo(cfg, opts);
-      table.add_row({scheme, v.label, analysis::loss_cell(r),
-                     util::fmt_fixed(r.mean_ure_losses, 2)});
-    }
-  }
-  std::cout << table
-            << "\nExpected: UREs devastate the single-fault schemes (1/2, 2/3),\n"
-               "scrubbing claws much of it back, and 4/6 barely notices.\n";
-  return 0;
+struct Variant {
+  const char* label;
+  bool enabled;
+  double scrub;
+};
+
+constexpr Variant kVariants[] = {
+    {"no UREs (paper model)", false, 0.0},
+    {"UREs, no scrubbing", true, 0.0},
+    {"UREs + 90% scrubbing", true, 0.9},
+};
+
+constexpr const char* kSchemes[] = {"1/2", "2/3", "4/6"};
+
+std::string point_label(const char* scheme, const Variant& v) {
+  return std::string(scheme) + "/" + v.label;
 }
+
+class AblationLatentErrors final : public analysis::Scenario {
+ public:
+  AblationLatentErrors()
+      : Scenario({"ablation_latent_errors",
+                  "Ablation: latent sector errors + scrubbing",
+                  "extension (classic RAID5+URE analysis) on the 2 PB base",
+                  30}) {}
+
+  std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override {
+    std::vector<analysis::SweepPoint> points;
+    for (const char* scheme : kSchemes) {
+      for (const Variant& v : kVariants) {
+        core::SystemConfig cfg = base_config(opts);
+        cfg.scheme = erasure::Scheme::parse(scheme);
+        cfg.detection_latency = util::seconds(30);
+        cfg.latent_errors.enabled = v.enabled;
+        cfg.latent_errors.scrub_efficiency = v.scrub;
+        // Count every loss, not just the first (URE losses accumulate).
+        cfg.stop_at_first_loss = false;
+        points.push_back({point_label(scheme, v), cfg});
+      }
+    }
+    return points;
+  }
+
+ protected:
+  std::string format(const analysis::ScenarioRun& run) const override {
+    util::Table table({"scheme", "variant", "P(loss) [95% CI]",
+                       "URE-caused losses/trial"});
+    for (const char* scheme : kSchemes) {
+      for (const Variant& v : kVariants) {
+        const auto& r = run.at(point_label(scheme, v)).result;
+        table.add_row({scheme, v.label, analysis::loss_cell(r),
+                       util::fmt_fixed(r.mean_ure_losses, 2)});
+      }
+    }
+    std::ostringstream os;
+    os << table
+       << "\nExpected: UREs devastate the single-fault schemes (1/2, 2/3),\n"
+          "scrubbing claws much of it back, and 4/6 barely notices.\n";
+    return os.str();
+  }
+};
+
+FARM_REGISTER_SCENARIO(AblationLatentErrors);
+
+}  // namespace

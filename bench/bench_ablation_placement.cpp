@@ -9,38 +9,57 @@
 // Reliability should be comparable for rush/random (both spread risk) while
 // chained declustering concentrates buddy pairs on ring neighbours, making
 // each failure's blast radius smaller but each double-failure deadlier.
-#include "bench_common.hpp"
+#include <sstream>
 
-int main() {
-  using namespace farm;
-  bench::Stopwatch timer;
-  const std::size_t trials = core::bench_trials(40);
-  bench::print_header("Ablation: placement policy under FARM",
-                      "design choice, paper §2.2 (RUSH)", trials);
+#include "analysis/scenario.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
 
-  // straw2 is excluded here: its candidate lookup is O(#disks) (every disk
-  // draws a straw), which is fine for CRUSH-style bucket hierarchies but
-  // ~50x too slow for flat 10,000-disk per-block lookups at this scale.
-  // Its placement properties are covered by tests/placement_test.cpp and a
-  // small-scale entry in bench_micro_placement.
-  std::vector<analysis::SweepPoint> points;
-  for (const auto kind : {placement::PolicyKind::kRush, placement::PolicyKind::kRandom,
-                          placement::PolicyKind::kChained}) {
-    core::SystemConfig cfg = analysis::apply_env_scale(analysis::paper_base_config());
-    cfg.placement = kind;
-    cfg.detection_latency = util::seconds(30);
-    cfg.stop_at_first_loss = true;
-    points.push_back({placement::to_string(kind), cfg});
+namespace {
+
+using namespace farm;
+
+class AblationPlacement final : public analysis::Scenario {
+ public:
+  AblationPlacement()
+      : Scenario({"ablation_placement", "Ablation: placement policy under FARM",
+                  "design choice, paper §2.2 (RUSH)", 40}) {}
+
+  std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override {
+    // straw2 is excluded here: its candidate lookup is O(#disks) (every disk
+    // draws a straw), which is fine for CRUSH-style bucket hierarchies but
+    // ~50x too slow for flat 10,000-disk per-block lookups at this scale.
+    // Its placement properties are covered by tests/placement_test.cpp and a
+    // small-scale entry in bench_micro_placement.
+    std::vector<analysis::SweepPoint> points;
+    for (const auto kind :
+         {placement::PolicyKind::kRush, placement::PolicyKind::kRandom,
+          placement::PolicyKind::kChained}) {
+      core::SystemConfig cfg = base_config(opts);
+      cfg.placement = kind;
+      cfg.detection_latency = util::seconds(30);
+      cfg.stop_at_first_loss = true;
+      points.push_back({std::string(placement::to_string(kind)), cfg});
+    }
+    return points;
   }
-  const auto results = analysis::run_sweep(points, trials, 0xAB1'0001);
 
-  util::Table table({"placement", "P(loss) [95% CI]", "rebuilds/trial",
-                     "redirections/trial"});
-  for (const auto& r : results) {
-    table.add_row({r.point.label, analysis::loss_cell(r.result),
-                   util::fmt_fixed(r.result.mean_rebuilds, 0),
-                   util::fmt_fixed(r.result.mean_redirections, 2)});
+ protected:
+  std::string format(const analysis::ScenarioRun& run) const override {
+    util::Table table({"placement", "P(loss) [95% CI]", "rebuilds/trial",
+                       "redirections/trial"});
+    for (const analysis::PointResult& r : run.points) {
+      table.add_row({r.point.label, analysis::loss_cell(r.result),
+                     util::fmt_fixed(r.result.mean_rebuilds, 0),
+                     util::fmt_fixed(r.result.mean_redirections, 2)});
+    }
+    std::ostringstream os;
+    os << table;
+    return os.str();
   }
-  std::cout << table;
-  return 0;
-}
+};
+
+FARM_REGISTER_SCENARIO(AblationPlacement);
+
+}  // namespace

@@ -7,34 +7,52 @@
 // its serial reconstruction stream leaves the window of vulnerability as
 // long as the dedicated spare's, so its P(loss) tracks the spare while its
 // load spread tracks FARM — precisely the gap that motivates FARM.
-#include "bench_common.hpp"
-
 #include <algorithm>
 #include <mutex>
 
-int main() {
-  using namespace farm;
-  bench::Stopwatch timer;
-  const std::size_t trials = core::bench_trials(30);
-  bench::print_header("Ablation: dedicated spare vs distributed sparing vs FARM",
-                      "paper §2.4 design lineage", trials);
+#include <sstream>
 
-  util::Table table({"recovery policy", "P(loss) [95% CI]", "mean window",
-                     "rebuild-write spread (max/mean)", "busiest disk share"});
-  for (const auto mode :
-       {core::RecoveryMode::kDedicatedSpare, core::RecoveryMode::kDistributedSparing,
-        core::RecoveryMode::kFarm}) {
-    core::SystemConfig cfg = analysis::apply_env_scale(analysis::paper_base_config());
-    cfg.recovery_mode = mode;
-    cfg.detection_latency = util::seconds(30);
-    cfg.collect_recovery_load = true;
+#include "analysis/scenario.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
 
-    util::OnlineStats spread;      // per-trial max/mean of write bytes
-    util::OnlineStats top_share;   // busiest disk's share of all writes
+namespace {
+
+using namespace farm;
+
+constexpr core::RecoveryMode kModes[] = {core::RecoveryMode::kDedicatedSpare,
+                                         core::RecoveryMode::kDistributedSparing,
+                                         core::RecoveryMode::kFarm};
+
+class AblationRecoveryModes final : public analysis::Scenario {
+ public:
+  AblationRecoveryModes()
+      : Scenario({"ablation_recovery_modes",
+                  "Ablation: dedicated spare vs distributed sparing vs FARM",
+                  "paper §2.4 design lineage", 30}) {}
+
+  std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override {
+    std::vector<analysis::SweepPoint> points;
+    for (const auto mode : kModes) {
+      core::SystemConfig cfg = base_config(opts);
+      cfg.recovery_mode = mode;
+      cfg.detection_latency = util::seconds(30);
+      cfg.collect_recovery_load = true;
+      points.push_back({std::string(core::to_string(mode)), cfg});
+    }
+    return points;
+  }
+
+ protected:
+  analysis::PointResult run_point(
+      const analysis::SweepPoint& point,
+      const core::MonteCarloOptions& mc) const override {
+    util::OnlineStats spread;     // per-trial max/mean of write bytes
+    util::OnlineStats top_share;  // busiest disk's share of all writes
     std::mutex mu;
-    core::MonteCarloOptions opts;
-    opts.trials = trials;
-    opts.master_seed = 0xAB1'0003 + static_cast<std::uint64_t>(mode);
+    core::MonteCarloOptions opts = mc;
     opts.observer = [&](std::size_t, const core::TrialResult& r) {
       double total = 0.0, max = 0.0;
       std::size_t active = 0;
@@ -45,19 +63,37 @@ int main() {
       }
       if (total <= 0.0 || active == 0) return;
       std::lock_guard lock(mu);
-      spread.add(max / (total / static_cast<double>(r.recovery_write_bytes.size())));
+      spread.add(max /
+                 (total / static_cast<double>(r.recovery_write_bytes.size())));
       top_share.add(max / total);
     };
-    const core::MonteCarloResult r = core::run_monte_carlo(cfg, opts);
-
-    table.add_row({core::to_string(mode), analysis::loss_cell(r),
-                   util::to_string(util::Seconds{r.mean_window_sec}),
-                   util::fmt_fixed(spread.mean(), 1) + "x",
-                   util::fmt_percent(top_share.mean(), 2)});
+    analysis::PointResult pr;
+    pr.point = point;
+    pr.result = core::run_monte_carlo(point.config, opts);
+    pr.extra.push_back({"write_spread_max_over_mean", spread.mean()});
+    pr.extra.push_back({"busiest_disk_share", top_share.mean()});
+    return pr;
   }
-  std::cout << table
-            << "\nExpected: FARM & distributed sparing spread writes thinly\n"
-               "(busiest disk holds a tiny share); the dedicated spare funnels\n"
-               "a whole drive into one disk. P(loss): FARM << the other two.\n";
-  return 0;
-}
+
+  std::string format(const analysis::ScenarioRun& run) const override {
+    util::Table table({"recovery policy", "P(loss) [95% CI]", "mean window",
+                       "rebuild-write spread (max/mean)", "busiest disk share"});
+    for (const auto mode : kModes) {
+      const analysis::PointResult& r = run.at(core::to_string(mode));
+      table.add_row({r.point.label, analysis::loss_cell(r.result),
+                     util::to_string(util::Seconds{r.result.mean_window_sec}),
+                     util::fmt_fixed(r.extra[0].second, 1) + "x",
+                     util::fmt_percent(r.extra[1].second, 2)});
+    }
+    std::ostringstream os;
+    os << table
+       << "\nExpected: FARM & distributed sparing spread writes thinly\n"
+          "(busiest disk holds a tiny share); the dedicated spare funnels\n"
+          "a whole drive into one disk. P(loss): FARM << the other two.\n";
+    return os.str();
+  }
+};
+
+FARM_REGISTER_SCENARIO(AblationRecoveryModes);
+
+}  // namespace

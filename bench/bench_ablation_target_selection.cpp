@@ -2,56 +2,77 @@
 //
 // The paper prescribes: (b) skip disks already holding a buddy of the
 // group, (c) respect the spare-space reservation, prefer lightly-loaded
-// targets, and avoid S.M.A.R.T.-flagged disks.  This bench disables each
+// targets, and avoid S.M.A.R.T.-flagged disks.  This scenario disables each
 // rule in turn on the 2 PB base system.  The buddy rule is the load-bearing
 // one: without it a rebuilt replica can land next to its partner, halving
 // the effective fault tolerance of that group.
-#include "bench_common.hpp"
+#include <sstream>
 
-int main() {
-  using namespace farm;
-  bench::Stopwatch timer;
-  const std::size_t trials = core::bench_trials(40);
-  bench::print_header("Ablation: FARM target-selection rules",
-                      "paper §2.3 rules (a)-(c) + load + SMART", trials);
+#include "analysis/scenario.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
 
-  struct Variant {
-    const char* label;
-    void (*tweak)(core::SystemConfig&);
-  };
-  const Variant variants[] = {
-      {"all rules (paper)", [](core::SystemConfig&) {}},
-      {"no buddy rule",
-       [](core::SystemConfig& c) { c.target_rules.skip_buddies = false; }},
-      {"no reservation ceiling",
-       [](core::SystemConfig& c) { c.target_rules.honor_reservation = false; }},
-      {"no load preference",
-       [](core::SystemConfig& c) { c.target_rules.prefer_low_load = false; }},
-      {"no SMART avoidance",
-       [](core::SystemConfig& c) { c.target_rules.avoid_suspect = false; }},
-      {"SMART disabled entirely",
-       [](core::SystemConfig& c) { c.smart.enabled = false; }},
-  };
+namespace {
 
-  std::vector<analysis::SweepPoint> points;
-  for (const Variant& v : variants) {
-    core::SystemConfig cfg = analysis::apply_env_scale(analysis::paper_base_config());
-    cfg.detection_latency = util::seconds(30);
-    cfg.stop_at_first_loss = true;
-    v.tweak(cfg);
-    points.push_back({v.label, cfg});
+using namespace farm;
+
+struct Variant {
+  const char* label;
+  void (*tweak)(core::SystemConfig&);
+};
+
+constexpr Variant kVariants[] = {
+    {"all rules (paper)", [](core::SystemConfig&) {}},
+    {"no buddy rule",
+     [](core::SystemConfig& c) { c.target_rules.skip_buddies = false; }},
+    {"no reservation ceiling",
+     [](core::SystemConfig& c) { c.target_rules.honor_reservation = false; }},
+    {"no load preference",
+     [](core::SystemConfig& c) { c.target_rules.prefer_low_load = false; }},
+    {"no SMART avoidance",
+     [](core::SystemConfig& c) { c.target_rules.avoid_suspect = false; }},
+    {"SMART disabled entirely",
+     [](core::SystemConfig& c) { c.smart.enabled = false; }},
+};
+
+class AblationTargetSelection final : public analysis::Scenario {
+ public:
+  AblationTargetSelection()
+      : Scenario({"ablation_target_selection",
+                  "Ablation: FARM target-selection rules",
+                  "paper §2.3 rules (a)-(c) + load + SMART", 40}) {}
+
+  std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override {
+    std::vector<analysis::SweepPoint> points;
+    for (const Variant& v : kVariants) {
+      core::SystemConfig cfg = base_config(opts);
+      cfg.detection_latency = util::seconds(30);
+      cfg.stop_at_first_loss = true;
+      v.tweak(cfg);
+      points.push_back({v.label, cfg});
+    }
+    return points;
   }
-  const auto results = analysis::run_sweep(points, trials, 0xAB1'0002);
 
-  util::Table table({"variant", "P(loss) [95% CI]", "redirections/trial",
-                     "stalls/trial"});
-  for (const auto& r : results) {
-    table.add_row({r.point.label, analysis::loss_cell(r.result),
-                   util::fmt_fixed(r.result.mean_redirections, 2),
-                   util::fmt_fixed(r.result.mean_stalls, 2)});
+ protected:
+  std::string format(const analysis::ScenarioRun& run) const override {
+    util::Table table({"variant", "P(loss) [95% CI]", "redirections/trial",
+                       "stalls/trial"});
+    for (const Variant& v : kVariants) {
+      const analysis::PointResult& r = run.at(v.label);
+      table.add_row({r.point.label, analysis::loss_cell(r.result),
+                     util::fmt_fixed(r.result.mean_redirections, 2),
+                     util::fmt_fixed(r.result.mean_stalls, 2)});
+    }
+    std::ostringstream os;
+    os << table
+       << "\nExpected: dropping the buddy rule hurts most; the others are\n"
+          "second-order at base parameters.\n";
+    return os.str();
   }
-  std::cout << table
-            << "\nExpected: dropping the buddy rule hurts most; the others are\n"
-               "second-order at base parameters.\n";
-  return 0;
-}
+};
+
+FARM_REGISTER_SCENARIO(AblationTargetSelection);
+
+}  // namespace

@@ -7,45 +7,67 @@
 // (disk 80 MB/s, min recovery floor 5 %), under FARM and under the
 // dedicated spare.  FARM's sub-hour rebuilds barely notice; the spare's
 // seven-hour rebuilds straddle busy periods and suffer.
-#include "bench_common.hpp"
+#include <sstream>
 
-int main() {
-  using namespace farm;
-  bench::Stopwatch timer;
-  const std::size_t trials = core::bench_trials(40);
-  bench::print_header("Ablation: fixed vs workload-modulated recovery bandwidth",
-                      "paper §2.4 idle-time exploitation", trials);
+#include "analysis/scenario.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
 
-  std::vector<analysis::SweepPoint> points;
-  for (const auto mode :
-       {core::RecoveryMode::kFarm, core::RecoveryMode::kDedicatedSpare}) {
-    for (const bool diurnal : {false, true}) {
-      core::SystemConfig cfg = analysis::apply_env_scale(analysis::paper_base_config());
-      cfg.recovery_mode = mode;
-      cfg.detection_latency = util::seconds(30);
-      cfg.stop_at_first_loss = true;
-      if (diurnal) {
-        // A genuinely busy system: even the trough leaves only 16 MB/s and
-        // the peak squeezes recovery to the 4 MB/s floor, so the squeeze is
-        // active through the whole cycle.
-        cfg.workload.kind = core::WorkloadKind::kDiurnal;
-        cfg.workload.peak_demand = 0.98;
-        cfg.workload.trough_demand = 0.8;
-      }
-      points.push_back({std::string(core::to_string(mode)) +
-                            (diurnal ? " + diurnal load" : " + fixed bw"),
-                        cfg});
-    }
-  }
-  const auto results = analysis::run_sweep(points, trials, 0xAB1'0004);
+namespace {
 
-  util::Table table({"configuration", "P(loss) [95% CI]", "rebuilds/trial"});
-  for (const auto& r : results) {
-    table.add_row({r.point.label, analysis::loss_cell(r.result),
-                   util::fmt_fixed(r.result.mean_rebuilds, 0)});
-  }
-  std::cout << table
-            << "\nExpected: the diurnal squeeze hurts the dedicated spare far\n"
-               "more than FARM (longer rebuilds overlap more busy hours).\n";
-  return 0;
+using namespace farm;
+
+std::string point_label(core::RecoveryMode mode, bool diurnal) {
+  return std::string(core::to_string(mode)) +
+         (diurnal ? " + diurnal load" : " + fixed bw");
 }
+
+class AblationWorkload final : public analysis::Scenario {
+ public:
+  AblationWorkload()
+      : Scenario({"ablation_workload",
+                  "Ablation: fixed vs workload-modulated recovery bandwidth",
+                  "paper §2.4 idle-time exploitation", 40}) {}
+
+  std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override {
+    std::vector<analysis::SweepPoint> points;
+    for (const auto mode :
+         {core::RecoveryMode::kFarm, core::RecoveryMode::kDedicatedSpare}) {
+      for (const bool diurnal : {false, true}) {
+        core::SystemConfig cfg = base_config(opts);
+        cfg.recovery_mode = mode;
+        cfg.detection_latency = util::seconds(30);
+        cfg.stop_at_first_loss = true;
+        if (diurnal) {
+          // A genuinely busy system: even the trough leaves only 16 MB/s and
+          // the peak squeezes recovery to the 4 MB/s floor, so the squeeze is
+          // active through the whole cycle.
+          cfg.workload.kind = core::WorkloadKind::kDiurnal;
+          cfg.workload.peak_demand = 0.98;
+          cfg.workload.trough_demand = 0.8;
+        }
+        points.push_back({point_label(mode, diurnal), cfg});
+      }
+    }
+    return points;
+  }
+
+ protected:
+  std::string format(const analysis::ScenarioRun& run) const override {
+    util::Table table({"configuration", "P(loss) [95% CI]", "rebuilds/trial"});
+    for (const analysis::PointResult& r : run.points) {
+      table.add_row({r.point.label, analysis::loss_cell(r.result),
+                     util::fmt_fixed(r.result.mean_rebuilds, 0)});
+    }
+    std::ostringstream os;
+    os << table
+       << "\nExpected: the diurnal squeeze hurts the dedicated spare far\n"
+          "more than FARM (longer rebuilds overlap more busy hours).\n";
+    return os.str();
+  }
+};
+
+FARM_REGISTER_SCENARIO(AblationWorkload);
+
+}  // namespace

@@ -1,62 +1,109 @@
 // Figure 3 — probability of data loss with and without FARM, for the six
-// redundancy configurations (1/2, 1/3, 2/3, 4/5, 4/6, 8/10), at redundancy
-// group sizes of 10 GB (Fig 3a) and 50 GB (Fig 3b), with zero failure
-// detection latency, over a six-year mission of the 2 PB base system.
+// redundancy configurations (1/2, 1/3, 2/3, 4/5, 4/6, 8/10), with zero
+// failure detection latency, over a six-year mission of the 2 PB base
+// system.  Registered as two scenarios: fig3a (10 GB redundancy groups) and
+// fig3b (50 GB).
 //
 // Paper shape to reproduce: FARM improves every scheme; RAID-5-like parity
 // (2/3, 4/5) is insufficient without FARM; two-way mirroring lands at 1-3 %
 // with FARM vs 6-25 % without; 1/3, 4/6, 8/10 with FARM sit below 0.1 %.
 // Group size barely matters with FARM but matters without (smaller worse).
 //
-// Also prints the §2.3 prose check: recovery redirection touched fewer than
-// 8 % of systems over six years.
-#include "bench_common.hpp"
+// fig3a also prints the §2.3 prose check: recovery redirection touched
+// fewer than 8 % of systems over six years.
+#include <sstream>
 
-int main() {
-  using namespace farm;
-  bench::Stopwatch timer;
-  const std::size_t trials = core::bench_trials(40);
-  bench::print_header(
-      "Figure 3: reliability with and without FARM",
-      "Xin et al., HPDC 2004, Fig. 3(a) group=10GB, Fig. 3(b) group=50GB",
-      trials);
+#include "analysis/scenario.hpp"
+#include "erasure/scheme.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
 
-  double redirection_fraction = 0.0;
-  for (const double group_gb : {10.0, 50.0}) {
+namespace {
+
+using namespace farm;
+
+std::string point_label(const erasure::Scheme& scheme,
+                        core::RecoveryMode mode) {
+  return scheme.str() + "/" + std::string(core::to_string(mode));
+}
+
+class Fig3SchemeComparison final : public analysis::Scenario {
+ public:
+  Fig3SchemeComparison(char variant, double group_gb)
+      : Scenario({std::string("fig3") + variant + "_scheme_comparison",
+                  std::string("Figure 3(") + variant +
+                      "): reliability with and without FARM, " +
+                      util::fmt_fixed(group_gb, 0) + " GB groups",
+                  std::string("Xin et al., HPDC 2004, Fig. 3(") + variant + ")",
+                  40}),
+        variant_(variant),
+        group_gb_(group_gb) {}
+
+  std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override {
     std::vector<analysis::SweepPoint> points;
     for (const auto& scheme : erasure::paper_schemes()) {
       for (const auto mode :
            {core::RecoveryMode::kFarm, core::RecoveryMode::kDedicatedSpare}) {
-        core::SystemConfig cfg = analysis::apply_env_scale(analysis::paper_base_config());
+        core::SystemConfig cfg = base_config(opts);
         cfg.scheme = scheme;
-        cfg.group_size = util::gigabytes(group_gb);
+        cfg.group_size = util::gigabytes(group_gb_);
         cfg.recovery_mode = mode;
         cfg.detection_latency = util::seconds(0);  // Fig 3 assumption
         cfg.stop_at_first_loss = true;
-        points.push_back({scheme.str() + "/" + core::to_string(mode), cfg});
+        points.push_back({point_label(scheme, mode), cfg});
       }
     }
-    const auto results = analysis::run_sweep(points, trials, 0xF16'3000 + static_cast<std::uint64_t>(group_gb));
-
-    util::Table table({"scheme", "P(loss) with FARM", "P(loss) w/o FARM",
-                       "failures/trial"});
-    for (std::size_t i = 0; i < results.size(); i += 2) {
-      const auto& farm_r = results[i].result;
-      const auto& spare_r = results[i + 1].result;
-      table.add_row({points[i].config.scheme.str(), analysis::loss_cell(farm_r),
-                     analysis::loss_cell(spare_r),
-                     util::fmt_fixed(farm_r.mean_disk_failures, 0)});
-      if (points[i].config.scheme.str() == "1/2" && group_gb == 10.0) {
-        redirection_fraction = farm_r.frac_trials_with_redirection;
-      }
-    }
-    std::cout << "Fig 3(" << (group_gb == 10.0 ? 'a' : 'b')
-              << "): redundancy group size = " << group_gb << " GB\n"
-              << table << "\n";
+    return points;
   }
 
-  std::cout << "Recovery redirection touched "
-            << util::fmt_percent(redirection_fraction, 1)
-            << " of simulated systems (paper §2.3: fewer than 8%)\n";
-  return 0;
-}
+ protected:
+  void execute(const analysis::ScenarioOptions& opts,
+               std::uint64_t scenario_seed,
+               analysis::ScenarioRun& out) const override {
+    Scenario::execute(opts, scenario_seed, out);
+    if (variant_ == 'a') {
+      const auto& farm_r =
+          out.at(point_label(erasure::Scheme{1, 2}, core::RecoveryMode::kFarm));
+      out.extra.push_back({"redirection_fraction",
+                           farm_r.result.frac_trials_with_redirection});
+    }
+  }
+
+  std::string format(const analysis::ScenarioRun& run) const override {
+    util::Table table({"scheme", "P(loss) with FARM", "P(loss) w/o FARM",
+                       "failures/trial"});
+    for (const auto& scheme : erasure::paper_schemes()) {
+      const auto& farm_r =
+          run.at(point_label(scheme, core::RecoveryMode::kFarm)).result;
+      const auto& spare_r =
+          run.at(point_label(scheme, core::RecoveryMode::kDedicatedSpare))
+              .result;
+      table.add_row({scheme.str(), analysis::loss_cell(farm_r),
+                     analysis::loss_cell(spare_r),
+                     util::fmt_fixed(farm_r.mean_disk_failures, 0)});
+    }
+    std::ostringstream os;
+    os << "Fig 3(" << variant_
+       << "): redundancy group size = " << util::fmt_fixed(group_gb_, 0)
+       << " GB\n"
+       << table;
+    if (variant_ == 'a' && !run.extra.empty()) {
+      os << "\nRecovery redirection touched "
+         << util::fmt_percent(run.extra.front().second, 1)
+         << " of simulated systems (paper §2.3: fewer than 8%)\n";
+    }
+    return os.str();
+  }
+
+ private:
+  char variant_;
+  double group_gb_;
+};
+
+const analysis::ScenarioRegistrar fig3a_registrar{
+    std::make_unique<Fig3SchemeComparison>('a', 10.0)};
+const analysis::ScenarioRegistrar fig3b_registrar{
+    std::make_unique<Fig3SchemeComparison>('b', 50.0)};
+
+}  // namespace

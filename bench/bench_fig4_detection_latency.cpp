@@ -7,80 +7,102 @@
 //       (shorter) window of vulnerability.
 //   (b) The same data re-binned against the *ratio* of detection latency to
 //       recovery time collapses onto one curve — the paper's hypothesis.
-#include "bench_common.hpp"
+#include <algorithm>
 
-int main() {
-  using namespace farm;
-  bench::Stopwatch timer;
-  const std::size_t trials = core::bench_trials(25);
-  bench::print_header("Figure 4: failure-detection latency vs reliability",
-                      "Xin et al., HPDC 2004, Fig. 4(a)/(b)", trials);
+#include <sstream>
 
-  const double sizes_gb[] = {1, 5, 10, 25, 50, 100};
-  const double latencies_min[] = {0, 1, 5, 15, 60};
+#include "analysis/scenario.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
 
-  std::vector<analysis::SweepPoint> points;
-  for (const double gb : sizes_gb) {
-    for (const double lat : latencies_min) {
-      core::SystemConfig cfg = analysis::apply_env_scale(analysis::paper_base_config());
-      cfg.group_size = util::gigabytes(gb);
-      cfg.detection_latency = util::minutes(lat);
-      cfg.stop_at_first_loss = true;
-      points.push_back({util::fmt_fixed(gb, 0) + "GB/" +
-                            util::fmt_fixed(lat, 0) + "min",
-                        cfg});
-    }
-  }
-  const auto results = analysis::run_sweep(points, trials, 0xF16'4000);
+namespace {
 
-  // (a) loss vs latency, one column per group size.
-  {
-    std::vector<std::string> headers = {"latency (min)"};
-    for (const double gb : sizes_gb) {
-      headers.push_back(util::fmt_fixed(gb, 0) + " GB");
-    }
-    util::Table table(headers);
-    for (std::size_t li = 0; li < std::size(latencies_min); ++li) {
-      std::vector<std::string> row = {util::fmt_fixed(latencies_min[li], 0)};
-      for (std::size_t si = 0; si < std::size(sizes_gb); ++si) {
-        row.push_back(util::fmt_percent(
-            results[si * std::size(latencies_min) + li].result.loss_probability(), 1));
-      }
-      table.add_row(row);
-    }
-    std::cout << "Fig 4(a): P(data loss) vs detection latency\n" << table << "\n";
-  }
+using namespace farm;
 
-  // (b) loss vs latency/recovery-time ratio: rows sorted by ratio should
-  // form one monotone curve regardless of group size.
-  {
-    struct Row {
-      double ratio;
-      std::string label;
-      double loss;
-    };
-    std::vector<Row> rows;
-    for (std::size_t si = 0; si < std::size(sizes_gb); ++si) {
-      for (std::size_t li = 0; li < std::size(latencies_min); ++li) {
-        const auto& point = points[si * std::size(latencies_min) + li];
-        const double recovery = point.config.block_rebuild_time().value();
-        const double ratio = util::minutes(latencies_min[li]).value() / recovery;
-        rows.push_back(
-            {ratio, point.label,
-             results[si * std::size(latencies_min) + li].result.loss_probability()});
-      }
-    }
-    std::sort(rows.begin(), rows.end(),
-              [](const Row& a, const Row& b) { return a.ratio < b.ratio; });
-    util::Table table({"latency/recovery ratio", "config", "P(loss)"});
-    for (const Row& r : rows) {
-      table.add_row({util::fmt_fixed(r.ratio, 2), r.label,
-                     util::fmt_percent(r.loss, 1)});
-    }
-    std::cout << "Fig 4(b): the ratio of detection latency to recovery time\n"
-              << "determines P(loss) (rows sorted by ratio; loss should rise\n"
-              << "with ratio, independent of group size)\n"
-              << table;
-  }
-  return 0;
+constexpr double kSizesGb[] = {1, 5, 10, 25, 50, 100};
+constexpr double kLatenciesMin[] = {0, 1, 5, 15, 60};
+
+std::string point_label(double gb, double lat) {
+  return util::fmt_fixed(gb, 0) + "GB/" + util::fmt_fixed(lat, 0) + "min";
 }
+
+class Fig4DetectionLatency final : public analysis::Scenario {
+ public:
+  Fig4DetectionLatency()
+      : Scenario({"fig4_detection_latency",
+                  "Figure 4: failure-detection latency vs reliability",
+                  "Xin et al., HPDC 2004, Fig. 4(a)/(b)", 25}) {}
+
+  std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override {
+    std::vector<analysis::SweepPoint> points;
+    for (const double gb : kSizesGb) {
+      for (const double lat : kLatenciesMin) {
+        core::SystemConfig cfg = base_config(opts);
+        cfg.group_size = util::gigabytes(gb);
+        cfg.detection_latency = util::minutes(lat);
+        cfg.stop_at_first_loss = true;
+        points.push_back({point_label(gb, lat), cfg});
+      }
+    }
+    return points;
+  }
+
+ protected:
+  std::string format(const analysis::ScenarioRun& run) const override {
+    std::ostringstream os;
+
+    // (a) loss vs latency, one column per group size.
+    {
+      std::vector<std::string> headers = {"latency (min)"};
+      for (const double gb : kSizesGb) {
+        headers.push_back(util::fmt_fixed(gb, 0) + " GB");
+      }
+      util::Table table(headers);
+      for (const double lat : kLatenciesMin) {
+        std::vector<std::string> row = {util::fmt_fixed(lat, 0)};
+        for (const double gb : kSizesGb) {
+          row.push_back(util::fmt_percent(
+              run.at(point_label(gb, lat)).result.loss_probability(), 1));
+        }
+        table.add_row(row);
+      }
+      os << "Fig 4(a): P(data loss) vs detection latency\n" << table << "\n";
+    }
+
+    // (b) loss vs latency/recovery-time ratio: rows sorted by ratio should
+    // form one monotone curve regardless of group size.
+    {
+      struct Row {
+        double ratio;
+        std::string label;
+        double loss;
+      };
+      std::vector<Row> rows;
+      for (const double gb : kSizesGb) {
+        for (const double lat : kLatenciesMin) {
+          const auto& pr = run.at(point_label(gb, lat));
+          const double recovery = pr.point.config.block_rebuild_time().value();
+          rows.push_back({util::minutes(lat).value() / recovery, pr.point.label,
+                          pr.result.loss_probability()});
+        }
+      }
+      std::sort(rows.begin(), rows.end(),
+                [](const Row& a, const Row& b) { return a.ratio < b.ratio; });
+      util::Table table({"latency/recovery ratio", "config", "P(loss)"});
+      for (const Row& r : rows) {
+        table.add_row({util::fmt_fixed(r.ratio, 2), r.label,
+                       util::fmt_percent(r.loss, 1)});
+      }
+      os << "Fig 4(b): the ratio of detection latency to recovery time\n"
+         << "determines P(loss) (rows sorted by ratio; loss should rise\n"
+         << "with ratio, independent of group size)\n"
+         << table;
+    }
+    return os.str();
+  }
+};
+
+FARM_REGISTER_SCENARIO(Fig4DetectionLatency);
+
+}  // namespace

@@ -6,55 +6,80 @@
 // (the single spare's queue shortens), but has little effect *with* FARM,
 // whose windows are already tiny; smaller groups fare worse throughout
 // because detection latency dominates their windows.
-#include "bench_common.hpp"
+#include <sstream>
 
-int main() {
-  using namespace farm;
-  bench::Stopwatch timer;
-  const std::size_t trials = core::bench_trials(40);
-  bench::print_header("Figure 5: recovery bandwidth vs reliability",
-                      "Xin et al., HPDC 2004, Fig. 5", trials);
+#include "analysis/scenario.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
 
-  const double bandwidths[] = {8, 16, 24, 32, 40};
-  struct Series {
-    const char* label;
-    double group_gb;
-    core::RecoveryMode mode;
-  };
-  const Series series[] = {
-      {"w/o FARM, 10GB", 10.0, core::RecoveryMode::kDedicatedSpare},
-      {"w/o FARM, 50GB", 50.0, core::RecoveryMode::kDedicatedSpare},
-      {"with FARM, 10GB", 10.0, core::RecoveryMode::kFarm},
-      {"with FARM, 50GB", 50.0, core::RecoveryMode::kFarm},
-  };
+namespace {
 
-  std::vector<analysis::SweepPoint> points;
-  for (const Series& s : series) {
-    for (const double bw : bandwidths) {
-      core::SystemConfig cfg = analysis::apply_env_scale(analysis::paper_base_config());
-      cfg.group_size = util::gigabytes(s.group_gb);
-      cfg.recovery_mode = s.mode;
-      cfg.recovery_bandwidth = util::mb_per_sec(bw);
-      cfg.detection_latency = util::seconds(30);
-      cfg.stop_at_first_loss = true;
-      points.push_back({std::string(s.label) + "@" + util::fmt_fixed(bw, 0), cfg});
-    }
-  }
-  const auto results = analysis::run_sweep(points, trials, 0xF16'5000);
+using namespace farm;
 
-  std::vector<std::string> headers = {"recovery bandwidth (MB/s)"};
-  for (const Series& s : series) headers.emplace_back(s.label);
-  util::Table table(headers);
-  for (std::size_t bi = 0; bi < std::size(bandwidths); ++bi) {
-    std::vector<std::string> row = {util::fmt_fixed(bandwidths[bi], 0)};
-    for (std::size_t si = 0; si < std::size(series); ++si) {
-      row.push_back(util::fmt_percent(
-          results[si * std::size(bandwidths) + bi].result.loss_probability(), 1));
-    }
-    table.add_row(row);
-  }
-  std::cout << table
-            << "\nExpected shape: the w/o-FARM columns fall steeply as bandwidth\n"
-               "grows; the FARM columns stay flat and low (paper §3.4).\n";
-  return 0;
+constexpr double kBandwidths[] = {8, 16, 24, 32, 40};
+
+struct Series {
+  const char* label;
+  double group_gb;
+  core::RecoveryMode mode;
+};
+
+constexpr Series kSeries[] = {
+    {"w/o FARM, 10GB", 10.0, core::RecoveryMode::kDedicatedSpare},
+    {"w/o FARM, 50GB", 50.0, core::RecoveryMode::kDedicatedSpare},
+    {"with FARM, 10GB", 10.0, core::RecoveryMode::kFarm},
+    {"with FARM, 50GB", 50.0, core::RecoveryMode::kFarm},
+};
+
+std::string point_label(const Series& s, double bw) {
+  return std::string(s.label) + "@" + util::fmt_fixed(bw, 0);
 }
+
+class Fig5RecoveryBandwidth final : public analysis::Scenario {
+ public:
+  Fig5RecoveryBandwidth()
+      : Scenario({"fig5_recovery_bandwidth",
+                  "Figure 5: recovery bandwidth vs reliability",
+                  "Xin et al., HPDC 2004, Fig. 5", 40}) {}
+
+  std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override {
+    std::vector<analysis::SweepPoint> points;
+    for (const Series& s : kSeries) {
+      for (const double bw : kBandwidths) {
+        core::SystemConfig cfg = base_config(opts);
+        cfg.group_size = util::gigabytes(s.group_gb);
+        cfg.recovery_mode = s.mode;
+        cfg.recovery_bandwidth = util::mb_per_sec(bw);
+        cfg.detection_latency = util::seconds(30);
+        cfg.stop_at_first_loss = true;
+        points.push_back({point_label(s, bw), cfg});
+      }
+    }
+    return points;
+  }
+
+ protected:
+  std::string format(const analysis::ScenarioRun& run) const override {
+    std::vector<std::string> headers = {"recovery bandwidth (MB/s)"};
+    for (const Series& s : kSeries) headers.emplace_back(s.label);
+    util::Table table(headers);
+    for (const double bw : kBandwidths) {
+      std::vector<std::string> row = {util::fmt_fixed(bw, 0)};
+      for (const Series& s : kSeries) {
+        row.push_back(util::fmt_percent(
+            run.at(point_label(s, bw)).result.loss_probability(), 1));
+      }
+      table.add_row(row);
+    }
+    std::ostringstream os;
+    os << table
+       << "\nExpected shape: the w/o-FARM columns fall steeply as bandwidth\n"
+          "grows; the FARM columns stay flat and low (paper §3.4).\n";
+    return os.str();
+  }
+};
+
+FARM_REGISTER_SCENARIO(Fig5RecoveryBandwidth);
+
+}  // namespace

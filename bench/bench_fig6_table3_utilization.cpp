@@ -7,71 +7,165 @@
 //   * Table 3: the mean utilization grows identically for all group sizes,
 //     but the standard deviation grows with group size;
 //   * Fig 6: ten randomly-chosen disks before/after (failed disk -> 0 load).
-#include "bench_common.hpp"
-
+//
+// Registered as two scenarios: fig6_utilization (one trial, the ten-disk
+// before/after snapshot) and table3_utilization (pooled live-disk stats).
+// Both need per-trial observers, so they override run_point; the pooled
+// MonteCarloResult's final_utilization can't be reused for Table 3 because
+// it includes dead disks.
 #include <mutex>
 
-int main() {
-  using namespace farm;
-  bench::Stopwatch timer;
-  const std::size_t trials = core::bench_trials(8);
-  bench::print_header("Figure 6 / Table 3: disk space utilization",
-                      "Xin et al., HPDC 2004, Fig. 6, Table 3", trials);
+#include <sstream>
 
-  util::Table table3({"group size", "initial mean", "initial stddev",
-                      "6y mean (live disks)", "6y stddev"});
-  for (const double gb : {1.0, 10.0, 50.0}) {
-    core::SystemConfig cfg = analysis::apply_env_scale(analysis::paper_base_config());
+#include "analysis/scenario.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace farm;
+
+constexpr double kGroupsGb[] = {1.0, 10.0, 50.0};
+
+std::string point_label(double gb) {
+  return util::fmt_fixed(gb, 0) + " GB";
+}
+
+std::vector<analysis::SweepPoint> utilization_points(
+    const analysis::ScenarioOptions& opts) {
+  std::vector<analysis::SweepPoint> points;
+  for (const double gb : kGroupsGb) {
+    core::SystemConfig cfg = analysis::Scenario::base_config(opts);
     cfg.group_size = util::gigabytes(gb);
     cfg.collect_utilization = true;
+    points.push_back({point_label(gb), cfg});
+  }
+  return points;
+}
 
-    // Pool live-disk utilization across trials; keep one trial's raw
-    // snapshot for the Fig 6 ten-disk view.
-    util::OnlineStats initial, final_live;
-    std::vector<double> fig6_initial, fig6_final;
+class Fig6Utilization final : public analysis::Scenario {
+ public:
+  Fig6Utilization()
+      : Scenario({"fig6_utilization",
+                  "Figure 6: utilization of ten random disks before/after",
+                  "Xin et al., HPDC 2004, Fig. 6", 1}) {}
+
+  std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override {
+    return utilization_points(opts);
+  }
+
+ protected:
+  analysis::PointResult run_point(
+      const analysis::SweepPoint& point,
+      const core::MonteCarloOptions& mc) const override {
+    std::vector<double> initial, final_bytes;
     std::mutex mu;
-    core::MonteCarloOptions opts;
-    opts.trials = trials;
-    opts.master_seed = 0xF16'6000 + static_cast<std::uint64_t>(gb);
+    core::MonteCarloOptions opts = mc;
     opts.observer = [&](std::size_t i, const core::TrialResult& r) {
+      std::lock_guard lock(mu);
+      if (i == 0) {
+        initial = r.initial_used_bytes;
+        final_bytes = r.final_used_bytes;
+      }
+    };
+    analysis::PointResult pr;
+    pr.point = point;
+    pr.result = core::run_monte_carlo(point.config, opts);
+    // Ten deterministic "random" disks from the first trial.
+    util::Xoshiro256 pick{42};
+    for (int i = 0; i < 10; ++i) {
+      const auto d = static_cast<std::size_t>(pick.below(initial.size()));
+      pr.extra.push_back(
+          {"disk_" + std::to_string(d) + "/initial_gb", initial[d] / util::kGB});
+      pr.extra.push_back({"disk_" + std::to_string(d) + "/final_gb",
+                          final_bytes[d] / util::kGB});
+    }
+    return pr;
+  }
+
+  std::string format(const analysis::ScenarioRun& run) const override {
+    std::ostringstream os;
+    for (const double gb : kGroupsGb) {
+      const analysis::PointResult& pr = run.at(point_label(gb));
+      util::Table fig6({"disk id", "initial (GB)", "after 6 years (GB)"});
+      for (std::size_t i = 0; i + 1 < pr.extra.size(); i += 2) {
+        const std::string& key = pr.extra[i].first;  // "disk_<id>/initial_gb"
+        const std::string id = key.substr(5, key.find('/') - 5);
+        fig6.add_row({id, util::fmt_fixed(pr.extra[i].second, 0),
+                      util::fmt_fixed(pr.extra[i + 1].second, 0)});
+      }
+      os << "Fig 6, group size = " << util::fmt_fixed(gb, 0)
+         << " GB (a failed disk shows 0 after 6 years):\n"
+         << fig6 << "\n";
+    }
+    return os.str();
+  }
+};
+
+class Table3Utilization final : public analysis::Scenario {
+ public:
+  Table3Utilization()
+      : Scenario({"table3_utilization",
+                  "Table 3: mean and stddev of disk utilization",
+                  "Xin et al., HPDC 2004, Table 3", 8}) {}
+
+  std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override {
+    return utilization_points(opts);
+  }
+
+ protected:
+  analysis::PointResult run_point(
+      const analysis::SweepPoint& point,
+      const core::MonteCarloOptions& mc) const override {
+    // Pool live-disk utilization across trials; failed disks carry no load
+    // and would drag the six-year mean down.
+    util::OnlineStats initial, final_live;
+    std::mutex mu;
+    core::MonteCarloOptions opts = mc;
+    opts.observer = [&](std::size_t, const core::TrialResult& r) {
       std::lock_guard lock(mu);
       for (std::size_t d = 0; d < r.initial_used_bytes.size(); ++d) {
         initial.add(r.initial_used_bytes[d] / util::kGB);
-        if (r.final_used_bytes[d] > 0.0) {  // failed disks carry no load
+        if (r.final_used_bytes[d] > 0.0) {
           final_live.add(r.final_used_bytes[d] / util::kGB);
         }
       }
-      if (i == 0) {
-        fig6_initial = r.initial_used_bytes;
-        fig6_final = r.final_used_bytes;
-      }
     };
-    (void)core::run_monte_carlo(cfg, opts);
-
-    table3.add_row({util::fmt_fixed(gb, 0) + " GB",
-                    util::fmt_fixed(initial.mean(), 1) + " GB",
-                    util::fmt_fixed(initial.stddev(), 2) + " GB",
-                    util::fmt_fixed(final_live.mean(), 1) + " GB",
-                    util::fmt_fixed(final_live.stddev(), 2) + " GB"});
-
-    // Fig 6: ten deterministic "random" disks from the first trial.
-    util::Table fig6({"disk id", "initial (GB)", "after 6 years (GB)"});
-    util::Xoshiro256 pick{42};
-    for (int i = 0; i < 10; ++i) {
-      const auto d = static_cast<std::size_t>(pick.below(fig6_initial.size()));
-      fig6.add_row({std::to_string(d),
-                    util::fmt_fixed(fig6_initial[d] / util::kGB, 0),
-                    util::fmt_fixed(fig6_final[d] / util::kGB, 0)});
-    }
-    std::cout << "Fig 6, group size = " << gb
-              << " GB (a failed disk shows 0 after 6 years):\n"
-              << fig6 << "\n";
+    analysis::PointResult pr;
+    pr.point = point;
+    pr.result = core::run_monte_carlo(point.config, opts);
+    pr.extra.push_back({"initial_mean_gb", initial.mean()});
+    pr.extra.push_back({"initial_stddev_gb", initial.stddev()});
+    pr.extra.push_back({"final_live_mean_gb", final_live.mean()});
+    pr.extra.push_back({"final_live_stddev_gb", final_live.stddev()});
+    return pr;
   }
 
-  std::cout << "Table 3: mean and standard deviation of disk utilization\n"
-            << table3
-            << "\nExpected shape: identical means across group sizes (~400 GB\n"
-               "initial, ~440-450 GB after six years on survivors); stddev\n"
-               "grows with group size (paper: 1.41 -> 18.3 GB initial).\n";
-  return 0;
-}
+  std::string format(const analysis::ScenarioRun& run) const override {
+    util::Table table3({"group size", "initial mean", "initial stddev",
+                        "6y mean (live disks)", "6y stddev"});
+    for (const double gb : kGroupsGb) {
+      const analysis::PointResult& pr = run.at(point_label(gb));
+      table3.add_row({point_label(gb),
+                      util::fmt_fixed(pr.extra[0].second, 1) + " GB",
+                      util::fmt_fixed(pr.extra[1].second, 2) + " GB",
+                      util::fmt_fixed(pr.extra[2].second, 1) + " GB",
+                      util::fmt_fixed(pr.extra[3].second, 2) + " GB"});
+    }
+    std::ostringstream os;
+    os << table3
+       << "\nExpected shape: identical means across group sizes (~400 GB\n"
+          "initial, ~440-450 GB after six years on survivors); stddev\n"
+          "grows with group size (paper: 1.41 -> 18.3 GB initial).\n";
+    return os.str();
+  }
+};
+
+FARM_REGISTER_SCENARIO(Fig6Utilization);
+FARM_REGISTER_SCENARIO(Table3Utilization);
+
+}  // namespace

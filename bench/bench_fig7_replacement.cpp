@@ -6,44 +6,65 @@
 // bathtub (the "cohort effect"), but with 10 GB groups only ~10 % of disks
 // fail in six years, so batches are small and the paper finds no visible
 // effect: the four bars are flat within their confidence intervals.
-#include "bench_common.hpp"
+#include <sstream>
 
-int main() {
-  using namespace farm;
-  bench::Stopwatch timer;
-  const std::size_t trials = core::bench_trials(60);
-  bench::print_header("Figure 7: batch replacement timing vs reliability",
-                      "Xin et al., HPDC 2004, Fig. 7", trials);
+#include "analysis/scenario.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
 
-  std::vector<analysis::SweepPoint> points;
-  for (const double pct : {0.02, 0.04, 0.06, 0.08, -1.0}) {
-    core::SystemConfig cfg = analysis::apply_env_scale(analysis::paper_base_config());
-    cfg.detection_latency = util::seconds(30);
-    cfg.stop_at_first_loss = false;  // batches must keep landing after a loss
-    if (pct > 0.0) {
-      cfg.replacement.enabled = true;
-      cfg.replacement.loss_fraction_threshold = pct;
-      points.push_back({util::fmt_percent(pct, 0) + " replacement", cfg});
-    } else {
-      points.push_back({"no replacement", cfg});
+namespace {
+
+using namespace farm;
+
+constexpr double kThresholds[] = {0.02, 0.04, 0.06, 0.08, -1.0};
+
+class Fig7Replacement final : public analysis::Scenario {
+ public:
+  Fig7Replacement()
+      : Scenario({"fig7_replacement",
+                  "Figure 7: batch replacement timing vs reliability",
+                  "Xin et al., HPDC 2004, Fig. 7", 60}) {}
+
+  std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override {
+    std::vector<analysis::SweepPoint> points;
+    for (const double pct : kThresholds) {
+      core::SystemConfig cfg = base_config(opts);
+      cfg.detection_latency = util::seconds(30);
+      cfg.stop_at_first_loss = false;  // batches must keep landing after a loss
+      if (pct > 0.0) {
+        cfg.replacement.enabled = true;
+        cfg.replacement.loss_fraction_threshold = pct;
+        points.push_back({util::fmt_percent(pct, 0) + " replacement", cfg});
+      } else {
+        points.push_back({"no replacement", cfg});
+      }
     }
+    // Note: the paper replaces at 20-80 % of *failed* disks; with ~11 % of
+    // 10,000 disks failing in six years we express the thresholds as the same
+    // batch cadence relative to the population (2 %, 4 %, 6 %, 8 % of total),
+    // giving the paper's "about five batches at the smallest setting, about
+    // one at the largest".
+    return points;
   }
-  // Note: the paper replaces at 20-80 % of *failed* disks; with ~11 % of
-  // 10,000 disks failing in six years we express the thresholds as the same
-  // batch cadence relative to the population (2 %, 4 %, 6 %, 8 % of total),
-  // giving the paper's "about five batches at the smallest setting, about
-  // one at the largest".
-  const auto results = analysis::run_sweep(points, trials, 0xF16'7000);
 
-  util::Table table({"replacement threshold", "P(loss) [95% CI]",
-                     "batches/trial", "migrated blocks/trial"});
-  for (const auto& r : results) {
-    table.add_row({r.point.label, analysis::loss_cell(r.result),
-                   util::fmt_fixed(r.result.mean_batches, 1),
-                   util::fmt_fixed(r.result.mean_migrated_blocks, 0)});
+ protected:
+  std::string format(const analysis::ScenarioRun& run) const override {
+    util::Table table({"replacement threshold", "P(loss) [95% CI]",
+                       "batches/trial", "migrated blocks/trial"});
+    for (const analysis::PointResult& r : run.points) {
+      table.add_row({r.point.label, analysis::loss_cell(r.result),
+                     util::fmt_fixed(r.result.mean_batches, 1),
+                     util::fmt_fixed(r.result.mean_migrated_blocks, 0)});
+    }
+    std::ostringstream os;
+    os << table
+       << "\nExpected shape: all thresholds statistically indistinguishable\n"
+          "(overlapping CIs) - no visible cohort effect at 10 GB groups.\n";
+    return os.str();
   }
-  std::cout << table
-            << "\nExpected shape: all thresholds statistically indistinguishable\n"
-               "(overlapping CIs) - no visible cohort effect at 10 GB groups.\n";
-  return 0;
-}
+};
+
+FARM_REGISTER_SCENARIO(Fig7Replacement);
+
+}  // namespace

@@ -1,58 +1,97 @@
 // Figure 8 — probability of data loss vs total system capacity
 // (0.1 - 5 PB) for all six redundancy configurations under FARM, with
-// 10 GB groups:
-//   (a) disks with the Table 1 failure rates, and
-//   (b) disks failing at twice those rates (worse vintage).
+// 10 GB groups.  Registered as two scenarios:
+//   fig8a — disks with the Table 1 failure rates, and
+//   fig8b — disks failing at twice those rates (worse vintage).
 //
 // Paper shape: P(loss) grows roughly linearly with capacity; a 5 PB system
 // with 1/2 + FARM reaches several percent while 1/3, 4/6 and 8/10 stay
 // below 0.1 %; doubling the hazard more than doubles P(loss).
-#include "bench_common.hpp"
+#include <sstream>
 
-int main() {
-  using namespace farm;
-  bench::Stopwatch timer;
-  const std::size_t trials = core::bench_trials(20);
-  bench::print_header("Figure 8: reliability vs system scale",
-                      "Xin et al., HPDC 2004, Fig. 8(a)/(b)", trials);
+#include "analysis/scenario.hpp"
+#include "erasure/scheme.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
 
-  const double capacities_pb[] = {0.1, 0.5, 1.0, 2.0, 5.0};
+namespace {
 
-  for (const double hazard : {1.0, 2.0}) {
+using namespace farm;
+
+constexpr double kCapacitiesPb[] = {0.1, 0.5, 1.0, 2.0, 5.0};
+
+std::string point_label(const erasure::Scheme& scheme, double pb) {
+  return scheme.str() + "@" + util::fmt_fixed(pb, 1) + "PB";
+}
+
+class Fig8SystemScale final : public analysis::Scenario {
+ public:
+  Fig8SystemScale(char variant, double hazard)
+      : Scenario({std::string("fig8") + variant + "_system_scale",
+                  std::string("Figure 8(") + variant +
+                      "): reliability vs system scale, " +
+                      (hazard == 1.0 ? "Table 1 failure rates"
+                                     : "doubled failure rates"),
+                  std::string("Xin et al., HPDC 2004, Fig. 8(") + variant + ")",
+                  20}),
+        variant_(variant),
+        hazard_(hazard) {}
+
+  std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override {
     std::vector<analysis::SweepPoint> points;
     for (const auto& scheme : erasure::paper_schemes()) {
-      for (const double pb : capacities_pb) {
-        core::SystemConfig cfg = analysis::apply_env_scale(analysis::paper_base_config());
+      for (const double pb : kCapacitiesPb) {
+        core::SystemConfig cfg = base_config(opts);
         cfg.total_user_data = cfg.total_user_data * (pb / 2.0);  // base is 2 PB
         cfg.scheme = scheme;
-        cfg.hazard_scale = hazard;
+        // A heavily scaled-down 0.1 PB point can end up with fewer disks
+        // than the widest scheme has blocks; grow it to the smallest valid
+        // system instead of aborting the whole sweep.
+        while (cfg.disk_count() < scheme.total_blocks) {
+          cfg.total_user_data = cfg.total_user_data * 2.0;
+        }
+        cfg.hazard_scale = hazard_;
         cfg.detection_latency = util::seconds(30);
         cfg.stop_at_first_loss = true;
-        points.push_back(
-            {scheme.str() + "@" + util::fmt_fixed(pb, 1) + "PB", cfg});
+        points.push_back({point_label(scheme, pb), cfg});
       }
     }
-    const auto results =
-        analysis::run_sweep(points, trials, 0xF16'8000 + static_cast<std::uint64_t>(hazard));
+    return points;
+  }
 
+ protected:
+  std::string format(const analysis::ScenarioRun& run) const override {
     std::vector<std::string> headers = {"capacity (PB)"};
-    for (const auto& scheme : erasure::paper_schemes()) headers.push_back(scheme.str());
+    for (const auto& scheme : erasure::paper_schemes()) {
+      headers.push_back(scheme.str());
+    }
     util::Table table(headers);
-    for (std::size_t ci = 0; ci < std::size(capacities_pb); ++ci) {
-      std::vector<std::string> row = {util::fmt_fixed(capacities_pb[ci], 1)};
-      for (std::size_t si = 0; si < erasure::paper_schemes().size(); ++si) {
+    for (const double pb : kCapacitiesPb) {
+      std::vector<std::string> row = {util::fmt_fixed(pb, 1)};
+      for (const auto& scheme : erasure::paper_schemes()) {
         row.push_back(util::fmt_percent(
-            results[si * std::size(capacities_pb) + ci].result.loss_probability(),
-            1));
+            run.at(point_label(scheme, pb)).result.loss_probability(), 1));
       }
       table.add_row(row);
     }
-    std::cout << "Fig 8(" << (hazard == 1.0 ? 'a' : 'b') << "): failure rates "
-              << (hazard == 1.0 ? "from Table 1" : "doubled (worse vintage)")
-              << "\n"
-              << table << "\n";
+    std::ostringstream os;
+    os << "Fig 8(" << variant_ << "): failure rates "
+       << (hazard_ == 1.0 ? "from Table 1" : "doubled (worse vintage)") << "\n"
+       << table
+       << "\nExpected shape: roughly linear growth with capacity; doubling\n"
+          "the hazard more than doubles P(loss) (paper §3.7).\n";
+    return os.str();
   }
-  std::cout << "Expected shape: roughly linear growth with capacity; doubling\n"
-               "the hazard more than doubles P(loss) (paper §3.7).\n";
-  return 0;
-}
+
+ private:
+  char variant_;
+  double hazard_;
+};
+
+const analysis::ScenarioRegistrar fig8a_registrar{
+    std::make_unique<Fig8SystemScale>('a', 1.0)};
+const analysis::ScenarioRegistrar fig8b_registrar{
+    std::make_unique<Fig8SystemScale>('b', 2.0)};
+
+}  // namespace

@@ -5,58 +5,120 @@
 // tabulates.  Also reports the six-year cumulative failure fraction, which
 // the paper's prose puts at roughly 10 % (the "about 1,100 failures among
 // 10,000 disks" behind every other experiment).
-#include "bench_common.hpp"
+//
+// Not a Monte-Carlo sweep: `trials` scales the lifetime sample count
+// (samples = trials x 1000, default 500,000), so execute() is overridden and
+// the per-point MonteCarloResult stays empty.
+#include <sstream>
+
+#include "analysis/scenario.hpp"
 #include "disk/failure_model.hpp"
 #include "util/random.hpp"
+#include "util/table.hpp"
 #include "util/units.hpp"
 
-int main() {
-  using namespace farm;
-  bench::Stopwatch timer;
-  const int samples = 500000;
-  bench::print_header("Table 1: disk failure rates per 1000 hours",
-                      "Xin et al., HPDC 2004, Table 1", samples);
+namespace {
 
-  const auto model = disk::BathtubFailureModel::paper_table1();
-  util::Xoshiro256 rng{2004};
+using namespace farm;
 
-  const double edges[] = {0.0, util::months(3).value(), util::months(6).value(),
-                          util::months(12).value(), util::months(72).value()};
-  const char* labels[] = {"0-3 mo", "3-6 mo", "6-12 mo", "12+ mo"};
-  const double paper[] = {0.50, 0.35, 0.25, 0.20};
+struct Band {
+  const char* label;
+  double paper_rate;  // %/1000h from the paper's Table 1
+};
 
-  double at_risk[4] = {};
-  long deaths[4] = {};
-  long dead_by_6y = 0;
-  for (int i = 0; i < samples; ++i) {
-    const double t = model.sample_lifetime(rng).value();
-    if (t <= util::years(6).value()) ++dead_by_6y;
-    for (int b = 0; b < 4; ++b) {
-      if (t >= edges[b + 1]) {
-        at_risk[b] += edges[b + 1] - edges[b];
-      } else if (t > edges[b]) {
-        at_risk[b] += t - edges[b];
-        ++deaths[b];
-        break;
-      } else {
-        break;
+constexpr Band kBands[] = {
+    {"0-3 mo", 0.50}, {"3-6 mo", 0.35}, {"6-12 mo", 0.25}, {"12+ mo", 0.20}};
+
+class Table1FailureModel final : public analysis::Scenario {
+ public:
+  Table1FailureModel()
+      : Scenario({"table1_failure_model",
+                  "Table 1: disk failure rates per 1000 hours",
+                  "Xin et al., HPDC 2004, Table 1", 500}) {}
+
+  std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override {
+    std::vector<analysis::SweepPoint> points;
+    for (const Band& b : kBands) points.push_back({b.label, base_config(opts)});
+    return points;
+  }
+
+ protected:
+  void execute(const analysis::ScenarioOptions& opts,
+               std::uint64_t scenario_seed,
+               analysis::ScenarioRun& out) const override {
+    const std::size_t samples = out.trials * 1000;
+    const auto model = disk::BathtubFailureModel::paper_table1();
+    util::Xoshiro256 rng{scenario_seed};
+
+    const double edges[] = {0.0, util::months(3).value(),
+                            util::months(6).value(), util::months(12).value(),
+                            util::months(72).value()};
+    double at_risk[4] = {};
+    long deaths[4] = {};
+    long dead_by_6y = 0;
+    for (std::size_t i = 0; i < samples; ++i) {
+      const double t = model.sample_lifetime(rng).value();
+      if (t <= util::years(6).value()) ++dead_by_6y;
+      for (int b = 0; b < 4; ++b) {
+        if (t >= edges[b + 1]) {
+          at_risk[b] += edges[b + 1] - edges[b];
+        } else if (t > edges[b]) {
+          at_risk[b] += t - edges[b];
+          ++deaths[b];
+          break;
+        } else {
+          break;
+        }
       }
     }
+
+    const std::vector<analysis::SweepPoint> points = build_points(opts);
+    for (int b = 0; b < 4; ++b) {
+      analysis::PointResult pr;
+      pr.point = points[static_cast<std::size_t>(b)];
+      pr.seed = scenario_seed;
+      const double measured = at_risk[b] > 0.0
+                                  ? static_cast<double>(deaths[b]) / at_risk[b] *
+                                        3600.0 * 1000.0 * 100.0
+                                  : 0.0;
+      pr.extra.push_back({"paper_rate_pct_per_1000h", kBands[b].paper_rate});
+      pr.extra.push_back({"measured_rate_pct_per_1000h", measured});
+      out.points.push_back(std::move(pr));
+      if (opts.progress) opts.progress(kBands[b].label);
+    }
+    out.extra.push_back({"lifetime_samples", static_cast<double>(samples)});
+    out.extra.push_back(
+        {"cumulative_failures_6y",
+         static_cast<double>(dead_by_6y) / static_cast<double>(samples)});
+    out.extra.push_back({"analytic_cdf_6y", model.cdf(util::years(6))});
   }
 
-  util::Table table({"disk age", "paper rate (%/1000h)", "measured (%/1000h)"});
-  for (int b = 0; b < 4; ++b) {
-    const double measured =
-        static_cast<double>(deaths[b]) / at_risk[b] * 3600.0 * 1000.0 * 100.0;
-    table.add_row({labels[b], util::fmt_fixed(paper[b], 2),
-                   util::fmt_fixed(measured, 3)});
+  std::string format(const analysis::ScenarioRun& run) const override {
+    util::Table table(
+        {"disk age", "paper rate (%/1000h)", "measured (%/1000h)"});
+    for (const Band& b : kBands) {
+      const analysis::PointResult& pr = run.at(b.label);
+      table.add_row({b.label, util::fmt_fixed(b.paper_rate, 2),
+                     util::fmt_fixed(pr.extra[1].second, 3)});
+    }
+    std::ostringstream os;
+    os << table << "\n";
+    const auto scenario_extra = [&](std::string_view key) {
+      for (const auto& [k, v] : run.extra) {
+        if (k == key) return v;
+      }
+      return 0.0;
+    };
+    os << "Cumulative failures within 6 years: "
+       << util::fmt_percent(scenario_extra("cumulative_failures_6y"), 2)
+       << "  (paper prose: ~10% -> ~1,100 of 10,000 disks)\n"
+       << "Analytic CDF at 6 years:            "
+       << util::fmt_percent(scenario_extra("analytic_cdf_6y"), 2) << "\n";
+    return os.str();
   }
-  std::cout << table << "\n";
+};
 
-  std::cout << "Cumulative failures within 6 years: "
-            << util::fmt_percent(static_cast<double>(dead_by_6y) / samples, 2)
-            << "  (paper prose: ~10% -> ~1,100 of 10,000 disks)\n"
-            << "Analytic CDF at 6 years:            "
-            << util::fmt_percent(model.cdf(util::years(6)), 2) << "\n";
-  return 0;
-}
+FARM_REGISTER_SCENARIO(Table1FailureModel);
+
+}  // namespace

@@ -1,0 +1,194 @@
+// farm_bench — the one driver for every figure/table reproduction.
+//
+//   farm_bench --list                 enumerate registered scenarios
+//   farm_bench                        run everything (paper defaults)
+//   farm_bench --filter 'fig3*'       run a glob-selected subset
+//   farm_bench --trials 5 --scale 0.1 quick pass at reduced fidelity
+//   farm_bench --seed 42              change the master seed
+//   farm_bench --json out/            also write out/<scenario>.json
+//
+// FARM_TRIALS / FARM_SCALE remain as environment fallbacks for the flags.
+// Per-point seeds derive from (master seed, scenario name, point label), so
+// a filtered run reproduces the full suite's numbers bit-for-bit.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/scenario.hpp"
+#include "util/table.hpp"
+
+#ifndef FARM_GIT_DESCRIBE
+#define FARM_GIT_DESCRIBE "unknown"
+#endif
+
+namespace {
+
+using namespace farm;
+
+int usage(std::ostream& os, int exit_code) {
+  os << "usage: farm_bench [options]\n"
+        "  --list           list registered scenarios and exit\n"
+        "  --filter GLOB    run only scenarios matching GLOB (* and ?)\n"
+        "  --trials N       Monte-Carlo trials per point (default: per-scenario;\n"
+        "                   env fallback FARM_TRIALS)\n"
+        "  --scale X        scale the paper's 2 PB base system by X\n"
+        "                   (default 1.0; env fallback FARM_SCALE)\n"
+        "  --seed S         master seed (default "
+     << analysis::kDefaultMasterSeed << ")\n"
+        "  --json DIR       write DIR/<scenario>.json for each run\n"
+        "  -h, --help       this message\n";
+  return exit_code;
+}
+
+struct Args {
+  bool list = false;
+  std::string filter = "*";
+  std::optional<std::size_t> trials;
+  std::optional<double> scale;
+  std::uint64_t seed = analysis::kDefaultMasterSeed;
+  std::optional<std::string> json_dir;
+};
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args args;
+  const auto next = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      throw std::invalid_argument(std::string(flag) + " requires a value");
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "-h" || a == "--help") {
+      usage(std::cout, 0);
+      return std::nullopt;
+    } else if (a == "--list") {
+      args.list = true;
+    } else if (a == "--filter") {
+      args.filter = next(i, "--filter");
+    } else if (a == "--trials") {
+      const char* v = next(i, "--trials");
+      char* end = nullptr;
+      const long long n = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || n <= 0) {
+        throw std::invalid_argument("--trials expects a positive integer, got '" +
+                                    std::string(v) + "'");
+      }
+      args.trials = static_cast<std::size_t>(n);
+    } else if (a == "--scale") {
+      const char* v = next(i, "--scale");
+      char* end = nullptr;
+      const double x = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(x > 0.0)) {
+        throw std::invalid_argument("--scale expects a positive number, got '" +
+                                    std::string(v) + "'");
+      }
+      args.scale = x;
+    } else if (a == "--seed") {
+      const char* v = next(i, "--seed");
+      char* end = nullptr;
+      const unsigned long long s = std::strtoull(v, &end, 0);
+      if (end == v || *end != '\0') {
+        throw std::invalid_argument("--seed expects an integer, got '" +
+                                    std::string(v) + "'");
+      }
+      args.seed = s;
+    } else if (a == "--json") {
+      args.json_dir = next(i, "--json");
+    } else {
+      throw std::invalid_argument("unknown option '" + std::string(a) + "'");
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<Args> parsed;
+  try {
+    parsed = parse_args(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "farm_bench: " << e.what() << "\n\n";
+    return usage(std::cerr, 2);
+  }
+  if (!parsed) return 0;  // --help
+  const Args& args = *parsed;
+
+  const auto& registry = analysis::ScenarioRegistry::instance();
+  if (args.list) {
+    for (const analysis::Scenario* s : registry.all()) {
+      std::cout << s->info().name << "  -  " << s->info().title << " ["
+                << s->info().paper_ref << "]\n";
+    }
+    return 0;
+  }
+
+  const std::vector<const analysis::Scenario*> selected =
+      registry.match(args.filter);
+  if (selected.empty()) {
+    std::cerr << "farm_bench: no scenario matches '" << args.filter
+              << "'; available:\n";
+    for (const analysis::Scenario* s : registry.all()) {
+      std::cerr << "  " << s->info().name << "\n";
+    }
+    return 1;
+  }
+
+  analysis::ScenarioOptions opts;
+  try {
+    // CLI wins; FARM_TRIALS / FARM_SCALE are validated fallbacks.
+    opts.trials = args.trials ? *args.trials : 0;
+    if (!args.trials) {
+      // Resolved per scenario below (each has its own default); only the env
+      // override is global.
+      if (const auto env = analysis::resolve_trials(std::nullopt, 0); env > 0) {
+        opts.trials = env;
+      }
+    }
+    opts.scale = analysis::resolve_scale(args.scale);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "farm_bench: " << e.what() << "\n";
+    return 2;
+  }
+  opts.master_seed = args.seed;
+
+  if (args.json_dir) {
+    std::error_code ec;
+    std::filesystem::create_directories(*args.json_dir, ec);
+    if (ec) {
+      std::cerr << "farm_bench: cannot create '" << *args.json_dir
+                << "': " << ec.message() << "\n";
+      return 2;
+    }
+  }
+
+  for (const analysis::Scenario* s : selected) {
+    const analysis::ScenarioRun run = s->run(opts);
+    std::cout << "=== " << run.title << " [" << run.name << "] ===\n"
+              << "Reproduces: " << run.paper_ref << "\n"
+              << "trials/point: " << run.trials << "  scale: " << run.scale
+              << "  master seed: " << run.master_seed << "\n\n"
+              << run.rendered << "\n[" << run.name << ": "
+              << run.points.size() << " points, "
+              << util::fmt_fixed(run.elapsed_sec, 1) << " s]\n\n";
+
+    if (args.json_dir) {
+      const std::filesystem::path path =
+          std::filesystem::path(*args.json_dir) / (run.name + ".json");
+      std::ofstream out(path);
+      if (!out) {
+        std::cerr << "farm_bench: cannot write '" << path.string() << "'\n";
+        return 2;
+      }
+      out << analysis::to_json(run, FARM_GIT_DESCRIBE);
+      std::cout << "wrote " << path.string() << "\n\n";
+    }
+  }
+  return 0;
+}

@@ -1,7 +1,11 @@
 #include "analysis/experiment.hpp"
 
-#include <cstdlib>
+#include <chrono>
+#include <stdexcept>
+#include <unordered_set>
 
+#include "util/env.hpp"
+#include "util/random.hpp"
 #include "util/table.hpp"
 
 namespace farm::analysis {
@@ -11,39 +15,70 @@ core::SystemConfig paper_base_config() {
   return cfg;
 }
 
+core::SystemConfig scale_config(core::SystemConfig config, double scale) {
+  if (!(scale > 0.0)) {
+    throw std::invalid_argument("scale must be positive, got " +
+                                std::to_string(scale));
+  }
+  config.total_user_data = config.total_user_data * scale;
+  if (config.group_size > config.total_user_data) {
+    config.group_size = config.total_user_data;
+  }
+  return config;
+}
+
 core::SystemConfig scaled_config(double scale) {
-  core::SystemConfig cfg = paper_base_config();
-  cfg.total_user_data = cfg.total_user_data * scale;
-  if (cfg.group_size > cfg.total_user_data) cfg.group_size = cfg.total_user_data;
-  return cfg;
+  return scale_config(paper_base_config(), scale);
 }
 
 core::SystemConfig apply_env_scale(core::SystemConfig config) {
-  if (const char* env = std::getenv("FARM_SCALE")) {
-    const double s = std::strtod(env, nullptr);
-    if (s > 0.0 && s != 1.0) {
-      config.total_user_data = config.total_user_data * s;
-      if (config.group_size > config.total_user_data) {
-        config.group_size = config.total_user_data;
-      }
-    }
+  return scale_config(std::move(config), resolve_scale(std::nullopt));
+}
+
+std::size_t resolve_trials(std::optional<std::size_t> cli, std::size_t fallback) {
+  if (cli) {
+    if (*cli == 0) throw std::invalid_argument("--trials must be positive");
+    return *cli;
   }
-  return config;
+  return util::env_positive_int("FARM_TRIALS").value_or(fallback);
+}
+
+double resolve_scale(std::optional<double> cli) {
+  if (cli) {
+    if (!(*cli > 0.0)) throw std::invalid_argument("--scale must be positive");
+    return *cli;
+  }
+  return util::env_positive_double("FARM_SCALE").value_or(1.0);
+}
+
+std::uint64_t point_seed(std::uint64_t master_seed, std::string_view label) {
+  return util::hash_combine(master_seed, util::hash_string(label));
 }
 
 std::vector<SweepResult> run_sweep(
     const std::vector<SweepPoint>& points, std::size_t trials,
     std::uint64_t master_seed,
     const std::function<void(const std::string&)>& progress) {
+  std::unordered_set<std::string_view> labels;
+  for (const SweepPoint& p : points) {
+    if (!labels.insert(p.label).second) {
+      throw std::invalid_argument("duplicate sweep label '" + p.label +
+                                  "' would share a seed");
+    }
+  }
+
   std::vector<SweepResult> results;
   results.reserve(points.size());
-  for (std::size_t i = 0; i < points.size(); ++i) {
+  for (const SweepPoint& p : points) {
     core::MonteCarloOptions opts;
     opts.trials = trials;
-    // Distinct seed space per point, stable across reordering of points.
-    opts.master_seed = util::hash_combine(master_seed, i);
-    results.push_back(SweepResult{points[i], run_monte_carlo(points[i].config, opts)});
-    if (progress) progress(points[i].label);
+    opts.master_seed = point_seed(master_seed, p.label);
+    const auto start = std::chrono::steady_clock::now();
+    core::MonteCarloResult r = run_monte_carlo(p.config, opts);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start;
+    results.push_back(SweepResult{p, std::move(r), opts.master_seed, dt.count()});
+    if (progress) progress(p.label);
   }
   return results;
 }

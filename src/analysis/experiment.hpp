@@ -1,10 +1,13 @@
-// Experiment harness shared by the bench binaries: paper-default configs,
-// labelled parameter sweeps, and uniform result formatting, so every
-// figure/table reproduction prints comparable rows.
+// Experiment engine shared by the scenario layer and the tools: paper-default
+// configs, labelled parameter sweeps with label-derived seeds and per-point
+// timing, centralized FARM_TRIALS / FARM_SCALE resolution, and uniform result
+// formatting, so every figure/table reproduction prints comparable rows.
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "farm/config.hpp"
@@ -16,16 +19,33 @@ namespace farm::analysis {
 /// 30 s detection, 16 MB/s recovery, FARM.
 [[nodiscard]] core::SystemConfig paper_base_config();
 
-/// A scaled-down variant for tests and quick examples: `scale` multiplies
-/// total user data (0.01 -> 20 TB, ~100 disks).  All other knobs stay at
-/// paper values, so behaviour is qualitatively identical but trials run in
-/// milliseconds.
+/// Multiplies a config's total user data by `scale` (clamping the group size
+/// so a group never exceeds the system).  Throws std::invalid_argument for
+/// non-positive scales.
+[[nodiscard]] core::SystemConfig scale_config(core::SystemConfig config, double scale);
+
+/// A scaled-down paper system for tests and quick examples: `scale`
+/// multiplies total user data (0.01 -> 20 TB, ~100 disks).  All other knobs
+/// stay at paper values, so behaviour is qualitatively identical but trials
+/// run in milliseconds.
 [[nodiscard]] core::SystemConfig scaled_config(double scale);
 
-/// Reads the FARM_SCALE environment variable (default 1.0) and multiplies
-/// a config's total user data by it — lets the full bench suite be smoke-run
-/// quickly (FARM_SCALE=0.05) without editing sources.
+/// Applies the FARM_SCALE environment variable (default 1.0) to a config —
+/// lets the full scenario suite be smoke-run quickly (FARM_SCALE=0.05)
+/// without editing sources.  Malformed or non-positive values throw
+/// std::invalid_argument via the central util::env parser.
 [[nodiscard]] core::SystemConfig apply_env_scale(core::SystemConfig config);
+
+/// Trial-count resolution used by the farm_bench driver: an explicit CLI
+/// value wins, else the validated FARM_TRIALS environment variable, else the
+/// scenario's own default.
+[[nodiscard]] std::size_t resolve_trials(std::optional<std::size_t> cli,
+                                         std::size_t fallback);
+
+/// Scale resolution used by the farm_bench driver: an explicit CLI value
+/// wins (must be positive), else the validated FARM_SCALE environment
+/// variable, else 1.0.
+[[nodiscard]] double resolve_scale(std::optional<double> cli);
 
 struct SweepPoint {
   std::string label;
@@ -35,10 +55,23 @@ struct SweepPoint {
 struct SweepResult {
   SweepPoint point;
   core::MonteCarloResult result;
+  /// The Monte-Carlo master seed this point actually ran with — derived
+  /// from (sweep master seed, label), never from the point's position.
+  std::uint64_t seed = 0;
+  /// Wall-clock seconds spent on this point.
+  double elapsed_sec = 0.0;
 };
 
-/// Runs every point with the same trial count and seed discipline;
-/// `progress` (optional) receives each label as it finishes.
+/// The per-point seed derivation: hash of the sweep's master seed and the
+/// point's label.  Reordering, filtering, or subsetting a sweep therefore
+/// reproduces identical per-point numbers.
+[[nodiscard]] std::uint64_t point_seed(std::uint64_t master_seed,
+                                       std::string_view label);
+
+/// Runs every point with the same trial count and label-derived seeds, and
+/// records per-point wall-clock time; `progress` (optional) receives each
+/// label as it finishes.  Duplicate labels throw std::invalid_argument (they
+/// would silently share a seed).
 [[nodiscard]] std::vector<SweepResult> run_sweep(
     const std::vector<SweepPoint>& points, std::size_t trials,
     std::uint64_t master_seed,

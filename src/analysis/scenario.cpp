@@ -1,0 +1,194 @@
+#include "analysis/scenario.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "farm/serialize.hpp"
+#include "util/json.hpp"
+
+namespace farm::analysis {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - start;
+  return dt.count();
+}
+
+void write_extra(util::JsonWriter& w,
+                 const std::vector<std::pair<std::string, double>>& extra) {
+  if (extra.empty()) return;
+  w.key("extra");
+  w.begin_object();
+  for (const auto& [k, v] : extra) w.kv(k, v);
+  w.end_object();
+}
+
+}  // namespace
+
+const PointResult* ScenarioRun::find(std::string_view label) const {
+  for (const PointResult& p : points) {
+    if (p.point.label == label) return &p;
+  }
+  return nullptr;
+}
+
+const PointResult& ScenarioRun::at(std::string_view label) const {
+  const PointResult* p = find(label);
+  if (!p) {
+    throw std::out_of_range(name + ": no point labelled '" +
+                            std::string(label) + "'");
+  }
+  return *p;
+}
+
+ScenarioRun Scenario::run(const ScenarioOptions& opts) const {
+  ScenarioRun out;
+  out.name = info_.name;
+  out.title = info_.title;
+  out.paper_ref = info_.paper_ref;
+  out.trials = opts.trials ? opts.trials : info_.default_trials;
+  out.scale = opts.scale;
+  out.master_seed = opts.master_seed;
+
+  const std::uint64_t scenario_seed = point_seed(opts.master_seed, info_.name);
+  const auto start = std::chrono::steady_clock::now();
+  execute(opts, scenario_seed, out);
+  out.elapsed_sec = seconds_since(start);
+
+  std::unordered_set<std::string_view> labels;
+  for (const PointResult& p : out.points) {
+    if (!labels.insert(p.point.label).second) {
+      throw std::logic_error(info_.name + ": duplicate point label '" +
+                             p.point.label + "' would share a seed");
+    }
+  }
+  out.rendered = format(out);
+  return out;
+}
+
+void Scenario::execute(const ScenarioOptions& opts, std::uint64_t scenario_seed,
+                       ScenarioRun& out) const {
+  const std::vector<SweepPoint> points = build_points(opts);
+  if (points.empty()) {
+    throw std::logic_error(info_.name + ": build_points produced no points");
+  }
+  out.points.reserve(points.size());
+  for (const SweepPoint& p : points) {
+    core::MonteCarloOptions mc;
+    mc.trials = out.trials;
+    mc.master_seed = point_seed(scenario_seed, p.label);
+    const auto start = std::chrono::steady_clock::now();
+    PointResult pr = run_point(p, mc);
+    pr.seed = mc.master_seed;
+    pr.elapsed_sec = seconds_since(start);
+    out.points.push_back(std::move(pr));
+    if (opts.progress) opts.progress(p.label);
+  }
+}
+
+PointResult Scenario::run_point(const SweepPoint& point,
+                                const core::MonteCarloOptions& mc) const {
+  PointResult pr;
+  pr.point = point;
+  pr.result = core::run_monte_carlo(point.config, mc);
+  return pr;
+}
+
+core::SystemConfig Scenario::base_config(const ScenarioOptions& opts) {
+  return scale_config(paper_base_config(), opts.scale);
+}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(std::unique_ptr<Scenario> scenario) {
+  const std::string& name = scenario->info().name;
+  if (!scenarios_.emplace(name, std::move(scenario)).second) {
+    throw std::invalid_argument("duplicate scenario name '" + name + "'");
+  }
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Scenario*> ScenarioRegistry::all() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [_, s] : scenarios_) out.push_back(s.get());
+  return out;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::match(std::string_view glob) const {
+  std::vector<const Scenario*> out;
+  for (const auto& [name, s] : scenarios_) {
+    if (glob_match(glob, name)) out.push_back(s.get());
+  }
+  return out;
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative matcher with one-star backtracking.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+std::string to_json(const ScenarioRun& run, std::string_view git_describe) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("scenario", run.name);
+  w.kv("title", run.title);
+  w.kv("paper_ref", run.paper_ref);
+  w.kv("git_describe", git_describe);
+  w.kv("trials", run.trials);
+  w.kv("scale", run.scale);
+  w.kv("master_seed", std::to_string(run.master_seed));
+  w.kv("elapsed_sec", run.elapsed_sec);
+  write_extra(w, run.extra);
+  w.key("points");
+  w.begin_array();
+  for (const PointResult& p : run.points) {
+    w.begin_object();
+    w.kv("label", p.point.label);
+    w.kv("seed", std::to_string(p.seed));
+    w.kv("elapsed_sec", p.elapsed_sec);
+    w.key("config");
+    core::write_json(w, p.point.config);
+    w.key("result");
+    core::write_json(w, p.result);
+    write_extra(w, p.extra);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace farm::analysis

@@ -1,0 +1,168 @@
+// The scenario registry: every figure/table reproduction is a `Scenario`
+// (name, paper reference, default trial count, a builder producing labelled
+// sweep points, and a formatter rendering the paper's table) registered into
+// a process-wide `ScenarioRegistry`.  One driver — bench/farm_bench — lists,
+// filters, runs, prints, and serializes them uniformly; nothing else in the
+// tree hand-rolls sweep assembly, seed handling, or env parsing.
+//
+// Seed discipline: the driver's master seed is hashed with the scenario name
+// to give a scenario seed, which is hashed with each point's label to give
+// that point's Monte-Carlo seed.  No seed depends on position, so running
+// one filtered scenario reproduces the full suite's numbers bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+
+namespace farm::analysis {
+
+/// Default master seed of the farm_bench driver (`--seed` overrides).
+inline constexpr std::uint64_t kDefaultMasterSeed = 0x5eedfa12;
+
+struct ScenarioOptions {
+  /// Monte-Carlo trials per point; 0 = the scenario's own default.
+  std::size_t trials = 0;
+  /// Multiplies the paper's 2 PB of user data (FARM_SCALE / --scale).
+  double scale = 1.0;
+  std::uint64_t master_seed = kDefaultMasterSeed;
+  /// Called with each point's label as it finishes.
+  std::function<void(const std::string&)> progress;
+};
+
+/// One labelled point of a scenario run: the config it ran, the Monte-Carlo
+/// aggregate, the label-derived seed it used, wall-clock time, and any
+/// scenario-specific scalar metrics (utilization spread, write-load shares,
+/// measured hazard rates, ...).
+struct PointResult {
+  SweepPoint point;
+  core::MonteCarloResult result;
+  std::uint64_t seed = 0;
+  double elapsed_sec = 0.0;
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// A completed scenario: identity, the knobs it ran with, every point, and
+/// the rendered human-readable report.
+struct ScenarioRun {
+  std::string name;
+  std::string title;
+  std::string paper_ref;
+  std::size_t trials = 0;
+  double scale = 1.0;
+  std::uint64_t master_seed = 0;
+  double elapsed_sec = 0.0;
+  std::vector<PointResult> points;
+  /// Scenario-level scalar metrics (e.g. fig3's redirection fraction).
+  std::vector<std::pair<std::string, double>> extra;
+  std::string rendered;
+
+  /// Label lookup — scenarios format by label, never by position, so
+  /// reordering points cannot silently swap table columns.
+  [[nodiscard]] const PointResult* find(std::string_view label) const;
+  /// Like find(), but throws std::out_of_range naming the missing label.
+  [[nodiscard]] const PointResult& at(std::string_view label) const;
+};
+
+class Scenario {
+ public:
+  struct Info {
+    std::string name;       // registry key, stable, globbable ("fig3a_...")
+    std::string title;      // one-line human title
+    std::string paper_ref;  // "Xin et al., HPDC 2004, Fig. 3(a)" or "extension"
+    std::size_t default_trials = 30;
+  };
+
+  explicit Scenario(Info info) : info_(std::move(info)) {}
+  virtual ~Scenario() = default;
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  [[nodiscard]] const Info& info() const { return info_; }
+
+  /// The labelled sweep this scenario would run at the given options.
+  /// Labels must be unique within a scenario (enforced by run()).
+  [[nodiscard]] virtual std::vector<SweepPoint> build_points(
+      const ScenarioOptions& opts) const = 0;
+
+  /// Resolves trials, derives the scenario seed, times the run, executes
+  /// every point, and renders the report.
+  [[nodiscard]] ScenarioRun run(const ScenarioOptions& opts) const;
+
+  /// The paper base system at the requested scale — the starting config of
+  /// nearly every sweep point.
+  [[nodiscard]] static core::SystemConfig base_config(const ScenarioOptions& opts);
+
+ protected:
+  /// Runs the points from build_points() with label-derived seeds, per-point
+  /// timing, and progress callbacks.  Overridden only by scenarios that are
+  /// not Monte-Carlo sweeps (Table 1's hazard-rate sampling).
+  virtual void execute(const ScenarioOptions& opts, std::uint64_t scenario_seed,
+                       ScenarioRun& out) const;
+
+  /// Runs one point.  Scenarios needing per-trial observers (utilization
+  /// snapshots, recovery-load spread) override this, run the Monte-Carlo
+  /// themselves with the given options, and attach extras.
+  [[nodiscard]] virtual PointResult run_point(
+      const SweepPoint& point, const core::MonteCarloOptions& mc) const;
+
+  /// Renders the human-readable report (tables + expected-shape notes) from
+  /// a completed run.  Look points up by label via ScenarioRun::at().
+  [[nodiscard]] virtual std::string format(const ScenarioRun& run) const = 0;
+
+ private:
+  Info info_;
+};
+
+/// Process-wide scenario table.  Registration happens from static
+/// initializers in the bench scenario translation units (see
+/// FARM_REGISTER_SCENARIO); lookup and iteration are name-ordered.
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& instance();
+
+  /// Takes ownership; throws std::invalid_argument on a duplicate name.
+  void add(std::unique_ptr<Scenario> scenario);
+
+  [[nodiscard]] const Scenario* find(std::string_view name) const;
+  [[nodiscard]] std::vector<const Scenario*> all() const;
+  /// Scenarios whose name matches a shell-style glob (`*`, `?`).
+  [[nodiscard]] std::vector<const Scenario*> match(std::string_view glob) const;
+  [[nodiscard]] std::size_t size() const { return scenarios_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Scenario>, std::less<>> scenarios_;
+};
+
+/// Static-initializer helper behind FARM_REGISTER_SCENARIO.
+struct ScenarioRegistrar {
+  explicit ScenarioRegistrar(std::unique_ptr<Scenario> scenario) {
+    ScenarioRegistry::instance().add(std::move(scenario));
+  }
+};
+
+/// Registers a default-constructible Scenario subclass at static-init time.
+#define FARM_REGISTER_SCENARIO(ClassName)              \
+  const ::farm::analysis::ScenarioRegistrar            \
+      farm_scenario_registrar_##ClassName {            \
+    std::make_unique<ClassName>()                      \
+  }
+
+/// Shell-style glob: `*` matches any run, `?` any single character.
+[[nodiscard]] bool glob_match(std::string_view pattern, std::string_view text);
+
+/// Serializes a completed run as one pretty-printed JSON document (see
+/// docs/ARCHITECTURE.md for the schema).  Seeds are emitted as decimal
+/// strings so 64-bit values survive double-precision JSON readers.
+[[nodiscard]] std::string to_json(const ScenarioRun& run,
+                                  std::string_view git_describe);
+
+}  // namespace farm::analysis

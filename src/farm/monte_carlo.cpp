@@ -1,9 +1,9 @@
 #include "farm/monte_carlo.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <mutex>
 
+#include "util/env.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"
 
@@ -75,11 +75,7 @@ MonteCarloResult run_monte_carlo(const SystemConfig& config,
 }
 
 std::size_t bench_trials(std::size_t fallback) {
-  if (const char* env = std::getenv("FARM_TRIALS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) return static_cast<std::size_t>(v);
-  }
-  return fallback;
+  return util::env_positive_int("FARM_TRIALS").value_or(fallback);
 }
 
 }  // namespace farm::core

@@ -27,8 +27,9 @@ struct MonteCarloOptions {
 [[nodiscard]] MonteCarloResult run_monte_carlo(const SystemConfig& config,
                                                const MonteCarloOptions& options);
 
-/// Trial-count default for bench binaries: reads the FARM_TRIALS environment
-/// variable, else `fallback`.
+/// Trial-count default for bench scenarios and tools: reads the FARM_TRIALS
+/// environment variable (validated — garbage throws std::invalid_argument),
+/// else `fallback`.
 [[nodiscard]] std::size_t bench_trials(std::size_t fallback);
 
 }  // namespace farm::core

@@ -1,0 +1,93 @@
+#include "farm/serialize.hpp"
+
+#include "placement/placement.hpp"
+
+namespace farm::core {
+
+namespace {
+
+void write_stats(util::JsonWriter& w, const util::OnlineStats& s) {
+  w.begin_object();
+  w.kv("count", s.count());
+  w.kv("mean", s.mean());
+  w.kv("stddev", s.stddev());
+  w.kv("min", s.min());
+  w.kv("max", s.max());
+  w.end_object();
+}
+
+}  // namespace
+
+void write_json(util::JsonWriter& w, const SystemConfig& config) {
+  w.begin_object();
+  w.kv("total_user_data_bytes", config.total_user_data.value());
+  w.kv("group_size_bytes", config.group_size.value());
+  w.kv("scheme", config.scheme.str());
+  w.kv("disk_count", config.disk_count());
+  w.kv("group_count", config.group_count());
+  w.kv("initial_utilization", config.initial_utilization);
+  w.kv("spare_reservation", config.spare_reservation);
+  w.kv("hazard_scale", config.hazard_scale);
+  w.kv("recovery_mode", to_string(config.recovery_mode));
+  w.kv("recovery_bandwidth_bytes_per_sec", config.recovery_bandwidth.value());
+  w.kv("spare_rebuild_speedup", config.spare_rebuild_speedup);
+  w.kv("critical_rebuild_speedup", config.critical_rebuild_speedup);
+  w.kv("detection_latency_sec", config.detection_latency.value());
+  w.kv("placement", placement::to_string(config.placement));
+  w.kv("mission_sec", config.mission_time.value());
+  w.kv("stop_at_first_loss", config.stop_at_first_loss);
+  w.kv("smart_enabled", config.smart.enabled);
+  w.kv("workload_diurnal", config.workload.kind == WorkloadKind::kDiurnal);
+  w.kv("latent_errors_enabled", config.latent_errors.enabled);
+  if (config.latent_errors.enabled) {
+    w.kv("bytes_per_ure", config.latent_errors.bytes_per_ure);
+    w.kv("scrub_efficiency", config.latent_errors.scrub_efficiency);
+  }
+  w.kv("domains_enabled", config.domains.enabled);
+  if (config.domains.enabled) {
+    w.kv("disks_per_domain", config.domains.disks_per_domain);
+    w.kv("domain_mtbf_sec", config.domains.domain_mtbf.value());
+    w.kv("rack_aware_placement", config.domains.rack_aware_placement);
+  }
+  w.kv("replacement_enabled", config.replacement.enabled);
+  if (config.replacement.enabled) {
+    w.kv("replacement_threshold", config.replacement.loss_fraction_threshold);
+  }
+  w.end_object();
+}
+
+void write_json(util::JsonWriter& w, const MonteCarloResult& result) {
+  w.begin_object();
+  w.kv("trials", result.trials);
+  w.kv("trials_with_loss", result.trials_with_loss);
+  w.kv("loss_probability", result.loss_probability());
+  w.key("loss_ci");
+  w.begin_object();
+  w.kv("lo", result.loss_ci.lo);
+  w.kv("hi", result.loss_ci.hi);
+  w.end_object();
+  w.kv("mean_disk_failures", result.mean_disk_failures);
+  w.kv("mean_rebuilds", result.mean_rebuilds);
+  w.kv("mean_redirections", result.mean_redirections);
+  w.kv("frac_trials_with_redirection", result.frac_trials_with_redirection);
+  w.kv("mean_lost_groups", result.mean_lost_groups);
+  w.kv("mean_ure_losses", result.mean_ure_losses);
+  w.kv("mean_stalls", result.mean_stalls);
+  w.kv("mean_batches", result.mean_batches);
+  w.kv("mean_migrated_blocks", result.mean_migrated_blocks);
+  w.kv("mean_window_sec", result.mean_window_sec);
+  w.kv("max_window_sec", result.max_window_sec);
+  w.kv("mean_domain_failures", result.mean_domain_failures);
+  w.kv("mean_degraded_exposure", result.mean_degraded_exposure);
+  if (result.initial_utilization.count() > 0) {
+    w.key("initial_utilization_bytes");
+    write_stats(w, result.initial_utilization);
+  }
+  if (result.final_utilization.count() > 0) {
+    w.key("final_utilization_bytes");
+    write_stats(w, result.final_utilization);
+  }
+  w.end_object();
+}
+
+}  // namespace farm::core

@@ -1,0 +1,23 @@
+// JSON serialization hooks for the core result/config types.  The scenario
+// layer composes these into one document per scenario (`farm_bench --json`);
+// tools are free to reuse them for their own machine-readable output.
+#pragma once
+
+#include "farm/config.hpp"
+#include "farm/metrics.hpp"
+#include "util/json.hpp"
+
+namespace farm::core {
+
+/// Writes the configuration knobs that identify an experiment point as one
+/// JSON object: workload/redundancy shape, devices, recovery policy, and
+/// which optional models (workload, latent errors, domains, replacement)
+/// are switched on.
+void write_json(util::JsonWriter& w, const SystemConfig& config);
+
+/// Writes a Monte-Carlo aggregate as one JSON object: trial counts, the
+/// loss estimate with its Wilson 95 % CI, the per-trial means, window of
+/// vulnerability, and (when collected) pooled utilization statistics.
+void write_json(util::JsonWriter& w, const MonteCarloResult& result);
+
+}  // namespace farm::core

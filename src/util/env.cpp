@@ -1,0 +1,40 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace farm::util {
+
+namespace {
+
+[[noreturn]] void reject(const char* name, const char* value, const char* want) {
+  throw std::invalid_argument(std::string(name) + "='" + value +
+                              "' is invalid: expected " + want);
+}
+
+}  // namespace
+
+std::optional<std::size_t> env_positive_int(const char* name) {
+  const char* value = std::getenv(name);
+  if (!value || *value == '\0') return std::nullopt;
+  char* end = nullptr;
+  const long long v = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || v <= 0) {
+    reject(name, value, "a positive integer");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+std::optional<double> env_positive_double(const char* name) {
+  const char* value = std::getenv(name);
+  if (!value || *value == '\0') return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (end == value || *end != '\0' || !(v > 0.0)) {
+    reject(name, value, "a positive number");
+  }
+  return v;
+}
+
+}  // namespace farm::util

@@ -1,0 +1,23 @@
+// The single, validated parser for the harness environment variables
+// (FARM_TRIALS, FARM_SCALE).  Every consumer — the farm_bench driver,
+// core::bench_trials, analysis::apply_env_scale, tools — goes through these
+// helpers, so a malformed value fails loudly in exactly one place instead
+// of being silently ignored.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+namespace farm::util {
+
+/// Reads `name` as a strictly positive integer.  Unset or empty -> nullopt;
+/// anything else that is not a positive base-10 integer (e.g. "abc", "-3",
+/// "1.5", "7x") throws std::invalid_argument naming the variable.
+[[nodiscard]] std::optional<std::size_t> env_positive_int(const char* name);
+
+/// Reads `name` as a strictly positive double.  Unset or empty -> nullopt;
+/// garbage or a non-positive value throws std::invalid_argument naming the
+/// variable.
+[[nodiscard]] std::optional<double> env_positive_double(const char* name);
+
+}  // namespace farm::util

@@ -1,0 +1,113 @@
+// Dependency-free JSON: a streaming writer for the bench result artifacts
+// (`farm_bench --json`) and a small recursive-descent parser so tests and
+// tooling can round-trip those artifacts without third-party libraries.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace farm::util {
+
+/// Streaming JSON emitter with two-space indentation.  The caller drives
+/// structure (begin/end object/array, key, value); the writer tracks commas
+/// and nesting and throws std::logic_error on malformed sequences (a value
+/// without a key inside an object, unbalanced end_*, ...).
+///
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.kv("scenario", "fig3a");
+///   w.key("points"); w.begin_array(); ... w.end_array();
+///   w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits the key of the next object member.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view{v}); }
+  /// Doubles print with round-trip precision; non-finite values become null
+  /// (JSON has no NaN/Inf).
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// key + value in one call.
+  template <typename T>
+  void kv(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+  /// True once the single top-level value is complete and nesting is closed.
+  [[nodiscard]] bool complete() const { return done_ && stack_.empty(); }
+
+ private:
+  enum class Frame { kObject, kArray };
+  void before_value();
+  void write_string(std::string_view s);
+  void newline_indent();
+
+  std::ostream& os_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_members_;  // parallel to stack_
+  bool key_pending_ = false;
+  bool done_ = false;  // a top-level value has been written
+};
+
+/// Escapes `s` as a JSON string literal (with surrounding quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Parsed JSON value.  Numbers are held as double (adequate for the bench
+/// artifacts, whose integers stay well under 2^53).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one JSON document; throws std::invalid_argument with a byte
+  /// offset on malformed input or trailing garbage.
+  [[nodiscard]] static JsonValue parse(std::string_view text);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; throw std::invalid_argument on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+
+  /// Object member lookup: nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view k) const;
+  /// Object member lookup that throws std::invalid_argument when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view k) const;
+  /// Member names in document order (empty unless an object).
+  [[nodiscard]] const std::vector<std::string>& keys() const { return keys_; }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::string> keys_;           // object: insertion order
+  std::vector<JsonValue> members_;          // object: parallel to keys_
+  friend class JsonParser;
+};
+
+}  // namespace farm::util

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 namespace farm::util {
 
@@ -43,6 +44,18 @@ constexpr std::uint64_t mix64(std::uint64_t z) {
 /// derive per-(group, attempt) placement decisions without any stored state.
 constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
   return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// FNV-1a 64-bit hash of a string, finished through mix64.  Sweep points
+/// derive their Monte-Carlo seeds from (master seed, point label) with this,
+/// so a point's results are independent of its position in the sweep.
+constexpr std::uint64_t hash_string(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
 }
 
 /// Xoshiro256**: fast all-purpose generator (Blackman & Vigna).

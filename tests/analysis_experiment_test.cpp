@@ -1,0 +1,211 @@
+// The experiment layer's contracts: validated env resolution, config
+// scaling arithmetic, label-derived (order-independent) sweep seeds, and the
+// scenario JSON round-trip.
+#include "analysis/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "analysis/scenario.hpp"
+#include "util/json.hpp"
+#include "util/units.hpp"
+
+namespace farm::analysis {
+namespace {
+
+core::SystemConfig small_config() {
+  core::SystemConfig cfg = scaled_config(0.01);  // ~20 TB, ~100 disks
+  cfg.stop_at_first_loss = true;
+  return cfg;
+}
+
+TEST(ResolveTrials, CliWinsThenEnvThenFallback) {
+  ::unsetenv("FARM_TRIALS");
+  EXPECT_EQ(resolve_trials(std::nullopt, 7), 7u);
+  ::setenv("FARM_TRIALS", "11", 1);
+  EXPECT_EQ(resolve_trials(std::nullopt, 7), 11u);
+  EXPECT_EQ(resolve_trials(5, 7), 5u);  // CLI beats env
+  ::setenv("FARM_TRIALS", "0", 1);
+  EXPECT_THROW((void)resolve_trials(std::nullopt, 7), std::invalid_argument);
+  ::setenv("FARM_TRIALS", "abc", 1);
+  EXPECT_THROW((void)resolve_trials(std::nullopt, 7), std::invalid_argument);
+  ::unsetenv("FARM_TRIALS");
+}
+
+TEST(ResolveScale, CliWinsThenEnvThenDefault) {
+  ::unsetenv("FARM_SCALE");
+  EXPECT_DOUBLE_EQ(resolve_scale(std::nullopt), 1.0);
+  ::setenv("FARM_SCALE", "0.25", 1);
+  EXPECT_DOUBLE_EQ(resolve_scale(std::nullopt), 0.25);
+  EXPECT_DOUBLE_EQ(resolve_scale(0.5), 0.5);  // CLI beats env
+  ::setenv("FARM_SCALE", "-2", 1);
+  EXPECT_THROW((void)resolve_scale(std::nullopt), std::invalid_argument);
+  ::setenv("FARM_SCALE", "lots", 1);
+  EXPECT_THROW((void)resolve_scale(std::nullopt), std::invalid_argument);
+  ::unsetenv("FARM_SCALE");
+  EXPECT_THROW((void)resolve_scale(0.0), std::invalid_argument);
+}
+
+TEST(ScaleConfig, MultipliesUserDataAndClampsGroupSize) {
+  const core::SystemConfig base = paper_base_config();
+  const core::SystemConfig half = scale_config(base, 0.5);
+  EXPECT_DOUBLE_EQ(half.total_user_data.value(),
+                   base.total_user_data.value() * 0.5);
+  EXPECT_DOUBLE_EQ(half.group_size.value(), base.group_size.value());
+
+  // Scaling far below one group must clamp the group to the system.
+  const core::SystemConfig tiny = scale_config(base, 1e-6);
+  EXPECT_LE(tiny.group_size.value(), tiny.total_user_data.value());
+
+  EXPECT_THROW((void)scale_config(base, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)scale_config(base, -1.0), std::invalid_argument);
+}
+
+TEST(ApplyEnvScale, ValidatesEnvironment) {
+  ::setenv("FARM_SCALE", "0.5", 1);
+  const core::SystemConfig cfg = apply_env_scale(paper_base_config());
+  EXPECT_DOUBLE_EQ(cfg.total_user_data.value(), util::petabytes(1).value());
+  ::setenv("FARM_SCALE", "zero point five", 1);
+  EXPECT_THROW((void)apply_env_scale(paper_base_config()),
+               std::invalid_argument);
+  ::unsetenv("FARM_SCALE");
+}
+
+TEST(PointSeed, LabelDerivedAndDistinct) {
+  const std::uint64_t a = point_seed(42, "alpha");
+  EXPECT_EQ(a, point_seed(42, "alpha"));  // deterministic
+  EXPECT_NE(a, point_seed(42, "beta"));   // label matters
+  EXPECT_NE(a, point_seed(43, "alpha"));  // master matters
+}
+
+TEST(RunSweep, SeedsIndependentOfPointOrder) {
+  core::SystemConfig cfg = small_config();
+  std::vector<SweepPoint> forward;
+  forward.push_back({"a", cfg});
+  cfg.detection_latency = util::minutes(30);
+  forward.push_back({"b", cfg});
+  cfg.detection_latency = util::minutes(60);
+  forward.push_back({"c", cfg});
+  std::vector<SweepPoint> reversed(forward.rbegin(), forward.rend());
+
+  const auto fwd = run_sweep(forward, 3, 42);
+  const auto rev = run_sweep(reversed, 3, 42);
+  ASSERT_EQ(fwd.size(), 3u);
+  for (const auto& f : fwd) {
+    const auto it = std::find_if(rev.begin(), rev.end(), [&](const auto& r) {
+      return r.point.label == f.point.label;
+    });
+    ASSERT_NE(it, rev.end()) << f.point.label;
+    EXPECT_EQ(f.seed, it->seed) << f.point.label;
+    // Bit-identical aggregates, not just statistically close.
+    EXPECT_EQ(f.result.trials_with_loss, it->result.trials_with_loss);
+    EXPECT_DOUBLE_EQ(f.result.mean_disk_failures,
+                     it->result.mean_disk_failures);
+    EXPECT_DOUBLE_EQ(f.result.mean_rebuilds, it->result.mean_rebuilds);
+  }
+  // A filtered subset reproduces the full sweep's numbers too.
+  const auto subset = run_sweep({forward[1]}, 3, 42);
+  EXPECT_EQ(subset[0].seed, fwd[1].seed);
+  EXPECT_DOUBLE_EQ(subset[0].result.mean_disk_failures,
+                   fwd[1].result.mean_disk_failures);
+}
+
+TEST(RunSweep, DuplicateLabelsRejected) {
+  const core::SystemConfig cfg = small_config();
+  EXPECT_THROW((void)run_sweep({{"dup", cfg}, {"dup", cfg}}, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(RunSweep, RecordsElapsedTime) {
+  const auto results = run_sweep({{"timed", small_config()}}, 2, 7);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].elapsed_sec, 0.0);
+  EXPECT_EQ(results[0].seed, point_seed(7, "timed"));
+}
+
+// Minimal concrete scenario for JSON round-trip testing.
+class TwoPointScenario final : public Scenario {
+ public:
+  TwoPointScenario()
+      : Scenario({"test_two_point", "two-point test scenario",
+                  "unit test", 2}) {}
+
+  std::vector<SweepPoint> build_points(
+      const ScenarioOptions& opts) const override {
+    core::SystemConfig cfg =
+        scale_config(scaled_config(0.01), opts.scale * 100.0);
+    std::vector<SweepPoint> points;
+    points.push_back({"p one", cfg});
+    cfg.detection_latency = util::minutes(30);
+    points.push_back({"p \"two\"", cfg});  // exercises JSON escaping
+    return points;
+  }
+
+ protected:
+  std::string format(const ScenarioRun& run) const override {
+    return "points: " + std::to_string(run.points.size()) + "\n";
+  }
+};
+
+TEST(ScenarioJson, RoundTripsThroughParser) {
+  TwoPointScenario scenario;
+  ScenarioOptions opts;
+  opts.trials = 2;
+  opts.scale = 0.01;
+  opts.master_seed = 99;
+  const ScenarioRun run = scenario.run(opts);
+  ASSERT_EQ(run.points.size(), 2u);
+
+  const std::string doc = to_json(run, "v-test");
+  const util::JsonValue v = util::JsonValue::parse(doc);
+  EXPECT_DOUBLE_EQ(v.at("schema_version").as_number(), 1.0);
+  EXPECT_EQ(v.at("scenario").as_string(), "test_two_point");
+  EXPECT_EQ(v.at("git_describe").as_string(), "v-test");
+  EXPECT_DOUBLE_EQ(v.at("trials").as_number(), 2.0);
+  EXPECT_EQ(v.at("master_seed").as_string(), "99");
+
+  const auto& points = v.at("points").as_array();
+  ASSERT_EQ(points.size(), 2u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const util::JsonValue& p = points[i];
+    EXPECT_EQ(p.at("label").as_string(), run.points[i].point.label);
+    // 64-bit seeds travel as decimal strings; they must survive exactly.
+    EXPECT_EQ(p.at("seed").as_string(), std::to_string(run.points[i].seed));
+    const util::JsonValue& result = p.at("result");
+    EXPECT_DOUBLE_EQ(result.at("trials").as_number(), 2.0);
+    const util::JsonValue& ci = result.at("loss_ci");
+    EXPECT_LE(ci.at("lo").as_number(), ci.at("hi").as_number());
+    EXPECT_FALSE(p.at("config").at("scheme").as_string().empty());
+    EXPECT_DOUBLE_EQ(result.at("loss_probability").as_number(),
+                     run.points[i].result.loss_probability());
+  }
+}
+
+TEST(ScenarioRun, LabelLookup) {
+  TwoPointScenario scenario;
+  ScenarioOptions opts;
+  opts.trials = 1;
+  opts.scale = 0.01;
+  const ScenarioRun run = scenario.run(opts);
+  EXPECT_NE(run.find("p one"), nullptr);
+  EXPECT_EQ(run.find("absent"), nullptr);
+  EXPECT_THROW((void)run.at("absent"), std::out_of_range);
+  EXPECT_EQ(&run.at("p one"), run.find("p one"));
+}
+
+TEST(GlobMatch, ShellSemantics) {
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("fig3*", "fig3a_scheme_comparison"));
+  EXPECT_FALSE(glob_match("fig3*", "fig4_detection_latency"));
+  EXPECT_TRUE(glob_match("fig?a*", "fig3a_scheme_comparison"));
+  EXPECT_TRUE(glob_match("*utilization", "table3_utilization"));
+  EXPECT_TRUE(glob_match("a*b*c", "a_x_b_y_c"));
+  EXPECT_FALSE(glob_match("a*b*c", "a_x_c_y_b"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+}
+
+}  // namespace
+}  // namespace farm::analysis

@@ -1,0 +1,135 @@
+// Registry-level contracts over the real scenario set: the full roster is
+// registered, globs select the right subsets, every scenario builds points
+// with unique labels, and a filtered re-run reproduces the same numbers
+// bit-for-bit (the label-derived seed discipline, end to end).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/scenario.hpp"
+#include "util/json.hpp"
+
+namespace farm::analysis {
+namespace {
+
+const std::set<std::string> kExpectedNames = {
+    "table1_failure_model",
+    "fig3a_scheme_comparison",
+    "fig3b_scheme_comparison",
+    "fig4_detection_latency",
+    "fig5_recovery_bandwidth",
+    "fig6_utilization",
+    "table3_utilization",
+    "fig7_replacement",
+    "fig8a_system_scale",
+    "fig8b_system_scale",
+    "ablation_placement",
+    "ablation_target_selection",
+    "ablation_recovery_modes",
+    "ablation_workload",
+    "ablation_latent_errors",
+    "ablation_domains",
+    "ablation_critical_priority",
+};
+
+ScenarioOptions tiny_options() {
+  ScenarioOptions opts;
+  opts.trials = 2;
+  opts.scale = 0.01;
+  opts.master_seed = 7;
+  return opts;
+}
+
+TEST(ScenarioRegistry, FullRosterRegistered) {
+  const auto& registry = ScenarioRegistry::instance();
+  EXPECT_EQ(registry.size(), kExpectedNames.size());
+  std::set<std::string> names;
+  for (const Scenario* s : registry.all()) names.insert(s->info().name);
+  EXPECT_EQ(names, kExpectedNames);
+  for (const std::string& name : kExpectedNames) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(registry.find("no_such_scenario"), nullptr);
+}
+
+TEST(ScenarioRegistry, GlobSelection) {
+  const auto& registry = ScenarioRegistry::instance();
+  EXPECT_EQ(registry.match("fig3*").size(), 2u);
+  EXPECT_EQ(registry.match("ablation_*").size(), 7u);
+  EXPECT_EQ(registry.match("*").size(), registry.size());
+  EXPECT_EQ(registry.match("table?_*").size(), 2u);
+  EXPECT_TRUE(registry.match("zzz*").empty());
+}
+
+TEST(ScenarioRegistry, EveryScenarioBuildsUniqueLabelledPoints) {
+  const ScenarioOptions opts = tiny_options();
+  for (const Scenario* s : ScenarioRegistry::instance().all()) {
+    const std::vector<SweepPoint> points = s->build_points(opts);
+    EXPECT_FALSE(points.empty()) << s->info().name;
+    std::set<std::string> labels;
+    for (const SweepPoint& p : points) {
+      EXPECT_TRUE(labels.insert(p.label).second)
+          << s->info().name << ": duplicate label '" << p.label << "'";
+    }
+    EXPECT_FALSE(s->info().title.empty()) << s->info().name;
+    EXPECT_FALSE(s->info().paper_ref.empty()) << s->info().name;
+    EXPECT_GT(s->info().default_trials, 0u) << s->info().name;
+  }
+}
+
+TEST(Scenario, RerunIsBitIdentical) {
+  const Scenario* fig3a =
+      ScenarioRegistry::instance().find("fig3a_scheme_comparison");
+  ASSERT_NE(fig3a, nullptr);
+  const ScenarioOptions opts = tiny_options();
+  const ScenarioRun first = fig3a->run(opts);
+  const ScenarioRun second = fig3a->run(opts);
+  ASSERT_EQ(first.points.size(), second.points.size());
+  for (std::size_t i = 0; i < first.points.size(); ++i) {
+    EXPECT_EQ(first.points[i].seed, second.points[i].seed);
+    EXPECT_EQ(first.points[i].result.trials_with_loss,
+              second.points[i].result.trials_with_loss);
+    EXPECT_DOUBLE_EQ(first.points[i].result.mean_disk_failures,
+                     second.points[i].result.mean_disk_failures);
+  }
+  EXPECT_EQ(first.rendered, second.rendered);
+}
+
+TEST(Scenario, SeedsDeriveFromNamesAndLabelsNotPosition) {
+  // The end-to-end seed discipline: any point's seed is reproducible from
+  // (master seed, scenario name, label) alone, so filtering cannot shift it.
+  const Scenario* fig3a =
+      ScenarioRegistry::instance().find("fig3a_scheme_comparison");
+  ASSERT_NE(fig3a, nullptr);
+  const ScenarioOptions opts = tiny_options();
+  const ScenarioRun run = fig3a->run(opts);
+  const std::uint64_t scenario_seed =
+      point_seed(opts.master_seed, "fig3a_scheme_comparison");
+  for (const PointResult& p : run.points) {
+    EXPECT_EQ(p.seed, point_seed(scenario_seed, p.point.label))
+        << p.point.label;
+  }
+}
+
+TEST(Scenario, JsonContainsEveryPointLabel) {
+  const Scenario* fig3a =
+      ScenarioRegistry::instance().find("fig3a_scheme_comparison");
+  ASSERT_NE(fig3a, nullptr);
+  const ScenarioRun run = fig3a->run(tiny_options());
+  const util::JsonValue v = util::JsonValue::parse(to_json(run, "test"));
+
+  std::set<std::string> json_labels;
+  for (const util::JsonValue& p : v.at("points").as_array()) {
+    json_labels.insert(p.at("label").as_string());
+  }
+  std::set<std::string> run_labels;
+  for (const PointResult& p : run.points) run_labels.insert(p.point.label);
+  EXPECT_EQ(json_labels, run_labels);
+  EXPECT_EQ(json_labels.size(), 12u);  // 6 schemes x {FARM, dedicated spare}
+  EXPECT_EQ(v.at("scenario").as_string(), run.name);
+}
+
+}  // namespace
+}  // namespace farm::analysis

@@ -91,8 +91,17 @@ TEST(BenchTrials, EnvOverride) {
   EXPECT_EQ(bench_trials(123), 123u);
   ::setenv("FARM_TRIALS", "77", 1);
   EXPECT_EQ(bench_trials(123), 77u);
+  ::unsetenv("FARM_TRIALS");
+}
+
+TEST(BenchTrials, GarbageIsRejectedNotSwallowed) {
+  // A typo'd FARM_TRIALS must fail loudly, not silently run the default.
   ::setenv("FARM_TRIALS", "garbage", 1);
-  EXPECT_EQ(bench_trials(123), 123u);
+  EXPECT_THROW((void)bench_trials(123), std::invalid_argument);
+  ::setenv("FARM_TRIALS", "-3", 1);
+  EXPECT_THROW((void)bench_trials(123), std::invalid_argument);
+  ::setenv("FARM_TRIALS", "12abc", 1);
+  EXPECT_THROW((void)bench_trials(123), std::invalid_argument);
   ::unsetenv("FARM_TRIALS");
 }
 

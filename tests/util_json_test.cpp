@@ -1,0 +1,144 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+namespace farm::util {
+namespace {
+
+std::string written(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  body(w);
+  EXPECT_TRUE(w.complete());
+  return os.str();
+}
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  EXPECT_EQ(written([](JsonWriter& w) {
+              w.begin_object();
+              w.end_object();
+            }),
+            "{}");
+  EXPECT_EQ(written([](JsonWriter& w) {
+              w.begin_array();
+              w.end_array();
+            }),
+            "[]");
+}
+
+TEST(JsonWriter, NestedStructureRoundTrips) {
+  const std::string doc = written([](JsonWriter& w) {
+    w.begin_object();
+    w.kv("name", "fig3a");
+    w.kv("trials", std::uint64_t{40});
+    w.kv("scale", 0.5);
+    w.kv("ok", true);
+    w.key("missing");
+    w.null();
+    w.key("points");
+    w.begin_array();
+    w.value(1.5);
+    w.value("x");
+    w.end_array();
+    w.end_object();
+  });
+  const JsonValue v = JsonValue::parse(doc);
+  EXPECT_EQ(v.at("name").as_string(), "fig3a");
+  EXPECT_DOUBLE_EQ(v.at("trials").as_number(), 40.0);
+  EXPECT_DOUBLE_EQ(v.at("scale").as_number(), 0.5);
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_TRUE(v.at("missing").is_null());
+  ASSERT_EQ(v.at("points").as_array().size(), 2u);
+  EXPECT_EQ(v.at("points").as_array()[1].as_string(), "x");
+  EXPECT_EQ(v.keys().size(), 6u);
+  EXPECT_EQ(v.keys().front(), "name");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  const std::string doc = written([](JsonWriter& w) {
+    w.begin_object();
+    w.kv("s", "a\"b\\c\n\t\x01");
+    w.end_object();
+  });
+  EXPECT_NE(doc.find("\\\""), std::string::npos);
+  EXPECT_NE(doc.find("\\\\"), std::string::npos);
+  EXPECT_NE(doc.find("\\n"), std::string::npos);
+  EXPECT_NE(doc.find("\\t"), std::string::npos);
+  EXPECT_NE(doc.find("\\u0001"), std::string::npos);
+  EXPECT_EQ(JsonValue::parse(doc).at("s").as_string(), "a\"b\\c\n\t\x01");
+}
+
+TEST(JsonWriter, DoublesKeepRoundTripPrecisionAndNonFiniteBecomesNull) {
+  const double x = 0.1234567890123456789;
+  const std::string doc = written([&](JsonWriter& w) {
+    w.begin_array();
+    w.value(x);
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.value(std::numeric_limits<double>::infinity());
+    w.end_array();
+  });
+  const JsonValue parsed = JsonValue::parse(doc);
+  const auto& arr = parsed.as_array();
+  EXPECT_DOUBLE_EQ(arr[0].as_number(), x);
+  EXPECT_TRUE(arr[1].is_null());
+  EXPECT_TRUE(arr[2].is_null());
+}
+
+TEST(JsonWriter, MalformedSequencesThrow) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), std::logic_error);  // value without key
+  }
+  {
+    JsonWriter w(os);
+    EXPECT_THROW(w.end_object(), std::logic_error);  // unbalanced end
+  }
+  {
+    JsonWriter w(os);
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key inside array
+  }
+}
+
+TEST(JsonValue, ParsesScalarsAndUnicodeEscapes) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(JsonValue::parse("\"\\u0041\\u00e9\"").as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("{"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,}"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("01"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("1 2"), std::invalid_argument);  // trailing
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("truely"), std::invalid_argument);
+}
+
+TEST(JsonValue, LookupSemantics) {
+  const JsonValue v = JsonValue::parse(R"({"a": 1, "b": {"c": 2}})");
+  ASSERT_NE(v.find("a"), nullptr);
+  EXPECT_EQ(v.find("zzz"), nullptr);
+  EXPECT_THROW((void)v.at("zzz"), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(v.at("b").at("c").as_number(), 2.0);
+  EXPECT_THROW((void)v.at("a").as_string(), std::invalid_argument);  // kind mismatch
+  EXPECT_EQ(JsonValue::parse("[1]").find("a"), nullptr);  // non-object find
+}
+
+TEST(JsonEscape, WrapsInQuotes) {
+  EXPECT_EQ(json_escape("plain"), "\"plain\"");
+  EXPECT_EQ(json_escape("a\"b"), "\"a\\\"b\"");
+}
+
+}  // namespace
+}  // namespace farm::util

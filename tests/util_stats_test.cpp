@@ -96,6 +96,36 @@ TEST(WilsonInterval, NoTrialsIsVacuous) {
   EXPECT_DOUBLE_EQ(ci.hi, 1.0);
 }
 
+TEST(WilsonInterval, SingleTrialStaysInUnitInterval) {
+  // n=1 is the extreme small-sample case (farm_bench --trials 1): the
+  // interval must stay within [0,1], cover the point estimate, and remain
+  // nearly vacuous — one observation says almost nothing.
+  const Interval loss = wilson_interval(1, 1);
+  EXPECT_GE(loss.lo, 0.0);
+  EXPECT_DOUBLE_EQ(loss.hi, 1.0);
+  EXPECT_TRUE(loss.contains(1.0));
+  EXPECT_LT(loss.lo, 0.5);
+
+  const Interval no_loss = wilson_interval(0, 1);
+  EXPECT_DOUBLE_EQ(no_loss.lo, 0.0);
+  EXPECT_LE(no_loss.hi, 1.0);
+  EXPECT_TRUE(no_loss.contains(0.0));
+  EXPECT_GT(no_loss.hi, 0.5);
+}
+
+TEST(WilsonInterval, BoundsAreOrderedAcrossSweep) {
+  for (std::size_t n : {1u, 2u, 5u, 30u}) {
+    for (std::size_t k = 0; k <= n; ++k) {
+      const Interval ci = wilson_interval(k, n);
+      EXPECT_LE(ci.lo, ci.hi) << k << "/" << n;
+      EXPECT_GE(ci.lo, 0.0) << k << "/" << n;
+      EXPECT_LE(ci.hi, 1.0) << k << "/" << n;
+      EXPECT_TRUE(ci.contains(static_cast<double>(k) / static_cast<double>(n)))
+          << k << "/" << n;
+    }
+  }
+}
+
 TEST(WilsonInterval, NarrowsWithMoreTrials) {
   EXPECT_LT(wilson_interval(300, 1000).width(), wilson_interval(30, 100).width());
 }

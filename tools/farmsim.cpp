@@ -3,7 +3,7 @@
 // Runs a Monte-Carlo reliability study of a configurable large-scale
 // storage system and prints the aggregate results (optionally as CSV).
 //
-//   $ farmsim --data 2PB --scheme 1/2 --group 10GB --mode farm \
+//   $ farmsim --data 2PB --scheme 1/2 --group 10GB --mode farm
 //             --detect 30s --recover-bw 16 --years 6 --trials 100
 //   $ farmsim --help
 #include <cstring>
@@ -52,7 +52,7 @@ devices / dynamics
 
 mission / harness
   --years <N>              mission length             (default 6)
-  --trials <N>             Monte-Carlo trials         (default 100)
+  --trials <N>             Monte-Carlo trials         (default FARM_TRIALS or 100)
   --seed <N>               master seed                (default 0x5eedfa12)
   --csv                    machine-readable one-line output
   --utilization            also report per-disk utilization stats
@@ -79,6 +79,7 @@ double parse_quantity(const std::string& text, double unit_if_bare) {
 
 int main(int argc, char** argv) {
   core::SystemConfig cfg = analysis::paper_base_config();
+  std::optional<std::size_t> cli_trials;
   std::size_t trials = 100;
   std::uint64_t seed = 0x5eedfa12;
   bool csv = false;
@@ -157,7 +158,7 @@ int main(int argc, char** argv) {
       } else if (arg == "--years") {
         cfg.mission_time = util::years(std::stod(next()));
       } else if (arg == "--trials") {
-        trials = static_cast<std::size_t>(std::stoul(next()));
+        cli_trials = static_cast<std::size_t>(std::stoul(next()));
       } else if (arg == "--seed") {
         seed = std::stoull(next());
       } else if (arg == "--csv") {
@@ -169,6 +170,7 @@ int main(int argc, char** argv) {
         usage(2);
       }
     }
+    trials = analysis::resolve_trials(cli_trials, 100);
     cfg.stop_at_first_loss = !cfg.collect_utilization;
     cfg.validate();
   } catch (const std::exception& e) {
