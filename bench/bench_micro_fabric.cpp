@@ -1,0 +1,93 @@
+// Micro-benchmark: the max-min fair-share solver and flow churn.  A failure
+// burst on the 2 PB system keeps a few hundred flows open and re-solves on
+// every start/finish; these numbers bound the fabric's share of a trial.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace farm;
+
+net::TopologyConfig topo() {
+  net::TopologyConfig t;
+  t.enabled = true;
+  t.disks_per_node = 16;
+  t.nodes_per_rack = 8;
+  t.nic_bandwidth = util::mb_per_sec(1000);
+  t.oversubscription = 8.0;
+  return t;
+}
+
+/// Solve with N random flows over a 10,000-disk cluster (mixed same-node /
+/// same-rack / cross-rack paths).
+void BM_Solve(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng{17};
+  net::Fabric fabric{topo()};
+  const auto disk = [&] {
+    return static_cast<net::EndpointId>(rng.uniform() * 10000.0);
+  };
+  for (std::size_t i = 0; i < flows; ++i) {
+    fabric.open(disk(), disk(), util::mb_per_sec(16));
+  }
+  for (auto _ : state) {
+    fabric.solve();
+    benchmark::DoNotOptimize(fabric.rate(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(flows));
+}
+
+/// The contended case: every flow funnels into one node (a dedicated
+/// spare), so progressive filling freezes them over many rounds.
+void BM_SolveContended(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng{23};
+  net::Fabric fabric{topo()};
+  for (std::size_t i = 0; i < flows; ++i) {
+    const auto src = static_cast<net::EndpointId>(128 + rng.uniform() * 9000.0);
+    fabric.open(src, /*dst=*/0, util::mb_per_sec(16));
+  }
+  for (auto _ : state) {
+    fabric.solve();
+    benchmark::DoNotOptimize(fabric.rate(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(flows));
+}
+
+/// Open/solve/close churn — the pattern every rebuild start/finish drives.
+void BM_ChurnResolve(benchmark::State& state) {
+  const auto keep = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng{29};
+  net::Fabric fabric{topo()};
+  const auto disk = [&] {
+    return static_cast<net::EndpointId>(rng.uniform() * 10000.0);
+  };
+  std::vector<net::FlowId> open;
+  open.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    open.push_back(fabric.open(disk(), disk(), util::mb_per_sec(16)));
+  }
+  std::size_t victim = 0;
+  for (auto _ : state) {
+    fabric.close(open[victim]);
+    fabric.solve();
+    open[victim] = fabric.open(disk(), disk(), util::mb_per_sec(16));
+    fabric.solve();
+    victim = (victim + 1) % keep;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Solve)->Arg(40)->Arg(400)->Arg(4000);
+BENCHMARK(BM_SolveContended)->Arg(40)->Arg(400);
+BENCHMARK(BM_ChurnResolve)->Arg(40)->Arg(400);
+
+BENCHMARK_MAIN();

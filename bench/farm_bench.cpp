@@ -122,10 +122,12 @@ int main(int argc, char** argv) {
 
   const auto& registry = analysis::ScenarioRegistry::instance();
   if (args.list) {
+    util::Table table({"scenario", "title", "reproduces", "default trials"});
     for (const analysis::Scenario* s : registry.all()) {
-      std::cout << s->info().name << "  -  " << s->info().title << " ["
-                << s->info().paper_ref << "]\n";
+      table.add_row({s->info().name, s->info().title, s->info().paper_ref,
+                     std::to_string(s->info().default_trials)});
     }
+    std::cout << table;
     return 0;
   }
 

@@ -116,6 +116,9 @@ void SystemConfig::validate() const {
           "config: rack-aware placement needs at least n failure domains");
     }
   }
+  if (topology.enabled) {
+    topology.validate();
+  }
   if (latent_errors.enabled) {
     if (!(latent_errors.bytes_per_ure > 0.0)) {
       throw std::invalid_argument("config: bytes_per_ure must be positive");
@@ -135,6 +138,9 @@ std::string SystemConfig::summary() const {
      << to_string(recovery_mode) << ", detect "
      << util::to_string(detection_latency) << ", recover at "
      << util::to_string(recovery_bandwidth);
+  if (topology.enabled) {
+    os << ", fabric [" << topology.summary() << "]";
+  }
   return os.str();
 }
 

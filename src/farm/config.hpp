@@ -14,6 +14,7 @@
 #include "disk/smart.hpp"
 #include "erasure/scheme.hpp"
 #include "farm/workload.hpp"
+#include "net/topology.hpp"
 #include "placement/placement.hpp"
 #include "util/units.hpp"
 
@@ -40,6 +41,10 @@ struct TargetRules {
   bool prefer_low_load = true;    // pick the least-loaded of a few candidates
   bool avoid_suspect = true;      // skip disks SMART has flagged
   unsigned probe_width = 4;       // candidates examined for load comparison
+  /// Prefer a target in the same rack as the reconstruction source, keeping
+  /// repair traffic off the oversubscribed uplinks.  Only consulted when a
+  /// network topology is configured (the flat model has no racks).
+  bool prefer_rack_local = true;
 };
 
 /// Latent sector errors during rebuild reads (an extension beyond the
@@ -140,6 +145,11 @@ struct SystemConfig {
   placement::PolicyKind placement = placement::PolicyKind::kRush;
   ReplacementConfig replacement;
   DomainConfig domains;  // off = the paper's independent-disk model
+  /// Hierarchical network fabric; off (default) = the paper's flat
+  /// fixed-bandwidth recovery model.  When enabled, rebuild transfers share
+  /// NICs/uplinks max-min fairly and `recovery_bandwidth` becomes the
+  /// per-flow disk-side cap rather than the guaranteed rate.
+  net::TopologyConfig topology;
 
   // --- mission ---------------------------------------------------------------
   util::Seconds mission_time = util::years(6);

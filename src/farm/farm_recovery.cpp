@@ -9,10 +9,15 @@ FarmRecovery::FarmRecovery(StorageSystem& system, sim::Simulator& sim,
     : RecoveryPolicy(system, sim, metrics),
       selector_(system, system.config().target_rules) {}
 
-DiskId FarmRecovery::pick_target(GroupIndex g) {
+DiskId FarmRecovery::pick_target(GroupIndex g, BlockIndex b) {
   const auto excluded = inflight_targets(g);
-  const TargetSelector::Choice choice =
-      selector_.select(g, queue_free_times(), sim_.now(), excluded);
+  std::optional<std::size_t> preferred_rack;
+  if (fabric_enabled() && system_.config().target_rules.prefer_rack_local) {
+    preferred_rack =
+        system_.config().topology.rack_of(representative_source(g, b));
+  }
+  const TargetSelector::Choice choice = selector_.select(
+      g, queue_free_times(), sim_.now(), excluded, preferred_rack);
   if (choice.disk != kNoDisk) {
     system_.state(g).next_rank = choice.next_rank;
   }
@@ -20,7 +25,7 @@ DiskId FarmRecovery::pick_target(GroupIndex g) {
 }
 
 void FarmRecovery::start_rebuild(GroupIndex g, BlockIndex b, unsigned attempt) {
-  const DiskId target = pick_target(g);
+  const DiskId target = pick_target(g, b);
   if (target == kNoDisk) {
     metrics_.record_stall();
     schedule_retry(g, b, attempt + 1);
@@ -34,6 +39,13 @@ void FarmRecovery::start_rebuild(GroupIndex g, BlockIndex b, unsigned attempt) {
       system_.state(g).unavailable >= system_.config().scheme.fault_tolerance();
   const double speedup =
       critical ? system_.config().critical_rebuild_speedup : 1.0;
+  if (fabric_enabled()) {
+    // Keep the flat drain clock ticking — it stays the selector's
+    // least-loaded signal — but the completion comes from the fabric.
+    (void)enqueue_transfer(target, speedup);
+    start_fabric_transfer(id, target, speedup);
+    return;
+  }
   const util::Seconds done_at = enqueue_transfer(target, speedup);
   rebuild(id).done = sim_.schedule_at(done_at, [this, id] { complete_rebuild(id); });
 }
@@ -72,7 +84,7 @@ void FarmRecovery::handle_target_failure(DiskId, const std::vector<RebuildId>& i
       free_rebuild(id);
       continue;
     }
-    const DiskId target = pick_target(g);
+    const DiskId target = pick_target(g, b);
     if (target == kNoDisk) {
       metrics_.record_stall();
       free_rebuild(id);
@@ -83,8 +95,14 @@ void FarmRecovery::handle_target_failure(DiskId, const std::vector<RebuildId>& i
     retarget(id, target);
     const bool critical =
         system_.state(g).unavailable >= system_.config().scheme.fault_tolerance();
-    const util::Seconds done_at = enqueue_transfer(
-        target, critical ? system_.config().critical_rebuild_speedup : 1.0);
+    const double speedup =
+        critical ? system_.config().critical_rebuild_speedup : 1.0;
+    if (fabric_enabled()) {
+      (void)enqueue_transfer(target, speedup);
+      start_fabric_transfer(id, target, speedup);
+      continue;
+    }
+    const util::Seconds done_at = enqueue_transfer(target, speedup);
     rebuild(id).done = sim_.schedule_at(done_at, [this, id] { complete_rebuild(id); });
   }
 }

@@ -30,7 +30,9 @@ class FarmRecovery final : public RecoveryPolicy {
   void schedule_retry(GroupIndex g, BlockIndex b, unsigned attempt);
 
   /// Picks a target honoring the §2.3 rules; kNoDisk when nothing feasible.
-  [[nodiscard]] DiskId pick_target(GroupIndex g);
+  /// In fabric mode the selector is biased toward the reconstruction
+  /// source's rack (block b locates the source).
+  [[nodiscard]] DiskId pick_target(GroupIndex g, BlockIndex b);
 
   TargetSelector selector_;
   /// Base delay before re-probing for a target when the cluster had no

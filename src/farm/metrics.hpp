@@ -118,6 +118,12 @@ struct TrialResult {
   std::uint64_t batches = 0;
   std::uint64_t migrated_blocks = 0;
   std::uint64_t events_executed = 0;
+  /// Network-fabric traffic accounting (topology.enabled only; all zero in
+  /// flat mode, with fabric_active false).
+  bool fabric_active = false;
+  double local_repair_bytes = 0.0;       // repair traffic within one rack
+  double cross_rack_repair_bytes = 0.0;  // repair traffic over the uplinks
+  std::uint64_t fabric_requotes = 0;     // max-min re-solves from flow churn
   /// Window of vulnerability per rebuilt block (seconds).
   double mean_window_sec = 0.0;
   double max_window_sec = 0.0;
@@ -157,6 +163,11 @@ struct MonteCarloResult {
   double mean_domain_failures = 0.0;
   double mean_degraded_exposure = 0.0;
   double mean_migrated_blocks = 0.0;
+  /// Network-fabric traffic (meaningful only when fabric_active).
+  bool fabric_active = false;
+  double mean_local_repair_bytes = 0.0;
+  double mean_cross_rack_repair_bytes = 0.0;
+  double mean_fabric_requotes = 0.0;
   /// Pooled per-disk utilization (bytes), when collected.
   util::OnlineStats initial_utilization;
   util::OnlineStats final_utilization;

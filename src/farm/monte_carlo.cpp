@@ -23,6 +23,7 @@ MonteCarloResult run_monte_carlo(const SystemConfig& config,
   double sum_stalls = 0.0, sum_ure_losses = 0.0;
   double sum_window = 0.0, max_window = 0.0;
   double sum_domain_failures = 0.0, sum_exposure = 0.0;
+  double sum_local_bytes = 0.0, sum_cross_bytes = 0.0, sum_requotes = 0.0;
   std::size_t trials_with_windows = 0;
   std::size_t with_redirection = 0;
 
@@ -45,6 +46,12 @@ MonteCarloResult run_monte_carlo(const SystemConfig& config,
     sum_exposure += r.degraded_exposure;
     sum_batches += static_cast<double>(r.batches);
     sum_migrated += static_cast<double>(r.migrated_blocks);
+    if (r.fabric_active) {
+      agg.fabric_active = true;
+      sum_local_bytes += r.local_repair_bytes;
+      sum_cross_bytes += r.cross_rack_repair_bytes;
+      sum_requotes += static_cast<double>(r.fabric_requotes);
+    }
     if (r.redirections > 0) ++with_redirection;
     for (double u : r.initial_used_bytes) agg.initial_utilization.add(u);
     for (double u : r.final_used_bytes) agg.final_utilization.add(u);
@@ -69,6 +76,11 @@ MonteCarloResult run_monte_carlo(const SystemConfig& config,
     agg.mean_migrated_blocks = sum_migrated / n;
     agg.frac_trials_with_redirection =
         static_cast<double>(with_redirection) / n;
+    if (agg.fabric_active) {
+      agg.mean_local_repair_bytes = sum_local_bytes / n;
+      agg.mean_cross_rack_repair_bytes = sum_cross_bytes / n;
+      agg.mean_fabric_requotes = sum_requotes / n;
+    }
   }
   agg.loss_ci = util::wilson_interval(agg.trials_with_loss, options.trials);
   return agg;

@@ -18,7 +18,49 @@ RecoveryPolicy::RecoveryPolicy(StorageSystem& system, sim::Simulator& sim,
       // may be constructed before the system is initialized.
       rebuild_duration_(system.config().block_rebuild_time()),
       workload_(system.config().workload, system.config().disk.bandwidth,
-                system.config().recovery_bandwidth) {}
+                system.config().recovery_bandwidth) {
+  if (system.config().topology.enabled) {
+    // The per-flow cap is the disk-side recovery reservation, workload-
+    // modulated and scaled by the policy's speedup — exactly the rate the
+    // flat model would grant; the fabric can only push it lower.
+    scheduler_ = std::make_unique<net::FlowScheduler>(
+        sim, system.config().topology,
+        [this](double now_sec, double scale) {
+          return workload_.recovery_bandwidth(util::Seconds{now_sec}) * scale;
+        });
+  }
+}
+
+DiskId RecoveryPolicy::representative_source(GroupIndex g, BlockIndex b) const {
+  const unsigned n = system_.blocks_per_group();
+  for (unsigned i = 1; i < n; ++i) {
+    const auto other = static_cast<BlockIndex>((b + i) % n);
+    const DiskId h = system_.home(g, other);
+    if (system_.disk_at(h).alive()) return h;
+  }
+  return system_.home(g, b);
+}
+
+void RecoveryPolicy::start_fabric_transfer(RebuildId id, net::QueueKey queue,
+                                           double rate_scale) {
+  Rebuild& r = slab_[id];
+  const DiskId src = representative_source(r.group, r.block);
+  r.xfer = scheduler_->submit(queue, src, r.target, system_.block_bytes(),
+                              rate_scale, [this, id] {
+                                slab_[id].xfer = net::kNoTransfer;
+                                complete_rebuild(id);
+                              });
+}
+
+void RecoveryPolicy::cancel_transfer(RebuildId id) {
+  Rebuild& r = slab_[id];
+  sim_.cancel(r.done);
+  r.done = sim::EventHandle{};
+  if (r.xfer != net::kNoTransfer) {
+    scheduler_->cancel(r.xfer);
+    r.xfer = net::kNoTransfer;
+  }
+}
 
 void RecoveryPolicy::ensure_disk_slots(DiskId d) {
   if (d >= by_target_.size()) {
@@ -94,6 +136,7 @@ void RecoveryPolicy::retarget(RebuildId id, DiskId new_target) {
 void RecoveryPolicy::reserve_queue_until(DiskId d, double until_sec) {
   ensure_disk_slots(d);
   queue_free_[d] = std::max(queue_free_[d], until_sec);
+  if (scheduler_) scheduler_->hold_queue_until(d, until_sec);
 }
 
 util::Seconds RecoveryPolicy::enqueue_transfer(DiskId target, double rate_scale) {
@@ -171,7 +214,7 @@ void RecoveryPolicy::cancel_group_rebuilds(GroupIndex g) {
   const std::vector<RebuildId> ids = it->second;
   for (RebuildId id : ids) {
     Rebuild& r = slab_[id];
-    sim_.cancel(r.done);
+    cancel_transfer(id);
     disk::Disk& target = system_.disk_at(r.target);
     if (target.alive()) target.release(system_.block_bytes());
     free_rebuild(id);
@@ -208,7 +251,7 @@ void RecoveryPolicy::on_disk_failed(DiskId d) {
   std::vector<RebuildId> orphaned = std::move(by_target_[d]);
   by_target_[d].clear();
   for (RebuildId id : orphaned) {
-    sim_.cancel(slab_[id].done);
+    cancel_transfer(id);
     metrics_.record_redirection();
     metrics_.trace(sim_.now().value(), "redirected", slab_[id].group);
   }

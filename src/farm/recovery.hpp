@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "farm/metrics.hpp"
 #include "farm/storage_system.hpp"
 #include "farm/workload.hpp"
+#include "net/flow_scheduler.hpp"
 #include "sim/simulator.hpp"
 
 namespace farm::core {
@@ -46,6 +48,12 @@ class RecoveryPolicy {
   /// Invoked when the detector declares the disk dead: start rebuilding.
   virtual void on_failure_detected(DiskId d) = 0;
 
+  /// The network-fabric scheduler, or nullptr when the topology is off
+  /// (flat fixed-bandwidth mode).  Exposed for traffic accounting.
+  [[nodiscard]] const net::FlowScheduler* fabric_scheduler() const {
+    return scheduler_.get();
+  }
+
  protected:
   struct Rebuild {
     GroupIndex group = 0;
@@ -53,6 +61,8 @@ class RecoveryPolicy {
     DiskId target = kNoDisk;
     sim::EventHandle done;
     bool live = false;
+    /// Fabric transfer backing this rebuild (fabric mode only).
+    net::TransferId xfer = net::kNoTransfer;
   };
   using RebuildId = std::uint32_t;
 
@@ -83,8 +93,27 @@ class RecoveryPolicy {
   [[nodiscard]] const std::vector<double>& queue_free_times() const { return queue_free_; }
 
   /// Blocks a disk's recovery queue until absolute time `until_sec` (e.g.
-  /// while a replacement drive is being fetched and installed).
+  /// while a replacement drive is being fetched and installed).  In fabric
+  /// mode the hold applies to the scheduler queue as well.
   void reserve_queue_until(DiskId d, double until_sec);
+
+  // --- network fabric (topology.enabled only) ----------------------------
+  [[nodiscard]] bool fabric_enabled() const { return scheduler_ != nullptr; }
+
+  /// Submits the rebuild's block transfer to the fabric scheduler on FIFO
+  /// queue `queue`; completion runs complete_rebuild.  The flow's source is
+  /// a live buddy of the lost block (representative_source).
+  void start_fabric_transfer(RebuildId id, net::QueueKey queue,
+                             double rate_scale);
+
+  /// Cancels a rebuild's pending completion — the flat completion event
+  /// and, in fabric mode, the backing transfer.
+  void cancel_transfer(RebuildId id);
+
+  /// A live disk holding another block of the group — where the
+  /// reconstruction read for (g, b) comes from.  Falls back to the (dead)
+  /// home when the whole group is down.
+  [[nodiscard]] DiskId representative_source(GroupIndex g, BlockIndex b) const;
 
   /// Seconds one block transfer takes when started at absolute time
   /// `start_sec` under the workload model.
@@ -112,6 +141,8 @@ class RecoveryPolicy {
   Metrics& metrics_;
   util::Seconds rebuild_duration_;  // one block at the nominal recovery cap
   WorkloadModel workload_;
+  /// Non-null iff config().topology.enabled.
+  std::unique_ptr<net::FlowScheduler> scheduler_;
 
  private:
   void ensure_disk_slots(DiskId d);

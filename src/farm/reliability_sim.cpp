@@ -83,6 +83,12 @@ TrialResult ReliabilitySimulator::run() {
   result.batches = metrics_.batches();
   result.migrated_blocks = metrics_.migrated_blocks();
   result.events_executed = sim_.events_executed();
+  if (const net::FlowScheduler* fs = policy_->fabric_scheduler()) {
+    result.fabric_active = true;
+    result.local_repair_bytes = fs->local_bytes();
+    result.cross_rack_repair_bytes = fs->cross_rack_bytes();
+    result.fabric_requotes = fs->requotes();
+  }
   result.mean_window_sec = metrics_.windows().mean();
   result.max_window_sec = metrics_.windows().count() ? metrics_.windows().max() : 0.0;
   {

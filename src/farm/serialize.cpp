@@ -53,6 +53,20 @@ void write_json(util::JsonWriter& w, const SystemConfig& config) {
   if (config.replacement.enabled) {
     w.kv("replacement_threshold", config.replacement.loss_fraction_threshold);
   }
+  // Keys appear only when the fabric is on, so flat-mode output stays
+  // bit-identical to builds predating src/net.
+  if (config.topology.enabled) {
+    w.kv("topology_enabled", true);
+    w.kv("disks_per_node", config.topology.disks_per_node);
+    w.kv("nodes_per_rack", config.topology.nodes_per_rack);
+    w.kv("nic_bandwidth_bytes_per_sec", config.topology.nic_bandwidth.value());
+    w.kv("uplink_bandwidth_bytes_per_sec",
+         config.topology.effective_uplink().value());
+    w.kv("oversubscription", config.topology.oversubscription);
+    if (config.topology.core_bandwidth.value() > 0.0) {
+      w.kv("core_bandwidth_bytes_per_sec", config.topology.core_bandwidth.value());
+    }
+  }
   w.end_object();
 }
 
@@ -79,6 +93,11 @@ void write_json(util::JsonWriter& w, const MonteCarloResult& result) {
   w.kv("max_window_sec", result.max_window_sec);
   w.kv("mean_domain_failures", result.mean_domain_failures);
   w.kv("mean_degraded_exposure", result.mean_degraded_exposure);
+  if (result.fabric_active) {
+    w.kv("mean_local_repair_bytes", result.mean_local_repair_bytes);
+    w.kv("mean_cross_rack_repair_bytes", result.mean_cross_rack_repair_bytes);
+    w.kv("mean_fabric_requotes", result.mean_fabric_requotes);
+  }
   if (result.initial_utilization.count() > 0) {
     w.key("initial_utilization_bytes");
     write_stats(w, result.initial_utilization);

@@ -40,26 +40,48 @@ bool TargetSelector::feasible(GroupIndex g, DiskId d, util::Seconds now,
 
 TargetSelector::Choice TargetSelector::select(
     GroupIndex g, std::span<const double> queue_free_time, util::Seconds now,
-    std::span<const DiskId> extra_excluded) const {
+    std::span<const DiskId> extra_excluded,
+    std::optional<std::size_t> preferred_rack) const {
   const std::uint32_t start = system_.state(g).next_rank;
   const unsigned want = std::max(1u, rules_.prefer_low_load ? rules_.probe_width : 1u);
+  const bool want_local = preferred_rack.has_value() && rules_.prefer_rack_local;
+  const net::TopologyConfig& topo = system_.config().topology;
 
   for (const bool relaxed : {false, true}) {
     DiskId best = kNoDisk;
+    DiskId best_local = kNoDisk;
     std::uint32_t best_rank = start;
+    std::uint32_t best_local_rank = start;
     double best_free = 0.0;
+    double best_local_free = 0.0;
     unsigned found = 0;
+    unsigned found_local = 0;
     for (std::uint32_t probe = 0; probe < kMaxProbes; ++probe) {
       const std::uint32_t rank = start + probe;
       const DiskId d = system_.candidate_disk(g, rank);
       if (!feasible(g, d, now, relaxed, extra_excluded)) continue;
       const double free_at = d < queue_free_time.size() ? queue_free_time[d] : 0.0;
-      if (found == 0 || free_at < best_free) {
+      if (found < want && (found == 0 || free_at < best_free)) {
         best = d;
         best_rank = rank;
         best_free = free_at;
       }
-      if (++found >= want) break;
+      ++found;
+      if (want_local && topo.rack_of(d) == *preferred_rack) {
+        if (found_local == 0 || free_at < best_local_free) {
+          best_local = d;
+          best_local_rank = rank;
+          best_local_free = free_at;
+        }
+        ++found_local;
+      }
+      if (found >= want &&
+          (!want_local || found_local > 0 || probe + 1 >= kLocalProbeWindow)) {
+        break;
+      }
+    }
+    if (best_local != kNoDisk) {
+      return Choice{best_local, best_local_rank + 1};
     }
     if (best != kNoDisk) {
       return Choice{best, best_rank + 1};

@@ -14,6 +14,7 @@
 // deferred retry.
 #pragma once
 
+#include <optional>
 #include <span>
 
 #include "farm/storage_system.hpp"
@@ -34,12 +35,21 @@ class TargetSelector {
   /// to when its recovery queue drains (the load signal); `now` is the
   /// current simulated time for SMART checks.  `extra_excluded` lists disks
   /// already targeted by this group's other in-flight rebuilds.
+  /// `preferred_rack` (fabric mode, rule prefer_rack_local) biases the
+  /// choice toward that rack: a feasible rack-local disk wins over any
+  /// remote one, and the probe extends past probe_width — within
+  /// kLocalProbeWindow ranks — hunting for one before settling.
   [[nodiscard]] Choice select(GroupIndex g, std::span<const double> queue_free_time,
                               util::Seconds now,
-                              std::span<const DiskId> extra_excluded) const;
+                              std::span<const DiskId> extra_excluded,
+                              std::optional<std::size_t> preferred_rack =
+                                  std::nullopt) const;
 
   /// Maximum candidate ranks examined before giving up one relaxation pass.
   static constexpr std::uint32_t kMaxProbes = 512;
+  /// Ranks examined while hunting for a rack-local target (beyond the
+  /// first probe_width feasible disks the load rule needs).
+  static constexpr std::uint32_t kLocalProbeWindow = 64;
 
  private:
   [[nodiscard]] bool feasible(GroupIndex g, DiskId d, util::Seconds now,

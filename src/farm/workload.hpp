@@ -55,9 +55,16 @@ class WorkloadModel {
     return util::Bandwidth{std::min(cap_.value(), available)};
   }
 
-  /// Seconds to move `amount` starting at time t.  Uses the bandwidth at the
-  /// transfer's start — a good approximation while transfers (minutes) stay
-  /// far shorter than the workload period (a day).
+  /// Seconds to move `amount` starting at time t.
+  ///
+  /// Quotes the bandwidth once, at the transfer's *start*, rather than
+  /// integrating 1/b(t) across the diurnal curve.  For a transfer of
+  /// quoted duration tau the relative error of the quote is bounded by
+  /// ~|b'(t)|/b(t) * tau/2 (first-order Taylor of 1/b around t): minutes
+  /// of transfer against a day-long period keeps it well under a percent
+  /// even at the curve's steepest point (t = period/4).  The regression
+  /// test farm_workload_test.TransferTimeQuoteErrorBound pins this bound;
+  /// revisit the approximation before letting transfers grow to hours.
   [[nodiscard]] util::Seconds transfer_time(util::Bytes amount, util::Seconds t) const {
     return util::Seconds{amount.value() / recovery_bandwidth(t).value()};
   }

@@ -1,0 +1,150 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace farm::net {
+
+Fabric::Fabric(const TopologyConfig& topo) : topo_(topo) { topo_.validate(); }
+
+std::uint32_t Fabric::link_index(LinkKind kind, std::size_t ordinal,
+                                 double capacity) {
+  std::vector<std::uint32_t>* table = nullptr;
+  switch (kind) {
+    case LinkKind::kNicTx: table = &nic_tx_; break;
+    case LinkKind::kNicRx: table = &nic_rx_; break;
+    case LinkKind::kRackUp: table = &rack_up_; break;
+    case LinkKind::kRackDown: table = &rack_down_; break;
+    case LinkKind::kCore:
+      if (core_ == kNoLink) {
+        core_ = static_cast<std::uint32_t>(links_.size());
+        links_.push_back(Link{capacity, 0.0, 0});
+      }
+      return core_;
+  }
+  if (table->size() <= ordinal) table->resize(ordinal + 1, kNoLink);
+  std::uint32_t& slot = (*table)[ordinal];
+  if (slot == kNoLink) {
+    slot = static_cast<std::uint32_t>(links_.size());
+    links_.push_back(Link{capacity, 0.0, 0});
+  }
+  return slot;
+}
+
+FlowId Fabric::open(EndpointId src, EndpointId dst, util::Bandwidth cap) {
+  FlowId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = static_cast<FlowId>(flows_.size());
+    flows_.emplace_back();
+  }
+  Flow& f = flows_[id];
+  f.cap = cap.value();
+  f.rate = 0.0;
+  f.live = true;
+  f.link_count = 0;
+  const double nic = topo_.nic_bandwidth.value();
+  if (!topo_.same_node(src, dst)) {
+    f.links[f.link_count++] =
+        link_index(LinkKind::kNicTx, topo_.node_of(src), nic);
+    f.links[f.link_count++] =
+        link_index(LinkKind::kNicRx, topo_.node_of(dst), nic);
+    if (!topo_.same_rack(src, dst)) {
+      const double uplink = topo_.effective_uplink().value();
+      f.links[f.link_count++] =
+          link_index(LinkKind::kRackUp, topo_.rack_of(src), uplink);
+      f.links[f.link_count++] =
+          link_index(LinkKind::kRackDown, topo_.rack_of(dst), uplink);
+      if (topo_.core_bandwidth.value() > 0.0) {
+        f.links[f.link_count++] =
+            link_index(LinkKind::kCore, 0, topo_.core_bandwidth.value());
+      }
+    }
+  }
+  ++open_count_;
+  return id;
+}
+
+void Fabric::close(FlowId id) {
+  assert(id < flows_.size() && flows_[id].live);
+  flows_[id].live = false;
+  flows_[id].rate = 0.0;
+  free_ids_.push_back(id);
+  --open_count_;
+}
+
+void Fabric::set_cap(FlowId id, util::Bandwidth cap) {
+  assert(id < flows_.size() && flows_[id].live);
+  flows_[id].cap = cap.value();
+}
+
+void Fabric::solve() {
+  ++solves_;
+  for (Link& l : links_) {
+    l.residual = l.capacity;
+    l.unfrozen = 0;
+  }
+  std::size_t active = 0;
+  for (Flow& f : flows_) {
+    if (!f.live) continue;
+    f.rate = 0.0;
+    f.frozen = false;
+    ++active;
+    for (std::uint32_t i = 0; i < f.link_count; ++i) {
+      ++links_[f.links[i]].unfrozen;
+    }
+  }
+
+  // Progressive filling: each round, raise every unfrozen flow by the
+  // largest uniform delta no link or private cap can absorb more of, then
+  // freeze the flows that hit their binding constraint.  At least one flow
+  // freezes per round, so the loop is bounded by the flow count.
+  while (active > 0) {
+    double delta = std::numeric_limits<double>::infinity();
+    for (const Link& l : links_) {
+      if (l.unfrozen > 0) {
+        delta = std::min(delta, l.residual / static_cast<double>(l.unfrozen));
+      }
+    }
+    for (const Flow& f : flows_) {
+      if (f.live && !f.frozen) delta = std::min(delta, f.cap - f.rate);
+    }
+    if (delta < 0.0) delta = 0.0;
+
+    for (Flow& f : flows_) {
+      if (!f.live || f.frozen) continue;
+      f.rate += delta;
+      for (std::uint32_t i = 0; i < f.link_count; ++i) {
+        links_[f.links[i]].residual -= delta;
+      }
+    }
+
+    // A tiny tolerance absorbs the accumulated subtraction error so a
+    // saturated link reliably freezes its flows.
+    constexpr double kEps = 1e-9;
+    std::size_t froze = 0;
+    for (Flow& f : flows_) {
+      if (!f.live || f.frozen) continue;
+      bool frozen = f.rate >= f.cap - kEps * std::max(1.0, f.cap);
+      for (std::uint32_t i = 0; i < f.link_count && !frozen; ++i) {
+        const Link& l = links_[f.links[i]];
+        frozen = l.residual <= kEps * std::max(1.0, l.capacity);
+      }
+      if (frozen) {
+        f.frozen = true;
+        ++froze;
+        for (std::uint32_t i = 0; i < f.link_count; ++i) {
+          --links_[f.links[i]].unfrozen;
+        }
+      }
+    }
+    active -= froze;
+    assert(froze > 0 || active == 0);
+    if (froze == 0) break;  // defensive: cannot make progress
+  }
+}
+
+}  // namespace farm::net

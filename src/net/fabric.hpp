@@ -1,0 +1,99 @@
+// Contention-aware fabric: concurrent flows over the topology tree, with
+// max-min fair bandwidth sharing computed by progressive filling.
+//
+// A flow is a point-to-point recovery stream between two disks.  Its path
+// crosses the source node's NIC (transmit side), the destination node's NIC
+// (receive side), and — when the endpoints sit in different racks — the
+// source rack's uplink, the destination rack's downlink, and the shared
+// core.  A same-node flow crosses no fabric link at all (the node's
+// backplane is assumed non-blocking).  Every flow also carries a private
+// cap — the disk-side recovery reservation (16 MB/s in the paper's base
+// system), possibly workload-modulated — modeled as a single-flow link.
+//
+// solve() runs textbook progressive filling (water-filling): raise every
+// unfrozen flow's rate at the same pace until some link saturates, freeze
+// the flows crossing it, subtract, repeat.  The result is the unique
+// max-min fair allocation.  Each round freezes at least one flow, so the
+// loop runs at most |flows| times; with the recovery policies' flow counts
+// (tens per failure burst) a solve costs microseconds (bench_micro_fabric
+// pins it).
+//
+// The fabric is pure rate arithmetic — no simulated time, no events.
+// net::FlowScheduler owns the coupling to the discrete-event clock.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace farm::net {
+
+using FlowId = std::uint32_t;
+inline constexpr FlowId kNoFlow = 0xffffffffu;
+
+class Fabric {
+ public:
+  explicit Fabric(const TopologyConfig& topo);
+
+  [[nodiscard]] const TopologyConfig& topology() const { return topo_; }
+
+  /// Registers a flow from `src` to `dst` with the given private cap.
+  /// Rates are stale until the next solve().
+  FlowId open(EndpointId src, EndpointId dst, util::Bandwidth cap);
+
+  /// Removes a flow.  Rates are stale until the next solve().
+  void close(FlowId id);
+
+  /// Updates a flow's private cap (e.g. the diurnal workload squeezed the
+  /// disk-side reservation).  Rates are stale until the next solve().
+  void set_cap(FlowId id, util::Bandwidth cap);
+
+  /// Recomputes the max-min fair rate of every open flow.
+  void solve();
+
+  /// The flow's rate as of the last solve().
+  [[nodiscard]] util::Bandwidth rate(FlowId id) const {
+    return util::Bandwidth{flows_[id].rate};
+  }
+
+  [[nodiscard]] std::size_t open_flows() const { return open_count_; }
+  /// Total solve() calls (re-quote accounting).
+  [[nodiscard]] std::uint64_t solves() const { return solves_; }
+
+ private:
+  enum class LinkKind : std::uint8_t { kNicTx, kNicRx, kRackUp, kRackDown, kCore };
+
+  struct Link {
+    double capacity = 0.0;
+    // solve() scratch:
+    double residual = 0.0;
+    std::uint32_t unfrozen = 0;
+  };
+
+  struct Flow {
+    double cap = 0.0;
+    double rate = 0.0;
+    bool live = false;
+    bool frozen = false;  // solve() scratch
+    std::uint32_t links[5];
+    std::uint32_t link_count = 0;
+  };
+
+  std::uint32_t link_index(LinkKind kind, std::size_t ordinal, double capacity);
+
+  TopologyConfig topo_;
+  std::vector<Link> links_;
+  /// Lazy (kind, ordinal) -> link index maps; vectors indexed by ordinal
+  /// with kNoLink holes, so lookup is O(1) and iteration is deterministic.
+  static constexpr std::uint32_t kNoLink = 0xffffffffu;
+  std::vector<std::uint32_t> nic_tx_, nic_rx_, rack_up_, rack_down_;
+  std::uint32_t core_ = kNoLink;
+
+  std::vector<Flow> flows_;
+  std::vector<FlowId> free_ids_;
+  std::size_t open_count_ = 0;
+  std::uint64_t solves_ = 0;
+};
+
+}  // namespace farm::net

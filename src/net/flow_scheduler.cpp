@@ -1,0 +1,171 @@
+#include "net/flow_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace farm::net {
+
+FlowScheduler::FlowScheduler(sim::Simulator& sim, const TopologyConfig& topo,
+                             CapFn cap)
+    : sim_(sim), fabric_(topo), cap_fn_(std::move(cap)) {}
+
+void FlowScheduler::settle() {
+  const double now = sim_.now().value();
+  const double dt = now - settled_at_;
+  if (dt > 0.0) {
+    for (TransferId id : active_) {
+      Transfer& t = slab_[id];
+      t.remaining = std::max(0.0, t.remaining - t.rate * dt);
+    }
+  }
+  settled_at_ = now;
+}
+
+bool FlowScheduler::try_activate(QueueKey qk) {
+  Queue& q = queues_[qk];
+  if (q.active != kNoTransfer || q.waiting.empty()) return false;
+  const double now = sim_.now().value();
+  if (now < q.hold_until) {
+    if (!q.pump_scheduled) {
+      q.pump_scheduled = true;
+      sim_.schedule_at(util::Seconds{q.hold_until},
+                       [this, qk] { on_pump(qk); });
+    }
+    return false;
+  }
+  const TransferId id = q.waiting.front();
+  q.waiting.pop_front();
+  --queued_count_;
+  q.active = id;
+  Transfer& t = slab_[id];
+  t.flow = fabric_.open(t.src, t.dst, cap_fn_(now, t.cap_scale));
+  active_.push_back(id);
+  return true;
+}
+
+void FlowScheduler::requote() {
+  const double now = sim_.now().value();
+  for (TransferId id : active_) {
+    Transfer& t = slab_[id];
+    fabric_.set_cap(t.flow, cap_fn_(now, t.cap_scale));
+  }
+  fabric_.solve();
+  for (TransferId id : active_) {
+    Transfer& t = slab_[id];
+    const double rate = fabric_.rate(t.flow).value();
+    if (rate == t.rate && t.done.valid()) continue;
+    if (t.done.valid()) sim_.cancel(t.done);
+    t.rate = rate;
+    if (rate > 0.0) {
+      t.done = sim_.schedule_in(util::Seconds{t.remaining / rate},
+                                [this, id] { on_complete(id); });
+    } else {
+      // Fully squeezed out; a later flow event will re-quote it.
+      t.done = sim::EventHandle{};
+    }
+  }
+}
+
+void FlowScheduler::on_pump(QueueKey qk) {
+  queues_[qk].pump_scheduled = false;
+  settle();
+  if (try_activate(qk)) requote();
+}
+
+void FlowScheduler::finish_transfer(TransferId id) {
+  Transfer& t = slab_[id];
+  fabric_.close(t.flow);
+  t.flow = kNoFlow;
+  active_.erase(std::find(active_.begin(), active_.end(), id));
+  Queue& q = queues_[t.queue];
+  assert(q.active == id);
+  q.active = kNoTransfer;
+}
+
+void FlowScheduler::free_transfer(TransferId id) {
+  Transfer& t = slab_[id];
+  t.live = false;
+  t.on_done = nullptr;
+  t.done = sim::EventHandle{};
+  free_ids_.push_back(id);
+}
+
+void FlowScheduler::on_complete(TransferId id) {
+  settle();
+  Transfer& t = slab_[id];
+  t.remaining = 0.0;
+  if (cross_rack(t.src, t.dst)) {
+    cross_rack_bytes_ += t.total;
+  } else {
+    local_bytes_ += t.total;
+  }
+  const QueueKey qk = t.queue;
+  DoneFn cb = std::move(t.on_done);
+  finish_transfer(id);
+  free_transfer(id);
+  try_activate(qk);
+  requote();
+  // Last, so the callback observes a consistent scheduler (it may submit or
+  // cancel transfers, each of which settles and re-quotes on its own).
+  if (cb) cb();
+}
+
+TransferId FlowScheduler::submit(QueueKey queue, EndpointId src,
+                                 EndpointId dst, util::Bytes bytes,
+                                 double cap_scale, DoneFn on_done) {
+  TransferId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = static_cast<TransferId>(slab_.size());
+    slab_.emplace_back();
+  }
+  Transfer& t = slab_[id];
+  t.queue = queue;
+  t.src = src;
+  t.dst = dst;
+  t.remaining = bytes.value();
+  t.total = bytes.value();
+  t.cap_scale = cap_scale;
+  t.on_done = std::move(on_done);
+  t.flow = kNoFlow;
+  t.rate = 0.0;
+  t.done = sim::EventHandle{};
+  t.live = true;
+
+  settle();
+  queues_[queue].waiting.push_back(id);
+  ++queued_count_;
+  if (try_activate(queue)) requote();
+  return id;
+}
+
+void FlowScheduler::cancel(TransferId id) {
+  assert(id < slab_.size() && slab_[id].live);
+  Transfer& t = slab_[id];
+  if (t.flow == kNoFlow) {
+    Queue& q = queues_[t.queue];
+    auto it = std::find(q.waiting.begin(), q.waiting.end(), id);
+    assert(it != q.waiting.end());
+    q.waiting.erase(it);
+    --queued_count_;
+    free_transfer(id);
+    return;
+  }
+  settle();
+  if (t.done.valid()) sim_.cancel(t.done);
+  const QueueKey qk = t.queue;
+  finish_transfer(id);
+  free_transfer(id);
+  try_activate(qk);
+  requote();
+}
+
+void FlowScheduler::hold_queue_until(QueueKey queue, double until_sec) {
+  Queue& q = queues_[queue];
+  q.hold_until = std::max(q.hold_until, until_sec);
+}
+
+}  // namespace farm::net

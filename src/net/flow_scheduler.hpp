@@ -1,0 +1,126 @@
+// Couples net::Fabric to the discrete-event clock.
+//
+// The recovery policies hand the scheduler block transfers; it keeps the
+// per-queue FIFO discipline the flat model gets from `queue_free_` drain
+// clocks (one transfer in flight per queue, the rest waiting), opens a
+// fabric flow for each transfer at the head of its queue, and converts the
+// solved rates into completion events.  Whenever the flow set changes — a
+// transfer starts, finishes, or is cancelled — every in-flight transfer is
+// *re-quoted*: its remaining bytes are settled at the old rate, the fabric
+// re-solves, and its completion event moves to now + remaining/new_rate.
+// So a transfer's effective bandwidth is piecewise constant between flow
+// events, which is exact for max-min sharing (rates only change when the
+// flow set or a cap changes).
+//
+// Caps are resampled from the CapFn at every re-quote, so the diurnal
+// workload squeeze applies at flow-event granularity (the flat model quotes
+// once at transfer start; see WorkloadModel::transfer_time).
+//
+// Cancelled transfers contribute nothing to the traffic counters; only
+// completed transfers are accounted (by total size, split rack-local vs
+// cross-rack).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace farm::net {
+
+using TransferId = std::uint32_t;
+inline constexpr TransferId kNoTransfer = 0xffffffffu;
+
+/// FIFO-queue key.  The policies use disk ids: the rebuild target for FARM
+/// and dedicated-spare, the dead disk (reconstruction-stream token) for
+/// distributed sparing.
+using QueueKey = std::uint32_t;
+
+class FlowScheduler {
+ public:
+  /// Samples the private disk-side cap of a flow starting/re-quoted at
+  /// absolute time `now_sec`; `scale` is the policy's rate multiplier
+  /// (e.g. the dedicated spare's criticality speedup).
+  using CapFn = std::function<util::Bandwidth(double now_sec, double scale)>;
+  using DoneFn = std::function<void()>;
+
+  FlowScheduler(sim::Simulator& sim, const TopologyConfig& topo, CapFn cap);
+
+  /// Enqueues a transfer of `bytes` from `src` to `dst` on `queue`.
+  /// `on_done` fires when the transfer completes (never after cancel()).
+  TransferId submit(QueueKey queue, EndpointId src, EndpointId dst,
+                    util::Bytes bytes, double cap_scale, DoneFn on_done);
+
+  /// Drops a transfer (queued or in flight); its on_done never fires.
+  void cancel(TransferId id);
+
+  /// Blocks a queue until absolute time `until_sec` (replacement-drive
+  /// provisioning); mirrors RecoveryPolicy::reserve_queue_until.
+  void hold_queue_until(QueueKey queue, double until_sec);
+
+  [[nodiscard]] const Fabric& fabric() const { return fabric_; }
+  [[nodiscard]] bool cross_rack(EndpointId a, EndpointId b) const {
+    return !fabric_.topology().same_rack(a, b);
+  }
+
+  [[nodiscard]] std::size_t in_flight() const { return active_.size(); }
+  [[nodiscard]] std::size_t queued() const { return queued_count_; }
+  /// Completed-transfer traffic, split by endpoint placement.
+  [[nodiscard]] double local_bytes() const { return local_bytes_; }
+  [[nodiscard]] double cross_rack_bytes() const { return cross_rack_bytes_; }
+  /// Fabric re-solves triggered by flow churn.
+  [[nodiscard]] std::uint64_t requotes() const { return fabric_.solves(); }
+
+ private:
+  struct Transfer {
+    QueueKey queue = 0;
+    EndpointId src = 0;
+    EndpointId dst = 0;
+    double remaining = 0.0;  // bytes
+    double total = 0.0;      // bytes
+    double cap_scale = 1.0;
+    DoneFn on_done;
+    FlowId flow = kNoFlow;  // kNoFlow while waiting in queue
+    double rate = 0.0;      // bytes/sec as of the last re-quote
+    sim::EventHandle done;
+    bool live = false;
+  };
+
+  struct Queue {
+    std::deque<TransferId> waiting;
+    TransferId active = kNoTransfer;
+    double hold_until = 0.0;
+    bool pump_scheduled = false;
+  };
+
+  /// Folds elapsed time into every in-flight transfer's remaining bytes.
+  void settle();
+  /// Starts the next waiting transfer if the queue is idle and unheld;
+  /// schedules a pump event if held.  Returns true if a flow opened.
+  bool try_activate(QueueKey qk);
+  /// Re-solves the fabric and moves every in-flight completion event.
+  void requote();
+  void on_complete(TransferId id);
+  void on_pump(QueueKey qk);
+  void finish_transfer(TransferId id);  // close flow + detach from queue slot
+  void free_transfer(TransferId id);
+
+  sim::Simulator& sim_;
+  Fabric fabric_;
+  CapFn cap_fn_;
+
+  std::vector<Transfer> slab_;
+  std::vector<TransferId> free_ids_;
+  std::vector<TransferId> active_;  // transfers with an open fabric flow
+  std::unordered_map<QueueKey, Queue> queues_;
+  std::size_t queued_count_ = 0;
+  double settled_at_ = 0.0;
+  double local_bytes_ = 0.0;
+  double cross_rack_bytes_ = 0.0;
+};
+
+}  // namespace farm::net

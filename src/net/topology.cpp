@@ -1,0 +1,53 @@
+#include "net/topology.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace farm::net {
+
+util::Bandwidth TopologyConfig::effective_uplink() const {
+  if (uplink_bandwidth.value() > 0.0) return uplink_bandwidth;
+  return util::Bandwidth{nic_bandwidth.value() *
+                         static_cast<double>(nodes_per_rack) /
+                         oversubscription};
+}
+
+void TopologyConfig::validate() const {
+  if (disks_per_node == 0) {
+    throw std::invalid_argument("topology: disks_per_node must be >= 1");
+  }
+  if (nodes_per_rack == 0) {
+    throw std::invalid_argument("topology: nodes_per_rack must be >= 1");
+  }
+  if (!(nic_bandwidth.value() > 0.0)) {
+    throw std::invalid_argument("topology: nic_bandwidth must be positive");
+  }
+  if (uplink_bandwidth.value() < 0.0) {
+    throw std::invalid_argument("topology: uplink_bandwidth cannot be negative");
+  }
+  if (uplink_bandwidth.value() == 0.0 && !(oversubscription > 0.0)) {
+    throw std::invalid_argument("topology: oversubscription must be positive");
+  }
+  if (core_bandwidth.value() < 0.0) {
+    throw std::invalid_argument("topology: core_bandwidth cannot be negative");
+  }
+  if (!(effective_uplink().value() > 0.0)) {
+    throw std::invalid_argument("topology: effective uplink must be positive");
+  }
+}
+
+std::string TopologyConfig::summary() const {
+  std::ostringstream os;
+  os << disks_per_node << " disks/node, " << nodes_per_rack
+     << " nodes/rack, NIC " << util::to_string(nic_bandwidth) << ", uplink "
+     << util::to_string(effective_uplink());
+  if (uplink_bandwidth.value() == 0.0) {
+    os << " (oversubscription " << oversubscription << ")";
+  }
+  if (core_bandwidth.value() > 0.0) {
+    os << ", core " << util::to_string(core_bandwidth);
+  }
+  return os.str();
+}
+
+}  // namespace farm::net

@@ -1,0 +1,78 @@
+// Hierarchical network-fabric topology (extension beyond the paper).
+//
+// The paper's recovery-bandwidth evaluation (§3.4) treats recovery as a
+// fixed per-disk reservation; in real declustered systems the repair
+// bottleneck is the network — Rashmi et al. measured cross-rack repair
+// traffic saturating rack uplinks in Facebook's warehouse clusters, and
+// Luby's repair-rate bounds are stated in terms of transfer capacity.  This
+// config describes the classic three-level tree the fabric model simulates:
+//
+//   disk ──► node NIC ──► rack uplink ──► core
+//
+// Disks are binned into nodes and nodes into racks by id, exactly like
+// DomainConfig bins disks into enclosures, so dedicated spares and
+// replacement batches fall into (possibly new) nodes and racks with no
+// extra bookkeeping.  Every link is full duplex and modeled per direction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace farm::net {
+
+/// Endpoints are disk ids (the reliability simulator's DiskId space).
+using EndpointId = std::uint32_t;
+
+struct TopologyConfig {
+  /// Off (default) = the paper's flat fixed-bandwidth model; the recovery
+  /// layer must behave bit-identically to a build without src/net.
+  bool enabled = false;
+
+  std::size_t disks_per_node = 16;
+  std::size_t nodes_per_rack = 8;
+
+  /// Per-direction NIC capacity of one node (full duplex).
+  util::Bandwidth nic_bandwidth = util::mb_per_sec(1000);
+
+  /// Per-direction rack-uplink capacity.  0 (default) derives it from the
+  /// oversubscription ratio: nodes_per_rack * nic / oversubscription.
+  util::Bandwidth uplink_bandwidth{0};
+
+  /// Rack-uplink oversubscription ratio (1 = non-blocking rack egress);
+  /// used only when uplink_bandwidth is 0.
+  double oversubscription = 4.0;
+
+  /// Aggregate per-direction core capacity shared by all cross-rack flows;
+  /// 0 (default) models a non-blocking core.
+  util::Bandwidth core_bandwidth{0};
+
+  [[nodiscard]] std::size_t disks_per_rack() const {
+    return disks_per_node * nodes_per_rack;
+  }
+  [[nodiscard]] std::size_t node_of(EndpointId disk) const {
+    return disk / disks_per_node;
+  }
+  [[nodiscard]] std::size_t rack_of(EndpointId disk) const {
+    return disk / disks_per_rack();
+  }
+  [[nodiscard]] bool same_node(EndpointId a, EndpointId b) const {
+    return node_of(a) == node_of(b);
+  }
+  [[nodiscard]] bool same_rack(EndpointId a, EndpointId b) const {
+    return rack_of(a) == rack_of(b);
+  }
+
+  /// The rack uplink capacity actually in force (explicit or derived).
+  [[nodiscard]] util::Bandwidth effective_uplink() const;
+
+  /// Throws std::invalid_argument on inconsistent parameters.  Only
+  /// meaningful when enabled.
+  void validate() const;
+
+  /// One-line summary for bench headers ("16 disks/node, 8 nodes/rack, ...").
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace farm::net

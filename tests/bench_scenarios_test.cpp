@@ -32,6 +32,8 @@ const std::set<std::string> kExpectedNames = {
     "ablation_latent_errors",
     "ablation_domains",
     "ablation_critical_priority",
+    "net_oversubscription",
+    "net_locality",
 };
 
 ScenarioOptions tiny_options() {
@@ -110,6 +112,126 @@ TEST(Scenario, SeedsDeriveFromNamesAndLabelsNotPosition) {
   for (const PointResult& p : run.points) {
     EXPECT_EQ(p.seed, point_seed(scenario_seed, p.point.label))
         << p.point.label;
+  }
+}
+
+// Golden numbers for two flat-mode scenarios, captured from the seed build
+// before src/net existed.  A configuration with no TopologyConfig must keep
+// producing *exactly* these values: the fabric wiring is required to
+// degenerate bit-for-bit, not merely statistically.
+struct GoldenPoint {
+  const char* label;
+  std::uint32_t trials_with_loss;
+  double mean_disk_failures;
+  double mean_rebuilds;
+  double mean_window_sec;
+};
+
+void expect_matches_golden(const char* scenario_name,
+                           const std::vector<GoldenPoint>& golden) {
+  const Scenario* s = ScenarioRegistry::instance().find(scenario_name);
+  ASSERT_NE(s, nullptr);
+  const ScenarioRun run = s->run(tiny_options());
+  ASSERT_EQ(run.points.size(), golden.size());
+  for (const GoldenPoint& g : golden) {
+    const PointResult* p = nullptr;
+    for (const PointResult& candidate : run.points) {
+      if (candidate.point.label == g.label) p = &candidate;
+    }
+    ASSERT_NE(p, nullptr) << g.label;
+    EXPECT_EQ(p->result.trials_with_loss, g.trials_with_loss) << g.label;
+    // Failure and rebuild counts sum integers, so the means are exact; the
+    // window mean accumulates doubles in worker-completion order, so allow
+    // rounding noise only.
+    EXPECT_DOUBLE_EQ(p->result.mean_disk_failures, g.mean_disk_failures)
+        << g.label;
+    EXPECT_DOUBLE_EQ(p->result.mean_rebuilds, g.mean_rebuilds) << g.label;
+    EXPECT_NEAR(p->result.mean_window_sec, g.mean_window_sec,
+                1e-9 * (1.0 + g.mean_window_sec))
+        << g.label;
+  }
+}
+
+TEST(Scenario, FlatModeOutputIsBitIdenticalToTheSeedBuild) {
+  expect_matches_golden(
+      "fig5_recovery_bandwidth",
+      {
+          {"w/o FARM, 10GB@8", 0, 10, 402, 25702.74388471282},
+          {"w/o FARM, 10GB@16", 0, 13.5, 540.5, 12868.473620759254},
+          {"w/o FARM, 10GB@24", 0, 17, 682.5, 8613.13005212722},
+          {"w/o FARM, 10GB@32", 0, 14, 554, 6371.822693989878},
+          {"w/o FARM, 10GB@40", 0, 10, 399, 5148.338557993731},
+          {"w/o FARM, 50GB@8", 0, 15, 116.5, 28002.430307096005},
+          {"w/o FARM, 50GB@16", 0, 15.5, 123.5, 14211.862005365527},
+          {"w/o FARM, 50GB@24", 0, 10, 81, 9614.549037691573},
+          {"w/o FARM, 50GB@32", 0, 9.5, 77.5, 7214.161324786324},
+          {"w/o FARM, 50GB@40", 0, 7.5, 58, 5604.013157894736},
+          {"with FARM, 10GB@8", 0, 11.5, 481.5, 1289.7293440402482},
+          {"with FARM, 10GB@16", 0, 11.5, 489, 659.4532088251071},
+          {"with FARM, 10GB@24", 0, 8, 334, 449.20176333353777},
+          {"with FARM, 10GB@32", 0, 11.5, 490, 344.5385826637977},
+          {"with FARM, 10GB@40", 0, 13, 556.5, 282.4013895652291},
+          {"with FARM, 50GB@8", 0, 15, 128.5, 6280},
+          {"with FARM, 50GB@16", 0, 14, 117.5, 3155},
+          {"with FARM, 50GB@24", 0, 10, 80, 2113.333333334952},
+          {"with FARM, 50GB@32", 0, 12, 103, 1592.5},
+          {"with FARM, 50GB@40", 0, 10.5, 87.5, 1280},
+      });
+
+  ScenarioOptions opts = tiny_options();
+  opts.trials = 3;
+  opts.scale = 0.02;
+  opts.master_seed = 11;
+  const Scenario* ablation =
+      ScenarioRegistry::instance().find("ablation_recovery_modes");
+  ASSERT_NE(ablation, nullptr);
+  const ScenarioRun run = ablation->run(opts);
+  const std::vector<GoldenPoint> golden = {
+      {"dedicated-spare", 0, 25.666666666666668, 1025, 12827.838178167323},
+      {"distributed-sparing", 0, 21.666666666666668, 919, 13609.464812801501},
+      {"FARM", 0, 22, 928.3333333333334, 655.39531941809},
+  };
+  ASSERT_EQ(run.points.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(run.points[i].point.label, golden[i].label);
+    EXPECT_EQ(run.points[i].result.trials_with_loss,
+              golden[i].trials_with_loss);
+    EXPECT_DOUBLE_EQ(run.points[i].result.mean_disk_failures,
+                     golden[i].mean_disk_failures);
+    EXPECT_DOUBLE_EQ(run.points[i].result.mean_rebuilds,
+                     golden[i].mean_rebuilds);
+    EXPECT_NEAR(run.points[i].result.mean_window_sec,
+                golden[i].mean_window_sec,
+                1e-9 * (1.0 + golden[i].mean_window_sec));
+  }
+}
+
+TEST(Scenario, NetScenariosRunAndEmitValidJson) {
+  for (const char* name : {"net_oversubscription", "net_locality"}) {
+    const Scenario* s = ScenarioRegistry::instance().find(name);
+    ASSERT_NE(s, nullptr) << name;
+    const ScenarioRun run = s->run(tiny_options());
+    EXPECT_FALSE(run.points.empty()) << name;
+    EXPECT_FALSE(run.rendered.empty()) << name;
+    const util::JsonValue v = util::JsonValue::parse(to_json(run, "test"));
+    EXPECT_EQ(v.at("scenario").as_string(), name);
+    for (const util::JsonValue& p : v.at("points").as_array()) {
+      // Fabric scenarios must carry the traffic-split fields...
+      EXPECT_NE(p.at("config").find("topology_enabled"), nullptr) << name;
+      EXPECT_GE(p.at("result").at("mean_fabric_requotes").as_number(), 0.0)
+          << name;
+    }
+  }
+  // ...and flat scenarios must not: the schema only grows when the fabric
+  // is switched on.
+  const Scenario* flat =
+      ScenarioRegistry::instance().find("ablation_recovery_modes");
+  ASSERT_NE(flat, nullptr);
+  const util::JsonValue v =
+      util::JsonValue::parse(to_json(flat->run(tiny_options()), "test"));
+  for (const util::JsonValue& p : v.at("points").as_array()) {
+    EXPECT_EQ(p.at("config").find("topology_enabled"), nullptr);
+    EXPECT_EQ(p.at("result").find("mean_fabric_requotes"), nullptr);
   }
 }
 

@@ -1,0 +1,154 @@
+// Integration of src/net with the recovery layer: exact degeneration to the
+// flat model when the fabric is unconstrained, uplink contention stretching
+// cross-rack rebuilds (and leaving rack-local ones alone), and the
+// rack-local target rule steering traffic off the uplinks.
+#include <gtest/gtest.h>
+
+#include "farm/recovery.hpp"
+#include "farm/reliability_sim.hpp"
+
+namespace farm::core {
+namespace {
+
+using util::gb_per_sec;
+using util::gigabytes;
+using util::mb_per_sec;
+using util::terabytes;
+
+SystemConfig small_system() {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(20);  // ~100 disks
+  cfg.group_size = gigabytes(10);
+  cfg.smart.enabled = false;
+  return cfg;
+}
+
+/// A fabric so oversized no link can ever bind 16 MB/s recovery flows.
+void enable_unconstrained_fabric(SystemConfig& cfg) {
+  cfg.topology.enabled = true;
+  cfg.topology.disks_per_node = 4;
+  cfg.topology.nodes_per_rack = 4;
+  cfg.topology.nic_bandwidth = gb_per_sec(10);
+  cfg.topology.oversubscription = 1.0;
+  // Keep target selection identical to the flat run.
+  cfg.target_rules.prefer_rack_local = false;
+}
+
+TEST(FabricRecovery, UnconstrainedFabricMatchesFlatModel) {
+  // With every link far wider than the flows it carries, each transfer runs
+  // at exactly its 16 MB/s cap and the FIFO queues mirror the flat drain
+  // clocks: the whole mission must replay the flat model's numbers.
+  for (const RecoveryMode mode :
+       {RecoveryMode::kFarm, RecoveryMode::kDedicatedSpare,
+        RecoveryMode::kDistributedSparing}) {
+    SystemConfig flat = small_system();
+    flat.recovery_mode = mode;
+    SystemConfig fabric = flat;
+    enable_unconstrained_fabric(fabric);
+
+    const TrialResult a = run_trial(flat, 4242);
+    const TrialResult b = run_trial(fabric, 4242);
+
+    EXPECT_FALSE(a.fabric_active);
+    EXPECT_TRUE(b.fabric_active);
+    EXPECT_EQ(a.disk_failures, b.disk_failures) << to_string(mode);
+    EXPECT_EQ(a.rebuilds_completed, b.rebuilds_completed) << to_string(mode);
+    EXPECT_EQ(a.lost_groups, b.lost_groups) << to_string(mode);
+    EXPECT_EQ(a.redirections, b.redirections) << to_string(mode);
+    EXPECT_NEAR(a.mean_window_sec, b.mean_window_sec,
+                1e-6 * (1.0 + a.mean_window_sec))
+        << to_string(mode);
+    EXPECT_GT(b.local_repair_bytes + b.cross_rack_repair_bytes, 0.0);
+  }
+}
+
+/// Fails disk `victim` and drains the simulation; returns the time of the
+/// last event (the final rebuild completion).
+double drain_one_failure(const SystemConfig& cfg) {
+  StorageSystem sys(cfg, 77);
+  sys.initialize();
+  sim::Simulator sim;
+  Metrics metrics;
+  auto policy = make_recovery_policy(sys, sim, metrics);
+  sys.fail_disk(0);
+  policy->on_disk_failed(0);
+  sim.schedule_in(cfg.detection_latency, [&] { policy->on_failure_detected(0); });
+  double last = 0.0;
+  while (sim.pending_events() > 0) {
+    sim.step();
+    last = sim.now().value();
+  }
+  EXPECT_GT(metrics.rebuilds_completed(), 0u);
+  return last;
+}
+
+TEST(FabricRecovery, OversubscriptionStretchesCrossRackRebuilds) {
+  // ~100 disks over 13 racks of 8; narrow 64 MB/s NICs so a squeezed
+  // uplink (2 x 64 / 16 = 8 MB/s) is slower than one recovery flow.  With
+  // the rack-local rule off, FARM scatters targets across racks and the
+  // parallel burst piles onto the uplinks.
+  SystemConfig cfg = small_system();
+  cfg.topology.enabled = true;
+  cfg.topology.disks_per_node = 4;
+  cfg.topology.nodes_per_rack = 2;
+  cfg.topology.nic_bandwidth = mb_per_sec(64);
+  cfg.target_rules.prefer_rack_local = false;
+
+  cfg.topology.oversubscription = 1.0;
+  const double roomy = drain_one_failure(cfg);
+  cfg.topology.oversubscription = 16.0;
+  const double squeezed = drain_one_failure(cfg);
+  EXPECT_GT(squeezed, roomy * 1.5);
+}
+
+TEST(FabricRecovery, OversubscriptionLeavesRackLocalRebuildsAlone) {
+  // Same cluster, one giant rack: no flow crosses an uplink, so even an
+  // absurd oversubscription ratio must not move a single completion.
+  SystemConfig cfg = small_system();
+  cfg.topology.enabled = true;
+  cfg.topology.disks_per_node = 8;
+  cfg.topology.nodes_per_rack = 16;  // 128 disks per rack > cluster size
+  cfg.topology.nic_bandwidth = mb_per_sec(64);
+  cfg.target_rules.prefer_rack_local = false;
+
+  cfg.topology.oversubscription = 1.0;
+  const double roomy = drain_one_failure(cfg);
+  cfg.topology.oversubscription = 64.0;
+  const double squeezed = drain_one_failure(cfg);
+  EXPECT_DOUBLE_EQ(squeezed, roomy);
+}
+
+TEST(FabricRecovery, RackLocalRuleCutsCrossRackTraffic) {
+  SystemConfig cfg = small_system();
+  cfg.topology.enabled = true;
+  cfg.topology.disks_per_node = 4;
+  cfg.topology.nodes_per_rack = 2;
+  cfg.topology.nic_bandwidth = mb_per_sec(1000);
+  cfg.topology.oversubscription = 4.0;
+
+  cfg.target_rules.prefer_rack_local = true;
+  const TrialResult local = run_trial(cfg, 99);
+  cfg.target_rules.prefer_rack_local = false;
+  const TrialResult any = run_trial(cfg, 99);
+
+  ASSERT_GT(local.local_repair_bytes + local.cross_rack_repair_bytes, 0.0);
+  ASSERT_GT(any.local_repair_bytes + any.cross_rack_repair_bytes, 0.0);
+  const double share_local =
+      local.cross_rack_repair_bytes /
+      (local.local_repair_bytes + local.cross_rack_repair_bytes);
+  const double share_any = any.cross_rack_repair_bytes /
+                           (any.local_repair_bytes + any.cross_rack_repair_bytes);
+  EXPECT_LT(share_local, share_any * 0.5);
+  EXPECT_GT(local.fabric_requotes, 0u);
+}
+
+TEST(FabricRecovery, FlatModeReportsNoFabric) {
+  const TrialResult r = run_trial(small_system(), 7);
+  EXPECT_FALSE(r.fabric_active);
+  EXPECT_DOUBLE_EQ(r.local_repair_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(r.cross_rack_repair_bytes, 0.0);
+  EXPECT_EQ(r.fabric_requotes, 0u);
+}
+
+}  // namespace
+}  // namespace farm::core

@@ -68,6 +68,52 @@ TEST(Workload, TransferTimeInvertsBandwidth) {
   EXPECT_NEAR(m.transfer_time(gigabytes(10), hours(12)).value(), 1250.0, 1.0);
 }
 
+TEST(Workload, TransferTimeQuoteErrorBound) {
+  // transfer_time quotes the bandwidth once, at the transfer's start, and
+  // the header documents the resulting relative error as ~|b'(t)|/b(t) *
+  // tau/2.  Pin that claim at the diurnal curve's steepest point
+  // (t = period/4, where the cosine's slope peaks).  The default config is
+  // cap-clamped there, which would hide the drift, so use a full-swing
+  // demand curve that keeps recovery bandwidth on the cosine:
+  // b(6h) = 80 * (1 - 0.5) = 40 MB/s.
+  WorkloadConfig cfg;
+  cfg.kind = WorkloadKind::kDiurnal;
+  cfg.peak_demand = 1.0;
+  cfg.trough_demand = 0.0;
+  cfg.period = days(1);
+  cfg.min_recovery_fraction = 0.05;
+  const WorkloadModel m{cfg, mb_per_sec(80), mb_per_sec(80)};
+
+  const Seconds start = hours(6);
+  EXPECT_NEAR(m.recovery_bandwidth(start).value(), 40e6, 1e3);
+  const Seconds quoted = m.transfer_time(gigabytes(10), start);
+  EXPECT_NEAR(quoted.value(), 250.0, 1e-9);
+
+  // True duration: integrate the actual byte flow at the instantaneous
+  // bandwidth until 10 GB have moved.
+  double moved = 0.0;
+  double t = start.value();
+  const double dt = 0.01;
+  while (moved < 10e9) {
+    moved += m.recovery_bandwidth(Seconds{t}).value() * dt;
+    t += dt;
+  }
+  const double actual = t - start.value();
+
+  // Documented bound: |b'|/b * tau/2.  At t = period/4 the demand slope is
+  // (peak-trough)*pi/period, so b' = 80 MB/s * pi/86400 s and the bound is
+  // ~0.45 %.  The quote must land inside it, and the bound itself must stay
+  // meaningfully tight (under 1 %) for the transfer sizes the simulator
+  // issues — this is the regression guard for the quote-at-start shortcut.
+  const double b = 40e6;
+  const double b_prime = 80e6 * M_PI / cfg.period.value();
+  const double bound = b_prime / b * quoted.value() / 2.0;
+  EXPECT_LT(bound, 0.01);
+  const double rel_error = std::abs(actual - quoted.value()) / actual;
+  EXPECT_LT(rel_error, bound * 1.1);  // 10 % slack for the 2nd-order terms
+  EXPECT_GT(rel_error, bound * 0.1);  // and the bound is not vacuous
+}
+
 TEST(Workload, DiurnalMissionSlowsRebuilds) {
   // End-to-end: the same mission with and without the diurnal squeeze must
   // produce identical failure sequences but slower recovery completion

@@ -1,0 +1,141 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+namespace farm::net {
+namespace {
+
+using util::gb_per_sec;
+using util::mb_per_sec;
+
+/// One disk per node, four nodes per rack: disk ids map 1:1 to nodes, so
+/// link sharing is easy to stage.
+TopologyConfig tiny_topo(double nic_mb, double uplink_mb) {
+  TopologyConfig t;
+  t.enabled = true;
+  t.disks_per_node = 1;
+  t.nodes_per_rack = 4;
+  t.nic_bandwidth = mb_per_sec(nic_mb);
+  t.uplink_bandwidth = mb_per_sec(uplink_mb);
+  return t;
+}
+
+TEST(Fabric, UncontendedFlowGetsItsCap) {
+  Fabric f{tiny_topo(1000, 1000)};
+  const FlowId a = f.open(0, 5, mb_per_sec(16));
+  f.solve();
+  EXPECT_DOUBLE_EQ(f.rate(a).value(), 16e6);
+}
+
+TEST(Fabric, SingleBottleneckSharesEqually) {
+  // Four flows from distinct source nodes all land on node 0: its NIC (rx)
+  // is the single bottleneck and splits evenly.
+  Fabric f{tiny_topo(100, 1000)};
+  FlowId flows[4];
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    flows[i] = f.open(/*src=*/1 + i, /*dst=*/0, gb_per_sec(1));
+  }
+  f.solve();
+  for (const FlowId id : flows) {
+    EXPECT_NEAR(f.rate(id).value(), 25e6, 1.0);
+  }
+}
+
+TEST(Fabric, PerFlowCapBindsBeforeTheLink) {
+  Fabric f{tiny_topo(100, 1000)};
+  const FlowId a = f.open(1, 0, mb_per_sec(16));
+  const FlowId b = f.open(2, 0, gb_per_sec(1));
+  f.solve();
+  // a freezes at its 16 MB/s cap; b takes the rest of the 100 MB/s NIC.
+  EXPECT_NEAR(f.rate(a).value(), 16e6, 1.0);
+  EXPECT_NEAR(f.rate(b).value(), 84e6, 1.0);
+}
+
+TEST(Fabric, NestedBottlenecksWaterfill) {
+  // Textbook water-filling: rack 0's uplink (100 MB/s) carries flows A and
+  // B; node 5's NIC (200 MB/s) carries B's sibling C as well.
+  //   A: 0 -> 4 (cross-rack)   B: 1 -> 5 (cross-rack)   C: 6 -> 5 (in rack 1)
+  // Round 1: all rise to 50, uplink saturates, A and B freeze.
+  // Round 2: C rises to 150, node 5's NIC (200 - B's 50) saturates.
+  TopologyConfig t = tiny_topo(200, 100);
+  Fabric f{t};
+  const FlowId a = f.open(0, 4, gb_per_sec(10));
+  const FlowId b = f.open(1, 5, gb_per_sec(10));
+  const FlowId c = f.open(6, 5, gb_per_sec(10));
+  f.solve();
+  EXPECT_NEAR(f.rate(a).value(), 50e6, 1.0);
+  EXPECT_NEAR(f.rate(b).value(), 50e6, 1.0);
+  EXPECT_NEAR(f.rate(c).value(), 150e6, 1.0);
+}
+
+TEST(Fabric, SameNodeFlowsBypassTheFabric) {
+  TopologyConfig t = tiny_topo(100, 100);
+  t.disks_per_node = 2;  // disks 0 and 1 share node 0
+  Fabric f{t};
+  // Rate above the NIC: legal, the node's backplane is non-blocking.
+  const FlowId a = f.open(0, 1, mb_per_sec(500));
+  f.solve();
+  EXPECT_DOUBLE_EQ(f.rate(a).value(), 500e6);
+}
+
+TEST(Fabric, CoreLinkCapsCrossRackAggregate) {
+  TopologyConfig t = tiny_topo(1000, 1000);
+  t.core_bandwidth = mb_per_sec(30);
+  Fabric f{t};
+  // Three cross-rack flows with disjoint racks: only the core is shared.
+  const FlowId a = f.open(0, 4, gb_per_sec(1));   // rack 0 -> 1
+  const FlowId b = f.open(8, 12, gb_per_sec(1));  // rack 2 -> 3
+  const FlowId c = f.open(16, 20, gb_per_sec(1));  // rack 4 -> 5
+  f.solve();
+  EXPECT_NEAR(f.rate(a).value(), 10e6, 1.0);
+  EXPECT_NEAR(f.rate(b).value(), 10e6, 1.0);
+  EXPECT_NEAR(f.rate(c).value(), 10e6, 1.0);
+}
+
+TEST(Fabric, JoinAndLeaveRequote) {
+  Fabric f{tiny_topo(100, 1000)};
+  const FlowId a = f.open(1, 0, gb_per_sec(1));
+  f.solve();
+  EXPECT_NEAR(f.rate(a).value(), 100e6, 1.0);
+
+  const FlowId b = f.open(2, 0, gb_per_sec(1));
+  f.solve();
+  EXPECT_NEAR(f.rate(a).value(), 50e6, 1.0);
+  EXPECT_NEAR(f.rate(b).value(), 50e6, 1.0);
+  EXPECT_EQ(f.open_flows(), 2u);
+
+  f.close(a);
+  f.solve();
+  EXPECT_NEAR(f.rate(b).value(), 100e6, 1.0);
+  EXPECT_EQ(f.open_flows(), 1u);
+
+  // Slab slot reuse keeps rates straight.
+  const FlowId c = f.open(3, 0, gb_per_sec(1));
+  f.solve();
+  EXPECT_NEAR(f.rate(b).value(), 50e6, 1.0);
+  EXPECT_NEAR(f.rate(c).value(), 50e6, 1.0);
+}
+
+TEST(Fabric, SetCapRequotes) {
+  Fabric f{tiny_topo(100, 1000)};
+  const FlowId a = f.open(1, 0, mb_per_sec(16));
+  const FlowId b = f.open(2, 0, mb_per_sec(16));
+  f.solve();
+  EXPECT_NEAR(f.rate(a).value(), 16e6, 1.0);
+  // The workload squeezed a's disk-side reservation.
+  f.set_cap(a, mb_per_sec(4));
+  f.solve();
+  EXPECT_NEAR(f.rate(a).value(), 4e6, 1.0);
+  EXPECT_NEAR(f.rate(b).value(), 16e6, 1.0);
+}
+
+TEST(Fabric, SolveCountsAreTracked) {
+  Fabric f{tiny_topo(100, 100)};
+  EXPECT_EQ(f.solves(), 0u);
+  f.solve();
+  f.solve();
+  EXPECT_EQ(f.solves(), 2u);
+}
+
+}  // namespace
+}  // namespace farm::net

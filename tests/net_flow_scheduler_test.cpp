@@ -1,0 +1,153 @@
+#include "net/flow_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace farm::net {
+namespace {
+
+using util::gb_per_sec;
+using util::mb_per_sec;
+using util::megabytes;
+using util::Seconds;
+
+/// Two disks per node, two nodes per rack; a 10 MB/s NIC makes processor-
+/// sharing arithmetic exact.
+TopologyConfig tiny_topo() {
+  TopologyConfig t;
+  t.enabled = true;
+  t.disks_per_node = 2;
+  t.nodes_per_rack = 2;
+  t.nic_bandwidth = mb_per_sec(10);
+  t.oversubscription = 1.0;
+  return t;
+}
+
+FlowScheduler::CapFn flat_cap(double mb) {
+  return [mb](double, double scale) { return mb_per_sec(mb * scale); };
+}
+
+TEST(FlowScheduler, ProcessorSharingTimeline) {
+  // A (50 MB) and B (100 MB) both cross node 0's tx NIC and node 1's rx NIC
+  // (10 MB/s): they share 5/5 until A finishes at t=10 s, then B runs alone
+  // at 10 MB/s and its remaining 50 MB lands at t=15 s.
+  sim::Simulator sim;
+  FlowScheduler fs{sim, tiny_topo(), flat_cap(1000)};
+  std::vector<std::pair<char, double>> done;
+  fs.submit(/*queue=*/2, /*src=*/0, /*dst=*/2, megabytes(50), 1.0,
+            [&] { done.emplace_back('A', sim.now().value()); });
+  fs.submit(/*queue=*/3, /*src=*/1, /*dst=*/3, megabytes(100), 1.0,
+            [&] { done.emplace_back('B', sim.now().value()); });
+  EXPECT_EQ(fs.in_flight(), 2u);
+  sim.run_until(Seconds{1e9});
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0].first, 'A');
+  EXPECT_NEAR(done[0].second, 10.0, 1e-9);
+  EXPECT_EQ(done[1].first, 'B');
+  EXPECT_NEAR(done[1].second, 15.0, 1e-9);
+  EXPECT_EQ(fs.in_flight(), 0u);
+}
+
+TEST(FlowScheduler, QueueSerializesFifo) {
+  // Same queue: the second transfer waits for the first even though the
+  // fabric has capacity to run both.
+  sim::Simulator sim;
+  FlowScheduler fs{sim, tiny_topo(), flat_cap(10)};
+  std::vector<double> done;
+  fs.submit(2, 0, 2, megabytes(10), 1.0, [&] { done.push_back(sim.now().value()); });
+  fs.submit(2, 1, 2, megabytes(10), 1.0, [&] { done.push_back(sim.now().value()); });
+  EXPECT_EQ(fs.in_flight(), 1u);
+  EXPECT_EQ(fs.queued(), 1u);
+  sim.run_until(Seconds{1e9});
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 1.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+}
+
+TEST(FlowScheduler, HoldQueueDelaysTheFirstTransfer) {
+  sim::Simulator sim;
+  FlowScheduler fs{sim, tiny_topo(), flat_cap(10)};
+  double done = -1.0;
+  fs.hold_queue_until(2, 100.0);  // e.g. a replacement drive being racked
+  fs.submit(2, 0, 2, megabytes(10), 1.0, [&] { done = sim.now().value(); });
+  EXPECT_EQ(fs.in_flight(), 0u);
+  EXPECT_EQ(fs.queued(), 1u);
+  sim.run_until(Seconds{1e9});
+  EXPECT_NEAR(done, 101.0, 1e-9);
+}
+
+TEST(FlowScheduler, CancelQueuedNeverRuns) {
+  sim::Simulator sim;
+  FlowScheduler fs{sim, tiny_topo(), flat_cap(10)};
+  bool first_done = false, second_done = false;
+  fs.submit(2, 0, 2, megabytes(10), 1.0, [&] { first_done = true; });
+  const TransferId queued =
+      fs.submit(2, 1, 2, megabytes(10), 1.0, [&] { second_done = true; });
+  fs.cancel(queued);
+  EXPECT_EQ(fs.queued(), 0u);
+  sim.run_until(Seconds{1e9});
+  EXPECT_TRUE(first_done);
+  EXPECT_FALSE(second_done);
+}
+
+TEST(FlowScheduler, CancelActiveFreesBandwidthAndRequotes) {
+  // A and B share a 10 MB/s link at 5/5.  Cancelling A at t=4 re-quotes B
+  // to the full 10 MB/s: B's 100 MB has 80 MB left -> done at 4 + 8 = 12 s.
+  sim::Simulator sim;
+  FlowScheduler fs{sim, tiny_topo(), flat_cap(1000)};
+  bool a_done = false;
+  double b_done = -1.0;
+  const TransferId a =
+      fs.submit(2, 0, 2, megabytes(50), 1.0, [&] { a_done = true; });
+  fs.submit(3, 1, 3, megabytes(100), 1.0, [&] { b_done = sim.now().value(); });
+  sim.schedule_at(Seconds{4.0}, [&] { fs.cancel(a); });
+  sim.run_until(Seconds{1e9});
+  EXPECT_FALSE(a_done);
+  EXPECT_NEAR(b_done, 12.0, 1e-9);
+  // Cancelled transfers never reach the traffic counters.
+  EXPECT_DOUBLE_EQ(fs.local_bytes() + fs.cross_rack_bytes(), 100e6);
+}
+
+TEST(FlowScheduler, CountsLocalAndCrossRackBytes) {
+  sim::Simulator sim;
+  FlowScheduler fs{sim, tiny_topo(), flat_cap(10)};
+  fs.submit(1, 0, 1, megabytes(30), 1.0, [] {});   // same node (rack 0)
+  fs.submit(6, 2, 6, megabytes(50), 1.0, [] {});   // rack 0 -> rack 1
+  sim.run_until(Seconds{1e9});
+  EXPECT_DOUBLE_EQ(fs.local_bytes(), 30e6);
+  EXPECT_DOUBLE_EQ(fs.cross_rack_bytes(), 50e6);
+  EXPECT_GT(fs.requotes(), 0u);
+}
+
+TEST(FlowScheduler, CapScaleAndWorkloadSampling) {
+  // The cap function sees the scale (critical/spare speedup) and the
+  // current time; a 2x scale on an uncontended path halves the duration.
+  sim::Simulator sim;
+  FlowScheduler fs{sim, tiny_topo(), flat_cap(4)};
+  double done1 = -1.0, done2 = -1.0;
+  fs.submit(2, 0, 2, megabytes(40), 1.0, [&] { done1 = sim.now().value(); });
+  fs.submit(7, 4, 7, megabytes(40), 2.0, [&] { done2 = sim.now().value(); });
+  sim.run_until(Seconds{1e9});
+  EXPECT_NEAR(done1, 10.0, 1e-9);  // 40 MB at 4 MB/s
+  EXPECT_NEAR(done2, 5.0, 1e-9);   // 40 MB at 8 MB/s
+}
+
+TEST(FlowScheduler, CompletionCallbackMaySubmitMoreWork) {
+  // Chaining from on_done (exactly what the recovery policies do when a
+  // queue drains) must see a settled, consistent scheduler.
+  sim::Simulator sim;
+  FlowScheduler fs{sim, tiny_topo(), flat_cap(10)};
+  double chained_done = -1.0;
+  fs.submit(2, 0, 2, megabytes(10), 1.0, [&] {
+    fs.submit(2, 1, 2, megabytes(20), 1.0,
+              [&] { chained_done = sim.now().value(); });
+  });
+  sim.run_until(Seconds{1e9});
+  EXPECT_NEAR(chained_done, 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace farm::net

@@ -1,0 +1,81 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace farm::net {
+namespace {
+
+using util::mb_per_sec;
+
+TEST(Topology, BinsDisksIntoNodesAndRacks) {
+  TopologyConfig t;
+  t.disks_per_node = 4;
+  t.nodes_per_rack = 2;  // 8 disks per rack
+  EXPECT_EQ(t.disks_per_rack(), 8u);
+  EXPECT_EQ(t.node_of(0), 0u);
+  EXPECT_EQ(t.node_of(3), 0u);
+  EXPECT_EQ(t.node_of(4), 1u);
+  EXPECT_EQ(t.rack_of(7), 0u);
+  EXPECT_EQ(t.rack_of(8), 1u);
+  EXPECT_TRUE(t.same_node(0, 3));
+  EXPECT_FALSE(t.same_node(3, 4));
+  EXPECT_TRUE(t.same_rack(3, 4));
+  EXPECT_FALSE(t.same_rack(7, 8));
+  // Ids past the initial population (spares, replacement batches) land in
+  // well-defined new nodes/racks — same binning idiom as DomainConfig.
+  EXPECT_EQ(t.node_of(100), 25u);
+  EXPECT_EQ(t.rack_of(100), 12u);
+}
+
+TEST(Topology, UplinkDerivedFromOversubscription) {
+  TopologyConfig t;
+  t.nodes_per_rack = 8;
+  t.nic_bandwidth = mb_per_sec(1000);
+  t.oversubscription = 4.0;
+  // 8 NICs of 1000 MB/s behind a 4:1 uplink -> 2000 MB/s.
+  EXPECT_DOUBLE_EQ(t.effective_uplink().value(), 2000e6);
+  // An explicit uplink wins over the derived one.
+  t.uplink_bandwidth = mb_per_sec(123);
+  EXPECT_DOUBLE_EQ(t.effective_uplink().value(), 123e6);
+}
+
+TEST(Topology, ValidateRejectsInconsistentParameters) {
+  TopologyConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+
+  TopologyConfig t = ok;
+  t.disks_per_node = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = ok;
+  t.nodes_per_rack = 0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = ok;
+  t.nic_bandwidth = util::Bandwidth{0.0};
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = ok;
+  t.uplink_bandwidth = util::Bandwidth{-1.0};
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = ok;
+  t.oversubscription = 0.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  t = ok;
+  t.core_bandwidth = util::Bandwidth{-5.0};
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+  // An explicit uplink makes the oversubscription ratio irrelevant.
+  t = ok;
+  t.uplink_bandwidth = mb_per_sec(100);
+  t.oversubscription = 0.0;
+  EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Topology, SummaryMentionsTheShape) {
+  TopologyConfig t;
+  const std::string s = t.summary();
+  EXPECT_NE(s.find("16 disks/node"), std::string::npos);
+  EXPECT_NE(s.find("8 nodes/rack"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace farm::net

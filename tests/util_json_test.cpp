@@ -89,6 +89,36 @@ TEST(JsonWriter, DoublesKeepRoundTripPrecisionAndNonFiniteBecomesNull) {
   EXPECT_TRUE(arr[2].is_null());
 }
 
+TEST(JsonWriter, NonFiniteDoublesNeverLeakIntoTheDocument) {
+  // JSON has no NaN/Inf tokens.  The writer must degrade every non-finite
+  // double — either sign of infinity, in any position (array element or
+  // object member) — to null, keep the document parseable, and stay in a
+  // consistent state for subsequent values.
+  const std::string doc = written([](JsonWriter& w) {
+    w.begin_object();
+    w.kv("a", -std::numeric_limits<double>::infinity());
+    w.kv("b", std::nan("0x7ff"));  // payload variant, still NaN
+    w.kv("c", 2.5);                // the writer must not be wedged
+    w.end_object();
+  });
+  EXPECT_EQ(doc.find("inf"), std::string::npos);
+  EXPECT_EQ(doc.find("nan"), std::string::npos);  // lowercase literal forms
+  const JsonValue v = JsonValue::parse(doc);
+  EXPECT_TRUE(v.at("a").is_null());
+  EXPECT_TRUE(v.at("b").is_null());
+  EXPECT_DOUBLE_EQ(v.at("c").as_number(), 2.5);
+}
+
+TEST(JsonValue, RejectsNonFiniteLiterals) {
+  // The parser side of the same contract: documents written by other tools
+  // using the common non-standard spellings must be rejected, not silently
+  // coerced.
+  EXPECT_THROW(JsonValue::parse("NaN"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("Infinity"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("-Infinity"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("[1, nan]"), std::invalid_argument);
+}
+
 TEST(JsonWriter, MalformedSequencesThrow) {
   std::ostringstream os;
   {

@@ -54,6 +54,47 @@ TEST(ThreadPool, ExceptionDoesNotAbortOtherIndices) {
   EXPECT_EQ(done.load(), 99);
 }
 
+TEST(ThreadPool, EveryIndexThrowingStillRethrowsExactlyOnce) {
+  // The pathological case: all 100 bodies throw.  The loop must still
+  // drain, rethrow one exception on the caller's thread, and swallow the
+  // rest (rethrowing more than one is impossible; leaking them into the
+  // workers would terminate the process).
+  ThreadPool pool(4);
+  std::atomic<int> attempts{0};
+  try {
+    pool.parallel_for_index(100, [&](std::size_t) {
+      attempts.fetch_add(1);
+      throw std::runtime_error("every task fails");
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "every task fails");
+  }
+  EXPECT_EQ(attempts.load(), 100);
+}
+
+TEST(ThreadPool, UsableAfterALoopThrows) {
+  // A thrown loop must not poison the pool: the workers stay alive and the
+  // next parallel_for_index runs to completion with no residue.
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for_index(
+                   50, [](std::size_t) { throw std::logic_error("boom"); }),
+               std::logic_error);
+  std::atomic<int> done{0};
+  pool.parallel_for_index(50, [&](std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 50);
+  EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+TEST(ThreadPool, NonStdExceptionIsStillPropagated) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for_index(10, [](std::size_t i) {
+        if (i == 3) throw 42;  // not derived from std::exception
+      }),
+      int);
+}
+
 TEST(ThreadPool, ReusableAcrossLoops) {
   ThreadPool pool(2);
   std::atomic<int> total{0};
