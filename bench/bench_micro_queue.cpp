@@ -1,0 +1,79 @@
+// Micro-benchmark: client-I/O primitives.  A client testbed trial pushes
+// millions of requests through ServiceQueue::enqueue and LatencyRecorder;
+// these numbers bound the client subsystem's share of a trial.
+#include <benchmark/benchmark.h>
+
+#include "client/client_config.hpp"
+#include "client/latency_recorder.hpp"
+#include "client/request_generator.hpp"
+#include "client/service_queue.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace farm;
+
+void BM_ServiceQueueEnqueue(benchmark::State& state) {
+  client::ServiceQueue q{disk::DiskParameters{}};
+  const util::Bytes bytes = util::megabytes(4);
+  double now = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.enqueue(now, bytes));
+    now += 0.01;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_LogHistogramAdd(benchmark::State& state) {
+  util::LogHistogram h = client::make_latency_histogram();
+  util::Xoshiro256 rng{17};
+  for (auto _ : state) {
+    h.add(rng.exponential(50.0));
+  }
+  benchmark::DoNotOptimize(h.total());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_LogHistogramQuantile(benchmark::State& state) {
+  util::LogHistogram h = client::make_latency_histogram();
+  util::Xoshiro256 rng{23};
+  for (int i = 0; i < 100000; ++i) h.add(rng.exponential(50.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.quantile(0.99));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_RequestGeneratorNext(benchmark::State& state) {
+  client::ClientConfig cfg;
+  cfg.enabled = true;
+  cfg.diurnal_amplitude = 0.5;
+  client::RequestGenerator gen{cfg, 31, 4096};
+  double now = 0.0;
+  for (auto _ : state) {
+    now += gen.next_interarrival(util::Seconds{now}, 100).value();
+    benchmark::DoNotOptimize(gen.next_request());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_LatencyRecorderRecord(benchmark::State& state) {
+  client::LatencyRecorder rec{util::seconds(0.25)};
+  util::Xoshiro256 rng{37};
+  for (auto _ : state) {
+    rec.record(client::Phase::kHealthy, rng.exponential(50.0));
+  }
+  benchmark::DoNotOptimize(rec.count(client::Phase::kHealthy));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_ServiceQueueEnqueue);
+BENCHMARK(BM_LogHistogramAdd);
+BENCHMARK(BM_LogHistogramQuantile);
+BENCHMARK(BM_RequestGeneratorNext);
+BENCHMARK(BM_LatencyRecorderRecord);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -41,6 +41,7 @@ int usage(std::ostream& os, int exit_code) {
         "  --seed S         master seed (default "
      << analysis::kDefaultMasterSeed << ")\n"
         "  --json DIR       write DIR/<scenario>.json for each run\n"
+        "  --out PATH       write every run into one combined JSON file\n"
         "  -h, --help       this message\n";
   return exit_code;
 }
@@ -52,6 +53,7 @@ struct Args {
   std::optional<double> scale;
   std::uint64_t seed = analysis::kDefaultMasterSeed;
   std::optional<std::string> json_dir;
+  std::optional<std::string> out_path;
 };
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -100,6 +102,8 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.seed = s;
     } else if (a == "--json") {
       args.json_dir = next(i, "--json");
+    } else if (a == "--out") {
+      args.out_path = next(i, "--out");
     } else {
       throw std::invalid_argument("unknown option '" + std::string(a) + "'");
     }
@@ -170,8 +174,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Open --out before running anything: an unwritable path should fail in
+  // milliseconds, not after minutes of Monte-Carlo.
+  std::ofstream combined_out;
+  if (args.out_path) {
+    combined_out.open(*args.out_path);
+    if (!combined_out) {
+      std::cerr << "farm_bench: cannot write '" << *args.out_path << "'\n";
+      return 2;
+    }
+  }
+
+  std::vector<analysis::ScenarioRun> runs;
   for (const analysis::Scenario* s : selected) {
-    const analysis::ScenarioRun run = s->run(opts);
+    analysis::ScenarioRun run = s->run(opts);
     std::cout << "=== " << run.title << " [" << run.name << "] ===\n"
               << "Reproduces: " << run.paper_ref << "\n"
               << "trials/point: " << run.trials << "  scale: " << run.scale
@@ -191,6 +207,17 @@ int main(int argc, char** argv) {
       out << analysis::to_json(run, FARM_GIT_DESCRIBE);
       std::cout << "wrote " << path.string() << "\n\n";
     }
+    if (args.out_path) runs.push_back(std::move(run));
+  }
+
+  if (args.out_path) {
+    combined_out << analysis::to_json_combined(runs, FARM_GIT_DESCRIBE);
+    combined_out.flush();
+    if (!combined_out) {
+      std::cerr << "farm_bench: error writing '" << *args.out_path << "'\n";
+      return 2;
+    }
+    std::cout << "wrote " << *args.out_path << "\n";
   }
   return 0;
 }

@@ -127,9 +127,19 @@ std::vector<const Scenario*> ScenarioRegistry::all() const {
 }
 
 std::vector<const Scenario*> ScenarioRegistry::match(std::string_view glob) const {
+  // '|' separates alternative globs; a scenario is included when any
+  // alternative matches ("client_*|net_*" = the union of both families).
   std::vector<const Scenario*> out;
   for (const auto& [name, s] : scenarios_) {
-    if (glob_match(glob, name)) out.push_back(s.get());
+    std::string_view rest = glob;
+    bool matched = false;
+    while (!matched) {
+      const std::size_t bar = rest.find('|');
+      matched = glob_match(rest.substr(0, bar), name);
+      if (bar == std::string_view::npos) break;
+      rest.remove_prefix(bar + 1);
+    }
+    if (matched) out.push_back(s.get());
   }
   return out;
 }
@@ -157,9 +167,10 @@ bool glob_match(std::string_view pattern, std::string_view text) {
   return p == pattern.size();
 }
 
-std::string to_json(const ScenarioRun& run, std::string_view git_describe) {
-  std::ostringstream os;
-  util::JsonWriter w(os);
+namespace {
+
+void write_run(util::JsonWriter& w, const ScenarioRun& run,
+               std::string_view git_describe) {
   w.begin_object();
   w.kv("schema_version", 1);
   w.kv("scenario", run.name);
@@ -185,6 +196,30 @@ std::string to_json(const ScenarioRun& run, std::string_view git_describe) {
     write_extra(w, p.extra);
     w.end_object();
   }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const ScenarioRun& run, std::string_view git_describe) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  write_run(w, run, git_describe);
+  os << '\n';
+  return os.str();
+}
+
+std::string to_json_combined(const std::vector<ScenarioRun>& runs,
+                             std::string_view git_describe) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("git_describe", git_describe);
+  w.key("runs");
+  w.begin_array();
+  for (const ScenarioRun& run : runs) write_run(w, run, git_describe);
   w.end_array();
   w.end_object();
   os << '\n';

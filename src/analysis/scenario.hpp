@@ -134,7 +134,9 @@ class ScenarioRegistry {
 
   [[nodiscard]] const Scenario* find(std::string_view name) const;
   [[nodiscard]] std::vector<const Scenario*> all() const;
-  /// Scenarios whose name matches a shell-style glob (`*`, `?`).
+  /// Scenarios whose name matches a shell-style glob (`*`, `?`).  `|`
+  /// separates alternatives and the union is returned, in name order
+  /// ("client_*|net_*" selects both families).
   [[nodiscard]] std::vector<const Scenario*> match(std::string_view glob) const;
   [[nodiscard]] std::size_t size() const { return scenarios_.size(); }
 
@@ -164,5 +166,11 @@ struct ScenarioRegistrar {
 /// strings so 64-bit values survive double-precision JSON readers.
 [[nodiscard]] std::string to_json(const ScenarioRun& run,
                                   std::string_view git_describe);
+
+/// Serializes several completed runs into one combined document
+/// (`farm_bench --out`): {"schema_version", "git_describe", "runs": [...]}
+/// with each element carrying the same object to_json emits.
+[[nodiscard]] std::string to_json_combined(const std::vector<ScenarioRun>& runs,
+                                           std::string_view git_describe);
 
 }  // namespace farm::analysis

@@ -1,0 +1,77 @@
+// Foreground client-I/O configuration (extension beyond the paper).
+//
+// The paper's §2.4 workload model is a diurnal cosine standing in for "user
+// requests"; this config describes *actual* client traffic so the simulator
+// can answer the question the recovery-bandwidth tradeoff exists for: what
+// do users experience while the system is rebuilding?  Requests are
+// addressed to redundancy groups through the existing placement layer,
+// queue on per-disk FIFO service queues, and — when a group has a failed
+// disk — take the degraded-read path, fanning k reconstruction reads out
+// across the surviving disks (Sathiamoorthy et al.'s k-fold read
+// amplification; Rashmi et al. measured this traffic dominating warehouse
+// clusters).
+#pragma once
+
+#include "util/units.hpp"
+
+namespace farm::client {
+
+enum class ArrivalKind {
+  kOpenPoisson,  // open loop: Poisson arrivals at a configured rate
+  kClosedLoop,   // closed loop: fixed streams, think time between requests
+};
+
+enum class SizeDist {
+  kFixed,      // every request moves exactly `request_size` bytes
+  kLognormal,  // lognormal with median `request_size` (heavy-tailed objects)
+};
+
+struct ClientConfig {
+  /// Off (default): no client events at all — the reliability-only
+  /// simulation stays bit-identical to builds predating src/client.
+  bool enabled = false;
+
+  ArrivalKind arrivals = ArrivalKind::kOpenPoisson;
+
+  /// Open loop: mean arrival rate per *live* disk (req/s); the system-wide
+  /// rate is this times the live-disk count, so offered load tracks
+  /// cluster size and survives scaling.
+  double requests_per_disk_per_sec = 2.0;
+
+  /// Closed loop: concurrent client streams per initial disk, and the
+  /// think time each stream waits between a completion and its next
+  /// request.
+  double streams_per_disk = 1.0;
+  util::Seconds think_time = util::seconds(0.1);
+
+  /// Diurnal modulation of the open-loop rate: the instantaneous rate is
+  /// base * (1 - amplitude*cos(2*pi*t/period)), the same trough-at-t0 shape
+  /// as WorkloadConfig's cosine.  0 (default) = flat Poisson.
+  double diurnal_amplitude = 0.0;
+  util::Seconds diurnal_period = util::days(1);
+
+  /// Fraction of requests that are reads (writes fan out over the group's
+  /// live blocks).
+  double read_fraction = 0.9;
+
+  SizeDist size_dist = SizeDist::kFixed;
+  /// Fixed size, or the lognormal median.
+  util::Bytes request_size = util::megabytes(4);
+  /// kLognormal only: standard deviation in ln-space.
+  double lognormal_sigma = 1.0;
+
+  /// Latency service-level objective; the recorder reports the fraction of
+  /// requests exceeding it per phase (healthy / degraded / rebuilding).
+  util::Seconds slo = util::seconds(0.25);
+
+  /// Cadence at which measured disk-time demand is sampled for
+  /// WorkloadKind::kGenerated (recovery gets what the *measured* client
+  /// load leaves, instead of the cosine approximation).
+  util::Seconds demand_sample_interval = util::seconds(60);
+
+  /// Throws std::invalid_argument on inconsistent parameters.  Only
+  /// meaningful when enabled.
+  void validate() const;
+};
+
+}  // namespace farm::client

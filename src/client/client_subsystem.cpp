@@ -1,0 +1,283 @@
+#include "client/client_subsystem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace farm::client {
+
+namespace {
+
+/// Client traffic keeps at least this share of a disk's transfer rate even
+/// when rebuild streams have the disk saturated — the mirror image of
+/// WorkloadConfig::min_recovery_fraction, which protects recovery from
+/// client load.  Neither side can starve the other completely.
+constexpr double kMinClientShare = 0.1;
+
+/// Salt separating the block-address stream from the arrival stream.
+constexpr std::uint64_t kAddrSalt = 0x636c69656e743aULL;  // "client:"
+
+}  // namespace
+
+ClientSubsystem::ClientSubsystem(core::StorageSystem& system,
+                                 sim::Simulator& sim,
+                                 core::RecoveryPolicy& policy,
+                                 std::uint64_t seed)
+    : system_(system),
+      sim_(sim),
+      policy_(policy),
+      config_(system.config().client),
+      generator_(config_, seed, system.group_count()),
+      addr_rng_(util::hash_combine(seed, kAddrSalt)),
+      recorder_(config_.slo),
+      mission_end_sec_(system.config().mission_time.value()) {
+  queues_.reserve(system_.disk_slots());
+  for (std::size_t d = 0; d < system_.disk_slots(); ++d) {
+    queues_.emplace_back(system_.config().disk);
+  }
+}
+
+void ClientSubsystem::start() {
+  if (config_.arrivals == ArrivalKind::kOpenPoisson) {
+    schedule_open_arrival();
+  } else {
+    const auto streams = static_cast<std::size_t>(std::llround(
+        config_.streams_per_disk *
+        static_cast<double>(system_.initial_disk_count())));
+    for (std::size_t s = 0; s < std::max<std::size_t>(streams, 1); ++s) {
+      // Stagger launches by one think time so streams do not arrive in
+      // lockstep at t=0.
+      stream_next(sim_.now().value() + generator_.next_think_time().value());
+    }
+  }
+  sim_.schedule_in(config_.demand_sample_interval,
+                   [this] { sample_demand(); });
+}
+
+void ClientSubsystem::schedule_open_arrival() {
+  const util::Seconds gap =
+      generator_.next_interarrival(sim_.now(), system_.live_disks());
+  if (!std::isfinite(gap.value())) return;
+  const double at = sim_.now().value() + gap.value();
+  if (at > mission_end_sec_) return;  // the mission ends before it arrives
+  sim_.schedule_in(gap, [this] {
+    serve_and_record(generator_.next_request());
+    schedule_open_arrival();
+  });
+}
+
+void ClientSubsystem::stream_next(double at_sec) {
+  if (at_sec > mission_end_sec_) return;  // the stream retires
+  sim_.schedule_at(util::Seconds{at_sec}, [this] {
+    serve_and_record(generator_.next_request());
+    // The stream thinks after its request *completes*, not after it is
+    // issued — that is what closes the loop: a slow disk slows the stream.
+    stream_next(last_completion_sec_ + generator_.next_think_time().value());
+  });
+}
+
+void ClientSubsystem::serve_and_record(const Request& r) {
+  const Outcome o = serve(r);
+  ++requests_;
+  if (r.read) {
+    ++reads_;
+  } else {
+    ++writes_;
+  }
+  const double now = sim_.now().value();
+  last_completion_sec_ = now + (o.served ? o.latency_sec : 0.0);
+  if (!o.served) {
+    ++unavailable_;
+    return;
+  }
+  Phase phase = Phase::kHealthy;
+  if (o.degraded) {
+    phase = Phase::kDegraded;
+  } else if (policy_.active_rebuilds() > 0) {
+    phase = Phase::kRebuilding;
+  }
+  recorder_.record(phase, o.latency_sec);
+}
+
+ClientSubsystem::Outcome ClientSubsystem::serve(const Request& r) {
+  return r.read ? serve_read(r) : serve_write(r);
+}
+
+ClientSubsystem::Outcome ClientSubsystem::serve_read(const Request& r) {
+  Outcome o;
+  const auto g = static_cast<core::GroupIndex>(r.group);
+  if (system_.state(g).dead) return o;  // data already lost; not served
+
+  const unsigned m = system_.config().scheme.data_blocks;
+  const unsigned n = system_.blocks_per_group();
+  const auto b = static_cast<core::BlockIndex>(addr_rng_.below(m));
+  const double now = sim_.now().value();
+  user_read_bytes_ += r.bytes.value();
+
+  const DiskId home = system_.home(g, b);
+  if (home != core::kNoDisk && system_.disk_at(home).alive()) {
+    // Healthy read: served by the block's home disk.
+    const double done = enqueue_on(home, r.bytes) +
+                        net_delay(home, home, r.bytes);
+    o.served = true;
+    o.latency_sec = done - now;
+    return o;
+  }
+
+  // Degraded read: the home is failed but the group is alive, so at least
+  // m other blocks survive.  Reconstructing r.bytes of an MDS-coded block
+  // reads r.bytes from each of m surviving blocks; the request completes
+  // when the slowest sub-read lands (decode time is not modeled).
+  double done = now;
+  unsigned sources = 0;
+  for (core::BlockIndex src = 0; src < n && sources < m; ++src) {
+    if (src == b) continue;
+    const DiskId sd = system_.home(g, src);
+    if (sd == core::kNoDisk || !system_.disk_at(sd).alive()) continue;
+    ++sources;
+    reconstruction_disk_bytes_ += r.bytes.value();
+    if (system_.config().topology.enabled &&
+        home != core::kNoDisk &&
+        !system_.config().topology.same_rack(sd, home)) {
+      cross_rack_reconstruction_bytes_ += r.bytes.value();
+    }
+    done = std::max(done, enqueue_on(sd, r.bytes) +
+                              net_delay(sd, home == core::kNoDisk ? sd : home,
+                                        r.bytes));
+  }
+  if (sources < m) return Outcome{};  // lost a source mid-walk; treat as down
+  ++degraded_reads_;
+  degraded_user_bytes_ += r.bytes.value();
+  o.served = true;
+  o.degraded = true;
+  o.latency_sec = done - now;
+  return o;
+}
+
+ClientSubsystem::Outcome ClientSubsystem::serve_write(const Request& r) {
+  Outcome o;
+  const auto g = static_cast<core::GroupIndex>(r.group);
+  if (system_.state(g).dead) return o;
+
+  const unsigned m = system_.config().scheme.data_blocks;
+  const unsigned n = system_.blocks_per_group();
+  const auto b = static_cast<core::BlockIndex>(addr_rng_.below(m));
+  const double now = sim_.now().value();
+
+  // Writing r.bytes of user data updates the addressed data block and every
+  // check block (n - m of them), each by r.bytes.  Sub-writes to failed
+  // homes are skipped — the rebuild will restore them — but they mark the
+  // request degraded.
+  double done = now;
+  unsigned landed = 0;
+  bool skipped_failed = false;
+  auto put = [&](core::BlockIndex blk) {
+    const DiskId d = system_.home(g, blk);
+    if (d == core::kNoDisk || !system_.disk_at(d).alive()) {
+      skipped_failed = true;
+      return;
+    }
+    ++landed;
+    done = std::max(done, enqueue_on(d, r.bytes) + net_delay(d, d, r.bytes));
+  };
+  put(b);
+  for (core::BlockIndex blk = static_cast<core::BlockIndex>(m); blk < n; ++blk) {
+    put(blk);
+  }
+  if (landed == 0) return Outcome{};  // every replica of the update is down
+  o.served = true;
+  o.degraded = skipped_failed;
+  o.latency_sec = done - now;
+  return o;
+}
+
+double ClientSubsystem::enqueue_on(DiskId d, util::Bytes bytes) {
+  return queue_for(d)
+      .enqueue(sim_.now().value(), bytes, client_share(d))
+      .done_sec;
+}
+
+double ClientSubsystem::client_share(DiskId d) const {
+  const disk::Disk& dk = system_.disk_at(d);
+  const unsigned streams = dk.active_recovery_streams();
+  if (streams == 0) return 1.0;
+  // Each rebuild stream holds its recovery-bandwidth quote of the disk.
+  const double reserved = static_cast<double>(streams) *
+                          system_.config().recovery_bandwidth.value();
+  const double share = 1.0 - reserved / dk.bandwidth().value();
+  return std::max(kMinClientShare, share);
+}
+
+double ClientSubsystem::net_delay(DiskId src, DiskId dst,
+                                  util::Bytes bytes) const {
+  const net::TopologyConfig& topo = system_.config().topology;
+  if (!topo.enabled) return 0.0;
+  // First-order serialization: every byte leaves through the node NIC, and
+  // crosses the rack uplink when source and destination racks differ.
+  // Client flows are short against rebuild flows, so they are not pushed
+  // through the max-min fabric solver (whose re-quote churn they would
+  // dominate); contention with rebuild traffic is modeled at the disk via
+  // client_share instead.
+  double delay = bytes.value() / topo.nic_bandwidth.value();
+  if (!topo.same_rack(src, dst)) {
+    delay += bytes.value() / topo.effective_uplink().value();
+  }
+  return delay;
+}
+
+ServiceQueue& ClientSubsystem::queue_for(DiskId d) {
+  // Dedicated spares and replacement batches add disk slots mid-mission.
+  while (queues_.size() <= d) {
+    queues_.emplace_back(system_.config().disk);
+  }
+  return queues_[d];
+}
+
+double ClientSubsystem::total_busy_seconds() const {
+  double busy = 0.0;
+  for (const ServiceQueue& q : queues_) busy += q.busy_seconds();
+  return busy;
+}
+
+void ClientSubsystem::sample_demand() {
+  const double now = sim_.now().value();
+  const double window = now - last_sample_sec_;
+  const double busy = total_busy_seconds();
+  const auto live = static_cast<double>(system_.live_disks());
+  if (window > 0.0 && live > 0.0) {
+    current_demand_ = std::clamp((busy - last_busy_seconds_) / (window * live),
+                                 0.0, 1.0);
+  }
+  demand_integral_ += current_demand_ * window;
+  last_sample_sec_ = now;
+  last_busy_seconds_ = busy;
+  if (now + config_.demand_sample_interval.value() <= mission_end_sec_) {
+    sim_.schedule_in(config_.demand_sample_interval,
+                     [this] { sample_demand(); });
+  }
+}
+
+ClientSummary ClientSubsystem::summary() const {
+  ClientSummary s;
+  s.active = true;
+  s.requests = requests_;
+  s.reads = reads_;
+  s.writes = writes_;
+  s.degraded_reads = degraded_reads_;
+  s.unavailable_requests = unavailable_;
+  s.user_read_bytes = user_read_bytes_;
+  s.degraded_user_bytes = degraded_user_bytes_;
+  s.reconstruction_disk_bytes = reconstruction_disk_bytes_;
+  s.cross_rack_reconstruction_bytes = cross_rack_reconstruction_bytes_;
+  s.mean_measured_demand =
+      last_sample_sec_ > 0.0 ? demand_integral_ / last_sample_sec_ : 0.0;
+  s.latency.reserve(kPhaseCount);
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const auto p = static_cast<Phase>(i);
+    s.phase_counts[i] = recorder_.count(p);
+    s.slo_violations[i] = recorder_.slo_violations(p);
+    s.latency.push_back(recorder_.histogram(p));
+  }
+  return s;
+}
+
+}  // namespace farm::client

@@ -1,0 +1,136 @@
+// Foreground client-I/O subsystem: drives the request stream through the
+// cluster while the reliability simulation fails and rebuilds disks around
+// it.
+//
+// The subsystem owns one RequestGenerator (open- or closed-loop), one
+// ServiceQueue per disk slot, and one LatencyRecorder.  It interacts with
+// the rest of the simulator in both directions:
+//
+//   recovery -> client: a disk with active rebuild streams serves client
+//     requests at a derated transfer rate (the rebuild holds part of the
+//     disk-time budget), and reads whose home disk is failed take the
+//     degraded path — m reconstruction sub-reads fanned out across the
+//     surviving blocks' disks (and across the fabric when a topology is
+//     configured).
+//   client -> recovery: the measured busy fraction of the service queues is
+//     sampled on a fixed cadence and exposed through `measured_demand`, the
+//     probe behind WorkloadKind::kGenerated — recovery bandwidth then
+//     follows the *actual* client load instead of the §2.4 cosine.
+//
+// Requests never schedule completion events: a ServiceQueue is a drain
+// clock, so a request's finish time is known arithmetically at arrival.
+// Only arrivals (open loop), stream wake-ups (closed loop), and demand
+// samples enter the event queue.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "client/client_config.hpp"
+#include "client/latency_recorder.hpp"
+#include "client/request_generator.hpp"
+#include "client/service_queue.hpp"
+#include "farm/recovery.hpp"
+#include "farm/storage_system.hpp"
+#include "sim/simulator.hpp"
+#include "util/random.hpp"
+
+namespace farm::client {
+
+using DiskId = core::DiskId;
+
+class ClientSubsystem {
+ public:
+  /// `seed` must be derived from the trial seed (each trial owns exactly
+  /// one subsystem; trials are the unit of Monte-Carlo parallelism, so the
+  /// request sequence replays identically at any thread count).
+  ClientSubsystem(core::StorageSystem& system, sim::Simulator& sim,
+                  core::RecoveryPolicy& policy, std::uint64_t seed);
+
+  ClientSubsystem(const ClientSubsystem&) = delete;
+  ClientSubsystem& operator=(const ClientSubsystem&) = delete;
+
+  /// Schedules the first arrival (or launches the closed-loop streams) and
+  /// the demand-sampling cadence.  Call once, before the mission runs.
+  void start();
+
+  /// Latest windowed busy fraction of the client service queues, in [0, 1]
+  /// — the WorkloadKind::kGenerated demand probe.  The argument is unused
+  /// (the sample is updated on its own cadence) but kept so the probe
+  /// signature matches WorkloadModel's demand function.
+  [[nodiscard]] double measured_demand(double /*now_sec*/) const {
+    return current_demand_;
+  }
+
+  /// Snapshot of everything measured, for TrialResult.
+  [[nodiscard]] ClientSummary summary() const;
+
+  /// White-box access for tests.
+  [[nodiscard]] const LatencyRecorder& recorder() const { return recorder_; }
+  [[nodiscard]] std::uint64_t requests_served() const { return requests_; }
+
+ private:
+  struct Outcome {
+    bool served = false;    // false: the group had already lost data
+    bool degraded = false;  // reconstruction or partial write fan-out
+    double latency_sec = 0.0;
+  };
+
+  void schedule_open_arrival();
+  void stream_next(double at_sec);
+  void serve_and_record(const Request& r);
+  [[nodiscard]] Outcome serve(const Request& r);
+  [[nodiscard]] Outcome serve_read(const Request& r);
+  [[nodiscard]] Outcome serve_write(const Request& r);
+
+  /// Appends a sub-I/O to disk `d`'s queue and returns its absolute
+  /// completion time (derated while `d` carries rebuild streams).
+  double enqueue_on(DiskId d, util::Bytes bytes);
+  /// Fraction of a disk's transfer rate left for client I/O while rebuild
+  /// streams hold their recovery-bandwidth quotes.
+  [[nodiscard]] double client_share(DiskId d) const;
+  /// First-order fabric serialization delay for moving `bytes` out of
+  /// `src`'s node: NIC, plus the rack uplink when `src` and `dst` sit in
+  /// different racks.  Zero in flat (topology-off) mode.
+  [[nodiscard]] double net_delay(DiskId src, DiskId dst,
+                                 util::Bytes bytes) const;
+  ServiceQueue& queue_for(DiskId d);
+  [[nodiscard]] double total_busy_seconds() const;
+  void sample_demand();
+
+  core::StorageSystem& system_;
+  sim::Simulator& sim_;
+  core::RecoveryPolicy& policy_;
+  ClientConfig config_;
+  RequestGenerator generator_;
+  /// Block-address choices (which data block of the group a request
+  /// touches), kept apart from the arrival stream so address and timing
+  /// randomness do not interleave.
+  util::Xoshiro256 addr_rng_;
+  LatencyRecorder recorder_;
+  std::vector<ServiceQueue> queues_;  // indexed by DiskId, grown lazily
+  double mission_end_sec_;
+
+  // Counters (mirrored into ClientSummary).
+  std::uint64_t requests_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t degraded_reads_ = 0;
+  std::uint64_t unavailable_ = 0;
+  double user_read_bytes_ = 0.0;
+  double degraded_user_bytes_ = 0.0;
+  double reconstruction_disk_bytes_ = 0.0;
+  double cross_rack_reconstruction_bytes_ = 0.0;
+
+  /// Absolute completion time of the most recent request, so closed-loop
+  /// streams can think *after* their request finishes.
+  double last_completion_sec_ = 0.0;
+
+  // Windowed demand measurement.
+  double current_demand_ = 0.0;
+  double last_sample_sec_ = 0.0;
+  double last_busy_seconds_ = 0.0;
+  double demand_integral_ = 0.0;  // integral of windowed demand over time
+};
+
+}  // namespace farm::client

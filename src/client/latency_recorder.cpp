@@ -1,0 +1,105 @@
+#include "client/latency_recorder.hpp"
+
+#include <stdexcept>
+
+namespace farm::client {
+
+std::string_view to_string(Phase p) {
+  switch (p) {
+    case Phase::kHealthy:
+      return "healthy";
+    case Phase::kDegraded:
+      return "degraded";
+    case Phase::kRebuilding:
+      return "rebuilding";
+  }
+  return "unknown";
+}
+
+util::LogHistogram make_latency_histogram() {
+  // 0.1 ms .. 1000 s spans 7 decades; 12 bins per decade.
+  return util::LogHistogram(1e-4, 1e3, 84);
+}
+
+LatencyRecorder::LatencyRecorder(util::Seconds slo) : slo_(slo.value()) {
+  if (!(slo_ > 0.0)) {
+    throw std::invalid_argument("LatencyRecorder: slo must be positive");
+  }
+  latency_.reserve(kPhaseCount);
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    latency_.push_back(make_latency_histogram());
+  }
+}
+
+void LatencyRecorder::record(Phase phase, double latency_sec) {
+  const auto idx = static_cast<std::size_t>(phase);
+  latency_[idx].add(latency_sec);
+  if (latency_sec > slo_) ++violations_[idx];
+}
+
+const util::LogHistogram& LatencyRecorder::histogram(Phase p) const {
+  return latency_[static_cast<std::size_t>(p)];
+}
+
+std::uint64_t LatencyRecorder::count(Phase p) const {
+  return latency_[static_cast<std::size_t>(p)].total();
+}
+
+std::uint64_t LatencyRecorder::slo_violations(Phase p) const {
+  return violations_[static_cast<std::size_t>(p)];
+}
+
+void ClientAggregate::merge_trial(const ClientSummary& s) {
+  if (!s.active) return;
+  if (!active) {
+    active = true;
+    latency.reserve(kPhaseCount);
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      latency.push_back(make_latency_histogram());
+    }
+  }
+  sum_requests_ += static_cast<double>(s.requests);
+  sum_degraded_ += static_cast<double>(s.degraded_reads);
+  sum_unavailable_ += static_cast<double>(s.unavailable_requests);
+  sum_demand_ += s.mean_measured_demand;
+  sum_degraded_user_bytes_ += s.degraded_user_bytes;
+  sum_reconstruction_bytes_ += s.reconstruction_disk_bytes;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    phase_counts[i] += s.phase_counts[i];
+    slo_violations[i] += s.slo_violations[i];
+    if (i < s.latency.size()) latency[i].merge(s.latency[i]);
+  }
+}
+
+void ClientAggregate::finalize(std::size_t trials) {
+  if (!active || trials == 0) return;
+  const double n = static_cast<double>(trials);
+  mean_requests = sum_requests_ / n;
+  mean_degraded_reads = sum_degraded_ / n;
+  mean_unavailable_requests = sum_unavailable_ / n;
+  mean_measured_demand = sum_demand_ / n;
+  read_amplification = sum_degraded_user_bytes_ > 0.0
+                           ? sum_reconstruction_bytes_ / sum_degraded_user_bytes_
+                           : 0.0;
+}
+
+double ClientAggregate::quantile(Phase p, double q) const {
+  if (!active) return 0.0;
+  return latency[static_cast<std::size_t>(p)].quantile(q);
+}
+
+double ClientAggregate::overall_quantile(double q) const {
+  if (!active) return 0.0;
+  util::LogHistogram pooled = make_latency_histogram();
+  for (const auto& h : latency) pooled.merge(h);
+  return pooled.quantile(q);
+}
+
+double ClientAggregate::slo_violation_fraction(Phase p) const {
+  const auto idx = static_cast<std::size_t>(p);
+  if (phase_counts[idx] == 0) return 0.0;
+  return static_cast<double>(slo_violations[idx]) /
+         static_cast<double>(phase_counts[idx]);
+}
+
+}  // namespace farm::client

@@ -1,0 +1,114 @@
+// Client-latency measurement: fixed-layout log-scale histograms per phase
+// (healthy / degraded / rebuilding) with SLO-violation accounting.
+//
+// Every recorder (and every trial summary) uses the same bin layout —
+// 0.1 ms to 1000 s, 12 bins per decade — so trial histograms merge exactly
+// in the Monte-Carlo aggregate and quantiles are extracted once, at report
+// time, from the pooled distribution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace farm::client {
+
+/// What the system looked like when a request was served.
+enum class Phase {
+  kHealthy = 0,     // no rebuild in flight, read served from its home
+  kDegraded = 1,    // the read itself needed reconstruction
+  kRebuilding = 2,  // rebuilds in flight elsewhere (request itself clean)
+};
+inline constexpr std::size_t kPhaseCount = 3;
+[[nodiscard]] std::string_view to_string(Phase p);
+
+/// The shared histogram layout: 0.1 ms .. 1000 s, 12 bins/decade (84 bins,
+/// ~21 % relative bin width — well under the run-to-run noise of a p99).
+[[nodiscard]] util::LogHistogram make_latency_histogram();
+
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(util::Seconds slo);
+
+  void record(Phase phase, double latency_sec);
+
+  [[nodiscard]] const util::LogHistogram& histogram(Phase p) const;
+  [[nodiscard]] std::uint64_t count(Phase p) const;
+  [[nodiscard]] std::uint64_t slo_violations(Phase p) const;
+  [[nodiscard]] double slo_sec() const { return slo_; }
+
+ private:
+  double slo_;
+  std::vector<util::LogHistogram> latency_;  // one per phase
+  std::array<std::uint64_t, kPhaseCount> violations_{};
+};
+
+/// Per-trial client measurements, carried inside TrialResult.  Everything
+/// is plain data so trials can be aggregated off the simulation thread.
+struct ClientSummary {
+  bool active = false;
+  std::uint64_t requests = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  /// Reads that fanned out reconstruction I/O (home disk failed, group alive).
+  std::uint64_t degraded_reads = 0;
+  /// Requests to groups that had already lost data (no latency recorded).
+  std::uint64_t unavailable_requests = 0;
+  double user_read_bytes = 0.0;
+  /// User bytes requested by degraded reads, and the disk bytes their
+  /// reconstruction actually read: the ratio is the measured repair read
+  /// amplification (≈ k for a k+m code with one failed disk).
+  double degraded_user_bytes = 0.0;
+  double reconstruction_disk_bytes = 0.0;
+  /// Reconstruction reads whose source sat in a different rack than the
+  /// failed home (topology-enabled runs only).
+  double cross_rack_reconstruction_bytes = 0.0;
+  /// Time-averaged measured disk-time demand (WorkloadKind::kGenerated fuel).
+  double mean_measured_demand = 0.0;
+  std::array<std::uint64_t, kPhaseCount> phase_counts{};
+  std::array<std::uint64_t, kPhaseCount> slo_violations{};
+  /// Per-phase latency histograms (make_latency_histogram layout); empty
+  /// when inactive.
+  std::vector<util::LogHistogram> latency;
+};
+
+/// Monte-Carlo pool of ClientSummary across trials: counters average,
+/// histograms merge (quantiles come from the pooled distribution), and
+/// amplification is a ratio of pooled byte totals.
+struct ClientAggregate {
+  bool active = false;
+  double mean_requests = 0.0;
+  double mean_degraded_reads = 0.0;
+  double mean_unavailable_requests = 0.0;
+  double mean_measured_demand = 0.0;
+  /// Pooled reconstruction_disk_bytes / pooled degraded_user_bytes
+  /// (0 when no degraded reads occurred).
+  double read_amplification = 0.0;
+  std::array<std::uint64_t, kPhaseCount> phase_counts{};
+  std::array<std::uint64_t, kPhaseCount> slo_violations{};
+  std::vector<util::LogHistogram> latency;  // pooled, one per phase
+
+  /// Folds one trial in (callers serialize; the Monte-Carlo harness holds
+  /// its aggregation mutex).  Means are finalized by `finalize(trials)`.
+  void merge_trial(const ClientSummary& s);
+  void finalize(std::size_t trials);
+
+  [[nodiscard]] double quantile(Phase p, double q) const;
+  /// Quantile of the distribution pooled over all phases.
+  [[nodiscard]] double overall_quantile(double q) const;
+  [[nodiscard]] double slo_violation_fraction(Phase p) const;
+
+ private:
+  double sum_requests_ = 0.0;
+  double sum_degraded_ = 0.0;
+  double sum_unavailable_ = 0.0;
+  double sum_demand_ = 0.0;
+  double sum_degraded_user_bytes_ = 0.0;
+  double sum_reconstruction_bytes_ = 0.0;
+};
+
+}  // namespace farm::client

@@ -1,0 +1,96 @@
+#include "client/request_generator.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace farm::client {
+
+void ClientConfig::validate() const {
+  if (!enabled) return;
+  if (arrivals == ArrivalKind::kOpenPoisson &&
+      !(requests_per_disk_per_sec > 0.0)) {
+    throw std::invalid_argument(
+        "client: open-loop requests_per_disk_per_sec must be positive");
+  }
+  if (arrivals == ArrivalKind::kClosedLoop) {
+    if (!(streams_per_disk > 0.0)) {
+      throw std::invalid_argument(
+          "client: closed-loop streams_per_disk must be positive");
+    }
+    if (think_time.value() < 0.0) {
+      throw std::invalid_argument("client: think_time cannot be negative");
+    }
+  }
+  if (diurnal_amplitude < 0.0 || diurnal_amplitude > 1.0) {
+    throw std::invalid_argument("client: diurnal_amplitude must be in [0, 1]");
+  }
+  if (diurnal_amplitude > 0.0 && !(diurnal_period.value() > 0.0)) {
+    throw std::invalid_argument("client: diurnal_period must be positive");
+  }
+  if (read_fraction < 0.0 || read_fraction > 1.0) {
+    throw std::invalid_argument("client: read_fraction must be in [0, 1]");
+  }
+  if (!(request_size.value() > 0.0)) {
+    throw std::invalid_argument("client: request_size must be positive");
+  }
+  if (size_dist == SizeDist::kLognormal && !(lognormal_sigma > 0.0)) {
+    throw std::invalid_argument("client: lognormal_sigma must be positive");
+  }
+  if (!(slo.value() > 0.0)) {
+    throw std::invalid_argument("client: slo must be positive");
+  }
+  if (!(demand_sample_interval.value() > 0.0)) {
+    throw std::invalid_argument(
+        "client: demand_sample_interval must be positive");
+  }
+}
+
+RequestGenerator::RequestGenerator(const ClientConfig& config,
+                                   std::uint64_t seed,
+                                   std::uint64_t group_count)
+    : config_(config), group_count_(group_count), rng_(seed) {
+  if (group_count_ == 0) {
+    throw std::invalid_argument("RequestGenerator: group_count must be > 0");
+  }
+}
+
+double RequestGenerator::rate_multiplier(util::Seconds t) const {
+  if (config_.diurnal_amplitude == 0.0) return 1.0;
+  const double phase = 2.0 * M_PI * t.value() / config_.diurnal_period.value();
+  return 1.0 - config_.diurnal_amplitude * std::cos(phase);
+}
+
+util::Seconds RequestGenerator::next_interarrival(util::Seconds now,
+                                                  std::size_t live_disks) {
+  const double rate = config_.requests_per_disk_per_sec *
+                      static_cast<double>(live_disks) * rate_multiplier(now);
+  if (!(rate > 0.0)) {
+    return util::Seconds{std::numeric_limits<double>::infinity()};
+  }
+  return util::Seconds{rng_.exponential(rate)};
+}
+
+util::Seconds RequestGenerator::next_think_time() {
+  if (!(config_.think_time.value() > 0.0)) return util::Seconds{0.0};
+  // Exponential with the configured mean, so closed-loop streams desynchronize.
+  return util::Seconds{rng_.exponential(1.0 / config_.think_time.value())};
+}
+
+Request RequestGenerator::next_request() {
+  Request r;
+  r.read = rng_.bernoulli(config_.read_fraction);
+  switch (config_.size_dist) {
+    case SizeDist::kFixed:
+      r.bytes = config_.request_size;
+      break;
+    case SizeDist::kLognormal:
+      r.bytes = util::Bytes{config_.request_size.value() *
+                            std::exp(config_.lognormal_sigma * rng_.normal())};
+      break;
+  }
+  r.group = rng_.below(group_count_);
+  return r;
+}
+
+}  // namespace farm::client

@@ -1,0 +1,58 @@
+// Client request stream: open-loop (Poisson, optionally diurnal-modulated)
+// or closed-loop arrivals, with configurable read fraction and request-size
+// distribution.
+//
+// The generator owns its own Xoshiro256 stream seeded from the trial seed,
+// so the same seed reproduces the identical request sequence regardless of
+// Monte-Carlo thread count (trials are the unit of parallelism; each trial
+// has exactly one generator).
+#pragma once
+
+#include <cstdint>
+
+#include "client/client_config.hpp"
+#include "util/random.hpp"
+#include "util/units.hpp"
+
+namespace farm::client {
+
+/// One client request, addressed to a redundancy group.
+struct Request {
+  bool read = true;
+  util::Bytes bytes{0};
+  std::uint64_t group = 0;
+};
+
+class RequestGenerator {
+ public:
+  /// `group_count` must be positive (requests are addressed uniformly to
+  /// groups; throws std::invalid_argument otherwise).
+  RequestGenerator(const ClientConfig& config, std::uint64_t seed,
+                   std::uint64_t group_count);
+
+  /// Open loop: the next exponential interarrival gap for the whole-system
+  /// stream of `live_disks` disks, at absolute time `now` (the diurnal
+  /// modulation samples the rate at the gap's start).  Infinite when the
+  /// rate is zero.
+  [[nodiscard]] util::Seconds next_interarrival(util::Seconds now,
+                                                std::size_t live_disks);
+
+  /// Closed loop: the think-time gap before a stream's next request.
+  [[nodiscard]] util::Seconds next_think_time();
+
+  /// The next request (kind, size, target group).
+  [[nodiscard]] Request next_request();
+
+  /// Diurnal rate multiplier at time t: 1 - amplitude*cos(2*pi*t/period);
+  /// identically 1 when the amplitude is 0.
+  [[nodiscard]] double rate_multiplier(util::Seconds t) const;
+
+  [[nodiscard]] const ClientConfig& config() const { return config_; }
+
+ private:
+  ClientConfig config_;
+  std::uint64_t group_count_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace farm::client

@@ -1,0 +1,25 @@
+#include "client/service_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace farm::client {
+
+ServiceQueue::Slot ServiceQueue::enqueue(double now_sec, util::Bytes bytes,
+                                         double bw_scale) {
+  if (!(bw_scale > 0.0)) {
+    throw std::invalid_argument("ServiceQueue::enqueue: bw_scale must be > 0");
+  }
+  const double service =
+      params_.seek_time.value() +
+      bytes.value() / (params_.bandwidth.value() * bw_scale);
+  Slot slot;
+  slot.start_sec = std::max(now_sec, free_at_);
+  slot.done_sec = slot.start_sec + service;
+  free_at_ = slot.done_sec;
+  busy_seconds_ += service;
+  ++served_;
+  return slot;
+}
+
+}  // namespace farm::client

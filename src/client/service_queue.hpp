@@ -1,0 +1,51 @@
+// Per-disk FIFO service queue for foreground client I/O.
+//
+// Like the recovery layer's `queue_free_` drain clocks, a ServiceQueue is
+// not a container: it is a drain clock plus busy-time accounting.  A
+// request's start and completion times are fully determined at enqueue
+// (FIFO, one request in service at a time), so the subsystem never needs a
+// per-request completion event — open-loop latency is computed
+// arithmetically and only closed-loop streams schedule wake-ups.
+//
+// Service time = seek + bytes / (bandwidth * bw_scale).  The caller passes
+// bw_scale < 1 while rebuild streams hold part of the disk's bandwidth, so
+// client and recovery traffic contend for the same disk-time budget.
+#pragma once
+
+#include <cstdint>
+
+#include "disk/disk.hpp"
+#include "util/units.hpp"
+
+namespace farm::client {
+
+class ServiceQueue {
+ public:
+  explicit ServiceQueue(disk::DiskParameters params) : params_(params) {}
+
+  struct Slot {
+    double start_sec = 0.0;  // service begins (after queue wait)
+    double done_sec = 0.0;   // request leaves the disk
+  };
+
+  /// Appends a request arriving at `now_sec` moving `bytes`; returns its
+  /// service slot.  `bw_scale` in (0, 1] derates the transfer rate for
+  /// bandwidth held by concurrent rebuild streams.
+  Slot enqueue(double now_sec, util::Bytes bytes, double bw_scale = 1.0);
+
+  /// Absolute time the disk drains its queue (0 when never used).
+  [[nodiscard]] double free_at() const { return free_at_; }
+  /// Cumulative seconds of disk time consumed by everything ever enqueued.
+  [[nodiscard]] double busy_seconds() const { return busy_seconds_; }
+  [[nodiscard]] std::uint64_t served() const { return served_; }
+
+  [[nodiscard]] const disk::DiskParameters& params() const { return params_; }
+
+ private:
+  disk::DiskParameters params_;
+  double free_at_ = 0.0;
+  double busy_seconds_ = 0.0;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace farm::client

@@ -20,6 +20,10 @@ using DiskId = std::uint32_t;
 struct DiskParameters {
   util::Bytes capacity = util::terabytes(1);
   util::Bandwidth bandwidth = util::mb_per_sec(80);
+  /// Mean positioning overhead (seek + rotational latency) charged per
+  /// foreground request by the client service queues; sequential rebuild
+  /// streams ignore it.  8 ms matches contemporary 7200 rpm drives.
+  util::Seconds seek_time = util::seconds(0.008);
 };
 
 class Disk {

@@ -128,6 +128,12 @@ void SystemConfig::validate() const {
       throw std::invalid_argument("config: scrub_efficiency must be in [0, 1]");
     }
   }
+  client.validate();
+  if (workload.kind == WorkloadKind::kGenerated && !client.enabled) {
+    throw std::invalid_argument(
+        "config: workload kGenerated measures demand from the client "
+        "subsystem; enable client traffic or pick kNone/kDiurnal");
+  }
 }
 
 std::string SystemConfig::summary() const {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "client/client_config.hpp"
 #include "disk/disk.hpp"
 #include "disk/smart.hpp"
 #include "erasure/scheme.hpp"
@@ -150,6 +151,11 @@ struct SystemConfig {
   /// NICs/uplinks max-min fairly and `recovery_bandwidth` becomes the
   /// per-flow disk-side cap rather than the guaranteed rate.
   net::TopologyConfig topology;
+  /// Foreground client I/O; off (default) = the paper's reliability-only
+  /// simulation (no client events, bit-identical output).  When enabled,
+  /// requests queue on per-disk FIFOs, reads against failed disks take the
+  /// degraded-reconstruction path, and per-phase latency is reported.
+  client::ClientConfig client;
 
   // --- mission ---------------------------------------------------------------
   util::Seconds mission_time = util::years(6);

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "client/latency_recorder.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -139,6 +140,9 @@ struct TrialResult {
   /// SystemConfig::collect_recovery_load is set.
   std::vector<double> recovery_read_bytes;
   std::vector<double> recovery_write_bytes;
+  /// Foreground client-I/O measurements; `client.active` only when
+  /// SystemConfig::client.enabled.
+  client::ClientSummary client;
 };
 
 /// Monte-Carlo aggregate over many trials of one configuration.
@@ -171,6 +175,9 @@ struct MonteCarloResult {
   /// Pooled per-disk utilization (bytes), when collected.
   util::OnlineStats initial_utilization;
   util::OnlineStats final_utilization;
+  /// Pooled foreground client-I/O measurements (`client.active` only when
+  /// the client subsystem ran).
+  client::ClientAggregate client;
 
   [[nodiscard]] double loss_probability() const {
     return trials == 0 ? 0.0

@@ -55,6 +55,7 @@ MonteCarloResult run_monte_carlo(const SystemConfig& config,
     if (r.redirections > 0) ++with_redirection;
     for (double u : r.initial_used_bytes) agg.initial_utilization.add(u);
     for (double u : r.final_used_bytes) agg.final_utilization.add(u);
+    agg.client.merge_trial(r.client);
     if (options.observer) options.observer(i, r);
   });
 
@@ -82,6 +83,7 @@ MonteCarloResult run_monte_carlo(const SystemConfig& config,
       agg.mean_fabric_requotes = sum_requotes / n;
     }
   }
+  agg.client.finalize(options.trials);
   agg.loss_ci = util::wilson_interval(agg.trials_with_loss, options.trials);
   return agg;
 }

@@ -54,6 +54,17 @@ class RecoveryPolicy {
     return scheduler_.get();
   }
 
+  /// The workload model modulating this policy's recovery bandwidth.
+  /// Mutable access so the reliability simulator can install the
+  /// WorkloadKind::kGenerated demand probe (src/client measured demand).
+  [[nodiscard]] WorkloadModel& workload_model() { return workload_; }
+
+  /// Rebuilds currently in flight — the client subsystem's phase
+  /// classifier (healthy vs rebuilding) reads this per request.
+  [[nodiscard]] std::size_t active_rebuilds() const {
+    return slab_.size() - free_ids_.size();
+  }
+
  protected:
   struct Rebuild {
     GroupIndex group = 0;

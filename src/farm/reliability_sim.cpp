@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/random.hpp"
+
 namespace farm::core {
 
 ReliabilitySimulator::ReliabilitySimulator(const SystemConfig& config,
@@ -16,6 +18,19 @@ ReliabilitySimulator::ReliabilitySimulator(const SystemConfig& config,
   system_.set_disk_added_hook([this](DiskId id) { on_disk_added(id); });
   system_.initialize();
   policy_ = make_recovery_policy(system_, sim_, metrics_);
+
+  if (config_.client.enabled) {
+    // The client stream gets its own seed lane off the trial seed, so
+    // enabling it never perturbs disk lifetimes or placement.
+    client_ = std::make_unique<client::ClientSubsystem>(
+        system_, sim_, *policy_,
+        util::hash_combine(seed, util::hash_string("client-subsystem")));
+    if (config_.workload.kind == WorkloadKind::kGenerated) {
+      policy_->workload_model().set_demand_probe(
+          [c = client_.get()](double t) { return c->measured_demand(t); });
+    }
+    client_->start();
+  }
 
   // Correlated enclosure events: each initial failure domain has a
   // pre-sampled destruction time; the event kills every drive still alive
@@ -109,6 +124,7 @@ TrialResult ReliabilitySimulator::run() {
     result.recovery_read_bytes.resize(system_.disk_slots(), 0.0);
     result.recovery_write_bytes.resize(system_.disk_slots(), 0.0);
   }
+  if (client_) result.client = client_->summary();
   return result;
 }
 

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
+#include "client/client_subsystem.hpp"
 #include "farm/config.hpp"
 #include "farm/detector.hpp"
 #include "farm/metrics.hpp"
@@ -45,6 +47,8 @@ class ReliabilitySimulator {
   FailureDetector detector_;
   std::unique_ptr<RecoveryPolicy> policy_;
   ReplacementManager replacement_;
+  /// Non-null iff config().client.enabled.
+  std::unique_ptr<client::ClientSubsystem> client_;
   bool ran_ = false;
 };
 

@@ -53,6 +53,23 @@ void write_json(util::JsonWriter& w, const SystemConfig& config) {
   if (config.replacement.enabled) {
     w.kv("replacement_threshold", config.replacement.loss_fraction_threshold);
   }
+  // Keys appear only when the client subsystem is on, so reliability-only
+  // output stays bit-identical to builds predating src/client.
+  if (config.client.enabled) {
+    w.kv("client_enabled", true);
+    w.kv("client_arrivals",
+         config.client.arrivals == client::ArrivalKind::kOpenPoisson
+             ? "open_poisson"
+             : "closed_loop");
+    w.kv("client_requests_per_disk_per_sec",
+         config.client.requests_per_disk_per_sec);
+    w.kv("client_read_fraction", config.client.read_fraction);
+    w.kv("client_request_size_bytes", config.client.request_size.value());
+    w.kv("client_diurnal_amplitude", config.client.diurnal_amplitude);
+    w.kv("client_slo_sec", config.client.slo.value());
+    w.kv("workload_generated",
+         config.workload.kind == WorkloadKind::kGenerated);
+  }
   // Keys appear only when the fabric is on, so flat-mode output stays
   // bit-identical to builds predating src/net.
   if (config.topology.enabled) {
@@ -105,6 +122,36 @@ void write_json(util::JsonWriter& w, const MonteCarloResult& result) {
   if (result.final_utilization.count() > 0) {
     w.key("final_utilization_bytes");
     write_stats(w, result.final_utilization);
+  }
+  // The whole client block is gated on the subsystem having run, so
+  // reliability-only output keeps its exact schema.
+  if (result.client.active) {
+    w.key("client");
+    w.begin_object();
+    w.kv("mean_requests", result.client.mean_requests);
+    w.kv("mean_degraded_reads", result.client.mean_degraded_reads);
+    w.kv("mean_unavailable_requests",
+         result.client.mean_unavailable_requests);
+    w.kv("mean_measured_demand", result.client.mean_measured_demand);
+    w.kv("read_amplification", result.client.read_amplification);
+    w.kv("p50_sec", result.client.overall_quantile(0.50));
+    w.kv("p95_sec", result.client.overall_quantile(0.95));
+    w.kv("p99_sec", result.client.overall_quantile(0.99));
+    w.kv("p999_sec", result.client.overall_quantile(0.999));
+    for (std::size_t i = 0; i < client::kPhaseCount; ++i) {
+      const auto p = static_cast<client::Phase>(i);
+      w.key(client::to_string(p));
+      w.begin_object();
+      w.kv("requests", result.client.phase_counts[i]);
+      w.kv("p50_sec", result.client.quantile(p, 0.50));
+      w.kv("p95_sec", result.client.quantile(p, 0.95));
+      w.kv("p99_sec", result.client.quantile(p, 0.99));
+      w.kv("p999_sec", result.client.quantile(p, 0.999));
+      w.kv("slo_violation_fraction",
+           result.client.slo_violation_fraction(p));
+      w.end_object();
+    }
+    w.end_object();
   }
   w.end_object();
 }

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cmath>
+#include <functional>
+#include <utility>
 
 #include "util/units.hpp"
 
@@ -19,6 +21,11 @@ namespace farm::core {
 enum class WorkloadKind {
   kNone,     // fixed recovery bandwidth (the paper's base assumption)
   kDiurnal,  // cosine day/night cycle of user demand
+  /// Demand *measured* from the client subsystem's per-disk service queues
+  /// (src/client) instead of assumed: recovery gets what the generated
+  /// foreground traffic actually leaves.  Requires ClientConfig::enabled;
+  /// the demand probe is wired by the reliability simulator.
+  kGenerated,
 };
 
 struct WorkloadConfig {
@@ -33,13 +40,25 @@ struct WorkloadConfig {
 
 class WorkloadModel {
  public:
+  /// Measured-demand source for kGenerated: absolute seconds -> fraction of
+  /// disk bandwidth foreground traffic is consuming.
+  using DemandProbe = std::function<double(double now_sec)>;
+
   WorkloadModel(WorkloadConfig config, util::Bandwidth disk_bandwidth,
                 util::Bandwidth recovery_cap)
       : config_(config), disk_(disk_bandwidth), cap_(recovery_cap) {}
 
+  /// Installs the kGenerated demand source.  Without a probe, kGenerated
+  /// reports zero demand (recovery runs at the cap, like kNone).
+  void set_demand_probe(DemandProbe probe) { probe_ = std::move(probe); }
+
   /// Fraction of disk bandwidth user traffic consumes at time t.
   [[nodiscard]] double user_demand(util::Seconds t) const {
     if (config_.kind == WorkloadKind::kNone) return 0.0;
+    if (config_.kind == WorkloadKind::kGenerated) {
+      if (!probe_) return 0.0;
+      return std::min(1.0, std::max(0.0, probe_(t.value())));
+    }
     const double phase = 2.0 * M_PI * t.value() / config_.period.value();
     const double swing = 0.5 - 0.5 * std::cos(phase);  // 0 at t=0, 1 mid-period
     return config_.trough_demand +
@@ -47,6 +66,15 @@ class WorkloadModel {
   }
 
   /// Bandwidth a rebuild stream can use at time t.
+  ///
+  /// Precedence with the network fabric: this quote — including the
+  /// min_recovery_fraction floor — is the *disk-side* per-flow cap, which
+  /// the recovery layer hands to the fabric's max-min solver as CapFn.  The
+  /// floor therefore wins only when the disk is the bottleneck; when a NIC
+  /// or rack uplink is the narrow link, the fabric may allocate a flow
+  /// *less* than the floor (the floor reserves disk time, not network
+  /// capacity).  Pinned by net_flow_scheduler_test
+  /// "WorkloadFloorVsFabricCapPrecedence".
   [[nodiscard]] util::Bandwidth recovery_bandwidth(util::Seconds t) const {
     if (config_.kind == WorkloadKind::kNone) return cap_;
     const double leftover = std::max(config_.min_recovery_fraction,
@@ -75,6 +103,7 @@ class WorkloadModel {
   WorkloadConfig config_;
   util::Bandwidth disk_;
   util::Bandwidth cap_;
+  DemandProbe probe_;  // kGenerated only
 };
 
 }  // namespace farm::core

@@ -115,6 +115,70 @@ double Histogram::quantile(double q) const {
   return hi_;
 }
 
+LogHistogram::LogHistogram(double min_value, double max_value, std::size_t bins)
+    : min_(min_value), max_(max_value), counts_(bins, 0) {
+  if (bins == 0 || !(min_value > 0.0) || !(max_value > min_value)) {
+    throw std::invalid_argument(
+        "LogHistogram requires 0 < min_value < max_value and bins > 0");
+  }
+  log_min_ = std::log(min_);
+  // growth g satisfies min * g^bins == max.
+  inv_log_growth_ =
+      static_cast<double>(bins) / (std::log(max_) - log_min_);
+}
+
+void LogHistogram::add(double x) {
+  std::ptrdiff_t idx = 0;
+  if (x > min_) {
+    idx = static_cast<std::ptrdiff_t>((std::log(x) - log_min_) * inv_log_growth_);
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  }
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+bool LogHistogram::same_layout(const LogHistogram& other) const {
+  return min_ == other.min_ && max_ == other.max_ &&
+         counts_.size() == other.counts_.size();
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (!same_layout(other)) {
+    throw std::invalid_argument("LogHistogram::merge: bin layouts differ");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double LogHistogram::bin_lo(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("LogHistogram::bin_lo");
+  return std::exp(log_min_ + static_cast<double>(i) / inv_log_growth_);
+}
+
+double LogHistogram::bin_hi(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("LogHistogram::bin_hi");
+  return std::exp(log_min_ + static_cast<double>(i + 1) / inv_log_growth_);
+}
+
+double LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (cum + c >= target && c > 0.0) {
+      // Geometric interpolation: constant *relative* resolution inside the
+      // bin, matching the log-spaced layout.
+      const double frac = (target - cum) / c;
+      return bin_lo(i) * std::pow(bin_hi(i) / bin_lo(i), frac);
+    }
+    cum += c;
+  }
+  return max_;
+}
+
 double mean_of(std::span<const double> xs) {
   if (xs.empty()) return 0.0;
   double sum = 0.0;

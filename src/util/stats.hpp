@@ -78,6 +78,46 @@ class Histogram {
   std::size_t total_ = 0;
 };
 
+/// Log-spaced histogram over [min_value, max_value): bin i spans
+/// [min * g^i, min * g^(i+1)) with the growth factor g chosen so `bins`
+/// bins exactly cover the range.  Built for latency distributions, whose
+/// tails span decades: relative (not absolute) resolution is constant, so
+/// p50 and p999 are captured with the same per-bin error.  Samples below
+/// min_value (or non-positive) clamp into bin 0; samples at or above
+/// max_value clamp into the last bin.  Two histograms merge iff their
+/// layouts match exactly.
+class LogHistogram {
+ public:
+  /// Throws std::invalid_argument unless 0 < min_value < max_value and
+  /// bins >= 1.
+  LogHistogram(double min_value, double max_value, std::size_t bins);
+
+  void add(double x);
+  /// Adds every count of `other`; throws std::invalid_argument when the
+  /// bin layouts differ (merging those would silently misbin).
+  void merge(const LogHistogram& other);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double min_value() const { return min_; }
+  [[nodiscard]] double max_value() const { return max_; }
+  /// Geometric bin edges: bin_lo(0) == min_value, bin_hi(bins()-1) ==
+  /// max_value (up to rounding).
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  /// Quantile q in [0, 1], geometrically interpolated inside the bin the
+  /// q-th sample falls in; 0 for an empty histogram.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] bool same_layout(const LogHistogram& other) const;
+
+ private:
+  double min_, max_;
+  double log_min_, inv_log_growth_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
 /// Population mean of a span (0 for empty).
 [[nodiscard]] double mean_of(std::span<const double> xs);
 /// Sample standard deviation of a span (0 for fewer than two values).

@@ -34,6 +34,9 @@ const std::set<std::string> kExpectedNames = {
     "ablation_critical_priority",
     "net_oversubscription",
     "net_locality",
+    "client_degraded_latency",
+    "client_slo_tradeoff",
+    "client_amplification",
 };
 
 ScenarioOptions tiny_options() {
@@ -63,6 +66,24 @@ TEST(ScenarioRegistry, GlobSelection) {
   EXPECT_EQ(registry.match("*").size(), registry.size());
   EXPECT_EQ(registry.match("table?_*").size(), 2u);
   EXPECT_TRUE(registry.match("zzz*").empty());
+}
+
+TEST(ScenarioRegistry, GlobUnionSelection) {
+  const auto& registry = ScenarioRegistry::instance();
+  // '|' unions alternatives: the CI smoke filter selects both families.
+  const auto both = registry.match("client_*|net_*");
+  EXPECT_EQ(both.size(), 5u);
+  for (const Scenario* s : both) {
+    const std::string& name = s->info().name;
+    EXPECT_TRUE(name.rfind("client_", 0) == 0 || name.rfind("net_", 0) == 0)
+        << name;
+  }
+  // Overlapping alternatives do not duplicate entries.
+  EXPECT_EQ(registry.match("client_*|client_amplification").size(), 3u);
+  // Order of alternatives does not matter; empty alternatives match nothing.
+  EXPECT_EQ(registry.match("net_*|client_*").size(), 5u);
+  EXPECT_EQ(registry.match("|net_*").size(), 2u);
+  EXPECT_TRUE(registry.match("zzz*|yyy*").empty());
 }
 
 TEST(ScenarioRegistry, EveryScenarioBuildsUniqueLabelledPoints) {
@@ -233,6 +254,67 @@ TEST(Scenario, NetScenariosRunAndEmitValidJson) {
     EXPECT_EQ(p.at("config").find("topology_enabled"), nullptr);
     EXPECT_EQ(p.at("result").find("mean_fabric_requotes"), nullptr);
   }
+}
+
+TEST(Scenario, ClientScenariosRunAndEmitValidJson) {
+  // The client family switches the foreground-I/O subsystem on; its JSON
+  // must carry the gated client config/result blocks in every point.
+  for (const char* name :
+       {"client_degraded_latency", "client_slo_tradeoff",
+        "client_amplification"}) {
+    const Scenario* s = ScenarioRegistry::instance().find(name);
+    ASSERT_NE(s, nullptr) << name;
+    const ScenarioRun run = s->run(tiny_options());
+    EXPECT_FALSE(run.points.empty()) << name;
+    EXPECT_FALSE(run.rendered.empty()) << name;
+    const util::JsonValue v = util::JsonValue::parse(to_json(run, "test"));
+    EXPECT_EQ(v.at("scenario").as_string(), name);
+    for (const util::JsonValue& p : v.at("points").as_array()) {
+      EXPECT_TRUE(p.at("config").at("client_enabled").as_bool()) << name;
+      const util::JsonValue& client = p.at("result").at("client");
+      EXPECT_GT(client.at("mean_requests").as_number(), 0.0) << name;
+      EXPECT_GE(client.at("read_amplification").as_number(), 0.0) << name;
+      for (const char* phase : {"healthy", "degraded", "rebuilding"}) {
+        EXPECT_NE(client.find(phase), nullptr) << name << "/" << phase;
+      }
+    }
+  }
+  // Scenarios without a client keep the seed schema: no client keys at all.
+  const Scenario* flat =
+      ScenarioRegistry::instance().find("ablation_recovery_modes");
+  ASSERT_NE(flat, nullptr);
+  const util::JsonValue v =
+      util::JsonValue::parse(to_json(flat->run(tiny_options()), "test"));
+  for (const util::JsonValue& p : v.at("points").as_array()) {
+    EXPECT_EQ(p.at("config").find("client_enabled"), nullptr);
+    EXPECT_EQ(p.at("result").find("client"), nullptr);
+  }
+}
+
+TEST(Scenario, CombinedJsonWrapsEveryRun) {
+  const auto& registry = ScenarioRegistry::instance();
+  std::vector<ScenarioRun> runs;
+  runs.push_back(registry.find("fig3a_scheme_comparison")->run(tiny_options()));
+  runs.push_back(registry.find("ablation_recovery_modes")->run(tiny_options()));
+  const util::JsonValue v =
+      util::JsonValue::parse(to_json_combined(runs, "test-describe"));
+  EXPECT_EQ(v.at("schema_version").as_number(), 1.0);
+  EXPECT_EQ(v.at("git_describe").as_string(), "test-describe");
+  const auto& arr = v.at("runs").as_array();
+  ASSERT_EQ(arr.size(), runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    // Each element carries the same object the per-scenario document does.
+    EXPECT_EQ(arr[i].at("scenario").as_string(), runs[i].name);
+    EXPECT_EQ(arr[i].at("points").as_array().size(), runs[i].points.size());
+    const util::JsonValue single =
+        util::JsonValue::parse(to_json(runs[i], "test-describe"));
+    EXPECT_EQ(arr[i].at("master_seed").as_string(),
+              single.at("master_seed").as_string());
+  }
+  // An empty selection still yields a well-formed document.
+  const util::JsonValue empty =
+      util::JsonValue::parse(to_json_combined({}, "test-describe"));
+  EXPECT_TRUE(empty.at("runs").as_array().empty());
 }
 
 TEST(Scenario, JsonContainsEveryPointLabel) {

@@ -1,0 +1,97 @@
+// ServiceQueue is a drain clock, not a container: start/done times are
+// fully determined at enqueue, FIFO, one request in service at a time.
+// These tests pin the arithmetic — queueing delay, idle-gap reset, seek
+// accounting, and the bw_scale derating that models contention with
+// concurrent rebuild streams.
+#include "client/service_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "disk/disk.hpp"
+#include "util/units.hpp"
+
+namespace farm::client {
+namespace {
+
+disk::DiskParameters test_params() {
+  disk::DiskParameters p;
+  p.bandwidth = util::mb_per_sec(80);
+  p.seek_time = util::seconds(0.008);
+  return p;
+}
+
+// 4 MB at 80 MB/s = 50 ms transfer + 8 ms seek.
+constexpr double kService = 0.008 + 0.05;
+
+TEST(ServiceQueue, IdleDiskServesImmediately) {
+  ServiceQueue q(test_params());
+  const auto slot = q.enqueue(10.0, util::megabytes(4));
+  EXPECT_DOUBLE_EQ(slot.start_sec, 10.0);
+  EXPECT_NEAR(slot.done_sec, 10.0 + kService, 1e-12);
+  EXPECT_DOUBLE_EQ(q.free_at(), slot.done_sec);
+}
+
+TEST(ServiceQueue, FifoBackToBackRequestsQueue) {
+  ServiceQueue q(test_params());
+  const auto first = q.enqueue(0.0, util::megabytes(4));
+  // Arrives while the first is still in service: waits for the drain clock.
+  const auto second = q.enqueue(0.01, util::megabytes(4));
+  EXPECT_DOUBLE_EQ(second.start_sec, first.done_sec);
+  EXPECT_NEAR(second.done_sec, first.done_sec + kService, 1e-12);
+  // A third behind both.
+  const auto third = q.enqueue(0.02, util::megabytes(4));
+  EXPECT_DOUBLE_EQ(third.start_sec, second.done_sec);
+}
+
+TEST(ServiceQueue, IdleGapResetsToArrivalTime) {
+  ServiceQueue q(test_params());
+  const auto first = q.enqueue(0.0, util::megabytes(4));
+  // Arrives well after the queue drained: no carried-over wait.
+  const auto second = q.enqueue(first.done_sec + 100.0, util::megabytes(4));
+  EXPECT_DOUBLE_EQ(second.start_sec, first.done_sec + 100.0);
+}
+
+TEST(ServiceQueue, BusySecondsAndServedAccumulate) {
+  ServiceQueue q(test_params());
+  EXPECT_DOUBLE_EQ(q.free_at(), 0.0);
+  EXPECT_DOUBLE_EQ(q.busy_seconds(), 0.0);
+  EXPECT_EQ(q.served(), 0u);
+  for (int i = 0; i < 10; ++i) {
+    (void)q.enqueue(i * 1000.0, util::megabytes(4));
+  }
+  // Busy time counts service only, never idle gaps.
+  EXPECT_NEAR(q.busy_seconds(), 10 * kService, 1e-9);
+  EXPECT_EQ(q.served(), 10u);
+}
+
+TEST(ServiceQueue, SeekIsPerRequestNotPerByte) {
+  ServiceQueue q(test_params());
+  const auto small = q.enqueue(0.0, util::Bytes{0.0});
+  // A zero-byte request still pays the positioning overhead.
+  EXPECT_NEAR(small.done_sec - small.start_sec, 0.008, 1e-12);
+}
+
+TEST(ServiceQueue, BwScaleDeratesTransferButNotSeek) {
+  ServiceQueue full(test_params());
+  ServiceQueue half(test_params());
+  const auto f = full.enqueue(0.0, util::megabytes(4), 1.0);
+  const auto h = half.enqueue(0.0, util::megabytes(4), 0.5);
+  const double full_service = f.done_sec - f.start_sec;
+  const double half_service = h.done_sec - h.start_sec;
+  // Transfer doubles (50 ms -> 100 ms); the 8 ms seek does not scale.
+  EXPECT_NEAR(full_service, 0.058, 1e-12);
+  EXPECT_NEAR(half_service, 0.108, 1e-12);
+}
+
+TEST(ServiceQueue, RejectsNonPositiveBwScale) {
+  ServiceQueue q(test_params());
+  EXPECT_THROW((void)q.enqueue(0.0, util::megabytes(4), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)q.enqueue(0.0, util::megabytes(4), -0.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace farm::client

@@ -1,0 +1,167 @@
+// Integration of src/client with the reliability simulation: the gating
+// contract (client off = inactive summary), the degraded-read path under
+// real failures (amplification exactly k), the measured-demand probe behind
+// WorkloadKind::kGenerated, and trial-level determinism — the same seed
+// replays the identical client trace at any Monte-Carlo thread count.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "farm/monte_carlo.hpp"
+#include "farm/reliability_sim.hpp"
+#include "util/thread_pool.hpp"
+
+namespace farm::core {
+namespace {
+
+using util::hours;
+using util::megabytes;
+using util::terabytes;
+
+/// ~100 disks, a 24 h mission, and exponential lifetimes short enough that
+/// several disks fail per trial — every run exercises rebuild windows.
+SystemConfig client_system() {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(20);
+  cfg.group_size = util::gigabytes(10);
+  cfg.scheme = {4, 5};
+  cfg.smart.enabled = false;
+  cfg.failure_law = SystemConfig::FailureLaw::kExponential;
+  cfg.exponential_mttf = hours(50);
+  cfg.mission_time = hours(24);
+  cfg.client.enabled = true;
+  cfg.client.requests_per_disk_per_sec = 1.0;
+  cfg.client.request_size = megabytes(4);
+  return cfg;
+}
+
+TEST(ClientSim, DisabledClientLeavesTheSummaryInactive) {
+  SystemConfig cfg = client_system();
+  cfg.client.enabled = false;
+  const TrialResult r = run_trial(cfg, 42);
+  EXPECT_FALSE(r.client.active);
+  EXPECT_EQ(r.client.requests, 0u);
+  EXPECT_TRUE(r.client.latency.empty());
+}
+
+TEST(ClientSim, DegradedReadsOccurAndAmplificationIsExactlyK) {
+  SystemConfig cfg = client_system();
+  cfg.client.read_fraction = 1.0;  // isolate the read path
+  const TrialResult r = run_trial(cfg, 42);
+  ASSERT_TRUE(r.client.active);
+  EXPECT_GT(r.client.requests, 0u);
+  EXPECT_EQ(r.client.reads, r.client.requests);
+  ASSERT_GT(r.client.degraded_reads, 0u)
+      << "a 24 h mission at MTTF 50 h must hit rebuild windows";
+  // Each degraded read of B user bytes issues exactly k = data_blocks
+  // reconstruction sub-reads of B bytes, so the pooled ratio is k exactly.
+  ASSERT_GT(r.client.degraded_user_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(
+      r.client.reconstruction_disk_bytes / r.client.degraded_user_bytes,
+      static_cast<double>(cfg.scheme.data_blocks));
+}
+
+TEST(ClientSim, PhaseCountsPartitionTheServedRequests) {
+  const TrialResult r = run_trial(client_system(), 7);
+  ASSERT_TRUE(r.client.active);
+  const std::uint64_t phased =
+      std::accumulate(r.client.phase_counts.begin(),
+                      r.client.phase_counts.end(), std::uint64_t{0});
+  EXPECT_EQ(phased + r.client.unavailable_requests, r.client.requests);
+  EXPECT_EQ(r.client.reads + r.client.writes, r.client.requests);
+  // Latency was recorded for every served request.
+  ASSERT_EQ(r.client.latency.size(), client::kPhaseCount);
+  std::uint64_t histogrammed = 0;
+  for (const auto& h : r.client.latency) histogrammed += h.total();
+  EXPECT_EQ(histogrammed, phased);
+}
+
+TEST(ClientSim, FarmRebuildsShrinkDegradedExposure) {
+  // The question the subsystem exists to answer: FARM's parallel rebuilds
+  // close degraded windows faster, so clients see fewer degraded reads than
+  // under a dedicated spare replaying the same failure schedule.
+  SystemConfig farm = client_system();
+  farm.client.read_fraction = 1.0;
+  SystemConfig spare = farm;
+  farm.recovery_mode = RecoveryMode::kFarm;
+  spare.recovery_mode = RecoveryMode::kDedicatedSpare;
+  std::uint64_t farm_degraded = 0, spare_degraded = 0;
+  for (const std::uint64_t seed : {42u, 43u, 44u}) {
+    farm_degraded += run_trial(farm, seed).client.degraded_reads;
+    spare_degraded += run_trial(spare, seed).client.degraded_reads;
+  }
+  EXPECT_LT(farm_degraded, spare_degraded);
+}
+
+TEST(ClientSim, GeneratedWorkloadMeasuresDemandFromTheQueues) {
+  SystemConfig cfg = client_system();
+  cfg.workload.kind = WorkloadKind::kGenerated;
+  const TrialResult r = run_trial(cfg, 11);
+  ASSERT_TRUE(r.client.active);
+  // 1 req/s/disk * (8 ms seek + 4 MB / 80 MB/s) ~ 5.8 % busy.
+  EXPECT_GT(r.client.mean_measured_demand, 0.01);
+  EXPECT_LT(r.client.mean_measured_demand, 0.5);
+}
+
+TEST(ClientSim, GeneratedWorkloadRequiresTheClient) {
+  SystemConfig cfg = client_system();
+  cfg.client.enabled = false;
+  cfg.workload.kind = WorkloadKind::kGenerated;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(ClientSim, ClosedLoopStreamsServeRequests) {
+  SystemConfig cfg = client_system();
+  cfg.client.arrivals = client::ArrivalKind::kClosedLoop;
+  cfg.client.streams_per_disk = 0.5;
+  cfg.client.think_time = util::seconds(1.0);
+  const TrialResult r = run_trial(cfg, 5);
+  ASSERT_TRUE(r.client.active);
+  EXPECT_GT(r.client.requests, 0u);
+}
+
+TEST(ClientSim, SameSeedReplaysTheExactTrace) {
+  const SystemConfig cfg = client_system();
+  const TrialResult a = run_trial(cfg, 99);
+  const TrialResult b = run_trial(cfg, 99);
+  EXPECT_EQ(a.client.requests, b.client.requests);
+  EXPECT_EQ(a.client.degraded_reads, b.client.degraded_reads);
+  EXPECT_EQ(a.client.phase_counts, b.client.phase_counts);
+  EXPECT_EQ(a.client.slo_violations, b.client.slo_violations);
+  EXPECT_EQ(a.client.user_read_bytes, b.client.user_read_bytes);
+  EXPECT_EQ(a.client.mean_measured_demand, b.client.mean_measured_demand);
+}
+
+TEST(ClientSim, AggregateIsIdenticalAcrossThreadCounts) {
+  // Trials are the unit of parallelism and each owns its generator, so the
+  // pooled client aggregate must not depend on the worker count.
+  SystemConfig cfg = client_system();
+  cfg.mission_time = hours(6);
+  MonteCarloOptions mc;
+  mc.trials = 4;
+  mc.master_seed = 1234;
+  util::ThreadPool serial(1), wide(4);
+  mc.pool = &serial;
+  const MonteCarloResult a = run_monte_carlo(cfg, mc);
+  mc.pool = &wide;
+  const MonteCarloResult b = run_monte_carlo(cfg, mc);
+  ASSERT_TRUE(a.client.active);
+  ASSERT_TRUE(b.client.active);
+  EXPECT_EQ(a.client.mean_requests, b.client.mean_requests);
+  EXPECT_EQ(a.client.mean_degraded_reads, b.client.mean_degraded_reads);
+  EXPECT_EQ(a.client.read_amplification, b.client.read_amplification);
+  EXPECT_EQ(a.client.phase_counts, b.client.phase_counts);
+  EXPECT_EQ(a.client.slo_violations, b.client.slo_violations);
+  ASSERT_EQ(a.client.latency.size(), b.client.latency.size());
+  for (std::size_t p = 0; p < a.client.latency.size(); ++p) {
+    ASSERT_TRUE(a.client.latency[p].same_layout(b.client.latency[p]));
+    for (std::size_t i = 0; i < a.client.latency[p].bins(); ++i) {
+      ASSERT_EQ(a.client.latency[p].bin_count(i),
+                b.client.latency[p].bin_count(i))
+          << p << "/" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace farm::core

@@ -62,6 +62,34 @@ TEST(Workload, MinimumFloorHolds) {
   EXPECT_NEAR(m.recovery_bandwidth(hours(12)).value(), 4e6, 1e3);  // 5 % of 80
 }
 
+TEST(Workload, GeneratedWithoutProbeActsLikeNone) {
+  WorkloadConfig cfg;
+  cfg.kind = WorkloadKind::kGenerated;
+  const WorkloadModel m{cfg, mb_per_sec(80), mb_per_sec(16)};
+  EXPECT_DOUBLE_EQ(m.user_demand(hours(3)), 0.0);
+  EXPECT_DOUBLE_EQ(m.recovery_bandwidth(hours(3)).value(), 16e6);
+}
+
+TEST(Workload, GeneratedFollowsTheMeasuredProbe) {
+  WorkloadConfig cfg;
+  cfg.kind = WorkloadKind::kGenerated;
+  cfg.min_recovery_fraction = 0.05;
+  WorkloadModel m{cfg, mb_per_sec(80), mb_per_sec(16)};
+  double measured = 0.0;
+  m.set_demand_probe([&measured](double) { return measured; });
+
+  measured = 0.25;
+  EXPECT_DOUBLE_EQ(m.user_demand(Seconds{0.0}), 0.25);
+  EXPECT_DOUBLE_EQ(m.recovery_bandwidth(Seconds{0.0}).value(), 16e6);  // cap
+  measured = 0.95;  // heavy load: 5 % of 80 MB/s left -> below the cap
+  EXPECT_NEAR(m.recovery_bandwidth(Seconds{0.0}).value(), 4e6, 1e3);
+  // The probe's raw value is clamped into [0, 1] before use.
+  measured = 7.5;
+  EXPECT_DOUBLE_EQ(m.user_demand(Seconds{0.0}), 1.0);
+  measured = -2.0;
+  EXPECT_DOUBLE_EQ(m.user_demand(Seconds{0.0}), 0.0);
+}
+
 TEST(Workload, TransferTimeInvertsBandwidth) {
   const WorkloadModel m = diurnal_model();
   EXPECT_NEAR(m.transfer_time(gigabytes(10), Seconds{0.0}).value(), 625.0, 1e-9);

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "farm/workload.hpp"
 #include "sim/simulator.hpp"
 
 namespace farm::net {
@@ -133,6 +134,52 @@ TEST(FlowScheduler, CapScaleAndWorkloadSampling) {
   sim.run_until(Seconds{1e9});
   EXPECT_NEAR(done1, 10.0, 1e-9);  // 40 MB at 4 MB/s
   EXPECT_NEAR(done2, 5.0, 1e-9);   // 40 MB at 8 MB/s
+}
+
+TEST(FlowScheduler, WorkloadFloorVsFabricCapPrecedence) {
+  // Pins the precedence documented on WorkloadModel::recovery_bandwidth:
+  // the min_recovery_fraction floor is a *disk-side* quote handed to the
+  // fabric as CapFn, so it wins only when the disk is the bottleneck.  When
+  // a NIC is the narrow link, the max-min solver may grant a flow less than
+  // the floor — the floor reserves disk time, not network capacity.
+  //
+  // Saturated workload: user demand is a constant 0.95, so the quote is the
+  // floor itself — max(0.1, 1 - 0.95) * 80 MB/s = 8 MB/s (under the 16 MB/s
+  // cap).
+  core::WorkloadConfig wc;
+  wc.kind = core::WorkloadKind::kDiurnal;
+  wc.peak_demand = 0.95;
+  wc.trough_demand = 0.95;
+  wc.min_recovery_fraction = 0.1;
+  const core::WorkloadModel model{wc, mb_per_sec(80), mb_per_sec(16)};
+  const FlowScheduler::CapFn floor_cap = [&model](double now, double scale) {
+    return util::Bandwidth{
+        model.recovery_bandwidth(Seconds{now}).value() * scale};
+  };
+
+  // Disk-bound: a 10 MB/s NIC is wider than the 8 MB/s quote, so the floor
+  // sets the rate — 80 MB land at exactly 10 s.
+  {
+    sim::Simulator sim;
+    FlowScheduler fs{sim, tiny_topo(), floor_cap};
+    double done = -1.0;
+    fs.submit(2, 0, 2, megabytes(80), 1.0, [&] { done = sim.now().value(); });
+    sim.run_until(Seconds{1e9});
+    EXPECT_NEAR(done, 10.0, 1e-9);
+  }
+
+  // Fabric-bound: a 4 MB/s NIC sits below the floor quote, so the flow runs
+  // at 4 MB/s — the floor does not carve bandwidth out of the network.
+  {
+    TopologyConfig narrow = tiny_topo();
+    narrow.nic_bandwidth = mb_per_sec(4);
+    sim::Simulator sim;
+    FlowScheduler fs{sim, narrow, floor_cap};
+    double done = -1.0;
+    fs.submit(2, 0, 2, megabytes(80), 1.0, [&] { done = sim.now().value(); });
+    sim.run_until(Seconds{1e9});
+    EXPECT_NEAR(done, 20.0, 1e-9);
+  }
 }
 
 TEST(FlowScheduler, CompletionCallbackMaySubmitMoreWork) {

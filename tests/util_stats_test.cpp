@@ -165,6 +165,152 @@ TEST(Histogram, RejectsDegenerateConstruction) {
   EXPECT_THROW(Histogram(5.0, 1.0, 3), std::invalid_argument);
 }
 
+TEST(LogHistogram, EdgesAreGeometric) {
+  // 3 decades, one bin per decade: edges land on powers of ten.
+  LogHistogram h(1e-3, 1.0, 3);
+  EXPECT_EQ(h.bins(), 3u);
+  EXPECT_DOUBLE_EQ(h.min_value(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max_value(), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 1e-3);
+  EXPECT_NEAR(h.bin_hi(0), 1e-2, 1e-12);
+  EXPECT_NEAR(h.bin_lo(1), 1e-2, 1e-12);
+  EXPECT_NEAR(h.bin_hi(2), 1.0, 1e-12);
+  // Adjacent bins share an edge.
+  for (std::size_t i = 0; i + 1 < h.bins(); ++i) {
+    EXPECT_DOUBLE_EQ(h.bin_hi(i), h.bin_lo(i + 1)) << i;
+  }
+}
+
+TEST(LogHistogram, BinsByRelativeNotAbsolutePosition) {
+  LogHistogram h(1e-3, 1.0, 3);
+  h.add(5e-3);  // decade [1e-3, 1e-2) -> bin 0
+  h.add(5e-2);  // decade [1e-2, 1e-1) -> bin 1
+  h.add(0.5);   // decade [1e-1, 1)    -> bin 2
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(LogHistogram, ClampsOutOfRangeAndNonPositiveSamples) {
+  LogHistogram h(1e-3, 1.0, 3);
+  h.add(1e-9);  // below min -> bin 0
+  h.add(0.0);   // non-positive -> bin 0 (log undefined; clamp, don't crash)
+  h.add(-3.0);
+  h.add(1.0);    // == max -> last bin
+  h.add(1e6);    // above max -> last bin
+  EXPECT_EQ(h.bin_count(0), 3u);
+  EXPECT_EQ(h.bin_count(2), 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(LogHistogram, ExactEdgesLandInTheirLowerBin) {
+  LogHistogram h(1.0, 1000.0, 3);
+  h.add(1.0);    // == min_value -> bin 0
+  h.add(10.0);   // bin 0/1 edge -> bin 1 (half-open intervals)
+  h.add(100.0);  // bin 1/2 edge -> bin 2
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+}
+
+TEST(LogHistogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(LogHistogram(0.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(-1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1e-3, 1.0, 0), std::invalid_argument);
+}
+
+TEST(LogHistogram, QuantileOfEmptyIsZero) {
+  const LogHistogram h(1e-3, 1.0, 12);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), 0.0);
+}
+
+TEST(LogHistogram, QuantileIsMonotoneAndBracketsTheSample) {
+  // A single filled bin: every quantile stays inside that bin's edges.
+  LogHistogram one(1e-3, 1.0, 30);
+  for (int i = 0; i < 100; ++i) one.add(0.05);
+  for (double q : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+    EXPECT_GE(one.quantile(q), one.bin_lo(0) * 0.999) << q;
+    EXPECT_LE(one.quantile(q), 1.0) << q;
+  }
+  const std::size_t b = [&] {
+    for (std::size_t i = 0; i < one.bins(); ++i) {
+      if (one.bin_count(i) > 0) return i;
+    }
+    return one.bins();
+  }();
+  ASSERT_LT(b, one.bins());
+  EXPECT_GE(one.quantile(0.5), one.bin_lo(b));
+  EXPECT_LE(one.quantile(0.5), one.bin_hi(b));
+
+  // Uniform-in-log samples: quantiles are non-decreasing in q and track the
+  // sample distribution to within one bin of relative error.
+  LogHistogram h(1e-3, 1e3, 120);
+  std::vector<double> xs;
+  for (int i = 0; i < 6000; ++i) {
+    xs.push_back(std::pow(10.0, -3.0 + 6.0 * (i + 0.5) / 6000.0));
+  }
+  for (double x : xs) h.add(x);
+  double prev = 0.0;
+  for (double q : {0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << q;
+    prev = v;
+    const double exact = xs[static_cast<std::size_t>(q * (xs.size() - 1))];
+    // One bin spans a factor of 10^(6/120) ~ 1.12; allow two bins of slack.
+    EXPECT_GT(v, exact / 1.3) << q;
+    EXPECT_LT(v, exact * 1.3) << q;
+  }
+}
+
+TEST(LogHistogram, MergeSumsCountsAndMatchesPooledQuantiles) {
+  LogHistogram a(1e-3, 1e3, 72), b(1e-3, 1e3, 72), pooled(1e-3, 1e3, 72);
+  for (int i = 1; i <= 500; ++i) {
+    const double xa = 0.001 * i, xb = 0.9 * i;
+    a.add(xa);
+    b.add(xb);
+    pooled.add(xa);
+    pooled.add(xb);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), pooled.total());
+  for (std::size_t i = 0; i < a.bins(); ++i) {
+    EXPECT_EQ(a.bin_count(i), pooled.bin_count(i)) << i;
+  }
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), pooled.quantile(q)) << q;
+  }
+}
+
+TEST(LogHistogram, MergeRejectsLayoutMismatch) {
+  LogHistogram base(1e-3, 1e3, 72);
+  LogHistogram fewer_bins(1e-3, 1e3, 36);
+  LogHistogram shifted_min(1e-4, 1e3, 72);
+  LogHistogram shifted_max(1e-3, 1e2, 72);
+  LogHistogram same(1e-3, 1e3, 72);
+  EXPECT_FALSE(base.same_layout(fewer_bins));
+  EXPECT_FALSE(base.same_layout(shifted_min));
+  EXPECT_FALSE(base.same_layout(shifted_max));
+  EXPECT_TRUE(base.same_layout(same));
+  EXPECT_THROW(base.merge(fewer_bins), std::invalid_argument);
+  EXPECT_THROW(base.merge(shifted_min), std::invalid_argument);
+  EXPECT_THROW(base.merge(shifted_max), std::invalid_argument);
+  EXPECT_NO_THROW(base.merge(same));
+}
+
+TEST(LogHistogram, MergingEmptyIsIdentity) {
+  LogHistogram h(1e-3, 1.0, 12);
+  h.add(0.01);
+  h.add(0.1);
+  const double before = h.quantile(0.5);
+  h.merge(LogHistogram(1e-3, 1.0, 12));
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), before);
+}
+
 TEST(SpanStats, MeanAndStddev) {
   const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
   EXPECT_DOUBLE_EQ(mean_of(xs), 5.0);
