@@ -1,0 +1,108 @@
+// Fault extension F1 — correlated failure bursts against the recovery
+// policies.  The paper's disks die independently (plus optional enclosure
+// events); real clusters also see shocks — a power sag, a bad firmware
+// push, a cooling failure — that kill or degrade several neighbouring
+// drives within minutes.  Bursts are the regime declustered recovery was
+// built for: FARM spreads the simultaneous rebuilds over the whole
+// cluster, while the dedicated spare queues them behind one another.
+#include <sstream>
+
+#include "analysis/scenario.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace farm;
+
+struct Policy {
+  const char* label;
+  core::RecoveryMode mode;
+};
+
+constexpr Policy kPolicies[] = {
+    {"FARM", core::RecoveryMode::kFarm},
+    {"dedicated-spare", core::RecoveryMode::kDedicatedSpare},
+};
+
+struct Severity {
+  const char* label;
+  bool enabled;
+  double shock_mtbf_years;
+  double kill_fraction;
+  double degrade_fraction;
+};
+
+constexpr Severity kSeverities[] = {
+    {"none", false, 0.0, 0.0, 0.0},
+    {"light", true, 1.0, 0.15, 0.25},
+    {"heavy", true, 0.1, 0.30, 0.30},
+};
+
+class FaultCorrelatedBurst final : public analysis::Scenario {
+ public:
+  FaultCorrelatedBurst()
+      : Scenario({"fault_correlated_burst",
+                  "Faults: correlated failure bursts vs. recovery policy",
+                  "extension (cf. paper section 2.2 failure correlation)",
+                  20}) {}
+
+  std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override {
+    std::vector<analysis::SweepPoint> points;
+    for (const Policy& p : kPolicies) {
+      for (const Severity& s : kSeverities) {
+        core::SystemConfig cfg = base_config(opts);
+        cfg.recovery_mode = p.mode;
+        // Enclosures define the blast radius of a shock; their own
+        // destructive events are pushed past the mission so the burst
+        // injector is the only correlation source being measured.
+        cfg.domains.enabled = true;
+        cfg.domains.disks_per_domain = 32;
+        cfg.domains.domain_mtbf = util::hours(1e9);
+        cfg.domains.rack_aware_placement = true;
+        if (s.enabled) {
+          cfg.fault.burst.enabled = true;
+          cfg.fault.burst.shock_mtbf = util::years(s.shock_mtbf_years);
+          cfg.fault.burst.kill_fraction = s.kill_fraction;
+          cfg.fault.burst.degrade_fraction = s.degrade_fraction;
+          cfg.fault.burst.window = util::minutes(10);
+        }
+        points.push_back(
+            {std::string(p.label) + "/" + s.label, std::move(cfg)});
+      }
+    }
+    return points;
+  }
+
+ protected:
+  std::string format(const analysis::ScenarioRun& run) const override {
+    util::Table table({"policy", "burst", "shocks", "killed", "degraded",
+                       "loss", "mean window"});
+    for (const Policy& p : kPolicies) {
+      for (const Severity& s : kSeverities) {
+        const analysis::PointResult& r =
+            run.at(std::string(p.label) + "/" + s.label);
+        table.add_row(
+            {p.label, s.label,
+             util::fmt_fixed(r.result.mean_shock_events, 1),
+             util::fmt_fixed(r.result.mean_shock_kills, 1),
+             util::fmt_fixed(r.result.mean_shock_degraded, 1),
+             analysis::loss_cell(r.result),
+             util::to_string(util::Seconds{r.result.mean_window_sec})});
+      }
+    }
+    std::ostringstream os;
+    os << table
+       << "\nExpected: without bursts both policies match the paper's base\n"
+          "system.  Under bursts the dedicated spare's loss probability and\n"
+          "window grow much faster than FARM's: a shock hands the spare a\n"
+          "serialized backlog of whole-disk rebuilds, while FARM fans the\n"
+          "same work out across every surviving disk.\n";
+    return os.str();
+  }
+};
+
+FARM_REGISTER_SCENARIO(FaultCorrelatedBurst);
+
+}  // namespace

@@ -1,0 +1,89 @@
+// Fault extension F2 — fail-slow disks and what clients feel.  A drive
+// that silently drops to a fraction of its bandwidth slows both the
+// rebuild streams it serves and the foreground requests queued on it —
+// often for weeks before anyone notices.  This scenario measures the
+// client-latency cost of leaving fail-slow drives in place, and how much
+// of it SMART-triggered proactive eviction (treat the limping drive as
+// failed, rebuild it at full speed elsewhere) buys back.
+#include <sstream>
+
+#include "analysis/scenario.hpp"
+#include "client_testbed.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace farm;
+
+struct Series {
+  const char* label;
+  bool enabled;
+  double onset_mtbf_hours;
+  double bandwidth_fraction;
+  bool evict;
+};
+
+constexpr Series kSeries[] = {
+    {"healthy", false, 0.0, 1.0, false},
+    {"fail-slow", true, 60.0, 0.25, false},
+    {"fail-slow-severe", true, 20.0, 0.10, false},
+    {"severe+evict", true, 20.0, 0.10, true},
+};
+
+class FaultFailSlow final : public analysis::Scenario {
+ public:
+  FaultFailSlow()
+      : Scenario({"fault_failslow",
+                  "Faults: fail-slow disks, client latency, and eviction",
+                  "extension (cf. paper section 2.3 S.M.A.R.T. prediction)",
+                  5}) {}
+
+  std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override {
+    std::vector<analysis::SweepPoint> points;
+    for (const Series& s : kSeries) {
+      core::SystemConfig cfg = bench::client_testbed(opts);
+      if (s.enabled) {
+        cfg.fault.fail_slow.enabled = true;
+        cfg.fault.fail_slow.onset_mtbf = util::hours(s.onset_mtbf_hours);
+        cfg.fault.fail_slow.bandwidth_fraction = s.bandwidth_fraction;
+        cfg.fault.fail_slow.smart_eviction = s.evict;
+        cfg.fault.fail_slow.eviction_delay = util::hours(1);
+      }
+      points.push_back({std::string(s.label), std::move(cfg)});
+    }
+    return points;
+  }
+
+ protected:
+  std::string format(const analysis::ScenarioRun& run) const override {
+    util::Table table({"variant", "onsets", "evicted", "healthy p99",
+                       "degraded p99", "mean window", "SLO miss"});
+    for (const Series& s : kSeries) {
+      const analysis::PointResult& r = run.at(s.label);
+      const auto& c = r.result.client;
+      table.add_row(
+          {s.label, util::fmt_fixed(r.result.mean_fail_slow_onsets, 1),
+           util::fmt_fixed(r.result.mean_proactive_evictions, 1),
+           util::to_string(
+               util::Seconds{c.quantile(client::Phase::kHealthy, 0.99)}),
+           util::to_string(
+               util::Seconds{c.quantile(client::Phase::kDegraded, 0.99)}),
+           util::to_string(util::Seconds{r.result.mean_window_sec}),
+           util::fmt_percent(
+               c.slo_violation_fraction(client::Phase::kHealthy), 1)});
+    }
+    std::ostringstream os;
+    os << table
+       << "\nExpected: fail-slow onsets stretch the healthy-phase tail (the\n"
+          "limping drive still serves its share of reads) and widen rebuild\n"
+          "windows as its streams crawl.  Eviction trades a burst of extra\n"
+          "rebuild work for tails back near the healthy baseline.\n";
+    return os.str();
+  }
+};
+
+FARM_REGISTER_SCENARIO(FaultFailSlow);
+
+}  // namespace

@@ -10,13 +10,16 @@
 // FARM_TRIALS / FARM_SCALE remain as environment fallbacks for the flags.
 // Per-point seeds derive from (master seed, scenario name, point label), so
 // a filtered run reproduces the full suite's numbers bit-for-bit.
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "analysis/scenario.hpp"
@@ -42,6 +45,9 @@ int usage(std::ostream& os, int exit_code) {
      << analysis::kDefaultMasterSeed << ")\n"
         "  --json DIR       write DIR/<scenario>.json for each run\n"
         "  --out PATH       write every run into one combined JSON file\n"
+        "  --timeout-sec T  abandon any scenario still running after T seconds\n"
+        "                   (default: no limit); the run is recorded as an\n"
+        "                   error and the driver exits nonzero\n"
         "  -h, --help       this message\n";
   return exit_code;
 }
@@ -54,6 +60,7 @@ struct Args {
   std::uint64_t seed = analysis::kDefaultMasterSeed;
   std::optional<std::string> json_dir;
   std::optional<std::string> out_path;
+  double timeout_sec = 0.0;  // 0 = no watchdog
 };
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -104,11 +111,62 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.json_dir = next(i, "--json");
     } else if (a == "--out") {
       args.out_path = next(i, "--out");
+    } else if (a == "--timeout-sec") {
+      const char* v = next(i, "--timeout-sec");
+      char* end = nullptr;
+      const double t = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(t > 0.0)) {
+        throw std::invalid_argument(
+            "--timeout-sec expects a positive number, got '" + std::string(v) +
+            "'");
+      }
+      args.timeout_sec = t;
     } else {
       throw std::invalid_argument("unknown option '" + std::string(a) + "'");
     }
   }
   return args;
+}
+
+struct RunOutcome {
+  std::optional<analysis::ScenarioRun> run;
+  std::string error;     // non-empty on failure
+  bool timed_out = false;
+};
+
+/// Runs one scenario, converting exceptions into error records and — when a
+/// watchdog is armed — abandoning runs that exceed the deadline.  A timed-out
+/// scenario's thread cannot be killed portably, so it is detached; main()
+/// must then exit via std::_Exit to avoid racing static destructors.
+RunOutcome run_scenario(const analysis::Scenario& s,
+                        const analysis::ScenarioOptions& opts,
+                        double timeout_sec) {
+  RunOutcome outcome;
+  const auto attempt = [&]() -> RunOutcome {
+    RunOutcome r;
+    try {
+      r.run = s.run(opts);
+    } catch (const std::exception& e) {
+      r.error = e.what();
+    } catch (...) {
+      r.error = "unknown exception";
+    }
+    return r;
+  };
+  if (timeout_sec <= 0.0) return attempt();
+
+  std::packaged_task<RunOutcome()> task(attempt);
+  std::future<RunOutcome> future = task.get_future();
+  std::thread worker(std::move(task));
+  if (future.wait_for(std::chrono::duration<double>(timeout_sec)) ==
+      std::future_status::ready) {
+    worker.join();
+    return future.get();
+  }
+  worker.detach();
+  outcome.error = "timed out after " + util::fmt_fixed(timeout_sec, 1) + " s";
+  outcome.timed_out = true;
+  return outcome;
 }
 
 }  // namespace
@@ -186,8 +244,38 @@ int main(int argc, char** argv) {
   }
 
   std::vector<analysis::ScenarioRun> runs;
+  std::vector<analysis::ScenarioError> errors;
+  bool detached_worker = false;
+  const auto write_scenario_json = [&](const std::string& name,
+                                       const std::string& doc) -> bool {
+    const std::filesystem::path path =
+        std::filesystem::path(*args.json_dir) / (name + ".json");
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "farm_bench: cannot write '" << path.string() << "'\n";
+      return false;
+    }
+    out << doc;
+    std::cout << "wrote " << path.string() << "\n\n";
+    return true;
+  };
+
   for (const analysis::Scenario* s : selected) {
-    analysis::ScenarioRun run = s->run(opts);
+    RunOutcome outcome = run_scenario(*s, opts, args.timeout_sec);
+    detached_worker = detached_worker || outcome.timed_out;
+    if (!outcome.run) {
+      const analysis::ScenarioError error{s->info().name, outcome.error};
+      std::cerr << "farm_bench: scenario '" << error.name
+                << "' failed: " << error.message << "\n";
+      if (args.json_dir &&
+          !write_scenario_json(
+              error.name, analysis::to_json_error(error, FARM_GIT_DESCRIBE))) {
+        return 2;
+      }
+      errors.push_back(error);
+      continue;
+    }
+    analysis::ScenarioRun& run = *outcome.run;
     std::cout << "=== " << run.title << " [" << run.name << "] ===\n"
               << "Reproduces: " << run.paper_ref << "\n"
               << "trials/point: " << run.trials << "  scale: " << run.scale
@@ -196,22 +284,16 @@ int main(int argc, char** argv) {
               << run.points.size() << " points, "
               << util::fmt_fixed(run.elapsed_sec, 1) << " s]\n\n";
 
-    if (args.json_dir) {
-      const std::filesystem::path path =
-          std::filesystem::path(*args.json_dir) / (run.name + ".json");
-      std::ofstream out(path);
-      if (!out) {
-        std::cerr << "farm_bench: cannot write '" << path.string() << "'\n";
-        return 2;
-      }
-      out << analysis::to_json(run, FARM_GIT_DESCRIBE);
-      std::cout << "wrote " << path.string() << "\n\n";
+    if (args.json_dir &&
+        !write_scenario_json(run.name,
+                             analysis::to_json(run, FARM_GIT_DESCRIBE))) {
+      return 2;
     }
     if (args.out_path) runs.push_back(std::move(run));
   }
 
   if (args.out_path) {
-    combined_out << analysis::to_json_combined(runs, FARM_GIT_DESCRIBE);
+    combined_out << analysis::to_json_combined(runs, errors, FARM_GIT_DESCRIBE);
     combined_out.flush();
     if (!combined_out) {
       std::cerr << "farm_bench: error writing '" << *args.out_path << "'\n";
@@ -219,5 +301,13 @@ int main(int argc, char** argv) {
     }
     std::cout << "wrote " << *args.out_path << "\n";
   }
-  return 0;
+  const int exit_code = errors.empty() ? 0 : 3;
+  if (detached_worker) {
+    // An abandoned scenario thread is still touching the registry; skip
+    // static destruction rather than race it.
+    std::cout.flush();
+    std::cerr.flush();
+    std::_Exit(exit_code);
+  }
+  return exit_code;
 }

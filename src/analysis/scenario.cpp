@@ -200,6 +200,16 @@ void write_run(util::JsonWriter& w, const ScenarioRun& run,
   w.end_object();
 }
 
+void write_error(util::JsonWriter& w, const ScenarioError& error,
+                 std::string_view git_describe) {
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("scenario", error.name);
+  w.kv("error", error.message);
+  w.kv("git_describe", git_describe);
+  w.end_object();
+}
+
 }  // namespace
 
 std::string to_json(const ScenarioRun& run, std::string_view git_describe) {
@@ -210,7 +220,22 @@ std::string to_json(const ScenarioRun& run, std::string_view git_describe) {
   return os.str();
 }
 
+std::string to_json_error(const ScenarioError& error,
+                          std::string_view git_describe) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  write_error(w, error, git_describe);
+  os << '\n';
+  return os.str();
+}
+
 std::string to_json_combined(const std::vector<ScenarioRun>& runs,
+                             std::string_view git_describe) {
+  return to_json_combined(runs, {}, git_describe);
+}
+
+std::string to_json_combined(const std::vector<ScenarioRun>& runs,
+                             const std::vector<ScenarioError>& errors,
                              std::string_view git_describe) {
   std::ostringstream os;
   util::JsonWriter w(os);
@@ -220,6 +245,7 @@ std::string to_json_combined(const std::vector<ScenarioRun>& runs,
   w.key("runs");
   w.begin_array();
   for (const ScenarioRun& run : runs) write_run(w, run, git_describe);
+  for (const ScenarioError& error : errors) write_error(w, error, git_describe);
   w.end_array();
   w.end_object();
   os << '\n';

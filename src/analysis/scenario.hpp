@@ -161,16 +161,36 @@ struct ScenarioRegistrar {
 /// Shell-style glob: `*` matches any run, `?` any single character.
 [[nodiscard]] bool glob_match(std::string_view pattern, std::string_view text);
 
+/// A scenario that did not produce a result: it threw, or the driver's
+/// watchdog timed it out.  Serialized alongside successful runs so a
+/// partially-failed suite still yields a complete, parseable document.
+struct ScenarioError {
+  std::string name;
+  std::string message;
+};
+
 /// Serializes a completed run as one pretty-printed JSON document (see
 /// docs/ARCHITECTURE.md for the schema).  Seeds are emitted as decimal
 /// strings so 64-bit values survive double-precision JSON readers.
 [[nodiscard]] std::string to_json(const ScenarioRun& run,
                                   std::string_view git_describe);
 
+/// Serializes one failed scenario: {"schema_version", "scenario", "error",
+/// "git_describe"} — the presence of "error" (and absence of "points") is
+/// the machine-readable failure marker.
+[[nodiscard]] std::string to_json_error(const ScenarioError& error,
+                                        std::string_view git_describe);
+
 /// Serializes several completed runs into one combined document
 /// (`farm_bench --out`): {"schema_version", "git_describe", "runs": [...]}
 /// with each element carrying the same object to_json emits.
 [[nodiscard]] std::string to_json_combined(const std::vector<ScenarioRun>& runs,
                                            std::string_view git_describe);
+
+/// Combined document with failures included: failed scenarios appear in
+/// "runs" as the same error objects to_json_error emits.
+[[nodiscard]] std::string to_json_combined(
+    const std::vector<ScenarioRun>& runs,
+    const std::vector<ScenarioError>& errors, std::string_view git_describe);
 
 }  // namespace farm::analysis

@@ -197,14 +197,17 @@ double ClientSubsystem::enqueue_on(DiskId d, util::Bytes bytes) {
 }
 
 double ClientSubsystem::client_share(DiskId d) const {
+  // A fail-slow disk drains its client queue slower across the board; the
+  // factor is exactly 1.0 on healthy disks, leaving fault-free runs
+  // bit-identical.
   const disk::Disk& dk = system_.disk_at(d);
   const unsigned streams = dk.active_recovery_streams();
-  if (streams == 0) return 1.0;
+  if (streams == 0) return dk.speed_factor();
   // Each rebuild stream holds its recovery-bandwidth quote of the disk.
   const double reserved = static_cast<double>(streams) *
                           system_.config().recovery_bandwidth.value();
   const double share = 1.0 - reserved / dk.bandwidth().value();
-  return std::max(kMinClientShare, share);
+  return std::max(kMinClientShare, share) * dk.speed_factor();
 }
 
 double ClientSubsystem::net_delay(DiskId src, DiskId dst,

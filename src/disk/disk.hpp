@@ -49,6 +49,13 @@ class Disk {
   [[nodiscard]] bool alive() const { return alive_; }
   void mark_failed() { alive_ = false; }
 
+  /// Fail-slow state (src/fault): fraction of the sustained bandwidth this
+  /// disk still delivers.  1.0 for healthy disks; the fault injector lowers
+  /// it at fail-slow onset.  Scales rebuild drain rates and the client
+  /// service-queue share.
+  [[nodiscard]] double speed_factor() const { return speed_factor_; }
+  void set_speed_factor(double f) { speed_factor_ = f; }
+
   // --- capacity accounting ---------------------------------------------
   [[nodiscard]] util::Bytes used() const { return used_; }
   [[nodiscard]] util::Bytes free_space() const { return params_.capacity - used_; }
@@ -76,6 +83,7 @@ class Disk {
   util::Seconds fail_at_;
   util::Bytes used_{0};
   unsigned streams_ = 0;
+  double speed_factor_ = 1.0;
   bool alive_ = true;
 };
 

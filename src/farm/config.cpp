@@ -128,6 +128,13 @@ void SystemConfig::validate() const {
       throw std::invalid_argument("config: scrub_efficiency must be in [0, 1]");
     }
   }
+  fault.validate();
+  if (fault.detector.enabled && fault.detector.false_negative_rate > 0.0 &&
+      detector != DetectorKind::kHeartbeat) {
+    throw std::invalid_argument(
+        "config: detector false negatives model missed heartbeats; they "
+        "require DetectorKind::kHeartbeat");
+  }
   client.validate();
   if (workload.kind == WorkloadKind::kGenerated && !client.enabled) {
     throw std::invalid_argument(
@@ -146,6 +153,15 @@ std::string SystemConfig::summary() const {
      << util::to_string(recovery_bandwidth);
   if (topology.enabled) {
     os << ", fabric [" << topology.summary() << "]";
+  }
+  if (fault.any_enabled()) {
+    os << ", faults [";
+    const char* sep = "";
+    if (fault.burst.enabled) { os << sep << "bursts"; sep = " "; }
+    if (fault.fail_slow.enabled) { os << sep << "fail-slow"; sep = " "; }
+    if (fault.detector.enabled) { os << sep << "detector"; sep = " "; }
+    if (fault.interrupted.enabled) { os << sep << "interrupted"; }
+    os << "]";
   }
   return os.str();
 }

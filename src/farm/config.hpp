@@ -14,6 +14,7 @@
 #include "disk/disk.hpp"
 #include "disk/smart.hpp"
 #include "erasure/scheme.hpp"
+#include "fault/fault_config.hpp"
 #include "farm/workload.hpp"
 #include "net/topology.hpp"
 #include "placement/placement.hpp"
@@ -156,6 +157,10 @@ struct SystemConfig {
   /// requests queue on per-disk FIFOs, reads against failed disks take the
   /// degraded-reconstruction path, and per-phase latency is reported.
   client::ClientConfig client;
+  /// Fault injection (correlated bursts, fail-slow disks, imperfect
+  /// detection, interrupted rebuilds); fully off by default = the paper's
+  /// clean fail-stop model, with bit-identical output.
+  fault::FaultConfig fault;
 
   // --- mission ---------------------------------------------------------------
   util::Seconds mission_time = util::years(6);

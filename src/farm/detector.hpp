@@ -31,14 +31,22 @@ class FailureDetector {
       case DetectorKind::kHeartbeat: {
         // The next probe after the failure notices the missing heartbeat,
         // then the timeout (latency_) must elapse before the disk is
-        // declared dead.
+        // declared dead.  A failure landing exactly on a probe tick is not
+        // caught by that probe — the beat due at that instant was the last
+        // healthy one — so detection falls to the next beat.
         const double hb = heartbeat_.value();
-        const double next_probe = std::ceil(failed_at.value() / hb) * hb;
+        double next_probe = std::ceil(failed_at.value() / hb) * hb;
+        if (next_probe <= failed_at.value()) next_probe += hb;
         return util::Seconds{next_probe} + latency_;
       }
     }
     return failed_at + latency_;
   }
+
+  /// Exposed for the fault injector's false-negative model (slips apply
+  /// whole heartbeat intervals, and only to heartbeat-style detection).
+  [[nodiscard]] DetectorKind kind() const { return kind_; }
+  [[nodiscard]] util::Seconds heartbeat_interval() const { return heartbeat_; }
 
  private:
   DetectorKind kind_;

@@ -36,17 +36,10 @@ void DistributedSparingRecovery::start_rebuild(GroupIndex g, BlockIndex b,
   // Serialize on the dead disk's reconstruction stream, not on the target:
   // distributed sparing's writes are scattered, but each failed disk's
   // rebuild engine works through that disk's contents one block at a time.
-  if (fabric_enabled()) {
-    // The dead disk's id is the FIFO-queue key — same serialization token.
-    start_fabric_transfer(id, system_.home(g, b), /*rate_scale=*/1.0);
-    return;
-  }
-  double& stream = stream_free_[system_.home(g, b)];
-  const double start = std::max(sim_.now().value(), stream);
-  const double done = start + transfer_seconds_at(start);
-  stream = done;
-  rebuild(id).done =
-      sim_.schedule_at(util::Seconds{done}, [this, id] { complete_rebuild(id); });
+  // The dead disk's id is the FIFO-queue key — same serialization token in
+  // both flat mode (its drain clock is otherwise untouched: a dead disk is
+  // never a selector candidate) and fabric mode.
+  launch_transfer(id, system_.home(g, b), /*rate_scale=*/1.0);
 }
 
 void DistributedSparingRecovery::on_failure_detected(DiskId d) {

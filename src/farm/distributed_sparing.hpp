@@ -34,11 +34,6 @@ class DistributedSparingRecovery final : public RecoveryPolicy {
   void start_rebuild(GroupIndex g, BlockIndex b, unsigned attempt = 0);
 
   TargetSelector selector_;
-  /// One logical rebuild process per failed disk (as in a disk array: the
-  /// reconstruction walks that disk's contents block by block), keyed by
-  /// the dead disk.  Writes scatter, but each disk's rebuild is serial —
-  /// unlike FARM, where every group rebuilds independently.
-  std::unordered_map<DiskId, double> stream_free_;
 };
 
 }  // namespace farm::core

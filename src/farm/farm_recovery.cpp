@@ -39,15 +39,7 @@ void FarmRecovery::start_rebuild(GroupIndex g, BlockIndex b, unsigned attempt) {
       system_.state(g).unavailable >= system_.config().scheme.fault_tolerance();
   const double speedup =
       critical ? system_.config().critical_rebuild_speedup : 1.0;
-  if (fabric_enabled()) {
-    // Keep the flat drain clock ticking — it stays the selector's
-    // least-loaded signal — but the completion comes from the fabric.
-    (void)enqueue_transfer(target, speedup);
-    start_fabric_transfer(id, target, speedup);
-    return;
-  }
-  const util::Seconds done_at = enqueue_transfer(target, speedup);
-  rebuild(id).done = sim_.schedule_at(done_at, [this, id] { complete_rebuild(id); });
+  launch_transfer(id, target, speedup);
 }
 
 void FarmRecovery::schedule_retry(GroupIndex g, BlockIndex b, unsigned attempt) {
@@ -97,13 +89,7 @@ void FarmRecovery::handle_target_failure(DiskId, const std::vector<RebuildId>& i
         system_.state(g).unavailable >= system_.config().scheme.fault_tolerance();
     const double speedup =
         critical ? system_.config().critical_rebuild_speedup : 1.0;
-    if (fabric_enabled()) {
-      (void)enqueue_transfer(target, speedup);
-      start_fabric_transfer(id, target, speedup);
-      continue;
-    }
-    const util::Seconds done_at = enqueue_transfer(target, speedup);
-    rebuild(id).done = sim_.schedule_at(done_at, [this, id] { complete_rebuild(id); });
+    launch_transfer(id, target, speedup);
   }
 }
 

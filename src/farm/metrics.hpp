@@ -76,6 +76,34 @@ class Metrics {
     return write_bytes_;
   }
 
+  // --- fault injection (src/fault) ---------------------------------------
+  void record_shock(std::uint64_t killed, std::uint64_t degraded) {
+    ++shock_events_;
+    shock_kills_ += killed;
+    shock_degraded_ += degraded;
+  }
+  void record_fail_slow_onset() { ++fail_slow_onsets_; }
+  void record_proactive_eviction() { ++proactive_evictions_; }
+  void record_detection_slip(double sec) {
+    ++detection_slips_;
+    detection_slip_sec_ += sec;
+  }
+  void record_spurious_detection() { ++spurious_detections_; }
+  void record_spurious_rebuilds(std::uint64_t n) { spurious_rebuilds_ += n; }
+  void record_spurious_cancelled(std::uint64_t n) { spurious_cancelled_ += n; }
+  void record_rebuild_interruption() { ++rebuild_interruptions_; }
+  [[nodiscard]] std::uint64_t shock_events() const { return shock_events_; }
+  [[nodiscard]] std::uint64_t shock_kills() const { return shock_kills_; }
+  [[nodiscard]] std::uint64_t shock_degraded() const { return shock_degraded_; }
+  [[nodiscard]] std::uint64_t fail_slow_onsets() const { return fail_slow_onsets_; }
+  [[nodiscard]] std::uint64_t proactive_evictions() const { return proactive_evictions_; }
+  [[nodiscard]] std::uint64_t detection_slips() const { return detection_slips_; }
+  [[nodiscard]] double detection_slip_sec() const { return detection_slip_sec_; }
+  [[nodiscard]] std::uint64_t spurious_detections() const { return spurious_detections_; }
+  [[nodiscard]] std::uint64_t spurious_rebuilds() const { return spurious_rebuilds_; }
+  [[nodiscard]] std::uint64_t spurious_cancelled() const { return spurious_cancelled_; }
+  [[nodiscard]] std::uint64_t rebuild_interruptions() const { return rebuild_interruptions_; }
+
   [[nodiscard]] bool data_lost() const { return lost_groups_ > 0; }
   [[nodiscard]] std::uint64_t lost_groups() const { return lost_groups_; }
   [[nodiscard]] util::Seconds first_loss() const { return first_loss_; }
@@ -97,6 +125,17 @@ class Metrics {
   std::uint64_t stalls_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t migrated_blocks_ = 0;
+  std::uint64_t shock_events_ = 0;
+  std::uint64_t shock_kills_ = 0;
+  std::uint64_t shock_degraded_ = 0;
+  std::uint64_t fail_slow_onsets_ = 0;
+  std::uint64_t proactive_evictions_ = 0;
+  std::uint64_t detection_slips_ = 0;
+  double detection_slip_sec_ = 0.0;
+  std::uint64_t spurious_detections_ = 0;
+  std::uint64_t spurious_rebuilds_ = 0;
+  std::uint64_t spurious_cancelled_ = 0;
+  std::uint64_t rebuild_interruptions_ = 0;
   util::Seconds first_loss_{std::numeric_limits<double>::infinity()};
   bool track_load_ = false;
   std::vector<double> read_bytes_;
@@ -143,6 +182,20 @@ struct TrialResult {
   /// Foreground client-I/O measurements; `client.active` only when
   /// SystemConfig::client.enabled.
   client::ClientSummary client;
+  /// Fault-injection counters (src/fault); all zero with fault_active
+  /// false, i.e. when FaultConfig is fully disabled.
+  bool fault_active = false;
+  std::uint64_t shock_events = 0;
+  std::uint64_t shock_kills = 0;
+  std::uint64_t shock_degraded = 0;
+  std::uint64_t fail_slow_onsets = 0;
+  std::uint64_t proactive_evictions = 0;
+  std::uint64_t detection_slips = 0;
+  double detection_slip_sec = 0.0;  // summed extra detection latency
+  std::uint64_t spurious_detections = 0;
+  std::uint64_t spurious_rebuilds = 0;
+  std::uint64_t spurious_cancelled = 0;
+  std::uint64_t rebuild_interruptions = 0;
 };
 
 /// Monte-Carlo aggregate over many trials of one configuration.
@@ -178,6 +231,19 @@ struct MonteCarloResult {
   /// Pooled foreground client-I/O measurements (`client.active` only when
   /// the client subsystem ran).
   client::ClientAggregate client;
+  /// Fault-injection means (meaningful only when fault_active).
+  bool fault_active = false;
+  double mean_shock_events = 0.0;
+  double mean_shock_kills = 0.0;
+  double mean_shock_degraded = 0.0;
+  double mean_fail_slow_onsets = 0.0;
+  double mean_proactive_evictions = 0.0;
+  double mean_detection_slips = 0.0;
+  double mean_detection_slip_sec = 0.0;
+  double mean_spurious_detections = 0.0;
+  double mean_spurious_rebuilds = 0.0;
+  double mean_spurious_cancelled = 0.0;
+  double mean_rebuild_interruptions = 0.0;
 
   [[nodiscard]] double loss_probability() const {
     return trials == 0 ? 0.0

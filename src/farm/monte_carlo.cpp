@@ -24,6 +24,11 @@ MonteCarloResult run_monte_carlo(const SystemConfig& config,
   double sum_window = 0.0, max_window = 0.0;
   double sum_domain_failures = 0.0, sum_exposure = 0.0;
   double sum_local_bytes = 0.0, sum_cross_bytes = 0.0, sum_requotes = 0.0;
+  double sum_shock_events = 0.0, sum_shock_kills = 0.0, sum_shock_degraded = 0.0;
+  double sum_fail_slow = 0.0, sum_evictions = 0.0;
+  double sum_det_slips = 0.0, sum_det_slip_sec = 0.0;
+  double sum_spur_det = 0.0, sum_spur_rebuilds = 0.0, sum_spur_cancelled = 0.0;
+  double sum_interruptions = 0.0;
   std::size_t trials_with_windows = 0;
   std::size_t with_redirection = 0;
 
@@ -51,6 +56,20 @@ MonteCarloResult run_monte_carlo(const SystemConfig& config,
       sum_local_bytes += r.local_repair_bytes;
       sum_cross_bytes += r.cross_rack_repair_bytes;
       sum_requotes += static_cast<double>(r.fabric_requotes);
+    }
+    if (r.fault_active) {
+      agg.fault_active = true;
+      sum_shock_events += static_cast<double>(r.shock_events);
+      sum_shock_kills += static_cast<double>(r.shock_kills);
+      sum_shock_degraded += static_cast<double>(r.shock_degraded);
+      sum_fail_slow += static_cast<double>(r.fail_slow_onsets);
+      sum_evictions += static_cast<double>(r.proactive_evictions);
+      sum_det_slips += static_cast<double>(r.detection_slips);
+      sum_det_slip_sec += r.detection_slip_sec;
+      sum_spur_det += static_cast<double>(r.spurious_detections);
+      sum_spur_rebuilds += static_cast<double>(r.spurious_rebuilds);
+      sum_spur_cancelled += static_cast<double>(r.spurious_cancelled);
+      sum_interruptions += static_cast<double>(r.rebuild_interruptions);
     }
     if (r.redirections > 0) ++with_redirection;
     for (double u : r.initial_used_bytes) agg.initial_utilization.add(u);
@@ -81,6 +100,19 @@ MonteCarloResult run_monte_carlo(const SystemConfig& config,
       agg.mean_local_repair_bytes = sum_local_bytes / n;
       agg.mean_cross_rack_repair_bytes = sum_cross_bytes / n;
       agg.mean_fabric_requotes = sum_requotes / n;
+    }
+    if (agg.fault_active) {
+      agg.mean_shock_events = sum_shock_events / n;
+      agg.mean_shock_kills = sum_shock_kills / n;
+      agg.mean_shock_degraded = sum_shock_degraded / n;
+      agg.mean_fail_slow_onsets = sum_fail_slow / n;
+      agg.mean_proactive_evictions = sum_evictions / n;
+      agg.mean_detection_slips = sum_det_slips / n;
+      agg.mean_detection_slip_sec = sum_det_slip_sec / n;
+      agg.mean_spurious_detections = sum_spur_det / n;
+      agg.mean_spurious_rebuilds = sum_spur_rebuilds / n;
+      agg.mean_spurious_cancelled = sum_spur_cancelled / n;
+      agg.mean_rebuild_interruptions = sum_interruptions / n;
     }
   }
   agg.client.finalize(options.trials);

@@ -18,7 +18,10 @@ RecoveryPolicy::RecoveryPolicy(StorageSystem& system, sim::Simulator& sim,
       // may be constructed before the system is initialized.
       rebuild_duration_(system.config().block_rebuild_time()),
       workload_(system.config().workload, system.config().disk.bandwidth,
-                system.config().recovery_bandwidth) {
+                system.config().recovery_bandwidth),
+      track_sources_(system.config().fault.interrupted.enabled),
+      derate_speed_(system.config().fault.affects_speed()),
+      spurious_selector_(system, system.config().target_rules) {
   if (system.config().topology.enabled) {
     // The per-flow cap is the disk-side recovery reservation, workload-
     // modulated and scaled by the policy's speedup — exactly the rate the
@@ -41,15 +44,122 @@ DiskId RecoveryPolicy::representative_source(GroupIndex g, BlockIndex b) const {
   return system_.home(g, b);
 }
 
-void RecoveryPolicy::start_fabric_transfer(RebuildId id, net::QueueKey queue,
-                                           double rate_scale) {
+void RecoveryPolicy::launch_transfer(RebuildId id, net::QueueKey queue,
+                                     double rate_scale) {
   Rebuild& r = slab_[id];
-  const DiskId src = representative_source(r.group, r.block);
-  r.xfer = scheduler_->submit(queue, src, r.target, system_.block_bytes(),
-                              rate_scale, [this, id] {
-                                slab_[id].xfer = net::kNoTransfer;
-                                complete_rebuild(id);
-                              });
+  r.queue = queue;
+  r.rate_scale = rate_scale;
+  const bool need_source =
+      track_sources_ || derate_speed_ || scheduler_ != nullptr;
+  r.source = need_source ? representative_source(r.group, r.block) : kNoDisk;
+  // Fail-slow derating: the transfer is bottlenecked by the slower of the
+  // reconstruction source and the write target.  When no fault class can
+  // touch disk speeds the factors are skipped outright (×1.0 would still be
+  // IEEE-exact, but skipping keeps the fault layer provably inert).
+  double scale = rate_scale;
+  if (derate_speed_) {
+    scale *= std::min(system_.disk_at(r.source).speed_factor(),
+                      system_.disk_at(r.target).speed_factor());
+  }
+  if (scheduler_) {
+    if (queue == r.target) {
+      // Keep the flat drain clock ticking — it stays the selector's
+      // least-loaded signal — but the completion comes from the fabric.
+      (void)enqueue_transfer(r.target, rate_scale);
+    }
+    r.xfer = scheduler_->submit(queue, r.source, r.target,
+                                system_.block_bytes(), scale, [this, id] {
+                                  slab_[id].xfer = net::kNoTransfer;
+                                  complete_rebuild(id);
+                                });
+    return;
+  }
+  ensure_disk_slots(queue);
+  const double start = std::max(sim_.now().value(), queue_free_[queue]);
+  const double done = start + transfer_seconds_at(start) / scale;
+  queue_free_[queue] = done;
+  r.done = sim_.schedule_at(util::Seconds{done},
+                            [this, id] { complete_rebuild(id); });
+}
+
+void RecoveryPolicy::handle_source_failure(DiskId d) {
+  // Block transfers are not checkpointed: an interrupted rebuild loses the
+  // time already spent and restarts after a bounded exponential backoff.
+  // Rebuilds rerouted earlier in this failure pass already picked a fresh
+  // (live) source, so they never match d here.
+  const auto& cfg = system_.config().fault.interrupted;
+  for (RebuildId id = 0; id < static_cast<RebuildId>(slab_.size()); ++id) {
+    Rebuild& r = slab_[id];
+    if (!r.live || r.source != d) continue;
+    cancel_transfer(id);
+    metrics_.record_rebuild_interruption();
+    metrics_.trace(sim_.now().value(), "rebuild_interrupted", r.group);
+    const double delay = std::min(
+        cfg.retry_delay_cap.value(),
+        cfg.retry_delay.value() *
+            static_cast<double>(1u << std::min(r.restarts, 16u)));
+    ++r.restarts;
+    r.source = kNoDisk;
+    // The backoff event lives in r.done, so every teardown path (group
+    // loss, target failure) cancels it via cancel_transfer like a regular
+    // completion event.
+    r.done = sim_.schedule_in(util::Seconds{delay}, [this, id] {
+      Rebuild& rb = slab_[id];
+      rb.done = sim::EventHandle{};
+      launch_transfer(id, rb.queue, rb.rate_scale);
+    });
+  }
+}
+
+void RecoveryPolicy::begin_spurious_rebuilds(DiskId accused) {
+  if (!system_.disk_at(accused).alive()) return;
+  if (spurious_.count(accused) != 0) return;  // already accused
+  auto& list = spurious_[accused];
+  const DiskId excluded[1] = {accused};
+  system_.for_each_block_on(accused, [&](GroupIndex g, BlockIndex b) {
+    if (system_.state(g).dead) return;
+    const TargetSelector::Choice choice = spurious_selector_.select(
+        g, queue_free_times(), sim_.now(),
+        std::span<const DiskId>(excluded, 1));
+    // No feasible target: nothing is wasted on this block.  next_rank is
+    // deliberately NOT committed — the walk leaves no placement trace.
+    if (choice.disk == kNoDisk) return;
+    system_.disk_at(choice.disk).allocate(system_.block_bytes());
+    system_.disk_at(choice.disk).add_recovery_stream();
+    SpuriousRebuild sr{choice.disk, net::kNoTransfer};
+    if (scheduler_) {
+      const std::size_t idx = list.size();
+      sr.xfer = scheduler_->submit(
+          choice.disk, representative_source(g, b), choice.disk,
+          system_.block_bytes(), 1.0, [this, accused, idx] {
+            // The copied bytes arrive (and are counted as repair traffic)
+            // but the copy stays provisional until the grace verdict.
+            const auto it = spurious_.find(accused);
+            if (it != spurious_.end()) it->second[idx].xfer = net::kNoTransfer;
+          });
+    } else {
+      (void)enqueue_transfer(choice.disk, 1.0);
+    }
+    list.push_back(sr);
+  });
+  metrics_.record_spurious_rebuilds(list.size());
+  if (list.empty()) spurious_.erase(accused);
+}
+
+void RecoveryPolicy::end_spurious_rebuilds(DiskId accused, bool disk_died) {
+  const auto it = spurious_.find(accused);
+  if (it == spurious_.end()) return;
+  std::uint64_t cancelled = 0;
+  for (SpuriousRebuild& sr : it->second) {
+    if (sr.xfer != net::kNoTransfer) scheduler_->cancel(sr.xfer);
+    if (sr.target == kNoDisk) continue;  // tombstoned: target died first
+    disk::Disk& target = system_.disk_at(sr.target);
+    target.release(system_.block_bytes());
+    target.remove_recovery_stream();
+    ++cancelled;
+  }
+  if (!disk_died) metrics_.record_spurious_cancelled(cancelled);
+  spurious_.erase(it);
 }
 
 void RecoveryPolicy::cancel_transfer(RebuildId id) {
@@ -244,6 +354,24 @@ void RecoveryPolicy::on_disk_failed(DiskId d) {
   ensure_disk_slots(d);
   failed_at_[d] = sim_.now().value();
 
+  if (!spurious_.empty()) {
+    // If the dead disk was itself under a false accusation, the duplicates
+    // dissolve (the real failure path owns the blocks now).  If it was the
+    // *target* of someone else's spurious copy, tombstone that entry — the
+    // reserved space died with the disk and must not be released later.
+    end_spurious_rebuilds(d, /*disk_died=*/true);
+    for (auto& [accused, list] : spurious_) {
+      for (SpuriousRebuild& sr : list) {
+        if (sr.target != d) continue;
+        if (sr.xfer != net::kNoTransfer) {
+          scheduler_->cancel(sr.xfer);
+          sr.xfer = net::kNoTransfer;
+        }
+        sr.target = kNoDisk;
+      }
+    }
+  }
+
   // Rebuilds that were targeting this disk are dead in the water: cancel
   // their completion events, strip them from the target index, and let the
   // subclass reroute them (the affected blocks stay "unavailable" — their
@@ -271,6 +399,9 @@ void RecoveryPolicy::on_disk_failed(DiskId d) {
     }
   });
   if (lost.empty()) pending_lost_.erase(d);
+
+  // Interrupted rebuilds: transfers reading from this disk restart.
+  if (track_sources_) handle_source_failure(d);
 }
 
 std::unique_ptr<RecoveryPolicy> make_recovery_policy(StorageSystem& system,

@@ -24,6 +24,7 @@
 #include "farm/detector.hpp"
 #include "farm/metrics.hpp"
 #include "farm/storage_system.hpp"
+#include "farm/target_selector.hpp"
 #include "farm/workload.hpp"
 #include "net/flow_scheduler.hpp"
 #include "sim/simulator.hpp"
@@ -65,6 +66,20 @@ class RecoveryPolicy {
     return slab_.size() - free_ids_.size();
   }
 
+  // --- fault hooks (src/fault) -------------------------------------------
+  /// A detector false positive accused a live disk: start rebuilding its
+  /// blocks onto fresh targets.  The copies reserve real spare space and
+  /// real recovery-queue time, but deliberately never touch group state
+  /// (unavailable counts, homes, placement ranks) — so a later
+  /// end_spurious_rebuilds can erase them without trace.
+  void begin_spurious_rebuilds(DiskId accused);
+  /// The accused disk proved alive (disk_died false: roll everything back
+  /// and count the waste) or really died (disk_died true: the regular
+  /// failure path takes over; just dissolve the duplicates).  Restores
+  /// spare space and recovery-stream counts exactly; the queue time the
+  /// spurious transfers consumed is the modeled bandwidth cost.
+  void end_spurious_rebuilds(DiskId accused, bool disk_died);
+
  protected:
   struct Rebuild {
     GroupIndex group = 0;
@@ -74,6 +89,15 @@ class RecoveryPolicy {
     bool live = false;
     /// Fabric transfer backing this rebuild (fabric mode only).
     net::TransferId xfer = net::kNoTransfer;
+    /// Reconstruction source — tracked only when a fault class needs it
+    /// (interrupted rebuilds, fail-slow derating) or in fabric mode.
+    DiskId source = kNoDisk;
+    /// Drain-clock / FIFO key and rate multiplier of the last launch, kept
+    /// for fault-driven relaunches.
+    net::QueueKey queue = 0;
+    double rate_scale = 1.0;
+    /// Times this rebuild was interrupted (bounds the retry backoff).
+    unsigned restarts = 0;
   };
   using RebuildId = std::uint32_t;
 
@@ -111,11 +135,21 @@ class RecoveryPolicy {
   // --- network fabric (topology.enabled only) ----------------------------
   [[nodiscard]] bool fabric_enabled() const { return scheduler_ != nullptr; }
 
-  /// Submits the rebuild's block transfer to the fabric scheduler on FIFO
-  /// queue `queue`; completion runs complete_rebuild.  The flow's source is
-  /// a live buddy of the lost block (representative_source).
-  void start_fabric_transfer(RebuildId id, net::QueueKey queue,
-                             double rate_scale);
+  /// Starts (or restarts) the rebuild's block transfer on FIFO queue
+  /// `queue` — the target disk for FARM / dedicated-spare, the dead disk's
+  /// reconstruction-stream token for distributed sparing.  Flat mode drains
+  /// the queue's clock and schedules the completion event; fabric mode
+  /// submits to the flow scheduler (also ticking the flat clock when the
+  /// queue is the target, keeping the selector's load signal alive).  The
+  /// drain rate is derated by fail-slow speed factors when any fault class
+  /// can slow disks; otherwise the arithmetic is bit-identical to the
+  /// pre-fault code path.
+  void launch_transfer(RebuildId id, net::QueueKey queue, double rate_scale);
+
+  /// Interrupted-rebuild sweep: every in-flight transfer reading from the
+  /// just-failed disk `d` restarts from scratch after a bounded exponential
+  /// backoff.  Called from on_disk_failed when source tracking is on.
+  void handle_source_failure(DiskId d);
 
   /// Cancels a rebuild's pending completion — the flat completion event
   /// and, in fabric mode, the backing transfer.
@@ -157,6 +191,22 @@ class RecoveryPolicy {
 
  private:
   void ensure_disk_slots(DiskId d);
+
+  /// One spurious copy in flight for a falsely-accused disk's block.  Lives
+  /// outside the rebuild slab on purpose: the slab's records interact with
+  /// group availability and redirection, which a rollback-able copy must
+  /// never do.
+  struct SpuriousRebuild {
+    DiskId target = kNoDisk;  // kNoDisk once the target itself died
+    net::TransferId xfer = net::kNoTransfer;
+  };
+
+  /// Interrupted-rebuild bookkeeping on: config().fault.interrupted.enabled.
+  bool track_sources_ = false;
+  /// Disk speed factors can drop below 1.0: config().fault.affects_speed().
+  bool derate_speed_ = false;
+  TargetSelector spurious_selector_;
+  std::unordered_map<DiskId, std::vector<SpuriousRebuild>> spurious_;
 
   std::vector<Rebuild> slab_;
   std::vector<RebuildId> free_ids_;

@@ -32,6 +32,17 @@ ReliabilitySimulator::ReliabilitySimulator(const SystemConfig& config,
     client_->start();
   }
 
+  if (config_.fault.any_enabled()) {
+    // Each fault class draws from its own RNG lane off a dedicated seed, so
+    // enabling one class never perturbs another — and disabling all of them
+    // leaves the simulation bit-identical to a build without src/fault.
+    injector_ = std::make_unique<fault::FaultInjector>(
+        system_, sim_, metrics_, *policy_,
+        util::hash_combine(seed, util::hash_string("fault-injector")));
+    injector_->set_fail_disk([this](DiskId id) { on_disk_failure_event(id); });
+    injector_->start();
+  }
+
   // Correlated enclosure events: each initial failure domain has a
   // pre-sampled destruction time; the event kills every drive still alive
   // in the enclosure at once.
@@ -53,6 +64,9 @@ void ReliabilitySimulator::on_domain_failure_event(std::size_t domain) {
 
 void ReliabilitySimulator::on_disk_added(DiskId id) {
   const util::Seconds fails_at = system_.disk_at(id).fails_at();
+  // Disks added before the injector exists (the initial population) are
+  // covered by FaultInjector::start().
+  if (injector_) injector_->on_disk_added(id);
   if (fails_at > config_.mission_time) return;  // outlives the mission
   sim_.schedule_at(fails_at, [this, id] { on_disk_failure_event(id); });
 }
@@ -63,7 +77,11 @@ void ReliabilitySimulator::on_disk_failure_event(DiskId id) {
   if (!system_.disk_at(id).alive()) return;
   system_.fail_disk(id);
   policy_->on_disk_failed(id);
-  const util::Seconds detected = detector_.detection_time(sim_.now());
+  // Detector false negatives stretch the detection time by whole missed
+  // heartbeats; without an injector the detector's own latency stands.
+  const util::Seconds detected =
+      injector_ ? injector_->detection_time(detector_, sim_.now())
+                : detector_.detection_time(sim_.now());
   sim_.schedule_at(detected, [this, id] {
     metrics_.trace(sim_.now().value(), "detected", id);
     policy_->on_failure_detected(id);
@@ -125,6 +143,20 @@ TrialResult ReliabilitySimulator::run() {
     result.recovery_write_bytes.resize(system_.disk_slots(), 0.0);
   }
   if (client_) result.client = client_->summary();
+  if (injector_) {
+    result.fault_active = true;
+    result.shock_events = metrics_.shock_events();
+    result.shock_kills = metrics_.shock_kills();
+    result.shock_degraded = metrics_.shock_degraded();
+    result.fail_slow_onsets = metrics_.fail_slow_onsets();
+    result.proactive_evictions = metrics_.proactive_evictions();
+    result.detection_slips = metrics_.detection_slips();
+    result.detection_slip_sec = metrics_.detection_slip_sec();
+    result.spurious_detections = metrics_.spurious_detections();
+    result.spurious_rebuilds = metrics_.spurious_rebuilds();
+    result.spurious_cancelled = metrics_.spurious_cancelled();
+    result.rebuild_interruptions = metrics_.rebuild_interruptions();
+  }
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "client/client_subsystem.hpp"
+#include "fault/fault_injector.hpp"
 #include "farm/config.hpp"
 #include "farm/detector.hpp"
 #include "farm/metrics.hpp"
@@ -34,6 +35,7 @@ class ReliabilitySimulator {
   [[nodiscard]] StorageSystem& system() { return system_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] RecoveryPolicy& policy() { return *policy_; }
 
  private:
   void on_disk_added(DiskId id);
@@ -49,6 +51,8 @@ class ReliabilitySimulator {
   ReplacementManager replacement_;
   /// Non-null iff config().client.enabled.
   std::unique_ptr<client::ClientSubsystem> client_;
+  /// Non-null iff config().fault.any_enabled().
+  std::unique_ptr<fault::FaultInjector> injector_;
   bool ran_ = false;
 };
 

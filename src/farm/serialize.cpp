@@ -84,6 +84,33 @@ void write_json(util::JsonWriter& w, const SystemConfig& config) {
       w.kv("core_bandwidth_bytes_per_sec", config.topology.core_bandwidth.value());
     }
   }
+  // Keys appear only when fault injection is on, so clean-model output
+  // stays bit-identical to builds predating src/fault.
+  if (config.fault.any_enabled()) {
+    w.kv("fault_enabled", true);
+    w.kv("fault_bursts", config.fault.burst.enabled);
+    if (config.fault.burst.enabled) {
+      w.kv("burst_shock_mtbf_sec", config.fault.burst.shock_mtbf.value());
+      w.kv("burst_span", config.fault.burst.span);
+      w.kv("burst_kill_fraction", config.fault.burst.kill_fraction);
+      w.kv("burst_degrade_fraction", config.fault.burst.degrade_fraction);
+    }
+    w.kv("fault_fail_slow", config.fault.fail_slow.enabled);
+    if (config.fault.fail_slow.enabled) {
+      w.kv("fail_slow_onset_mtbf_sec", config.fault.fail_slow.onset_mtbf.value());
+      w.kv("fail_slow_bandwidth_fraction",
+           config.fault.fail_slow.bandwidth_fraction);
+      w.kv("fail_slow_smart_eviction", config.fault.fail_slow.smart_eviction);
+    }
+    w.kv("fault_detector", config.fault.detector.enabled);
+    if (config.fault.detector.enabled) {
+      w.kv("detector_false_negative_rate",
+           config.fault.detector.false_negative_rate);
+      w.kv("detector_false_positive_mtbf_sec",
+           config.fault.detector.false_positive_mtbf.value());
+    }
+    w.kv("fault_interrupted", config.fault.interrupted.enabled);
+  }
   w.end_object();
 }
 
@@ -114,6 +141,22 @@ void write_json(util::JsonWriter& w, const MonteCarloResult& result) {
     w.kv("mean_local_repair_bytes", result.mean_local_repair_bytes);
     w.kv("mean_cross_rack_repair_bytes", result.mean_cross_rack_repair_bytes);
     w.kv("mean_fabric_requotes", result.mean_fabric_requotes);
+  }
+  if (result.fault_active) {
+    w.key("faults");
+    w.begin_object();
+    w.kv("mean_shock_events", result.mean_shock_events);
+    w.kv("mean_shock_kills", result.mean_shock_kills);
+    w.kv("mean_shock_degraded", result.mean_shock_degraded);
+    w.kv("mean_fail_slow_onsets", result.mean_fail_slow_onsets);
+    w.kv("mean_proactive_evictions", result.mean_proactive_evictions);
+    w.kv("mean_detection_slips", result.mean_detection_slips);
+    w.kv("mean_detection_slip_sec", result.mean_detection_slip_sec);
+    w.kv("mean_spurious_detections", result.mean_spurious_detections);
+    w.kv("mean_spurious_rebuilds", result.mean_spurious_rebuilds);
+    w.kv("mean_spurious_cancelled", result.mean_spurious_cancelled);
+    w.kv("mean_rebuild_interruptions", result.mean_rebuild_interruptions);
+    w.end_object();
   }
   if (result.initial_utilization.count() > 0) {
     w.key("initial_utilization_bytes");

@@ -34,15 +34,7 @@ void SpareRecovery::on_failure_detected(DiskId d) {
   for (const BlockRef ref : runnable) {
     system_.disk_at(spare).allocate(system_.block_bytes());
     const RebuildId id = alloc_rebuild(ref.group, ref.block, spare);
-    if (fabric_enabled()) {
-      // The spare's queue serializes in the fabric scheduler; the drain
-      // clock still advances as the (selector-facing) load signal.
-      (void)enqueue_transfer(spare, speedup);
-      start_fabric_transfer(id, spare, speedup);
-      continue;
-    }
-    const util::Seconds done_at = enqueue_transfer(spare, speedup);
-    rebuild(id).done = sim_.schedule_at(done_at, [this, id] { complete_rebuild(id); });
+    launch_transfer(id, spare, speedup);
   }
 }
 

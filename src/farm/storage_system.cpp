@@ -158,6 +158,18 @@ void StorageSystem::set_home(GroupIndex g, BlockIndex b, DiskId target,
   const DiskId old = homes_[idx];
   if (old != kNoDisk && disks_[old].alive()) {
     disks_[old].release(block_bytes_);
+    // A block leaving a LIVE disk (batch migration; rebuilds only ever
+    // leave dead homes) must drop its index entry eagerly.  The lazy
+    // compaction in for_each_block_on only runs once the disk fails, and
+    // by then the block may have moved back — the stale entry would then
+    // enumerate it twice and double-count the group's unavailability.
+    auto& refs = on_disk_[old];
+    for (auto it = refs.begin(); it != refs.end(); ++it) {
+      if (it->group == g && it->block == b) {
+        refs.erase(it);
+        break;
+      }
+    }
   }
   homes_[idx] = target;
   if (target != kNoDisk) {

@@ -1,0 +1,178 @@
+// Fault-injection configuration (extension beyond the paper).
+//
+// The paper's reliability model assumes clean fail-stop disks, a perfectly
+// accurate detector (§3.3 models only its latency), and rebuilds that always
+// run to completion.  Real petabyte clusters fail in messier ways; each
+// sub-struct below relaxes one of those assumptions:
+//   * BurstConfig       — correlated failure bursts (a power/cooling shock
+//                         kills or degrades several disks in one enclosure
+//                         within a short window),
+//   * FailSlowConfig    — fail-slow disks that keep serving at a fraction of
+//                         their sustained bandwidth,
+//   * DetectorFaultConfig — heartbeat false negatives (missed beats stretch
+//                         the window of vulnerability) and false positives
+//                         (spurious rebuilds that must be rolled back),
+//   * InterruptedRebuildConfig — a reconstruction source dying mid-rebuild
+//                         restarts the transfer with bounded backoff.
+//
+// Everything defaults to off; a fully disabled FaultConfig draws no random
+// numbers and schedules no events, so fault-free output stays bit-identical
+// to builds predating src/fault (pinned by the golden regression).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace farm::fault {
+
+/// Correlated failure bursts: a cluster-wide Poisson shock process; each
+/// shock picks one failure domain (the placement enclosure when
+/// DomainConfig is enabled, else `span` contiguous disk ids) and fails or
+/// degrades a fraction of its live disks within `window`.
+struct BurstConfig {
+  bool enabled = false;
+  /// Mean time between shocks, cluster-wide.
+  util::Seconds shock_mtbf = util::years(1);
+  /// Shock-domain width when placement failure domains are off.
+  std::size_t span = 32;
+  /// Fraction of the domain's live disks killed outright per shock.
+  double kill_fraction = 0.25;
+  /// Fraction degraded to fail-slow instead of killed (their bandwidth
+  /// drops to FailSlowConfig::bandwidth_fraction).
+  double degrade_fraction = 0.25;
+  /// Kills spread uniformly over this window after the shock (a cooling
+  /// failure cooks drives over minutes, not all in one instant).
+  util::Seconds window = util::minutes(10);
+};
+
+/// Fail-slow disks: each disk independently degrades with the given onset
+/// hazard and then serves rebuild streams and client queues at
+/// `bandwidth_fraction` of its sustained bandwidth.
+struct FailSlowConfig {
+  bool enabled = false;
+  /// Per-disk mean time to fail-slow onset (exponential).
+  util::Seconds onset_mtbf = util::hours(1.0e6);
+  /// Remaining fraction of sustained bandwidth once slow, in (0, 1].
+  double bandwidth_fraction = 0.25;
+  /// SMART-triggered proactive eviction: a slow disk is administratively
+  /// failed `eviction_delay` after onset, trading one extra rebuild for
+  /// restored bandwidth.
+  bool smart_eviction = false;
+  util::Seconds eviction_delay = util::hours(6);
+};
+
+/// Imperfect failure detection on top of the §3.3 latency model.
+struct DetectorFaultConfig {
+  bool enabled = false;
+  /// Probability the monitor misses any given heartbeat (requires
+  /// DetectorKind::kHeartbeat); each consecutive miss stretches detection
+  /// by one heartbeat interval.
+  double false_negative_rate = 0.0;
+  /// Mean time between false positives per disk (0 disables).  A false
+  /// positive launches spurious rebuilds of a live disk's blocks.
+  util::Seconds false_positive_mtbf{0.0};
+  /// Time until the falsely accused disk proves alive and the spurious
+  /// rebuilds are cancelled with their state rolled back.
+  util::Seconds false_positive_grace = util::minutes(30);
+};
+
+/// Interrupted rebuilds: when a reconstruction source dies mid-transfer the
+/// rebuild restarts (from scratch — block transfers are not checkpointed)
+/// after an exponential backoff instead of silently completing.
+struct InterruptedRebuildConfig {
+  bool enabled = false;
+  util::Seconds retry_delay = util::minutes(1);
+  util::Seconds retry_delay_cap = util::hours(1);
+};
+
+struct FaultConfig {
+  BurstConfig burst;
+  FailSlowConfig fail_slow;
+  DetectorFaultConfig detector;
+  InterruptedRebuildConfig interrupted;
+
+  /// True when any fault class is switched on — the reliability simulator
+  /// only constructs a FaultInjector (and only then consumes any RNG or
+  /// schedules any event) when this holds.
+  [[nodiscard]] bool any_enabled() const {
+    return burst.enabled || fail_slow.enabled || detector.enabled ||
+           interrupted.enabled;
+  }
+
+  /// True when disk speed factors can drop below 1.0 (fail-slow onsets or
+  /// burst degradation) — gates the derating math on rebuild drain clocks.
+  [[nodiscard]] bool affects_speed() const {
+    return fail_slow.enabled || (burst.enabled && burst.degrade_fraction > 0.0);
+  }
+
+  /// Throws std::invalid_argument on inconsistent parameters.  The
+  /// detector-kind dependency (false negatives need heartbeats) is checked
+  /// by SystemConfig::validate, which knows the detector.
+  void validate() const {
+    auto fail = [](const char* what) { throw std::invalid_argument(what); };
+    if (burst.enabled) {
+      if (!(burst.shock_mtbf.value() > 0.0)) fail("fault: shock_mtbf must be positive");
+      if (burst.span == 0) fail("fault: burst span must be >= 1");
+      if (burst.kill_fraction < 0.0 || burst.degrade_fraction < 0.0 ||
+          burst.kill_fraction + burst.degrade_fraction > 1.0) {
+        fail("fault: burst kill + degrade fractions must be in [0, 1]");
+      }
+      if (!(burst.window.value() > 0.0)) fail("fault: burst window must be positive");
+    }
+    if (fail_slow.enabled || (burst.enabled && burst.degrade_fraction > 0.0)) {
+      if (!(fail_slow.bandwidth_fraction > 0.0) ||
+          fail_slow.bandwidth_fraction > 1.0) {
+        fail("fault: fail-slow bandwidth_fraction must be in (0, 1]");
+      }
+    }
+    if (fail_slow.enabled) {
+      if (!(fail_slow.onset_mtbf.value() > 0.0)) {
+        fail("fault: fail-slow onset_mtbf must be positive");
+      }
+      if (fail_slow.smart_eviction && fail_slow.eviction_delay.value() < 0.0) {
+        fail("fault: negative eviction_delay");
+      }
+    }
+    if (detector.enabled) {
+      // Strictly below 1: rate 1 would mean the disk is never detected.
+      if (detector.false_negative_rate < 0.0 ||
+          detector.false_negative_rate >= 1.0) {
+        fail("fault: false_negative_rate must be in [0, 1)");
+      }
+      if (detector.false_positive_mtbf.value() < 0.0) {
+        fail("fault: negative false_positive_mtbf");
+      }
+      if (detector.false_positive_mtbf.value() > 0.0 &&
+          !(detector.false_positive_grace.value() > 0.0)) {
+        fail("fault: false_positive_grace must be positive");
+      }
+    }
+    if (interrupted.enabled) {
+      if (!(interrupted.retry_delay.value() > 0.0) ||
+          interrupted.retry_delay_cap < interrupted.retry_delay) {
+        fail("fault: retry_delay must be positive and <= retry_delay_cap");
+      }
+    }
+  }
+};
+
+/// Consecutive heartbeats the monitor misses given a uniform draw
+/// u in (0, 1) and per-beat miss probability p, by inverse-CDF sampling of
+/// the geometric law P(K >= j) = p^j.  For a fixed u the result is monotone
+/// nondecreasing in p, which is what makes the detector-quality sweep's
+/// window-of-vulnerability trend deterministic under common random numbers
+/// (each sweep point replays the same u sequence).
+[[nodiscard]] inline unsigned missed_beats(double u, double p) {
+  constexpr unsigned kMaxMissedBeats = 4096;  // ~2 weeks of 5-min beats
+  if (p <= 0.0 || u >= 1.0) return 0;
+  if (p >= 1.0 || u <= 0.0) return kMaxMissedBeats;
+  const double k = std::floor(std::log(u) / std::log(p));
+  return static_cast<unsigned>(
+      std::min(k, static_cast<double>(kMaxMissedBeats)));
+}
+
+}  // namespace farm::fault

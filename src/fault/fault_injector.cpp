@@ -1,0 +1,177 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace farm::fault {
+
+using core::DiskId;
+
+FaultInjector::FaultInjector(core::StorageSystem& system, sim::Simulator& sim,
+                             core::Metrics& metrics,
+                             core::RecoveryPolicy& policy, std::uint64_t seed)
+    : system_(system),
+      sim_(sim),
+      metrics_(metrics),
+      policy_(policy),
+      config_(system.config().fault),
+      mission_(system.config().mission_time),
+      burst_rng_(util::SeedSequence{seed}.stream(0)),
+      fail_slow_rng_(util::SeedSequence{seed}.stream(1)),
+      detect_rng_(util::SeedSequence{seed}.stream(2)),
+      fp_rng_(util::SeedSequence{seed}.stream(3)) {}
+
+void FaultInjector::start() {
+  if (config_.fail_slow.enabled) {
+    const auto slots = static_cast<DiskId>(system_.disk_slots());
+    for (DiskId d = 0; d < slots; ++d) sample_fail_slow_onset(d);
+  }
+  if (config_.burst.enabled) schedule_next_shock();
+  if (config_.detector.enabled &&
+      config_.detector.false_positive_mtbf.value() > 0.0) {
+    schedule_next_false_positive();
+  }
+}
+
+void FaultInjector::on_disk_added(DiskId id) {
+  if (config_.fail_slow.enabled) sample_fail_slow_onset(id);
+}
+
+// --- fail-slow --------------------------------------------------------------
+
+void FaultInjector::sample_fail_slow_onset(DiskId id) {
+  // One exponential draw per disk, consumed unconditionally so the lane
+  // stays aligned across configurations that only change other knobs.
+  const double wait =
+      fail_slow_rng_.exponential(1.0 / config_.fail_slow.onset_mtbf.value());
+  const disk::Disk& d = system_.disk_at(id);
+  const util::Seconds onset = d.birth() + util::Seconds{wait};
+  if (onset > mission_) return;
+  if (onset >= d.fails_at()) return;  // dies fail-stop before slowing down
+  sim_.schedule_at(onset, [this, id] { begin_fail_slow(id); });
+}
+
+void FaultInjector::begin_fail_slow(DiskId id) {
+  disk::Disk& d = system_.disk_at(id);
+  if (!d.alive()) return;
+  if (d.speed_factor() < 1.0) return;  // already degraded
+  d.set_speed_factor(config_.fail_slow.bandwidth_fraction);
+  metrics_.record_fail_slow_onset();
+  metrics_.trace(sim_.now().value(), "fail_slow", id);
+  if (config_.fail_slow.enabled && config_.fail_slow.smart_eviction) {
+    sim_.schedule_in(config_.fail_slow.eviction_delay, [this, id] {
+      if (!system_.disk_at(id).alive()) return;
+      metrics_.record_proactive_eviction();
+      metrics_.trace(sim_.now().value(), "evicted", id);
+      fail_disk_(id);
+    });
+  }
+}
+
+// --- correlated bursts ------------------------------------------------------
+
+void FaultInjector::schedule_next_shock() {
+  const double wait =
+      burst_rng_.exponential(1.0 / config_.burst.shock_mtbf.value());
+  sim_.schedule_in(util::Seconds{wait}, [this] {
+    fire_shock();
+    schedule_next_shock();
+  });
+}
+
+void FaultInjector::fire_shock() {
+  // Epicenter: a live disk, by bounded rejection sampling — a mostly-dead
+  // cluster produces duds rather than spinning.
+  DiskId epicenter = core::kNoDisk;
+  for (int tries = 0; tries < 32; ++tries) {
+    const auto d = static_cast<DiskId>(burst_rng_.below(system_.disk_slots()));
+    if (system_.disk_at(d).alive()) {
+      epicenter = d;
+      break;
+    }
+  }
+  if (epicenter == core::kNoDisk) return;
+
+  // Shock domain: the placement enclosure when failure domains are on (the
+  // burst then composes with rack-aware placement, which caps the per-group
+  // damage at one block), else a span of id-adjacent disks.
+  std::vector<DiskId> members;
+  if (system_.config().domains.enabled) {
+    members = system_.live_disks_in_domain(system_.domain_of(epicenter));
+  } else {
+    const std::size_t span = config_.burst.span;
+    const std::size_t lo = (epicenter / span) * span;
+    const std::size_t hi = std::min(lo + span, system_.disk_slots());
+    for (std::size_t d = lo; d < hi; ++d) {
+      if (system_.disk_at(static_cast<DiskId>(d)).alive()) {
+        members.push_back(static_cast<DiskId>(d));
+      }
+    }
+  }
+
+  std::uint64_t killed = 0;
+  std::uint64_t degraded = 0;
+  for (const DiskId d : members) {
+    const double u = burst_rng_.uniform();
+    if (u < config_.burst.kill_fraction) {
+      ++killed;
+      // The shock cooks drives over its window, not in one instant, so the
+      // recovery machinery sees a tight burst of distinct failure events.
+      const double jitter = burst_rng_.uniform() * config_.burst.window.value();
+      sim_.schedule_in(util::Seconds{jitter}, [this, d] {
+        if (system_.disk_at(d).alive()) fail_disk_(d);
+      });
+    } else if (u < config_.burst.kill_fraction + config_.burst.degrade_fraction) {
+      ++degraded;
+      begin_fail_slow(d);
+    }
+  }
+  metrics_.record_shock(killed, degraded);
+  metrics_.trace(sim_.now().value(), "shock", epicenter);
+}
+
+// --- imperfect detection ----------------------------------------------------
+
+util::Seconds FaultInjector::detection_time(const core::FailureDetector& det,
+                                            util::Seconds failed_at) {
+  util::Seconds t = det.detection_time(failed_at);
+  const double p =
+      config_.detector.enabled ? config_.detector.false_negative_rate : 0.0;
+  if (p > 0.0 && det.kind() == core::DetectorKind::kHeartbeat) {
+    const unsigned k = missed_beats(detect_rng_.uniform_pos(), p);
+    if (k > 0) {
+      const double slip =
+          static_cast<double>(k) * det.heartbeat_interval().value();
+      metrics_.record_detection_slip(slip);
+      t = t + util::Seconds{slip};
+    }
+  }
+  return t;
+}
+
+void FaultInjector::schedule_next_false_positive() {
+  // Constant cluster-wide accusation rate (population / per-disk MTBF),
+  // thinned in fire_false_positive by skipping dead picks.
+  const double rate = static_cast<double>(system_.initial_disk_count()) /
+                      config_.detector.false_positive_mtbf.value();
+  const double wait = fp_rng_.exponential(rate);
+  sim_.schedule_in(util::Seconds{wait}, [this] {
+    fire_false_positive();
+    schedule_next_false_positive();
+  });
+}
+
+void FaultInjector::fire_false_positive() {
+  const auto d = static_cast<DiskId>(fp_rng_.below(system_.disk_slots()));
+  if (!system_.disk_at(d).alive()) return;  // accusing the dead is moot
+  metrics_.record_spurious_detection();
+  metrics_.trace(sim_.now().value(), "false_positive", d);
+  policy_.begin_spurious_rebuilds(d);
+  sim_.schedule_in(config_.detector.false_positive_grace, [this, d] {
+    // If the accused disk really died during the grace period the policy
+    // already dissolved its spurious rebuilds; this is then a no-op.
+    policy_.end_spurious_rebuilds(d, /*disk_died=*/false);
+  });
+}
+
+}  // namespace farm::fault

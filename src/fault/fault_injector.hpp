@@ -1,0 +1,82 @@
+// Unified fault-injection driver (see fault_config.hpp for the model).
+//
+// One injector per ReliabilitySimulator, constructed only when
+// FaultConfig::any_enabled() — a disabled fault layer costs nothing and, by
+// construction, cannot perturb the simulation's RNG streams or event
+// schedule.  Each fault class draws from its own seed lane so enabling one
+// never reshuffles another's schedule.
+//
+// The injector never kills disks directly: it routes every death through
+// the simulator's regular failure path (`set_fail_disk`), so burst kills
+// and proactive evictions get the same detection/rebuild treatment as
+// natural failures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fault/fault_config.hpp"
+#include "farm/detector.hpp"
+#include "farm/metrics.hpp"
+#include "farm/recovery.hpp"
+#include "farm/storage_system.hpp"
+#include "sim/simulator.hpp"
+#include "util/random.hpp"
+
+namespace farm::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(core::StorageSystem& system, sim::Simulator& sim,
+                core::Metrics& metrics, core::RecoveryPolicy& policy,
+                std::uint64_t seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Installs the disk-death route (ReliabilitySimulator's failure event,
+  /// which is idempotent for already-dead disks).  Must be set before
+  /// start().
+  void set_fail_disk(std::function<void(core::DiskId)> fn) {
+    fail_disk_ = std::move(fn);
+  }
+
+  /// Samples fail-slow onsets for the initial population and schedules the
+  /// shock / false-positive processes.  Call once, at t = 0.
+  void start();
+
+  /// Hook for disks created mid-mission (dedicated spares, replacement
+  /// batches): they are as exposed to fail-slow onset as the originals.
+  void on_disk_added(core::DiskId id);
+
+  /// Detection-time hook: the base detector's latency plus any
+  /// false-negative slip (whole heartbeat intervals missed, geometric in
+  /// the per-beat miss rate).  Consumes exactly one draw from the detector
+  /// lane per call, keeping sweep points with different miss rates aligned
+  /// under common random numbers.
+  [[nodiscard]] util::Seconds detection_time(const core::FailureDetector& det,
+                                             util::Seconds failed_at);
+
+ private:
+  void schedule_next_shock();
+  void fire_shock();
+  void schedule_next_false_positive();
+  void fire_false_positive();
+  void sample_fail_slow_onset(core::DiskId id);
+  void begin_fail_slow(core::DiskId id);
+
+  core::StorageSystem& system_;
+  sim::Simulator& sim_;
+  core::Metrics& metrics_;
+  core::RecoveryPolicy& policy_;
+  const FaultConfig& config_;
+  util::Seconds mission_;
+  std::function<void(core::DiskId)> fail_disk_;
+  // Independent per-class lanes off the injector seed.
+  util::Xoshiro256 burst_rng_;
+  util::Xoshiro256 fail_slow_rng_;
+  util::Xoshiro256 detect_rng_;
+  util::Xoshiro256 fp_rng_;
+};
+
+}  // namespace farm::fault

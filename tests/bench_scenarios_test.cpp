@@ -37,6 +37,9 @@ const std::set<std::string> kExpectedNames = {
     "client_degraded_latency",
     "client_slo_tradeoff",
     "client_amplification",
+    "fault_correlated_burst",
+    "fault_failslow",
+    "fault_detector_quality",
 };
 
 ScenarioOptions tiny_options() {
@@ -65,6 +68,7 @@ TEST(ScenarioRegistry, GlobSelection) {
   EXPECT_EQ(registry.match("ablation_*").size(), 7u);
   EXPECT_EQ(registry.match("*").size(), registry.size());
   EXPECT_EQ(registry.match("table?_*").size(), 2u);
+  EXPECT_EQ(registry.match("fault_*").size(), 3u);
   EXPECT_TRUE(registry.match("zzz*").empty());
 }
 
@@ -225,6 +229,106 @@ TEST(Scenario, FlatModeOutputIsBitIdenticalToTheSeedBuild) {
                 golden[i].mean_window_sec,
                 1e-9 * (1.0 + golden[i].mean_window_sec));
   }
+}
+
+TEST(Scenario, Fig4OutputIsBitIdenticalToThePreFaultBuild) {
+  // fig4 runs the constant-latency detector with no fault injection, so the
+  // fault subsystem must leave every one of its numbers untouched.
+  expect_matches_golden(
+      "fig4_detection_latency",
+      {
+          {"1GB/0min", 0, 10, 4197, 172.76301425523724},
+          {"1GB/1min", 0, 11, 4641, 234.2726443430478},
+          {"1GB/5min", 0, 7.5, 3110, 468.8547963005454},
+          {"1GB/15min", 0, 11, 4646.5, 1074.176347059255},
+          {"1GB/60min", 0, 8, 3322, 3769.720759467271},
+          {"5GB/0min", 0, 15, 1302.5, 350.22569910790116},
+          {"5GB/1min", 0, 6.5, 539.5, 399.8626852348883},
+          {"5GB/5min", 0, 7, 580.5, 639.7922370012482},
+          {"5GB/15min", 0, 13, 1121, 1249.482432923316},
+          {"5GB/60min", 0, 12, 1028, 3947.1965670706686},
+          {"10GB/0min", 0, 11.5, 483, 632.6659451659455},
+          {"10GB/1min", 0, 10.5, 439.5, 691.455793632663},
+          {"10GB/5min", 0, 10.5, 444, 928.8904450669156},
+          {"10GB/15min", 0, 9.5, 397, 1531.863756815981},
+          {"10GB/60min", 0, 8.5, 353, 4229.062437420733},
+          {"25GB/0min", 0, 9.5, 158.5, 1562.5},
+          {"25GB/1min", 0, 11, 184, 1622.5},
+          {"25GB/5min", 0, 10.5, 172, 1862.5},
+          {"25GB/15min", 0, 10.5, 178, 2465.9877232142862},
+          {"25GB/60min", 0, 14, 242, 5162.5},
+          {"50GB/0min", 0, 10, 83.5, 3125},
+          {"50GB/1min", 0, 9.5, 72.5, 3185},
+          {"50GB/5min", 0, 11, 94, 3425},
+          {"50GB/15min", 0, 8.5, 72, 4025},
+          {"50GB/60min", 0, 11, 95, 6725},
+          {"100GB/0min", 0, 12, 50, 6250},
+          {"100GB/1min", 0, 13, 57, 6310},
+          {"100GB/5min", 0, 11.5, 49, 6550},
+          {"100GB/15min", 0, 9, 35.5, 7150},
+          {"100GB/60min", 0, 12.5, 51, 9850},
+      });
+}
+
+TEST(Scenario, FaultScenariosRunAndEmitGatedJson) {
+  // The fault family switches injection on for its swept points; burst and
+  // fail-slow also carry faults-off baseline series whose points must keep
+  // the clean schema.  The fault keys appear exactly where injection is on.
+  for (const char* name :
+       {"fault_correlated_burst", "fault_failslow", "fault_detector_quality"}) {
+    const Scenario* s = ScenarioRegistry::instance().find(name);
+    ASSERT_NE(s, nullptr) << name;
+    const ScenarioRun run = s->run(tiny_options());
+    EXPECT_FALSE(run.points.empty()) << name;
+    EXPECT_FALSE(run.rendered.empty()) << name;
+    const util::JsonValue v = util::JsonValue::parse(to_json(run, "test"));
+    EXPECT_EQ(v.at("scenario").as_string(), name);
+    std::size_t injected = 0;
+    for (const util::JsonValue& p : v.at("points").as_array()) {
+      const util::JsonValue* flag = p.at("config").find("fault_enabled");
+      const util::JsonValue* faults = p.at("result").find("faults");
+      if (flag == nullptr) {
+        // Baseline point: the whole fault block must be absent.
+        EXPECT_EQ(faults, nullptr)
+            << name << "/" << p.at("label").as_string();
+        continue;
+      }
+      ++injected;
+      EXPECT_TRUE(flag->as_bool()) << name;
+      ASSERT_NE(faults, nullptr) << name << "/" << p.at("label").as_string();
+      EXPECT_GE(faults->at("mean_shock_events").as_number(), 0.0) << name;
+    }
+    EXPECT_GT(injected, 0u) << name;
+  }
+  // Scenarios without injection keep the seed schema: no fault keys at all.
+  const Scenario* flat =
+      ScenarioRegistry::instance().find("ablation_recovery_modes");
+  ASSERT_NE(flat, nullptr);
+  const util::JsonValue v =
+      util::JsonValue::parse(to_json(flat->run(tiny_options()), "test"));
+  for (const util::JsonValue& p : v.at("points").as_array()) {
+    EXPECT_EQ(p.at("config").find("fault_enabled"), nullptr);
+    EXPECT_EQ(p.at("result").find("faults"), nullptr);
+  }
+}
+
+TEST(Scenario, DetectorQualityWindowIsMonotoneInMissRate) {
+  // Acceptance property: the fn sweep runs under common random numbers, so
+  // the mean window of vulnerability must grow monotonically with the
+  // false-negative rate — not just on average, at *this* trial count.
+  const Scenario* s =
+      ScenarioRegistry::instance().find("fault_detector_quality");
+  ASSERT_NE(s, nullptr);
+  const ScenarioRun run = s->run(tiny_options());
+  double prev = -1.0;
+  std::size_t fn_points = 0;
+  for (const PointResult& p : run.points) {
+    if (p.point.label.rfind("fn=", 0) != 0) continue;
+    ++fn_points;
+    EXPECT_GE(p.result.mean_window_sec, prev) << p.point.label;
+    prev = p.result.mean_window_sec;
+  }
+  EXPECT_EQ(fn_points, 4u);
 }
 
 TEST(Scenario, NetScenariosRunAndEmitValidJson) {

@@ -3,7 +3,11 @@
 // recovery policy — and the global invariants must still hold at the end.
 // This is the failure-injection stress for interactions the focused tests
 // cannot reach (batches landing mid-rebuild, redirections during migration,
-// spares dying during spare rebuilds, ...).
+// spares dying during spare rebuilds, ...).  Three storm variants:
+//   * flat       — the original reliability-only storm;
+//   * fabric+client — network fabric and foreground traffic on top;
+//   * fault storm — all four fault classes (bursts, fail-slow + eviction,
+//     detector false negatives/positives, interrupted rebuilds) at once.
 #include <gtest/gtest.h>
 
 #include "farm/reliability_sim.hpp"
@@ -32,75 +36,195 @@ SystemConfig chaos_config(RecoveryMode mode, double hazard) {
   return cfg;
 }
 
-class ChaosMission : public testing::TestWithParam<RecoveryMode> {};
+SystemConfig fabric_client_config(RecoveryMode mode) {
+  // Per-request client simulation caps the mission length; a short mission
+  // with a deliberately short MTTF still sees several failures per trial.
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(10);
+  cfg.group_size = gigabytes(10);
+  cfg.recovery_mode = mode;
+  cfg.mission_time = util::hours(48);
+  cfg.failure_law = SystemConfig::FailureLaw::kExponential;
+  cfg.exponential_mttf = util::hours(300);
+  cfg.detector = DetectorKind::kHeartbeat;
+  cfg.heartbeat_interval = util::minutes(5);
+  cfg.detection_latency = util::seconds(20);
+  cfg.topology.enabled = true;
+  cfg.client.enabled = true;
+  cfg.client.requests_per_disk_per_sec = 0.02;
+  cfg.collect_recovery_load = true;
+  cfg.collect_utilization = true;
+  return cfg;
+}
+
+SystemConfig fault_storm_config(RecoveryMode mode) {
+  SystemConfig cfg = chaos_config(mode, 8.0);
+  // Tolerance 2: a rebuild source dying is then an interruption (restart
+  // from a survivor) rather than instantly a group loss, so the storm
+  // also exercises the interrupted-rebuild machinery.
+  cfg.scheme = {1, 3};
+  cfg.fault.burst.enabled = true;
+  cfg.fault.burst.shock_mtbf = util::years(0.5);
+  cfg.fault.burst.span = 16;
+  cfg.fault.burst.kill_fraction = 0.3;
+  cfg.fault.burst.degrade_fraction = 0.3;
+  cfg.fault.fail_slow.enabled = true;
+  cfg.fault.fail_slow.onset_mtbf = util::hours(20000);
+  cfg.fault.fail_slow.bandwidth_fraction = 0.25;
+  cfg.fault.fail_slow.smart_eviction = true;
+  cfg.fault.fail_slow.eviction_delay = util::hours(6);
+  cfg.fault.detector.enabled = true;
+  cfg.fault.detector.false_negative_rate = 0.3;
+  cfg.fault.detector.false_positive_mtbf = util::years(1);
+  cfg.fault.detector.false_positive_grace = util::minutes(30);
+  cfg.fault.interrupted.enabled = true;
+  cfg.fault.interrupted.retry_delay = util::seconds(60);
+  cfg.fault.interrupted.retry_delay_cap = util::hours(1);
+  return cfg;
+}
+
+enum class Variant { kFlat, kFabricClient, kFaultStorm };
+
+struct StormCase {
+  Variant variant;
+  RecoveryMode mode;
+};
+
+/// The invariants every storm must leave intact, regardless of variant.
+void check_invariants(ReliabilitySimulator& sim, const SystemConfig& cfg,
+                      const TrialResult& r, std::uint64_t seed) {
+  StorageSystem& sys = sim.system();
+  const unsigned n = sys.blocks_per_group();
+
+  std::uint64_t dead = 0;
+  for (GroupIndex g = 0; g < sys.group_count(); ++g) {
+    const GroupState& st = sys.state(g);
+    if (st.dead) {
+      ++dead;
+      continue;
+    }
+    unsigned on_dead_disks = 0;
+    for (BlockIndex b = 0; b < n; ++b) {
+      if (!sys.disk_at(sys.home(g, b)).alive()) ++on_dead_disks;
+    }
+    ASSERT_EQ(st.unavailable, on_dead_disks) << "seed " << seed << " group " << g;
+    ASSERT_LE(st.unavailable, cfg.scheme.fault_tolerance());
+    // Live blocks of one group on distinct disks.
+    const DiskId a = sys.home(g, 0);
+    const DiskId b = sys.home(g, 1);
+    if (sys.disk_at(a).alive() && sys.disk_at(b).alive()) {
+      ASSERT_NE(a, b) << "seed " << seed << " group " << g;
+    }
+  }
+  EXPECT_EQ(dead, r.lost_groups);
+
+  // No disk overflowed, ever (allocate() would have thrown mid-run; this
+  // is the belt to that suspender).
+  for (DiskId d = 0; d < sys.disk_slots(); ++d) {
+    ASSERT_LE(sys.disk_at(d).used().value(),
+              sys.disk_at(d).capacity().value() + 1.0);
+  }
+
+  // Load accounting is self-consistent: total write bytes equals rebuilt
+  // blocks times block size.  Interrupted rebuilds charge once (at their
+  // eventual completion) and spurious rebuilds never charge.
+  double writes = 0.0;
+  for (const double w : r.recovery_write_bytes) writes += w;
+  EXPECT_NEAR(writes,
+              static_cast<double>(r.rebuilds_completed) *
+                  sys.block_bytes().value(),
+              sys.block_bytes().value());
+}
+
+class ChaosMission : public testing::TestWithParam<StormCase> {};
 
 TEST_P(ChaosMission, InvariantsSurviveTheStorm) {
-  for (const std::uint64_t seed : {11u, 22u, 33u}) {
-    const SystemConfig cfg = chaos_config(GetParam(), 8.0);
+  const StormCase param = GetParam();
+  std::vector<std::uint64_t> seeds =
+      param.variant == Variant::kFlat ? std::vector<std::uint64_t>{11, 22, 33}
+                                      : std::vector<std::uint64_t>{11, 22};
+  std::uint64_t total_failures = 0, total_shocks = 0, total_spurious = 0;
+  std::uint64_t total_onsets = 0, total_requests = 0, total_cancelled = 0;
+  std::uint64_t total_interruptions = 0;
+  for (const std::uint64_t seed : seeds) {
+    const SystemConfig cfg = param.variant == Variant::kFlat
+                                 ? chaos_config(param.mode, 8.0)
+                             : param.variant == Variant::kFabricClient
+                                 ? fabric_client_config(param.mode)
+                                 : fault_storm_config(param.mode);
     ReliabilitySimulator sim(cfg, seed);
     const TrialResult r = sim.run();
-    StorageSystem& sys = sim.system();
-    const unsigned n = sys.blocks_per_group();
 
-    // The storm must actually have been a storm.
-    ASSERT_GT(r.disk_failures, sys.initial_disk_count() / 3);
-    EXPECT_GT(r.batches, 0u);
-
-    std::uint64_t dead = 0;
-    for (GroupIndex g = 0; g < sys.group_count(); ++g) {
-      const GroupState& st = sys.state(g);
-      if (st.dead) {
-        ++dead;
-        continue;
-      }
-      unsigned on_dead_disks = 0;
-      for (BlockIndex b = 0; b < n; ++b) {
-        if (!sys.disk_at(sys.home(g, b)).alive()) ++on_dead_disks;
-      }
-      ASSERT_EQ(st.unavailable, on_dead_disks) << "seed " << seed << " group " << g;
-      ASSERT_LE(st.unavailable, cfg.scheme.fault_tolerance());
-      // Live blocks of one group on distinct disks.
-      const DiskId a = sys.home(g, 0);
-      const DiskId b = sys.home(g, 1);
-      if (sys.disk_at(a).alive() && sys.disk_at(b).alive()) {
-        ASSERT_NE(a, b) << "seed " << seed << " group " << g;
-      }
+    switch (param.variant) {
+      case Variant::kFlat:
+        // The storm must actually have been a storm.
+        ASSERT_GT(r.disk_failures, sim.system().initial_disk_count() / 3);
+        EXPECT_GT(r.batches, 0u);
+        break;
+      case Variant::kFabricClient:
+        EXPECT_TRUE(r.fabric_active);
+        EXPECT_TRUE(r.client.active);
+        total_requests += r.client.requests;
+        break;
+      case Variant::kFaultStorm:
+        ASSERT_GT(r.disk_failures, sim.system().initial_disk_count() / 3);
+        EXPECT_TRUE(r.fault_active);
+        // Spurious streams are rolled back when the accusation expires; a
+        // stream whose target dies mid-grace is tombstoned (nothing left to
+        // roll back), so cancelled may trail rebuilds by those few.
+        EXPECT_LE(r.spurious_cancelled, r.spurious_rebuilds);
+        EXPECT_GE(r.spurious_cancelled + r.disk_failures, r.spurious_rebuilds);
+        total_cancelled += r.spurious_cancelled;
+        total_interruptions += r.rebuild_interruptions;
+        total_shocks += r.shock_events;
+        total_spurious += r.spurious_detections;
+        total_onsets += r.fail_slow_onsets;
+        break;
     }
-    EXPECT_EQ(dead, r.lost_groups);
-
-    // No disk overflowed, ever (allocate() would have thrown mid-run; this
-    // is the belt to that suspender).
-    for (DiskId d = 0; d < sys.disk_slots(); ++d) {
-      ASSERT_LE(sys.disk_at(d).used().value(),
-                sys.disk_at(d).capacity().value() + 1.0);
-    }
-
-    // Load accounting is self-consistent: total write bytes equals rebuilt
-    // blocks times block size.
-    double writes = 0.0;
-    for (const double w : r.recovery_write_bytes) writes += w;
-    EXPECT_NEAR(writes,
-                static_cast<double>(r.rebuilds_completed) *
-                    sys.block_bytes().value(),
-                sys.block_bytes().value());
+    total_failures += r.disk_failures;
+    check_invariants(sim, cfg, r, seed);
+  }
+  EXPECT_GT(total_failures, 0u);
+  if (param.variant == Variant::kFabricClient) {
+    EXPECT_GT(total_requests, 0u);
+  }
+  if (param.variant == Variant::kFaultStorm) {
+    EXPECT_GT(total_shocks, 0u);
+    EXPECT_GT(total_spurious, 0u);
+    EXPECT_GT(total_onsets, 0u);
+    EXPECT_GT(total_cancelled, 0u);
+    EXPECT_GT(total_interruptions, 0u);
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllModes, ChaosMission,
-                         testing::Values(RecoveryMode::kFarm,
-                                         RecoveryMode::kDedicatedSpare,
-                                         RecoveryMode::kDistributedSparing),
-                         [](const testing::TestParamInfo<RecoveryMode>& info) {
-                           switch (info.param) {
-                             case RecoveryMode::kFarm:
-                               return "farm";
-                             case RecoveryMode::kDedicatedSpare:
-                               return "spare";
-                             case RecoveryMode::kDistributedSparing:
-                               return "distsparing";
-                           }
-                           return "unknown";
-                         });
+std::string storm_name(const testing::TestParamInfo<StormCase>& info) {
+  std::string name;
+  switch (info.param.variant) {
+    case Variant::kFlat: name = "flat"; break;
+    case Variant::kFabricClient: name = "fabricclient"; break;
+    case Variant::kFaultStorm: name = "faultstorm"; break;
+  }
+  switch (info.param.mode) {
+    case RecoveryMode::kFarm: name += "_farm"; break;
+    case RecoveryMode::kDedicatedSpare: name += "_spare"; break;
+    case RecoveryMode::kDistributedSparing: name += "_distsparing"; break;
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ChaosMission,
+    testing::Values(
+        StormCase{Variant::kFlat, RecoveryMode::kFarm},
+        StormCase{Variant::kFlat, RecoveryMode::kDedicatedSpare},
+        StormCase{Variant::kFlat, RecoveryMode::kDistributedSparing},
+        StormCase{Variant::kFabricClient, RecoveryMode::kFarm},
+        StormCase{Variant::kFabricClient, RecoveryMode::kDedicatedSpare},
+        StormCase{Variant::kFabricClient, RecoveryMode::kDistributedSparing},
+        StormCase{Variant::kFaultStorm, RecoveryMode::kFarm},
+        StormCase{Variant::kFaultStorm, RecoveryMode::kDedicatedSpare},
+        StormCase{Variant::kFaultStorm, RecoveryMode::kDistributedSparing}),
+    storm_name);
 
 TEST(PlacementBalance, BestOfTwoTightensInitialFill) {
   SystemConfig cfg;

@@ -26,10 +26,17 @@ TEST(Detector, HeartbeatWaitsForNextProbePlusTimeout) {
   const FailureDetector d(DetectorKind::kHeartbeat, seconds(5), seconds(10));
   // Failure at t=12: next probe at t=20, declared at t=25.
   EXPECT_DOUBLE_EQ(d.detection_time(seconds(12)).value(), 25.0);
-  // Failure exactly on a probe boundary is noticed by that probe.
-  EXPECT_DOUBLE_EQ(d.detection_time(seconds(20)).value(), 25.0);
   // Failure just after a probe waits nearly the whole interval.
   EXPECT_DOUBLE_EQ(d.detection_time(seconds(20.001)).value(), 35.0);
+}
+
+TEST(Detector, HeartbeatFailureOnProbeTickWaitsForNextBeat) {
+  // A disk that dies exactly as a probe fires still answers that probe —
+  // the failure can only be noticed one beat later.  (Detecting it at the
+  // simultaneous probe would let detection precede the failure's effects.)
+  const FailureDetector d(DetectorKind::kHeartbeat, seconds(5), seconds(10));
+  EXPECT_DOUBLE_EQ(d.detection_time(seconds(20)).value(), 35.0);
+  EXPECT_DOUBLE_EQ(d.detection_time(Seconds{0.0}).value(), 15.0);
 }
 
 TEST(Detector, HeartbeatNeverDetectsBeforeFailure) {

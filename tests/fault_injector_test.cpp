@@ -1,0 +1,300 @@
+// Fault-injection subsystem (src/fault): the geometric miss sampler, the
+// four fault classes end-to-end through ReliabilitySimulator, and the
+// exactness of the spurious-rebuild rollback that the false-positive path
+// depends on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault_config.hpp"
+#include "farm/reliability_sim.hpp"
+
+namespace farm::core {
+namespace {
+
+using util::gigabytes;
+using util::terabytes;
+
+SystemConfig heartbeat_config() {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(20);
+  cfg.group_size = gigabytes(10);
+  cfg.detector = DetectorKind::kHeartbeat;
+  cfg.heartbeat_interval = util::minutes(15);
+  cfg.detection_latency = util::seconds(30);
+  return cfg;
+}
+
+// --- the inverse-CDF geometric sampler ------------------------------------
+
+TEST(MissedBeats, EdgeCases) {
+  EXPECT_EQ(fault::missed_beats(0.5, 0.0), 0u);    // perfect monitor
+  EXPECT_EQ(fault::missed_beats(1.0, 0.9), 0u);    // u at the top: no miss
+  EXPECT_EQ(fault::missed_beats(0.0, 0.5), 4096u); // u at the bottom: capped
+  EXPECT_EQ(fault::missed_beats(0.5, 1.0), 4096u); // never-heard disk: capped
+  EXPECT_EQ(fault::missed_beats(1e-300, 0.999), 4096u);  // cap, not overflow
+}
+
+TEST(MissedBeats, InverseCdfValues) {
+  // P(K >= j) = p^j; u in (p^{j+1}, p^j] maps to exactly j misses.
+  EXPECT_EQ(fault::missed_beats(0.6, 0.5), 0u);
+  EXPECT_EQ(fault::missed_beats(0.3, 0.5), 1u);
+  EXPECT_EQ(fault::missed_beats(0.2, 0.5), 2u);
+  EXPECT_EQ(fault::missed_beats(0.05, 0.5), 4u);
+}
+
+TEST(MissedBeats, MonotoneInMissRateForFixedDraw) {
+  // The detector-quality sweep replays one u sequence across sweep points
+  // (common random numbers); its monotone window trend needs monotonicity
+  // of the sampler itself in p for every fixed u.
+  const double us[] = {1e-9, 1e-3, 0.1, 0.3, 0.5, 0.7, 0.9, 0.999};
+  const double ps[] = {0.0, 0.05, 0.2, 0.4, 0.6, 0.8, 0.95, 0.999};
+  for (const double u : us) {
+    unsigned prev = 0;
+    for (const double p : ps) {
+      const unsigned k = fault::missed_beats(u, p);
+      EXPECT_GE(k, prev) << "u=" << u << " p=" << p;
+      prev = k;
+    }
+  }
+}
+
+// --- configuration validation ---------------------------------------------
+
+TEST(FaultConfigValidate, RejectsInconsistentParameters) {
+  SystemConfig cfg = heartbeat_config();
+  cfg.fault.burst.enabled = true;
+  cfg.fault.burst.kill_fraction = 0.7;
+  cfg.fault.burst.degrade_fraction = 0.7;  // sums past 1
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = heartbeat_config();
+  cfg.fault.detector.enabled = true;
+  cfg.fault.detector.false_negative_rate = 1.0;  // disk never detected
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = heartbeat_config();
+  cfg.detector = DetectorKind::kConstant;  // false negatives need heartbeats
+  cfg.fault.detector.enabled = true;
+  cfg.fault.detector.false_negative_rate = 0.3;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = heartbeat_config();
+  cfg.fault.interrupted.enabled = true;
+  cfg.fault.interrupted.retry_delay = util::hours(2);
+  cfg.fault.interrupted.retry_delay_cap = util::hours(1);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+// --- false negatives: the window of vulnerability stretches monotonically --
+
+TEST(FaultInjector, FalseNegativeSlipStretchesWindowMonotonically) {
+  // Same simulator seed across miss rates = common random numbers: the
+  // failure schedule and the per-detection uniform draws are shared, and
+  // missed_beats() is monotone in p for each fixed u, so every detection
+  // slips at least as late as at the smaller rate.
+  const double rates[] = {0.0, 0.2, 0.4, 0.6};
+  std::vector<double> window_sum(std::size(rates), 0.0);
+  std::vector<double> slips(std::size(rates), 0.0);
+  for (const std::uint64_t seed : {3u, 7u, 11u}) {
+    for (std::size_t i = 0; i < std::size(rates); ++i) {
+      SystemConfig cfg = heartbeat_config();
+      cfg.fault.detector.enabled = true;
+      cfg.fault.detector.false_negative_rate = rates[i];
+      ReliabilitySimulator sim(cfg, seed);
+      const TrialResult r = sim.run();
+      EXPECT_TRUE(r.fault_active);
+      EXPECT_GT(r.disk_failures, 0u) << "seed " << seed;
+      window_sum[i] += r.mean_window_sec;
+      slips[i] += static_cast<double>(r.detection_slips);
+      if (rates[i] == 0.0) {
+        EXPECT_EQ(r.detection_slips, 0u);
+      }
+    }
+  }
+  for (std::size_t i = 1; i < std::size(rates); ++i) {
+    EXPECT_GE(window_sum[i], window_sum[i - 1]) << "rate " << rates[i];
+    EXPECT_GT(slips[i], slips[i - 1]) << "rate " << rates[i];
+  }
+  EXPECT_GT(window_sum.back(), window_sum.front() * 1.2);
+}
+
+// --- false positives: spurious rebuilds roll back exactly ------------------
+
+TEST(FaultInjector, SpuriousRebuildRollbackIsExact) {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(10);
+  cfg.group_size = gigabytes(10);
+  ReliabilitySimulator sim(cfg, 5);
+  StorageSystem& sys = sim.system();
+
+  const std::vector<double> used_before = sys.used_bytes_snapshot();
+  std::vector<unsigned> streams_before, ranks_before;
+  for (DiskId d = 0; d < sys.disk_slots(); ++d) {
+    streams_before.push_back(sys.disk_at(d).active_recovery_streams());
+  }
+  for (GroupIndex g = 0; g < sys.group_count(); ++g) {
+    ranks_before.push_back(sys.state(g).next_rank);
+  }
+
+  const DiskId accused = 0;
+  sim.policy().begin_spurious_rebuilds(accused);
+
+  // The accusation really did provision targets...
+  double extra = 0.0;
+  unsigned extra_streams = 0;
+  const std::vector<double> used_during = sys.used_bytes_snapshot();
+  for (DiskId d = 0; d < sys.disk_slots(); ++d) {
+    extra += used_during[d] - used_before[d];
+    extra_streams +=
+        sys.disk_at(d).active_recovery_streams() - streams_before[d];
+  }
+  EXPECT_GT(extra, 0.0);
+  EXPECT_GT(extra_streams, 0u);
+  EXPECT_TRUE(sys.disk_at(accused).alive());  // never actually failed
+
+  // ...and the verdict undoes every byte and stream, bit for bit, without
+  // ever having touched group state or the placement walk.
+  sim.policy().end_spurious_rebuilds(accused, /*disk_died=*/false);
+  EXPECT_EQ(sys.used_bytes_snapshot(), used_before);
+  for (DiskId d = 0; d < sys.disk_slots(); ++d) {
+    EXPECT_EQ(sys.disk_at(d).active_recovery_streams(), streams_before[d]);
+  }
+  for (GroupIndex g = 0; g < sys.group_count(); ++g) {
+    EXPECT_EQ(sys.state(g).next_rank, ranks_before[g]) << "group " << g;
+  }
+  // A second verdict for the same accusation is a no-op.
+  sim.policy().end_spurious_rebuilds(accused, /*disk_died=*/false);
+  EXPECT_EQ(sys.used_bytes_snapshot(), used_before);
+}
+
+TEST(FaultInjector, FalsePositivesCancelWithoutLoss) {
+  SystemConfig cfg = heartbeat_config();
+  cfg.fault.detector.enabled = true;
+  cfg.fault.detector.false_positive_mtbf = util::years(0.5);
+  cfg.fault.detector.false_positive_grace = util::minutes(30);
+  ReliabilitySimulator sim(cfg, 9);
+  const TrialResult r = sim.run();
+  EXPECT_GT(r.spurious_detections, 0u);
+  EXPECT_GT(r.spurious_rebuilds, 0u);
+  // Dying targets tombstone their entries; everything else rolls back.
+  EXPECT_LE(r.spurious_cancelled, r.spurious_rebuilds);
+  EXPECT_GE(r.spurious_cancelled + r.disk_failures, r.spurious_rebuilds);
+}
+
+// --- correlated bursts -----------------------------------------------------
+
+TEST(FaultInjector, BurstShocksKillAndRepeatDeterministically) {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(20);
+  cfg.group_size = gigabytes(10);
+  cfg.fault.burst.enabled = true;
+  cfg.fault.burst.shock_mtbf = util::years(0.5);
+  cfg.fault.burst.span = 16;
+  cfg.fault.burst.kill_fraction = 0.3;
+  cfg.fault.burst.degrade_fraction = 0.2;
+
+  auto run_once = [&cfg]() {
+    ReliabilitySimulator sim(cfg, 17);
+    return sim.run();
+  };
+  const TrialResult a = run_once();
+  const TrialResult b = run_once();
+
+  EXPECT_TRUE(a.fault_active);
+  EXPECT_GT(a.shock_events, 0u);
+  EXPECT_GT(a.shock_kills, 0u);
+  EXPECT_GT(a.shock_degraded, 0u);
+  // Every shock kill routes through the ordinary failure path.
+  EXPECT_GE(a.disk_failures, a.shock_kills);
+
+  EXPECT_EQ(a.shock_events, b.shock_events);
+  EXPECT_EQ(a.shock_kills, b.shock_kills);
+  EXPECT_EQ(a.shock_degraded, b.shock_degraded);
+  EXPECT_EQ(a.disk_failures, b.disk_failures);
+  EXPECT_EQ(a.rebuilds_completed, b.rebuilds_completed);
+  EXPECT_DOUBLE_EQ(a.mean_window_sec, b.mean_window_sec);
+}
+
+// --- fail-slow disks -------------------------------------------------------
+
+TEST(FaultInjector, FailSlowDisksStretchRebuilds) {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(20);
+  cfg.group_size = gigabytes(10);
+  ReliabilitySimulator base_sim(cfg, 13);
+  const TrialResult base = base_sim.run();
+  EXPECT_FALSE(base.fault_active);
+
+  cfg.fault.fail_slow.enabled = true;
+  cfg.fault.fail_slow.onset_mtbf = util::hours(100);  // everyone slows early
+  cfg.fault.fail_slow.bandwidth_fraction = 0.25;
+  ReliabilitySimulator slow_sim(cfg, 13);
+  const TrialResult slow = slow_sim.run();
+
+  EXPECT_TRUE(slow.fault_active);
+  EXPECT_GT(slow.fail_slow_onsets, 0u);
+  // Onsets draw from their own seed lane and kill nothing, so the
+  // pre-sampled failure schedule is untouched...
+  EXPECT_EQ(slow.disk_failures, base.disk_failures);
+  // ...while every rebuild drains through a derated disk.
+  EXPECT_GT(slow.mean_window_sec, base.mean_window_sec);
+}
+
+TEST(FaultInjector, SmartEvictionRetiresSlowDisks) {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(20);
+  cfg.group_size = gigabytes(10);
+  cfg.fault.fail_slow.enabled = true;
+  cfg.fault.fail_slow.onset_mtbf = util::hours(2000);
+  cfg.fault.fail_slow.bandwidth_fraction = 0.25;
+  cfg.fault.fail_slow.smart_eviction = true;
+  cfg.fault.fail_slow.eviction_delay = util::hours(1);
+  ReliabilitySimulator sim(cfg, 21);
+  const TrialResult r = sim.run();
+  EXPECT_GT(r.fail_slow_onsets, 0u);
+  EXPECT_GT(r.proactive_evictions, 0u);
+  EXPECT_LE(r.proactive_evictions, r.fail_slow_onsets);
+  // Evictions are administrative failures: they ride the normal path.
+  EXPECT_GE(r.disk_failures, r.proactive_evictions);
+}
+
+// --- interrupted rebuilds --------------------------------------------------
+
+TEST(FaultInjector, InterruptedRebuildsRestartAndStillBalanceWrites) {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(10);
+  cfg.group_size = gigabytes(10);
+  // Interruption needs the source's death to NOT kill the group: under
+  // two-way mirroring the source is the last copy, so its failure is a
+  // group loss and the rebuild is torn down before the interruption path
+  // can see it.  Three-way mirroring leaves a survivor to restart from.
+  cfg.scheme = {1, 3};
+  // Dedicated sparing serializes a whole disk's blocks through one spare,
+  // keeping transfers in flight for hours; a short-MTTF exponential law
+  // then reliably kills sources mid-rebuild.
+  cfg.recovery_mode = RecoveryMode::kDedicatedSpare;
+  cfg.mission_time = util::hours(500);
+  cfg.failure_law = SystemConfig::FailureLaw::kExponential;
+  cfg.exponential_mttf = util::hours(150);
+  cfg.fault.interrupted.enabled = true;
+  cfg.fault.interrupted.retry_delay = util::seconds(60);
+  cfg.fault.interrupted.retry_delay_cap = util::hours(1);
+  cfg.collect_recovery_load = true;
+  ReliabilitySimulator sim(cfg, 29);
+  const TrialResult r = sim.run();
+
+  EXPECT_TRUE(r.fault_active);
+  EXPECT_GT(r.rebuild_interruptions, 0u);
+  // A restarted rebuild charges its write exactly once, at the completion
+  // that finally sticks.
+  double writes = 0.0;
+  for (const double w : r.recovery_write_bytes) writes += w;
+  EXPECT_NEAR(writes,
+              static_cast<double>(r.rebuilds_completed) *
+                  sim.system().block_bytes().value(),
+              sim.system().block_bytes().value());
+}
+
+}  // namespace
+}  // namespace farm::core
