@@ -16,9 +16,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "farm/detector.hpp"
@@ -206,17 +206,21 @@ class RecoveryPolicy {
   /// Disk speed factors can drop below 1.0: config().fault.affects_speed().
   bool derate_speed_ = false;
   TargetSelector spurious_selector_;
-  std::unordered_map<DiskId, std::vector<SpuriousRebuild>> spurious_;
+  /// Ordered map: on_disk_failed *iterates* it to tombstone dead targets,
+  /// and the cancel order feeds the fabric's re-quote arithmetic — an
+  /// unordered container here would make the event stream depend on hash
+  /// layout (the exact nondeterminism farm_lint rule R1 exists to ban).
+  std::map<DiskId, std::vector<SpuriousRebuild>> spurious_;
 
   std::vector<Rebuild> slab_;
   std::vector<RebuildId> free_ids_;
   std::vector<std::vector<RebuildId>> by_target_;
-  std::unordered_map<GroupIndex, std::vector<RebuildId>> by_group_;
+  std::map<GroupIndex, std::vector<RebuildId>> by_group_;
   std::vector<double> queue_free_;
-  std::unordered_map<DiskId, std::vector<BlockRef>> pending_lost_;
+  std::map<DiskId, std::vector<BlockRef>> pending_lost_;
   /// When each failed disk died — the left edge of its blocks' windows of
   /// vulnerability.
-  std::unordered_map<DiskId, double> failed_at_;
+  std::map<DiskId, double> failed_at_;
 };
 
 /// Factory keyed on SystemConfig::recovery_mode.

@@ -5,6 +5,8 @@
 // the whole time every source group is one more failure away from loss.
 #pragma once
 
+#include <map>
+
 #include "farm/recovery.hpp"
 
 namespace farm::core {
@@ -22,7 +24,7 @@ class SpareRecovery final : public RecoveryPolicy {
  private:
   /// Blocks whose rebuild died with their spare, keyed by that dead spare's
   /// id; they restart when the spare's own failure is detected.
-  std::unordered_map<DiskId, std::vector<BlockRef>> orphans_;
+  std::map<DiskId, std::vector<BlockRef>> orphans_;
 };
 
 }  // namespace farm::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/seed_lanes.hpp"
+
 namespace farm::core {
 
 namespace {
@@ -25,10 +27,11 @@ std::unique_ptr<disk::FailureModel> make_failure_model(const SystemConfig& cfg) 
 StorageSystem::StorageSystem(const SystemConfig& config, std::uint64_t seed)
     : config_(config),
       failure_model_(make_failure_model(config)),
-      smart_(config.smart, util::SeedSequence{seed}.stream(1)),
-      rng_(util::SeedSequence{seed}.stream(2)),
-      placement_(placement::make_policy(config.placement,
-                                        util::SeedSequence{seed}.stream(3))) {
+      smart_(config.smart, util::SeedSequence{seed}.stream(util::lanes::kSmart)),
+      rng_(util::SeedSequence{seed}.stream(util::lanes::kSystemRng)),
+      placement_(placement::make_policy(
+          config.placement,
+          util::SeedSequence{seed}.stream(util::lanes::kPlacement))) {
   config_.validate();
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/seed_lanes.hpp"
+
 namespace farm::fault {
 
 using core::DiskId;
@@ -16,10 +18,10 @@ FaultInjector::FaultInjector(core::StorageSystem& system, sim::Simulator& sim,
       policy_(policy),
       config_(system.config().fault),
       mission_(system.config().mission_time),
-      burst_rng_(util::SeedSequence{seed}.stream(0)),
-      fail_slow_rng_(util::SeedSequence{seed}.stream(1)),
-      detect_rng_(util::SeedSequence{seed}.stream(2)),
-      fp_rng_(util::SeedSequence{seed}.stream(3)) {}
+      burst_rng_(util::SeedSequence{seed}.stream(util::lanes::kFaultBurst)),
+      fail_slow_rng_(util::SeedSequence{seed}.stream(util::lanes::kFaultFailSlow)),
+      detect_rng_(util::SeedSequence{seed}.stream(util::lanes::kFaultDetect)),
+      fp_rng_(util::SeedSequence{seed}.stream(util::lanes::kFaultFalsePositive)) {}
 
 void FaultInjector::start() {
   if (config_.fail_slow.enabled) {

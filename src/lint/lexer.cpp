@@ -1,0 +1,237 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace farm::lint {
+
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Multi-character operators we keep whole; longest match first within each
+/// leading character.  Rules only care about a handful (::, +=, -=), but
+/// splitting the rest into single chars would make `>>=` look like three
+/// tokens and confuse template-argument scanning.
+constexpr std::string_view kOps[] = {
+    "<<=", ">>=", "...", "->*", "::", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "<<",  ">>",  "->", "==", "!=", "<=", ">=", "&&", "||",
+    "++",  "--",  ".*",
+};
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  [[nodiscard]] bool eof() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] unsigned line() const { return line_; }
+  [[nodiscard]] std::string_view slice(std::size_t from) const {
+    return src_.substr(from, pos_ - from);
+  }
+  [[nodiscard]] bool starts_with(std::string_view s) const {
+    return src_.substr(pos_, s.size()) == s;
+  }
+
+  void advance() {
+    if (src_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+  void advance_n(std::size_t n) {
+    for (std::size_t i = 0; i < n && !eof(); ++i) advance();
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  unsigned line_ = 1;
+};
+
+/// Consumes a quoted literal body after the opening quote, honouring
+/// backslash escapes; stops at the closing quote or EOF/newline.
+void consume_quoted(Cursor& c, char quote) {
+  while (!c.eof()) {
+    const char ch = c.peek();
+    if (ch == '\\' && c.peek(1) != '\0') {
+      c.advance();
+      c.advance();
+      continue;
+    }
+    c.advance();
+    if (ch == quote || ch == '\n') return;
+  }
+}
+
+/// Consumes a raw string body after `R"`: delim( ... )delim".
+void consume_raw_string(Cursor& c) {
+  std::size_t delim_start = c.pos();
+  while (!c.eof() && c.peek() != '(' && c.peek() != '\n') c.advance();
+  const std::string_view delim = c.slice(delim_start);
+  if (c.eof() || c.peek() == '\n') return;  // malformed; give up gracefully
+  c.advance();                              // '('
+  while (!c.eof()) {
+    if (c.peek() == ')') {
+      const std::size_t close = c.pos();
+      c.advance();
+      bool match = true;
+      for (const char d : delim) {
+        if (c.peek() != d) {
+          match = false;
+          break;
+        }
+        c.advance();
+      }
+      if (match && c.peek() == '"') {
+        c.advance();
+        return;
+      }
+      // False alarm: anything consumed past `)` was body text; keep going
+      // from where we are (delimiters can't contain ')', so no re-scan is
+      // needed).
+      (void)close;
+      continue;
+    }
+    c.advance();
+  }
+}
+
+/// True if the identifier just lexed is a string-literal encoding prefix and
+/// a quote follows immediately (u8"...", LR"(...)", ...).
+[[nodiscard]] bool string_prefix(std::string_view ident, char next) {
+  if (next != '"' && next != '\'') return false;
+  return ident == "L" || ident == "u" || ident == "U" || ident == "u8" ||
+         ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> out;
+  Cursor c(source);
+  bool line_has_token = false;  // only a line-leading '#' opens a directive
+  unsigned last_line = 1;
+
+  while (!c.eof()) {
+    if (c.line() != last_line) {
+      line_has_token = false;
+      last_line = c.line();
+    }
+    const char ch = c.peek();
+    const std::size_t start = c.pos();
+    const unsigned line = c.line();
+
+    if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n' || ch == '\f' ||
+        ch == '\v') {
+      c.advance();
+      continue;
+    }
+
+    // Comments.
+    if (ch == '/' && c.peek(1) == '/') {
+      while (!c.eof() && c.peek() != '\n') c.advance();
+      out.push_back({TokKind::kComment, c.slice(start), line});
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      c.advance_n(2);
+      while (!c.eof() && !(c.peek() == '*' && c.peek(1) == '/')) c.advance();
+      c.advance_n(2);
+      out.push_back({TokKind::kComment, c.slice(start), line});
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on its line; swallow continuations.
+    if (ch == '#' && !line_has_token) {
+      while (!c.eof()) {
+        if (c.peek() == '\\' && c.peek(1) == '\n') {
+          c.advance_n(2);
+          continue;
+        }
+        if (c.peek() == '\n') break;
+        // A // comment ends the directive text we care about but still runs
+        // to EOL, so just consume it as part of the directive token.
+        c.advance();
+      }
+      out.push_back({TokKind::kPreproc, c.slice(start), line});
+      line_has_token = true;
+      continue;
+    }
+    line_has_token = true;
+
+    // Identifiers (and string-encoding prefixes).
+    if (ident_start(ch)) {
+      while (!c.eof() && ident_char(c.peek())) c.advance();
+      const std::string_view ident = c.slice(start);
+      if (string_prefix(ident, c.peek())) {
+        const bool raw = ident.back() == 'R';
+        const char quote = c.peek();
+        c.advance();
+        if (raw) {
+          consume_raw_string(c);
+        } else {
+          consume_quoted(c, quote);
+        }
+        out.push_back({quote == '"' ? TokKind::kString : TokKind::kCharLit,
+                       c.slice(start), line});
+      } else {
+        out.push_back({TokKind::kIdent, ident, line});
+      }
+      continue;
+    }
+
+    // Numbers (pp-number: handles 0xff, 1'000'000, 1.5e-3, 1.f, 0b1010u).
+    if (digit(ch) || (ch == '.' && digit(c.peek(1)))) {
+      c.advance();
+      while (!c.eof()) {
+        const char n = c.peek();
+        if (ident_char(n) || n == '.' || n == '\'') {
+          const bool exp = (n == 'e' || n == 'E' || n == 'p' || n == 'P');
+          c.advance();
+          if (exp && (c.peek() == '+' || c.peek() == '-')) c.advance();
+          continue;
+        }
+        break;
+      }
+      out.push_back({TokKind::kNumber, c.slice(start), line});
+      continue;
+    }
+
+    // Plain string / char literals.
+    if (ch == '"' || ch == '\'') {
+      c.advance();
+      consume_quoted(c, ch);
+      out.push_back({ch == '"' ? TokKind::kString : TokKind::kCharLit,
+                     c.slice(start), line});
+      continue;
+    }
+
+    // Multi-char operators, longest first.
+    bool matched = false;
+    for (const std::string_view op : kOps) {
+      if (c.starts_with(op)) {
+        c.advance_n(op.size());
+        out.push_back({TokKind::kPunct, c.slice(start), line});
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    c.advance();
+    out.push_back({TokKind::kPunct, c.slice(start), line});
+  }
+  return out;
+}
+
+}  // namespace farm::lint

@@ -1,0 +1,38 @@
+// Minimal C++ tokenizer for farm_lint.
+//
+// This is not a compiler front end: it only needs to be exact about the
+// things that would make a text-match lint lie — comments, string/char
+// literals (including raw strings), preprocessor lines and numeric literals
+// with digit separators.  Everything else is identifiers and punctuation.
+// Tokens are string_views into the caller's source buffer, which must
+// outlive them.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace farm::lint {
+
+enum class TokKind : std::uint8_t {
+  kIdent,    // identifiers and keywords
+  kNumber,   // pp-number: 42, 0xff, 1'000'000, 1.5e-3, 16.0f
+  kString,   // "..." and R"(...)" including encoding prefixes
+  kCharLit,  // 'a', '\n'
+  kPunct,    // operators and punctuation (multi-char ops kept together)
+  kComment,  // // ... or /* ... */ (text includes the delimiters)
+  kPreproc,  // a whole directive line, continuations folded in
+};
+
+struct Token {
+  TokKind kind;
+  std::string_view text;
+  unsigned line;  // 1-based line of the token's first character
+};
+
+/// Tokenizes `source`.  Never throws on malformed input (an unterminated
+/// string or comment simply ends at EOF) — lint must not crash on the code
+/// it is criticizing.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace farm::lint

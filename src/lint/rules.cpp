@@ -1,0 +1,552 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "lint/lexer.hpp"
+#include "util/json.hpp"
+#include "util/random.hpp"
+
+namespace farm::lint {
+
+namespace {
+
+// --- shared helpers ---------------------------------------------------------
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0)
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0)
+    s.remove_suffix(1);
+  return s;
+}
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view p) {
+  return s.substr(0, p.size()) == p;
+}
+
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view p) {
+  return s.size() >= p.size() && s.substr(s.size() - p.size()) == p;
+}
+
+/// `#   pragma   once` → `pragma once` (single spaces, no '#').
+[[nodiscard]] std::string normalize_directive(std::string_view text) {
+  std::string out;
+  bool in_space = false;
+  for (const char c : text) {
+    if (c == '#') continue;
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      in_space = !out.empty();
+      continue;
+    }
+    if (in_space) out.push_back(' ');
+    in_space = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+// --- suppressions -----------------------------------------------------------
+
+struct Suppression {
+  std::string rule;
+  std::string reason;
+};
+
+/// line → suppressions declared in a comment starting on that line.  A
+/// suppression covers its own line and the next one, so both trailing
+/// comments and comment-above style work.
+using SuppressionMap = std::map<unsigned, std::vector<Suppression>>;
+
+constexpr std::string_view kMarker = "farm-lint:";
+
+void parse_suppressions(std::string_view comment, unsigned line,
+                        SuppressionMap& out) {
+  std::size_t at = comment.find(kMarker);
+  while (at != std::string_view::npos) {
+    std::string_view rest = trim(comment.substr(at + kMarker.size()));
+    if (!starts_with(rest, "allow(")) break;
+    rest.remove_prefix(std::string_view("allow(").size());
+    const std::size_t close = rest.find(')');
+    if (close == std::string_view::npos) break;
+    const std::string_view ids = rest.substr(0, close);
+    const std::string_view reason = trim(rest.substr(close + 1));
+    if (!reason.empty()) {  // a bare allow() suppresses nothing
+      std::size_t start = 0;
+      while (start <= ids.size()) {
+        std::size_t comma = ids.find(',', start);
+        if (comma == std::string_view::npos) comma = ids.size();
+        const std::string_view id = trim(ids.substr(start, comma - start));
+        if (!id.empty()) {
+          out[line].push_back({std::string(id), std::string(reason)});
+        }
+        start = comma + 1;
+      }
+    }
+    at = comment.find(kMarker, at + kMarker.size());
+  }
+}
+
+[[nodiscard]] const Suppression* find_suppression(const SuppressionMap& sups,
+                                                 std::string_view rule,
+                                                 unsigned line) {
+  for (const unsigned l : {line, line > 0 ? line - 1 : 0u}) {
+    const auto it = sups.find(l);
+    if (it == sups.end()) continue;
+    for (const Suppression& s : it->second) {
+      if (s.rule == rule) return &s;
+    }
+  }
+  return nullptr;
+}
+
+// --- rule context -----------------------------------------------------------
+
+class Linter {
+ public:
+  Linter(std::string_view path, std::string_view content)
+      : path_(path), tokens_(tokenize(content)) {
+    for (const Token& t : tokens_) {
+      if (t.kind == TokKind::kComment) {
+        parse_suppressions(t.text, t.line, suppressions_);
+      } else if (t.kind != TokKind::kPreproc) {
+        code_.push_back(&t);
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<Finding> run() {
+    if (in_sim_path(path_)) {
+      rule_r1();
+      rule_r2();
+      rule_r3();
+    }
+    if (is_header(path_)) rule_r4();
+    return std::move(findings_);
+  }
+
+ private:
+  void add(std::string rule, unsigned line, std::string message) {
+    Finding f;
+    f.file = std::string(path_);
+    f.line = line;
+    f.rule = std::move(rule);
+    f.message = std::move(message);
+    if (const Suppression* s = find_suppression(suppressions_, f.rule, line)) {
+      f.suppressed = true;
+      f.suppress_reason = s->reason;
+    }
+    findings_.push_back(std::move(f));
+  }
+
+  [[nodiscard]] const Token* code(std::size_t i) const {
+    return i < code_.size() ? code_[i] : nullptr;
+  }
+  [[nodiscard]] bool code_is(std::size_t i, std::string_view text) const {
+    const Token* t = code(i);
+    return t != nullptr && t->text == text;
+  }
+
+  // --- R1: no nondeterminism in sim paths ----------------------------------
+
+  void rule_r1() {
+    static constexpr std::array<std::string_view, 4> kUnordered = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    static constexpr std::array<std::string_view, 7> kClockish = {
+        "random_device",  "system_clock",  "steady_clock",
+        "high_resolution_clock", "gettimeofday", "clock_gettime",
+        "timespec_get"};
+
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      const Token& t = *code_[i];
+      if (t.kind != TokKind::kIdent) continue;
+
+      if (std::find(kUnordered.begin(), kUnordered.end(), t.text) !=
+          kUnordered.end()) {
+        add("R1", t.line,
+            "std::" + std::string(t.text) +
+                " in a sim path: iteration order depends on hash layout and "
+                "can leak into the event stream; use std::map/std::set or a "
+                "sorted vector");
+        continue;
+      }
+      if (std::find(kClockish.begin(), kClockish.end(), t.text) !=
+          kClockish.end()) {
+        add("R1", t.line,
+            std::string(t.text) +
+                " in a sim path: wall-clock/entropy reads make trials "
+                "unreproducible; simulated time comes from sim::Simulator, "
+                "randomness from seeded util::Xoshiro256");
+        continue;
+      }
+      if ((t.text == "rand" || t.text == "srand") && code_is(i + 1, "(")) {
+        // Skip member calls (x.rand(), x->rand()); ::rand and std::rand hit.
+        const Token* prev = i > 0 ? code_[i - 1] : nullptr;
+        const bool member =
+            prev != nullptr && (prev->text == "." || prev->text == "->");
+        if (!member) {
+          add("R1", t.line,
+              std::string(t.text) +
+                  "() in a sim path: shared libc RNG state breaks per-trial "
+                  "seed isolation; use util::Xoshiro256");
+        }
+        continue;
+      }
+      // Pointer-keyed ordered containers: std::map<T*, ...> / std::set<T*>.
+      if ((t.text == "map" || t.text == "set" || t.text == "multimap" ||
+           t.text == "multiset") &&
+          code_is(i + 1, "<") && i >= 2 && code_is(i - 1, "::") &&
+          code_is(i - 2, "std")) {
+        if (pointer_key_at(i + 2)) {
+          add("R1", t.line,
+              "std::" + std::string(t.text) +
+                  " keyed on a pointer: iteration follows allocation "
+                  "addresses, which vary run to run; key on a stable id");
+        }
+      }
+    }
+  }
+
+  /// Scans the first template argument starting at code index `i` (just past
+  /// '<'); true if a '*' appears in it at top nesting depth.
+  [[nodiscard]] bool pointer_key_at(std::size_t i) const {
+    int depth = 1;
+    bool first_arg = true;
+    for (; i < code_.size() && depth > 0; ++i) {
+      const std::string_view s = code_[i]->text;
+      if (s == "<") ++depth;
+      else if (s == ">") --depth;
+      else if (s == ">>") depth -= 2;
+      else if (s == "(") ++depth;  // function types; close enough
+      else if (s == ")") --depth;
+      else if (s == "," && depth == 1) first_arg = false;
+      else if (s == "*" && depth == 1 && first_arg) return true;
+      else if (s == ";" || s == "{") break;  // gave up: not a template id
+    }
+    return false;
+  }
+
+  // --- R2: seed-lane discipline --------------------------------------------
+
+  void rule_r2() {
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      const Token& t = *code_[i];
+      if (t.kind != TokKind::kIdent) continue;
+      if (t.text == "stream" && i > 0 && code_[i - 1]->text == "." &&
+          code_is(i + 1, "(") && code(i + 2) != nullptr &&
+          code_[i + 2]->kind == TokKind::kNumber) {
+        add("R2", t.line,
+            "raw integer literal in SeedSequence::stream(): lanes must be "
+            "named constants from util/seed_lanes.hpp so stream collisions "
+            "are reviewable in one place");
+      }
+      // Matches both the cast form `Xoshiro256(42)` and the declaration form
+      // `Xoshiro256 rng{42}` — one optional identifier before the open.
+      std::size_t open = i + 1;
+      if (code(open) != nullptr && code_[open]->kind == TokKind::kIdent)
+        ++open;
+      if (t.text == "Xoshiro256" &&
+          (code_is(open, "(") || code_is(open, "{")) &&
+          code(open + 1) != nullptr &&
+          code_[open + 1]->kind == TokKind::kNumber) {
+        add("R2", t.line,
+            "Xoshiro256 constructed from a raw integer literal: derive the "
+            "seed from SeedSequence/hash_string with a named lane instead");
+      }
+    }
+  }
+
+  // --- R3: unit hygiene ----------------------------------------------------
+
+  [[nodiscard]] static bool quantity_stem(std::string_view name) {
+    static constexpr std::array<std::string_view, 12> kStems = {
+        "timeout", "delay",    "interval", "duration", "period",  "latency",
+        "bandwidth", "lifetime", "mttf",   "mttr",     "backoff", "deadline"};
+    return std::any_of(kStems.begin(), kStems.end(), [&](std::string_view s) {
+      return name.find(s) != std::string_view::npos;
+    });
+  }
+
+  [[nodiscard]] static bool unit_suffixed(std::string_view name) {
+    static constexpr std::array<std::string_view, 31> kSuffixes = {
+        "sec",     "secs",   "seconds", "_s",     "_ms",      "_us",
+        "_ns",     "_min",   "minutes", "hours",  "_hrs",     "days",
+        "months",  "years",  "bytes",   "_kb",    "_mb",      "_gb",
+        "_tb",     "_pb",    "_bps",    "_mbps",  "_gbps",    "per_sec",
+        "per_hour", "scale", "factor",  "frac",   "fraction", "ratio",
+        "pct"};
+    return std::any_of(kSuffixes.begin(), kSuffixes.end(),
+                       [&](std::string_view s) { return ends_with(name, s); });
+  }
+
+  /// Magnitude-bearing literal: scientific notation or |value| >= 60 (no
+  /// plain second/byte count that large is unit-obvious).  Hex/binary
+  /// literals are bitmasks, not quantities.
+  [[nodiscard]] static bool magnitude_literal(std::string_view text) {
+    if (starts_with(text, "0x") || starts_with(text, "0X") ||
+        starts_with(text, "0b") || starts_with(text, "0B")) {
+      return false;
+    }
+    std::string digits;
+    for (const char c : text) {
+      if (c != '\'') digits.push_back(c);
+    }
+    if (digits.find('e') != std::string::npos ||
+        digits.find('E') != std::string::npos) {
+      return true;
+    }
+    return std::strtod(digits.c_str(), nullptr) >= 60.0;
+  }
+
+  void rule_r3() {
+    for (std::size_t i = 0; i + 2 < code_.size(); ++i) {
+      const Token& name = *code_[i];
+      if (name.kind != TokKind::kIdent || !code_is(i + 1, "=")) continue;
+      const Token& lit = *code_[i + 2];
+      if (lit.kind != TokKind::kNumber) continue;
+      const Token* term = code(i + 3);
+      if (term == nullptr ||
+          (term->text != ";" && term->text != "," && term->text != ")" &&
+           term->text != "}")) {
+        continue;
+      }
+      if (!quantity_stem(name.text) || unit_suffixed(name.text)) continue;
+      if (!magnitude_literal(lit.text)) continue;
+      add("R3", name.line,
+          "raw literal " + std::string(lit.text) + " assigned to '" +
+              std::string(name.text) +
+              "', whose name does not state its unit: route it through a "
+              "util::units helper (seconds(), hours(), gigabytes(), "
+              "mb_per_sec()) or add a unit suffix to the name");
+    }
+  }
+
+  // --- R4: header hygiene --------------------------------------------------
+
+  void rule_r4() {
+    bool guarded = false;
+    for (const Token& t : tokens_) {
+      if (t.kind != TokKind::kPreproc) continue;
+      const std::string d = normalize_directive(t.text);
+      if (starts_with(d, "pragma once") || starts_with(d, "ifndef")) {
+        guarded = true;
+        break;
+      }
+    }
+    if (!guarded) {
+      add("R4", 1,
+          "header has no include guard: add #pragma once near the top");
+    }
+    for (std::size_t i = 0; i + 1 < code_.size(); ++i) {
+      if (code_[i]->text == "using" && code_[i + 1]->text == "namespace") {
+        add("R4", code_[i]->line,
+            "`using namespace` in a header leaks into every includer; "
+            "qualify names or alias instead");
+      }
+    }
+  }
+
+  std::string_view path_;
+  std::vector<Token> tokens_;
+  std::vector<const Token*> code_;  // comments and preproc stripped
+  SuppressionMap suppressions_;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+// --- public API -------------------------------------------------------------
+
+const std::vector<RuleInfo>& rule_table() {
+  static const std::vector<RuleInfo> kRules = {
+      {"R1",
+       "no nondeterminism in sim paths (unordered containers, rand(), "
+       "random_device, wall clocks, pointer-keyed ordering)"},
+      {"R2",
+       "seed-lane discipline: stream()/Xoshiro256 take named lane constants, "
+       "not raw integer literals"},
+      {"R3",
+       "unit hygiene: magnitude literals flow through util::units or the "
+       "variable name carries a unit suffix"},
+      {"R4", "header hygiene: include guards, no `using namespace` in headers"},
+      {"R5",
+       "golden-output guard: manifest-pinned files keep their float/double "
+       "and accumulation structure until the manifest is bumped"},
+  };
+  return kRules;
+}
+
+bool in_sim_path(std::string_view path) {
+  static constexpr std::array<std::string_view, 5> kDirs = {
+      "src/sim/", "src/farm/", "src/fault/", "src/net/", "src/client/"};
+  return std::any_of(kDirs.begin(), kDirs.end(), [&](std::string_view d) {
+    return path.find(d) != std::string_view::npos;
+  });
+}
+
+bool is_header(std::string_view path) {
+  return ends_with(path, ".hpp") || ends_with(path, ".h") ||
+         ends_with(path, ".hh");
+}
+
+std::vector<Finding> lint_source(std::string_view path,
+                                 std::string_view content) {
+  return Linter(path, content).run();
+}
+
+// --- R5 ---------------------------------------------------------------------
+
+GoldenManifest GoldenManifest::parse(std::string_view text) {
+  GoldenManifest m;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    const std::string_view line = trim(text.substr(start, nl - start));
+    ++line_no;
+    start = nl + 1;
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t sp = line.find_last_of(" \t");
+    if (sp == std::string_view::npos) {
+      throw std::invalid_argument("golden manifest line " +
+                                  std::to_string(line_no) +
+                                  ": expected `path fingerprint-hex`");
+    }
+    GoldenEntry e;
+    e.path = std::string(trim(line.substr(0, sp)));
+    const std::string_view hex = trim(line.substr(sp + 1));
+    const auto [ptr, ec] = std::from_chars(hex.data(), hex.data() + hex.size(),
+                                           e.fingerprint, 16);
+    if (ec != std::errc{} || ptr != hex.data() + hex.size()) {
+      throw std::invalid_argument("golden manifest line " +
+                                  std::to_string(line_no) +
+                                  ": bad fingerprint `" + std::string(hex) +
+                                  "`");
+    }
+    m.entries.push_back(std::move(e));
+  }
+  return m;
+}
+
+std::string GoldenManifest::serialize() const {
+  std::ostringstream os;
+  os << "# farm_lint golden manifest (rule R5).\n"
+     << "# Each line pins a golden-output-critical file's float/double and\n"
+     << "# accumulation structure.  If farm_lint reports a mismatch: re-run\n"
+     << "# the golden regression tests, document any intended change, then\n"
+     << "# `farm_lint --update-manifest` to bump the fingerprints.\n";
+  for (const GoldenEntry& e : entries) {
+    os << e.path << ' ' << std::hex;
+    // Fixed-width hex keeps diffs aligned and the parser strict.
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(e.fingerprint));
+    os << std::dec << buf << '\n';
+  }
+  return os.str();
+}
+
+std::uint64_t golden_fingerprint(std::string_view content) {
+  const std::vector<Token> tokens = tokenize(content);
+  std::uint64_t h = util::hash_string("farm-golden-v1");
+  const Token* prev_ident = nullptr;
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kComment || t.kind == TokKind::kPreproc) continue;
+    if (t.kind == TokKind::kIdent) {
+      if (t.text == "float" || t.text == "double") {
+        h = util::hash_combine(h, util::hash_string(t.text));
+      }
+      prev_ident = &t;
+      continue;
+    }
+    if (t.kind == TokKind::kPunct && (t.text == "+=" || t.text == "-=")) {
+      h = util::hash_combine(h, util::hash_string(t.text));
+      if (prev_ident != nullptr) {
+        h = util::hash_combine(h, util::hash_string(prev_ident->text));
+      }
+    }
+  }
+  return h;
+}
+
+std::vector<Finding> check_manifest(
+    const GoldenManifest& manifest,
+    const std::function<std::optional<std::string>(const std::string&)>&
+        read_file) {
+  std::vector<Finding> findings;
+  for (const GoldenEntry& e : manifest.entries) {
+    const std::optional<std::string> content = read_file(e.path);
+    Finding f;
+    f.file = e.path;
+    f.line = 1;
+    f.rule = "R5";
+    if (!content.has_value()) {
+      f.message =
+          "golden-pinned file is missing; remove it from the manifest if it "
+          "was intentionally deleted";
+      findings.push_back(std::move(f));
+      continue;
+    }
+    const std::uint64_t fp = golden_fingerprint(*content);
+    if (fp != e.fingerprint) {
+      char got[17];
+      char want[17];
+      std::snprintf(got, sizeof got, "%016llx",
+                    static_cast<unsigned long long>(fp));
+      std::snprintf(want, sizeof want, "%016llx",
+                    static_cast<unsigned long long>(e.fingerprint));
+      f.message = std::string("float/accumulation structure changed "
+                              "(fingerprint ") +
+                  got + ", manifest pins " + want +
+                  "): verify the golden tables still pass, document any "
+                  "intended numeric change, then run farm_lint "
+                  "--update-manifest";
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
+// --- JSON report ------------------------------------------------------------
+
+void write_findings_json(std::ostream& os, std::string_view root,
+                         std::size_t files_scanned,
+                         const std::vector<Finding>& findings) {
+  const auto unsuppressed = static_cast<std::uint64_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [](const Finding& f) { return !f.suppressed; }));
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema_version", std::uint64_t{1});
+  w.kv("tool", "farm_lint");
+  w.kv("root", root);
+  w.kv("files_scanned", static_cast<std::uint64_t>(files_scanned));
+  w.kv("finding_count", unsuppressed);
+  w.kv("suppressed_count",
+       static_cast<std::uint64_t>(findings.size()) - unsuppressed);
+  w.key("findings");
+  w.begin_array();
+  for (const Finding& f : findings) {
+    w.begin_object();
+    w.kv("file", f.file);
+    w.kv("line", static_cast<std::uint64_t>(f.line));
+    w.kv("rule", f.rule);
+    w.kv("message", f.message);
+    w.kv("suppressed", f.suppressed);
+    if (f.suppressed) w.kv("reason", f.suppress_reason);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace farm::lint

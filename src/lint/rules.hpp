@@ -1,0 +1,106 @@
+// farm_lint rule library.
+//
+// Project-specific static checks that keep the Monte-Carlo reproduction
+// bit-identical and unit-safe:
+//
+//   R1  no nondeterminism in sim paths — std::unordered_* containers,
+//       rand()/srand(), std::random_device, wall-clock reads
+//       (system_clock/steady_clock/high_resolution_clock, gettimeofday)
+//       and pointer-keyed ordered containers (address-dependent iteration)
+//       are banned under src/sim, src/farm, src/fault, src/net, src/client.
+//   R2  seed-lane discipline — SeedSequence::stream() and Xoshiro256
+//       construction must name a seed-lane constant (util/seed_lanes.hpp),
+//       never a raw integer literal, in sim paths.
+//   R3  unit hygiene — a raw numeric literal assigned to a quantity-named
+//       variable whose name does not carry a unit suffix must instead flow
+//       through a util::units helper (seconds(), gigabytes(), mb_per_sec()).
+//   R4  header hygiene — headers need an include guard (#pragma once or
+//       #ifndef) and must not contain `using namespace`.
+//   R5  golden-output guard — files listed in the golden manifest must not
+//       change their float/double usage or accumulation structure without a
+//       manifest bump (`farm_lint --update-manifest`).
+//
+// Suppression: `// farm-lint: allow(R1) reason text` on a finding's line or
+// the line directly above suppresses that rule there.  A reason is
+// mandatory; a bare allow() suppresses nothing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace farm::lint {
+
+struct Finding {
+  std::string file;  // repo-relative path, '/' separators
+  unsigned line = 0;
+  std::string rule;  // "R1".."R5"
+  std::string message;
+  bool suppressed = false;
+  std::string suppress_reason;  // set iff suppressed
+};
+
+/// Rule ids with one-line summaries, for `farm_lint --list-rules` and docs.
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+[[nodiscard]] const std::vector<RuleInfo>& rule_table();
+
+/// True for paths under the directories whose code feeds the deterministic
+/// event loop (src/sim, src/farm, src/fault, src/net, src/client).
+[[nodiscard]] bool in_sim_path(std::string_view path);
+
+/// True for header files (.hpp / .h).
+[[nodiscard]] bool is_header(std::string_view path);
+
+/// Runs R1-R4 over one file.  `path` is the repo-relative path and selects
+/// which rules apply; `content` is the file text.  Suppressed findings are
+/// included (flagged `suppressed`) so reports can show them.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view path,
+                                               std::string_view content);
+
+// --- R5: golden manifest ----------------------------------------------------
+
+struct GoldenEntry {
+  std::string path;
+  std::uint64_t fingerprint = 0;
+};
+
+struct GoldenManifest {
+  std::vector<GoldenEntry> entries;
+
+  /// Parses `path fingerprint-hex` lines; '#' comments and blank lines are
+  /// ignored.  Throws std::invalid_argument on a malformed line.
+  [[nodiscard]] static GoldenManifest parse(std::string_view text);
+  [[nodiscard]] std::string serialize() const;
+};
+
+/// Order- and value-sensitive hash of a file's accumulation structure: the
+/// sequence of float/double type tokens and compound accumulations
+/// (identifier += / -=).  Changing a float to a double, reordering
+/// accumulation statements, or adding/removing one changes the fingerprint;
+/// renaming an unrelated variable does not.
+[[nodiscard]] std::uint64_t golden_fingerprint(std::string_view content);
+
+/// Checks every manifest entry against the current file contents.
+/// `read_file` returns the content of a repo-relative path, or nullopt if
+/// missing (which is itself a finding).
+[[nodiscard]] std::vector<Finding> check_manifest(
+    const GoldenManifest& manifest,
+    const std::function<std::optional<std::string>(const std::string&)>&
+        read_file);
+
+// --- reporting --------------------------------------------------------------
+
+/// Machine-readable findings document (consumed by CI and by the round-trip
+/// tests via util::JsonValue).
+void write_findings_json(std::ostream& os, std::string_view root,
+                         std::size_t files_scanned,
+                         const std::vector<Finding>& findings);
+
+}  // namespace farm::lint

@@ -24,7 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "net/fabric.hpp"
@@ -116,7 +116,10 @@ class FlowScheduler {
   std::vector<Transfer> slab_;
   std::vector<TransferId> free_ids_;
   std::vector<TransferId> active_;  // transfers with an open fabric flow
-  std::unordered_map<QueueKey, Queue> queues_;
+  // Ordered map keeps every per-queue walk independent of hash layout
+  // (farm_lint R1); keyed access dominates, so the O(log n) lookup is noise
+  // next to the fabric re-solves.
+  std::map<QueueKey, Queue> queues_;
   std::size_t queued_count_ = 0;
   double settled_at_ = 0.0;
   double local_bytes_ = 0.0;

@@ -76,7 +76,12 @@ class EventQueue {
   void drop_dead_top();
 
   std::vector<Entry> heap_;
+  // Both sets are membership-tested only, never iterated: event order comes
+  // exclusively from the (time, seq) heap above, so hash layout cannot leak
+  // into the simulation.
+  // farm-lint: allow(R1) membership-only unordered_set; never iterated
   std::unordered_set<std::uint64_t> pending_;    // issued, not fired/cancelled
+  // farm-lint: allow(R1) membership-only unordered_set; never iterated
   std::unordered_set<std::uint64_t> cancelled_;  // tombstones awaiting pop
   std::uint64_t next_id_ = 1;
   std::uint64_t next_seq_ = 0;

@@ -1,0 +1,39 @@
+// Named seed lanes for every independent RNG stream in the simulator.
+//
+// Each subsystem that owns more than one generator derives them from its
+// master seed via SeedSequence::stream(lane).  The lane indices are part of
+// the reproduction contract: golden tables pin the exact bit streams, so a
+// lane index silently colliding with (or drifting from) another stream would
+// corrupt results without failing any test.  farm_lint rule R2 therefore
+// bans raw integer literals in stream() calls and Xoshiro256 constructions
+// inside sim paths — every lane must be one of these named constants, which
+// makes collisions reviewable in one place.
+//
+// Lanes are scoped per master seed, so the StorageSystem lanes and the
+// FaultInjector lanes may reuse indices: the two subsystems hash different
+// master seeds.  Never reuse an index *within* one group.
+#pragma once
+
+#include <cstdint>
+
+namespace farm::util::lanes {
+
+// --- StorageSystem streams (SeedSequence{system_seed}) ----------------------
+/// SMART warning-time jitter (disk::SmartModel).
+inline constexpr std::uint64_t kSmart = 1;
+/// The system's general-purpose stream: disk lifetimes, latent-error draws.
+inline constexpr std::uint64_t kSystemRng = 2;
+/// Placement-policy internal randomness (straw2 / random placement).
+inline constexpr std::uint64_t kPlacement = 3;
+
+// --- FaultInjector streams (SeedSequence{fault_seed}) -----------------------
+/// Correlated failure-burst arrival process.
+inline constexpr std::uint64_t kFaultBurst = 0;
+/// Fail-slow onset and severity draws.
+inline constexpr std::uint64_t kFaultFailSlow = 1;
+/// Heartbeat false-negative (missed-beat) slips.
+inline constexpr std::uint64_t kFaultDetect = 2;
+/// Heartbeat false-positive (spurious accusation) arrivals.
+inline constexpr std::uint64_t kFaultFalsePositive = 3;
+
+}  // namespace farm::util::lanes

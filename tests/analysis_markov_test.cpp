@@ -107,11 +107,11 @@ TEST(Markov, ValidatesArguments) {
   p.tolerance = 1;
   p.disk_failure_rate = 0.0;
   p.rebuild_rate = 1.0;
-  EXPECT_THROW(group_mttdl(p), std::invalid_argument);
+  EXPECT_THROW((void)group_mttdl(p), std::invalid_argument);
   p.disk_failure_rate = 1.0;
   p.tolerance = 2;  // >= total_blocks
-  EXPECT_THROW(group_mttdl(p), std::invalid_argument);
-  EXPECT_THROW(mirrored_pair_mttdl_approx(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)group_mttdl(p), std::invalid_argument);
+  EXPECT_THROW((void)mirrored_pair_mttdl_approx(0.0, 1.0), std::invalid_argument);
 }
 
 // The validation contract: the discrete-event simulator, run with an

@@ -48,8 +48,8 @@ TEST(WindowModel, LossProbabilityCompose) {
 TEST(WindowModel, RejectsBadRates) {
   WindowModelParams p;
   p.disk_failure_rate = 0.0;
-  EXPECT_THROW(spare_losses_per_disk_failure(p), std::invalid_argument);
-  EXPECT_THROW(farm_losses_per_disk_failure(p), std::invalid_argument);
+  EXPECT_THROW((void)spare_losses_per_disk_failure(p), std::invalid_argument);
+  EXPECT_THROW((void)farm_losses_per_disk_failure(p), std::invalid_argument);
 }
 
 TEST(WindowModelCrossCheck, PredictsSimulatedSpareLosses) {

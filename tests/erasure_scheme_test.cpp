@@ -29,15 +29,15 @@ TEST(Scheme, MirroringIsReplication) {
 }
 
 TEST(Scheme, ParseRejectsMalformed) {
-  EXPECT_THROW(Scheme::parse(""), std::invalid_argument);
-  EXPECT_THROW(Scheme::parse("4"), std::invalid_argument);
-  EXPECT_THROW(Scheme::parse("4/"), std::invalid_argument);
-  EXPECT_THROW(Scheme::parse("/4"), std::invalid_argument);
-  EXPECT_THROW(Scheme::parse("a/b"), std::invalid_argument);
-  EXPECT_THROW(Scheme::parse("4/4"), std::invalid_argument);   // n must exceed m
-  EXPECT_THROW(Scheme::parse("6/4"), std::invalid_argument);
-  EXPECT_THROW(Scheme::parse("0/4"), std::invalid_argument);
-  EXPECT_THROW(Scheme::parse("4/6x"), std::invalid_argument);  // trailing junk
+  EXPECT_THROW((void)Scheme::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)Scheme::parse("4"), std::invalid_argument);
+  EXPECT_THROW((void)Scheme::parse("4/"), std::invalid_argument);
+  EXPECT_THROW((void)Scheme::parse("/4"), std::invalid_argument);
+  EXPECT_THROW((void)Scheme::parse("a/b"), std::invalid_argument);
+  EXPECT_THROW((void)Scheme::parse("4/4"), std::invalid_argument);   // n must exceed m
+  EXPECT_THROW((void)Scheme::parse("6/4"), std::invalid_argument);
+  EXPECT_THROW((void)Scheme::parse("0/4"), std::invalid_argument);
+  EXPECT_THROW((void)Scheme::parse("4/6x"), std::invalid_argument);  // trailing junk
 }
 
 TEST(Scheme, PaperSchemesMatchFigure3) {

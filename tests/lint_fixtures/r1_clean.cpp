@@ -1,0 +1,18 @@
+// Fixture: R1-clean code, including valid and *invalid* suppressions.
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+void r1_clean() {
+  std::map<int, double> ordered;       // ordered containers are fine
+  std::set<unsigned> ids;
+  std::vector<int> sorted_keys;        // as is sorting by value
+  // farm-lint: allow(R1) membership-only tombstone set; never iterated
+  std::unordered_set<int> tombstones;  // suppressed with a reason
+  std::unordered_set<int> oops;  // farm-lint: allow(R1)
+  // ^ line 13: reason-less allow() must NOT suppress
+  std::map<std::string, int*> ptr_values;  // pointer VALUES are fine
+  (void)ordered; (void)ids; (void)sorted_keys; (void)tombstones; (void)oops;
+  (void)ptr_values;
+}

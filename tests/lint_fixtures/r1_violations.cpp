@@ -1,0 +1,21 @@
+// Fixture: every construct rule R1 must catch.  Linted under a virtual
+// src/sim path by lint_test.cpp; never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+struct Disk;
+
+void r1_violations() {
+  std::unordered_map<int, double> histogram;          // line 12: unordered_map
+  std::unordered_set<int> seen;                       // line 13: unordered_set
+  int noise = rand();                                 // line 14: rand()
+  std::random_device rd;                              // line 15: random_device
+  auto t0 = std::chrono::steady_clock::now();         // line 16: steady_clock
+  auto t1 = std::chrono::system_clock::now();         // line 17: system_clock
+  std::map<Disk*, int> by_addr;                       // line 18: pointer key
+  (void)histogram; (void)seen; (void)noise; (void)rd; (void)t0; (void)t1;
+  (void)by_addr;
+}

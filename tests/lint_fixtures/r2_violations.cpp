@@ -1,0 +1,12 @@
+// Fixture: seed-lane discipline violations for rule R2.
+#include "util/random.hpp"
+#include "util/seed_lanes.hpp"
+
+void r2_violations(std::uint64_t seed) {
+  farm::util::SeedSequence seq{seed};
+  auto a = farm::util::Xoshiro256(seq.stream(0));   // line 7: raw lane 0
+  auto b = farm::util::Xoshiro256(seq.stream(17));  // line 8: raw lane 17
+  farm::util::Xoshiro256 c{42};                     // line 9: literal seed
+  auto d = farm::util::Xoshiro256(12345);           // line 10: literal seed
+  (void)a; (void)b; (void)c; (void)d;
+}

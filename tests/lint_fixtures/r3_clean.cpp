@@ -1,0 +1,12 @@
+// Fixture: R3-conformant unit handling.
+#include "util/units.hpp"
+
+struct CleanConfig {
+  double timeout_sec = 3600.0;     // unit suffix on the name
+  double detection_delay_hours = 2.0;
+  farm::util::Seconds retry_delay = farm::util::minutes(2);  // units helper
+  double rate_scale = 1.5;         // small scalar, no magnitude
+  double delay_frac = 0.25;        // fraction suffix
+  unsigned timeout_mask = 0xff00;  // hex literals are bitmasks, not units
+  double period_days = 365.25;
+};

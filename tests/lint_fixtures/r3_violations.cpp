@@ -1,0 +1,12 @@
+// Fixture: unit-hygiene violations for rule R3.
+struct Config {
+  double timeout = 3600.0;        // line 3: unsuffixed name, magnitude literal
+  double bandwidth = 16e6;        // line 4: scientific notation
+  double retry_delay = 120.0;     // line 5: unsuffixed delay
+};
+
+void r3_violations(Config& cfg) {
+  cfg.timeout = 7200.0;           // line 9: assignment form
+  double rebuild_duration = 1e4;  // line 10: unsuffixed duration
+  (void)rebuild_duration;
+}

@@ -1,0 +1,6 @@
+// Fixture: header with no include guard and a namespace leak (rule R4).
+#include <string>
+
+using namespace std;  // line 4: leaks into every includer
+
+inline string greet() { return "hi"; }

@@ -1,0 +1,9 @@
+// Fixture: R4-conformant header.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+// "using namespace" in a comment or string must not trip the rule:
+inline std::string quote() { return "using namespace std;"; }
+}  // namespace fixture

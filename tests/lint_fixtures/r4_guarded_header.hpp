@@ -1,0 +1,9 @@
+// Fixture: classic #ifndef guard also satisfies R4.
+#ifndef FARM_TESTS_LINT_FIXTURES_R4_GUARDED_HEADER_HPP
+#define FARM_TESTS_LINT_FIXTURES_R4_GUARDED_HEADER_HPP
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture
+
+#endif

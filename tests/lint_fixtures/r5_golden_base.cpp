@@ -1,0 +1,11 @@
+// Fixture: baseline accumulation structure for the R5 fingerprint tests.
+double accumulate_stats(const double* xs, int n) {
+  double total = 0.0;
+  double sum_sq = 0.0;
+  float small = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    total += xs[i];
+    sum_sq += xs[i] * xs[i];
+  }
+  return total + sum_sq + small;
+}

@@ -1,0 +1,14 @@
+// Fixture: cosmetically different from r5_golden_base.cpp — renamed
+// non-accumulator locals, reflowed comments, different whitespace — but the
+// same float/double and accumulation structure.  The R5 fingerprint must
+// match the base fixture exactly.
+double accumulate_stats(const double* values, int count) {
+  double total = 0.0;  // running first moment
+  double sum_sq = 0.0; /* running second moment */
+  float small = 0.0f;
+  for (int j = 0; j < count; ++j) {
+    total += values[j];
+    sum_sq += values[j] * values[j];
+  }
+  return total + sum_sq + small;
+}

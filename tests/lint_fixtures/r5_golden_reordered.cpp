@@ -1,0 +1,13 @@
+// Fixture: same statements as r5_golden_base.cpp with the two accumulations
+// swapped — a reordering that changes floating-point results.  The R5
+// fingerprint must differ from the base fixture.
+double accumulate_stats(const double* xs, int n) {
+  double total = 0.0;
+  double sum_sq = 0.0;
+  float small = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    sum_sq += xs[i] * xs[i];
+    total += xs[i];
+  }
+  return total + sum_sq + small;
+}

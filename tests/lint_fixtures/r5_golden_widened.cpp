@@ -1,0 +1,13 @@
+// Fixture: identical to r5_golden_base.cpp except the float accumulator was
+// widened to double — exactly the silent numeric change R5 exists to catch.
+// The fingerprint must differ from the base fixture.
+double accumulate_stats(const double* xs, int n) {
+  double total = 0.0;
+  double sum_sq = 0.0;
+  double small = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += xs[i];
+    sum_sq += xs[i] * xs[i];
+  }
+  return total + sum_sq + small;
+}

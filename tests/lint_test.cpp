@@ -1,0 +1,280 @@
+// Tests for the farm_lint rule library: tokenizer behaviour, every rule's
+// positive/negative/suppressed cases (driven by the fixtures under
+// tests/lint_fixtures/), the R5 golden fingerprint, and a JSON round-trip of
+// the findings document through util::JsonValue.
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lexer.hpp"
+#include "lint/rules.hpp"
+#include "util/json.hpp"
+
+namespace farm::lint {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(FARM_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+std::vector<Finding> lint_fixture(const std::string& virtual_path,
+                                  const std::string& name) {
+  return lint_source(virtual_path, read_fixture(name));
+}
+
+std::size_t count_rule(const std::vector<Finding>& fs, std::string_view rule,
+                       bool suppressed = false) {
+  return static_cast<std::size_t>(
+      std::count_if(fs.begin(), fs.end(), [&](const Finding& f) {
+        return f.rule == rule && f.suppressed == suppressed;
+      }));
+}
+
+// --- tokenizer --------------------------------------------------------------
+
+TEST(LintLexer, ClassifiesBasicTokens) {
+  const auto toks = tokenize("int x = 42; // trailing\n\"str\" 'c' 3.5e-2");
+  ASSERT_EQ(toks.size(), 9u);
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[3].kind, TokKind::kNumber);
+  EXPECT_EQ(toks[5].kind, TokKind::kComment);
+  EXPECT_EQ(toks[6].kind, TokKind::kString);
+  EXPECT_EQ(toks[6].line, 2u);
+  EXPECT_EQ(toks[7].kind, TokKind::kCharLit);
+  EXPECT_EQ(toks[8].text, "3.5e-2");
+}
+
+TEST(LintLexer, BannedNameInsideStringOrCommentIsNotCode) {
+  const auto fs = lint_source("src/sim/x.cpp",
+                              "// std::unordered_map in a comment\n"
+                              "const char* s = \"std::rand() here\";\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintLexer, RawStringsAndDigitSeparators) {
+  const auto toks = tokenize("R\"(no \"escape\" needed)\" 1'000'000 0xff");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokKind::kString);
+  EXPECT_EQ(toks[1].kind, TokKind::kNumber);
+  EXPECT_EQ(toks[1].text, "1'000'000");
+  EXPECT_EQ(toks[2].text, "0xff");
+}
+
+TEST(LintLexer, PreprocessorDirectivesFoldContinuations) {
+  const auto toks = tokenize("#define ADD(a, b) \\\n  ((a) + (b))\nint x;");
+  ASSERT_GE(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokKind::kPreproc);
+  EXPECT_NE(toks[0].text.find("(a) + (b)"), std::string_view::npos);
+  EXPECT_EQ(toks[1].text, "int");
+  EXPECT_EQ(toks[1].line, 3u);
+}
+
+// --- path classification ----------------------------------------------------
+
+TEST(LintPaths, SimPathSelection) {
+  EXPECT_TRUE(in_sim_path("src/sim/event_queue.hpp"));
+  EXPECT_TRUE(in_sim_path("src/farm/recovery.cpp"));
+  EXPECT_TRUE(in_sim_path("src/fault/fault_injector.cpp"));
+  EXPECT_TRUE(in_sim_path("src/net/fabric.cpp"));
+  EXPECT_TRUE(in_sim_path("src/client/service_queue.cpp"));
+  EXPECT_FALSE(in_sim_path("src/util/json.cpp"));
+  EXPECT_FALSE(in_sim_path("src/analysis/scenario.cpp"));
+  EXPECT_FALSE(in_sim_path("tests/farm_recovery_test.cpp"));
+}
+
+TEST(LintPaths, HeaderDetection) {
+  EXPECT_TRUE(is_header("src/farm/recovery.hpp"));
+  EXPECT_TRUE(is_header("legacy.h"));
+  EXPECT_FALSE(is_header("src/farm/recovery.cpp"));
+}
+
+// --- R1 ---------------------------------------------------------------------
+
+TEST(LintR1, FlagsEveryNondeterminismSource) {
+  const auto fs = lint_fixture("src/sim/fixture.cpp", "r1_violations.cpp");
+  EXPECT_EQ(count_rule(fs, "R1"), 7u);
+  std::vector<unsigned> lines;
+  for (const auto& f : fs) lines.push_back(f.line);
+  EXPECT_EQ(lines, (std::vector<unsigned>{12, 13, 14, 15, 16, 17, 18}));
+}
+
+TEST(LintR1, OutsideSimPathsIsNotChecked) {
+  const auto fs = lint_fixture("tests/fixture.cpp", "r1_violations.cpp");
+  EXPECT_EQ(count_rule(fs, "R1"), 0u);
+}
+
+TEST(LintR1, CleanFixtureAndSuppressionSemantics) {
+  const auto fs = lint_fixture("src/farm/fixture.cpp", "r1_clean.cpp");
+  // One properly-suppressed unordered_set, one reason-less allow() that must
+  // NOT suppress; ordered containers and pointer values stay silent.
+  EXPECT_EQ(count_rule(fs, "R1", /*suppressed=*/true), 1u);
+  ASSERT_EQ(count_rule(fs, "R1", /*suppressed=*/false), 1u);
+  const auto it =
+      std::find_if(fs.begin(), fs.end(),
+                   [](const Finding& f) { return f.suppressed; });
+  ASSERT_NE(it, fs.end());
+  EXPECT_NE(it->suppress_reason.find("membership-only"), std::string::npos);
+}
+
+// --- R2 ---------------------------------------------------------------------
+
+TEST(LintR2, FlagsRawLanesAndLiteralSeeds) {
+  const auto fs = lint_fixture("src/fault/fixture.cpp", "r2_violations.cpp");
+  EXPECT_EQ(count_rule(fs, "R2"), 4u);
+}
+
+TEST(LintR2, NamedLanesAndJustifiedSuppressionsPass) {
+  const auto fs = lint_fixture("src/fault/fixture.cpp", "r2_clean.cpp");
+  EXPECT_EQ(count_rule(fs, "R2", /*suppressed=*/false), 0u);
+  EXPECT_EQ(count_rule(fs, "R2", /*suppressed=*/true), 1u);
+}
+
+// --- R3 ---------------------------------------------------------------------
+
+TEST(LintR3, FlagsUnsuffixedMagnitudeLiterals) {
+  const auto fs = lint_fixture("src/client/fixture.cpp", "r3_violations.cpp");
+  EXPECT_EQ(count_rule(fs, "R3"), 5u);
+}
+
+TEST(LintR3, UnitSuffixesHelpersAndMasksPass) {
+  const auto fs = lint_fixture("src/client/fixture.cpp", "r3_clean.cpp");
+  EXPECT_EQ(count_rule(fs, "R3"), 0u);
+}
+
+// --- R4 ---------------------------------------------------------------------
+
+TEST(LintR4, FlagsGuardlessHeaderAndNamespaceLeak) {
+  const auto fs = lint_fixture("src/util/fixture.hpp", "r4_bad_header.hpp");
+  ASSERT_EQ(count_rule(fs, "R4"), 2u);
+  EXPECT_EQ(fs[0].line, 1u);  // missing guard reports at the top
+  EXPECT_EQ(fs[1].line, 4u);  // using namespace std
+}
+
+TEST(LintR4, PragmaOnceAndIfndefGuardsPass) {
+  EXPECT_TRUE(lint_fixture("src/util/a.hpp", "r4_good_header.hpp").empty());
+  EXPECT_TRUE(lint_fixture("src/util/b.hpp", "r4_guarded_header.hpp").empty());
+}
+
+TEST(LintR4, SourceFilesAreExempt) {
+  const auto fs = lint_fixture("src/util/fixture.cpp", "r4_bad_header.hpp");
+  EXPECT_EQ(count_rule(fs, "R4"), 0u);
+}
+
+// --- R5 ---------------------------------------------------------------------
+
+TEST(LintR5, FingerprintIgnoresCosmeticChanges) {
+  EXPECT_EQ(golden_fingerprint(read_fixture("r5_golden_base.cpp")),
+            golden_fingerprint(read_fixture("r5_golden_cosmetic.cpp")));
+}
+
+TEST(LintR5, FingerprintSeesReorderedAccumulation) {
+  EXPECT_NE(golden_fingerprint(read_fixture("r5_golden_base.cpp")),
+            golden_fingerprint(read_fixture("r5_golden_reordered.cpp")));
+}
+
+TEST(LintR5, FingerprintSeesFloatWidening) {
+  EXPECT_NE(golden_fingerprint(read_fixture("r5_golden_base.cpp")),
+            golden_fingerprint(read_fixture("r5_golden_widened.cpp")));
+}
+
+TEST(LintR5, ManifestRoundTripAndChecks) {
+  const std::string base = read_fixture("r5_golden_base.cpp");
+  GoldenManifest m;
+  m.entries.push_back({"src/farm/base.cpp", golden_fingerprint(base)});
+  m.entries.push_back({"src/farm/gone.cpp", 0xdeadbeefULL});
+
+  const GoldenManifest parsed = GoldenManifest::parse(m.serialize());
+  ASSERT_EQ(parsed.entries.size(), 2u);
+  EXPECT_EQ(parsed.entries[0].path, "src/farm/base.cpp");
+  EXPECT_EQ(parsed.entries[0].fingerprint, m.entries[0].fingerprint);
+
+  const auto findings = check_manifest(
+      parsed, [&](const std::string& p) -> std::optional<std::string> {
+        if (p == "src/farm/base.cpp") return base;
+        return std::nullopt;
+      });
+  ASSERT_EQ(findings.size(), 1u);  // matching file is silent, missing is not
+  EXPECT_EQ(findings[0].rule, "R5");
+  EXPECT_EQ(findings[0].file, "src/farm/gone.cpp");
+  EXPECT_NE(findings[0].message.find("missing"), std::string::npos);
+}
+
+TEST(LintR5, MismatchedFingerprintIsAFinding) {
+  const std::string base = read_fixture("r5_golden_base.cpp");
+  GoldenManifest m;
+  m.entries.push_back({"src/farm/base.cpp", golden_fingerprint(base) ^ 1u});
+  const auto findings = check_manifest(
+      m, [&](const std::string&) -> std::optional<std::string> {
+        return base;
+      });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("--update-manifest"), std::string::npos);
+}
+
+TEST(LintR5, MalformedManifestThrows) {
+  EXPECT_THROW((void)GoldenManifest::parse("just-a-path-no-fingerprint\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)GoldenManifest::parse("src/x.cpp nothex!!\n"),
+               std::invalid_argument);
+  EXPECT_TRUE(GoldenManifest::parse("# only a comment\n\n").entries.empty());
+}
+
+// --- JSON report ------------------------------------------------------------
+
+TEST(LintJson, FindingsDocumentRoundTrips) {
+  auto findings = lint_fixture("src/sim/fixture.cpp", "r1_violations.cpp");
+  auto sup = lint_fixture("src/fault/fixture.cpp", "r2_clean.cpp");
+  findings.insert(findings.end(), sup.begin(), sup.end());
+
+  std::ostringstream os;
+  write_findings_json(os, "/repo", 2, findings);
+
+  const util::JsonValue doc = util::JsonValue::parse(os.str());
+  EXPECT_EQ(doc.at("schema_version").as_number(), 1.0);
+  EXPECT_EQ(doc.at("tool").as_string(), "farm_lint");
+  EXPECT_EQ(doc.at("root").as_string(), "/repo");
+  EXPECT_EQ(doc.at("files_scanned").as_number(), 2.0);
+  EXPECT_EQ(doc.at("finding_count").as_number(), 7.0);
+  EXPECT_EQ(doc.at("suppressed_count").as_number(), 1.0);
+
+  const auto& arr = doc.at("findings").as_array();
+  ASSERT_EQ(arr.size(), findings.size());
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    EXPECT_EQ(arr[i].at("file").as_string(), findings[i].file);
+    EXPECT_EQ(arr[i].at("line").as_number(),
+              static_cast<double>(findings[i].line));
+    EXPECT_EQ(arr[i].at("rule").as_string(), findings[i].rule);
+    EXPECT_EQ(arr[i].at("suppressed").as_bool(), findings[i].suppressed);
+    if (findings[i].suppressed) {
+      EXPECT_EQ(arr[i].at("reason").as_string(), findings[i].suppress_reason);
+    } else {
+      EXPECT_EQ(arr[i].find("reason"), nullptr);
+    }
+  }
+}
+
+TEST(LintRules, TableListsAllFiveRules) {
+  const auto& table = rule_table();
+  ASSERT_EQ(table.size(), 5u);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    // Built with += to dodge GCC 12's -Wrestrict false positive on
+    // string operator+ (GCC PR105651), which -Werror turns fatal.
+    std::string want = "R";
+    want += std::to_string(i + 1);
+    EXPECT_EQ(table[i].id, want);
+  }
+}
+
+}  // namespace
+}  // namespace farm::lint

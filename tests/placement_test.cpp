@@ -105,8 +105,8 @@ TEST_P(PolicyProperty, DifferentSeedsGiveDifferentPlacements) {
 INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyProperty,
                          testing::Values(PolicyKind::kRush, PolicyKind::kRandom,
                                          PolicyKind::kChained, PolicyKind::kStraw2),
-                         [](const testing::TestParamInfo<PolicyKind>& info) {
-                           return to_string(info.param);
+                         [](const testing::TestParamInfo<PolicyKind>& pi) {
+                           return to_string(pi.param);
                          });
 
 // --- straw2-specific properties ---------------------------------------------
@@ -214,7 +214,7 @@ TEST(Rush, ResolveClusterConsistentWithCandidate) {
 
 TEST(Rush, NoClustersThrows) {
   RushPlacement rush(1);
-  EXPECT_THROW(rush.candidate(0, 0), std::logic_error);
+  EXPECT_THROW((void)rush.candidate(0, 0), std::logic_error);
   EXPECT_THROW(rush.add_cluster(5, 0.0), std::invalid_argument);
   EXPECT_THROW(rush.add_cluster(5, -1.0), std::invalid_argument);
 }

@@ -211,7 +211,11 @@ TEST(ObjectStore, NewDisksBecomeRecoveryTargets) {
 TEST(ObjectStore, BalancedPlacementAcrossDisks) {
   ObjectStore store(mirror_config(), 10);
   for (int i = 0; i < 50; ++i) {
-    store.put("o" + std::to_string(i), random_bytes(128 << 10, 100 + i));
+    // Built via += rather than operator+ to dodge GCC 12's -Wrestrict false
+    // positive on the inlined temporary concatenation (GCC PR105651).
+    std::string name = "o";
+    name += std::to_string(i);
+    store.put(name, random_bytes(128 << 10, 100 + i));
   }
   // 50 objects x 2 groups x 2 blocks = 200 blocks over 10 disks.
   std::size_t min = SIZE_MAX, max = 0;

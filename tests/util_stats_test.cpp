@@ -59,8 +59,8 @@ TEST(ZForConfidence, KnownQuantiles) {
   EXPECT_NEAR(z_for_confidence(0.95), 1.959964, 1e-4);
   EXPECT_NEAR(z_for_confidence(0.99), 2.575829, 1e-4);
   EXPECT_NEAR(z_for_confidence(0.6827), 1.0, 1e-3);
-  EXPECT_THROW(z_for_confidence(0.0), std::invalid_argument);
-  EXPECT_THROW(z_for_confidence(1.0), std::invalid_argument);
+  EXPECT_THROW((void)z_for_confidence(0.0), std::invalid_argument);
+  EXPECT_THROW((void)z_for_confidence(1.0), std::invalid_argument);
 }
 
 TEST(NormalCdf, Symmetry) {

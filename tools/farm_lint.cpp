@@ -1,0 +1,237 @@
+// farm_lint — project-specific determinism and unit-safety checker.
+//
+//   farm_lint [--root DIR] [files...]     lint the repo (or specific files)
+//   farm_lint --json                      machine-readable findings document
+//   farm_lint --list-rules                print the rule table
+//   farm_lint --update-manifest           rewrite the golden manifest (R5)
+//   farm_lint --include-suppressed        show suppressed findings too
+//   farm_lint --manifest PATH             override the manifest location
+//
+// Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/IO error.
+//
+// With no file arguments the tool walks src/, bench/, tests/, tools/ and
+// examples/ under --root (default: the current directory), skipping
+// tests/lint_fixtures/ — those files violate the rules on purpose.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kDefaultManifest = "tools/golden_manifest.txt";
+
+struct Options {
+  std::string root = ".";
+  std::string manifest;  // empty: <root>/tools/golden_manifest.txt if present
+  std::vector<std::string> files;
+  bool json = false;
+  bool list_rules = false;
+  bool update_manifest = false;
+  bool include_suppressed = false;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: farm_lint [--root DIR] [--manifest PATH] [--json]\n"
+        "                 [--list-rules] [--update-manifest]\n"
+        "                 [--include-suppressed] [files...]\n";
+}
+
+[[nodiscard]] std::optional<std::string> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+[[nodiscard]] bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" ||
+         ext == ".hh";
+}
+
+/// Repo-relative path with '/' separators (the form rules and reports use).
+[[nodiscard]] std::string rel_path(const fs::path& root, const fs::path& p) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  std::string s = (ec ? p : rel).generic_string();
+  return s;
+}
+
+[[nodiscard]] std::vector<std::string> collect_files(const fs::path& root) {
+  static constexpr const char* kDirs[] = {"src", "bench", "tests", "tools",
+                                          "examples"};
+  std::vector<std::string> out;
+  for (const char* dir : kDirs) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !lintable(entry.path())) continue;
+      std::string rel = rel_path(root, entry.path());
+      if (rel.find("lint_fixtures") != std::string::npos) continue;
+      out.push_back(std::move(rel));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "farm_lint: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      opt.root = next();
+    } else if (arg == "--manifest") {
+      opt.manifest = next();
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--list-rules") {
+      opt.list_rules = true;
+    } else if (arg == "--update-manifest") {
+      opt.update_manifest = true;
+    } else if (arg == "--include-suppressed") {
+      opt.include_suppressed = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "farm_lint: unknown option " << arg << '\n';
+      usage(std::cerr);
+      return 2;
+    } else {
+      opt.files.push_back(arg);
+    }
+  }
+
+  if (opt.list_rules) {
+    for (const auto& r : farm::lint::rule_table()) {
+      std::cout << r.id << "  " << r.summary << '\n';
+    }
+    return 0;
+  }
+
+  const fs::path root = opt.root;
+  if (!fs::exists(root)) {
+    std::cerr << "farm_lint: root " << root << " does not exist\n";
+    return 2;
+  }
+
+  fs::path manifest_path =
+      opt.manifest.empty() ? root / kDefaultManifest : fs::path(opt.manifest);
+
+  // --- R5 manifest ----------------------------------------------------------
+  farm::lint::GoldenManifest manifest;
+  bool have_manifest = false;
+  if (const auto text = read_file(manifest_path)) {
+    try {
+      manifest = farm::lint::GoldenManifest::parse(*text);
+      have_manifest = true;
+    } catch (const std::exception& e) {
+      std::cerr << "farm_lint: " << manifest_path.generic_string() << ": "
+                << e.what() << '\n';
+      return 2;
+    }
+  } else if (!opt.manifest.empty()) {
+    std::cerr << "farm_lint: cannot read manifest " << opt.manifest << '\n';
+    return 2;
+  }
+
+  if (opt.update_manifest) {
+    if (!have_manifest) {
+      std::cerr << "farm_lint: no manifest at "
+                << manifest_path.generic_string() << " to update\n";
+      return 2;
+    }
+    for (auto& entry : manifest.entries) {
+      const auto content = read_file(root / entry.path);
+      if (!content) {
+        std::cerr << "farm_lint: manifest-pinned " << entry.path
+                  << " is missing; remove the line by hand\n";
+        return 2;
+      }
+      entry.fingerprint = farm::lint::golden_fingerprint(*content);
+    }
+    std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
+    out << manifest.serialize();
+    if (!out) {
+      std::cerr << "farm_lint: cannot write "
+                << manifest_path.generic_string() << '\n';
+      return 2;
+    }
+    std::cout << "farm_lint: updated " << manifest.entries.size()
+              << " fingerprints in " << manifest_path.generic_string() << '\n';
+    return 0;
+  }
+
+  // --- gather + lint --------------------------------------------------------
+  std::vector<std::string> files =
+      opt.files.empty() ? collect_files(root) : opt.files;
+
+  std::vector<farm::lint::Finding> findings;
+  for (const std::string& f : files) {
+    const fs::path full = fs::path(f).is_absolute() ? fs::path(f) : root / f;
+    const auto content = read_file(full);
+    if (!content) {
+      std::cerr << "farm_lint: cannot read " << f << '\n';
+      return 2;
+    }
+    auto file_findings =
+        farm::lint::lint_source(rel_path(root, full), *content);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  if (have_manifest && opt.files.empty()) {
+    auto r5 = farm::lint::check_manifest(
+        manifest, [&](const std::string& p) { return read_file(root / p); });
+    findings.insert(findings.end(), std::make_move_iterator(r5.begin()),
+                    std::make_move_iterator(r5.end()));
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const farm::lint::Finding& a,
+                      const farm::lint::Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+
+  const auto unsuppressed = static_cast<std::size_t>(std::count_if(
+      findings.begin(), findings.end(),
+      [](const farm::lint::Finding& f) { return !f.suppressed; }));
+
+  if (opt.json) {
+    farm::lint::write_findings_json(std::cout, root.generic_string(),
+                                    files.size(), findings);
+  } else {
+    for (const auto& f : findings) {
+      if (f.suppressed && !opt.include_suppressed) continue;
+      std::cout << f.file << ':' << f.line << ": " << f.rule << ": "
+                << f.message;
+      if (f.suppressed) std::cout << " [suppressed: " << f.suppress_reason << ']';
+      std::cout << '\n';
+    }
+    std::cout << "farm_lint: " << files.size() << " files, " << unsuppressed
+              << " findings (" << findings.size() - unsuppressed
+              << " suppressed)\n";
+  }
+  return unsuppressed == 0 ? 0 : 1;
+}
