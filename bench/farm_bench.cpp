@@ -6,17 +6,24 @@
 //   farm_bench --trials 5 --scale 0.1 quick pass at reduced fidelity
 //   farm_bench --seed 42              change the master seed
 //   farm_bench --json out/            also write out/<scenario>.json
+//   farm_bench --spec run.json        run a composed spec (repeatable)
+//   farm_bench --dump-spec fig5_...   print a scenario's equivalent spec
+//   farm_bench --swarm 32 --seed 7    invariant-checked random spec sweep
 //
 // FARM_TRIALS / FARM_SCALE remain as environment fallbacks for the flags.
 // Per-point seeds derive from (master seed, scenario name, point label), so
-// a filtered run reproduces the full suite's numbers bit-for-bit.
+// a filtered run reproduces the full suite's numbers bit-for-bit — and a
+// spec that reuses a registered scenario's name and labels reproduces that
+// scenario's numbers through the composition path.
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -24,6 +31,9 @@
 
 #include "analysis/scenario.hpp"
 #include "util/table.hpp"
+#include "workload/spec.hpp"
+#include "workload/spec_scenario.hpp"
+#include "workload/swarm.hpp"
 
 #ifndef FARM_GIT_DESCRIBE
 #define FARM_GIT_DESCRIBE "unknown"
@@ -45,6 +55,12 @@ int usage(std::ostream& os, int exit_code) {
      << analysis::kDefaultMasterSeed << ")\n"
         "  --json DIR       write DIR/<scenario>.json for each run\n"
         "  --out PATH       write every run into one combined JSON file\n"
+        "  --spec FILE      run the composed spec in FILE (repeatable; without\n"
+        "                   an explicit --filter, only the specs run)\n"
+        "  --dump-spec NAME print the spec equivalent to scenario NAME and exit\n"
+        "  --swarm N        sample and run N random spec combinations, assert\n"
+        "                   invariants on each (uses --seed and --trials;\n"
+        "                   --out writes the machine-readable report)\n"
         "  --timeout-sec T  abandon any scenario still running after T seconds\n"
         "                   (default: no limit); the run is recorded as an\n"
         "                   error and the driver exits nonzero\n"
@@ -55,11 +71,15 @@ int usage(std::ostream& os, int exit_code) {
 struct Args {
   bool list = false;
   std::string filter = "*";
+  bool filter_set = false;  // explicit --filter alongside --spec runs both
   std::optional<std::size_t> trials;
   std::optional<double> scale;
   std::uint64_t seed = analysis::kDefaultMasterSeed;
   std::optional<std::string> json_dir;
   std::optional<std::string> out_path;
+  std::vector<std::string> spec_paths;
+  std::optional<std::string> dump_spec;
+  std::optional<std::size_t> swarm;
   double timeout_sec = 0.0;  // 0 = no watchdog
 };
 
@@ -80,6 +100,20 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.list = true;
     } else if (a == "--filter") {
       args.filter = next(i, "--filter");
+      args.filter_set = true;
+    } else if (a == "--spec") {
+      args.spec_paths.emplace_back(next(i, "--spec"));
+    } else if (a == "--dump-spec") {
+      args.dump_spec = next(i, "--dump-spec");
+    } else if (a == "--swarm") {
+      const char* v = next(i, "--swarm");
+      char* end = nullptr;
+      const long long n = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || n <= 0) {
+        throw std::invalid_argument("--swarm expects a positive integer, got '" +
+                                    std::string(v) + "'");
+      }
+      args.swarm = static_cast<std::size_t>(n);
     } else if (a == "--trials") {
       const char* v = next(i, "--trials");
       char* end = nullptr;
@@ -193,17 +227,6 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const std::vector<const analysis::Scenario*> selected =
-      registry.match(args.filter);
-  if (selected.empty()) {
-    std::cerr << "farm_bench: no scenario matches '" << args.filter
-              << "'; available:\n";
-    for (const analysis::Scenario* s : registry.all()) {
-      std::cerr << "  " << s->info().name << "\n";
-    }
-    return 1;
-  }
-
   analysis::ScenarioOptions opts;
   try {
     // CLI wins; FARM_TRIALS / FARM_SCALE are validated fallbacks.
@@ -221,6 +244,109 @@ int main(int argc, char** argv) {
     return 2;
   }
   opts.master_seed = args.seed;
+
+  if (args.dump_spec) {
+    const analysis::Scenario* s = registry.find(*args.dump_spec);
+    if (!s) {
+      std::cerr << "farm_bench: no scenario named '" << *args.dump_spec
+                << "'; available:\n";
+      for (const analysis::Scenario* sc : registry.all()) {
+        std::cerr << "  " << sc->info().name << "\n";
+      }
+      return 2;
+    }
+    try {
+      std::cout << workload::spec_to_json(workload::spec_from_scenario(*s, opts));
+    } catch (const std::exception& e) {
+      std::cerr << "farm_bench: " << e.what() << "\n";
+      return 2;
+    }
+    return 0;
+  }
+
+  if (args.swarm) {
+    workload::SwarmOptions sopts;
+    sopts.combos = *args.swarm;
+    sopts.master_seed = args.seed;
+    if (opts.trials > 0) sopts.trials = opts.trials;
+    const workload::SwarmReport report = workload::run_swarm(sopts);
+
+    util::Table table({"combo", "config", "loss", "invariants"});
+    for (const workload::SwarmComboResult& c : report.combos) {
+      table.add_row({c.label, c.summary,
+                     std::to_string(c.trials_with_loss) + "/" +
+                         std::to_string(c.trials),
+                     c.passed ? "pass" : "FAIL"});
+    }
+    std::cout << "=== swarm: " << report.combos.size() << " combos, "
+              << report.trials << " trials each, master seed "
+              << report.master_seed << " ===\n\n"
+              << table << "\ndigest: " << report.digest << "\n";
+    for (const workload::SwarmComboResult& c : report.combos) {
+      for (const analysis::CheckOutcome& chk : c.checks) {
+        if (!chk.passed) {
+          std::cerr << "farm_bench: " << c.label << " violated '" << chk.name
+                    << "': " << chk.detail << "\n";
+        }
+      }
+    }
+    if (args.out_path) {
+      std::ofstream out(*args.out_path);
+      if (!out) {
+        std::cerr << "farm_bench: cannot write '" << *args.out_path << "'\n";
+        return 2;
+      }
+      out << workload::to_json(report, FARM_GIT_DESCRIBE);
+      if (!out.flush()) {
+        std::cerr << "farm_bench: error writing '" << *args.out_path << "'\n";
+        return 2;
+      }
+      std::cout << "wrote " << *args.out_path << "\n";
+    }
+    if (report.combos_failed > 0) {
+      std::cerr << "farm_bench: " << report.combos_failed << " of "
+                << report.combos.size()
+                << " combos violated invariants (replay any combo with its "
+                   "repro_spec from the report and the same --seed)\n";
+      return 3;
+    }
+    return 0;
+  }
+
+  // Specs compose into Scenario instances and flow through the same loop as
+  // registry scenarios.  Without an explicit --filter, --spec runs only the
+  // specs (the registry default glob would drag the whole suite along).
+  std::vector<std::unique_ptr<workload::SpecScenario>> spec_scenarios;
+  for (const std::string& path : args.spec_paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "farm_bench: cannot read '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      spec_scenarios.push_back(std::make_unique<workload::SpecScenario>(
+          workload::parse_spec_text(text.str())));
+    } catch (const std::exception& e) {
+      std::cerr << "farm_bench: " << path << ": " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<const analysis::Scenario*> selected;
+  if (args.spec_paths.empty() || args.filter_set) {
+    selected = registry.match(args.filter);
+    if (selected.empty() && spec_scenarios.empty()) {
+      std::cerr << "farm_bench: no scenario matches '" << args.filter
+                << "'; available:\n";
+      for (const analysis::Scenario* s : registry.all()) {
+        std::cerr << "  " << s->info().name << "\n";
+      }
+      return 1;
+    }
+  }
+  for (const auto& s : spec_scenarios) selected.push_back(s.get());
 
   if (args.json_dir) {
     std::error_code ec;

@@ -194,6 +194,20 @@ void write_run(util::JsonWriter& w, const ScenarioRun& run,
     w.key("result");
     core::write_json(w, p.result);
     write_extra(w, p.extra);
+    // Gated on the invariant layer having run, so registry-scenario output
+    // keeps its exact pre-existing schema.
+    if (!p.checks.empty()) {
+      w.key("invariants");
+      w.begin_array();
+      for (const CheckOutcome& c : p.checks) {
+        w.begin_object();
+        w.kv("name", c.name);
+        w.kv("passed", c.passed);
+        if (!c.detail.empty()) w.kv("detail", c.detail);
+        w.end_object();
+      }
+      w.end_array();
+    }
     w.end_object();
   }
   w.end_array();

@@ -38,6 +38,15 @@ struct ScenarioOptions {
   std::function<void(const std::string&)> progress;
 };
 
+/// Outcome of one correctness check evaluated against a completed point
+/// (the src/workload invariant layer fills these).  `detail` explains a
+/// failure, or summarizes what was verified on success.
+struct CheckOutcome {
+  std::string name;
+  bool passed = true;
+  std::string detail;
+};
+
 /// One labelled point of a scenario run: the config it ran, the Monte-Carlo
 /// aggregate, the label-derived seed it used, wall-clock time, and any
 /// scenario-specific scalar metrics (utilization spread, write-load shares,
@@ -48,6 +57,9 @@ struct PointResult {
   std::uint64_t seed = 0;
   double elapsed_sec = 0.0;
   std::vector<std::pair<std::string, double>> extra;
+  /// Invariant outcomes; empty for registry scenarios (which predate the
+  /// invariant layer), so their JSON output is unchanged.
+  std::vector<CheckOutcome> checks;
 };
 
 /// A completed scenario: identity, the knobs it ran with, every point, and

@@ -384,8 +384,9 @@ const std::vector<RuleInfo>& rule_table() {
 }
 
 bool in_sim_path(std::string_view path) {
-  static constexpr std::array<std::string_view, 5> kDirs = {
-      "src/sim/", "src/farm/", "src/fault/", "src/net/", "src/client/"};
+  static constexpr std::array<std::string_view, 6> kDirs = {
+      "src/sim/",    "src/farm/",   "src/fault/",
+      "src/net/",    "src/client/", "src/workload/"};
   return std::any_of(kDirs.begin(), kDirs.end(), [&](std::string_view d) {
     return path.find(d) != std::string_view::npos;
   });

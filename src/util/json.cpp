@@ -164,9 +164,25 @@ class JsonParser {
   }
 
  private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::invalid_argument("JSON parse error at byte " +
-                                std::to_string(pos_) + ": " + what);
+  [[noreturn]] void fail(const std::string& what) const { fail_at(pos_, what); }
+
+  /// Errors carry line and column (1-based) so a mistyped spec file points
+  /// at the offending text, plus the byte offset for tooling.
+  [[noreturn]] void fail_at(std::size_t pos, const std::string& what) const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw std::invalid_argument("JSON parse error at line " +
+                                std::to_string(line) + ", column " +
+                                std::to_string(column) + " (byte " +
+                                std::to_string(pos) + "): " + what);
   }
 
   void skip_ws() {
@@ -240,7 +256,13 @@ class JsonParser {
     }
     while (true) {
       skip_ws();
+      const std::size_t key_pos = pos_;
       std::string k = parse_string();
+      // Reject duplicates: silently letting the last key win would make a
+      // mistyped-then-retyped spec field unpredictable.
+      for (const std::string& seen : v.keys_) {
+        if (seen == k) fail_at(key_pos, "duplicate object key '" + k + "'");
+      }
       skip_ws();
       expect(':');
       v.keys_.push_back(std::move(k));

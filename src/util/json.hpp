@@ -77,8 +77,9 @@ class JsonValue {
  public:
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
 
-  /// Parses one JSON document; throws std::invalid_argument with a byte
-  /// offset on malformed input or trailing garbage.
+  /// Parses one JSON document; throws std::invalid_argument naming the line,
+  /// column, and byte offset on malformed input, trailing garbage, or a
+  /// duplicate object key (last-wins would hide spec typos).
   [[nodiscard]] static JsonValue parse(std::string_view text);
 
   [[nodiscard]] Kind kind() const { return kind_; }

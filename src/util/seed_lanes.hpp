@@ -36,4 +36,10 @@ inline constexpr std::uint64_t kFaultDetect = 2;
 /// Heartbeat false-positive (spurious accusation) arrivals.
 inline constexpr std::uint64_t kFaultFalsePositive = 3;
 
+// --- Swarm sampler streams (SeedSequence{hash_combine(swarm_seed, index)}) --
+/// Random spec-combination sampling for `farm_bench --swarm`
+/// (workload::sample_combo_config).  Scoped per (swarm seed, combo index),
+/// so it may reuse an index from the groups above.
+inline constexpr std::uint64_t kSwarmSample = 0;
+
 }  // namespace farm::util::lanes

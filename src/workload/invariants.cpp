@@ -1,0 +1,359 @@
+#include "workload/invariants.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace farm::workload {
+
+namespace {
+
+using analysis::CheckOutcome;
+
+// Relative slack for comparisons between a repeated-add accumulation and a
+// count-times-size product; both are exact for integer-valued byte counts,
+// but block sizes need not be integral.
+constexpr double kRelTol = 1e-9;
+
+std::string fmt(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  return buf;
+}
+
+/// Concatenation via += — GCC 12's inlining of std::string operator+ chains
+/// trips -Wrestrict false positives under -Werror.
+template <typename... Parts>
+std::string cat(const Parts&... parts) {
+  std::string out;
+  ((out += parts), ...);
+  return out;
+}
+
+std::string trial_tag(std::size_t i) {
+  return cat("trial ", std::to_string(i), ": ");
+}
+
+/// Σ write bytes == rebuilds x block size; Σ read bytes <= m x rebuilds x
+/// block size (fewer when a rebuild found fewer than m live sources).
+/// Spurious rebuilds (false-positive cancellations) never reach
+/// complete_rebuild, so they charge no bytes and are excluded by design.
+CheckOutcome check_bytes_conserved(const core::SystemConfig& config,
+                                   const std::vector<core::TrialResult>& trials) {
+  CheckOutcome out{"bytes_conserved", true, ""};
+  if (!config.collect_recovery_load || trials.empty()) {
+    out.detail = "not evaluated (needs collect_recovery_load and per-trial capture)";
+    return out;
+  }
+  const double block = config.block_size().value();
+  const double m = static_cast<double>(config.scheme.data_blocks);
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const core::TrialResult& t = trials[i];
+    double written = 0.0;
+    for (double b : t.recovery_write_bytes) written += b;
+    double read = 0.0;
+    for (double b : t.recovery_read_bytes) read += b;
+    const double expect = static_cast<double>(t.rebuilds_completed) * block;
+    const double slack = kRelTol * (expect + written + 1.0);
+    if (std::abs(written - expect) > slack) {
+      out.passed = false;
+      out.detail = cat(trial_tag(i), "recovery writes ", fmt(written),
+                       " B != rebuilds x block = ", fmt(expect), " B");
+      return out;
+    }
+    const double read_cap = m * expect;
+    if (read > read_cap + kRelTol * (read_cap + 1.0)) {
+      out.passed = false;
+      out.detail = cat(trial_tag(i), "recovery reads ", fmt(read),
+                       " B exceed m x rebuilds x block = ", fmt(read_cap), " B");
+      return out;
+    }
+  }
+  out.detail = cat(std::to_string(trials.size()), " trials balanced");
+  return out;
+}
+
+/// data_lost <=> lost_groups > 0; lost groups bounded by the group count;
+/// first_loss finite exactly when something was lost; and the aggregate's
+/// trials_with_loss recounts from the per-trial results.
+CheckOutcome check_group_loss_accounting(
+    const core::SystemConfig& config,
+    const std::vector<core::TrialResult>& trials,
+    const core::MonteCarloResult& aggregate) {
+  CheckOutcome out{"group_loss_accounting", true, ""};
+  if (trials.empty()) {
+    out.detail = "not evaluated (needs per-trial capture)";
+    return out;
+  }
+  const std::uint64_t groups = config.group_count();
+  std::size_t with_loss = 0;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const core::TrialResult& t = trials[i];
+    if (t.data_lost != (t.lost_groups > 0)) {
+      out.passed = false;
+      out.detail = cat(trial_tag(i), "data_lost flag disagrees with lost_groups=",
+                       std::to_string(t.lost_groups));
+      return out;
+    }
+    if (t.lost_groups > groups) {
+      out.passed = false;
+      out.detail = cat(trial_tag(i), "lost_groups ", std::to_string(t.lost_groups),
+                       " exceeds group count ", std::to_string(groups));
+      return out;
+    }
+    if (t.data_lost != std::isfinite(t.first_loss.value())) {
+      out.passed = false;
+      out.detail = cat(trial_tag(i), "first_loss ", fmt(t.first_loss.value()),
+                       " inconsistent with data_lost");
+      return out;
+    }
+    if (t.data_lost) ++with_loss;
+  }
+  if (with_loss != aggregate.trials_with_loss) {
+    out.passed = false;
+    out.detail = cat("aggregate trials_with_loss ",
+                     std::to_string(aggregate.trials_with_loss),
+                     " != per-trial recount ", std::to_string(with_loss));
+    return out;
+  }
+  out.detail = cat(std::to_string(with_loss), "/", std::to_string(trials.size()),
+                   " trials lost data");
+  return out;
+}
+
+/// Monte-Carlo loss probability stays at or below the declared tolerance
+/// (inclusive: exactly-at-tolerance passes).
+CheckOutcome check_loss_within_tolerance(const core::MonteCarloResult& aggregate,
+                                         const InvariantTolerance& tol) {
+  CheckOutcome out{"loss_within_tolerance", true, ""};
+  const double p = aggregate.loss_probability();
+  if (p > tol.max_loss_probability) {
+    out.passed = false;
+    out.detail = cat("loss probability ", fmt(p), " exceeds declared maximum ",
+                     fmt(tol.max_loss_probability));
+    return out;
+  }
+  out.detail = cat("loss probability ", fmt(p), " <= ",
+                   fmt(tol.max_loss_probability));
+  return out;
+}
+
+/// The Wilson interval must bracket the point estimate inside [0, 1].
+/// Bracketing gets kRelTol slack: at the p = 0 and p = 1 edges the closed
+/// form lands a few ulps inside the point estimate.
+CheckOutcome check_loss_ci_sane(const core::MonteCarloResult& aggregate) {
+  CheckOutcome out{"loss_ci_sane", true, ""};
+  const double p = aggregate.loss_probability();
+  const double lo = aggregate.loss_ci.lo;
+  const double hi = aggregate.loss_ci.hi;
+  if (!(0.0 <= lo && lo <= p + kRelTol && p <= hi + kRelTol &&
+        hi <= 1.0 + kRelTol)) {
+    out.passed = false;
+    out.detail = cat("interval [", fmt(lo), ", ", fmt(hi),
+                     "] does not bracket p = ", fmt(p));
+    return out;
+  }
+  out.detail = cat("[", fmt(lo), ", ", fmt(hi), "] brackets ", fmt(p));
+  return out;
+}
+
+/// Windows of vulnerability: absent without rebuilds, bounded by the
+/// mission, mean <= max, exposure a fraction — and with a constant
+/// detector and no detector faults, no window can beat detection latency.
+CheckOutcome check_window_sane(const core::SystemConfig& config,
+                               const std::vector<core::TrialResult>& trials,
+                               const core::MonteCarloResult& aggregate) {
+  CheckOutcome out{"window_sane", true, ""};
+  const double mission = config.mission_time.value();
+  const bool exact_detection =
+      config.detector == core::DetectorKind::kConstant &&
+      !config.fault.detector.enabled;
+  const double latency_floor =
+      config.detection_latency.value() * (1.0 - kRelTol);
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const core::TrialResult& t = trials[i];
+    if (t.rebuilds_completed == 0 &&
+        (t.mean_window_sec != 0.0 || t.max_window_sec != 0.0)) {
+      out.passed = false;
+      out.detail = cat(trial_tag(i), "windows reported without any rebuild");
+      return out;
+    }
+    if (t.mean_window_sec < 0.0 || t.mean_window_sec > t.max_window_sec ||
+        t.max_window_sec > mission * (1.0 + kRelTol)) {
+      out.passed = false;
+      out.detail = cat(trial_tag(i), "window stats out of range: mean ",
+                       fmt(t.mean_window_sec), " s, max ", fmt(t.max_window_sec),
+                       " s, mission ", fmt(mission), " s");
+      return out;
+    }
+    if (t.degraded_exposure < 0.0 || t.degraded_exposure > 1.0) {
+      out.passed = false;
+      out.detail = cat(trial_tag(i), "degraded exposure ",
+                       fmt(t.degraded_exposure), " not a fraction");
+      return out;
+    }
+    if (exact_detection && t.rebuilds_completed > 0 &&
+        t.mean_window_sec < latency_floor) {
+      out.passed = false;
+      out.detail = cat(trial_tag(i), "mean window ", fmt(t.mean_window_sec),
+                       " s beats the ", fmt(config.detection_latency.value()),
+                       " s detection latency");
+      return out;
+    }
+  }
+  if (aggregate.mean_window_sec < 0.0 ||
+      aggregate.mean_window_sec > aggregate.max_window_sec * (1.0 + kRelTol) ||
+      aggregate.max_window_sec > mission * (1.0 + kRelTol)) {
+    // mean-of-means vs max-of-maxes: the ordering still must hold.
+    if (!(aggregate.mean_window_sec == 0.0 && aggregate.max_window_sec == 0.0)) {
+      out.passed = false;
+      out.detail = cat("aggregate window stats out of range: mean ",
+                       fmt(aggregate.mean_window_sec), " s, max ",
+                       fmt(aggregate.max_window_sec), " s");
+      return out;
+    }
+  }
+  out.detail = cat("windows within [0, mission]",
+                   exact_detection ? ", floored at detection latency" : "");
+  return out;
+}
+
+/// Client accounting: request counters must balance per trial, pooled
+/// quantiles must be monotone in the quantile, and the pooled
+/// SLO-violation fraction must respect the declared ceiling.
+CheckOutcome check_slo_floor(const std::vector<core::TrialResult>& trials,
+                             const core::MonteCarloResult& aggregate,
+                             const InvariantTolerance& tol) {
+  CheckOutcome out{"slo_floor", true, ""};
+  if (!aggregate.client.active) {
+    out.detail = "not evaluated (client I/O disabled)";
+    return out;
+  }
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const client::ClientSummary& c = trials[i].client;
+    if (!c.active) continue;
+    std::uint64_t phased = c.unavailable_requests;
+    for (std::uint64_t n : c.phase_counts) phased += n;
+    if (phased != c.requests) {
+      out.passed = false;
+      out.detail = cat(trial_tag(i), "phase counts + unavailable = ",
+                       std::to_string(phased), " != requests ",
+                       std::to_string(c.requests));
+      return out;
+    }
+    if (c.reads + c.writes != c.requests) {
+      out.passed = false;
+      out.detail = cat(trial_tag(i), "reads + writes != requests");
+      return out;
+    }
+  }
+  const double p50 = aggregate.client.overall_quantile(0.50);
+  const double p95 = aggregate.client.overall_quantile(0.95);
+  const double p99 = aggregate.client.overall_quantile(0.99);
+  const double p999 = aggregate.client.overall_quantile(0.999);
+  if (!(p50 <= p95 && p95 <= p99 && p99 <= p999)) {
+    out.passed = false;
+    out.detail = cat("pooled quantiles not monotone: p50 ", fmt(p50), ", p95 ",
+                     fmt(p95), ", p99 ", fmt(p99), ", p99.9 ", fmt(p999));
+    return out;
+  }
+  std::uint64_t served = 0;
+  std::uint64_t violated = 0;
+  for (std::size_t p = 0; p < client::kPhaseCount; ++p) {
+    const double f =
+        aggregate.client.slo_violation_fraction(static_cast<client::Phase>(p));
+    if (f < 0.0 || f > 1.0) {
+      out.passed = false;
+      out.detail = cat("phase ", std::to_string(p), " SLO-violation fraction ",
+                       fmt(f), " not a fraction");
+      return out;
+    }
+    served += aggregate.client.phase_counts[p];
+    violated += aggregate.client.slo_violations[p];
+  }
+  const double pooled =
+      served == 0 ? 0.0
+                  : static_cast<double>(violated) / static_cast<double>(served);
+  if (pooled > tol.max_slo_violation) {
+    out.passed = false;
+    out.detail = cat("pooled SLO-violation fraction ", fmt(pooled),
+                     " exceeds declared maximum ", fmt(tol.max_slo_violation));
+    return out;
+  }
+  out.detail = cat("pooled SLO-violation fraction ", fmt(pooled), " <= ",
+                   fmt(tol.max_slo_violation));
+  return out;
+}
+
+/// Detector-quality sanity: a clean detector reports no slips or spurious
+/// work; a faulty heartbeat detector's summed slip can't be less than one
+/// heartbeat interval per slip.
+CheckOutcome check_detector_sane(const core::SystemConfig& config,
+                                 const std::vector<core::TrialResult>& trials) {
+  CheckOutcome out{"detector_sane", true, ""};
+  const bool faulty = config.fault.detector.enabled;
+  const double beat = config.heartbeat_interval.value();
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const core::TrialResult& t = trials[i];
+    if (!faulty) {
+      if (t.detection_slips != 0 || t.detection_slip_sec != 0.0 ||
+          t.spurious_detections != 0 || t.spurious_rebuilds != 0 ||
+          t.spurious_cancelled != 0) {
+        out.passed = false;
+        out.detail = cat(trial_tag(i),
+                         "detector-fault counters nonzero with a clean detector");
+        return out;
+      }
+      continue;
+    }
+    if (t.spurious_cancelled > t.spurious_rebuilds) {
+      out.passed = false;
+      out.detail = cat(trial_tag(i), "cancelled ",
+                       std::to_string(t.spurious_cancelled),
+                       " spurious rebuilds but only started ",
+                       std::to_string(t.spurious_rebuilds));
+      return out;
+    }
+    const double slip_floor =
+        static_cast<double>(t.detection_slips) * beat * (1.0 - kRelTol);
+    if (config.detector == core::DetectorKind::kHeartbeat &&
+        t.detection_slip_sec < slip_floor) {
+      out.passed = false;
+      out.detail = cat(trial_tag(i), "summed slip ", fmt(t.detection_slip_sec),
+                       " s below ", std::to_string(t.detection_slips),
+                       " slips x ", fmt(beat), " s heartbeat");
+      return out;
+    }
+  }
+  out.detail = faulty ? "faulty-detector accounting consistent"
+                      : "clean detector reported no slips";
+  return out;
+}
+
+}  // namespace
+
+std::vector<CheckOutcome> evaluate_invariants(
+    const core::SystemConfig& config,
+    const std::vector<core::TrialResult>& trials,
+    const core::MonteCarloResult& aggregate,
+    const InvariantTolerance& tolerance) {
+  std::vector<CheckOutcome> out;
+  out.reserve(7);
+  out.push_back(check_bytes_conserved(config, trials));
+  out.push_back(check_group_loss_accounting(config, trials, aggregate));
+  out.push_back(check_loss_within_tolerance(aggregate, tolerance));
+  out.push_back(check_loss_ci_sane(aggregate));
+  out.push_back(check_window_sane(config, trials, aggregate));
+  out.push_back(check_slo_floor(trials, aggregate, tolerance));
+  out.push_back(check_detector_sane(config, trials));
+  return out;
+}
+
+bool all_passed(const std::vector<CheckOutcome>& checks) {
+  for (const CheckOutcome& c : checks) {
+    if (!c.passed) return false;
+  }
+  return true;
+}
+
+}  // namespace farm::workload

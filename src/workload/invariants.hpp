@@ -1,0 +1,40 @@
+// The invariant layer: physical-consistency checks evaluated against a
+// completed Monte-Carlo point.  Each check captures a property the
+// simulator must satisfy regardless of parameters — bytes rebuilt must
+// equal rebuilds times the block size, a trial loses data iff it lost a
+// group, windows of vulnerability cannot precede detection — so the swarm
+// harness can run thousands of never-before-tested parameter combinations
+// and still distinguish "unusual but correct" from "the model broke".
+//
+// Checks needing per-trial detail (byte conservation, client request
+// accounting) take the per-trial results captured by an observer; checks on
+// the aggregate take the MonteCarloResult.  A check whose preconditions are
+// absent (e.g. byte conservation without collect_recovery_load) passes with
+// a "not evaluated" detail rather than vanishing, so reports always carry
+// the full checklist.
+#pragma once
+
+#include <vector>
+
+#include "analysis/scenario.hpp"
+#include "farm/config.hpp"
+#include "farm/metrics.hpp"
+#include "workload/spec.hpp"
+
+namespace farm::workload {
+
+/// Evaluates every invariant against one completed point.  `trials` holds
+/// the per-trial results in trial-index order (may be empty, in which case
+/// per-trial checks report "not evaluated"); `aggregate` is the pooled
+/// Monte-Carlo result for the same run.  Deterministic: outcome order and
+/// detail strings depend only on the inputs.
+[[nodiscard]] std::vector<analysis::CheckOutcome> evaluate_invariants(
+    const core::SystemConfig& config,
+    const std::vector<core::TrialResult>& trials,
+    const core::MonteCarloResult& aggregate,
+    const InvariantTolerance& tolerance);
+
+/// True when every outcome passed.
+[[nodiscard]] bool all_passed(const std::vector<analysis::CheckOutcome>& checks);
+
+}  // namespace farm::workload

@@ -1,0 +1,821 @@
+#include "workload/spec.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace farm::workload {
+
+namespace {
+
+using util::JsonValue;
+
+// --- schema reader ----------------------------------------------------------
+
+/// Tracks which members of one JSON object have been consumed so that
+/// anything left over — a typo, a field in the wrong group — fails with its
+/// full JSON path instead of silently running the default.
+class ObjReader {
+ public:
+  ObjReader(const JsonValue& obj, std::string path)
+      : obj_(obj), path_(std::move(path)), used_(obj.keys().size(), false) {
+    if (!obj_.is_object()) {
+      throw std::invalid_argument("spec: " + (path_.empty() ? "document" : path_) +
+                                  ": expected an object");
+    }
+  }
+
+  [[nodiscard]] std::string subpath(std::string_view k) const {
+    return path_.empty() ? std::string(k) : path_ + "." + std::string(k);
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument(
+        "spec: " + (path_.empty() ? "document" : path_) + ": " + what);
+  }
+  [[noreturn]] void fail_key(std::string_view k, const std::string& what) const {
+    throw std::invalid_argument("spec: " + subpath(k) + ": " + what);
+  }
+
+  /// Marks `k` consumed and returns its value (nullptr when absent).
+  const JsonValue* take(std::string_view k) {
+    const auto& keys = obj_.keys();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] == k) {
+        used_[i] = true;
+        return &obj_.at(k);
+      }
+    }
+    return nullptr;
+  }
+
+  bool number(std::string_view k, double& out) {
+    const JsonValue* v = take(k);
+    if (v == nullptr) return false;
+    if (v->kind() != JsonValue::Kind::kNumber) fail_key(k, "expected a number");
+    out = v->as_number();
+    return true;
+  }
+
+  /// Non-negative integral number (counts, widths).
+  template <typename UInt>
+  bool integer(std::string_view k, UInt& out) {
+    double x = 0.0;
+    if (!number(k, x)) return false;
+    if (!(x >= 0.0) || x != std::floor(x) ||
+        x > static_cast<double>(std::numeric_limits<UInt>::max())) {
+      fail_key(k, "expected a non-negative integer");
+    }
+    out = static_cast<UInt>(x);
+    return true;
+  }
+
+  bool boolean(std::string_view k, bool& out) {
+    const JsonValue* v = take(k);
+    if (v == nullptr) return false;
+    if (v->kind() != JsonValue::Kind::kBool) fail_key(k, "expected a boolean");
+    out = v->as_bool();
+    return true;
+  }
+
+  bool string(std::string_view k, std::string& out) {
+    const JsonValue* v = take(k);
+    if (v == nullptr) return false;
+    if (v->kind() != JsonValue::Kind::kString) fail_key(k, "expected a string");
+    out = v->as_string();
+    return true;
+  }
+
+  /// A quantity with an SI field and a human-unit alias (alias value is
+  /// multiplied by `alias_factor` into SI).  Both at once is ambiguous.
+  bool quantity(std::string_view si_key, std::string_view alias_key,
+                double alias_factor, double& out_si) {
+    double si = 0.0;
+    double alias = 0.0;
+    const bool have_si = number(si_key, si);
+    const bool have_alias = number(alias_key, alias);
+    if (have_si && have_alias) {
+      fail_key(si_key, "specify only one of '" + std::string(si_key) +
+                           "' and '" + std::string(alias_key) + "'");
+    }
+    if (have_si) out_si = si;
+    if (have_alias) out_si = alias * alias_factor;
+    return have_si || have_alias;
+  }
+
+  /// Throws on the first member no getter consumed.
+  void finish() const {
+    const auto& keys = obj_.keys();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (!used_[i]) fail("unknown key '" + subpath(keys[i]) + "'");
+    }
+  }
+
+ private:
+  const JsonValue& obj_;
+  std::string path_;
+  std::vector<bool> used_;
+};
+
+// --- enum spellings ---------------------------------------------------------
+// Parse/emit pairs live side by side so the spellings cannot drift.
+
+core::RecoveryMode parse_recovery_mode(ObjReader& r, std::string_view key,
+                                       const std::string& s) {
+  if (s == "FARM") return core::RecoveryMode::kFarm;
+  if (s == "dedicated-spare") return core::RecoveryMode::kDedicatedSpare;
+  if (s == "distributed-sparing") return core::RecoveryMode::kDistributedSparing;
+  r.fail_key(key, "unknown recovery mode '" + s +
+                      "' (expected FARM, dedicated-spare, or "
+                      "distributed-sparing)");
+}
+
+core::DetectorKind parse_detector(ObjReader& r, std::string_view key,
+                                  const std::string& s) {
+  if (s == "constant") return core::DetectorKind::kConstant;
+  if (s == "heartbeat") return core::DetectorKind::kHeartbeat;
+  r.fail_key(key, "unknown detector '" + s +
+                      "' (expected constant or heartbeat)");
+}
+
+std::string detector_str(core::DetectorKind d) {
+  return d == core::DetectorKind::kHeartbeat ? "heartbeat" : "constant";
+}
+
+core::SystemConfig::FailureLaw parse_failure_law(ObjReader& r,
+                                                 std::string_view key,
+                                                 const std::string& s) {
+  if (s == "bathtub") return core::SystemConfig::FailureLaw::kBathtubTable1;
+  if (s == "exponential") return core::SystemConfig::FailureLaw::kExponential;
+  if (s == "weibull") return core::SystemConfig::FailureLaw::kWeibull;
+  r.fail_key(key, "unknown failure law '" + s +
+                      "' (expected bathtub, exponential, or weibull)");
+}
+
+std::string failure_law_str(core::SystemConfig::FailureLaw law) {
+  switch (law) {
+    case core::SystemConfig::FailureLaw::kBathtubTable1: return "bathtub";
+    case core::SystemConfig::FailureLaw::kExponential: return "exponential";
+    case core::SystemConfig::FailureLaw::kWeibull: return "weibull";
+  }
+  return "?";
+}
+
+placement::PolicyKind parse_placement(ObjReader& r, std::string_view key,
+                                      const std::string& s) {
+  if (s == "rush") return placement::PolicyKind::kRush;
+  if (s == "random") return placement::PolicyKind::kRandom;
+  if (s == "chained") return placement::PolicyKind::kChained;
+  if (s == "straw2") return placement::PolicyKind::kStraw2;
+  r.fail_key(key, "unknown placement '" + s +
+                      "' (expected rush, random, chained, or straw2)");
+}
+
+core::WorkloadKind parse_workload_kind(ObjReader& r, std::string_view key,
+                                       const std::string& s) {
+  if (s == "none") return core::WorkloadKind::kNone;
+  if (s == "diurnal") return core::WorkloadKind::kDiurnal;
+  if (s == "generated") return core::WorkloadKind::kGenerated;
+  r.fail_key(key, "unknown workload kind '" + s +
+                      "' (expected none, diurnal, or generated)");
+}
+
+std::string workload_kind_str(core::WorkloadKind k) {
+  switch (k) {
+    case core::WorkloadKind::kNone: return "none";
+    case core::WorkloadKind::kDiurnal: return "diurnal";
+    case core::WorkloadKind::kGenerated: return "generated";
+  }
+  return "?";
+}
+
+client::ArrivalKind parse_arrivals(ObjReader& r, std::string_view key,
+                                   const std::string& s) {
+  if (s == "open_poisson") return client::ArrivalKind::kOpenPoisson;
+  if (s == "closed_loop") return client::ArrivalKind::kClosedLoop;
+  r.fail_key(key, "unknown arrival kind '" + s +
+                      "' (expected open_poisson or closed_loop)");
+}
+
+client::SizeDist parse_size_dist(ObjReader& r, std::string_view key,
+                                 const std::string& s) {
+  if (s == "fixed") return client::SizeDist::kFixed;
+  if (s == "lognormal") return client::SizeDist::kLognormal;
+  r.fail_key(key, "unknown size distribution '" + s +
+                      "' (expected fixed or lognormal)");
+}
+
+// --- config group parsers ---------------------------------------------------
+
+constexpr double kHour = 3600.0;
+constexpr double kYear = 365.25 * 86400.0;
+
+void apply_fleet(ObjReader& parent, core::SystemConfig& c) {
+  const JsonValue* g = parent.take("fleet");
+  if (g == nullptr) return;
+  ObjReader r(*g, parent.subpath("fleet"));
+  double x = 0.0;
+  std::string s;
+  if (r.quantity("user_data_bytes", "user_data_gb", util::kGB, x)) {
+    c.total_user_data = util::Bytes{x};
+  }
+  if (r.quantity("disk_capacity_bytes", "disk_capacity_gb", util::kGB, x)) {
+    c.disk.capacity = util::Bytes{x};
+  }
+  if (r.quantity("disk_bandwidth_bytes_per_sec", "disk_bandwidth_mb_s",
+                 util::kMB, x)) {
+    c.disk.bandwidth = util::Bandwidth{x};
+  }
+  if (r.number("disk_seek_sec", x)) c.disk.seek_time = util::Seconds{x};
+  r.number("initial_utilization", c.initial_utilization);
+  r.number("spare_reservation", c.spare_reservation);
+  r.integer("initial_placement_choices", c.initial_placement_choices);
+  if (r.string("failure_law", s)) c.failure_law = parse_failure_law(r, "failure_law", s);
+  r.number("hazard_scale", c.hazard_scale);
+  if (r.quantity("exponential_mttf_sec", "exponential_mttf_hours", kHour, x)) {
+    c.exponential_mttf = util::Seconds{x};
+  }
+  r.number("weibull_shape", c.weibull_shape);
+  if (r.quantity("weibull_scale_sec", "weibull_scale_hours", kHour, x)) {
+    c.weibull_scale = util::Seconds{x};
+  }
+  if (r.quantity("mission_sec", "mission_years", kYear, x)) {
+    c.mission_time = util::Seconds{x};
+  }
+  r.finish();
+}
+
+void apply_erasure(ObjReader& parent, core::SystemConfig& c) {
+  const JsonValue* g = parent.take("erasure");
+  if (g == nullptr) return;
+  ObjReader r(*g, parent.subpath("erasure"));
+  std::string s;
+  double x = 0.0;
+  if (r.string("scheme", s)) {
+    try {
+      c.scheme = erasure::Scheme::parse(s);
+    } catch (const std::invalid_argument& e) {
+      r.fail_key("scheme", e.what());
+    }
+  }
+  if (r.quantity("group_size_bytes", "group_size_gb", util::kGB, x)) {
+    c.group_size = util::Bytes{x};
+  }
+  r.finish();
+}
+
+void apply_recovery(ObjReader& parent, core::SystemConfig& c) {
+  const JsonValue* g = parent.take("recovery");
+  if (g == nullptr) return;
+  ObjReader r(*g, parent.subpath("recovery"));
+  double x = 0.0;
+  std::string s;
+  if (r.string("mode", s)) c.recovery_mode = parse_recovery_mode(r, "mode", s);
+  if (r.quantity("bandwidth_bytes_per_sec", "bandwidth_mb_s", util::kMB, x)) {
+    c.recovery_bandwidth = util::Bandwidth{x};
+  }
+  r.number("spare_rebuild_speedup", c.spare_rebuild_speedup);
+  if (r.number("spare_provision_delay_sec", x)) {
+    c.spare_provision_delay = util::Seconds{x};
+  }
+  r.number("critical_rebuild_speedup", c.critical_rebuild_speedup);
+  if (r.string("detector", s)) c.detector = parse_detector(r, "detector", s);
+  if (r.number("detection_latency_sec", x)) c.detection_latency = util::Seconds{x};
+  if (r.number("heartbeat_interval_sec", x)) c.heartbeat_interval = util::Seconds{x};
+  if (const JsonValue* rules = r.take("target_rules"); rules != nullptr) {
+    ObjReader tr(*rules, r.subpath("target_rules"));
+    tr.boolean("skip_buddies", c.target_rules.skip_buddies);
+    tr.boolean("honor_reservation", c.target_rules.honor_reservation);
+    tr.boolean("prefer_low_load", c.target_rules.prefer_low_load);
+    tr.boolean("avoid_suspect", c.target_rules.avoid_suspect);
+    tr.integer("probe_width", c.target_rules.probe_width);
+    tr.boolean("prefer_rack_local", c.target_rules.prefer_rack_local);
+    tr.finish();
+  }
+  r.finish();
+}
+
+void apply_smart(ObjReader& parent, core::SystemConfig& c) {
+  const JsonValue* g = parent.take("smart");
+  if (g == nullptr) return;
+  ObjReader r(*g, parent.subpath("smart"));
+  double x = 0.0;
+  r.boolean("enabled", c.smart.enabled);
+  r.number("predict_probability", c.smart.predict_probability);
+  if (r.quantity("lead_time_sec", "lead_time_hours", kHour, x)) {
+    c.smart.lead_time = util::Seconds{x};
+  }
+  r.finish();
+}
+
+void apply_workload(ObjReader& parent, core::SystemConfig& c) {
+  const JsonValue* g = parent.take("workload");
+  if (g == nullptr) return;
+  ObjReader r(*g, parent.subpath("workload"));
+  double x = 0.0;
+  std::string s;
+  if (r.string("kind", s)) c.workload.kind = parse_workload_kind(r, "kind", s);
+  r.number("peak_demand", c.workload.peak_demand);
+  r.number("trough_demand", c.workload.trough_demand);
+  if (r.quantity("period_sec", "period_hours", kHour, x)) {
+    c.workload.period = util::Seconds{x};
+  }
+  r.number("min_recovery_fraction", c.workload.min_recovery_fraction);
+  r.finish();
+}
+
+void apply_latent(ObjReader& parent, core::SystemConfig& c) {
+  const JsonValue* g = parent.take("latent_errors");
+  if (g == nullptr) return;
+  ObjReader r(*g, parent.subpath("latent_errors"));
+  r.boolean("enabled", c.latent_errors.enabled);
+  r.number("bytes_per_ure", c.latent_errors.bytes_per_ure);
+  r.number("scrub_efficiency", c.latent_errors.scrub_efficiency);
+  r.finish();
+}
+
+void apply_domains(ObjReader& parent, core::SystemConfig& c) {
+  const JsonValue* g = parent.take("domains");
+  if (g == nullptr) return;
+  ObjReader r(*g, parent.subpath("domains"));
+  double x = 0.0;
+  r.boolean("enabled", c.domains.enabled);
+  r.integer("disks_per_domain", c.domains.disks_per_domain);
+  if (r.quantity("domain_mtbf_sec", "domain_mtbf_hours", kHour, x)) {
+    c.domains.domain_mtbf = util::Seconds{x};
+  }
+  r.boolean("rack_aware_placement", c.domains.rack_aware_placement);
+  r.finish();
+}
+
+void apply_replacement(ObjReader& parent, core::SystemConfig& c) {
+  const JsonValue* g = parent.take("replacement");
+  if (g == nullptr) return;
+  ObjReader r(*g, parent.subpath("replacement"));
+  r.boolean("enabled", c.replacement.enabled);
+  r.number("loss_fraction_threshold", c.replacement.loss_fraction_threshold);
+  r.number("new_disk_weight", c.replacement.new_disk_weight);
+  r.finish();
+}
+
+void apply_net(ObjReader& parent, core::SystemConfig& c) {
+  const JsonValue* g = parent.take("net");
+  if (g == nullptr) return;
+  ObjReader r(*g, parent.subpath("net"));
+  double x = 0.0;
+  r.boolean("enabled", c.topology.enabled);
+  r.integer("disks_per_node", c.topology.disks_per_node);
+  r.integer("nodes_per_rack", c.topology.nodes_per_rack);
+  if (r.quantity("nic_bandwidth_bytes_per_sec", "nic_bandwidth_mb_s",
+                 util::kMB, x)) {
+    c.topology.nic_bandwidth = util::Bandwidth{x};
+  }
+  if (r.quantity("uplink_bandwidth_bytes_per_sec", "uplink_bandwidth_mb_s",
+                 util::kMB, x)) {
+    c.topology.uplink_bandwidth = util::Bandwidth{x};
+  }
+  r.number("oversubscription", c.topology.oversubscription);
+  if (r.quantity("core_bandwidth_bytes_per_sec", "core_bandwidth_mb_s",
+                 util::kMB, x)) {
+    c.topology.core_bandwidth = util::Bandwidth{x};
+  }
+  r.finish();
+}
+
+void apply_client(ObjReader& parent, core::SystemConfig& c) {
+  const JsonValue* g = parent.take("client");
+  if (g == nullptr) return;
+  ObjReader r(*g, parent.subpath("client"));
+  double x = 0.0;
+  std::string s;
+  r.boolean("enabled", c.client.enabled);
+  if (r.string("arrivals", s)) c.client.arrivals = parse_arrivals(r, "arrivals", s);
+  r.number("requests_per_disk_per_sec", c.client.requests_per_disk_per_sec);
+  r.number("streams_per_disk", c.client.streams_per_disk);
+  if (r.number("think_time_sec", x)) c.client.think_time = util::Seconds{x};
+  r.number("diurnal_amplitude", c.client.diurnal_amplitude);
+  if (r.quantity("diurnal_period_sec", "diurnal_period_hours", kHour, x)) {
+    c.client.diurnal_period = util::Seconds{x};
+  }
+  r.number("read_fraction", c.client.read_fraction);
+  if (r.string("size_dist", s)) c.client.size_dist = parse_size_dist(r, "size_dist", s);
+  if (r.quantity("request_size_bytes", "request_size_mb", util::kMB, x)) {
+    c.client.request_size = util::Bytes{x};
+  }
+  r.number("lognormal_sigma", c.client.lognormal_sigma);
+  if (r.number("slo_sec", x)) c.client.slo = util::Seconds{x};
+  if (r.number("demand_sample_interval_sec", x)) {
+    c.client.demand_sample_interval = util::Seconds{x};
+  }
+  r.finish();
+}
+
+void apply_fault(ObjReader& parent, core::SystemConfig& c) {
+  const JsonValue* g = parent.take("fault");
+  if (g == nullptr) return;
+  ObjReader r(*g, parent.subpath("fault"));
+  double x = 0.0;
+  if (const JsonValue* b = r.take("burst"); b != nullptr) {
+    ObjReader br(*b, r.subpath("burst"));
+    br.boolean("enabled", c.fault.burst.enabled);
+    if (br.quantity("shock_mtbf_sec", "shock_mtbf_years", kYear, x)) {
+      c.fault.burst.shock_mtbf = util::Seconds{x};
+    }
+    br.integer("span", c.fault.burst.span);
+    br.number("kill_fraction", c.fault.burst.kill_fraction);
+    br.number("degrade_fraction", c.fault.burst.degrade_fraction);
+    if (br.number("window_sec", x)) c.fault.burst.window = util::Seconds{x};
+    br.finish();
+  }
+  if (const JsonValue* f = r.take("fail_slow"); f != nullptr) {
+    ObjReader fr(*f, r.subpath("fail_slow"));
+    fr.boolean("enabled", c.fault.fail_slow.enabled);
+    if (fr.quantity("onset_mtbf_sec", "onset_mtbf_hours", kHour, x)) {
+      c.fault.fail_slow.onset_mtbf = util::Seconds{x};
+    }
+    fr.number("bandwidth_fraction", c.fault.fail_slow.bandwidth_fraction);
+    fr.boolean("smart_eviction", c.fault.fail_slow.smart_eviction);
+    if (fr.quantity("eviction_delay_sec", "eviction_delay_hours", kHour, x)) {
+      c.fault.fail_slow.eviction_delay = util::Seconds{x};
+    }
+    fr.finish();
+  }
+  if (const JsonValue* d = r.take("detector"); d != nullptr) {
+    ObjReader dr(*d, r.subpath("detector"));
+    dr.boolean("enabled", c.fault.detector.enabled);
+    dr.number("false_negative_rate", c.fault.detector.false_negative_rate);
+    if (dr.quantity("false_positive_mtbf_sec", "false_positive_mtbf_hours",
+                    kHour, x)) {
+      c.fault.detector.false_positive_mtbf = util::Seconds{x};
+    }
+    if (dr.number("false_positive_grace_sec", x)) {
+      c.fault.detector.false_positive_grace = util::Seconds{x};
+    }
+    dr.finish();
+  }
+  if (const JsonValue* i = r.take("interrupted"); i != nullptr) {
+    ObjReader ir(*i, r.subpath("interrupted"));
+    ir.boolean("enabled", c.fault.interrupted.enabled);
+    if (ir.number("retry_delay_sec", x)) {
+      c.fault.interrupted.retry_delay = util::Seconds{x};
+    }
+    if (ir.number("retry_delay_cap_sec", x)) {
+      c.fault.interrupted.retry_delay_cap = util::Seconds{x};
+    }
+    ir.finish();
+  }
+  r.finish();
+}
+
+void apply_instrumentation(ObjReader& parent, core::SystemConfig& c) {
+  const JsonValue* g = parent.take("instrumentation");
+  if (g == nullptr) return;
+  ObjReader r(*g, parent.subpath("instrumentation"));
+  r.boolean("collect_recovery_load", c.collect_recovery_load);
+  r.boolean("collect_utilization", c.collect_utilization);
+  r.boolean("stop_at_first_loss", c.stop_at_first_loss);
+  r.finish();
+}
+
+/// Applies every config-override group found in `r` (the reader of a point
+/// or "base" object); leaves non-group keys (e.g. "label") to the caller.
+void apply_config_groups(ObjReader& r, core::SystemConfig& c) {
+  apply_fleet(r, c);
+  apply_erasure(r, c);
+  apply_recovery(r, c);
+  apply_smart(r, c);
+  std::string s;
+  if (r.string("placement", s)) c.placement = parse_placement(r, "placement", s);
+  apply_workload(r, c);
+  apply_latent(r, c);
+  apply_domains(r, c);
+  apply_replacement(r, c);
+  apply_net(r, c);
+  apply_client(r, c);
+  apply_fault(r, c);
+  apply_instrumentation(r, c);
+}
+
+}  // namespace
+
+core::SystemConfig apply_config_spec(const JsonValue& obj,
+                                     core::SystemConfig base,
+                                     const std::string& path) {
+  ObjReader r(obj, path);
+  apply_config_groups(r, base);
+  r.finish();
+  return base;
+}
+
+// --- emitter ----------------------------------------------------------------
+
+void write_config_spec(util::JsonWriter& w, const core::SystemConfig& c) {
+  w.key("fleet");
+  w.begin_object();
+  w.kv("user_data_bytes", c.total_user_data.value());
+  w.kv("disk_capacity_bytes", c.disk.capacity.value());
+  w.kv("disk_bandwidth_bytes_per_sec", c.disk.bandwidth.value());
+  w.kv("disk_seek_sec", c.disk.seek_time.value());
+  w.kv("initial_utilization", c.initial_utilization);
+  w.kv("spare_reservation", c.spare_reservation);
+  w.kv("initial_placement_choices", c.initial_placement_choices);
+  w.kv("failure_law", failure_law_str(c.failure_law));
+  w.kv("hazard_scale", c.hazard_scale);
+  w.kv("exponential_mttf_sec", c.exponential_mttf.value());
+  w.kv("weibull_shape", c.weibull_shape);
+  w.kv("weibull_scale_sec", c.weibull_scale.value());
+  w.kv("mission_sec", c.mission_time.value());
+  w.end_object();
+
+  w.key("erasure");
+  w.begin_object();
+  w.kv("scheme", c.scheme.str());
+  w.kv("group_size_bytes", c.group_size.value());
+  w.end_object();
+
+  w.key("recovery");
+  w.begin_object();
+  w.kv("mode", core::to_string(c.recovery_mode));
+  w.kv("bandwidth_bytes_per_sec", c.recovery_bandwidth.value());
+  w.kv("spare_rebuild_speedup", c.spare_rebuild_speedup);
+  w.kv("spare_provision_delay_sec", c.spare_provision_delay.value());
+  w.kv("critical_rebuild_speedup", c.critical_rebuild_speedup);
+  w.kv("detector", detector_str(c.detector));
+  w.kv("detection_latency_sec", c.detection_latency.value());
+  w.kv("heartbeat_interval_sec", c.heartbeat_interval.value());
+  w.key("target_rules");
+  w.begin_object();
+  w.kv("skip_buddies", c.target_rules.skip_buddies);
+  w.kv("honor_reservation", c.target_rules.honor_reservation);
+  w.kv("prefer_low_load", c.target_rules.prefer_low_load);
+  w.kv("avoid_suspect", c.target_rules.avoid_suspect);
+  w.kv("probe_width", c.target_rules.probe_width);
+  w.kv("prefer_rack_local", c.target_rules.prefer_rack_local);
+  w.end_object();
+  w.end_object();
+
+  w.key("smart");
+  w.begin_object();
+  w.kv("enabled", c.smart.enabled);
+  w.kv("predict_probability", c.smart.predict_probability);
+  w.kv("lead_time_sec", c.smart.lead_time.value());
+  w.end_object();
+
+  w.kv("placement", placement::to_string(c.placement));
+
+  w.key("workload");
+  w.begin_object();
+  w.kv("kind", workload_kind_str(c.workload.kind));
+  w.kv("peak_demand", c.workload.peak_demand);
+  w.kv("trough_demand", c.workload.trough_demand);
+  w.kv("period_sec", c.workload.period.value());
+  w.kv("min_recovery_fraction", c.workload.min_recovery_fraction);
+  w.end_object();
+
+  w.key("latent_errors");
+  w.begin_object();
+  w.kv("enabled", c.latent_errors.enabled);
+  w.kv("bytes_per_ure", c.latent_errors.bytes_per_ure);
+  w.kv("scrub_efficiency", c.latent_errors.scrub_efficiency);
+  w.end_object();
+
+  w.key("domains");
+  w.begin_object();
+  w.kv("enabled", c.domains.enabled);
+  w.kv("disks_per_domain", static_cast<std::uint64_t>(c.domains.disks_per_domain));
+  w.kv("domain_mtbf_sec", c.domains.domain_mtbf.value());
+  w.kv("rack_aware_placement", c.domains.rack_aware_placement);
+  w.end_object();
+
+  w.key("replacement");
+  w.begin_object();
+  w.kv("enabled", c.replacement.enabled);
+  w.kv("loss_fraction_threshold", c.replacement.loss_fraction_threshold);
+  w.kv("new_disk_weight", c.replacement.new_disk_weight);
+  w.end_object();
+
+  w.key("net");
+  w.begin_object();
+  w.kv("enabled", c.topology.enabled);
+  w.kv("disks_per_node", static_cast<std::uint64_t>(c.topology.disks_per_node));
+  w.kv("nodes_per_rack", static_cast<std::uint64_t>(c.topology.nodes_per_rack));
+  w.kv("nic_bandwidth_bytes_per_sec", c.topology.nic_bandwidth.value());
+  w.kv("uplink_bandwidth_bytes_per_sec", c.topology.uplink_bandwidth.value());
+  w.kv("oversubscription", c.topology.oversubscription);
+  w.kv("core_bandwidth_bytes_per_sec", c.topology.core_bandwidth.value());
+  w.end_object();
+
+  w.key("client");
+  w.begin_object();
+  w.kv("enabled", c.client.enabled);
+  w.kv("arrivals", c.client.arrivals == client::ArrivalKind::kOpenPoisson
+                       ? "open_poisson"
+                       : "closed_loop");
+  w.kv("requests_per_disk_per_sec", c.client.requests_per_disk_per_sec);
+  w.kv("streams_per_disk", c.client.streams_per_disk);
+  w.kv("think_time_sec", c.client.think_time.value());
+  w.kv("diurnal_amplitude", c.client.diurnal_amplitude);
+  w.kv("diurnal_period_sec", c.client.diurnal_period.value());
+  w.kv("read_fraction", c.client.read_fraction);
+  w.kv("size_dist", c.client.size_dist == client::SizeDist::kFixed
+                        ? "fixed"
+                        : "lognormal");
+  w.kv("request_size_bytes", c.client.request_size.value());
+  w.kv("lognormal_sigma", c.client.lognormal_sigma);
+  w.kv("slo_sec", c.client.slo.value());
+  w.kv("demand_sample_interval_sec", c.client.demand_sample_interval.value());
+  w.end_object();
+
+  w.key("fault");
+  w.begin_object();
+  w.key("burst");
+  w.begin_object();
+  w.kv("enabled", c.fault.burst.enabled);
+  w.kv("shock_mtbf_sec", c.fault.burst.shock_mtbf.value());
+  w.kv("span", static_cast<std::uint64_t>(c.fault.burst.span));
+  w.kv("kill_fraction", c.fault.burst.kill_fraction);
+  w.kv("degrade_fraction", c.fault.burst.degrade_fraction);
+  w.kv("window_sec", c.fault.burst.window.value());
+  w.end_object();
+  w.key("fail_slow");
+  w.begin_object();
+  w.kv("enabled", c.fault.fail_slow.enabled);
+  w.kv("onset_mtbf_sec", c.fault.fail_slow.onset_mtbf.value());
+  w.kv("bandwidth_fraction", c.fault.fail_slow.bandwidth_fraction);
+  w.kv("smart_eviction", c.fault.fail_slow.smart_eviction);
+  w.kv("eviction_delay_sec", c.fault.fail_slow.eviction_delay.value());
+  w.end_object();
+  w.key("detector");
+  w.begin_object();
+  w.kv("enabled", c.fault.detector.enabled);
+  w.kv("false_negative_rate", c.fault.detector.false_negative_rate);
+  w.kv("false_positive_mtbf_sec", c.fault.detector.false_positive_mtbf.value());
+  w.kv("false_positive_grace_sec",
+       c.fault.detector.false_positive_grace.value());
+  w.end_object();
+  w.key("interrupted");
+  w.begin_object();
+  w.kv("enabled", c.fault.interrupted.enabled);
+  w.kv("retry_delay_sec", c.fault.interrupted.retry_delay.value());
+  w.kv("retry_delay_cap_sec", c.fault.interrupted.retry_delay_cap.value());
+  w.end_object();
+  w.end_object();
+
+  w.key("instrumentation");
+  w.begin_object();
+  w.kv("collect_recovery_load", c.collect_recovery_load);
+  w.kv("collect_utilization", c.collect_utilization);
+  w.kv("stop_at_first_loss", c.stop_at_first_loss);
+  w.end_object();
+}
+
+// --- spec documents ---------------------------------------------------------
+
+Spec parse_spec(const JsonValue& doc) {
+  ObjReader r(doc, "");
+  Spec spec;
+  double version = 1.0;
+  if (r.number("spec_version", version) && version != 1.0) {
+    r.fail_key("spec_version", "unsupported spec version (expected 1)");
+  }
+  if (!r.string("name", spec.name) || spec.name.empty()) {
+    r.fail("requires a non-empty \"name\"");
+  }
+  spec.title = spec.name;
+  r.string("title", spec.title);
+  r.integer("trials", spec.trials);
+  if (const JsonValue* inv = r.take("invariants"); inv != nullptr) {
+    ObjReader ir(*inv, "invariants");
+    ir.number("max_loss_probability", spec.tolerance.max_loss_probability);
+    ir.number("max_slo_violation", spec.tolerance.max_slo_violation);
+    ir.finish();
+    const auto in_unit = [](double x) { return x >= 0.0 && x <= 1.0; };
+    if (!in_unit(spec.tolerance.max_loss_probability) ||
+        !in_unit(spec.tolerance.max_slo_violation)) {
+      ir.fail("tolerances must be in [0, 1]");
+    }
+  }
+
+  core::SystemConfig base = analysis::paper_base_config();
+  if (const JsonValue* b = r.take("base"); b != nullptr) {
+    base = apply_config_spec(*b, base, "base");
+  }
+
+  if (const JsonValue* pts = r.take("points"); pts != nullptr) {
+    if (!pts->is_array() || pts->as_array().empty()) {
+      r.fail_key("points", "expected a non-empty array");
+    }
+    const auto& arr = pts->as_array();
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      const std::string path = "points[" + std::to_string(i) + "]";
+      ObjReader pr(arr[i], path);
+      SpecPoint point;
+      point.config = base;
+      if (!pr.string("label", point.label) || point.label.empty()) {
+        pr.fail("requires a non-empty \"label\"");
+      }
+      apply_config_groups(pr, point.config);
+      pr.finish();
+      spec.points.push_back(std::move(point));
+    }
+  } else {
+    spec.points.push_back({"base", base});
+  }
+  r.finish();
+
+  for (std::size_t i = 0; i < spec.points.size(); ++i) {
+    for (std::size_t j = i + 1; j < spec.points.size(); ++j) {
+      if (spec.points[i].label == spec.points[j].label) {
+        throw std::invalid_argument("spec: duplicate point label '" +
+                                    spec.points[i].label +
+                                    "' would share a seed");
+      }
+    }
+    try {
+      spec.points[i].config.validate();
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("spec: point '" + spec.points[i].label +
+                                  "': " + e.what());
+    }
+  }
+  return spec;
+}
+
+Spec parse_spec_text(std::string_view text) {
+  return parse_spec(JsonValue::parse(text));
+}
+
+void write_spec_json(util::JsonWriter& w, const Spec& spec) {
+  w.begin_object();
+  w.kv("spec_version", 1);
+  w.kv("name", spec.name);
+  w.kv("title", spec.title.empty() ? spec.name : spec.title);
+  if (spec.trials > 0) w.kv("trials", static_cast<std::uint64_t>(spec.trials));
+  w.key("invariants");
+  w.begin_object();
+  w.kv("max_loss_probability", spec.tolerance.max_loss_probability);
+  w.kv("max_slo_violation", spec.tolerance.max_slo_violation);
+  w.end_object();
+  w.key("points");
+  w.begin_array();
+  for (const SpecPoint& p : spec.points) {
+    w.begin_object();
+    w.kv("label", p.label);
+    write_config_spec(w, p.config);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string spec_to_json(const Spec& spec) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  write_spec_json(w, spec);
+  os << '\n';
+  return os.str();
+}
+
+namespace {
+
+std::string config_spec_string(const core::SystemConfig& c) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  write_config_spec(w, c);
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace
+
+Spec spec_from_scenario(const analysis::Scenario& scenario,
+                        const analysis::ScenarioOptions& opts) {
+  Spec spec;
+  spec.name = scenario.info().name;
+  spec.title = scenario.info().title;
+  spec.trials = opts.trials != 0 ? opts.trials : scenario.info().default_trials;
+  const std::vector<analysis::SweepPoint> points = scenario.build_points(opts);
+  for (const analysis::SweepPoint& p : points) {
+    // Representability: the config must survive emit -> parse -> emit.  A
+    // config the spec schema cannot express (none today; this guards future
+    // SystemConfig growth) must fail --dump-spec loudly, not round-trip into
+    // a subtly different experiment.
+    const std::string emitted = config_spec_string(p.config);
+    const core::SystemConfig round = apply_config_spec(
+        JsonValue::parse(emitted), analysis::paper_base_config(),
+        "points");
+    if (config_spec_string(round) != emitted) {
+      throw std::invalid_argument(
+          "scenario '" + spec.name + "' point '" + p.label +
+          "' is not representable as a spec (config does not survive the "
+          "emit/parse round trip)");
+    }
+    spec.points.push_back({p.label, p.config});
+  }
+  return spec;
+}
+
+}  // namespace farm::workload

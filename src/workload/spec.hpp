@@ -1,0 +1,97 @@
+// Composable workload specs: a JSON format that declares a full simulation
+// run as data — fleet, erasure scheme, recovery policy, network topology,
+// client generator mix, fault schedule, trials — so new experiment
+// combinations are authored instead of compiled (the FoundationDB
+// workloads-as-data pattern applied to the FARM simulator).
+//
+// A spec names a scenario and a list of labelled points; each point is a
+// full SystemConfig assembled by applying grouped overrides ("fleet",
+// "recovery", "client", ...) on top of an optional "base" block, which
+// itself overrides the paper's Table 2 defaults.  Because the scenario
+// layer's per-point seeds depend only on (master seed, scenario name, point
+// label), a spec that reproduces a registered scenario's name and labels
+// reproduces its Monte-Carlo numbers bit-for-bit.
+//
+// Quantities accept either raw SI fields ("..._bytes", "..._sec",
+// "..._bytes_per_sec") or human-unit aliases ("..._gb", "..._hours",
+// "..._mb_s"); specifying both forms of one quantity is an error.  Unknown
+// keys are rejected with a JSON-path diagnostic — a typo fails loudly
+// instead of silently running the default.  The emitter writes only SI
+// fields, so emit -> parse -> emit is the identity (no unit re-rounding).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "analysis/scenario.hpp"
+#include "farm/config.hpp"
+#include "util/json.hpp"
+
+namespace farm::workload {
+
+/// Declared tolerances for the invariant layer (src/workload/invariants).
+/// The defaults (1.0) make the corresponding checks unconstrained; a spec
+/// tightens them via its "invariants" block.
+struct InvariantTolerance {
+  /// Maximum acceptable Monte-Carlo loss probability (inclusive).
+  double max_loss_probability = 1.0;
+  /// Maximum acceptable pooled SLO-violation fraction (inclusive; client
+  /// runs only).
+  double max_slo_violation = 1.0;
+};
+
+/// One labelled point of a spec: a complete, validated SystemConfig.
+struct SpecPoint {
+  std::string label;
+  core::SystemConfig config;
+};
+
+/// A parsed spec document: scenario identity plus fully-resolved points.
+struct Spec {
+  std::string name;
+  std::string title;  // defaults to `name`
+  /// Default Monte-Carlo trials per point; 0 = the driver's default (30,
+  /// like any scenario), still overridable by --trials / FARM_TRIALS.
+  std::size_t trials = 0;
+  InvariantTolerance tolerance;
+  std::vector<SpecPoint> points;
+};
+
+/// Parses and validates a spec document.  Throws std::invalid_argument with
+/// a "spec: <json path>: ..." message on schema violations, and propagates
+/// SystemConfig::validate errors prefixed with the offending point label.
+[[nodiscard]] Spec parse_spec(const util::JsonValue& doc);
+
+/// Convenience: JSON text -> Spec (parse errors carry line/column).
+[[nodiscard]] Spec parse_spec_text(std::string_view text);
+
+/// Applies one point's config-override groups on top of `base`.
+/// `path` prefixes error messages ("spec: points[2].recovery...").
+[[nodiscard]] core::SystemConfig apply_config_spec(const util::JsonValue& obj,
+                                                   core::SystemConfig base,
+                                                   const std::string& path);
+
+/// Emits the full config as a spec point body (every group, SI units only).
+/// parse(apply) of the emitted object reproduces `config` exactly.
+void write_config_spec(util::JsonWriter& w, const core::SystemConfig& config);
+
+/// Emits a complete spec document (points carry full configs, no "base").
+void write_spec_json(util::JsonWriter& w, const Spec& spec);
+
+/// write_spec_json to a string (trailing newline included).
+[[nodiscard]] std::string spec_to_json(const Spec& spec);
+
+/// Builds the equivalent spec for a registered scenario at the given options
+/// (`farm_bench --dump-spec`): name and point labels are preserved, so
+/// replaying the spec under the same master seed reproduces the scenario's
+/// per-point seeds and Monte-Carlo numbers.  Points carry the configs
+/// build_points produced at `opts`; scale is therefore baked in — replay the
+/// dump at --scale 1.  Throws std::invalid_argument when the scenario's
+/// configs do not survive an emit -> parse round trip (not representable).
+[[nodiscard]] Spec spec_from_scenario(const analysis::Scenario& scenario,
+                                      const analysis::ScenarioOptions& opts);
+
+}  // namespace farm::workload

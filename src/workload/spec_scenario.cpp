@@ -1,0 +1,93 @@
+#include "workload/spec_scenario.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "util/table.hpp"
+#include "workload/invariants.hpp"
+
+namespace farm::workload {
+
+namespace {
+
+analysis::Scenario::Info make_info(const Spec& spec) {
+  analysis::Scenario::Info info;
+  info.name = spec.name;
+  info.title = spec.title.empty() ? spec.name : spec.title;
+  info.paper_ref = "spec";
+  if (spec.trials > 0) info.default_trials = spec.trials;
+  return info;
+}
+
+}  // namespace
+
+SpecScenario::SpecScenario(Spec spec)
+    : Scenario(make_info(spec)), spec_(std::move(spec)) {}
+
+std::vector<analysis::SweepPoint> SpecScenario::build_points(
+    const analysis::ScenarioOptions& opts) const {
+  std::vector<analysis::SweepPoint> points;
+  points.reserve(spec_.points.size());
+  for (const SpecPoint& p : spec_.points) {
+    // scale_config(c, 1.0) is an exact identity, so an unscaled spec run
+    // reproduces a registered scenario's configs bit for bit.
+    points.push_back(
+        {p.label, analysis::scale_config(p.config, opts.scale)});
+  }
+  return points;
+}
+
+analysis::PointResult SpecScenario::run_point(
+    const analysis::SweepPoint& point,
+    const core::MonteCarloOptions& mc) const {
+  // Capture every trial by index so invariant evaluation (and anything
+  // downstream) sees a deterministic, completion-order-independent view.
+  std::vector<core::TrialResult> trials(mc.trials);
+  core::MonteCarloOptions observed = mc;
+  observed.observer = [&trials](std::size_t i, const core::TrialResult& t) {
+    trials[i] = t;
+  };
+
+  analysis::PointResult pr;
+  pr.point = point;
+  pr.result = core::run_monte_carlo(point.config, observed);
+  pr.checks =
+      evaluate_invariants(point.config, trials, pr.result, spec_.tolerance);
+  double failed = 0.0;
+  for (const analysis::CheckOutcome& c : pr.checks) {
+    if (!c.passed) failed += 1.0;
+  }
+  pr.extra.emplace_back("invariants_failed", failed);
+  return pr;
+}
+
+std::string SpecScenario::format(const analysis::ScenarioRun& run) const {
+  util::Table table({"point", "loss prob", "disk fails", "rebuilds",
+                     "mean window", "invariants"});
+  std::vector<std::string> failures;
+  for (const analysis::PointResult& p : run.points) {
+    std::size_t failed = 0;
+    for (const analysis::CheckOutcome& c : p.checks) {
+      if (!c.passed) {
+        ++failed;
+        failures.push_back(p.point.label + " / " + c.name + ": " + c.detail);
+      }
+    }
+    table.add_row({p.point.label,
+                   analysis::loss_cell(p.result),
+                   util::fmt_fixed(p.result.mean_disk_failures, 1),
+                   util::fmt_fixed(p.result.mean_rebuilds, 1),
+                   util::fmt_sig(p.result.mean_window_sec) + " s",
+                   failed == 0 ? "pass"
+                               : "FAIL (" + std::to_string(failed) + ")"});
+  }
+  std::ostringstream os;
+  os << run.title << " (" << run.trials << " trials/point)\n\n" << table.str();
+  if (!failures.empty()) {
+    os << "\nInvariant violations:\n";
+    for (const std::string& f : failures) os << "  " << f << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace farm::workload

@@ -1,0 +1,40 @@
+// The composition engine: turns a parsed Spec into a runnable
+// analysis::Scenario.  Going through the scenario layer (rather than a
+// separate spec runner) buys the whole driver for free — seed discipline,
+// --trials/--scale/--seed, watchdog timeouts, JSON serialization — and
+// guarantees the reproduction property: a spec carrying a registered
+// scenario's name and point labels gets the exact same per-point seeds, so
+// its Monte-Carlo numbers match the registry path bit for bit.
+//
+// On top of the base scenario, every point's trials are captured via the
+// Monte-Carlo observer and fed to the invariant layer; outcomes land in
+// PointResult::checks (serialized as "invariants") and an
+// "invariants_failed" extra for machine consumption.
+#pragma once
+
+#include "analysis/scenario.hpp"
+#include "workload/spec.hpp"
+
+namespace farm::workload {
+
+class SpecScenario final : public analysis::Scenario {
+ public:
+  explicit SpecScenario(Spec spec);
+
+  [[nodiscard]] const Spec& spec() const { return spec_; }
+
+  [[nodiscard]] std::vector<analysis::SweepPoint> build_points(
+      const analysis::ScenarioOptions& opts) const override;
+
+ protected:
+  [[nodiscard]] analysis::PointResult run_point(
+      const analysis::SweepPoint& point,
+      const core::MonteCarloOptions& mc) const override;
+
+  [[nodiscard]] std::string format(const analysis::ScenarioRun& run) const override;
+
+ private:
+  Spec spec_;
+};
+
+}  // namespace farm::workload

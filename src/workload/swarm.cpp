@@ -1,0 +1,334 @@
+#include "workload/swarm.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <sstream>
+
+#include "analysis/experiment.hpp"
+#include "erasure/scheme.hpp"
+#include "farm/monte_carlo.hpp"
+#include "util/random.hpp"
+#include "util/seed_lanes.hpp"
+#include "util/units.hpp"
+#include "workload/invariants.hpp"
+
+namespace farm::workload {
+
+namespace {
+
+std::string fmt17(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  return buf;
+}
+
+/// The scenario name the swarm impersonates: combo seeds are derived as a
+/// spec named "swarm" would derive them, so an emitted repro spec replays
+/// bit-identically under the same --seed.
+constexpr std::string_view kSwarmScenarioName = "swarm";
+
+}  // namespace
+
+std::string swarm_combo_label(std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "combo-%04zu", index);
+  return buf;
+}
+
+core::SystemConfig sample_combo_config(std::uint64_t master_seed,
+                                       std::size_t index) {
+  util::Xoshiro256 rng(
+      util::SeedSequence{util::hash_combine(master_seed, index)}.stream(
+          util::lanes::kSwarmSample));
+  core::SystemConfig c = analysis::paper_base_config();
+
+  // Fleet: tens of disks, so a combo's trials run in well under a second.
+  static constexpr std::array<double, 3> kUserTb = {5.0, 10.0, 20.0};
+  c.total_user_data = util::terabytes(kUserTb[rng.below(kUserTb.size())]);
+
+  const auto& schemes = erasure::paper_schemes();
+  c.scheme = schemes[rng.below(schemes.size())];
+
+  static constexpr std::array<double, 4> kGroupGb = {1.0, 5.0, 10.0, 50.0};
+  c.group_size = util::gigabytes(kGroupGb[rng.below(kGroupGb.size())]);
+
+  // Recovery policy.
+  static constexpr std::array<core::RecoveryMode, 3> kModes = {
+      core::RecoveryMode::kFarm, core::RecoveryMode::kDedicatedSpare,
+      core::RecoveryMode::kDistributedSparing};
+  c.recovery_mode = kModes[rng.below(kModes.size())];
+  static constexpr std::array<double, 5> kRecoveryMb = {8.0, 16.0, 24.0, 32.0,
+                                                        40.0};
+  c.recovery_bandwidth = util::mb_per_sec(kRecoveryMb[rng.below(kRecoveryMb.size())]);
+  if (c.recovery_mode == core::RecoveryMode::kDedicatedSpare &&
+      rng.bernoulli(0.5)) {
+    // 2 x 40 MB/s stays within the 80 MB/s disk, the validate() ceiling.
+    c.spare_rebuild_speedup = 2.0;
+  }
+  if (rng.bernoulli(0.25)) c.critical_rebuild_speedup = 2.0;
+
+  // Detection.  Imperfect-detector faults ride only on heartbeats (false
+  // negatives are missed beats; SystemConfig::validate enforces this).
+  if (rng.bernoulli(0.5)) {
+    c.detector = core::DetectorKind::kConstant;
+    static constexpr std::array<double, 3> kLatencySec = {0.0, 30.0, 300.0};
+    c.detection_latency = util::seconds(kLatencySec[rng.below(kLatencySec.size())]);
+  } else {
+    c.detector = core::DetectorKind::kHeartbeat;
+    c.heartbeat_interval = util::seconds(rng.bernoulli(0.5) ? 10.0 : 60.0);
+    if (rng.bernoulli(0.5)) {
+      c.fault.detector.enabled = true;
+      c.fault.detector.false_negative_rate = 0.1;
+      c.fault.detector.false_positive_mtbf = util::hours(500);
+    }
+  }
+
+  static constexpr std::array<placement::PolicyKind, 4> kPlacements = {
+      placement::PolicyKind::kRush, placement::PolicyKind::kRandom,
+      placement::PolicyKind::kChained, placement::PolicyKind::kStraw2};
+  c.placement = kPlacements[rng.below(kPlacements.size())];
+
+  c.smart.enabled = rng.bernoulli(0.5);
+
+  if (rng.bernoulli(0.25)) {
+    c.latent_errors.enabled = true;
+    c.latent_errors.scrub_efficiency = rng.bernoulli(0.5) ? 0.5 : 0.0;
+  }
+
+  if (rng.bernoulli(0.25)) {
+    c.replacement.enabled = true;
+    c.replacement.loss_fraction_threshold = rng.bernoulli(0.5) ? 0.2 : 0.4;
+  }
+
+  if (rng.bernoulli(0.5)) {
+    c.topology.enabled = true;
+    c.topology.disks_per_node = 8;
+    c.topology.nodes_per_rack = rng.bernoulli(0.5) ? 4 : 8;
+    static constexpr std::array<double, 3> kOversub = {1.0, 4.0, 8.0};
+    c.topology.oversubscription = kOversub[rng.below(kOversub.size())];
+  }
+
+  // Client traffic forces a short mission — foreground requests are events
+  // (~10^5 per simulated hour at these rates); a six-year mission would
+  // take minutes per trial.
+  if (rng.below(3) == 0) {
+    c.client.enabled = true;
+    c.client.arrivals = rng.bernoulli(0.5) ? client::ArrivalKind::kOpenPoisson
+                                           : client::ArrivalKind::kClosedLoop;
+    c.client.requests_per_disk_per_sec = rng.bernoulli(0.5) ? 0.2 : 1.0;
+    c.client.streams_per_disk = 1.0;
+    c.client.size_dist = rng.bernoulli(0.5) ? client::SizeDist::kFixed
+                                            : client::SizeDist::kLognormal;
+    c.mission_time = util::hours(rng.bernoulli(0.5) ? 1 : 2);
+    c.workload.kind = rng.bernoulli(0.5) ? core::WorkloadKind::kGenerated
+                                         : core::WorkloadKind::kNone;
+  } else {
+    static constexpr std::array<double, 3> kMissionYears = {1.0, 3.0, 6.0};
+    c.mission_time = util::years(kMissionYears[rng.below(kMissionYears.size())]);
+    c.workload.kind = rng.bernoulli(0.5) ? core::WorkloadKind::kNone
+                                         : core::WorkloadKind::kDiurnal;
+  }
+
+  // Fault classes (beyond the detector faults tied to heartbeats above).
+  if (rng.bernoulli(0.3)) {
+    c.fault.burst.enabled = true;
+    // A couple of shocks per mission in expectation.
+    c.fault.burst.shock_mtbf = util::Seconds{c.mission_time.value() / 2.0};
+    c.fault.burst.span = 16;
+    c.fault.burst.kill_fraction = 0.25;
+    c.fault.burst.degrade_fraction = rng.bernoulli(0.5) ? 0.25 : 0.0;
+  }
+  if (rng.bernoulli(0.3)) {
+    c.fault.fail_slow.enabled = true;
+    c.fault.fail_slow.onset_mtbf = util::Seconds{c.mission_time.value() * 4.0};
+    c.fault.fail_slow.smart_eviction = rng.bernoulli(0.5);
+  }
+  if (rng.bernoulli(0.3)) c.fault.interrupted.enabled = true;
+
+  // Correlated domains: rack-aware placement needs >= n of them, so size
+  // enclosures off the sampled fleet rather than the other way round.
+  if (rng.bernoulli(0.25)) {
+    c.domains.enabled = true;
+    const std::uint64_t disks = c.disk_count();
+    const std::uint64_t want_domains = 2ULL * c.scheme.total_blocks;
+    c.domains.disks_per_domain = static_cast<std::size_t>(
+        std::max<std::uint64_t>(1, disks / want_domains));
+    c.domains.domain_mtbf = util::hours(2.0e5);
+  }
+
+  // Byte-conservation invariants need the per-disk recovery counters.
+  c.collect_recovery_load = true;
+
+  c.validate();  // correct by construction; a throw here is a sampler bug
+  return c;
+}
+
+namespace {
+
+/// Canonical per-combo serialization: every field is either integral or a
+/// single-threaded per-trial float, so the string — and the digest built
+/// from it — is independent of thread-pool width and completion order.
+std::string canonical_combo_string(const SwarmComboResult& combo,
+                                   const std::vector<core::TrialResult>& trials,
+                                   const std::string& config_json) {
+  std::ostringstream os;
+  os << combo.label << '\n' << combo.seed << '\n' << config_json << '\n';
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const core::TrialResult& t = trials[i];
+    os << "trial " << i << ": lost=" << (t.data_lost ? 1 : 0)
+       << " groups=" << t.lost_groups << " fails=" << t.disk_failures
+       << " domain_fails=" << t.domain_failures
+       << " rebuilds=" << t.rebuilds_completed << " ure=" << t.ure_losses
+       << " redirections=" << t.redirections << " stalls=" << t.stalls
+       << " batches=" << t.batches << " events=" << t.events_executed
+       << " window_mean=" << fmt17(t.mean_window_sec)
+       << " window_max=" << fmt17(t.max_window_sec)
+       << " exposure=" << fmt17(t.degraded_exposure)
+       << " slips=" << t.detection_slips
+       << " spurious=" << t.spurious_rebuilds
+       << " interruptions=" << t.rebuild_interruptions
+       << " client_requests=" << t.client.requests
+       << " client_degraded=" << t.client.degraded_reads
+       << " client_unavailable=" << t.client.unavailable_requests << '\n';
+  }
+  for (const analysis::CheckOutcome& chk : combo.checks) {
+    os << chk.name << '=' << (chk.passed ? "pass" : "FAIL") << ' '
+       << chk.detail << '\n';
+  }
+  return os.str();
+}
+
+std::string config_json_string(const core::SystemConfig& c) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  write_config_spec(w, c);
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace
+
+SwarmReport run_swarm(const SwarmOptions& options) {
+  SwarmReport report;
+  report.master_seed = options.master_seed;
+  report.trials = options.trials;
+  report.combos.reserve(options.combos);
+
+  const std::uint64_t scenario_seed =
+      analysis::point_seed(options.master_seed, kSwarmScenarioName);
+  std::uint64_t digest = util::hash_string(kSwarmScenarioName);
+
+  for (std::size_t i = 0; i < options.combos; ++i) {
+    SwarmComboResult combo;
+    combo.label = swarm_combo_label(i);
+    combo.seed = analysis::point_seed(scenario_seed, combo.label);
+    const core::SystemConfig config =
+        sample_combo_config(options.master_seed, i);
+    combo.summary = config.summary();
+    combo.trials = options.trials;
+
+    std::vector<core::TrialResult> trials(options.trials);
+    core::MonteCarloOptions mc;
+    mc.trials = options.trials;
+    mc.master_seed = combo.seed;
+    mc.pool = options.pool;
+    mc.observer = [&trials](std::size_t t, const core::TrialResult& r) {
+      trials[t] = r;
+    };
+    const core::MonteCarloResult aggregate = core::run_monte_carlo(config, mc);
+
+    // Index-order aggregation: bit-stable regardless of which worker
+    // finished first (the float sums inside MonteCarloResult are not).
+    double fails = 0.0;
+    double rebuilds = 0.0;
+    double window_mean = 0.0;
+    for (const core::TrialResult& t : trials) {
+      if (t.data_lost) ++combo.trials_with_loss;
+      fails += static_cast<double>(t.disk_failures);
+      rebuilds += static_cast<double>(t.rebuilds_completed);
+      window_mean += t.mean_window_sec;
+      combo.max_window_sec = std::max(combo.max_window_sec, t.max_window_sec);
+    }
+    const double n = static_cast<double>(std::max<std::size_t>(1, options.trials));
+    combo.mean_disk_failures = fails / n;
+    combo.mean_rebuilds = rebuilds / n;
+    combo.mean_window_sec = window_mean / n;
+
+    InvariantTolerance tolerance;  // unconstrained: sampled corners may lose
+    combo.checks = evaluate_invariants(config, trials, aggregate, tolerance);
+    combo.passed = all_passed(combo.checks);
+    if (!combo.passed) ++report.combos_failed;
+
+    combo.repro.name = std::string(kSwarmScenarioName);
+    combo.repro.title = "swarm replay of " + combo.label + " (seed " +
+                        std::to_string(options.master_seed) + ")";
+    combo.repro.trials = options.trials;
+    combo.repro.points.push_back({combo.label, config});
+
+    const std::string config_json = config_json_string(config);
+    digest = util::hash_combine(
+        digest,
+        util::hash_string(canonical_combo_string(combo, trials, config_json)));
+
+    if (options.progress) options.progress(combo.label);
+    report.combos.push_back(std::move(combo));
+  }
+
+  char hex[24];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(digest));
+  report.digest = hex;
+  return report;
+}
+
+std::string to_json(const SwarmReport& report, std::string_view git_describe) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("kind", "swarm");
+  w.kv("git_describe", git_describe);
+  w.kv("master_seed", std::to_string(report.master_seed));
+  w.kv("trials", static_cast<std::uint64_t>(report.trials));
+  w.kv("combos", static_cast<std::uint64_t>(report.combos.size()));
+  w.kv("combos_failed", static_cast<std::uint64_t>(report.combos_failed));
+  w.kv("digest", report.digest);
+  w.key("results");
+  w.begin_array();
+  for (const SwarmComboResult& c : report.combos) {
+    w.begin_object();
+    w.kv("label", c.label);
+    w.kv("seed", std::to_string(c.seed));
+    w.kv("summary", c.summary);
+    w.kv("trials", static_cast<std::uint64_t>(c.trials));
+    w.kv("trials_with_loss", static_cast<std::uint64_t>(c.trials_with_loss));
+    w.kv("mean_disk_failures", c.mean_disk_failures);
+    w.kv("mean_rebuilds", c.mean_rebuilds);
+    w.kv("mean_window_sec", c.mean_window_sec);
+    w.kv("max_window_sec", c.max_window_sec);
+    w.kv("passed", c.passed);
+    w.key("invariants");
+    w.begin_array();
+    for (const analysis::CheckOutcome& chk : c.checks) {
+      w.begin_object();
+      w.kv("name", chk.name);
+      w.kv("passed", chk.passed);
+      if (!chk.detail.empty()) w.kv("detail", chk.detail);
+      w.end_object();
+    }
+    w.end_array();
+    // The embedded spec replays exactly this combo:
+    //   farm_bench --spec <file> --seed <master_seed>
+    w.key("repro_spec");
+    write_spec_json(w, c.repro);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace farm::workload

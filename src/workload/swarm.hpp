@@ -1,0 +1,89 @@
+// Swarm mode: deterministic random exploration of the spec space.
+// `farm_bench --swarm N --seed S` samples N spec combinations from declared
+// ranges (erasure scheme x recovery policy x detector x placement x faults
+// x network x client traffic ...), runs each through the Monte-Carlo
+// harness, and asserts the invariant layer on every one — a randomized
+// consistency sweep over parameter corners no hand-written scenario covers.
+//
+// Determinism contract: combo i of seed S is a pure function of (S, i) —
+// sampling uses SeedSequence{hash_combine(S, i)}.stream(lanes::kSwarmSample)
+// and Monte-Carlo seeds are label-derived exactly as a spec named "swarm"
+// would derive them.  The report (and its digest) is therefore byte-stable
+// across runs AND across thread-pool widths: all per-combo numbers are
+// aggregated from observer-captured per-trial results in trial-index order,
+// never from the completion-order float sums inside MonteCarloResult.
+//
+// Every combo embeds its own one-point repro spec in the report, so any
+// failure replays with `farm_bench --spec <extracted>.json --seed S`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/scenario.hpp"
+#include "farm/config.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/spec.hpp"
+
+namespace farm::workload {
+
+struct SwarmOptions {
+  /// Number of spec combinations to sample and run.
+  std::size_t combos = 8;
+  /// Master seed: drives both the sampler and the Monte-Carlo trials.
+  std::uint64_t master_seed = analysis::kDefaultMasterSeed;
+  /// Monte-Carlo trials per combo.
+  std::size_t trials = 4;
+  /// Pool for trial fan-out; nullptr = util::global_pool().
+  util::ThreadPool* pool = nullptr;
+  /// Called with each combo's label as it finishes.
+  std::function<void(const std::string&)> progress;
+};
+
+/// One sampled combination after its run: identity, deterministic summary
+/// numbers (index-order aggregation), invariant outcomes, and the one-point
+/// spec that replays it.
+struct SwarmComboResult {
+  std::string label;        // "combo-0003"
+  std::uint64_t seed = 0;   // Monte-Carlo master seed this combo ran with
+  std::string summary;      // config one-liner for humans
+  std::size_t trials = 0;
+  std::size_t trials_with_loss = 0;
+  double mean_disk_failures = 0.0;
+  double mean_rebuilds = 0.0;
+  double mean_window_sec = 0.0;  // mean of per-trial means, index order
+  double max_window_sec = 0.0;
+  std::vector<analysis::CheckOutcome> checks;
+  bool passed = true;
+  Spec repro;  // one-point spec reproducing exactly this combo
+};
+
+struct SwarmReport {
+  std::uint64_t master_seed = 0;
+  std::size_t trials = 0;
+  std::vector<SwarmComboResult> combos;
+  std::size_t combos_failed = 0;
+  /// 16-hex-digit digest of every combo's canonical serialization; equal
+  /// digests mean bit-identical swarm outcomes.
+  std::string digest;
+};
+
+/// Samples combo `index` of the swarm seeded `master_seed`: a valid
+/// SystemConfig drawn from the declared ranges (always passes validate()).
+[[nodiscard]] core::SystemConfig sample_combo_config(std::uint64_t master_seed,
+                                                     std::size_t index);
+
+/// Label of combo `index` ("combo-0007") — the seed-bearing identity.
+[[nodiscard]] std::string swarm_combo_label(std::size_t index);
+
+/// Runs the swarm and evaluates invariants on every combo.
+[[nodiscard]] SwarmReport run_swarm(const SwarmOptions& options);
+
+/// Serializes the report: per-combo summaries, invariant outcomes, embedded
+/// repro specs, and the digest.
+[[nodiscard]] std::string to_json(const SwarmReport& report,
+                                  std::string_view git_describe);
+
+}  // namespace farm::workload

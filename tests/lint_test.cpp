@@ -88,6 +88,7 @@ TEST(LintPaths, SimPathSelection) {
   EXPECT_TRUE(in_sim_path("src/fault/fault_injector.cpp"));
   EXPECT_TRUE(in_sim_path("src/net/fabric.cpp"));
   EXPECT_TRUE(in_sim_path("src/client/service_queue.cpp"));
+  EXPECT_TRUE(in_sim_path("src/workload/invariants.cpp"));
   EXPECT_FALSE(in_sim_path("src/util/json.cpp"));
   EXPECT_FALSE(in_sim_path("src/analysis/scenario.cpp"));
   EXPECT_FALSE(in_sim_path("tests/farm_recovery_test.cpp"));

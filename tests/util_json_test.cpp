@@ -6,6 +6,8 @@
 #include <functional>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 namespace farm::util {
 namespace {
@@ -163,6 +165,46 @@ TEST(JsonValue, LookupSemantics) {
   EXPECT_DOUBLE_EQ(v.at("b").at("c").as_number(), 2.0);
   EXPECT_THROW((void)v.at("a").as_string(), std::invalid_argument);  // kind mismatch
   EXPECT_EQ(JsonValue::parse("[1]").find("a"), nullptr);  // non-object find
+}
+
+std::string parse_error_of(const std::string& text) {
+  try {
+    (void)JsonValue::parse(text);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected parse failure for: " << text;
+  return {};
+}
+
+TEST(JsonValue, RejectsDuplicateObjectKeys) {
+  // Last-key-wins would make a duplicated spec override silently vanish.
+  const std::string msg = parse_error_of(R"({"a": 1, "a": 2})");
+  EXPECT_NE(msg.find("duplicate object key 'a'"), std::string::npos) << msg;
+  // The same key in sibling objects is fine.
+  EXPECT_NO_THROW(JsonValue::parse(R"({"a": {"x": 1}, "b": {"x": 2}})"));
+  // Nested duplicates are caught too.
+  EXPECT_THROW(JsonValue::parse(R"({"a": {"x": 1, "x": 2}})"),
+               std::invalid_argument);
+}
+
+TEST(JsonValue, ParseErrorsCarryLineAndColumn) {
+  {
+    // The duplicate sits on line 3, column 3 (1-based).
+    const std::string msg =
+        parse_error_of("{\n  \"a\": 1,\n  \"a\": 2\n}");
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("column 3"), std::string::npos) << msg;
+  }
+  {
+    const std::string msg = parse_error_of("[1,\n 2,,]");
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  }
+  {
+    // Single-line inputs report line 1 at the offending byte.
+    const std::string msg = parse_error_of("{\"a\": tru}");
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+  }
 }
 
 TEST(JsonEscape, WrapsInQuotes) {

@@ -1,0 +1,367 @@
+// The invariant layer against synthetic runs: every edge the swarm harness
+// relies on — zero-activity missions, loss exactly at tolerance, SLO
+// fractions exactly at the ceiling, conservation violations, detector
+// accounting — distinguished from "unusual but correct" runs.
+#include "workload/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "farm/config.hpp"
+#include "farm/metrics.hpp"
+#include "workload/spec.hpp"
+
+namespace farm::workload {
+namespace {
+
+using analysis::CheckOutcome;
+using core::MonteCarloResult;
+using core::SystemConfig;
+using core::TrialResult;
+
+/// Paper base system with recovery-load collection on (the swarm default),
+/// so byte conservation is evaluated rather than skipped.
+SystemConfig test_config() {
+  SystemConfig c;
+  c.collect_recovery_load = true;
+  return c;
+}
+
+/// A trial that rebuilt `rebuilds` blocks with exactly conserved bytes and
+/// windows consistent with the config's 30 s detection latency.
+TrialResult clean_trial(const SystemConfig& c, std::uint64_t rebuilds) {
+  TrialResult t;
+  t.rebuilds_completed = rebuilds;
+  const double block = c.block_size().value();
+  for (std::uint64_t i = 0; i < rebuilds; ++i) {
+    t.recovery_write_bytes.push_back(block);
+    t.recovery_read_bytes.push_back(
+        block * static_cast<double>(c.scheme.data_blocks));
+  }
+  if (rebuilds > 0) {
+    t.mean_window_sec = 700.0;
+    t.max_window_sec = 900.0;
+  }
+  return t;
+}
+
+/// Aggregate consistent with the given trials (the recount checks hold).
+MonteCarloResult aggregate_of(const std::vector<TrialResult>& trials) {
+  MonteCarloResult r;
+  r.trials = trials.size();
+  double mean_sum = 0.0;
+  for (const TrialResult& t : trials) {
+    if (t.data_lost) ++r.trials_with_loss;
+    mean_sum += t.mean_window_sec;
+    if (t.max_window_sec > r.max_window_sec) {
+      r.max_window_sec = t.max_window_sec;
+    }
+  }
+  if (!trials.empty()) {
+    r.mean_window_sec = mean_sum / static_cast<double>(trials.size());
+  }
+  const double p = r.loss_probability();
+  r.loss_ci = {p, p};
+  return r;
+}
+
+const CheckOutcome& find_check(const std::vector<CheckOutcome>& checks,
+                               const std::string& name) {
+  for (const CheckOutcome& c : checks) {
+    if (c.name == name) return c;
+  }
+  ADD_FAILURE() << "no check named " << name;
+  static const CheckOutcome missing{"missing", false, ""};
+  return missing;
+}
+
+TEST(Invariants, FullChecklistAlwaysReported) {
+  // No per-trial capture at all: per-trial checks report "not evaluated"
+  // but still appear, so swarm reports always carry the full checklist.
+  const SystemConfig c;  // collect_recovery_load off
+  const std::vector<TrialResult> trials;
+  const auto checks =
+      evaluate_invariants(c, trials, aggregate_of(trials), InvariantTolerance{});
+  ASSERT_EQ(checks.size(), 7u);
+  EXPECT_EQ(checks[0].name, "bytes_conserved");
+  EXPECT_EQ(checks[1].name, "group_loss_accounting");
+  EXPECT_EQ(checks[2].name, "loss_within_tolerance");
+  EXPECT_EQ(checks[3].name, "loss_ci_sane");
+  EXPECT_EQ(checks[4].name, "window_sane");
+  EXPECT_EQ(checks[5].name, "slo_floor");
+  EXPECT_EQ(checks[6].name, "detector_sane");
+  EXPECT_TRUE(all_passed(checks));
+  EXPECT_NE(checks[0].detail.find("not evaluated"), std::string::npos);
+  EXPECT_NE(checks[5].detail.find("not evaluated"), std::string::npos);
+}
+
+TEST(Invariants, ZeroActivityMissionPasses) {
+  // A mission where nothing failed: zero rebuilds, zero bytes, no windows.
+  const SystemConfig c = test_config();
+  const std::vector<TrialResult> trials(3, clean_trial(c, 0));
+  const auto checks =
+      evaluate_invariants(c, trials, aggregate_of(trials), InvariantTolerance{});
+  EXPECT_TRUE(all_passed(checks));
+  EXPECT_NE(find_check(checks, "bytes_conserved").detail.find("3 trials"),
+            std::string::npos);
+}
+
+TEST(Invariants, WriteImbalanceDetected) {
+  const SystemConfig c = test_config();
+  std::vector<TrialResult> trials{clean_trial(c, 2), clean_trial(c, 2)};
+  // A stray megabyte — far beyond the relative slack on a 2e10 B balance.
+  trials[1].recovery_write_bytes.push_back(1.0e6);
+  const auto checks =
+      evaluate_invariants(c, trials, aggregate_of(trials), InvariantTolerance{});
+  const CheckOutcome& bytes = find_check(checks, "bytes_conserved");
+  EXPECT_FALSE(bytes.passed);
+  EXPECT_NE(bytes.detail.find("trial 1"), std::string::npos);
+  EXPECT_FALSE(all_passed(checks));
+}
+
+TEST(Invariants, ReadAmplificationCapEnforced) {
+  const SystemConfig c = test_config();  // 1/2 mirroring: m = 1
+  std::vector<TrialResult> trials{clean_trial(c, 1)};
+  // Reading two blocks' worth for one mirrored rebuild is impossible.
+  trials[0].recovery_read_bytes.push_back(c.block_size().value());
+  const auto checks =
+      evaluate_invariants(c, trials, aggregate_of(trials), InvariantTolerance{});
+  EXPECT_FALSE(find_check(checks, "bytes_conserved").passed);
+}
+
+std::vector<TrialResult> one_loss_in(const SystemConfig& c, std::size_t n) {
+  std::vector<TrialResult> trials(n, clean_trial(c, 1));
+  trials[0].data_lost = true;
+  trials[0].lost_groups = 1;
+  trials[0].first_loss = util::seconds(1000.0);
+  return trials;
+}
+
+TEST(Invariants, LossExactlyAtToleranceIsInclusive) {
+  const SystemConfig c = test_config();
+  const std::vector<TrialResult> trials = one_loss_in(c, 4);  // p = 0.25
+  InvariantTolerance tol;
+  tol.max_loss_probability = 0.25;
+  EXPECT_TRUE(all_passed(
+      evaluate_invariants(c, trials, aggregate_of(trials), tol)));
+  tol.max_loss_probability = 0.2499;
+  const auto checks = evaluate_invariants(c, trials, aggregate_of(trials), tol);
+  const CheckOutcome& loss = find_check(checks, "loss_within_tolerance");
+  EXPECT_FALSE(loss.passed);
+  EXPECT_NE(loss.detail.find("exceeds"), std::string::npos);
+}
+
+TEST(Invariants, GroupLossAccountingCatchesInconsistencies) {
+  const SystemConfig c = test_config();
+  {
+    // data_lost set but no lost groups recorded.
+    std::vector<TrialResult> trials{clean_trial(c, 1)};
+    trials[0].data_lost = true;
+    trials[0].first_loss = util::seconds(10.0);
+    const auto checks = evaluate_invariants(c, trials, aggregate_of(trials),
+                                            InvariantTolerance{});
+    EXPECT_FALSE(find_check(checks, "group_loss_accounting").passed);
+  }
+  {
+    // first_loss finite on a lossless trial.
+    std::vector<TrialResult> trials{clean_trial(c, 1)};
+    trials[0].first_loss = util::seconds(10.0);
+    const auto checks = evaluate_invariants(c, trials, aggregate_of(trials),
+                                            InvariantTolerance{});
+    EXPECT_FALSE(find_check(checks, "group_loss_accounting").passed);
+  }
+  {
+    // Aggregate recount disagrees with the per-trial results.
+    const std::vector<TrialResult> trials = one_loss_in(c, 2);
+    MonteCarloResult agg = aggregate_of(trials);
+    agg.trials_with_loss = 0;
+    agg.loss_ci = {0.0, 0.0};
+    const auto checks =
+        evaluate_invariants(c, trials, agg, InvariantTolerance{});
+    const CheckOutcome& acct = find_check(checks, "group_loss_accounting");
+    EXPECT_FALSE(acct.passed);
+    EXPECT_NE(acct.detail.find("recount"), std::string::npos);
+  }
+}
+
+TEST(Invariants, LossCiToleratesUlpSlackAtTheEdges) {
+  // The closed-form Wilson bound lands a few ulps inside the estimate when
+  // every trial (or no trial) lost data; that is not a violation.
+  const SystemConfig c = test_config();
+  std::vector<TrialResult> trials = one_loss_in(c, 2);
+  trials[1] = trials[0];  // both trials lost: p = 1
+  MonteCarloResult agg = aggregate_of(trials);
+  agg.loss_ci = {0.34, 0.99999999999999989};
+  EXPECT_TRUE(find_check(
+                  evaluate_invariants(c, trials, agg, InvariantTolerance{}),
+                  "loss_ci_sane")
+                  .passed);
+}
+
+TEST(Invariants, LossCiMustBracketTheEstimate) {
+  const SystemConfig c = test_config();
+  const std::vector<TrialResult> trials = one_loss_in(c, 4);
+  MonteCarloResult agg = aggregate_of(trials);
+  agg.loss_ci = {0.5, 1.0};  // lo above p = 0.25
+  const auto checks = evaluate_invariants(c, trials, agg, InvariantTolerance{});
+  EXPECT_FALSE(find_check(checks, "loss_ci_sane").passed);
+}
+
+TEST(Invariants, WindowsRequireRebuildsAndRespectDetectionLatency) {
+  const SystemConfig c = test_config();
+  {
+    // A window with zero rebuilds is impossible.
+    std::vector<TrialResult> trials{clean_trial(c, 0)};
+    trials[0].mean_window_sec = 5.0;
+    trials[0].max_window_sec = 5.0;
+    const auto checks = evaluate_invariants(c, trials, aggregate_of(trials),
+                                            InvariantTolerance{});
+    EXPECT_FALSE(find_check(checks, "window_sane").passed);
+  }
+  {
+    // With an exact constant detector (30 s base default), a mean window
+    // below the detection latency beats causality.
+    std::vector<TrialResult> trials{clean_trial(c, 1)};
+    trials[0].mean_window_sec = 1.0;
+    trials[0].max_window_sec = 1.0;
+    const auto checks = evaluate_invariants(c, trials, aggregate_of(trials),
+                                            InvariantTolerance{});
+    const CheckOutcome& win = find_check(checks, "window_sane");
+    EXPECT_FALSE(win.passed);
+    EXPECT_NE(win.detail.find("beats"), std::string::npos);
+  }
+  {
+    // Exactly at the detection latency passes (inclusive floor).
+    std::vector<TrialResult> trials{clean_trial(c, 1)};
+    trials[0].mean_window_sec = c.detection_latency.value();
+    trials[0].max_window_sec = c.detection_latency.value();
+    const auto checks = evaluate_invariants(c, trials, aggregate_of(trials),
+                                            InvariantTolerance{});
+    EXPECT_TRUE(find_check(checks, "window_sane").passed);
+  }
+  {
+    // Window longer than the mission is impossible.
+    std::vector<TrialResult> trials{clean_trial(c, 1)};
+    trials[0].mean_window_sec = c.mission_time.value();
+    trials[0].max_window_sec = c.mission_time.value() * 2.0;
+    const auto checks = evaluate_invariants(c, trials, aggregate_of(trials),
+                                            InvariantTolerance{});
+    EXPECT_FALSE(find_check(checks, "window_sane").passed);
+  }
+}
+
+/// Client aggregate with the given pooled per-phase counters; quantiles come
+/// from empty pooled histograms (degenerate but monotone).
+MonteCarloResult client_aggregate(const std::vector<TrialResult>& trials,
+                                  std::uint64_t healthy, std::uint64_t degraded,
+                                  std::uint64_t healthy_violations,
+                                  std::uint64_t degraded_violations) {
+  MonteCarloResult agg = aggregate_of(trials);
+  agg.client.active = true;
+  agg.client.phase_counts[0] = healthy;
+  agg.client.phase_counts[1] = degraded;
+  agg.client.slo_violations[0] = healthy_violations;
+  agg.client.slo_violations[1] = degraded_violations;
+  return agg;
+}
+
+TrialResult client_trial(const SystemConfig& c, std::uint64_t healthy,
+                         std::uint64_t degraded, std::uint64_t unavailable) {
+  TrialResult t = clean_trial(c, 0);
+  t.client.active = true;
+  t.client.phase_counts[0] = healthy;
+  t.client.phase_counts[1] = degraded;
+  t.client.unavailable_requests = unavailable;
+  t.client.requests = healthy + degraded + unavailable;
+  t.client.reads = t.client.requests;
+  return t;
+}
+
+TEST(Invariants, SloFractionExactlyAtCeilingIsInclusive) {
+  const SystemConfig c = test_config();
+  const std::vector<TrialResult> trials{client_trial(c, 8, 2, 0)};
+  // Pooled: 10 served, 2 violated -> fraction 0.2.
+  InvariantTolerance tol;
+  tol.max_slo_violation = 0.2;
+  EXPECT_TRUE(find_check(evaluate_invariants(
+                             c, trials, client_aggregate(trials, 8, 2, 1, 1), tol),
+                         "slo_floor")
+                  .passed);
+  tol.max_slo_violation = 0.199;
+  const auto checks =
+      evaluate_invariants(c, trials, client_aggregate(trials, 8, 2, 1, 1), tol);
+  const CheckOutcome& slo = find_check(checks, "slo_floor");
+  EXPECT_FALSE(slo.passed);
+  EXPECT_NE(slo.detail.find("exceeds"), std::string::npos);
+}
+
+TEST(Invariants, SloRequestAccountingMustBalance) {
+  const SystemConfig c = test_config();
+  std::vector<TrialResult> trials{client_trial(c, 8, 2, 1)};
+  trials[0].client.requests = 12;  // 8 + 2 + 1 != 12
+  trials[0].client.reads = 12;
+  const auto checks =
+      evaluate_invariants(c, trials, client_aggregate(trials, 8, 2, 0, 0),
+                          InvariantTolerance{});
+  EXPECT_FALSE(find_check(checks, "slo_floor").passed);
+}
+
+TEST(Invariants, CleanDetectorMustReportNoFaultCounters) {
+  const SystemConfig c = test_config();
+  std::vector<TrialResult> trials{clean_trial(c, 0)};
+  trials[0].detection_slips = 1;
+  trials[0].detection_slip_sec = 10.0;
+  const auto checks = evaluate_invariants(c, trials, aggregate_of(trials),
+                                          InvariantTolerance{});
+  const CheckOutcome& det = find_check(checks, "detector_sane");
+  EXPECT_FALSE(det.passed);
+  EXPECT_NE(det.detail.find("clean detector"), std::string::npos);
+}
+
+TEST(Invariants, FaultyHeartbeatSlipFloorEnforced) {
+  SystemConfig c = test_config();
+  c.detector = core::DetectorKind::kHeartbeat;
+  c.fault.detector.enabled = true;
+  c.fault.detector.false_negative_rate = 0.1;
+  const double beat = c.heartbeat_interval.value();
+  {
+    // Two slips must stretch detection by at least two heartbeat intervals.
+    std::vector<TrialResult> trials{clean_trial(c, 0)};
+    trials[0].detection_slips = 2;
+    trials[0].detection_slip_sec = 2.0 * beat;
+    const auto checks = evaluate_invariants(c, trials, aggregate_of(trials),
+                                            InvariantTolerance{});
+    EXPECT_TRUE(find_check(checks, "detector_sane").passed);
+  }
+  {
+    std::vector<TrialResult> trials{clean_trial(c, 0)};
+    trials[0].detection_slips = 2;
+    trials[0].detection_slip_sec = 0.5 * beat;
+    const auto checks = evaluate_invariants(c, trials, aggregate_of(trials),
+                                            InvariantTolerance{});
+    EXPECT_FALSE(find_check(checks, "detector_sane").passed);
+  }
+  {
+    // Cancelling more spurious rebuilds than were ever started.
+    std::vector<TrialResult> trials{clean_trial(c, 0)};
+    trials[0].spurious_rebuilds = 1;
+    trials[0].spurious_cancelled = 2;
+    const auto checks = evaluate_invariants(c, trials, aggregate_of(trials),
+                                            InvariantTolerance{});
+    EXPECT_FALSE(find_check(checks, "detector_sane").passed);
+  }
+}
+
+TEST(Invariants, AllPassedHelper) {
+  std::vector<CheckOutcome> checks{{"a", true, ""}, {"b", true, ""}};
+  EXPECT_TRUE(all_passed(checks));
+  checks.push_back({"c", false, "broken"});
+  EXPECT_FALSE(all_passed(checks));
+  EXPECT_TRUE(all_passed({}));
+}
+
+}  // namespace
+}  // namespace farm::workload

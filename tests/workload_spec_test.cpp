@@ -1,0 +1,271 @@
+// Spec-format contracts: parse diagnostics carry JSON paths, quantities
+// accept SI fields or human-unit aliases but never both, emit -> parse ->
+// emit is the identity, every registered scenario is spec-representable,
+// and a spec carrying a registered scenario's name and point labels
+// reproduces its per-point seeds and Monte-Carlo numbers bit for bit.
+#include "workload/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/scenario.hpp"
+#include "util/units.hpp"
+#include "workload/spec_scenario.hpp"
+
+namespace farm::workload {
+namespace {
+
+using analysis::Scenario;
+using analysis::ScenarioOptions;
+using analysis::ScenarioRegistry;
+using analysis::ScenarioRun;
+
+/// Runs `text` through parse_spec_text and returns the diagnostic it must
+/// throw; fails the test when it parses cleanly.
+std::string parse_error(const std::string& text) {
+  try {
+    (void)parse_spec_text(text);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected std::invalid_argument for: " << text;
+  return {};
+}
+
+void expect_contains(const std::string& haystack, const std::string& needle) {
+  EXPECT_NE(haystack.find(needle), std::string::npos)
+      << "'" << haystack << "' should contain '" << needle << "'";
+}
+
+TEST(SpecParse, MinimalSpecYieldsPaperBasePoint) {
+  const Spec spec = parse_spec_text(R"({"spec_version": 1, "name": "mini"})");
+  EXPECT_EQ(spec.name, "mini");
+  EXPECT_EQ(spec.title, "mini");  // defaults to the name
+  EXPECT_EQ(spec.trials, 0u);     // driver default
+  EXPECT_DOUBLE_EQ(spec.tolerance.max_loss_probability, 1.0);
+  EXPECT_DOUBLE_EQ(spec.tolerance.max_slo_violation, 1.0);
+  ASSERT_EQ(spec.points.size(), 1u);
+  EXPECT_EQ(spec.points[0].label, "base");
+  // The point is the paper's Table 2 base system.
+  const core::SystemConfig& c = spec.points[0].config;
+  EXPECT_EQ(c.scheme.str(), "1/2");
+  EXPECT_EQ(c.group_count(), 200000u);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(SpecParse, BaseAndPointOverridesCompose) {
+  const Spec spec = parse_spec_text(R"({
+    "name": "layered",
+    "title": "layered overrides",
+    "trials": 12,
+    "invariants": {"max_loss_probability": 0.5},
+    "base": {
+      "fleet": {"user_data_gb": 20000},
+      "erasure": {"scheme": "4/6", "group_size_gb": 5}
+    },
+    "points": [
+      {"label": "slow", "recovery": {"bandwidth_mb_s": 8}},
+      {"label": "fast", "recovery": {"bandwidth_bytes_per_sec": 40000000}}
+    ]
+  })");
+  EXPECT_EQ(spec.title, "layered overrides");
+  EXPECT_EQ(spec.trials, 12u);
+  EXPECT_DOUBLE_EQ(spec.tolerance.max_loss_probability, 0.5);
+  EXPECT_DOUBLE_EQ(spec.tolerance.max_slo_violation, 1.0);
+  ASSERT_EQ(spec.points.size(), 2u);
+  for (const SpecPoint& p : spec.points) {
+    // The shared base block applies to every point.
+    EXPECT_DOUBLE_EQ(p.config.total_user_data.value(),
+                     util::gigabytes(20000).value());
+    EXPECT_EQ(p.config.scheme.str(), "4/6");
+    EXPECT_DOUBLE_EQ(p.config.group_size.value(), util::gigabytes(5).value());
+  }
+  EXPECT_DOUBLE_EQ(spec.points[0].config.recovery_bandwidth.value(),
+                   util::mb_per_sec(8).value());
+  EXPECT_DOUBLE_EQ(spec.points[1].config.recovery_bandwidth.value(),
+                   util::mb_per_sec(40).value());
+}
+
+TEST(SpecParse, UnknownKeyRejectedWithJsonPath) {
+  const std::string msg = parse_error(R"({
+    "name": "typo",
+    "points": [
+      {"label": "p", "recovery": {"bandwith_mb_s": 8}}
+    ]
+  })");
+  expect_contains(msg, "points[0].recovery");
+  expect_contains(msg, "bandwith_mb_s");
+}
+
+TEST(SpecParse, DualUnitFormsOfOneQuantityConflict) {
+  const std::string msg = parse_error(R"({
+    "name": "dual",
+    "base": {"erasure": {"group_size_bytes": 1000000000, "group_size_gb": 1}}
+  })");
+  expect_contains(msg, "group_size_bytes");
+  expect_contains(msg, "group_size_gb");
+}
+
+TEST(SpecParse, BadEnumAndBadSchemeDiagnose) {
+  expect_contains(parse_error(R"({
+    "name": "e", "base": {"recovery": {"mode": "warp"}}
+  })"),
+                  "mode");
+  expect_contains(parse_error(R"({
+    "name": "e", "base": {"erasure": {"scheme": "6/4"}}
+  })"),
+                  "scheme");
+}
+
+TEST(SpecParse, StructuralErrorsDiagnose) {
+  expect_contains(parse_error(R"({"spec_version": 2, "name": "x"})"),
+                  "spec_version");
+  expect_contains(parse_error(R"({"spec_version": 1})"), "name");
+  expect_contains(parse_error(R"({"name": "x", "points": []})"), "points");
+  expect_contains(parse_error(R"({"name": "x", "points": [{"label": ""}]})"),
+                  "label");
+  expect_contains(
+      parse_error(
+          R"({"name": "x", "invariants": {"max_loss_probability": 1.5}})"),
+      "[0, 1]");
+  expect_contains(parse_error(R"({
+    "name": "x",
+    "points": [{"label": "a"}, {"label": "a"}]
+  })"),
+                  "duplicate point label 'a'");
+}
+
+TEST(SpecParse, InvalidPointConfigNamesTheLabel) {
+  // recovery bandwidth above the disk bandwidth fails SystemConfig::validate;
+  // the spec layer must attribute the failure to the offending point.
+  const std::string msg = parse_error(R"({
+    "name": "x",
+    "points": [{"label": "hot", "recovery": {"bandwidth_mb_s": 500}}]
+  })");
+  expect_contains(msg, "hot");
+}
+
+TEST(SpecParse, JsonSyntaxErrorsCarryLineAndColumn) {
+  const std::string msg = parse_error("{\n  \"name\": }");
+  expect_contains(msg, "line 2");
+}
+
+TEST(SpecEmit, EmitParseEmitIsTheIdentity) {
+  Spec spec;
+  spec.name = "round";
+  spec.title = "round trip";
+  spec.trials = 5;
+  spec.tolerance.max_loss_probability = 0.25;
+  core::SystemConfig config;  // paper base
+  config.collect_recovery_load = true;
+  spec.points.push_back({"base", config});
+  const std::string once = spec_to_json(spec);
+  const Spec reparsed = parse_spec_text(once);
+  EXPECT_EQ(spec_to_json(reparsed), once);
+  EXPECT_EQ(reparsed.trials, 5u);
+  ASSERT_EQ(reparsed.points.size(), 1u);
+  EXPECT_TRUE(reparsed.points[0].config.collect_recovery_load);
+}
+
+ScenarioOptions tiny_options() {
+  ScenarioOptions opts;
+  opts.trials = 2;
+  opts.scale = 0.01;
+  opts.master_seed = 7;
+  return opts;
+}
+
+TEST(SpecFromScenario, EveryRegisteredScenarioIsRepresentable) {
+  const ScenarioOptions opts = tiny_options();
+  for (const Scenario* s : ScenarioRegistry::instance().all()) {
+    Spec spec;
+    ASSERT_NO_THROW(spec = spec_from_scenario(*s, opts)) << s->info().name;
+    EXPECT_EQ(spec.name, s->info().name);
+    const auto points = s->build_points(opts);
+    ASSERT_EQ(spec.points.size(), points.size()) << s->info().name;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      EXPECT_EQ(spec.points[i].label, points[i].label) << s->info().name;
+    }
+    // The dump replays: emit -> parse -> emit is the identity.
+    const std::string once = spec_to_json(spec);
+    EXPECT_EQ(spec_to_json(parse_spec_text(once)), once) << s->info().name;
+  }
+}
+
+#ifdef FARM_SPEC_EXAMPLES_DIR
+TEST(SpecExamples, ShippedExampleSpecsParseValidateAndRoundTrip) {
+  std::size_t count = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(FARM_SPEC_EXAMPLES_DIR)) {
+    if (entry.path().extension() != ".json") continue;
+    ++count;
+    std::ifstream in(entry.path());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Spec spec;
+    ASSERT_NO_THROW(spec = parse_spec_text(buf.str())) << entry.path();
+    EXPECT_FALSE(spec.points.empty()) << entry.path();
+    for (const SpecPoint& p : spec.points) {
+      EXPECT_NO_THROW(p.config.validate())
+          << entry.path() << ": " << p.label;
+    }
+    const std::string once = spec_to_json(spec);
+    EXPECT_EQ(spec_to_json(parse_spec_text(once)), once) << entry.path();
+  }
+  EXPECT_GE(count, 3u) << "examples/specs/ should ship at least three specs";
+}
+#endif
+
+TEST(SpecScenarioRun, ReproducesRegistryScenarioBitForBit) {
+  const Scenario* fig5 =
+      ScenarioRegistry::instance().find("fig5_recovery_bandwidth");
+  ASSERT_NE(fig5, nullptr);
+  const ScenarioOptions opts = tiny_options();
+  const ScenarioRun registry_run = fig5->run(opts);
+
+  // Dump at the registry options; scale is baked into the dumped configs,
+  // so the spec replays at scale 1.
+  SpecScenario replayed(spec_from_scenario(*fig5, opts));
+  ScenarioOptions replay_opts = opts;
+  replay_opts.scale = 1.0;
+  const ScenarioRun spec_run = replayed.run(replay_opts);
+
+  ASSERT_EQ(spec_run.points.size(), registry_run.points.size());
+  for (const analysis::PointResult& reg : registry_run.points) {
+    const analysis::PointResult& rep = spec_run.at(reg.point.label);
+    EXPECT_EQ(rep.seed, reg.seed) << reg.point.label;
+    EXPECT_EQ(rep.result.trials, reg.result.trials) << reg.point.label;
+    EXPECT_EQ(rep.result.trials_with_loss, reg.result.trials_with_loss)
+        << reg.point.label;
+    // Failure/rebuild counts sum integers, so the means are exact; window
+    // means accumulate doubles in worker-completion order, so allow
+    // rounding noise only.
+    EXPECT_DOUBLE_EQ(rep.result.mean_disk_failures,
+                     reg.result.mean_disk_failures)
+        << reg.point.label;
+    EXPECT_DOUBLE_EQ(rep.result.mean_rebuilds, reg.result.mean_rebuilds)
+        << reg.point.label;
+    EXPECT_NEAR(rep.result.mean_window_sec, reg.result.mean_window_sec,
+                1e-9 * (1.0 + reg.result.mean_window_sec))
+        << reg.point.label;
+    // The spec path adds the invariant layer on top — and the registry
+    // scenario's physics must pass it.
+    EXPECT_FALSE(rep.checks.empty()) << reg.point.label;
+    for (const analysis::CheckOutcome& c : rep.checks) {
+      EXPECT_TRUE(c.passed) << reg.point.label << ": " << c.name << ": "
+                            << c.detail;
+    }
+    EXPECT_TRUE(reg.checks.empty()) << "registry JSON must be unchanged";
+  }
+}
+
+}  // namespace
+}  // namespace farm::workload

@@ -1,0 +1,148 @@
+// Swarm-mode contracts: combo sampling is a pure function of (seed, index),
+// every sampled config validates, the report digest is byte-stable across
+// runs AND across thread-pool widths, and each combo's embedded repro spec
+// replays to the same seed and outcome.
+#include "workload/swarm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "analysis/scenario.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/spec.hpp"
+#include "workload/spec_scenario.hpp"
+
+namespace farm::workload {
+namespace {
+
+std::string config_json(const core::SystemConfig& c) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  write_config_spec(w, c);
+  w.end_object();
+  return os.str();
+}
+
+TEST(SwarmSampling, LabelsArePaddedAndStable) {
+  EXPECT_EQ(swarm_combo_label(0), "combo-0000");
+  EXPECT_EQ(swarm_combo_label(7), "combo-0007");
+  EXPECT_EQ(swarm_combo_label(1234), "combo-1234");
+}
+
+TEST(SwarmSampling, EveryComboValidatesAndIsPure) {
+  for (std::size_t i = 0; i < 12; ++i) {
+    const core::SystemConfig a = sample_combo_config(1, i);
+    EXPECT_NO_THROW(a.validate()) << i;
+    // Pure function of (seed, index): resampling is bit-identical.
+    EXPECT_EQ(config_json(sample_combo_config(1, i)), config_json(a)) << i;
+  }
+}
+
+TEST(SwarmSampling, DrawsSpanTheDeclaredRanges) {
+  std::set<std::string> schemes;
+  std::set<std::string> whole;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const core::SystemConfig c = sample_combo_config(3, i);
+    schemes.insert(c.scheme.str());
+    whole.insert(config_json(c));
+  }
+  // 16 draws must not collapse onto one corner of the space.
+  EXPECT_GT(schemes.size(), 1u);
+  EXPECT_EQ(whole.size(), 16u);  // and no two combos are identical
+  // A different master seed samples a different sequence.
+  EXPECT_NE(config_json(sample_combo_config(4, 0)),
+            config_json(sample_combo_config(3, 0)));
+}
+
+SwarmOptions small_swarm(util::ThreadPool* pool = nullptr) {
+  SwarmOptions opts;
+  opts.combos = 4;
+  opts.master_seed = 1;
+  opts.trials = 2;
+  opts.pool = pool;
+  return opts;
+}
+
+TEST(SwarmRun, ReportIsByteStableAcrossRuns) {
+  const SwarmReport first = run_swarm(small_swarm());
+  const SwarmReport second = run_swarm(small_swarm());
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(to_json(first, "test"), to_json(second, "test"));
+  ASSERT_EQ(first.combos.size(), 4u);
+  for (const SwarmComboResult& c : first.combos) {
+    EXPECT_EQ(c.trials, 2u);
+    EXPECT_FALSE(c.checks.empty()) << c.label;
+    EXPECT_TRUE(c.passed) << c.label;
+  }
+  EXPECT_EQ(first.combos_failed, 0u);
+}
+
+TEST(SwarmRun, DigestIsIndependentOfThreadPoolWidth) {
+  // The determinism contract's hard case: per-combo aggregation must come
+  // from observer-captured trials in index order, so a serial pool and a
+  // wide pool produce byte-identical reports.
+  util::ThreadPool serial(1);
+  util::ThreadPool wide(4);
+  const SwarmReport narrow = run_swarm(small_swarm(&serial));
+  const SwarmReport parallel = run_swarm(small_swarm(&wide));
+  EXPECT_EQ(narrow.digest, parallel.digest);
+  EXPECT_EQ(to_json(narrow, "test"), to_json(parallel, "test"));
+}
+
+TEST(SwarmRun, DifferentSeedsDiverge) {
+  SwarmOptions other = small_swarm();
+  other.master_seed = 2;
+  EXPECT_NE(run_swarm(small_swarm()).digest, run_swarm(other).digest);
+}
+
+TEST(SwarmRun, ReproSpecReplaysTheCombo) {
+  const SwarmReport report = run_swarm(small_swarm());
+  const SwarmComboResult& combo = report.combos[0];
+  // The embedded spec round-trips through JSON like a user extracting it
+  // from the report file would.
+  const Spec replayed = parse_spec_text(spec_to_json(combo.repro));
+  EXPECT_EQ(replayed.name, "swarm");
+  ASSERT_EQ(replayed.points.size(), 1u);
+  EXPECT_EQ(replayed.points[0].label, combo.label);
+
+  SpecScenario scenario(replayed);
+  analysis::ScenarioOptions opts;
+  opts.trials = 2;
+  opts.master_seed = 1;
+  const analysis::ScenarioRun run = scenario.run(opts);
+  ASSERT_EQ(run.points.size(), 1u);
+  EXPECT_EQ(run.points[0].seed, combo.seed);
+  EXPECT_EQ(run.points[0].result.trials_with_loss, combo.trials_with_loss);
+  EXPECT_DOUBLE_EQ(run.points[0].result.mean_disk_failures,
+                   combo.mean_disk_failures);
+  EXPECT_DOUBLE_EQ(run.points[0].result.mean_rebuilds, combo.mean_rebuilds);
+}
+
+TEST(SwarmRun, ReportJsonParsesAndCarriesReproSpecs) {
+  const SwarmReport report = run_swarm(small_swarm());
+  const util::JsonValue doc = util::JsonValue::parse(to_json(report, "test"));
+  EXPECT_EQ(doc.at("kind").as_string(), "swarm");
+  EXPECT_EQ(doc.at("digest").as_string(), report.digest);
+  EXPECT_EQ(doc.at("master_seed").as_string(), "1");
+  const auto& results = doc.at("results").as_array();
+  ASSERT_EQ(results.size(), 4u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const util::JsonValue& r = results[i];
+    EXPECT_FALSE(r.at("invariants").as_array().empty());
+    // Every embedded repro spec names the swarm and its one combo point, so
+    // extracting it replays under the swarm's seed derivation.
+    const util::JsonValue& repro = r.at("repro_spec");
+    EXPECT_EQ(repro.at("name").as_string(), "swarm");
+    ASSERT_EQ(repro.at("points").as_array().size(), 1u);
+    EXPECT_EQ(repro.at("points").as_array()[0].at("label").as_string(),
+              report.combos[i].label);
+  }
+}
+
+}  // namespace
+}  // namespace farm::workload
