@@ -61,6 +61,9 @@ int usage(std::ostream& os, int exit_code) {
         "  --swarm N        sample and run N random spec combinations, assert\n"
         "                   invariants on each (uses --seed and --trials;\n"
         "                   --out writes the machine-readable report)\n"
+        "  --threads N      worker threads for the Monte-Carlo trials\n"
+        "                   (default: hardware concurrency); results are\n"
+        "                   seed-derived, so N never changes the numbers\n"
         "  --timeout-sec T  abandon any scenario still running after T seconds\n"
         "                   (default: no limit); the run is recorded as an\n"
         "                   error and the driver exits nonzero\n"
@@ -80,6 +83,7 @@ struct Args {
   std::vector<std::string> spec_paths;
   std::optional<std::string> dump_spec;
   std::optional<std::size_t> swarm;
+  std::optional<std::size_t> threads;
   double timeout_sec = 0.0;  // 0 = no watchdog
 };
 
@@ -145,6 +149,16 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.json_dir = next(i, "--json");
     } else if (a == "--out") {
       args.out_path = next(i, "--out");
+    } else if (a == "--threads") {
+      const char* v = next(i, "--threads");
+      char* end = nullptr;
+      const long long n = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || n <= 0) {
+        throw std::invalid_argument(
+            "--threads expects a positive integer, got '" + std::string(v) +
+            "'");
+      }
+      args.threads = static_cast<std::size_t>(n);
     } else if (a == "--timeout-sec") {
       const char* v = next(i, "--timeout-sec");
       char* end = nullptr;
@@ -244,6 +258,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   opts.master_seed = args.seed;
+
+  // The pool outlives every scenario run below; ScenarioOptions carries a
+  // raw pointer only.  Null keeps the process-global pool.
+  std::unique_ptr<util::ThreadPool> pool;
+  if (args.threads) {
+    pool = std::make_unique<util::ThreadPool>(*args.threads);
+    opts.pool = pool.get();
+  }
 
   if (args.dump_spec) {
     const analysis::Scenario* s = registry.find(*args.dump_spec);

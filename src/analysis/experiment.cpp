@@ -1,6 +1,8 @@
 #include "analysis/experiment.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -23,6 +25,15 @@ core::SystemConfig scale_config(core::SystemConfig config, double scale) {
   config.total_user_data = config.total_user_data * scale;
   if (config.group_size > config.total_user_data) {
     config.group_size = config.total_user_data;
+  }
+  // Lifecycle expansions track the fleet they join: a half-scale system gets
+  // half-size batches (never below one disk).  Identity at scale 1.0.
+  for (auto& e : config.fleet.events) {
+    if (e.kind == fleet::LifecycleKind::kExpand && e.count > 0) {
+      const auto scaled =
+          std::llround(static_cast<double>(e.count) * scale);
+      e.count = static_cast<std::size_t>(std::max<long long>(1, scaled));
+    }
   }
   return config;
 }

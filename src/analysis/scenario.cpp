@@ -81,6 +81,7 @@ void Scenario::execute(const ScenarioOptions& opts, std::uint64_t scenario_seed,
     core::MonteCarloOptions mc;
     mc.trials = out.trials;
     mc.master_seed = point_seed(scenario_seed, p.label);
+    mc.pool = opts.pool;
     const auto start = std::chrono::steady_clock::now();
     PointResult pr = run_point(p, mc);
     pr.seed = mc.master_seed;

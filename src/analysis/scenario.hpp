@@ -34,6 +34,10 @@ struct ScenarioOptions {
   /// Multiplies the paper's 2 PB of user data (FARM_SCALE / --scale).
   double scale = 1.0;
   std::uint64_t master_seed = kDefaultMasterSeed;
+  /// Thread pool for the Monte-Carlo trials; null = the process-global pool.
+  /// Results are seed-derived, so the pool size never changes the numbers
+  /// (the fleet-smoke CI job cmp's runs across --threads to prove it).
+  util::ThreadPool* pool = nullptr;
   /// Called with each point's label as it finishes.
   std::function<void(const std::string&)> progress;
 };

@@ -135,6 +135,23 @@ void SystemConfig::validate() const {
         "config: detector false negatives model missed heartbeats; they "
         "require DetectorKind::kHeartbeat");
   }
+  fleet.validate();
+  if (fleet.enabled() && placement != placement::PolicyKind::kRush) {
+    throw std::invalid_argument(
+        "config: fleet lifecycle events need weighted-cluster reweighting; "
+        "only the rush placement policy supports it");
+  }
+  if (fleet.enabled() && fleet.migration_bandwidth > disk.bandwidth) {
+    throw std::invalid_argument(
+        "config: migration bandwidth exceeds disk bandwidth");
+  }
+  if (fleet.enabled() && replacement.enabled) {
+    // Both subsystems append placement clusters; replacement batches would
+    // shift the cluster indices the lifecycle timeline refers to.
+    throw std::invalid_argument(
+        "config: fleet lifecycle and batch replacement cannot both add "
+        "placement clusters; disable one");
+  }
   client.validate();
   if (workload.kind == WorkloadKind::kGenerated && !client.enabled) {
     throw std::invalid_argument(
@@ -162,6 +179,10 @@ std::string SystemConfig::summary() const {
     if (fault.detector.enabled) { os << sep << "detector"; sep = " "; }
     if (fault.interrupted.enabled) { os << sep << "interrupted"; }
     os << "]";
+  }
+  if (fleet.enabled()) {
+    os << ", fleet [" << fleet.events.size() << " lifecycle events, migrate at "
+       << util::to_string(fleet.migration_bandwidth) << "]";
   }
   return os.str();
 }

@@ -15,6 +15,7 @@
 #include "disk/smart.hpp"
 #include "erasure/scheme.hpp"
 #include "fault/fault_config.hpp"
+#include "fleet/fleet_config.hpp"
 #include "farm/workload.hpp"
 #include "net/topology.hpp"
 #include "placement/placement.hpp"
@@ -161,6 +162,10 @@ struct SystemConfig {
   /// detection, interrupted rebuilds); fully off by default = the paper's
   /// clean fail-stop model, with bit-identical output.
   fault::FaultConfig fault;
+  /// Fleet lifecycle (expansion, decommission, weight changes) and the
+  /// rebalance engine's migration traffic class; empty timeline (default) =
+  /// the paper's static fleet, with bit-identical output.
+  fleet::FleetConfig fleet;
 
   // --- mission ---------------------------------------------------------------
   util::Seconds mission_time = util::years(6);

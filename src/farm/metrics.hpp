@@ -196,6 +196,27 @@ struct TrialResult {
   std::uint64_t spurious_rebuilds = 0;
   std::uint64_t spurious_cancelled = 0;
   std::uint64_t rebuild_interruptions = 0;
+  /// Fleet-lifecycle counters (src/fleet); all zero with fleet_active
+  /// false, i.e. when the lifecycle timeline is empty.
+  bool fleet_active = false;
+  std::uint64_t fleet_expansions = 0;
+  std::uint64_t fleet_decommissions = 0;
+  std::uint64_t fleet_weight_changes = 0;
+  std::uint64_t fleet_disks_added = 0;
+  std::uint64_t fleet_disks_retired = 0;
+  std::uint64_t migrations_planned = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t migrations_cancelled = 0;
+  double planned_move_bytes = 0.0;   // pure placement-diff movement
+  double moved_bytes = 0.0;          // committed movement
+  double changed_weight_bytes = 0.0; // theoretical minimum movement
+  double drained_bytes = 0.0;        // released by decommissioned disks
+  double landed_bytes = 0.0;         // charged to their drain targets
+  std::uint64_t drain_deadline_misses = 0;
+  std::uint64_t drain_residual_blocks = 0;
+  /// Migration traffic over the fabric (fleet_active && fabric_active).
+  double migration_local_bytes = 0.0;
+  double migration_cross_rack_bytes = 0.0;
 };
 
 /// Monte-Carlo aggregate over many trials of one configuration.
@@ -244,6 +265,22 @@ struct MonteCarloResult {
   double mean_spurious_rebuilds = 0.0;
   double mean_spurious_cancelled = 0.0;
   double mean_rebuild_interruptions = 0.0;
+  /// Fleet-lifecycle means (meaningful only when fleet_active).
+  bool fleet_active = false;
+  double mean_fleet_disks_added = 0.0;
+  double mean_fleet_disks_retired = 0.0;
+  double mean_migrations_planned = 0.0;
+  double mean_migrations_completed = 0.0;
+  double mean_migrations_cancelled = 0.0;
+  double mean_planned_move_bytes = 0.0;
+  double mean_moved_bytes = 0.0;
+  double mean_changed_weight_bytes = 0.0;
+  double mean_drained_bytes = 0.0;
+  double mean_landed_bytes = 0.0;
+  double mean_drain_deadline_misses = 0.0;
+  double mean_drain_residual_blocks = 0.0;
+  double mean_migration_local_bytes = 0.0;
+  double mean_migration_cross_rack_bytes = 0.0;
 
   [[nodiscard]] double loss_probability() const {
     return trials == 0 ? 0.0

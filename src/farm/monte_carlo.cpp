@@ -1,7 +1,7 @@
 #include "farm/monte_carlo.hpp"
 
 #include <algorithm>
-#include <mutex>
+#include <vector>
 
 #include "util/env.hpp"
 #include "util/random.hpp"
@@ -17,7 +17,6 @@ MonteCarloResult run_monte_carlo(const SystemConfig& config,
 
   MonteCarloResult agg;
   agg.trials = options.trials;
-  std::mutex mu;
   double sum_failures = 0.0, sum_rebuilds = 0.0, sum_redirections = 0.0;
   double sum_lost_groups = 0.0, sum_batches = 0.0, sum_migrated = 0.0;
   double sum_stalls = 0.0, sum_ure_losses = 0.0;
@@ -29,12 +28,26 @@ MonteCarloResult run_monte_carlo(const SystemConfig& config,
   double sum_det_slips = 0.0, sum_det_slip_sec = 0.0;
   double sum_spur_det = 0.0, sum_spur_rebuilds = 0.0, sum_spur_cancelled = 0.0;
   double sum_interruptions = 0.0;
+  double sum_fleet_added = 0.0, sum_fleet_retired = 0.0;
+  double sum_mig_planned = 0.0, sum_mig_completed = 0.0, sum_mig_cancelled = 0.0;
+  double sum_planned_bytes = 0.0, sum_moved_bytes = 0.0, sum_changed_bytes = 0.0;
+  double sum_drained = 0.0, sum_landed = 0.0;
+  double sum_deadline_misses = 0.0, sum_residual = 0.0;
+  double sum_mig_local = 0.0, sum_mig_cross = 0.0;
   std::size_t trials_with_windows = 0;
   std::size_t with_redirection = 0;
 
+  // Trials land in an index-addressed vector and the reduction below walks
+  // it sequentially: floating-point accumulation order must depend only on
+  // the trial index, never on worker-thread completion order, so the same
+  // seed produces byte-identical aggregates at any --threads setting.
+  std::vector<TrialResult> trials(options.trials);
   pool.parallel_for_index(options.trials, [&](std::size_t i) {
-    const TrialResult r = run_trial(config, seeds.stream(i));
-    std::lock_guard lock(mu);
+    trials[i] = run_trial(config, seeds.stream(i));
+  });
+
+  for (std::size_t i = 0; i < options.trials; ++i) {
+    const TrialResult& r = trials[i];
     if (r.data_lost) ++agg.trials_with_loss;
     sum_failures += static_cast<double>(r.disk_failures);
     sum_rebuilds += static_cast<double>(r.rebuilds_completed);
@@ -71,12 +84,29 @@ MonteCarloResult run_monte_carlo(const SystemConfig& config,
       sum_spur_cancelled += static_cast<double>(r.spurious_cancelled);
       sum_interruptions += static_cast<double>(r.rebuild_interruptions);
     }
+    if (r.fleet_active) {
+      agg.fleet_active = true;
+      sum_fleet_added += static_cast<double>(r.fleet_disks_added);
+      sum_fleet_retired += static_cast<double>(r.fleet_disks_retired);
+      sum_mig_planned += static_cast<double>(r.migrations_planned);
+      sum_mig_completed += static_cast<double>(r.migrations_completed);
+      sum_mig_cancelled += static_cast<double>(r.migrations_cancelled);
+      sum_planned_bytes += r.planned_move_bytes;
+      sum_moved_bytes += r.moved_bytes;
+      sum_changed_bytes += r.changed_weight_bytes;
+      sum_drained += r.drained_bytes;
+      sum_landed += r.landed_bytes;
+      sum_deadline_misses += static_cast<double>(r.drain_deadline_misses);
+      sum_residual += static_cast<double>(r.drain_residual_blocks);
+      sum_mig_local += r.migration_local_bytes;
+      sum_mig_cross += r.migration_cross_rack_bytes;
+    }
     if (r.redirections > 0) ++with_redirection;
     for (double u : r.initial_used_bytes) agg.initial_utilization.add(u);
     for (double u : r.final_used_bytes) agg.final_utilization.add(u);
     agg.client.merge_trial(r.client);
     if (options.observer) options.observer(i, r);
-  });
+  }
 
   const auto n = static_cast<double>(options.trials);
   if (options.trials > 0) {
@@ -113,6 +143,22 @@ MonteCarloResult run_monte_carlo(const SystemConfig& config,
       agg.mean_spurious_rebuilds = sum_spur_rebuilds / n;
       agg.mean_spurious_cancelled = sum_spur_cancelled / n;
       agg.mean_rebuild_interruptions = sum_interruptions / n;
+    }
+    if (agg.fleet_active) {
+      agg.mean_fleet_disks_added = sum_fleet_added / n;
+      agg.mean_fleet_disks_retired = sum_fleet_retired / n;
+      agg.mean_migrations_planned = sum_mig_planned / n;
+      agg.mean_migrations_completed = sum_mig_completed / n;
+      agg.mean_migrations_cancelled = sum_mig_cancelled / n;
+      agg.mean_planned_move_bytes = sum_planned_bytes / n;
+      agg.mean_moved_bytes = sum_moved_bytes / n;
+      agg.mean_changed_weight_bytes = sum_changed_bytes / n;
+      agg.mean_drained_bytes = sum_drained / n;
+      agg.mean_landed_bytes = sum_landed / n;
+      agg.mean_drain_deadline_misses = sum_deadline_misses / n;
+      agg.mean_drain_residual_blocks = sum_residual / n;
+      agg.mean_migration_local_bytes = sum_mig_local / n;
+      agg.mean_migration_cross_rack_bytes = sum_mig_cross / n;
     }
   }
   agg.client.finalize(options.trials);

@@ -18,8 +18,8 @@ struct MonteCarloOptions {
   std::uint64_t master_seed = 0x5eedfa12;
   /// Pool to run on; nullptr = util::global_pool().
   util::ThreadPool* pool = nullptr;
-  /// Optional per-trial observer (called on a worker thread, unsynchronized
-  /// with other trials; the harness serializes calls).
+  /// Optional per-trial observer, called sequentially in trial-index order
+  /// after every trial has finished (never from a worker thread).
   std::function<void(std::size_t, const TrialResult&)> observer;
 };
 

@@ -404,6 +404,39 @@ void RecoveryPolicy::on_disk_failed(DiskId d) {
   if (track_sources_) handle_source_failure(d);
 }
 
+void RecoveryPolicy::on_disk_retired(DiskId d) {
+  ensure_disk_slots(d);
+
+  if (!spurious_.empty()) {
+    end_spurious_rebuilds(d, /*disk_died=*/true);
+    for (auto& [accused, list] : spurious_) {
+      for (SpuriousRebuild& sr : list) {
+        if (sr.target != d) continue;
+        if (sr.xfer != net::kNoTransfer) {
+          scheduler_->cancel(sr.xfer);
+          sr.xfer = net::kNoTransfer;
+        }
+        sr.target = kNoDisk;
+      }
+    }
+  }
+
+  // Same orphan handling as a real failure: rebuilds that picked this disk
+  // as their target re-route to a live one.
+  std::vector<RebuildId> orphaned = std::move(by_target_[d]);
+  by_target_[d].clear();
+  for (RebuildId id : orphaned) {
+    cancel_transfer(id);
+    metrics_.record_redirection();
+    metrics_.trace(sim_.now().value(), "redirected", slab_[id].group);
+  }
+  if (!orphaned.empty()) handle_target_failure(d, orphaned);
+
+  // No availability pass: the fleet manager only retires verified-empty
+  // disks, so there is no block whose home just vanished.
+  if (track_sources_) handle_source_failure(d);
+}
+
 std::unique_ptr<RecoveryPolicy> make_recovery_policy(StorageSystem& system,
                                                      sim::Simulator& sim,
                                                      Metrics& metrics) {

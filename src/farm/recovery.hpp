@@ -49,9 +49,24 @@ class RecoveryPolicy {
   /// Invoked when the detector declares the disk dead: start rebuilding.
   virtual void on_failure_detected(DiskId d) = 0;
 
+  /// A fleet decommission drained this disk to zero blocks and
+  /// administratively failed it.  The disk holds no data, so there is
+  /// nothing to detect or rebuild — but in-flight rebuilds *targeting* it
+  /// must be rerouted, spurious copies touching it tombstoned, and (when
+  /// interrupted-rebuild tracking is on) transfers reading from it
+  /// restarted.  Deliberately skips the failure metrics and the
+  /// availability pass of on_disk_failed.
+  void on_disk_retired(DiskId d);
+
   /// The network-fabric scheduler, or nullptr when the topology is off
   /// (flat fixed-bandwidth mode).  Exposed for traffic accounting.
   [[nodiscard]] const net::FlowScheduler* fabric_scheduler() const {
+    return scheduler_.get();
+  }
+  /// Mutable access for the fleet manager's migration flows — rebalance
+  /// traffic rides the same fabric (and the same per-disk FIFO queues) as
+  /// the recovery streams, which is exactly where the contention comes from.
+  [[nodiscard]] net::FlowScheduler* fabric_scheduler_mutable() {
     return scheduler_.get();
   }
 

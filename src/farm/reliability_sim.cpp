@@ -43,6 +43,14 @@ ReliabilitySimulator::ReliabilitySimulator(const SystemConfig& config,
     injector_->start();
   }
 
+  if (config_.fleet.enabled()) {
+    // Draws no random numbers; with an empty timeline nothing is even
+    // constructed, keeping static-fleet trials bit-identical.
+    fleet_ = std::make_unique<fleet::FleetManager>(system_, sim_, metrics_,
+                                                   *policy_);
+    fleet_->start();
+  }
+
   // Correlated enclosure events: each initial failure domain has a
   // pre-sampled destruction time; the event kills every drive still alive
   // in the enclosure at once.
@@ -76,6 +84,9 @@ void ReliabilitySimulator::on_disk_failure_event(DiskId id) {
   // pre-scheduled failure time arrived.
   if (!system_.disk_at(id).alive()) return;
   system_.fail_disk(id);
+  // Migrations touching the dead disk are cancelled (drains re-route)
+  // before the recovery policy claims the disk's blocks.
+  if (fleet_) fleet_->on_disk_failed(id);
   policy_->on_disk_failed(id);
   // Detector false negatives stretch the detection time by whole missed
   // heartbeats; without an injector the detector's own latency stands.
@@ -143,6 +154,28 @@ TrialResult ReliabilitySimulator::run() {
     result.recovery_write_bytes.resize(system_.disk_slots(), 0.0);
   }
   if (client_) result.client = client_->summary();
+  if (fleet_) {
+    result.fleet_active = true;
+    result.fleet_expansions = fleet_->expansions();
+    result.fleet_decommissions = fleet_->decommissions();
+    result.fleet_weight_changes = fleet_->weight_changes();
+    result.fleet_disks_added = fleet_->disks_added();
+    result.fleet_disks_retired = fleet_->disks_retired();
+    result.migrations_planned = fleet_->migrations_planned();
+    result.migrations_completed = fleet_->migrations_completed();
+    result.migrations_cancelled = fleet_->migrations_cancelled();
+    result.planned_move_bytes = fleet_->planned_move_bytes();
+    result.moved_bytes = fleet_->moved_bytes();
+    result.changed_weight_bytes = fleet_->changed_weight_bytes();
+    result.drained_bytes = fleet_->drained_bytes();
+    result.landed_bytes = fleet_->landed_bytes();
+    result.drain_deadline_misses = fleet_->deadline_misses();
+    result.drain_residual_blocks = fleet_->residual_blocks();
+    if (const net::FlowScheduler* fs = policy_->fabric_scheduler()) {
+      result.migration_local_bytes = fs->migration_local_bytes();
+      result.migration_cross_rack_bytes = fs->migration_cross_rack_bytes();
+    }
+  }
   if (injector_) {
     result.fault_active = true;
     result.shock_events = metrics_.shock_events();

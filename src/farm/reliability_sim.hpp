@@ -11,6 +11,7 @@
 
 #include "client/client_subsystem.hpp"
 #include "fault/fault_injector.hpp"
+#include "fleet/fleet_manager.hpp"
 #include "farm/config.hpp"
 #include "farm/detector.hpp"
 #include "farm/metrics.hpp"
@@ -36,6 +37,8 @@ class ReliabilitySimulator {
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   [[nodiscard]] RecoveryPolicy& policy() { return *policy_; }
+  /// Non-null iff config().fleet.enabled() (white-box tests).
+  [[nodiscard]] fleet::FleetManager* fleet() { return fleet_.get(); }
 
  private:
   void on_disk_added(DiskId id);
@@ -53,6 +56,8 @@ class ReliabilitySimulator {
   std::unique_ptr<client::ClientSubsystem> client_;
   /// Non-null iff config().fault.any_enabled().
   std::unique_ptr<fault::FaultInjector> injector_;
+  /// Non-null iff config().fleet.enabled().
+  std::unique_ptr<fleet::FleetManager> fleet_;
   bool ran_ = false;
 };
 

@@ -111,6 +111,48 @@ void write_json(util::JsonWriter& w, const SystemConfig& config) {
     }
     w.kv("fault_interrupted", config.fault.interrupted.enabled);
   }
+  // Keys appear only when lifecycle events are configured, so static-fleet
+  // output stays bit-identical to builds predating src/fleet.
+  if (config.fleet.enabled()) {
+    w.kv("fleet_enabled", true);
+    w.kv("fleet_migration_bandwidth_bytes_per_sec",
+         config.fleet.migration_bandwidth.value());
+    w.key("fleet_lifecycle");
+    w.begin_array();
+    for (const auto& e : config.fleet.events) {
+      w.begin_object();
+      switch (e.kind) {
+        case fleet::LifecycleKind::kExpand:
+          w.kv("kind", "expand");
+          w.kv("at_sec", e.at.value());
+          w.kv("count", e.count);
+          w.kv("weight", e.weight);
+          if (e.capacity.value() > 0.0) {
+            w.kv("capacity_bytes", e.capacity.value());
+          }
+          if (e.bandwidth.value() > 0.0) {
+            w.kv("bandwidth_bytes_per_sec", e.bandwidth.value());
+          }
+          break;
+        case fleet::LifecycleKind::kDecommission:
+          w.kv("kind", "decommission");
+          w.kv("at_sec", e.at.value());
+          w.kv("cluster", e.cluster);
+          if (e.drain_deadline.value() > 0.0) {
+            w.kv("drain_deadline_sec", e.drain_deadline.value());
+          }
+          break;
+        case fleet::LifecycleKind::kSetWeight:
+          w.kv("kind", "set_weight");
+          w.kv("at_sec", e.at.value());
+          w.kv("cluster", e.cluster);
+          w.kv("new_weight", e.new_weight);
+          break;
+      }
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
 }
 
@@ -156,6 +198,28 @@ void write_json(util::JsonWriter& w, const MonteCarloResult& result) {
     w.kv("mean_spurious_rebuilds", result.mean_spurious_rebuilds);
     w.kv("mean_spurious_cancelled", result.mean_spurious_cancelled);
     w.kv("mean_rebuild_interruptions", result.mean_rebuild_interruptions);
+    w.end_object();
+  }
+  if (result.fleet_active) {
+    w.key("fleet");
+    w.begin_object();
+    w.kv("mean_fleet_disks_added", result.mean_fleet_disks_added);
+    w.kv("mean_fleet_disks_retired", result.mean_fleet_disks_retired);
+    w.kv("mean_migrations_planned", result.mean_migrations_planned);
+    w.kv("mean_migrations_completed", result.mean_migrations_completed);
+    w.kv("mean_migrations_cancelled", result.mean_migrations_cancelled);
+    w.kv("mean_planned_move_bytes", result.mean_planned_move_bytes);
+    w.kv("mean_moved_bytes", result.mean_moved_bytes);
+    w.kv("mean_changed_weight_bytes", result.mean_changed_weight_bytes);
+    w.kv("mean_drained_bytes", result.mean_drained_bytes);
+    w.kv("mean_landed_bytes", result.mean_landed_bytes);
+    w.kv("mean_drain_deadline_misses", result.mean_drain_deadline_misses);
+    w.kv("mean_drain_residual_blocks", result.mean_drain_residual_blocks);
+    if (result.fabric_active) {
+      w.kv("mean_migration_local_bytes", result.mean_migration_local_bytes);
+      w.kv("mean_migration_cross_rack_bytes",
+           result.mean_migration_cross_rack_bytes);
+    }
     w.end_object();
   }
   if (result.initial_utilization.count() > 0) {

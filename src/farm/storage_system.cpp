@@ -36,9 +36,14 @@ StorageSystem::StorageSystem(const SystemConfig& config, std::uint64_t seed)
 }
 
 DiskId StorageSystem::create_disk(unsigned vintage, util::Seconds now) {
+  return create_disk(config_.disk, vintage, now);
+}
+
+DiskId StorageSystem::create_disk(const disk::DiskParameters& params,
+                                  unsigned vintage, util::Seconds now) {
   const auto id = static_cast<DiskId>(disks_.size());
   const util::Seconds lifetime = failure_model_->sample_lifetime(rng_);
-  disks_.emplace_back(id, config_.disk, vintage, now, lifetime);
+  disks_.emplace_back(id, params, vintage, now, lifetime);
   smart_at_.push_back(smart_.warning_time(disks_.back().fails_at()));
   on_disk_.emplace_back();
   ++live_disks_;
@@ -134,6 +139,12 @@ DiskId StorageSystem::add_spare_disk(unsigned vintage, util::Seconds now) {
 
 std::vector<DiskId> StorageSystem::add_batch(std::size_t count, double weight,
                                              unsigned vintage, util::Seconds now) {
+  return add_batch(count, weight, vintage, now, config_.disk);
+}
+
+std::vector<DiskId> StorageSystem::add_batch(std::size_t count, double weight,
+                                             unsigned vintage, util::Seconds now,
+                                             const disk::DiskParameters& params) {
   const DiskId first_slot = placement_->add_cluster(count, weight);
   if (first_slot != static_cast<DiskId>(placement_to_disk_.size())) {
     throw std::logic_error("add_batch: placement slot drift");
@@ -141,7 +152,7 @@ std::vector<DiskId> StorageSystem::add_batch(std::size_t count, double weight,
   std::vector<DiskId> ids;
   ids.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    const DiskId id = create_disk(vintage, now);
+    const DiskId id = create_disk(params, vintage, now);
     placement_to_disk_.push_back(id);
     ids.push_back(id);
   }

@@ -78,6 +78,21 @@ class StorageSystem {
   std::vector<DiskId> add_batch(std::size_t count, double weight, unsigned vintage,
                                 util::Seconds now);
 
+  /// Same, with per-batch disk parameters (fleet expansion installs a new
+  /// drive generation with its own capacity and bandwidth).
+  std::vector<DiskId> add_batch(std::size_t count, double weight, unsigned vintage,
+                                util::Seconds now,
+                                const disk::DiskParameters& params);
+
+  /// Disk id behind a placement slot (slots and ids drift apart once
+  /// dedicated spares exist; see candidate_disk).
+  [[nodiscard]] DiskId slot_to_disk(std::size_t slot) const {
+    return placement_to_disk_[slot];
+  }
+  [[nodiscard]] std::size_t placement_slots() const {
+    return placement_to_disk_.size();
+  }
+
   /// Marks a disk failed.  Does not touch group availability — recovery
   /// policies own that bookkeeping.
   void fail_disk(DiskId id);
@@ -136,6 +151,8 @@ class StorageSystem {
 
  private:
   DiskId create_disk(unsigned vintage, util::Seconds now);
+  DiskId create_disk(const disk::DiskParameters& params, unsigned vintage,
+                     util::Seconds now);
 
   SystemConfig config_;
   std::unique_ptr<disk::FailureModel> failure_model_;

@@ -1,0 +1,126 @@
+// Fleet-lifecycle configuration (extension beyond the paper).
+//
+// The paper's fleet is static: disks only fail and get batch-replaced.
+// Production fleets grow, shrink, and rebalance while rebuilding.  A
+// FleetConfig carries a timeline of lifecycle events — rack/batch expansion
+// with heterogeneous per-generation capacity and bandwidth, planned
+// decommission with a drain deadline, and administrative weight changes —
+// applied to the live StorageSystem by fleet::FleetManager, whose
+// RebalanceEngine diffs RUSH placement around each event and moves only the
+// blocks the weight change warrants.
+//
+// Everything defaults to off; an empty event list constructs no manager,
+// draws no random numbers, and schedules no events, so static-fleet output
+// stays bit-identical to builds predating src/fleet (pinned by the golden
+// regression).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace farm::fleet {
+
+enum class LifecycleKind {
+  kExpand,        // append a cluster of new disks (a rack/batch/generation)
+  kDecommission,  // zero a cluster's weight and drain its surviving blocks
+  kSetWeight,     // administrative reweighting of an existing cluster
+};
+
+/// One entry on the fleet timeline.  Fields beyond `kind` and `at` are
+/// interpreted per kind; unused ones are ignored by the manager but still
+/// validated so a typo'd spec cannot smuggle in a half-configured event.
+struct LifecycleEvent {
+  LifecycleKind kind = LifecycleKind::kExpand;
+  /// Simulation time the event fires (offset from mission start).
+  util::Seconds at{0.0};
+
+  // --- kExpand -------------------------------------------------------------
+  /// Disks in the new cluster.
+  std::size_t count = 0;
+  /// Relative placement weight per new disk (1.0 = same as the base fleet).
+  double weight = 1.0;
+  /// Per-generation overrides; value 0 inherits the base DiskParameters.
+  util::Bytes capacity{0.0};
+  util::Bandwidth bandwidth{0.0};
+
+  // --- kDecommission / kSetWeight ------------------------------------------
+  /// Placement cluster the event targets.  Cluster 0 is the initial fleet;
+  /// expansion i (in timeline order) creates cluster i+1.
+  std::size_t cluster = 0;
+  /// kDecommission: drain must finish within this budget after `at`
+  /// (0 = no deadline); misses are counted, not enforced.
+  util::Seconds drain_deadline{0.0};
+  /// kSetWeight: replacement per-disk weight (0 legal — the rebalance
+  /// engine migrates the cluster's blocks off per the layout diff, but the
+  /// disks stay in service; use kDecommission to also retire them).
+  double new_weight = 1.0;
+};
+
+struct FleetConfig {
+  /// Timeline, strictly ordered by `at` (validate() enforces).
+  std::vector<LifecycleEvent> events;
+  /// Per-destination-disk cap for migration flows — the third traffic class
+  /// next to recovery streams and foreground client I/O.
+  util::Bandwidth migration_bandwidth = util::mb_per_sec(8);
+
+  /// True when any lifecycle event is configured — the reliability
+  /// simulator only constructs a FleetManager (and only then schedules any
+  /// event) when this holds.
+  [[nodiscard]] bool enabled() const { return !events.empty(); }
+
+  /// Throws std::invalid_argument on inconsistent parameters.  Cluster
+  /// references are checked chronologically: event i may target only
+  /// clusters that exist once every earlier expansion has fired.
+  void validate() const {
+    auto fail = [](const char* what) { throw std::invalid_argument(what); };
+    if (!enabled()) return;
+    if (!(migration_bandwidth.value() > 0.0)) {
+      fail("fleet: migration_bandwidth must be positive");
+    }
+    std::size_t clusters = 1;  // the initial fleet
+    double last_at = -1.0;
+    for (const LifecycleEvent& e : events) {
+      if (!(e.at.value() >= 0.0)) fail("fleet: event time must be >= 0");
+      if (e.at.value() <= last_at) {
+        fail("fleet: events must be strictly ordered by time");
+      }
+      last_at = e.at.value();
+      switch (e.kind) {
+        case LifecycleKind::kExpand:
+          if (e.count == 0) fail("fleet: expand count must be >= 1");
+          if (!(e.weight > 0.0)) fail("fleet: expand weight must be > 0");
+          if (e.capacity.value() < 0.0) fail("fleet: negative expand capacity");
+          if (e.bandwidth.value() < 0.0) {
+            fail("fleet: negative expand bandwidth");
+          }
+          ++clusters;
+          break;
+        case LifecycleKind::kDecommission:
+          if (e.cluster == 0) {
+            fail("fleet: cannot decommission the initial cluster 0");
+          }
+          if (e.cluster >= clusters) {
+            fail("fleet: decommission targets a cluster that does not exist "
+                 "yet");
+          }
+          if (e.drain_deadline.value() < 0.0) {
+            fail("fleet: negative drain_deadline");
+          }
+          break;
+        case LifecycleKind::kSetWeight:
+          if (e.cluster >= clusters) {
+            fail("fleet: set_weight targets a cluster that does not exist yet");
+          }
+          if (!(e.new_weight >= 0.0)) {
+            fail("fleet: set_weight new_weight must be >= 0");
+          }
+          break;
+      }
+    }
+  }
+};
+
+}  // namespace farm::fleet

@@ -1,0 +1,437 @@
+#include "fleet/fleet_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace farm::fleet {
+
+namespace {
+/// Decommission drains retry on transient obstruction (target raced a
+/// rebuild, group degraded) with a fixed deterministic delay; no RNG so the
+/// retry stream replays bit-for-bit with the trial.
+constexpr double kDrainRetrySec = 3600.0;
+constexpr unsigned kMaxDrainRetries = 16;
+/// Bounded candidate walk when a block's fresh layout slot is infeasible
+/// (mirrors the recovery target selector's probe budget).
+constexpr std::uint32_t kTargetSearchRanks = 256;
+}  // namespace
+
+FleetManager::FleetManager(core::StorageSystem& system, sim::Simulator& sim,
+                           core::Metrics& metrics, core::RecoveryPolicy& policy)
+    : system_(system),
+      sim_(sim),
+      metrics_(metrics),
+      policy_(policy),
+      cfg_(system.config().fleet),
+      cap_scale_(cfg_.migration_bandwidth.value() /
+                 system.config().recovery_bandwidth.value()) {}
+
+void FleetManager::start() {
+  const double horizon = system_.config().mission_time.value();
+  for (std::size_t i = 0; i < cfg_.events.size(); ++i) {
+    if (cfg_.events[i].at.value() > horizon) continue;
+    sim_.schedule_at(cfg_.events[i].at, [this, i] { fire(i); });
+  }
+}
+
+void FleetManager::fire(std::size_t index) {
+  const LifecycleEvent& e = cfg_.events[index];
+  switch (e.kind) {
+    case LifecycleKind::kExpand:
+      on_expand(e);
+      break;
+    case LifecycleKind::kDecommission:
+      on_decommission(e);
+      break;
+    case LifecycleKind::kSetWeight:
+      on_set_weight(e);
+      break;
+  }
+}
+
+double FleetManager::total_weight() const {
+  placement::PlacementPolicy& p = system_.placement();
+  double w = 0.0;
+  for (std::size_t j = 0; j < p.cluster_count(); ++j) {
+    w += p.cluster_weight(j) * static_cast<double>(p.cluster_size(j));
+  }
+  return w;
+}
+
+double FleetManager::stored_bytes() const {
+  return static_cast<double>(system_.group_count()) *
+         static_cast<double>(system_.blocks_per_group()) *
+         system_.block_bytes().value();
+}
+
+bool FleetManager::is_draining(DiskId d) const {
+  for (const auto& [first, count] : drained_ranges_) {
+    if (d >= first && d < first + count) return true;
+  }
+  return false;
+}
+
+void FleetManager::on_expand(const LifecycleEvent& e) {
+  ++expansions_;
+  disks_added_ += e.count;
+  metrics_.trace(sim_.now().value(), "fleet_expand", e.count);
+
+  disk::DiskParameters params = system_.config().disk;
+  if (e.capacity.value() > 0.0) params.capacity = e.capacity;
+  if (e.bandwidth.value() > 0.0) params.bandwidth = e.bandwidth;
+
+  const std::vector<DiskId> fresh =
+      system_.add_batch(e.count, e.weight, ++vintage_, sim_.now(), params);
+  const DiskId first_new = fresh.front();
+  changed_weight_bytes_ += e.weight * static_cast<double>(e.count) /
+                           total_weight() * stored_bytes();
+
+  // RUSH moves keys only *into* the new cluster, so the before/after layout
+  // diff is exactly "slots that now resolve past first_new".  Planned counts
+  // the pure diff over every group (the theoretical requirement); execution
+  // is filtered like batch-replacement migration (paper §3.6 rule set).
+  const unsigned n = system_.blocks_per_group();
+  const double block = system_.block_bytes().value();
+  for (GroupIndex g = 0; g < system_.group_count(); ++g) {
+    const auto layout = system_.layout_disks(g, n);
+    const core::GroupState& st = system_.state(g);
+    const bool healthy = !st.dead && st.unavailable == 0;
+    for (unsigned b = 0; b < n; ++b) {
+      const DiskId want = layout[b];
+      if (want < first_new) continue;
+      const DiskId cur = system_.home(g, static_cast<core::BlockIndex>(b));
+      if (cur == want) continue;
+      ++planned_;
+      planned_bytes_ += block;
+      if (!healthy) continue;
+      if (cur == core::kNoDisk || !system_.disk_at(cur).alive()) continue;
+      enqueue(g, static_cast<core::BlockIndex>(b), cur, want,
+              /*drain=*/false, 0);
+    }
+  }
+}
+
+void FleetManager::on_set_weight(const LifecycleEvent& e) {
+  ++weight_changes_;
+  metrics_.trace(sim_.now().value(), "fleet_set_weight", e.cluster);
+
+  placement::PlacementPolicy& p = system_.placement();
+  const unsigned n = system_.blocks_per_group();
+  const double block = system_.block_bytes().value();
+  const auto csize = static_cast<double>(p.cluster_size(e.cluster));
+
+  // Snapshot every group's layout before the weight flips; the diff against
+  // the fresh layout is the planned move set.
+  std::vector<DiskId> old_layout(
+      static_cast<std::size_t>(system_.group_count()) * n);
+  for (GroupIndex g = 0; g < system_.group_count(); ++g) {
+    const auto layout = system_.layout_disks(g, n);
+    std::copy(layout.begin(), layout.end(),
+              old_layout.begin() + static_cast<std::size_t>(g) * n);
+  }
+
+  const double w_before = total_weight();
+  const double tw_old = p.cluster_weight(e.cluster) * csize;
+  p.set_cluster_weight(e.cluster, e.new_weight);
+  const double w_after = total_weight();
+  const double tw_new = e.new_weight * csize;
+  // Fraction of keys RUSH must re-home for this reweighting: the moved
+  // weight over the larger of the two totals (exact for a single cluster's
+  // change under the cumulative-capture walk).
+  changed_weight_bytes_ += std::abs(tw_new - tw_old) /
+                           std::max(w_before, w_after) * stored_bytes();
+
+  for (GroupIndex g = 0; g < system_.group_count(); ++g) {
+    const auto layout = system_.layout_disks(g, n);
+    const core::GroupState& st = system_.state(g);
+    const bool healthy = !st.dead && st.unavailable == 0;
+    for (unsigned b = 0; b < n; ++b) {
+      const DiskId want = layout[b];
+      if (want == old_layout[static_cast<std::size_t>(g) * n + b]) continue;
+      ++planned_;
+      planned_bytes_ += block;
+      if (!healthy) continue;
+      const DiskId cur = system_.home(g, static_cast<core::BlockIndex>(b));
+      if (cur == want || cur == core::kNoDisk) continue;
+      if (!system_.disk_at(cur).alive()) continue;
+      if (is_draining(want)) continue;
+      enqueue(g, static_cast<core::BlockIndex>(b), cur, want,
+              /*drain=*/false, 0);
+    }
+  }
+}
+
+void FleetManager::on_decommission(const LifecycleEvent& e) {
+  ++decommissions_;
+  metrics_.trace(sim_.now().value(), "fleet_decommission", e.cluster);
+
+  placement::PlacementPolicy& p = system_.placement();
+  const std::size_t csize = p.cluster_size(e.cluster);
+  const DiskId first_slot = p.cluster_first_disk(e.cluster);
+  const double w_before = total_weight();
+  const double tw = p.cluster_weight(e.cluster) * static_cast<double>(csize);
+  // Zeroing the weight makes lookups stop resolving to the cluster without
+  // disturbing any other draw — new targets and fresh layouts are
+  // automatically elsewhere.
+  p.set_cluster_weight(e.cluster, 0.0);
+  changed_weight_bytes_ += tw / w_before * stored_bytes();
+  // add_batch created the cluster's disks consecutively, so its disk ids
+  // are the contiguous range starting at the first slot's disk.
+  drained_ranges_.emplace_back(system_.slot_to_disk(first_slot), csize);
+
+  const double block = system_.block_bytes().value();
+  for (std::size_t i = 0; i < csize; ++i) {
+    const DiskId d = system_.slot_to_disk(first_slot + i);
+    if (!system_.disk_at(d).alive()) continue;
+    std::vector<core::BlockRef> blocks;
+    system_.for_each_block_on(d, [&](GroupIndex g, core::BlockIndex b) {
+      blocks.push_back(core::BlockRef{g, b});
+    });
+    if (blocks.empty()) {
+      maybe_retire(d);
+      continue;
+    }
+    for (const core::BlockRef& ref : blocks) {
+      ++planned_;
+      planned_bytes_ += block;
+      // A dead group's surviving blocks are garbage — nobody will read
+      // them; retirement ignores them rather than moving them.
+      if (system_.state(ref.group).dead) continue;
+      const DiskId dst = pick_drain_target(ref.group, ref.block, d);
+      if (dst == core::kNoDisk) {
+        schedule_drain_retry(ref.group, ref.block, d, 1);
+        continue;
+      }
+      enqueue(ref.group, ref.block, d, dst, /*drain=*/true, 0);
+    }
+  }
+
+  if (e.drain_deadline.value() > 0.0) {
+    const std::size_t cluster = e.cluster;
+    sim_.schedule_in(e.drain_deadline,
+                     [this, cluster] { on_drain_deadline(cluster); });
+  }
+}
+
+void FleetManager::on_drain_deadline(std::size_t cluster) {
+  placement::PlacementPolicy& p = system_.placement();
+  const DiskId first_slot = p.cluster_first_disk(cluster);
+  const std::size_t csize = p.cluster_size(cluster);
+  std::uint64_t residual = 0;
+  for (std::size_t i = 0; i < csize; ++i) {
+    const DiskId d = system_.slot_to_disk(first_slot + i);
+    if (!system_.disk_at(d).alive()) continue;
+    system_.for_each_block_on(d, [&](GroupIndex g, core::BlockIndex) {
+      if (!system_.state(g).dead) ++residual;
+    });
+  }
+  residual_blocks_ += residual;
+  if (residual > 0) {
+    ++deadline_misses_;
+    metrics_.trace(sim_.now().value(), "drain_deadline_miss", cluster);
+  }
+}
+
+DiskId FleetManager::pick_drain_target(GroupIndex g, core::BlockIndex b,
+                                       DiskId src) {
+  const double block = system_.block_bytes().value();
+  auto feasible = [&](DiskId d) {
+    if (d == core::kNoDisk || d == src) return false;
+    if (is_draining(d)) return false;
+    const disk::Disk& disk = system_.disk_at(d);
+    if (!disk.alive()) return false;
+    if (disk.free_space().value() < block) return false;
+    if (system_.is_buddy_disk(g, d)) return false;
+    if (system_.is_buddy_domain(g, d)) return false;
+    return true;
+  };
+  // Preferred target: where the fresh (post-zeroing) layout puts the block.
+  // Hitting it keeps the drained layout equal to what a cold placement
+  // would produce.
+  const auto layout = system_.layout_disks(g, system_.blocks_per_group());
+  if (b < layout.size() && feasible(layout[b])) return layout[b];
+  for (std::uint32_t rank = 0; rank < kTargetSearchRanks; ++rank) {
+    const DiskId d = system_.candidate_disk(g, rank);
+    if (feasible(d)) return d;
+  }
+  return core::kNoDisk;
+}
+
+FleetManager::MigrationId FleetManager::alloc_migration() {
+  if (!free_ids_.empty()) {
+    const MigrationId id = free_ids_.back();
+    free_ids_.pop_back();
+    return id;
+  }
+  const auto id = static_cast<MigrationId>(slab_.size());
+  slab_.emplace_back();
+  return id;
+}
+
+void FleetManager::enqueue(GroupIndex g, core::BlockIndex b, DiskId src,
+                           DiskId dst, bool drain, unsigned retries) {
+  const MigrationId id = alloc_migration();
+  Migration& m = slab_[id];
+  m = Migration{};
+  m.group = g;
+  m.block = b;
+  m.src = src;
+  m.dst = dst;
+  m.drain = drain;
+  m.retries = retries;
+  m.live = true;
+  launch(id);
+}
+
+void FleetManager::launch(MigrationId id) {
+  Migration& m = slab_[id];
+  if (net::FlowScheduler* fs = policy_.fabric_scheduler_mutable()) {
+    // Same per-destination FIFO queue as rebuild transfers: a disk
+    // receiving both repair and rebalance traffic serializes them, and the
+    // fabric's max-min sharing squeezes both against client I/O.
+    m.xfer = fs->submit(m.dst, m.src, m.dst, system_.block_bytes(), cap_scale_,
+                        [this, id] { on_complete(id); },
+                        net::TrafficClass::kMigration);
+  } else {
+    const double rate = cfg_.migration_bandwidth.value();
+    double& free_at = queue_free_[m.dst];
+    const double start = std::max(sim_.now().value(), free_at);
+    const double done = start + system_.block_bytes().value() / rate;
+    free_at = done;
+    m.done =
+        sim_.schedule_at(util::Seconds{done}, [this, id] { on_complete(id); });
+  }
+}
+
+void FleetManager::on_complete(MigrationId id) {
+  Migration& m = slab_[id];
+  m.xfer = net::kNoTransfer;
+  m.done = sim::EventHandle{};
+  const double block = system_.block_bytes().value();
+
+  // Nothing was reserved at enqueue; re-check the whole eligibility rule
+  // set now and commit only if the move is still sound.
+  const core::GroupState& st = system_.state(m.group);
+  const bool src_ok = system_.disk_at(m.src).alive() &&
+                      system_.home(m.group, m.block) == m.src;
+  const bool group_ok = !st.dead && st.unavailable == 0;
+  const disk::Disk& dstd = system_.disk_at(m.dst);
+  const bool dst_ok = dstd.alive() && !is_draining(m.dst) &&
+                      !system_.is_buddy_disk(m.group, m.dst) &&
+                      !system_.is_buddy_domain(m.group, m.dst) &&
+                      dstd.free_space().value() >= block;
+
+  const DiskId src = m.src;
+  const bool drain = m.drain;
+  if (src_ok && group_ok && dst_ok) {
+    const double before = system_.disk_at(src).used().value();
+    system_.set_home(m.group, m.block, m.dst, /*charge_target=*/true);
+    if (drain) {
+      // Conservation ledger: bytes the source actually released vs bytes
+      // charged to the target (the drain invariant compares the two).
+      drained_bytes_ += before - system_.disk_at(src).used().value();
+      landed_bytes_ += block;
+    }
+    moved_bytes_ += block;
+    ++completed_;
+    cancel_migration(id, /*count_cancelled=*/false);
+    if (drain) maybe_retire(src);
+    return;
+  }
+
+  if (drain && src_ok && !st.dead && m.retries < kMaxDrainRetries) {
+    // Transient obstruction (degraded group, raced target): drains must
+    // eventually finish, so retry with a fresh target after a fixed delay.
+    const GroupIndex g = m.group;
+    const core::BlockIndex b = m.block;
+    const unsigned next = m.retries + 1;
+    cancel_migration(id, /*count_cancelled=*/false);
+    schedule_drain_retry(g, b, src, next);
+    return;
+  }
+
+  cancel_migration(id, /*count_cancelled=*/true);
+  if (drain) maybe_retire(src);
+}
+
+void FleetManager::cancel_migration(MigrationId id, bool count_cancelled) {
+  Migration& m = slab_[id];
+  if (m.xfer != net::kNoTransfer) {
+    policy_.fabric_scheduler_mutable()->cancel(m.xfer);
+    m.xfer = net::kNoTransfer;
+  }
+  if (m.done.valid()) {
+    sim_.cancel(m.done);
+    m.done = sim::EventHandle{};
+  }
+  m.live = false;
+  free_ids_.push_back(id);
+  if (count_cancelled) ++cancelled_;
+}
+
+void FleetManager::schedule_drain_retry(GroupIndex g, core::BlockIndex b,
+                                        DiskId src, unsigned retries) {
+  if (retries > kMaxDrainRetries) {
+    ++cancelled_;
+    return;
+  }
+  sim_.schedule_in(util::Seconds{kDrainRetrySec}, [this, g, b, src, retries] {
+    if (!system_.disk_at(src).alive()) return;
+    if (system_.home(g, b) != src) {
+      // A rebuild or earlier migration already moved it off.
+      maybe_retire(src);
+      return;
+    }
+    if (system_.state(g).dead) return;
+    const DiskId dst = pick_drain_target(g, b, src);
+    if (dst == core::kNoDisk) {
+      schedule_drain_retry(g, b, src, retries + 1);
+      return;
+    }
+    enqueue(g, b, src, dst, /*drain=*/true, retries);
+  });
+}
+
+void FleetManager::maybe_retire(DiskId d) {
+  if (!system_.disk_at(d).alive() || !is_draining(d)) return;
+  std::size_t remaining = 0;
+  system_.for_each_block_on(d, [&](GroupIndex g, core::BlockIndex) {
+    if (!system_.state(g).dead) ++remaining;
+  });
+  if (remaining > 0) return;
+  // Administrative retirement: the disk is empty (dead groups' residue
+  // aside), so there is no availability impact and nothing to rebuild —
+  // the policy hook only reroutes rebuilds that happened to target it.
+  system_.fail_disk(d);
+  ++disks_retired_;
+  metrics_.trace(sim_.now().value(), "disk_retired", d);
+  policy_.on_disk_retired(d);
+}
+
+void FleetManager::on_disk_failed(DiskId d) {
+  std::vector<MigrationId> hit;
+  for (MigrationId id = 0; id < slab_.size(); ++id) {
+    const Migration& m = slab_[id];
+    if (m.live && (m.src == d || m.dst == d)) hit.push_back(id);
+  }
+  for (const MigrationId id : hit) {
+    const Migration m = slab_[id];  // copy: cancel + enqueue mutate the slab
+    if (m.dst == d && m.src != d && m.drain &&
+        system_.disk_at(m.src).alive()) {
+      // Target died mid-drain: the source still must empty, re-route now.
+      cancel_migration(id, /*count_cancelled=*/false);
+      const DiskId nd = pick_drain_target(m.group, m.block, m.src);
+      if (nd != core::kNoDisk) {
+        enqueue(m.group, m.block, m.src, nd, /*drain=*/true, m.retries);
+      } else {
+        schedule_drain_retry(m.group, m.block, m.src, m.retries + 1);
+      }
+    } else {
+      // Source died (recovery owns the block now) or a non-drain move lost
+      // an endpoint: drop it.
+      cancel_migration(id, /*count_cancelled=*/true);
+    }
+  }
+}
+
+}  // namespace farm::fleet

@@ -1,0 +1,180 @@
+// Fleet lifecycle execution: expansion, decommission, reweighting, and the
+// rebalance engine (extension beyond the paper; see DESIGN.md §9).
+//
+// The FleetManager replays the FleetConfig timeline against the live
+// StorageSystem.  Each event changes the RUSH placement function (a new
+// weighted cluster, a zeroed cluster, a reweighted one); the embedded
+// rebalance engine then diffs the placement before/after and emits one
+// migration per moved block:
+//   * expansion      — blocks whose layout slot moved into the new cluster
+//                      migrate there (RUSH guarantees that is the only kind
+//                      of movement),
+//   * reweighting    — blocks whose layout slot changed migrate to the new
+//                      slot,
+//   * decommission   — every surviving block homed on the cluster drains to
+//                      a fresh target; a disk that reaches zero blocks is
+//                      retired (administratively failed, never rebuilt).
+//
+// Migrations are a third traffic class contending with recovery streams and
+// foreground client I/O: in fabric mode they ride the recovery policy's
+// FlowScheduler on the *same per-destination FIFO queues* as rebuild
+// transfers (TrafficClass::kMigration, capped at migration_bandwidth); in
+// flat mode they drain engine-owned per-destination clocks at
+// migration_bandwidth.
+//
+// Nothing is reserved at enqueue.  Eligibility is re-checked when the
+// transfer completes (source alive, home unchanged, group healthy, target
+// feasible) and only then does set_home commit the move — a migration that
+// raced a failure or a rebuild is simply cancelled.  Decommission drains
+// retry with a fixed deterministic backoff; expansion/reweight moves are
+// best-effort, exactly like batch replacement (paper §3.6).
+//
+// The manager draws no random numbers; with an empty timeline it is never
+// constructed, so static-fleet runs stay bit-identical to builds predating
+// src/fleet.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "farm/metrics.hpp"
+#include "farm/recovery.hpp"
+#include "fleet/fleet_config.hpp"
+#include "farm/storage_system.hpp"
+#include "sim/simulator.hpp"
+
+namespace farm::fleet {
+
+using core::DiskId;
+using core::GroupIndex;
+
+class FleetManager {
+ public:
+  FleetManager(core::StorageSystem& system, sim::Simulator& sim,
+               core::Metrics& metrics, core::RecoveryPolicy& policy);
+
+  FleetManager(const FleetManager&) = delete;
+  FleetManager& operator=(const FleetManager&) = delete;
+
+  /// Schedules every lifecycle event inside the mission horizon.  Call once.
+  void start();
+
+  /// Invoked by the simulator the instant any disk dies: in-flight
+  /// migrations touching it are cancelled (drains re-route to a new target).
+  void on_disk_failed(DiskId d);
+
+  // --- lifecycle counters ---------------------------------------------------
+  [[nodiscard]] std::uint64_t expansions() const { return expansions_; }
+  [[nodiscard]] std::uint64_t decommissions() const { return decommissions_; }
+  [[nodiscard]] std::uint64_t weight_changes() const { return weight_changes_; }
+  [[nodiscard]] std::uint64_t disks_added() const { return disks_added_; }
+  [[nodiscard]] std::uint64_t disks_retired() const { return disks_retired_; }
+
+  // --- rebalance accounting -------------------------------------------------
+  /// Pure placement-diff move set (the theoretical requirement), counted
+  /// before any feasibility filtering.
+  [[nodiscard]] std::uint64_t migrations_planned() const { return planned_; }
+  [[nodiscard]] std::uint64_t migrations_completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t migrations_cancelled() const { return cancelled_; }
+  [[nodiscard]] double planned_move_bytes() const { return planned_bytes_; }
+  [[nodiscard]] double moved_bytes() const { return moved_bytes_; }
+  /// Theoretical minimum movement: per event, the changed weight fraction
+  /// times the stored bytes.  movement ratio = planned / stored; RUSH's
+  /// guarantee is planned >= this minimum (it moves nothing it need not).
+  [[nodiscard]] double changed_weight_bytes() const {
+    return changed_weight_bytes_;
+  }
+  /// Byte conservation across decommission drains: bytes released from
+  /// draining disks must equal bytes landed on their targets.
+  [[nodiscard]] double drained_bytes() const { return drained_bytes_; }
+  [[nodiscard]] double landed_bytes() const { return landed_bytes_; }
+  [[nodiscard]] std::uint64_t deadline_misses() const { return deadline_misses_; }
+  [[nodiscard]] std::uint64_t residual_blocks() const { return residual_blocks_; }
+
+ private:
+  using MigrationId = std::uint32_t;
+  static constexpr MigrationId kNoMigration = 0xffffffffu;
+
+  struct Migration {
+    GroupIndex group = 0;
+    core::BlockIndex block = 0;
+    DiskId src = core::kNoDisk;
+    DiskId dst = core::kNoDisk;
+    /// Decommission-origin: conservation accounting + bounded retries.
+    bool drain = false;
+    unsigned retries = 0;
+    net::TransferId xfer = net::kNoTransfer;  // fabric mode
+    sim::EventHandle done;                    // flat mode
+    bool live = false;
+  };
+
+  void fire(std::size_t index);
+  void on_expand(const LifecycleEvent& e);
+  void on_set_weight(const LifecycleEvent& e);
+  void on_decommission(const LifecycleEvent& e);
+  void on_drain_deadline(std::size_t cluster);
+
+  /// Total weight over all placement clusters.
+  [[nodiscard]] double total_weight() const;
+  /// Constant denominator of the movement ratio.
+  [[nodiscard]] double stored_bytes() const;
+  [[nodiscard]] bool is_draining(DiskId d) const;
+
+  /// Best drain target for (g, b): the block's fresh layout slot when
+  /// feasible, else a bounded walk down the candidate list.  kNoDisk when
+  /// nothing feasible exists right now.
+  [[nodiscard]] DiskId pick_drain_target(GroupIndex g, core::BlockIndex b,
+                                         DiskId src);
+
+  MigrationId alloc_migration();
+  void enqueue(GroupIndex g, core::BlockIndex b, DiskId src, DiskId dst,
+               bool drain, unsigned retries);
+  void launch(MigrationId id);
+  void on_complete(MigrationId id);
+  void cancel_migration(MigrationId id, bool count_cancelled);
+  void schedule_drain_retry(GroupIndex g, core::BlockIndex b, DiskId src,
+                            unsigned retries);
+  /// Retires `d` once its last block is gone: administrative fail_disk plus
+  /// the recovery policy's retirement hook (re-routes rebuilds targeting it)
+  /// — but no failure metrics and no rebuilds, the disk is empty.
+  void maybe_retire(DiskId d);
+
+  core::StorageSystem& system_;
+  sim::Simulator& sim_;
+  core::Metrics& metrics_;
+  core::RecoveryPolicy& policy_;
+  const FleetConfig& cfg_;
+
+  /// migration_bandwidth as a multiple of the recovery bandwidth — the
+  /// fabric CapFn samples `recovery_bandwidth(t) * scale`, so migration
+  /// flows inherit the workload squeeze at the configured ratio.
+  double cap_scale_ = 1.0;
+  unsigned vintage_ = 0;
+  /// [first disk id, count) of every drained cluster (targets must avoid
+  /// them; lookups never resolve there once the weight is zero).
+  std::vector<std::pair<DiskId, std::size_t>> drained_ranges_;
+
+  std::vector<Migration> slab_;
+  std::vector<MigrationId> free_ids_;
+  /// Flat-mode per-destination drain clocks (ordered: farm_lint R1).
+  std::map<DiskId, double> queue_free_;
+
+  std::uint64_t expansions_ = 0;
+  std::uint64_t decommissions_ = 0;
+  std::uint64_t weight_changes_ = 0;
+  std::uint64_t disks_added_ = 0;
+  std::uint64_t disks_retired_ = 0;
+  std::uint64_t planned_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  double planned_bytes_ = 0.0;
+  double moved_bytes_ = 0.0;
+  double changed_weight_bytes_ = 0.0;
+  double drained_bytes_ = 0.0;
+  double landed_bytes_ = 0.0;
+  std::uint64_t deadline_misses_ = 0;
+  std::uint64_t residual_blocks_ = 0;
+};
+
+}  // namespace farm::fleet

@@ -95,7 +95,13 @@ void FlowScheduler::on_complete(TransferId id) {
   settle();
   Transfer& t = slab_[id];
   t.remaining = 0.0;
-  if (cross_rack(t.src, t.dst)) {
+  if (t.cls == TrafficClass::kMigration) {
+    if (cross_rack(t.src, t.dst)) {
+      migration_cross_rack_bytes_ += t.total;
+    } else {
+      migration_local_bytes_ += t.total;
+    }
+  } else if (cross_rack(t.src, t.dst)) {
     cross_rack_bytes_ += t.total;
   } else {
     local_bytes_ += t.total;
@@ -113,7 +119,8 @@ void FlowScheduler::on_complete(TransferId id) {
 
 TransferId FlowScheduler::submit(QueueKey queue, EndpointId src,
                                  EndpointId dst, util::Bytes bytes,
-                                 double cap_scale, DoneFn on_done) {
+                                 double cap_scale, DoneFn on_done,
+                                 TrafficClass cls) {
   TransferId id;
   if (!free_ids_.empty()) {
     id = free_ids_.back();
@@ -129,6 +136,7 @@ TransferId FlowScheduler::submit(QueueKey queue, EndpointId src,
   t.remaining = bytes.value();
   t.total = bytes.value();
   t.cap_scale = cap_scale;
+  t.cls = cls;
   t.on_done = std::move(on_done);
   t.flow = kNoFlow;
   t.rate = 0.0;

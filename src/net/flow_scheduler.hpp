@@ -40,6 +40,11 @@ inline constexpr TransferId kNoTransfer = 0xffffffffu;
 /// distributed sparing.
 using QueueKey = std::uint32_t;
 
+/// Traffic class a transfer is accounted under.  Repair (rebuild) streams
+/// and rebalance migrations share queues and fabric links — contention is
+/// physical — but their completed bytes are counted separately.
+enum class TrafficClass { kRepair, kMigration };
+
 class FlowScheduler {
  public:
   /// Samples the private disk-side cap of a flow starting/re-quoted at
@@ -53,7 +58,8 @@ class FlowScheduler {
   /// Enqueues a transfer of `bytes` from `src` to `dst` on `queue`.
   /// `on_done` fires when the transfer completes (never after cancel()).
   TransferId submit(QueueKey queue, EndpointId src, EndpointId dst,
-                    util::Bytes bytes, double cap_scale, DoneFn on_done);
+                    util::Bytes bytes, double cap_scale, DoneFn on_done,
+                    TrafficClass cls = TrafficClass::kRepair);
 
   /// Drops a transfer (queued or in flight); its on_done never fires.
   void cancel(TransferId id);
@@ -69,9 +75,16 @@ class FlowScheduler {
 
   [[nodiscard]] std::size_t in_flight() const { return active_.size(); }
   [[nodiscard]] std::size_t queued() const { return queued_count_; }
-  /// Completed-transfer traffic, split by endpoint placement.
+  /// Completed-transfer traffic, split by endpoint placement (repair class).
   [[nodiscard]] double local_bytes() const { return local_bytes_; }
   [[nodiscard]] double cross_rack_bytes() const { return cross_rack_bytes_; }
+  /// Completed rebalance-migration traffic, same split.
+  [[nodiscard]] double migration_local_bytes() const {
+    return migration_local_bytes_;
+  }
+  [[nodiscard]] double migration_cross_rack_bytes() const {
+    return migration_cross_rack_bytes_;
+  }
   /// Fabric re-solves triggered by flow churn.
   [[nodiscard]] std::uint64_t requotes() const { return fabric_.solves(); }
 
@@ -83,6 +96,7 @@ class FlowScheduler {
     double remaining = 0.0;  // bytes
     double total = 0.0;      // bytes
     double cap_scale = 1.0;
+    TrafficClass cls = TrafficClass::kRepair;
     DoneFn on_done;
     FlowId flow = kNoFlow;  // kNoFlow while waiting in queue
     double rate = 0.0;      // bytes/sec as of the last re-quote
@@ -124,6 +138,8 @@ class FlowScheduler {
   double settled_at_ = 0.0;
   double local_bytes_ = 0.0;
   double cross_rack_bytes_ = 0.0;
+  double migration_local_bytes_ = 0.0;
+  double migration_cross_rack_bytes_ = 0.0;
 };
 
 }  // namespace farm::net

@@ -4,6 +4,26 @@
 
 namespace farm::placement {
 
+std::size_t PlacementPolicy::cluster_count() const {
+  return disk_count() > 0 ? 1 : 0;
+}
+
+void PlacementPolicy::set_cluster_weight(std::size_t, double) {
+  throw std::logic_error(name() + ": policy does not support reweighting");
+}
+
+double PlacementPolicy::cluster_weight(std::size_t) const {
+  throw std::logic_error(name() + ": policy has no cluster structure");
+}
+
+DiskId PlacementPolicy::cluster_first_disk(std::size_t) const {
+  throw std::logic_error(name() + ": policy has no cluster structure");
+}
+
+std::size_t PlacementPolicy::cluster_size(std::size_t) const {
+  throw std::logic_error(name() + ": policy has no cluster structure");
+}
+
 std::vector<DiskId> PlacementPolicy::layout(GroupId group, unsigned n,
                                             std::uint32_t* first_free_rank) const {
   if (n > disk_count()) {

@@ -36,6 +36,24 @@ class PlacementPolicy {
   /// new disk.  Policies that cannot grow may throw std::logic_error.
   virtual DiskId add_cluster(std::size_t count, double weight) = 0;
 
+  /// Number of clusters added so far.  Policies without cluster structure
+  /// report 1 once any disks exist.
+  [[nodiscard]] virtual std::size_t cluster_count() const;
+
+  /// Replaces the per-disk weight of cluster `cluster`.  Weight 0 is legal
+  /// and drains the cluster: no lookup resolves to it any more.  Policies
+  /// without reweighting support throw std::logic_error (the default).
+  virtual void set_cluster_weight(std::size_t cluster, double weight);
+
+  /// Per-disk weight of cluster `cluster` (throws std::logic_error when the
+  /// policy has no cluster structure).
+  [[nodiscard]] virtual double cluster_weight(std::size_t cluster) const;
+
+  /// Placement slot of the first disk in cluster `cluster`, and the number
+  /// of disks in it (throws std::logic_error without cluster structure).
+  [[nodiscard]] virtual DiskId cluster_first_disk(std::size_t cluster) const;
+  [[nodiscard]] virtual std::size_t cluster_size(std::size_t cluster) const;
+
   /// The rank-th candidate disk for a group.  Deterministic; successive
   /// ranks are statistically independent and balanced by weight.  May repeat
   /// disks across ranks — callers needing distinctness skip duplicates.

@@ -32,6 +32,48 @@ DiskId RushPlacement::add_cluster(std::size_t count, double weight) {
   return first;
 }
 
+void RushPlacement::set_cluster_weight(std::size_t cluster, double weight) {
+  if (cluster >= clusters_.size()) {
+    throw std::invalid_argument("set_cluster_weight: no such cluster");
+  }
+  if (!(weight >= 0.0)) {
+    throw std::invalid_argument("set_cluster_weight: weight must be >= 0");
+  }
+  Cluster& c = clusters_[cluster];
+  const double old_total = c.total_weight;
+  c.weight = weight;
+  c.total_weight = weight * static_cast<double>(c.disks);
+  double remaining = 0.0;
+  for (const auto& cl : clusters_) remaining += cl.total_weight;
+  if (!(remaining > 0.0)) {
+    c.total_weight = old_total;
+    c.weight = old_total / static_cast<double>(c.disks);
+    throw std::invalid_argument(
+        "set_cluster_weight: total weight would drop to zero");
+  }
+}
+
+double RushPlacement::cluster_weight(std::size_t cluster) const {
+  if (cluster >= clusters_.size()) {
+    throw std::invalid_argument("cluster_weight: no such cluster");
+  }
+  return clusters_[cluster].weight;
+}
+
+DiskId RushPlacement::cluster_first_disk(std::size_t cluster) const {
+  if (cluster >= clusters_.size()) {
+    throw std::invalid_argument("cluster_first_disk: no such cluster");
+  }
+  return clusters_[cluster].first_disk;
+}
+
+std::size_t RushPlacement::cluster_size(std::size_t cluster) const {
+  if (cluster >= clusters_.size()) {
+    throw std::invalid_argument("cluster_size: no such cluster");
+  }
+  return clusters_[cluster].disks;
+}
+
 std::size_t RushPlacement::resolve_cluster(GroupId group, std::uint32_t rank) const {
   if (clusters_.empty()) throw std::logic_error("rush: no clusters configured");
   // Cumulative weights W_j = sum of total_weight over clusters 0..j.

@@ -24,7 +24,17 @@ class RushPlacement final : public PlacementPolicy {
   DiskId add_cluster(std::size_t count, double weight) override;
   [[nodiscard]] DiskId candidate(GroupId group, std::uint32_t rank) const override;
 
-  [[nodiscard]] std::size_t cluster_count() const { return clusters_.size(); }
+  [[nodiscard]] std::size_t cluster_count() const override {
+    return clusters_.size();
+  }
+  /// Weight 0 drains the cluster: its capture probability becomes 0 while
+  /// clusters below keep their exact draws, so zeroing the newest cluster
+  /// restores the pre-expansion layout bit for bit (determinism pin).
+  void set_cluster_weight(std::size_t cluster, double weight) override;
+  [[nodiscard]] double cluster_weight(std::size_t cluster) const override;
+  [[nodiscard]] DiskId cluster_first_disk(std::size_t cluster) const override;
+  [[nodiscard]] std::size_t cluster_size(std::size_t cluster) const override;
+
   /// Cluster index that candidate(group, rank) resolves to (for tests).
   [[nodiscard]] std::size_t resolve_cluster(GroupId group, std::uint32_t rank) const;
 

@@ -1,5 +1,6 @@
 #include "workload/invariants.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -330,6 +331,85 @@ CheckOutcome check_detector_sane(const core::SystemConfig& config,
   return out;
 }
 
+/// Rebalance ledger conservation: every committed drain releases exactly one
+/// block of used space at the source and charges exactly one block at the
+/// target, so the drained/landed ledgers must balance; completed migrations
+/// account for moved bytes exactly; and nothing moves that was never planned.
+CheckOutcome check_fleet_drain_conservation(
+    const core::SystemConfig& config,
+    const std::vector<core::TrialResult>& trials) {
+  CheckOutcome out{"fleet_drain_conservation", true, ""};
+  if (!config.fleet.enabled() || trials.empty()) {
+    out.detail = "not evaluated (no lifecycle events)";
+    return out;
+  }
+  const double block = config.block_size().value();
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const core::TrialResult& t = trials[i];
+    if (!t.fleet_active) continue;
+    const double pair_slack = kRelTol * (t.drained_bytes + t.landed_bytes + 1.0);
+    if (std::abs(t.drained_bytes - t.landed_bytes) > pair_slack) {
+      out.passed = false;
+      out.detail = cat(trial_tag(i), "drained ", fmt(t.drained_bytes),
+                       " B != landed ", fmt(t.landed_bytes), " B");
+      return out;
+    }
+    const double expect_moved =
+        static_cast<double>(t.migrations_completed) * block;
+    if (std::abs(t.moved_bytes - expect_moved) >
+        kRelTol * (expect_moved + 1.0)) {
+      out.passed = false;
+      out.detail = cat(trial_tag(i), "moved ", fmt(t.moved_bytes),
+                       " B != completed x block = ", fmt(expect_moved), " B");
+      return out;
+    }
+    if (t.moved_bytes >
+        t.planned_move_bytes + kRelTol * (t.planned_move_bytes + 1.0)) {
+      out.passed = false;
+      out.detail = cat(trial_tag(i), "moved ", fmt(t.moved_bytes),
+                       " B exceeds planned ", fmt(t.planned_move_bytes), " B");
+      return out;
+    }
+  }
+  out.detail = cat(std::to_string(trials.size()), " trials balanced");
+  return out;
+}
+
+/// Movement-ratio bound: the planned move set is the exact RUSH layout
+/// diff, whose expectation is the moved-weight fraction of the stored
+/// bytes (changed_weight_bytes).  The realized set fluctuates binomially
+/// (~sqrt(N) blocks), and compounding events drift the estimate, so the
+/// comparison carries a relative band plus a sqrt(N) absolute term.
+CheckOutcome check_fleet_movement_ratio(
+    const core::SystemConfig& config,
+    const std::vector<core::TrialResult>& trials) {
+  CheckOutcome out{"fleet_movement_ratio", true, ""};
+  if (!config.fleet.enabled() || trials.empty()) {
+    out.detail = "not evaluated (no lifecycle events)";
+    return out;
+  }
+  const double block = config.block_size().value();
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const core::TrialResult& t = trials[i];
+    if (!t.fleet_active) continue;
+    const double changed = t.changed_weight_bytes;
+    const double slack = 0.25 * changed +
+                         4.0 * std::sqrt(std::max(changed * block, 0.0)) +
+                         64.0 * block;
+    if (std::abs(t.planned_move_bytes - changed) > slack) {
+      out.passed = false;
+      out.detail = cat(trial_tag(i), "planned movement ",
+                       fmt(t.planned_move_bytes),
+                       " B strays from the theoretical minimum ", fmt(changed),
+                       " B by more than ", fmt(slack), " B");
+      return out;
+    }
+  }
+  out.detail =
+      cat(std::to_string(trials.size()), " trials within the movement band");
+  return out;
+}
+
 }  // namespace
 
 std::vector<CheckOutcome> evaluate_invariants(
@@ -338,7 +418,7 @@ std::vector<CheckOutcome> evaluate_invariants(
     const core::MonteCarloResult& aggregate,
     const InvariantTolerance& tolerance) {
   std::vector<CheckOutcome> out;
-  out.reserve(7);
+  out.reserve(9);
   out.push_back(check_bytes_conserved(config, trials));
   out.push_back(check_group_loss_accounting(config, trials, aggregate));
   out.push_back(check_loss_within_tolerance(aggregate, tolerance));
@@ -346,6 +426,8 @@ std::vector<CheckOutcome> evaluate_invariants(
   out.push_back(check_window_sane(config, trials, aggregate));
   out.push_back(check_slo_floor(trials, aggregate, tolerance));
   out.push_back(check_detector_sane(config, trials));
+  out.push_back(check_fleet_drain_conservation(config, trials));
+  out.push_back(check_fleet_movement_ratio(config, trials));
   return out;
 }
 

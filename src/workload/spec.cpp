@@ -1,6 +1,7 @@
 #include "workload/spec.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -469,6 +470,67 @@ void apply_fault(ObjReader& parent, core::SystemConfig& c) {
   r.finish();
 }
 
+void apply_rebalance(ObjReader& parent, core::SystemConfig& c) {
+  const JsonValue* g = parent.take("rebalance");
+  if (g == nullptr) return;
+  ObjReader r(*g, parent.subpath("rebalance"));
+  double x = 0.0;
+  if (r.quantity("migration_bandwidth_bytes_per_sec",
+                 "migration_bandwidth_mb_s", util::kMB, x)) {
+    c.fleet.migration_bandwidth = util::Bandwidth{x};
+  }
+  r.finish();
+}
+
+/// Top-level "lifecycle" array: the fleet timeline.  (The "fleet" group name
+/// was already taken by disk/failure-law parameters above.)
+void apply_lifecycle(ObjReader& parent, core::SystemConfig& c) {
+  const JsonValue* g = parent.take("lifecycle");
+  if (g == nullptr) return;
+  if (!g->is_array()) parent.fail_key("lifecycle", "expected an array");
+  c.fleet.events.clear();
+  const auto& arr = g->as_array();
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const std::string path =
+        parent.subpath("lifecycle") + "[" + std::to_string(i) + "]";
+    ObjReader er(arr[i], path);
+    fleet::LifecycleEvent e;
+    double x = 0.0;
+    std::string kind;
+    if (!er.string("kind", kind)) er.fail("requires a \"kind\"");
+    if (er.quantity("at_sec", "at_years", kYear, x)) e.at = util::Seconds{x};
+    if (kind == "expand") {
+      e.kind = fleet::LifecycleKind::kExpand;
+      er.integer("count", e.count);
+      er.number("weight", e.weight);
+      if (er.quantity("capacity_bytes", "capacity_gb", util::kGB, x)) {
+        e.capacity = util::Bytes{x};
+      }
+      if (er.quantity("bandwidth_bytes_per_sec", "bandwidth_mb_s", util::kMB,
+                      x)) {
+        e.bandwidth = util::Bandwidth{x};
+      }
+    } else if (kind == "decommission") {
+      e.kind = fleet::LifecycleKind::kDecommission;
+      er.integer("cluster", e.cluster);
+      if (er.quantity("drain_deadline_sec", "drain_deadline_hours", kHour,
+                      x)) {
+        e.drain_deadline = util::Seconds{x};
+      }
+    } else if (kind == "set_weight") {
+      e.kind = fleet::LifecycleKind::kSetWeight;
+      er.integer("cluster", e.cluster);
+      er.number("new_weight", e.new_weight);
+    } else {
+      er.fail_key("kind", "unknown lifecycle kind '" + kind +
+                              "' (expected expand, decommission, or "
+                              "set_weight)");
+    }
+    er.finish();
+    c.fleet.events.push_back(e);
+  }
+}
+
 void apply_instrumentation(ObjReader& parent, core::SystemConfig& c) {
   const JsonValue* g = parent.take("instrumentation");
   if (g == nullptr) return;
@@ -495,7 +557,71 @@ void apply_config_groups(ObjReader& r, core::SystemConfig& c) {
   apply_net(r, c);
   apply_client(r, c);
   apply_fault(r, c);
+  apply_rebalance(r, c);
+  apply_lifecycle(r, c);
   apply_instrumentation(r, c);
+}
+
+// --- sweep sugar ------------------------------------------------------------
+
+std::string sweep_value_label(ObjReader& sr, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNumber: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", v.as_number());
+      return buf;
+    }
+    case JsonValue::Kind::kString:
+      return v.as_string();
+    case JsonValue::Kind::kBool:
+      return v.as_bool() ? "true" : "false";
+    default:
+      sr.fail_key("values",
+                  "sweep values must be numbers, strings, or booleans");
+  }
+}
+
+/// Synthesizes the one-override spec document {"grp":{"field":<value>}} for
+/// a dotted sweep key, reusing the ordinary group parsers (and their
+/// diagnostics) for the application.
+std::string sweep_override_text(ObjReader& sr, const std::string& key,
+                                const JsonValue& v) {
+  std::vector<std::string> segs;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t dot = key.find('.', start);
+    segs.push_back(key.substr(
+        start, dot == std::string::npos ? std::string::npos : dot - start));
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  for (const std::string& s : segs) {
+    if (s.empty()) {
+      sr.fail_key("key", "malformed dotted config path '" + key + "'");
+    }
+  }
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  for (const std::string& s : segs) {
+    w.begin_object();
+    w.key(s);
+  }
+  switch (v.kind()) {
+    case JsonValue::Kind::kNumber:
+      w.value(v.as_number());
+      break;
+    case JsonValue::Kind::kString:
+      w.value(v.as_string());
+      break;
+    case JsonValue::Kind::kBool:
+      w.value(v.as_bool());
+      break;
+    default:
+      sr.fail_key("values",
+                  "sweep values must be numbers, strings, or booleans");
+  }
+  for (std::size_t i = 0; i < segs.size(); ++i) w.end_object();
+  return os.str();
 }
 
 }  // namespace
@@ -663,6 +789,53 @@ void write_config_spec(util::JsonWriter& w, const core::SystemConfig& c) {
   w.end_object();
   w.end_object();
 
+  // Emitted only when lifecycle events exist so specs dumped from
+  // static-fleet configs keep their exact schema (golden-pinned).  SI keys
+  // only, so emit -> parse -> emit is the identity.
+  if (c.fleet.enabled()) {
+    w.key("rebalance");
+    w.begin_object();
+    w.kv("migration_bandwidth_bytes_per_sec",
+         c.fleet.migration_bandwidth.value());
+    w.end_object();
+
+    w.key("lifecycle");
+    w.begin_array();
+    for (const auto& e : c.fleet.events) {
+      w.begin_object();
+      switch (e.kind) {
+        case fleet::LifecycleKind::kExpand:
+          w.kv("kind", "expand");
+          w.kv("at_sec", e.at.value());
+          w.kv("count", static_cast<std::uint64_t>(e.count));
+          w.kv("weight", e.weight);
+          if (e.capacity.value() > 0.0) {
+            w.kv("capacity_bytes", e.capacity.value());
+          }
+          if (e.bandwidth.value() > 0.0) {
+            w.kv("bandwidth_bytes_per_sec", e.bandwidth.value());
+          }
+          break;
+        case fleet::LifecycleKind::kDecommission:
+          w.kv("kind", "decommission");
+          w.kv("at_sec", e.at.value());
+          w.kv("cluster", static_cast<std::uint64_t>(e.cluster));
+          if (e.drain_deadline.value() > 0.0) {
+            w.kv("drain_deadline_sec", e.drain_deadline.value());
+          }
+          break;
+        case fleet::LifecycleKind::kSetWeight:
+          w.kv("kind", "set_weight");
+          w.kv("at_sec", e.at.value());
+          w.kv("cluster", static_cast<std::uint64_t>(e.cluster));
+          w.kv("new_weight", e.new_weight);
+          break;
+      }
+      w.end_object();
+    }
+    w.end_array();
+  }
+
   w.key("instrumentation");
   w.begin_object();
   w.kv("collect_recovery_load", c.collect_recovery_load);
@@ -711,6 +884,7 @@ Spec parse_spec(const JsonValue& doc) {
     for (std::size_t i = 0; i < arr.size(); ++i) {
       const std::string path = "points[" + std::to_string(i) + "]";
       ObjReader pr(arr[i], path);
+      const JsonValue* sweep = pr.take("sweep");
       SpecPoint point;
       point.config = base;
       if (!pr.string("label", point.label) || point.label.empty()) {
@@ -718,7 +892,33 @@ Spec parse_spec(const JsonValue& doc) {
       }
       apply_config_groups(pr, point.config);
       pr.finish();
-      spec.points.push_back(std::move(point));
+      if (sweep == nullptr) {
+        spec.points.push_back(std::move(point));
+        continue;
+      }
+      // Sweep sugar: {"sweep": {"key": "recovery.bandwidth_mb_s",
+      // "values": [4, 8, 16]}} expands the point into one labelled point
+      // per value ("label/4", "label/8", ...), each the point's config
+      // with that single override applied.
+      ObjReader sr(*sweep, path + ".sweep");
+      std::string key;
+      if (!sr.string("key", key) || key.empty()) {
+        sr.fail("requires a non-empty \"key\" (dotted config path)");
+      }
+      const JsonValue* values = sr.take("values");
+      if (values == nullptr || !values->is_array() ||
+          values->as_array().empty()) {
+        sr.fail("requires a non-empty \"values\" array");
+      }
+      sr.finish();
+      for (const JsonValue& v : values->as_array()) {
+        SpecPoint expanded;
+        expanded.label = point.label + "/" + sweep_value_label(sr, v);
+        expanded.config =
+            apply_config_spec(JsonValue::parse(sweep_override_text(sr, key, v)),
+                              point.config, path + ".sweep");
+        spec.points.push_back(std::move(expanded));
+      }
     }
   } else {
     spec.points.push_back({"base", base});

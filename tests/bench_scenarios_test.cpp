@@ -40,6 +40,9 @@ const std::set<std::string> kExpectedNames = {
     "fault_correlated_burst",
     "fault_failslow",
     "fault_detector_quality",
+    "fleet_expand_under_fire",
+    "fleet_decommission_drain",
+    "fleet_mixed_generations",
 };
 
 ScenarioOptions tiny_options() {

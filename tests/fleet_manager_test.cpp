@@ -1,0 +1,165 @@
+// Fleet lifecycle subsystem (src/fleet): event gating, expansion
+// rebalancing, decommission drains, deadline accounting, and the
+// conservation ledgers the workload invariants assert in bulk.
+#include <gtest/gtest.h>
+
+#include "farm/reliability_sim.hpp"
+#include "fleet/fleet_config.hpp"
+
+namespace farm::core {
+namespace {
+
+using util::gigabytes;
+using util::terabytes;
+
+SystemConfig small_config() {
+  SystemConfig cfg;
+  cfg.total_user_data = terabytes(20);  // ~100 disks mirrored at 40 %
+  cfg.group_size = gigabytes(10);
+  cfg.mission_time = util::days(60);
+  return cfg;
+}
+
+fleet::LifecycleEvent expand_at(util::Seconds at, std::size_t count,
+                                double weight = 1.0) {
+  fleet::LifecycleEvent e;
+  e.kind = fleet::LifecycleKind::kExpand;
+  e.at = at;
+  e.count = count;
+  e.weight = weight;
+  return e;
+}
+
+// An event timeline past the mission end arms the manager but fires
+// nothing; every non-fleet output must match the static-fleet run exactly.
+TEST(FleetManager, IdleTimelineLeavesTheSimulationUntouched) {
+  const TrialResult plain = run_trial(small_config(), 42);
+
+  SystemConfig gated = small_config();
+  gated.fleet.events.push_back(expand_at(util::days(90), 5));
+  const TrialResult armed = run_trial(gated, 42);
+
+  EXPECT_FALSE(plain.fleet_active);
+  EXPECT_TRUE(armed.fleet_active);
+  EXPECT_EQ(armed.fleet_expansions, 0u);
+  EXPECT_EQ(armed.migrations_planned, 0u);
+  EXPECT_EQ(plain.disk_failures, armed.disk_failures);
+  EXPECT_EQ(plain.rebuilds_completed, armed.rebuilds_completed);
+  EXPECT_EQ(plain.events_executed, armed.events_executed);
+  EXPECT_EQ(plain.data_lost, armed.data_lost);
+  EXPECT_EQ(plain.mean_window_sec, armed.mean_window_sec);
+}
+
+TEST(FleetManager, ExpansionRebalancesTheWeightFraction) {
+  SystemConfig cfg = small_config();
+  cfg.fleet.events.push_back(expand_at(util::days(2), 20));
+  const TrialResult r = run_trial(cfg, 7);
+
+  EXPECT_EQ(r.fleet_expansions, 1u);
+  EXPECT_EQ(r.fleet_disks_added, 20u);
+  EXPECT_GT(r.migrations_planned, 0u);
+  EXPECT_GT(r.migrations_completed, 0u);
+
+  // Ledger exactness: moved bytes are completed migrations times the block.
+  const double block = cfg.block_size().value();
+  EXPECT_NEAR(r.moved_bytes,
+              static_cast<double>(r.migrations_completed) * block,
+              1e-6 * r.moved_bytes);
+  EXPECT_LE(r.moved_bytes, r.planned_move_bytes * (1.0 + 1e-9));
+
+  // RUSH minimal migration: the planned move set sits within 10 % of the
+  // theoretical minimum implied by the weight change.
+  ASSERT_GT(r.changed_weight_bytes, 0.0);
+  const double ratio = r.planned_move_bytes / r.changed_weight_bytes;
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.1);
+}
+
+TEST(FleetManager, DecommissionDrainsConservesAndRetires) {
+  SystemConfig cfg = small_config();
+  cfg.fleet.events.push_back(expand_at(util::days(2), 10));
+  fleet::LifecycleEvent drain;
+  drain.kind = fleet::LifecycleKind::kDecommission;
+  drain.at = util::days(20);
+  drain.cluster = 1;
+  drain.drain_deadline = util::days(2);
+  cfg.fleet.events.push_back(drain);
+  const TrialResult r = run_trial(cfg, 11);
+
+  EXPECT_EQ(r.fleet_decommissions, 1u);
+  EXPECT_GT(r.drained_bytes, 0.0);
+  // Byte conservation: what the doomed rack released equals what landed on
+  // the survivors.
+  EXPECT_NEAR(r.drained_bytes, r.landed_bytes, 1e-6 * r.landed_bytes);
+  // At the default 8 MB/s per destination the rack empties in about an
+  // hour, far inside the 2-day deadline.
+  EXPECT_EQ(r.drain_deadline_misses, 0u);
+  EXPECT_EQ(r.drain_residual_blocks, 0u);
+  // Emptied disks retire (a cluster disk that failed naturally first is
+  // counted as a failure instead, so retirement can fall short of 10).
+  EXPECT_GE(r.fleet_disks_retired, 1u);
+  EXPECT_LE(r.fleet_disks_retired, 10u);
+}
+
+TEST(FleetManager, TightDeadlineCountsTheMiss) {
+  SystemConfig cfg = small_config();
+  cfg.fleet.migration_bandwidth = util::mb_per_sec(2);
+  cfg.fleet.events.push_back(expand_at(util::days(2), 10));
+  fleet::LifecycleEvent drain;
+  drain.kind = fleet::LifecycleKind::kDecommission;
+  drain.at = util::days(20);
+  drain.cluster = 1;
+  drain.drain_deadline = util::hours(1);  // ~5 h of queue at 2 MB/s
+  cfg.fleet.events.push_back(drain);
+  const TrialResult r = run_trial(cfg, 11);
+
+  EXPECT_EQ(r.drain_deadline_misses, 1u);
+  EXPECT_GT(r.drain_residual_blocks, 0u);
+  // The drain still finishes eventually: misses are counted, not enforced.
+  EXPECT_NEAR(r.drained_bytes, r.landed_bytes, 1e-6 * r.landed_bytes);
+  EXPECT_GE(r.fleet_disks_retired, 1u);
+}
+
+TEST(FleetManager, SetWeightMovesTowardTheHeavierCluster) {
+  SystemConfig cfg = small_config();
+  cfg.fleet.events.push_back(expand_at(util::days(2), 10));
+  fleet::LifecycleEvent reweight;
+  reweight.kind = fleet::LifecycleKind::kSetWeight;
+  reweight.at = util::days(10);
+  reweight.cluster = 1;
+  reweight.new_weight = 4.0;
+  cfg.fleet.events.push_back(reweight);
+  const TrialResult r = run_trial(cfg, 3);
+
+  EXPECT_EQ(r.fleet_weight_changes, 1u);
+  EXPECT_GT(r.migrations_planned, 0u);
+  ASSERT_GT(r.changed_weight_bytes, 0.0);
+  const double ratio = r.planned_move_bytes / r.changed_weight_bytes;
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LT(ratio, 1.15);
+}
+
+TEST(FleetManager, ValidationRejectsBadTimelines) {
+  SystemConfig cfg = small_config();
+  cfg.fleet.events.push_back(expand_at(util::days(2), 0));
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg.fleet.events.clear();
+  fleet::LifecycleEvent drain;
+  drain.kind = fleet::LifecycleKind::kDecommission;
+  drain.at = util::days(1);
+  drain.cluster = 1;  // no expansion has created it yet
+  cfg.fleet.events.push_back(drain);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  // Batch replacement and the lifecycle timeline both append placement
+  // clusters; mixing them would shift the timeline's cluster indices.
+  cfg.fleet.events.clear();
+  cfg.fleet.events.push_back(expand_at(util::days(2), 5));
+  cfg.replacement.enabled = true;
+  cfg.replacement.loss_fraction_threshold = 0.05;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace farm::core

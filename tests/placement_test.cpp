@@ -236,6 +236,61 @@ TEST(Rush, ThreeClusterBalanceByTotalWeight) {
   }
 }
 
+// Reweighting stability: adding a rack moves only ~its weight fraction of
+// the draws (within 10 % relative), every move lands in the new rack, and
+// zeroing the rack's weight restores the prior layout bit-for-bit — the
+// properties the fleet rebalance engine's movement-ratio ledger relies on.
+TEST(Rush, StabilityUnderWeightChange) {
+  RushPlacement rush(11);
+  rush.add_cluster(200, 1.0);
+  const GroupId groups = 20000;
+  std::vector<DiskId> before;
+  before.reserve(groups);
+  for (GroupId g = 0; g < groups; ++g) before.push_back(rush.candidate(g, 0));
+
+  const DiskId first_new = rush.add_cluster(50, 2.0);  // weight 100 of 300
+  int moved = 0;
+  for (GroupId g = 0; g < groups; ++g) {
+    const DiskId now = rush.candidate(g, 0);
+    if (now == before[g]) continue;
+    ++moved;
+    ASSERT_GE(now, first_new);  // minimal migration: moves only inward
+  }
+  const double expected = 100.0 / 300.0;
+  const double ratio = moved / static_cast<double>(groups) / expected;
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.1);
+
+  // Zero weight: the cluster stops capturing and every earlier draw
+  // re-emerges exactly (the cumulative-capture walk never consults it).
+  rush.set_cluster_weight(1, 0.0);
+  for (GroupId g = 0; g < groups; ++g) {
+    ASSERT_EQ(rush.candidate(g, 0), before[g]) << "group " << g;
+  }
+  // Restoring the weight restores the expanded layout too.
+  rush.set_cluster_weight(1, 2.0);
+  int moved_again = 0;
+  for (GroupId g = 0; g < groups; ++g) {
+    if (rush.candidate(g, 0) != before[g]) ++moved_again;
+  }
+  EXPECT_EQ(moved_again, moved);
+}
+
+TEST(Rush, ZeroWeightClusterNeverCaptures) {
+  RushPlacement rush(3);
+  rush.add_cluster(40, 1.0);
+  rush.add_cluster(20, 1.5);
+  rush.set_cluster_weight(1, 0.0);
+  for (GroupId g = 0; g < 5000; ++g) {
+    for (unsigned rank = 0; rank < 4; ++rank) {
+      ASSERT_LT(rush.candidate(g, rank), 40u);
+    }
+  }
+  // The whole system cannot be zero-weight.
+  EXPECT_THROW(rush.set_cluster_weight(0, 0.0), std::invalid_argument);
+  EXPECT_GT(rush.cluster_weight(0), 0.0);  // rejected change rolled back
+}
+
 // --- chained declustering specifics ----------------------------------------
 
 TEST(Chained, NeighboringRanksAreAdjacentOnRing) {

@@ -85,7 +85,7 @@ TEST(Invariants, FullChecklistAlwaysReported) {
   const std::vector<TrialResult> trials;
   const auto checks =
       evaluate_invariants(c, trials, aggregate_of(trials), InvariantTolerance{});
-  ASSERT_EQ(checks.size(), 7u);
+  ASSERT_EQ(checks.size(), 9u);
   EXPECT_EQ(checks[0].name, "bytes_conserved");
   EXPECT_EQ(checks[1].name, "group_loss_accounting");
   EXPECT_EQ(checks[2].name, "loss_within_tolerance");
@@ -93,7 +93,10 @@ TEST(Invariants, FullChecklistAlwaysReported) {
   EXPECT_EQ(checks[4].name, "window_sane");
   EXPECT_EQ(checks[5].name, "slo_floor");
   EXPECT_EQ(checks[6].name, "detector_sane");
+  EXPECT_EQ(checks[7].name, "fleet_drain_conservation");
+  EXPECT_EQ(checks[8].name, "fleet_movement_ratio");
   EXPECT_TRUE(all_passed(checks));
+  EXPECT_NE(checks[7].detail.find("not evaluated"), std::string::npos);
   EXPECT_NE(checks[0].detail.find("not evaluated"), std::string::npos);
   EXPECT_NE(checks[5].detail.find("not evaluated"), std::string::npos);
 }

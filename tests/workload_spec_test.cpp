@@ -158,6 +158,101 @@ TEST(SpecParse, JsonSyntaxErrorsCarryLineAndColumn) {
   expect_contains(msg, "line 2");
 }
 
+TEST(SpecParse, LifecycleTimelineRoundTripsThroughEmit) {
+  const std::string text = R"({
+    "name": "fleet",
+    "base": {
+      "rebalance": {"migration_bandwidth_mb_s": 4},
+      "lifecycle": [
+        {"kind": "expand", "at_sec": 86400, "count": 12, "weight": 2,
+         "capacity_gb": 2000, "bandwidth_mb_s": 120},
+        {"kind": "set_weight", "at_sec": 172800, "cluster": 1,
+         "new_weight": 3},
+        {"kind": "decommission", "at_sec": 259200, "cluster": 1,
+         "drain_deadline_hours": 6}
+      ]
+    },
+    "points": [{"label": "p"}]
+  })";
+  const Spec spec = parse_spec_text(text);
+  const core::SystemConfig& c = spec.points[0].config;
+  ASSERT_TRUE(c.fleet.enabled());
+  ASSERT_EQ(c.fleet.events.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.fleet.migration_bandwidth.value(),
+                   util::mb_per_sec(4).value());
+  const fleet::LifecycleEvent& e0 = c.fleet.events[0];
+  EXPECT_EQ(e0.kind, fleet::LifecycleKind::kExpand);
+  EXPECT_EQ(e0.count, 12u);
+  EXPECT_DOUBLE_EQ(e0.weight, 2.0);
+  EXPECT_DOUBLE_EQ(e0.capacity.value(), util::gigabytes(2000).value());
+  EXPECT_DOUBLE_EQ(e0.bandwidth.value(), util::mb_per_sec(120).value());
+  EXPECT_EQ(c.fleet.events[1].kind, fleet::LifecycleKind::kSetWeight);
+  EXPECT_DOUBLE_EQ(c.fleet.events[1].new_weight, 3.0);
+  EXPECT_EQ(c.fleet.events[2].kind, fleet::LifecycleKind::kDecommission);
+  EXPECT_DOUBLE_EQ(c.fleet.events[2].drain_deadline.value(),
+                   util::hours(6).value());
+
+  // --dump-spec identity: emit -> parse -> emit must be a fixed point.
+  const std::string once = spec_to_json(spec);
+  expect_contains(once, "\"lifecycle\"");
+  expect_contains(once, "\"rebalance\"");
+  EXPECT_EQ(spec_to_json(parse_spec_text(once)), once);
+}
+
+TEST(SpecParse, LifecycleBadKindAndBadOrderDiagnose) {
+  expect_contains(parse_error(R"({
+    "name": "x",
+    "base": {"lifecycle": [{"kind": "teleport", "at_sec": 1}]}
+  })"),
+                  "kind");
+  expect_contains(parse_error(R"({
+    "name": "x",
+    "base": {"lifecycle": [
+      {"kind": "expand", "at_sec": 100, "count": 2},
+      {"kind": "expand", "at_sec": 50, "count": 2}
+    ]}
+  })"),
+                  "ordered");
+}
+
+TEST(SpecParse, SweepExpandsIntoLabelledPoints) {
+  const Spec spec = parse_spec_text(R"({
+    "name": "sweepy",
+    "points": [
+      {"label": "bw",
+       "sweep": {"key": "recovery.bandwidth_mb_s", "values": [8, 24]}},
+      {"label": "plain"}
+    ]
+  })");
+  ASSERT_EQ(spec.points.size(), 3u);
+  EXPECT_EQ(spec.points[0].label, "bw/8");
+  EXPECT_EQ(spec.points[1].label, "bw/24");
+  EXPECT_EQ(spec.points[2].label, "plain");
+  EXPECT_DOUBLE_EQ(spec.points[0].config.recovery_bandwidth.value(),
+                   util::mb_per_sec(8).value());
+  EXPECT_DOUBLE_EQ(spec.points[1].config.recovery_bandwidth.value(),
+                   util::mb_per_sec(24).value());
+}
+
+TEST(SpecParse, SweepDiagnosesBadShapes) {
+  expect_contains(parse_error(R"({
+    "name": "x",
+    "points": [{"label": "p", "sweep": {"values": [1]}}]
+  })"),
+                  "key");
+  expect_contains(parse_error(R"({
+    "name": "x",
+    "points": [{"label": "p", "sweep": {"key": "recovery.bandwidth_mb_s"}}]
+  })"),
+                  "values");
+  expect_contains(parse_error(R"({
+    "name": "x",
+    "points": [{"label": "p",
+                "sweep": {"key": "recovery.nope", "values": [1]}}]
+  })"),
+                  "nope");
+}
+
 TEST(SpecEmit, EmitParseEmitIsTheIdentity) {
   Spec spec;
   spec.name = "round";
