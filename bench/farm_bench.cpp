@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "analysis/scenario.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "workload/spec.hpp"
 #include "workload/spec_scenario.hpp"
@@ -61,6 +62,14 @@ int usage(std::ostream& os, int exit_code) {
         "  --swarm N        sample and run N random spec combinations, assert\n"
         "                   invariants on each (uses --seed and --trials;\n"
         "                   --out writes the machine-readable report)\n"
+        "  --buggify P      with --swarm: enable the deterministic stress layer\n"
+        "                   on each combo with probability P in [0, 1] (its own\n"
+        "                   seed lane; 0, the default, is bit-identical to a\n"
+        "                   run without the flag)\n"
+        "  --replay-failures FILE\n"
+        "                   re-run only the failing combos of the swarm report\n"
+        "                   in FILE via their embedded repro specs (the report's\n"
+        "                   own master seed; exit 3 if any still fails)\n"
         "  --threads N      worker threads for the Monte-Carlo trials\n"
         "                   (default: hardware concurrency); results are\n"
         "                   seed-derived, so N never changes the numbers\n"
@@ -83,6 +92,8 @@ struct Args {
   std::vector<std::string> spec_paths;
   std::optional<std::string> dump_spec;
   std::optional<std::size_t> swarm;
+  double buggify = 0.0;  // swarm per-combo stress enable probability
+  std::optional<std::string> replay_failures;
   std::optional<std::size_t> threads;
   double timeout_sec = 0.0;  // 0 = no watchdog
 };
@@ -118,6 +129,18 @@ std::optional<Args> parse_args(int argc, char** argv) {
                                     std::string(v) + "'");
       }
       args.swarm = static_cast<std::size_t>(n);
+    } else if (a == "--buggify") {
+      const char* v = next(i, "--buggify");
+      char* end = nullptr;
+      const double p = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(p >= 0.0) || p > 1.0) {
+        throw std::invalid_argument(
+            "--buggify expects a probability in [0, 1], got '" +
+            std::string(v) + "'");
+      }
+      args.buggify = p;
+    } else if (a == "--replay-failures") {
+      args.replay_failures = next(i, "--replay-failures");
     } else if (a == "--trials") {
       const char* v = next(i, "--trials");
       char* end = nullptr;
@@ -286,11 +309,79 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (args.replay_failures) {
+    // Triage loop closer: re-run exactly the combos the swarm flagged, via
+    // their embedded repro specs and the report's own master seed, so a fix
+    // is verified against the bytes that failed — not a fresh sample.
+    std::ifstream in(*args.replay_failures);
+    if (!in) {
+      std::cerr << "farm_bench: cannot read '" << *args.replay_failures
+                << "'\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::size_t replayed = 0;
+    std::size_t still_failing = 0;
+    bool detached = false;
+    try {
+      const util::JsonValue doc = util::JsonValue::parse(text.str());
+      analysis::ScenarioOptions ropts = opts;
+      ropts.master_seed = std::stoull(doc.at("master_seed").as_string());
+      for (const util::JsonValue& r : doc.at("results").as_array()) {
+        if (r.at("passed").as_bool()) continue;
+        ++replayed;
+        const std::string& label = r.at("label").as_string();
+        const workload::SpecScenario scenario(
+            workload::parse_spec(r.at("repro_spec")));
+        const RunOutcome outcome =
+            run_scenario(scenario, ropts, args.timeout_sec);
+        detached = detached || outcome.timed_out;
+        std::size_t failed_checks = 0;
+        if (outcome.run) {
+          for (const analysis::PointResult& p : outcome.run->points) {
+            for (const analysis::CheckOutcome& chk : p.checks) {
+              if (chk.passed) continue;
+              ++failed_checks;
+              std::cerr << "farm_bench: " << label << " still violates '"
+                        << chk.name << "': " << chk.detail << "\n";
+            }
+          }
+        } else {
+          ++failed_checks;
+          std::cerr << "farm_bench: " << label
+                    << " replay failed to run: " << outcome.error << "\n";
+        }
+        if (failed_checks > 0) ++still_failing;
+        std::cout << label << ": "
+                  << (failed_checks == 0 ? "pass"
+                                         : std::to_string(failed_checks) +
+                                               " invariant(s) still failing")
+                  << "\n";
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "farm_bench: " << *args.replay_failures << ": " << e.what()
+                << "\n";
+      return 2;
+    }
+    std::cout << "replayed " << replayed << " failing combo(s), "
+              << still_failing << " still failing\n";
+    const int code = still_failing > 0 ? 3 : 0;
+    if (detached) {
+      std::cout.flush();
+      std::cerr.flush();
+      std::_Exit(code);
+    }
+    return code;
+  }
+
   if (args.swarm) {
     workload::SwarmOptions sopts;
     sopts.combos = *args.swarm;
     sopts.master_seed = args.seed;
     if (opts.trials > 0) sopts.trials = opts.trials;
+    sopts.pool = opts.pool;
+    sopts.buggify_probability = args.buggify;
     const workload::SwarmReport report = workload::run_swarm(sopts);
 
     util::Table table({"combo", "config", "loss", "invariants"});

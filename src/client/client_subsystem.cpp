@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stress/buggify.hpp"
+
 namespace farm::client {
 
 namespace {
@@ -15,6 +17,12 @@ constexpr double kMinClientShare = 0.1;
 
 /// Salt separating the block-address stream from the arrival stream.
 constexpr std::uint64_t kAddrSalt = 0x636c69656e743aULL;  // "client:"
+
+/// Buggify magnitudes: "client.queue_hiccup" derates one request's disk
+/// share to a quarter; "client.arrival_burst" compresses an open-arrival
+/// gap to a tenth, bunching requests.
+constexpr double kQueueHiccupFactor = 0.25;
+constexpr double kArrivalBurstFactor = 0.1;
 
 }  // namespace
 
@@ -54,9 +62,12 @@ void ClientSubsystem::start() {
 }
 
 void ClientSubsystem::schedule_open_arrival() {
-  const util::Seconds gap =
+  util::Seconds gap =
       generator_.next_interarrival(sim_.now(), system_.live_disks());
   if (!std::isfinite(gap.value())) return;
+  if (BUGGIFY("client.arrival_burst")) {
+    gap = util::Seconds{gap.value() * kArrivalBurstFactor};
+  }
   const double at = sim_.now().value() + gap.value();
   if (at > mission_end_sec_) return;  // the mission ends before it arrives
   sim_.schedule_in(gap, [this] {
@@ -191,9 +202,9 @@ ClientSubsystem::Outcome ClientSubsystem::serve_write(const Request& r) {
 }
 
 double ClientSubsystem::enqueue_on(DiskId d, util::Bytes bytes) {
-  return queue_for(d)
-      .enqueue(sim_.now().value(), bytes, client_share(d))
-      .done_sec;
+  double share = client_share(d);
+  if (BUGGIFY("client.queue_hiccup")) share *= kQueueHiccupFactor;
+  return queue_for(d).enqueue(sim_.now().value(), bytes, share).done_sec;
 }
 
 double ClientSubsystem::client_share(DiskId d) const {

@@ -152,6 +152,7 @@ void SystemConfig::validate() const {
         "config: fleet lifecycle and batch replacement cannot both add "
         "placement clusters; disable one");
   }
+  stress.validate();
   client.validate();
   if (workload.kind == WorkloadKind::kGenerated && !client.enabled) {
     throw std::invalid_argument(
@@ -183,6 +184,10 @@ std::string SystemConfig::summary() const {
   if (fleet.enabled()) {
     os << ", fleet [" << fleet.events.size() << " lifecycle events, migrate at "
        << util::to_string(fleet.migration_bandwidth) << "]";
+  }
+  if (stress.enabled) {
+    os << ", buggify [p=" << stress.probability << ", "
+       << stress.overrides.size() << " overrides]";
   }
   return os.str();
 }

@@ -19,6 +19,7 @@
 #include "farm/workload.hpp"
 #include "net/topology.hpp"
 #include "placement/placement.hpp"
+#include "stress/buggify.hpp"
 #include "util/units.hpp"
 
 namespace farm::core {
@@ -166,6 +167,10 @@ struct SystemConfig {
   /// rebalance engine's migration traffic class; empty timeline (default) =
   /// the paper's static fleet, with bit-identical output.
   fleet::FleetConfig fleet;
+  /// Deterministic buggify stress points (src/stress); off by default =
+  /// no BuggifyState is installed and every gate short-circuits, keeping
+  /// golden-pinned output bit-identical.
+  stress::StressConfig stress;
 
   // --- mission ---------------------------------------------------------------
   util::Seconds mission_time = util::years(6);

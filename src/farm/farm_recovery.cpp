@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "stress/buggify.hpp"
+
 namespace farm::core {
 
 FarmRecovery::FarmRecovery(StorageSystem& system, sim::Simulator& sim,
@@ -25,6 +27,13 @@ DiskId FarmRecovery::pick_target(GroupIndex g, BlockIndex b) {
 }
 
 void FarmRecovery::start_rebuild(GroupIndex g, BlockIndex b, unsigned attempt) {
+  if (BUGGIFY("recovery.stall_retry")) {
+    // Target selection spuriously finds nothing (a transient metadata or
+    // allocator hiccup); the rebuild takes the existing stall/backoff path.
+    metrics_.record_stall();
+    schedule_retry(g, b, attempt + 1);
+    return;
+  }
   const DiskId target = pick_target(g, b);
   if (target == kNoDisk) {
     metrics_.record_stall();

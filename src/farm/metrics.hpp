@@ -5,7 +5,9 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "client/latency_recorder.hpp"
@@ -217,6 +219,10 @@ struct TrialResult {
   /// Migration traffic over the fabric (fleet_active && fabric_active).
   double migration_local_bytes = 0.0;
   double migration_cross_rack_bytes = 0.0;
+  /// Buggify stress points that fired this trial, (catalog name, count) in
+  /// catalog order; empty with buggify_active false when stress is off.
+  bool buggify_active = false;
+  std::vector<std::pair<std::string, std::uint64_t>> buggify_fired;
 };
 
 /// Monte-Carlo aggregate over many trials of one configuration.

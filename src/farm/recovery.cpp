@@ -6,8 +6,19 @@
 #include "farm/distributed_sparing.hpp"
 #include "farm/farm_recovery.hpp"
 #include "farm/spare_recovery.hpp"
+#include "stress/buggify.hpp"
 
 namespace farm::core {
+
+namespace {
+/// Buggify magnitudes.  "recovery.slow_drain" derates a flat transfer to a
+/// quarter of its quote; "recovery.requote_storm" holds a fabric queue for
+/// up to a minute (each hold costs a pump event plus a full re-quote);
+/// "recovery.retry_pileup" quadruples an interrupted rebuild's backoff.
+constexpr double kSlowDrainFactor = 0.25;
+constexpr double kRequoteStormMaxHoldSec = 60.0;
+constexpr double kRetryPileupFactor = 4.0;
+}  // namespace
 
 RecoveryPolicy::RecoveryPolicy(StorageSystem& system, sim::Simulator& sim,
                                Metrics& metrics)
@@ -67,6 +78,14 @@ void RecoveryPolicy::launch_transfer(RebuildId id, net::QueueKey queue,
       // least-loaded signal — but the completion comes from the fabric.
       (void)enqueue_transfer(r.target, rate_scale);
     }
+    if (BUGGIFY("recovery.requote_storm")) {
+      // A short hold before the submit forces a pump event and an extra
+      // max-min re-solve on top of the submit's own.
+      scheduler_->hold_queue_until(
+          queue, sim_.now().value() +
+                     stress::BuggifyState::current()->uniform(
+                         "recovery.requote_storm", 1.0, kRequoteStormMaxHoldSec));
+    }
     r.xfer = scheduler_->submit(queue, r.source, r.target,
                                 system_.block_bytes(), scale, [this, id] {
                                   slab_[id].xfer = net::kNoTransfer;
@@ -74,6 +93,7 @@ void RecoveryPolicy::launch_transfer(RebuildId id, net::QueueKey queue,
                                 });
     return;
   }
+  if (BUGGIFY("recovery.slow_drain")) scale *= kSlowDrainFactor;
   ensure_disk_slots(queue);
   const double start = std::max(sim_.now().value(), queue_free_[queue]);
   const double done = start + transfer_seconds_at(start) / scale;
@@ -94,10 +114,11 @@ void RecoveryPolicy::handle_source_failure(DiskId d) {
     cancel_transfer(id);
     metrics_.record_rebuild_interruption();
     metrics_.trace(sim_.now().value(), "rebuild_interrupted", r.group);
-    const double delay = std::min(
+    double delay = std::min(
         cfg.retry_delay_cap.value(),
         cfg.retry_delay.value() *
             static_cast<double>(1u << std::min(r.restarts, 16u)));
+    if (BUGGIFY("recovery.retry_pileup")) delay *= kRetryPileupFactor;
     ++r.restarts;
     r.source = kNoDisk;
     // The backoff event lives in r.done, so every teardown path (group

@@ -9,6 +9,12 @@ namespace farm::core {
 ReliabilitySimulator::ReliabilitySimulator(const SystemConfig& config,
                                            std::uint64_t seed)
     : config_(config),
+      buggify_(config_.stress.enabled
+                   ? std::make_unique<stress::BuggifyState>(
+                         config_.stress,
+                         util::hash_combine(seed, util::hash_string("buggify")))
+                   : nullptr),
+      buggify_scope_(buggify_.get()),
       system_(config_, seed),
       detector_(FailureDetector::from_config(config_)),
       replacement_(system_, sim_, metrics_) {
@@ -174,6 +180,12 @@ TrialResult ReliabilitySimulator::run() {
     if (const net::FlowScheduler* fs = policy_->fabric_scheduler()) {
       result.migration_local_bytes = fs->migration_local_bytes();
       result.migration_cross_rack_bytes = fs->migration_cross_rack_bytes();
+    }
+  }
+  if (buggify_) {
+    result.buggify_active = true;
+    for (const auto& [name, count] : buggify_->fired()) {
+      result.buggify_fired.emplace_back(std::string(name), count);
     }
   }
   if (injector_) {

@@ -46,6 +46,12 @@ class ReliabilitySimulator {
   void on_domain_failure_event(std::size_t domain);
 
   SystemConfig config_;
+  /// The trial's buggify lanes (null when stress is off).  The Scope
+  /// installs the state thread-locally for the simulator's whole lifetime,
+  /// so one instance must be constructed, run, and destroyed on one thread
+  /// (which the Monte-Carlo harness guarantees per trial).
+  std::unique_ptr<stress::BuggifyState> buggify_;
+  stress::BuggifyState::Scope buggify_scope_;
   sim::Simulator sim_;
   Metrics metrics_;
   StorageSystem system_;

@@ -1,6 +1,15 @@
 #include "farm/spare_recovery.hpp"
 
+#include "stress/buggify.hpp"
+
 namespace farm::core {
+
+namespace {
+/// Buggify "recovery.spare_provision_lag" extra hold before a fresh spare
+/// accepts its first rebuild write (a slow rack-and-provision cycle).
+constexpr double kSpareLagMinSec = 600.0;
+constexpr double kSpareLagMaxSec = 4.0 * 3600.0;
+}  // namespace
 
 SpareRecovery::SpareRecovery(StorageSystem& system, sim::Simulator& sim,
                              Metrics& metrics)
@@ -29,7 +38,11 @@ void SpareRecovery::on_failure_detected(DiskId d) {
   const DiskId spare = system_.add_spare_disk(/*vintage=*/0, sim_.now());
   const double speedup = system_.config().spare_rebuild_speedup;
   // A cold spare takes time to rack before its rebuild can begin.
-  const double provision = system_.config().spare_provision_delay.value();
+  double provision = system_.config().spare_provision_delay.value();
+  if (BUGGIFY("recovery.spare_provision_lag")) {
+    provision += stress::BuggifyState::current()->uniform(
+        "recovery.spare_provision_lag", kSpareLagMinSec, kSpareLagMaxSec);
+  }
   if (provision > 0.0) reserve_queue_until(spare, sim_.now().value() + provision);
   for (const BlockRef ref : runnable) {
     system_.disk_at(spare).allocate(system_.block_bytes());

@@ -3,11 +3,18 @@
 #include <algorithm>
 #include <vector>
 
+#include "stress/buggify.hpp"
 #include "util/seed_lanes.hpp"
 
 namespace farm::fault {
 
 using core::DiskId;
+
+namespace {
+/// Buggify "detector.slip_extra": extra whole heartbeat intervals a
+/// detection slips on top of the modelled false-negative draw.
+constexpr std::uint64_t kSlipExtraMaxBeats = 8;
+}  // namespace
 
 FaultInjector::FaultInjector(core::StorageSystem& system, sim::Simulator& sim,
                              core::Metrics& metrics,
@@ -148,6 +155,17 @@ util::Seconds FaultInjector::detection_time(const core::FailureDetector& det,
       t = t + util::Seconds{slip};
     }
   }
+  if (config_.detector.enabled && det.kind() == core::DetectorKind::kHeartbeat &&
+      BUGGIFY("detector.slip_extra")) {
+    // The monitor itself hiccups: the detection slips extra whole heartbeat
+    // intervals beyond the modelled missed-beat draw.
+    const double beats = static_cast<double>(
+        1 + stress::BuggifyState::current()->pick("detector.slip_extra",
+                                                  kSlipExtraMaxBeats));
+    const double slip = beats * det.heartbeat_interval().value();
+    metrics_.record_detection_slip(slip);
+    t = t + util::Seconds{slip};
+  }
   return t;
 }
 
@@ -166,6 +184,19 @@ void FaultInjector::schedule_next_false_positive() {
 void FaultInjector::fire_false_positive() {
   const auto d = static_cast<DiskId>(fp_rng_.below(system_.disk_slots()));
   if (!system_.disk_at(d).alive()) return;  // accusing the dead is moot
+  accuse(d);
+  if (BUGGIFY("detector.flap_burst")) {
+    // The accusation flaps across the monitor: a second disk (from the
+    // point's own lane, so the base accusation stream is undisturbed) is
+    // accused in the same breath.
+    const auto extra = static_cast<DiskId>(
+        stress::BuggifyState::current()->pick("detector.flap_burst",
+                                              system_.disk_slots()));
+    if (extra != d && system_.disk_at(extra).alive()) accuse(extra);
+  }
+}
+
+void FaultInjector::accuse(DiskId d) {
   metrics_.record_spurious_detection();
   metrics_.trace(sim_.now().value(), "false_positive", d);
   policy_.begin_spurious_rebuilds(d);

@@ -62,6 +62,7 @@ class FaultInjector {
   void fire_shock();
   void schedule_next_false_positive();
   void fire_false_positive();
+  void accuse(core::DiskId d);
   void sample_fail_slow_onset(core::DiskId id);
   void begin_fail_slow(core::DiskId id);
 

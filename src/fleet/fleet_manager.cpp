@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stress/buggify.hpp"
+
 namespace farm::fleet {
 
 namespace {
@@ -14,6 +16,10 @@ constexpr unsigned kMaxDrainRetries = 16;
 /// Bounded candidate walk when a block's fresh layout slot is infeasible
 /// (mirrors the recovery target selector's probe budget).
 constexpr std::uint32_t kTargetSearchRanks = 256;
+/// Buggify "fleet.drain_pause" hold range before a migration transfer
+/// starts (a slow admission-control or throttling cycle).
+constexpr double kDrainPauseMinSec = 600.0;
+constexpr double kDrainPauseMaxSec = 4.0 * 3600.0;
 }  // namespace
 
 FleetManager::FleetManager(core::StorageSystem& system, sim::Simulator& sim,
@@ -286,6 +292,14 @@ void FleetManager::enqueue(GroupIndex g, core::BlockIndex b, DiskId src,
 void FleetManager::launch(MigrationId id) {
   Migration& m = slab_[id];
   if (net::FlowScheduler* fs = policy_.fabric_scheduler_mutable()) {
+    if (BUGGIFY("fleet.drain_pause")) {
+      // Admission control stalls: the destination queue stays closed for a
+      // while before the migration can activate.
+      fs->hold_queue_until(m.dst, sim_.now().value() +
+                                      stress::BuggifyState::current()->uniform(
+                                          "fleet.drain_pause", kDrainPauseMinSec,
+                                          kDrainPauseMaxSec));
+    }
     // Same per-destination FIFO queue as rebuild transfers: a disk
     // receiving both repair and rebalance traffic serializes them, and the
     // fabric's max-min sharing squeezes both against client I/O.
@@ -295,7 +309,11 @@ void FleetManager::launch(MigrationId id) {
   } else {
     const double rate = cfg_.migration_bandwidth.value();
     double& free_at = queue_free_[m.dst];
-    const double start = std::max(sim_.now().value(), free_at);
+    double start = std::max(sim_.now().value(), free_at);
+    if (BUGGIFY("fleet.drain_pause")) {
+      start += stress::BuggifyState::current()->uniform(
+          "fleet.drain_pause", kDrainPauseMinSec, kDrainPauseMaxSec);
+    }
     const double done = start + system_.block_bytes().value() / rate;
     free_at = done;
     m.done =
@@ -323,6 +341,18 @@ void FleetManager::on_complete(MigrationId id) {
 
   const DiskId src = m.src;
   const bool drain = m.drain;
+  if (drain && src_ok && group_ok && dst_ok && m.retries < kMaxDrainRetries &&
+      BUGGIFY("fleet.migration_retry_storm")) {
+    // A would-commit drain bounces to the retry path, as if the target
+    // raced another writer at the last moment; nothing was reserved, so
+    // only time is lost.
+    const GroupIndex g = m.group;
+    const core::BlockIndex b = m.block;
+    const unsigned next = m.retries + 1;
+    cancel_migration(id, /*count_cancelled=*/false);
+    schedule_drain_retry(g, b, src, next);
+    return;
+  }
   if (src_ok && group_ok && dst_ok) {
     const double before = system_.disk_at(src).used().value();
     system_.set_home(m.group, m.block, m.dst, /*charge_target=*/true);

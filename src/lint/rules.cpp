@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "lint/lexer.hpp"
+#include "stress/catalog.hpp"
 #include "util/json.hpp"
 #include "util/random.hpp"
 
@@ -128,6 +129,7 @@ class Linter {
       rule_r3();
     }
     if (is_header(path_)) rule_r4();
+    rule_r6();
     return std::move(findings_);
   }
 
@@ -328,6 +330,49 @@ class Linter {
     }
   }
 
+  // --- R6: buggify-point discipline ----------------------------------------
+
+  /// Every BUGGIFY call site must pass a single plain string literal whose
+  /// unquoted text is registered in stress/catalog.hpp.  A computed name
+  /// would open a seed lane nobody can find in review, and an unregistered
+  /// literal would fire a point the spec parser and triage reports have
+  /// never heard of.  Runs on every path: stress points live in src/fleet
+  /// and future subsystems too, not just the classic sim directories.
+  void rule_r6() {
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      const Token& t = *code_[i];
+      if (t.kind != TokKind::kIdent || t.text != "BUGGIFY") continue;
+      if (!code_is(i + 1, "(")) continue;
+      const Token* arg = code(i + 2);
+      if (arg == nullptr || arg->kind != TokKind::kString ||
+          !code_is(i + 3, ")")) {
+        add("R6", t.line,
+            "BUGGIFY takes a single string literal: a computed or "
+            "concatenated point name creates a seed lane the catalog cannot "
+            "review; name one entry from stress/catalog.hpp");
+        continue;
+      }
+      const std::string_view text = arg->text;
+      // Call sites use the plain "..." form, so the point name is exactly
+      // the text between the quotes; raw strings and encoding prefixes are
+      // rejected rather than decoded.
+      if (text.size() < 2 || text.front() != '"' || text.back() != '"') {
+        add("R6", arg->line,
+            "BUGGIFY point names must be plain \"...\" literals, not raw "
+            "strings or prefixed literals");
+        continue;
+      }
+      const std::string_view name = text.substr(1, text.size() - 2);
+      if (!stress::buggify_point_known(name)) {
+        add("R6", arg->line,
+            "BUGGIFY(\"" + std::string(name) +
+                "\") names no registered stress point: add it to "
+                "kBuggifyCatalog in stress/catalog.hpp (at the end of its "
+                "subsystem group) or fix the typo");
+      }
+    }
+  }
+
   // --- R4: header hygiene --------------------------------------------------
 
   void rule_r4() {
@@ -379,6 +424,10 @@ const std::vector<RuleInfo>& rule_table() {
       {"R5",
        "golden-output guard: manifest-pinned files keep their float/double "
        "and accumulation structure until the manifest is bumped"},
+      {"R6",
+       "buggify discipline: every BUGGIFY call site passes one plain string "
+       "literal registered in stress/catalog.hpp — no computed point names, "
+       "no unnamed seed lanes"},
   };
   return kRules;
 }

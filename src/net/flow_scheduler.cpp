@@ -4,7 +4,16 @@
 #include <cassert>
 #include <utility>
 
+#include "stress/buggify.hpp"
+
 namespace farm::net {
+
+namespace {
+/// Buggify "net.delayed_delivery" hold range: long enough to reorder
+/// completions against other queues, short against a rebuild backlog.
+constexpr double kDelayedDeliveryMinSec = 60.0;
+constexpr double kDelayedDeliveryMaxSec = 3600.0;
+}  // namespace
 
 FlowScheduler::FlowScheduler(sim::Simulator& sim, const TopologyConfig& topo,
                              CapFn cap)
@@ -33,6 +42,12 @@ bool FlowScheduler::try_activate(QueueKey qk) {
                        [this, qk] { on_pump(qk); });
     }
     return false;
+  }
+  if (q.waiting.size() > 1 && BUGGIFY("net.delivery_reorder")) {
+    // Break the FIFO discipline once: the head transfer is rotated to the
+    // back, as if its grant was lost and re-issued.
+    q.waiting.push_back(q.waiting.front());
+    q.waiting.pop_front();
   }
   const TransferId id = q.waiting.front();
   q.waiting.pop_front();
@@ -146,6 +161,15 @@ TransferId FlowScheduler::submit(QueueKey queue, EndpointId src,
   settle();
   queues_[queue].waiting.push_back(id);
   ++queued_count_;
+  if (BUGGIFY("net.delayed_delivery")) {
+    // The destination goes briefly unresponsive between enqueue and
+    // activation; the pump event reopens the queue.
+    hold_queue_until(queue,
+                     sim_.now().value() +
+                         stress::BuggifyState::current()->uniform(
+                             "net.delayed_delivery", kDelayedDeliveryMinSec,
+                             kDelayedDeliveryMaxSec));
+  }
   if (try_activate(queue)) requote();
   return id;
 }

@@ -1,0 +1,100 @@
+#include "stress/buggify.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace farm::stress {
+
+namespace {
+
+thread_local BuggifyState* g_current = nullptr;
+
+}  // namespace
+
+double StressConfig::point_probability(std::string_view name) const {
+  for (const auto& [point, p] : overrides) {
+    if (point == name) return p;
+  }
+  return probability;
+}
+
+void StressConfig::validate() const {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("stress: " + what);
+  };
+  if (!(probability >= 0.0 && probability <= 1.0)) {
+    fail("probability must be in [0, 1]");
+  }
+  for (std::size_t i = 0; i < overrides.size(); ++i) {
+    const auto& [name, p] = overrides[i];
+    if (!buggify_point_known(name)) {
+      fail("unknown buggify point '" + name + "'");
+    }
+    if (!(p >= 0.0 && p <= 1.0)) {
+      fail("point '" + name + "' probability must be in [0, 1]");
+    }
+    if (i > 0 && !(overrides[i - 1].first < name)) {
+      fail("overrides must be sorted by name with no duplicates ('" + name +
+           "')");
+    }
+  }
+}
+
+BuggifyState::BuggifyState(const StressConfig& config, std::uint64_t seed) {
+  lanes_.reserve(kBuggifyCatalog.size());
+  for (const BuggifyPoint& point : kBuggifyCatalog) {
+    lanes_.push_back(Lane{
+        util::Xoshiro256{util::hash_combine(seed, util::hash_string(point.name))},
+        config.point_probability(point.name), 0});
+  }
+}
+
+bool BuggifyState::fire(std::string_view name) {
+  const std::size_t i = buggify_point_index(name);
+  if (i >= lanes_.size()) {
+    throw std::logic_error("BUGGIFY point not in catalog: " + std::string(name));
+  }
+  Lane& lane = lanes_[i];
+  // Exactly one draw per evaluation, even at probability 0, so a point's
+  // stream position depends only on how often its site was reached.
+  const bool hit = lane.rng.bernoulli(lane.probability);
+  if (hit) ++lane.fired;
+  return hit;
+}
+
+double BuggifyState::uniform(std::string_view name, double lo, double hi) {
+  const std::size_t i = buggify_point_index(name);
+  if (i >= lanes_.size()) {
+    throw std::logic_error("BUGGIFY point not in catalog: " + std::string(name));
+  }
+  return lo + lanes_[i].rng.uniform() * (hi - lo);
+}
+
+std::uint64_t BuggifyState::pick(std::string_view name, std::uint64_t n) {
+  const std::size_t i = buggify_point_index(name);
+  if (i >= lanes_.size()) {
+    throw std::logic_error("BUGGIFY point not in catalog: " + std::string(name));
+  }
+  return lanes_[i].rng.below(n);
+}
+
+std::vector<std::pair<std::string_view, std::uint64_t>> BuggifyState::fired()
+    const {
+  std::vector<std::pair<std::string_view, std::uint64_t>> out;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i].fired > 0) {
+      out.emplace_back(kBuggifyCatalog[i].name, lanes_[i].fired);
+    }
+  }
+  return out;
+}
+
+BuggifyState* BuggifyState::current() { return g_current; }
+
+BuggifyState::Scope::Scope(BuggifyState* state) : prev_(g_current) {
+  g_current = state;
+}
+
+BuggifyState::Scope::~Scope() { g_current = prev_; }
+
+}  // namespace farm::stress

@@ -1,0 +1,102 @@
+// Deterministic buggify runtime: the machinery behind `BUGGIFY("name")`.
+//
+// A BuggifyState owns one RNG lane per catalog point, seeded
+// hash_combine(buggify_seed, hash_string(point name)) — so enabling,
+// disabling, or re-ordering *other* points never shifts a point's draw
+// stream, and a repro spec that pins (seed, fired points) replays
+// bit-for-bit.  fire() draws exactly one Bernoulli per evaluation from the
+// point's own lane; magnitude helpers (uniform / pick) draw from the same
+// lane, after the gate.
+//
+// The state is installed per thread with BuggifyState::Scope (RAII).  With
+// no state installed — the default — `BUGGIFY(...)` is a thread-local
+// pointer null-check and nothing else: no RNG is constructed, no draw is
+// made, and every golden-pinned output stays bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "stress/catalog.hpp"
+#include "util/random.hpp"
+
+namespace farm::stress {
+
+/// Run-level stress configuration; default-constructed = fully off, and the
+/// simulator then takes the zero-cost path (bit-identical to a build without
+/// the stress layer at all).
+struct StressConfig {
+  /// Master switch; nothing below matters while false.
+  bool enabled = false;
+  /// Default per-evaluation fire probability for every catalog point.
+  double probability = 0.05;
+  /// Per-point probability overrides, kept sorted by point name (the spec
+  /// emitter relies on the order; validate() enforces it).
+  std::vector<std::pair<std::string, double>> overrides;
+
+  /// Effective fire probability for `name` (override else default).
+  [[nodiscard]] double point_probability(std::string_view name) const;
+
+  /// Throws std::invalid_argument on out-of-range probabilities, unknown or
+  /// duplicate override names, or unsorted overrides.
+  void validate() const;
+};
+
+/// Per-run buggify state: one independent RNG lane + fired counter per
+/// catalog point.  Construct once per trial (when config.enabled) and
+/// install with Scope for the duration of the mission.
+class BuggifyState {
+ public:
+  BuggifyState(const StressConfig& config, std::uint64_t seed);
+
+  /// One Bernoulli draw from `name`'s lane; true = the stress point fires.
+  /// `name` must be a registered catalog point (see kBuggifyCatalog).
+  bool fire(std::string_view name);
+
+  /// Uniform double in [lo, hi) from `name`'s lane (magnitude draws).
+  double uniform(std::string_view name, double lo, double hi);
+
+  /// Uniform integer in [0, n) from `name`'s lane.
+  std::uint64_t pick(std::string_view name, std::uint64_t n);
+
+  /// (point name, fire count) for every point that fired, catalog order.
+  [[nodiscard]] std::vector<std::pair<std::string_view, std::uint64_t>> fired()
+      const;
+
+  /// The thread's installed state, or nullptr when buggify is off.
+  [[nodiscard]] static BuggifyState* current();
+
+  /// RAII installer: saves and restores the thread-local current state, so
+  /// nested simulations (a trial spawned from a test that itself runs under
+  /// buggify) unwind correctly.
+  class Scope {
+   public:
+    explicit Scope(BuggifyState* state);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    BuggifyState* prev_;
+  };
+
+ private:
+  struct Lane {
+    util::Xoshiro256 rng;
+    double probability = 0.0;
+    std::uint64_t fired = 0;
+  };
+  std::vector<Lane> lanes_;  // indexed by catalog order
+};
+
+}  // namespace farm::stress
+
+/// The stress-point gate.  `name` must be a string literal registered in
+/// kBuggifyCatalog (farm_lint rule R6 enforces this).  Evaluates to false at
+/// the cost of a thread-local load when no BuggifyState is installed.
+#define BUGGIFY(name)                                    \
+  (::farm::stress::BuggifyState::current() != nullptr && \
+   ::farm::stress::BuggifyState::current()->fire(name))

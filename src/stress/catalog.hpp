@@ -1,0 +1,78 @@
+// Catalog of named buggify stress points (the FoundationDB BUGGIFY idea):
+// every `BUGGIFY("...")` call site in the simulator must name an entry from
+// this table.  The catalog is the single reviewable list of chaos the swarm
+// can inject — farm_lint rule R6 cross-checks call sites against it, the
+// spec parser rejects overrides for unknown names, and triage reports label
+// fired points with these exact strings.
+//
+// Names are "<subsystem>.<behaviour>" and are part of the reproduction
+// contract: a point's seed lane is hash_combine(buggify_seed,
+// hash_string(name)), so renaming a point re-seeds it (and invalidates any
+// pinned repro spec that fired it).  Add new points at the end of their
+// subsystem group; never rename or reuse a name.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace farm::stress {
+
+struct BuggifyPoint {
+  std::string_view name;
+  std::string_view description;
+};
+
+/// Every registered stress point, grouped by subsystem.  Order is the
+/// canonical reporting order (fired-point lists follow it).
+inline constexpr std::array<BuggifyPoint, 13> kBuggifyCatalog{{
+    // --- src/farm recovery ---------------------------------------------------
+    {"recovery.stall_retry",
+     "a rebuild's target selection spuriously stalls and retries with backoff"},
+    {"recovery.slow_drain",
+     "a flat-model rebuild transfer drains at a fraction of its quote"},
+    {"recovery.requote_storm",
+     "a fabric rebuild launch triggers a burst of extra max-min requotes"},
+    {"recovery.retry_pileup",
+     "an interrupted rebuild's retry backoff is multiplied, piling retries up"},
+    {"recovery.spare_provision_lag",
+     "a dedicated spare's provisioning hold is extended before it serves"},
+    // --- src/net -------------------------------------------------------------
+    {"net.delayed_delivery",
+     "a destination queue is held closed briefly before activating a transfer"},
+    {"net.delivery_reorder",
+     "a waiting transfer is rotated to the back of its FIFO queue"},
+    // --- src/client ----------------------------------------------------------
+    {"client.queue_hiccup",
+     "a client request's disk share is derated as if the queue hiccuped"},
+    {"client.arrival_burst",
+     "an open-arrival gap is compressed, bursting requests together"},
+    // --- src/fleet -----------------------------------------------------------
+    {"fleet.migration_retry_storm",
+     "a completing drain migration is forced onto the retry path"},
+    {"fleet.drain_pause",
+     "a flat-model migration transfer is paused before it starts"},
+    // --- src/fault detector --------------------------------------------------
+    {"detector.flap_burst",
+     "a false-positive accusation flaps: one extra disk is accused"},
+    {"detector.slip_extra",
+     "a heartbeat detection slips extra missed-beat intervals"},
+}};
+
+/// True when `name` is a registered stress point.
+[[nodiscard]] constexpr bool buggify_point_known(std::string_view name) {
+  for (const BuggifyPoint& p : kBuggifyCatalog) {
+    if (p.name == name) return true;
+  }
+  return false;
+}
+
+/// Catalog index of `name`, or kBuggifyCatalog.size() when unknown.
+[[nodiscard]] constexpr std::size_t buggify_point_index(std::string_view name) {
+  for (std::size_t i = 0; i < kBuggifyCatalog.size(); ++i) {
+    if (kBuggifyCatalog[i].name == name) return i;
+  }
+  return kBuggifyCatalog.size();
+}
+
+}  // namespace farm::stress

@@ -41,5 +41,8 @@ inline constexpr std::uint64_t kFaultFalsePositive = 3;
 /// (workload::sample_combo_config).  Scoped per (swarm seed, combo index),
 /// so it may reuse an index from the groups above.
 inline constexpr std::uint64_t kSwarmSample = 0;
+/// Per-combo buggify enablement draws for `farm_bench --swarm --buggify`
+/// (workload::sample_combo_stress); same scoping as kSwarmSample.
+inline constexpr std::uint64_t kSwarmBuggify = 1;
 
 }  // namespace farm::util::lanes

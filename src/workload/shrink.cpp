@@ -1,0 +1,326 @@
+#include "workload/shrink.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/experiment.hpp"
+#include "farm/monte_carlo.hpp"
+#include "util/json.hpp"
+#include "workload/invariants.hpp"
+
+namespace farm::workload {
+
+namespace {
+
+using util::JsonValue;
+using util::JsonWriter;
+
+/// Scale knobs the shrinker may halve (fewer disks, shorter missions both
+/// make a repro cheaper without touching its structure).
+constexpr std::array<std::string_view, 2> kScaleKnobPaths = {
+    "fleet.user_data_bytes", "fleet.mission_sec"};
+
+/// One candidate shrink step against the current config document.
+struct Atom {
+  enum class Kind {
+    kRevert,     // scalar leaf differing from base: set back to base value
+    kDrop,       // scalar leaf absent in base: remove the key
+    kDropEvent,  // lifecycle array entry: remove it
+    kHalve,      // scale knob: halve the value
+  };
+  Kind kind = Kind::kRevert;
+  std::vector<std::string> path;  // object-key segments to the leaf / array
+  std::size_t event_index = 0;    // kDropEvent only
+  std::string display;            // "drop fault.burst.enabled", ...
+};
+
+std::string join_path(const std::vector<std::string>& path) {
+  std::string s;
+  for (const std::string& seg : path) {
+    if (!s.empty()) s += '.';
+    s += seg;
+  }
+  return s;
+}
+
+/// Leaf lookup by object-key segments; nullptr when any hop is absent.
+const JsonValue* find_path(const JsonValue& doc,
+                           const std::vector<std::string>& path) {
+  const JsonValue* v = &doc;
+  for (const std::string& seg : path) {
+    v = v->find(seg);
+    if (v == nullptr) return nullptr;
+  }
+  return v;
+}
+
+bool scalar_equal(const JsonValue& a, const JsonValue& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case JsonValue::Kind::kNumber:
+      return a.as_number() == b.as_number();
+    case JsonValue::Kind::kString:
+      return a.as_string() == b.as_string();
+    case JsonValue::Kind::kBool:
+      return a.as_bool() == b.as_bool();
+    default:
+      return true;  // null == null; arrays/objects are not scalar leaves
+  }
+}
+
+/// Collects shrink atoms from `doc` vs `base` in document order, so the
+/// greedy pass is deterministic.
+void collect_atoms(const JsonValue& doc, const JsonValue& base,
+                   std::vector<std::string>& path, std::vector<Atom>& out) {
+  for (const std::string& key : doc.keys()) {
+    const JsonValue& v = doc.at(key);
+    path.push_back(key);
+    if (v.is_object()) {
+      collect_atoms(v, base, path, out);
+    } else if (v.is_array()) {
+      // The only array in the schema is the lifecycle timeline; each event
+      // is one droppable atom.
+      for (std::size_t i = 0; i < v.as_array().size(); ++i) {
+        Atom a;
+        a.kind = Atom::Kind::kDropEvent;
+        a.path = path;
+        a.event_index = i;
+        a.display = "drop " + join_path(path) + "[" + std::to_string(i) + "]";
+        out.push_back(std::move(a));
+      }
+    } else {
+      const std::string joined = join_path(path);
+      // Scale knobs only ever shrink: reverting one to the paper base could
+      // scale the repro *up* (2 TB back to 2 PB), and a probe at paper scale
+      // with a repro's failure rates can take effectively forever.
+      if (v.kind() == JsonValue::Kind::kNumber &&
+          std::find(kScaleKnobPaths.begin(), kScaleKnobPaths.end(), joined) !=
+              kScaleKnobPaths.end()) {
+        Atom a;
+        a.kind = Atom::Kind::kHalve;
+        a.path = path;
+        a.display = "halve " + joined;
+        out.push_back(std::move(a));
+      } else {
+        const JsonValue* b = find_path(base, path);
+        if (b == nullptr) {
+          Atom a;
+          a.kind = Atom::Kind::kDrop;
+          a.path = path;
+          a.display = "drop " + joined;
+          out.push_back(std::move(a));
+        } else if (!scalar_equal(v, *b)) {
+          Atom a;
+          a.kind = Atom::Kind::kRevert;
+          a.path = path;
+          a.display = "revert " + joined;
+          out.push_back(std::move(a));
+        }
+      }
+    }
+    path.pop_back();
+  }
+}
+
+void write_value(JsonWriter& w, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNumber:
+      w.value(v.as_number());
+      break;
+    case JsonValue::Kind::kString:
+      w.value(v.as_string());
+      break;
+    case JsonValue::Kind::kBool:
+      w.value(v.as_bool());
+      break;
+    case JsonValue::Kind::kNull:
+      w.null();
+      break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& e : v.as_array()) write_value(w, e);
+      w.end_array();
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const std::string& k : v.keys()) {
+        w.key(k);
+        write_value(w, v.at(k));
+      }
+      w.end_object();
+      break;
+  }
+}
+
+/// Re-emits `doc` with exactly one atom applied.
+void emit_mutated(JsonWriter& w, const JsonValue& doc, const Atom& atom,
+                  const JsonValue& base, std::vector<std::string>& path) {
+  w.begin_object();
+  for (const std::string& key : doc.keys()) {
+    const JsonValue& v = doc.at(key);
+    path.push_back(key);
+    const bool at_target = path == atom.path;
+    if (v.is_object() && !at_target) {
+      w.key(key);
+      emit_mutated(w, v, atom, base, path);
+    } else if (at_target && atom.kind == Atom::Kind::kDropEvent) {
+      w.key(key);
+      w.begin_array();
+      const auto& events = v.as_array();
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i != atom.event_index) write_value(w, events[i]);
+      }
+      w.end_array();
+    } else if (at_target && atom.kind == Atom::Kind::kDrop) {
+      // key omitted entirely; the parser falls back to its default
+    } else if (at_target && atom.kind == Atom::Kind::kRevert) {
+      w.key(key);
+      write_value(w, *find_path(base, path));
+    } else if (at_target && atom.kind == Atom::Kind::kHalve) {
+      w.kv(key, v.as_number() * 0.5);
+    } else {
+      w.key(key);
+      write_value(w, v);
+    }
+    path.pop_back();
+  }
+  w.end_object();
+}
+
+std::string config_json(const core::SystemConfig& c) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  write_config_spec(w, c);
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<std::string> failure_signature(const core::SystemConfig& config,
+                                           std::uint64_t seed,
+                                           std::size_t trials,
+                                           const InvariantTolerance& tolerance,
+                                           util::ThreadPool* pool) {
+  std::vector<core::TrialResult> per_trial(trials);
+  core::MonteCarloOptions mc;
+  mc.trials = trials;
+  mc.master_seed = seed;
+  mc.pool = pool;
+  mc.observer = [&per_trial](std::size_t t, const core::TrialResult& r) {
+    per_trial[t] = r;
+  };
+  const core::MonteCarloResult aggregate = core::run_monte_carlo(config, mc);
+  std::vector<std::string> sig;
+  for (const analysis::CheckOutcome& chk :
+       evaluate_invariants(config, per_trial, aggregate, tolerance)) {
+    if (!chk.passed) sig.push_back(chk.name);
+  }
+  std::sort(sig.begin(), sig.end());
+  return sig;
+}
+
+ShrinkResult shrink_spec(const Spec& spec, const ShrinkOptions& options) {
+  if (spec.points.empty()) {
+    throw std::invalid_argument("shrink: spec '" + spec.name +
+                                "' has no points");
+  }
+  const std::size_t trials =
+      options.trials > 0 ? options.trials : (spec.trials > 0 ? spec.trials : 4);
+  const std::uint64_t scenario_seed =
+      analysis::point_seed(options.master_seed, spec.name);
+
+  ShrinkResult result;
+  result.spec = spec;
+
+  // The first failing point is the shrink target; a spec that passes
+  // everywhere is returned untouched (shrinking it is a no-op).
+  std::size_t target = spec.points.size();
+  for (std::size_t i = 0;
+       i < spec.points.size() && target == spec.points.size(); ++i) {
+    std::vector<std::string> sig = failure_signature(
+        spec.points[i].config,
+        analysis::point_seed(scenario_seed, spec.points[i].label), trials,
+        spec.tolerance, options.pool);
+    ++result.probes;
+    if (!sig.empty()) {
+      target = i;
+      result.signature = std::move(sig);
+    }
+  }
+  if (target == spec.points.size()) return result;
+
+  const SpecPoint& point = spec.points[target];
+  const std::uint64_t seed = analysis::point_seed(scenario_seed, point.label);
+  const JsonValue base =
+      JsonValue::parse(config_json(analysis::paper_base_config()));
+
+  // The working state is the *canonical* emission of the current config:
+  // every accepted step round-trips through parse -> SystemConfig -> emit,
+  // so dead sub-keys (a disabled block's parameters) vanish as a unit and
+  // the fixed point is a stable byte string.
+  core::SystemConfig current = point.config;
+  std::string current_json = config_json(current);
+
+  {
+    std::vector<Atom> atoms;
+    std::vector<std::string> path;
+    collect_atoms(JsonValue::parse(current_json), base, path, atoms);
+    result.atoms_initial = atoms.size();
+  }
+
+  bool changed = true;
+  while (changed && result.probes < options.max_probes) {
+    changed = false;
+    const JsonValue doc = JsonValue::parse(current_json);
+    std::vector<Atom> atoms;
+    std::vector<std::string> path;
+    collect_atoms(doc, base, path, atoms);
+    for (std::size_t i = 0;
+         i < atoms.size() && result.probes < options.max_probes; ++i) {
+      std::ostringstream os;
+      JsonWriter w(os);
+      std::vector<std::string> epath;
+      emit_mutated(w, doc, atoms[i], base, epath);
+      core::SystemConfig candidate;
+      try {
+        candidate = apply_config_spec(JsonValue::parse(os.str()),
+                                      analysis::paper_base_config(), "");
+        candidate.validate();
+      } catch (const std::exception&) {
+        continue;  // the step broke the schema or the config; skip it
+      }
+      // A step that survives the canonical round-trip unchanged is
+      // cosmetic (e.g. dropping a key the emitter re-emits at its default
+      // value); accepting it would loop forever, so skip it un-probed.
+      const std::string candidate_json = config_json(candidate);
+      if (candidate_json == current_json) continue;
+      ++result.probes;
+      if (failure_signature(candidate, seed, trials, spec.tolerance,
+                            options.pool) != result.signature) {
+        continue;  // the failure changed shape or vanished; keep the atom
+      }
+      result.removed.push_back(atoms[i].display);
+      current = candidate;
+      current_json = candidate_json;
+      changed = true;
+      break;  // atom indices are stale; rescan from the new document
+    }
+  }
+
+  {
+    std::vector<Atom> atoms;
+    std::vector<std::string> path;
+    collect_atoms(JsonValue::parse(current_json), base, path, atoms);
+    result.atoms_final = atoms.size();
+  }
+
+  result.spec.points.clear();
+  result.spec.points.push_back({point.label, current});
+  return result;
+}
+
+}  // namespace farm::workload

@@ -1,0 +1,73 @@
+// Delta-debugging spec shrinker: reduces a failing spec to a near-minimal
+// one that fails the *same way*.
+//
+// The failure oracle is the invariant layer: a config's signature is the
+// sorted list of failed invariant names under the spec's own tolerance, and
+// a shrink step is accepted only when the candidate reproduces the original
+// signature exactly.  Atoms are the differences between the point's emitted
+// config spec and the paper base config:
+//
+//   - overlay keys: scalar leaves that differ from (or are absent in) the
+//     base emission — a step reverts one to its base value or drops it;
+//   - timeline events: lifecycle array entries — a step drops one;
+//   - scale knobs: fleet size and mission length — a step halves one.
+//
+// Steps are tried greedily in document order until a full pass accepts
+// nothing (a fixed point), so shrinking is idempotent: re-shrinking an
+// already-shrunk spec is a byte-level no-op.  Every probe aggregates trials
+// in index order, so results are byte-stable across thread-pool widths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/scenario.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/spec.hpp"
+
+namespace farm::workload {
+
+struct ShrinkOptions {
+  /// Monte-Carlo trials per candidate probe (0 = the spec's own count,
+  /// falling back to 4).
+  std::size_t trials = 0;
+  /// Master seed; per-point seeds derive from (seed, spec name, label)
+  /// exactly as `farm_bench --spec` would derive them.
+  std::uint64_t master_seed = analysis::kDefaultMasterSeed;
+  /// Pool for trial fan-out; nullptr = util::global_pool().  The result is
+  /// byte-identical for every pool width.
+  util::ThreadPool* pool = nullptr;
+  /// Hard cap on candidate probes (each is one Monte-Carlo run).
+  std::size_t max_probes = 256;
+};
+
+struct ShrinkResult {
+  /// The shrunk spec: same name, label, trials, and tolerance as the input,
+  /// with a reduced config.  Equal to the input spec when nothing could be
+  /// removed (or the input did not fail).
+  Spec spec;
+  /// Sorted failed-invariant names the shrink preserved.  Empty when the
+  /// input spec passed all invariants (in which case spec is untouched).
+  std::vector<std::string> signature;
+  /// Accepted steps, in acceptance order ("drop fault.burst.enabled",
+  /// "drop lifecycle[2]", "halve fleet.user_data_bytes", ...).
+  std::vector<std::string> removed;
+  std::size_t atoms_initial = 0;  // atoms in the original diff
+  std::size_t atoms_final = 0;    // atoms left after shrinking
+  std::size_t probes = 0;         // candidate Monte-Carlo runs executed
+};
+
+/// Sorted failed-invariant names for one config: the shrink oracle and the
+/// triage clustering key.  Deterministic and thread-width independent.
+[[nodiscard]] std::vector<std::string> failure_signature(
+    const core::SystemConfig& config, std::uint64_t seed, std::size_t trials,
+    const InvariantTolerance& tolerance, util::ThreadPool* pool);
+
+/// Shrinks the first failing point of `spec` (single-point repro specs are
+/// the intended input).  Throws std::invalid_argument when the spec has no
+/// points.
+[[nodiscard]] ShrinkResult shrink_spec(const Spec& spec,
+                                       const ShrinkOptions& options);
+
+}  // namespace farm::workload

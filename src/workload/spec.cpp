@@ -1,5 +1,6 @@
 #include "workload/spec.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -531,6 +532,35 @@ void apply_lifecycle(ObjReader& parent, core::SystemConfig& c) {
   }
 }
 
+/// "buggify": the deterministic stress layer.  Point overrides live in a
+/// nested "points" object keyed by catalog name; an unknown name fails with
+/// its full JSON path (duplicates are already a JSON parse error).
+void apply_buggify(ObjReader& parent, core::SystemConfig& c) {
+  const JsonValue* g = parent.take("buggify");
+  if (g == nullptr) return;
+  ObjReader r(*g, parent.subpath("buggify"));
+  r.boolean("enabled", c.stress.enabled);
+  r.number("probability", c.stress.probability);
+  if (const JsonValue* pts = r.take("points"); pts != nullptr) {
+    ObjReader pr(*pts, r.subpath("points"));
+    c.stress.overrides.clear();
+    for (const std::string& name : pts->keys()) {
+      if (!stress::buggify_point_known(name)) {
+        pr.fail_key(name, "unknown buggify point '" + name +
+                              "' (see stress/catalog.hpp)");
+      }
+      double p = 0.0;
+      pr.number(name, p);
+      c.stress.overrides.emplace_back(name, p);
+    }
+    pr.finish();
+    // StressConfig keeps overrides name-sorted (the emitter and the seed
+    // lanes are order-independent, but validate() wants one canonical form).
+    std::sort(c.stress.overrides.begin(), c.stress.overrides.end());
+  }
+  r.finish();
+}
+
 void apply_instrumentation(ObjReader& parent, core::SystemConfig& c) {
   const JsonValue* g = parent.take("instrumentation");
   if (g == nullptr) return;
@@ -559,6 +589,7 @@ void apply_config_groups(ObjReader& r, core::SystemConfig& c) {
   apply_fault(r, c);
   apply_rebalance(r, c);
   apply_lifecycle(r, c);
+  apply_buggify(r, c);
   apply_instrumentation(r, c);
 }
 
@@ -834,6 +865,24 @@ void write_config_spec(util::JsonWriter& w, const core::SystemConfig& c) {
       w.end_object();
     }
     w.end_array();
+  }
+
+  // Emitted only when the stress layer is on so specs dumped from
+  // buggify-off configs keep their exact schema (golden-pinned).  Overrides
+  // are name-sorted in StressConfig, so emit -> parse -> emit is the
+  // identity.
+  if (c.stress.enabled) {
+    w.key("buggify");
+    w.begin_object();
+    w.kv("enabled", c.stress.enabled);
+    w.kv("probability", c.stress.probability);
+    if (!c.stress.overrides.empty()) {
+      w.key("points");
+      w.begin_object();
+      for (const auto& [name, p] : c.stress.overrides) w.kv(name, p);
+      w.end_object();
+    }
+    w.end_object();
   }
 
   w.key("instrumentation");

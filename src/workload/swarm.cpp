@@ -164,6 +164,28 @@ core::SystemConfig sample_combo_config(std::uint64_t master_seed,
   return c;
 }
 
+stress::StressConfig sample_combo_stress(std::uint64_t master_seed,
+                                         std::size_t index,
+                                         double enable_probability) {
+  util::Xoshiro256 rng(
+      util::SeedSequence{util::hash_combine(master_seed, index)}.stream(
+          util::lanes::kSwarmBuggify));
+  stress::StressConfig s;
+  if (!rng.bernoulli(enable_probability)) return s;
+  s.enabled = true;
+  static constexpr std::array<double, 3> kFireProb = {0.01, 0.05, 0.25};
+  s.probability = kFireProb[rng.below(kFireProb.size())];
+  if (rng.bernoulli(0.5)) {
+    // One point runs hot, exercising the per-point override path and the
+    // independence of its seed lane from every other point's.
+    const stress::BuggifyPoint& pt =
+        stress::kBuggifyCatalog[rng.below(stress::kBuggifyCatalog.size())];
+    s.overrides.emplace_back(std::string(pt.name), 0.5);
+  }
+  s.validate();
+  return s;
+}
+
 namespace {
 
 /// Canonical per-combo serialization: every field is either integral or a
@@ -190,7 +212,16 @@ std::string canonical_combo_string(const SwarmComboResult& combo,
        << " interruptions=" << t.rebuild_interruptions
        << " client_requests=" << t.client.requests
        << " client_degraded=" << t.client.degraded_reads
-       << " client_unavailable=" << t.client.unavailable_requests << '\n';
+       << " client_unavailable=" << t.client.unavailable_requests;
+    if (t.buggify_active) {
+      // Appended only under buggify so buggify-off canonical strings (and
+      // the report digest) are byte-identical to the pre-stress layout.
+      os << " fired=";
+      for (const auto& [name, count] : t.buggify_fired) {
+        os << name << ':' << count << ';';
+      }
+    }
+    os << '\n';
   }
   for (const analysis::CheckOutcome& chk : combo.checks) {
     os << chk.name << '=' << (chk.passed ? "pass" : "FAIL") << ' '
@@ -224,8 +255,12 @@ SwarmReport run_swarm(const SwarmOptions& options) {
     SwarmComboResult combo;
     combo.label = swarm_combo_label(i);
     combo.seed = analysis::point_seed(scenario_seed, combo.label);
-    const core::SystemConfig config =
-        sample_combo_config(options.master_seed, i);
+    core::SystemConfig config = sample_combo_config(options.master_seed, i);
+    if (options.buggify_probability > 0.0) {
+      config.stress = sample_combo_stress(options.master_seed, i,
+                                          options.buggify_probability);
+    }
+    combo.buggify = config.stress.enabled;
     combo.summary = config.summary();
     combo.trials = options.trials;
 
@@ -255,6 +290,23 @@ SwarmReport run_swarm(const SwarmOptions& options) {
     combo.mean_disk_failures = fails / n;
     combo.mean_rebuilds = rebuilds / n;
     combo.mean_window_sec = window_mean / n;
+
+    if (combo.buggify) {
+      // Fired-point totals, catalog order, summed across trials in index
+      // order — the triage signature input.
+      std::vector<std::uint64_t> fired(stress::kBuggifyCatalog.size(), 0);
+      for (const core::TrialResult& t : trials) {
+        for (const auto& [name, count] : t.buggify_fired) {
+          fired[stress::buggify_point_index(name)] += count;
+        }
+      }
+      for (std::size_t p = 0; p < fired.size(); ++p) {
+        if (fired[p] > 0) {
+          combo.buggify_fired.emplace_back(
+              std::string(stress::kBuggifyCatalog[p].name), fired[p]);
+        }
+      }
+    }
 
     InvariantTolerance tolerance;  // unconstrained: sampled corners may lose
     combo.checks = evaluate_invariants(config, trials, aggregate, tolerance);
@@ -309,6 +361,17 @@ std::string to_json(const SwarmReport& report, std::string_view git_describe) {
     w.kv("mean_window_sec", c.mean_window_sec);
     w.kv("max_window_sec", c.max_window_sec);
     w.kv("passed", c.passed);
+    if (c.buggify) {
+      // Present only for buggify combos, keeping buggify-off reports
+      // byte-identical to the pre-stress schema.
+      w.key("buggify");
+      w.begin_object();
+      w.key("fired");
+      w.begin_object();
+      for (const auto& [name, count] : c.buggify_fired) w.kv(name, count);
+      w.end_object();
+      w.end_object();
+    }
     w.key("invariants");
     w.begin_array();
     for (const analysis::CheckOutcome& chk : c.checks) {

@@ -38,6 +38,12 @@ struct SwarmOptions {
   std::size_t trials = 4;
   /// Pool for trial fan-out; nullptr = util::global_pool().
   util::ThreadPool* pool = nullptr;
+  /// Probability that a sampled combo runs with the buggify stress layer
+  /// enabled, drawn on its own dedicated lane (lanes::kSwarmBuggify) so the
+  /// config sampler's stream is untouched.  0 (the default) means the knob
+  /// does not exist: no draw is made and the report is byte-identical to a
+  /// run before the stress layer was added.
+  double buggify_probability = 0.0;
   /// Called with each combo's label as it finishes.
   std::function<void(const std::string&)> progress;
 };
@@ -57,6 +63,11 @@ struct SwarmComboResult {
   double max_window_sec = 0.0;
   std::vector<analysis::CheckOutcome> checks;
   bool passed = true;
+  /// True when the combo ran with the buggify stress layer enabled.
+  bool buggify = false;
+  /// (point name, total fire count across all trials), catalog order,
+  /// points that fired at least once only.
+  std::vector<std::pair<std::string, std::uint64_t>> buggify_fired;
   Spec repro;  // one-point spec reproducing exactly this combo
 };
 
@@ -74,6 +85,13 @@ struct SwarmReport {
 /// SystemConfig drawn from the declared ranges (always passes validate()).
 [[nodiscard]] core::SystemConfig sample_combo_config(std::uint64_t master_seed,
                                                      std::size_t index);
+
+/// Samples combo `index`'s stress layer: enabled with probability
+/// `enable_probability`, then a fire probability and (sometimes) one hot
+/// per-point override.  All draws come from the dedicated kSwarmBuggify
+/// lane, so combo configs are bit-identical with the layer on or off.
+[[nodiscard]] stress::StressConfig sample_combo_stress(
+    std::uint64_t master_seed, std::size_t index, double enable_probability);
 
 /// Label of combo `index` ("combo-0007") — the seed-bearing identity.
 [[nodiscard]] std::string swarm_combo_label(std::size_t index);

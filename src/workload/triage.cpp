@@ -1,0 +1,117 @@
+#include "workload/triage.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace farm::workload {
+
+namespace {
+
+using util::JsonValue;
+
+const JsonValue& require(const JsonValue& doc, std::string_view key) {
+  const JsonValue* v = doc.find(key);
+  if (v == nullptr) {
+    throw std::invalid_argument("triage: not a swarm report (missing '" +
+                                std::string(key) + "')");
+  }
+  return *v;
+}
+
+}  // namespace
+
+TriageReport triage_swarm_report(const JsonValue& report) {
+  if (!report.is_object() || report.find("kind") == nullptr ||
+      require(report, "kind").as_string() != "swarm") {
+    throw std::invalid_argument(
+        "triage: not a swarm report (expected kind \"swarm\")");
+  }
+  TriageReport out;
+  out.master_seed = std::stoull(require(report, "master_seed").as_string());
+  out.trials = static_cast<std::size_t>(require(report, "trials").as_number());
+
+  // Cluster key = (sorted violated invariants, sorted fired points); the
+  // map keeps clusters in lexicographic key order, so the artifact is
+  // byte-stable however the combos were ordered.
+  using Key = std::pair<std::vector<std::string>, std::vector<std::string>>;
+  std::map<Key, std::vector<std::string>> clusters;
+
+  for (const JsonValue& combo : require(report, "results").as_array()) {
+    ++out.combos;
+    if (require(combo, "passed").as_bool()) continue;
+    ++out.failed;
+    Key key;
+    for (const JsonValue& chk : require(combo, "invariants").as_array()) {
+      if (!require(chk, "passed").as_bool()) {
+        key.first.push_back(require(chk, "name").as_string());
+      }
+    }
+    std::sort(key.first.begin(), key.first.end());
+    if (const JsonValue* bug = combo.find("buggify"); bug != nullptr) {
+      key.second = require(*bug, "fired").keys();
+      std::sort(key.second.begin(), key.second.end());
+    }
+    clusters[std::move(key)].push_back(require(combo, "label").as_string());
+  }
+
+  out.clusters.reserve(clusters.size());
+  for (auto& [key, combos] : clusters) {
+    TriageCluster c;
+    c.invariants = key.first;
+    c.fired = key.second;
+    c.combos = std::move(combos);
+    out.clusters.push_back(std::move(c));
+  }
+  return out;
+}
+
+const JsonValue* find_swarm_combo(const JsonValue& report,
+                                  std::string_view label) {
+  const JsonValue* results = report.find("results");
+  if (results == nullptr || !results->is_array()) return nullptr;
+  for (const JsonValue& combo : results->as_array()) {
+    const JsonValue* l = combo.find("label");
+    if (l != nullptr && l->as_string() == label) return &combo;
+  }
+  return nullptr;
+}
+
+std::string to_json(const TriageReport& report) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema_version", 1);
+  w.kv("kind", "triage");
+  w.kv("master_seed", std::to_string(report.master_seed));
+  w.kv("trials", static_cast<std::uint64_t>(report.trials));
+  w.kv("combos", static_cast<std::uint64_t>(report.combos));
+  w.kv("failed", static_cast<std::uint64_t>(report.failed));
+  w.key("clusters");
+  w.begin_array();
+  for (const TriageCluster& c : report.clusters) {
+    w.begin_object();
+    w.key("invariants");
+    w.begin_array();
+    for (const std::string& name : c.invariants) w.value(name);
+    w.end_array();
+    w.key("fired");
+    w.begin_array();
+    for (const std::string& name : c.fired) w.value(name);
+    w.end_array();
+    w.kv("count", static_cast<std::uint64_t>(c.combos.size()));
+    w.key("combos");
+    w.begin_array();
+    for (const std::string& label : c.combos) w.value(label);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace farm::workload

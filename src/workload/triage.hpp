@@ -1,0 +1,54 @@
+// Swarm failure triage: clusters the failing combos of a swarm report by
+// *failure signature* — the sorted set of violated invariant names plus the
+// sorted set of buggify points that fired — so a hundred failing combos
+// triage into the handful of distinct ways the model actually broke.
+//
+// Input is the machine-readable report written by `farm_bench --swarm
+// --out`; clustering is pure string processing over that document, so the
+// triage table and JSON artifact are byte-stable given the same report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace farm::workload {
+
+/// One equivalence class of failing combos.
+struct TriageCluster {
+  /// Sorted names of the violated invariants (never empty).
+  std::vector<std::string> invariants;
+  /// Sorted names of the buggify points that fired (empty when the combo
+  /// ran without the stress layer).
+  std::vector<std::string> fired;
+  /// Labels of the member combos, report order; the first is the cluster's
+  /// exemplar (the one `farm_triage --shrink` reduces).
+  std::vector<std::string> combos;
+};
+
+struct TriageReport {
+  std::uint64_t master_seed = 0;
+  std::size_t trials = 0;
+  std::size_t combos = 0;  // combos in the swarm report
+  std::size_t failed = 0;  // combos that violated at least one invariant
+  /// Clusters sorted by (invariants, fired) — deterministic given the
+  /// report.
+  std::vector<TriageCluster> clusters;
+};
+
+/// Clusters the failing combos of a parsed swarm report.  Throws
+/// std::invalid_argument on a document that is not a swarm report.
+[[nodiscard]] TriageReport triage_swarm_report(const util::JsonValue& report);
+
+/// The "results" entry for `label`, or nullptr when absent — the way to a
+/// cluster exemplar's embedded repro spec.
+[[nodiscard]] const util::JsonValue* find_swarm_combo(
+    const util::JsonValue& report, std::string_view label);
+
+/// Serializes the triage artifact (schema_version 1, kind "triage").
+[[nodiscard]] std::string to_json(const TriageReport& report);
+
+}  // namespace farm::workload

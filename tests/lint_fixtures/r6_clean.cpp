@@ -1,0 +1,18 @@
+// Fixture: R6-conformant BUGGIFY call sites.
+#include "stress/buggify.hpp"
+
+namespace fixture {
+
+void r6_clean(double share) {
+  if (BUGGIFY("recovery.stall_retry")) share *= 0.5;
+  if (BUGGIFY("client.queue_hiccup")) share *= 0.25;
+  // An unregistered name is allowed only with a justified suppression:
+  // farm-lint: allow(R6) staging a point ahead of its catalog entry
+  if (BUGGIFY("recovery.unlisted_yet")) share *= 2.0;
+  (void)share;
+}
+
+// A helper that merely mentions the macro name without calling it is fine.
+int BUGGIFY_unrelated = 0;
+
+}  // namespace fixture

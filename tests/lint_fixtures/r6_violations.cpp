@@ -1,0 +1,15 @@
+// Fixture: BUGGIFY call sites that break the catalog contract (rule R6).
+#include "stress/buggify.hpp"
+
+namespace fixture {
+
+const char* kComputed = "recovery.stall_retry";
+
+void r6_violations() {
+  if (BUGGIFY("recovery.not_registered")) {}   // line 9: unknown point
+  if (BUGGIFY(kComputed)) {}                   // line 10: not a literal
+  if (BUGGIFY("net." "delayed_delivery")) {}   // line 11: concatenation
+  if (BUGGIFY(R"(client.queue_hiccup)")) {}    // line 12: raw string
+}
+
+}  // namespace fixture

@@ -172,6 +172,31 @@ TEST(LintR4, SourceFilesAreExempt) {
   EXPECT_EQ(count_rule(fs, "R4"), 0u);
 }
 
+// --- R6 ---------------------------------------------------------------------
+
+TEST(LintR6, FlagsUnknownComputedAndNonPlainPointNames) {
+  const auto fs = lint_fixture("src/farm/fixture.cpp", "r6_violations.cpp");
+  EXPECT_EQ(count_rule(fs, "R6"), 4u);
+  std::vector<unsigned> lines;
+  for (const auto& f : fs) {
+    if (f.rule == "R6") lines.push_back(f.line);
+  }
+  EXPECT_EQ(lines, (std::vector<unsigned>{9, 10, 11, 12}));
+}
+
+TEST(LintR6, RunsOutsideClassicSimPaths) {
+  // Stress points live in src/fleet (and future subsystems) too, so R6 is
+  // not gated on in_sim_path().
+  const auto fs = lint_fixture("src/fleet/fixture.cpp", "r6_violations.cpp");
+  EXPECT_EQ(count_rule(fs, "R6"), 4u);
+}
+
+TEST(LintR6, CatalogLiteralsAndJustifiedSuppressionsPass) {
+  const auto fs = lint_fixture("src/farm/fixture.cpp", "r6_clean.cpp");
+  EXPECT_EQ(count_rule(fs, "R6", /*suppressed=*/false), 0u);
+  EXPECT_EQ(count_rule(fs, "R6", /*suppressed=*/true), 1u);
+}
+
 // --- R5 ---------------------------------------------------------------------
 
 TEST(LintR5, FingerprintIgnoresCosmeticChanges) {
@@ -265,9 +290,9 @@ TEST(LintJson, FindingsDocumentRoundTrips) {
   }
 }
 
-TEST(LintRules, TableListsAllFiveRules) {
+TEST(LintRules, TableListsAllSixRules) {
   const auto& table = rule_table();
-  ASSERT_EQ(table.size(), 5u);
+  ASSERT_EQ(table.size(), 6u);
   for (std::size_t i = 0; i < table.size(); ++i) {
     // Built with += to dodge GCC 12's -Wrestrict false positive on
     // string operator+ (GCC PR105651), which -Werror turns fatal.

@@ -1,0 +1,188 @@
+// The buggify runtime's contracts: catalog integrity, StressConfig
+// validation, per-point lane independence (the property repro specs lean
+// on), the zero-cost disabled path, fired() accounting, and Scope
+// save/restore semantics.
+#include "stress/buggify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace farm::stress {
+namespace {
+
+// --- catalog ----------------------------------------------------------------
+
+TEST(BuggifyCatalog, NamesAreUniqueAndSubsystemQualified) {
+  std::set<std::string_view> seen;
+  for (const BuggifyPoint& p : kBuggifyCatalog) {
+    EXPECT_TRUE(seen.insert(p.name).second) << p.name;
+    // "<subsystem>.<behaviour>": exactly one dot, neither side empty.
+    const std::size_t dot = p.name.find('.');
+    ASSERT_NE(dot, std::string_view::npos) << p.name;
+    EXPECT_GT(dot, 0u) << p.name;
+    EXPECT_LT(dot + 1, p.name.size()) << p.name;
+    EXPECT_EQ(p.name.find('.', dot + 1), std::string_view::npos) << p.name;
+    EXPECT_FALSE(p.description.empty()) << p.name;
+  }
+}
+
+TEST(BuggifyCatalog, LookupsAgree) {
+  for (std::size_t i = 0; i < kBuggifyCatalog.size(); ++i) {
+    EXPECT_TRUE(buggify_point_known(kBuggifyCatalog[i].name));
+    EXPECT_EQ(buggify_point_index(kBuggifyCatalog[i].name), i);
+  }
+  EXPECT_FALSE(buggify_point_known("recovery.bogus"));
+  EXPECT_EQ(buggify_point_index("recovery.bogus"), kBuggifyCatalog.size());
+  // constexpr-usable, so the spec parser can reject names at parse time.
+  static_assert(buggify_point_known("recovery.stall_retry"));
+  static_assert(!buggify_point_known("nope"));
+}
+
+// --- StressConfig -----------------------------------------------------------
+
+TEST(StressConfig, PointProbabilityPrefersOverride) {
+  StressConfig c;
+  c.probability = 0.1;
+  c.overrides = {{"net.delayed_delivery", 0.9}};
+  EXPECT_DOUBLE_EQ(c.point_probability("net.delayed_delivery"), 0.9);
+  EXPECT_DOUBLE_EQ(c.point_probability("recovery.stall_retry"), 0.1);
+}
+
+TEST(StressConfig, ValidateRejectsBadShapes) {
+  StressConfig c;
+  EXPECT_NO_THROW(c.validate());  // fully-off default is valid
+
+  c.probability = 1.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.probability = 0.05;
+
+  c.overrides = {{"recovery.bogus", 0.5}};
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c.overrides = {{"recovery.stall_retry", -0.1}};
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c.overrides = {{"recovery.stall_retry", 0.5},
+                 {"recovery.stall_retry", 0.5}};  // duplicate
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c.overrides = {{"net.delayed_delivery", 0.5},
+                 {"client.queue_hiccup", 0.5}};  // unsorted
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c.overrides = {{"client.queue_hiccup", 0.5},
+                 {"net.delayed_delivery", 0.5}};
+  EXPECT_NO_THROW(c.validate());
+}
+
+// --- fire determinism and lane independence ---------------------------------
+
+std::vector<bool> fire_sequence(const StressConfig& config, std::uint64_t seed,
+                                std::string_view point, int n) {
+  BuggifyState state(config, seed);
+  std::vector<bool> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(state.fire(point));
+  return out;
+}
+
+TEST(BuggifyState, FireSequenceIsAFunctionOfSeedAndPoint) {
+  StressConfig c;
+  c.enabled = true;
+  c.probability = 0.5;
+  const auto a = fire_sequence(c, 42, "recovery.stall_retry", 200);
+  EXPECT_EQ(a, fire_sequence(c, 42, "recovery.stall_retry", 200));
+  EXPECT_NE(a, fire_sequence(c, 43, "recovery.stall_retry", 200));
+  // Distinct points draw from distinct lanes even at the same seed.
+  EXPECT_NE(a, fire_sequence(c, 42, "net.delayed_delivery", 200));
+}
+
+TEST(BuggifyState, OverridingOnePointNeverShiftsAnother) {
+  StressConfig plain;
+  plain.enabled = true;
+  plain.probability = 0.5;
+  StressConfig overridden = plain;
+  overridden.overrides = {{"net.delayed_delivery", 1.0}};
+  // The repro contract: adding/changing another point's override leaves this
+  // point's stream untouched.
+  EXPECT_EQ(fire_sequence(plain, 7, "recovery.stall_retry", 500),
+            fire_sequence(overridden, 7, "recovery.stall_retry", 500));
+}
+
+TEST(BuggifyState, ProbabilityEndpointsAreExact) {
+  StressConfig c;
+  c.enabled = true;
+  c.overrides = {{"client.queue_hiccup", 0.0}, {"detector.flap_burst", 1.0}};
+  BuggifyState state(c, 3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(state.fire("client.queue_hiccup"));
+    EXPECT_TRUE(state.fire("detector.flap_burst"));
+  }
+}
+
+TEST(BuggifyState, UnregisteredPointIsALogicError) {
+  StressConfig c;
+  BuggifyState state(c, 1);
+  EXPECT_THROW((void)state.fire("no.such_point"), std::logic_error);
+  EXPECT_THROW((void)state.uniform("no.such_point", 0.0, 1.0),
+               std::logic_error);
+  EXPECT_THROW((void)state.pick("no.such_point", 4), std::logic_error);
+}
+
+// --- fired() accounting -----------------------------------------------------
+
+TEST(BuggifyState, FiredCountsOnlyHitsInCatalogOrder) {
+  StressConfig c;
+  c.enabled = true;
+  c.probability = 0.0;
+  c.overrides = {{"detector.slip_extra", 1.0}, {"net.delivery_reorder", 1.0}};
+  BuggifyState state(c, 9);
+  for (int i = 0; i < 3; ++i) (void)state.fire("detector.slip_extra");
+  for (int i = 0; i < 2; ++i) (void)state.fire("net.delivery_reorder");
+  for (int i = 0; i < 50; ++i) (void)state.fire("recovery.stall_retry");  // p=0
+
+  const auto fired = state.fired();
+  ASSERT_EQ(fired.size(), 2u);
+  // Catalog order, not fire order: net.* precedes detector.* in the table.
+  EXPECT_EQ(fired[0].first, "net.delivery_reorder");
+  EXPECT_EQ(fired[0].second, 2u);
+  EXPECT_EQ(fired[1].first, "detector.slip_extra");
+  EXPECT_EQ(fired[1].second, 3u);
+}
+
+// --- zero-cost disabled path and Scope --------------------------------------
+
+TEST(BuggifyScope, MacroIsFalseWithNoStateInstalled) {
+  ASSERT_EQ(BuggifyState::current(), nullptr);
+  EXPECT_FALSE(BUGGIFY("recovery.stall_retry"));
+}
+
+TEST(BuggifyScope, InstallsAndRestoresNested) {
+  StressConfig c;
+  c.enabled = true;
+  c.overrides = {{"recovery.stall_retry", 1.0}};
+  BuggifyState outer(c, 1);
+  BuggifyState inner(c, 2);
+  ASSERT_EQ(BuggifyState::current(), nullptr);
+  {
+    BuggifyState::Scope outer_scope(&outer);
+    EXPECT_EQ(BuggifyState::current(), &outer);
+    EXPECT_TRUE(BUGGIFY("recovery.stall_retry"));
+    {
+      BuggifyState::Scope inner_scope(&inner);
+      EXPECT_EQ(BuggifyState::current(), &inner);
+    }
+    EXPECT_EQ(BuggifyState::current(), &outer);
+  }
+  EXPECT_EQ(BuggifyState::current(), nullptr);
+  // Only the installed scopes' evaluations drew: outer fired once.
+  EXPECT_EQ(outer.fired().size(), 1u);
+  EXPECT_EQ(outer.fired()[0].second, 1u);
+  EXPECT_TRUE(inner.fired().empty());
+}
+
+}  // namespace
+}  // namespace farm::stress

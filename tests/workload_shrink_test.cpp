@@ -1,0 +1,154 @@
+// Shrinker contracts (satellite of the buggify/triage issue): a seeded
+// failing spec reduces to a near-minimal one with the same failure
+// signature; the result is byte-identical across thread-pool widths;
+// shrinking is idempotent (a fixed point); and a passing spec is returned
+// untouched.
+#include "workload/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/spec.hpp"
+
+namespace farm::workload {
+namespace {
+
+/// A deliberately noisy repro: a small lossy fleet (short-MTTF exponential
+/// law, slow recovery, hour-long detection) plus overlay keys and lifecycle
+/// events that have nothing to do with the loss.  The "invariants" block
+/// turns any loss into a "loss_within_tolerance" failure, which is the
+/// signature the shrinker must preserve.
+constexpr std::string_view kNoisyFailingSpec = R"({
+  "spec_version": 1,
+  "name": "shrink-fixture",
+  "trials": 3,
+  "invariants": {"max_loss_probability": 0.0},
+  "points": [{
+    "label": "lossy",
+    "fleet": {"user_data_gb": 2000,
+              "mission_sec": 2592000,
+              "failure_law": "exponential",
+              "exponential_mttf_hours": 100},
+    "recovery": {"bandwidth_mb_s": 4,
+                 "detection_latency_sec": 3600,
+                 "spare_provision_delay_sec": 1234},
+    "smart": {"enabled": true, "lead_time_hours": 24},
+    "lifecycle": [
+      {"kind": "expand", "at_sec": 2500000, "count": 2},
+      {"kind": "set_weight", "at_sec": 2500001, "cluster": 0,
+       "new_weight": 2.0}
+    ]
+  }]
+})";
+
+ShrinkOptions quick_options(util::ThreadPool* pool = nullptr) {
+  ShrinkOptions opts;
+  opts.pool = pool;
+  return opts;  // trials from the spec (3), default seed and probe budget
+}
+
+TEST(Shrink, ReducesASeededFailureAndPreservesItsSignature) {
+  const Spec spec = parse_spec_text(kNoisyFailingSpec);
+  const ShrinkResult r = shrink_spec(spec, quick_options());
+
+  EXPECT_EQ(r.signature, (std::vector<std::string>{"loss_within_tolerance"}));
+  EXPECT_LT(r.atoms_final, r.atoms_initial);
+  EXPECT_FALSE(r.removed.empty());
+  EXPECT_GT(r.probes, 0u);
+
+  // The do-nothing lifecycle events and the irrelevant recovery overlays
+  // must be gone; the spec keeps its identity (name, label, tolerance).
+  const std::string json = spec_to_json(r.spec);
+  EXPECT_EQ(json.find("lifecycle"), std::string::npos);
+  EXPECT_EQ(json.find("rebalance"), std::string::npos);
+  ASSERT_EQ(r.spec.points.size(), 1u);
+  EXPECT_EQ(r.spec.name, "shrink-fixture");
+  EXPECT_EQ(r.spec.points[0].label, "lossy");
+  EXPECT_DOUBLE_EQ(r.spec.tolerance.max_loss_probability, 0.0);
+  EXPECT_DOUBLE_EQ(r.spec.points[0].config.spare_provision_delay.value(), 0.0);
+
+  // The shrunk config still fails the same way under the spec's seeds.
+  const std::uint64_t seed = analysis::point_seed(
+      analysis::point_seed(analysis::kDefaultMasterSeed, spec.name), "lossy");
+  EXPECT_EQ(failure_signature(r.spec.points[0].config, seed, 3,
+                              spec.tolerance, nullptr),
+            r.signature);
+}
+
+TEST(Shrink, ScaleKnobsOnlyEverShrink) {
+  const Spec spec = parse_spec_text(kNoisyFailingSpec);
+  const ShrinkResult r = shrink_spec(spec, quick_options());
+  // The fixture's 2 TB fleet must never "shrink" back up to the paper's
+  // 2 PB base: scale knobs are halved, never reverted.
+  EXPECT_LE(r.spec.points[0].config.total_user_data.value(), 2e12);
+  EXPECT_LE(r.spec.points[0].config.mission_time.value(), 2592000.0);
+  for (const std::string& step : r.removed) {
+    EXPECT_EQ(step.find("revert fleet.user_data_bytes"), std::string::npos);
+    EXPECT_EQ(step.find("revert fleet.mission_sec"), std::string::npos);
+  }
+}
+
+TEST(Shrink, ByteIdenticalAcrossThreadPoolWidths) {
+  const Spec spec = parse_spec_text(kNoisyFailingSpec);
+  util::ThreadPool serial(1);
+  util::ThreadPool wide(8);
+  const ShrinkResult narrow = shrink_spec(spec, quick_options(&serial));
+  const ShrinkResult parallel = shrink_spec(spec, quick_options(&wide));
+  EXPECT_EQ(spec_to_json(narrow.spec), spec_to_json(parallel.spec));
+  EXPECT_EQ(narrow.removed, parallel.removed);
+  EXPECT_EQ(narrow.signature, parallel.signature);
+  EXPECT_EQ(narrow.probes, parallel.probes);
+}
+
+TEST(Shrink, ShrinkingIsIdempotent) {
+  const Spec spec = parse_spec_text(kNoisyFailingSpec);
+  const ShrinkResult once = shrink_spec(spec, quick_options());
+  // Round-trip through JSON like `farm_triage --shrink` output would.
+  const Spec reloaded = parse_spec_text(spec_to_json(once.spec));
+  const ShrinkResult twice = shrink_spec(reloaded, quick_options());
+  EXPECT_TRUE(twice.removed.empty());
+  EXPECT_EQ(twice.signature, once.signature);
+  EXPECT_EQ(spec_to_json(twice.spec), spec_to_json(once.spec));
+  EXPECT_EQ(twice.atoms_initial, twice.atoms_final);
+}
+
+TEST(Shrink, PassingSpecIsUntouched) {
+  // Same config, but the default (unconstrained) tolerance: nothing fails,
+  // so there is nothing to shrink.
+  const Spec spec = parse_spec_text(R"({
+    "name": "all-green",
+    "trials": 2,
+    "points": [{"label": "base"}]
+  })");
+  const ShrinkResult r = shrink_spec(spec, quick_options());
+  EXPECT_TRUE(r.signature.empty());
+  EXPECT_TRUE(r.removed.empty());
+  EXPECT_EQ(spec_to_json(r.spec), spec_to_json(spec));
+}
+
+TEST(Shrink, SpecWithoutPointsThrows) {
+  Spec spec;
+  spec.name = "empty";
+  EXPECT_THROW((void)shrink_spec(spec, quick_options()), std::invalid_argument);
+}
+
+TEST(FailureSignature, RespectsToleranceAndIsDeterministic) {
+  const Spec spec = parse_spec_text(kNoisyFailingSpec);
+  const core::SystemConfig& config = spec.points[0].config;
+  const std::uint64_t seed = 42;
+
+  InvariantTolerance loose;  // defaults: nothing constrained
+  EXPECT_TRUE(failure_signature(config, seed, 3, loose, nullptr).empty());
+
+  const auto sig = failure_signature(config, seed, 3, spec.tolerance, nullptr);
+  EXPECT_EQ(sig, (std::vector<std::string>{"loss_within_tolerance"}));
+  EXPECT_EQ(failure_signature(config, seed, 3, spec.tolerance, nullptr), sig);
+}
+
+}  // namespace
+}  // namespace farm::workload

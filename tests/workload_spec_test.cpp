@@ -253,6 +253,84 @@ TEST(SpecParse, SweepDiagnosesBadShapes) {
                   "nope");
 }
 
+TEST(SpecBuggify, BlockParsesAndRoundTripsThroughEmit) {
+  const Spec spec = parse_spec_text(R"({
+    "name": "stress",
+    "points": [{
+      "label": "p",
+      "buggify": {
+        "enabled": true,
+        "probability": 0.25,
+        "points": {"net.delayed_delivery": 0.9, "client.queue_hiccup": 0.5}
+      }
+    }]
+  })");
+  const stress::StressConfig& s = spec.points[0].config.stress;
+  EXPECT_TRUE(s.enabled);
+  EXPECT_DOUBLE_EQ(s.probability, 0.25);
+  // Overrides come out sorted by point name, whatever the JSON order was.
+  ASSERT_EQ(s.overrides.size(), 2u);
+  EXPECT_EQ(s.overrides[0].first, "client.queue_hiccup");
+  EXPECT_DOUBLE_EQ(s.overrides[0].second, 0.5);
+  EXPECT_EQ(s.overrides[1].first, "net.delayed_delivery");
+  EXPECT_DOUBLE_EQ(s.overrides[1].second, 0.9);
+
+  const std::string once = spec_to_json(spec);
+  expect_contains(once, "\"buggify\"");
+  EXPECT_EQ(spec_to_json(parse_spec_text(once)), once);
+}
+
+TEST(SpecBuggify, DisabledBlockIsNotEmitted) {
+  // The stress layer defaults to off, and an off config must emit no
+  // "buggify" key at all — dumped specs stay byte-identical to pre-stress
+  // ones.
+  const Spec spec = parse_spec_text(R"({"name": "plain"})");
+  EXPECT_FALSE(spec.points[0].config.stress.enabled);
+  EXPECT_EQ(spec_to_json(spec).find("buggify"), std::string::npos);
+}
+
+TEST(SpecBuggify, UnknownPointNameRejectedWithFullPath) {
+  const std::string msg = parse_error(R"({
+    "name": "typo",
+    "points": [{
+      "label": "p",
+      "buggify": {"enabled": true, "points": {"recovery.bogus": 0.5}}
+    }]
+  })");
+  expect_contains(msg, "points[0].buggify.points.recovery.bogus");
+  expect_contains(msg, "unknown buggify point");
+  // The same check guards the "base" block under its own path.
+  expect_contains(parse_error(R"({
+    "name": "typo2",
+    "base": {"buggify": {"enabled": true, "points": {"nope.nope": 1.0}}}
+  })"),
+                  "base.buggify.points.nope.nope");
+}
+
+TEST(SpecBuggify, UnknownAndDuplicateKeysRejected) {
+  expect_contains(parse_error(R"({
+    "name": "typo",
+    "base": {"buggify": {"enabled": true, "probabilty": 0.1}}
+  })"),
+                  "base.buggify.probabilty");
+  // Duplicate point names die in the JSON layer before the spec ever sees
+  // them.
+  expect_contains(parse_error(R"({
+    "name": "dup",
+    "base": {"buggify": {"points": {"net.delayed_delivery": 0.1,
+                                    "net.delayed_delivery": 0.2}}}
+  })"),
+                  "duplicate");
+}
+
+TEST(SpecBuggify, OutOfRangeProbabilityRejected) {
+  expect_contains(parse_error(R"({
+    "name": "range",
+    "base": {"buggify": {"enabled": true, "probability": 1.5}}
+  })"),
+                  "probability");
+}
+
 TEST(SpecEmit, EmitParseEmitIsTheIdentity) {
   Spec spec;
   spec.name = "round";

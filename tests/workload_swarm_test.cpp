@@ -123,6 +123,87 @@ TEST(SwarmRun, ReproSpecReplaysTheCombo) {
   EXPECT_DOUBLE_EQ(run.points[0].result.mean_rebuilds, combo.mean_rebuilds);
 }
 
+TEST(SwarmBuggify, StressSamplingIsPureAndValid) {
+  std::size_t enabled = 0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const stress::StressConfig a = sample_combo_stress(1, i, 0.8);
+    EXPECT_NO_THROW(a.validate());
+    // Pure function of (seed, index, probability).
+    const stress::StressConfig b = sample_combo_stress(1, i, 0.8);
+    EXPECT_EQ(a.enabled, b.enabled);
+    EXPECT_DOUBLE_EQ(a.probability, b.probability);
+    EXPECT_EQ(a.overrides, b.overrides);
+    if (a.enabled) {
+      ++enabled;
+      EXPECT_TRUE(a.probability == 0.01 || a.probability == 0.05 ||
+                  a.probability == 0.25)
+          << a.probability;
+      for (const auto& [name, p] : a.overrides) {
+        EXPECT_TRUE(stress::buggify_point_known(name)) << name;
+        EXPECT_DOUBLE_EQ(p, 0.5);
+      }
+    }
+  }
+  EXPECT_GT(enabled, 0u);
+  // --buggify 0 (the default) never touches the stress config at all.
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_FALSE(sample_combo_stress(1, i, 0.0).enabled);
+  }
+}
+
+TEST(SwarmBuggify, RunRecordsFiredPointsAndStaysThreadWidthStable) {
+  util::ThreadPool serial(1);
+  util::ThreadPool wide(4);
+  SwarmOptions a = small_swarm(&serial);
+  a.buggify_probability = 0.8;
+  SwarmOptions b = small_swarm(&wide);
+  b.buggify_probability = 0.8;
+  const SwarmReport narrow = run_swarm(a);
+  const SwarmReport parallel = run_swarm(b);
+  // The hard determinism case again, now with stress lanes in play.
+  EXPECT_EQ(narrow.digest, parallel.digest);
+  EXPECT_EQ(to_json(narrow, "test"), to_json(parallel, "test"));
+
+  std::size_t buggified = 0;
+  const SwarmComboResult* exemplar = nullptr;
+  for (std::size_t i = 0; i < narrow.combos.size(); ++i) {
+    const SwarmComboResult& c = narrow.combos[i];
+    EXPECT_EQ(c.buggify,
+              sample_combo_stress(a.master_seed, i, 0.8).enabled);
+    if (!c.buggify) continue;
+    ++buggified;
+    if (exemplar == nullptr && !c.buggify_fired.empty()) exemplar = &c;
+    for (const auto& [name, count] : c.buggify_fired) {
+      EXPECT_TRUE(stress::buggify_point_known(name)) << name;
+      EXPECT_GT(count, 0u);
+    }
+  }
+  EXPECT_GT(buggified, 0u);
+  ASSERT_NE(exemplar, nullptr);  // at seed 1 several points fire
+
+  // The combo's repro spec embeds the stress config, so replaying it
+  // re-injects the same chaos.
+  const std::string repro = spec_to_json(exemplar->repro);
+  EXPECT_NE(repro.find("\"buggify\""), std::string::npos);
+  const Spec reparsed = parse_spec_text(repro);
+  EXPECT_TRUE(reparsed.points[0].config.stress.enabled);
+
+  // And the report JSON carries the fired counts for triage.
+  const util::JsonValue doc =
+      util::JsonValue::parse(to_json(narrow, "test"));
+  bool found = false;
+  for (const util::JsonValue& r : doc.at("results").as_array()) {
+    if (r.at("label").as_string() != exemplar->label) continue;
+    found = true;
+    const util::JsonValue& fired = r.at("buggify").at("fired");
+    ASSERT_EQ(fired.keys().size(), exemplar->buggify_fired.size());
+    for (const auto& [name, count] : exemplar->buggify_fired) {
+      EXPECT_EQ(fired.at(name).as_number(), static_cast<double>(count));
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
 TEST(SwarmRun, ReportJsonParsesAndCarriesReproSpecs) {
   const SwarmReport report = run_swarm(small_swarm());
   const util::JsonValue doc = util::JsonValue::parse(to_json(report, "test"));

@@ -1,0 +1,128 @@
+// Triage contracts: failing combos cluster by (violated invariants, fired
+// buggify points), cluster order is deterministic regardless of combo
+// order, exemplar lookup works, the artifact round-trips through the JSON
+// layer, and non-swarm documents are rejected loudly.
+#include "workload/triage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace farm::workload {
+namespace {
+
+using util::JsonValue;
+
+/// A minimal hand-built swarm report: five combos, three failing in two
+/// distinct ways (one signature with fired points, one without).
+constexpr std::string_view kReport = R"({
+  "kind": "swarm",
+  "master_seed": "99",
+  "trials": 3,
+  "results": [
+    {"label": "combo-0000", "passed": true, "invariants": [
+       {"name": "loss_within_tolerance", "passed": true}]},
+    {"label": "combo-0001", "passed": false, "invariants": [
+       {"name": "loss_within_tolerance", "passed": false},
+       {"name": "slo_floor", "passed": true}],
+     "buggify": {"fired": {"net.delayed_delivery": 4,
+                           "recovery.stall_retry": 1}}},
+    {"label": "combo-0002", "passed": false, "invariants": [
+       {"name": "slo_floor", "passed": false}]},
+    {"label": "combo-0003", "passed": false, "invariants": [
+       {"name": "loss_within_tolerance", "passed": false}],
+     "buggify": {"fired": {"recovery.stall_retry": 2,
+                           "net.delayed_delivery": 9}}},
+    {"label": "combo-0004", "passed": true, "invariants": [
+       {"name": "slo_floor", "passed": true}]}
+  ]
+})";
+
+TEST(Triage, ClustersBySignatureAndFiredPoints) {
+  const TriageReport t = triage_swarm_report(JsonValue::parse(kReport));
+  EXPECT_EQ(t.master_seed, 99u);
+  EXPECT_EQ(t.trials, 3u);
+  EXPECT_EQ(t.combos, 5u);
+  EXPECT_EQ(t.failed, 3u);
+  ASSERT_EQ(t.clusters.size(), 2u);
+
+  // Clusters come out sorted by (invariants, fired); "loss..." < "slo...".
+  const TriageCluster& loss = t.clusters[0];
+  EXPECT_EQ(loss.invariants,
+            (std::vector<std::string>{"loss_within_tolerance"}));
+  // Fired names are sorted, whatever order the report listed them in.
+  EXPECT_EQ(loss.fired, (std::vector<std::string>{"net.delayed_delivery",
+                                                  "recovery.stall_retry"}));
+  // Members keep report order; the first is the shrink exemplar.
+  EXPECT_EQ(loss.combos,
+            (std::vector<std::string>{"combo-0001", "combo-0003"}));
+
+  const TriageCluster& slo = t.clusters[1];
+  EXPECT_EQ(slo.invariants, (std::vector<std::string>{"slo_floor"}));
+  EXPECT_TRUE(slo.fired.empty());
+  EXPECT_EQ(slo.combos, (std::vector<std::string>{"combo-0002"}));
+}
+
+TEST(Triage, SameFiredSetDifferentInvariantsSplits) {
+  // combo B fires the same point but violates a different invariant: two
+  // clusters, not one.
+  const JsonValue doc = JsonValue::parse(R"({
+    "kind": "swarm", "master_seed": "1", "trials": 1,
+    "results": [
+      {"label": "a", "passed": false,
+       "invariants": [{"name": "x", "passed": false}],
+       "buggify": {"fired": {"detector.flap_burst": 1}}},
+      {"label": "b", "passed": false,
+       "invariants": [{"name": "y", "passed": false}],
+       "buggify": {"fired": {"detector.flap_burst": 1}}}
+    ]})");
+  const TriageReport t = triage_swarm_report(doc);
+  ASSERT_EQ(t.clusters.size(), 2u);
+  EXPECT_EQ(t.clusters[0].invariants, (std::vector<std::string>{"x"}));
+  EXPECT_EQ(t.clusters[1].invariants, (std::vector<std::string>{"y"}));
+}
+
+TEST(Triage, FindSwarmCombo) {
+  const JsonValue doc = JsonValue::parse(kReport);
+  const JsonValue* combo = find_swarm_combo(doc, "combo-0003");
+  ASSERT_NE(combo, nullptr);
+  EXPECT_FALSE(combo->at("passed").as_bool());
+  EXPECT_EQ(find_swarm_combo(doc, "combo-9999"), nullptr);
+  EXPECT_EQ(find_swarm_combo(JsonValue::parse("{}"), "x"), nullptr);
+}
+
+TEST(Triage, ArtifactRoundTripsAndIsStable) {
+  const TriageReport t = triage_swarm_report(JsonValue::parse(kReport));
+  const std::string json = to_json(t);
+  EXPECT_EQ(json, to_json(t));  // byte-stable
+
+  const JsonValue doc = JsonValue::parse(json);
+  EXPECT_EQ(doc.at("schema_version").as_number(), 1.0);
+  EXPECT_EQ(doc.at("kind").as_string(), "triage");
+  EXPECT_EQ(doc.at("master_seed").as_string(), "99");
+  EXPECT_EQ(doc.at("trials").as_number(), 3.0);
+  EXPECT_EQ(doc.at("combos").as_number(), 5.0);
+  EXPECT_EQ(doc.at("failed").as_number(), 3.0);
+  const auto& clusters = doc.at("clusters").as_array();
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].at("count").as_number(), 2.0);
+  EXPECT_EQ(clusters[0].at("combos").as_array()[0].as_string(), "combo-0001");
+  EXPECT_EQ(clusters[0].at("fired").as_array()[0].as_string(),
+            "net.delayed_delivery");
+}
+
+TEST(Triage, RejectsNonSwarmDocuments) {
+  EXPECT_THROW((void)triage_swarm_report(JsonValue::parse("{}")),
+               std::invalid_argument);
+  EXPECT_THROW((void)triage_swarm_report(
+                   JsonValue::parse(R"({"kind": "scenario"})")),
+               std::invalid_argument);
+  EXPECT_THROW((void)triage_swarm_report(JsonValue::parse(
+                   R"({"kind": "swarm", "master_seed": "1"})")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace farm::workload

@@ -1,0 +1,230 @@
+// farm_triage — clusters swarm failures and shrinks their repro specs.
+//
+//   farm_triage report.json                  triage table (stdout)
+//   farm_triage report.json --json out.json  machine-readable artifact
+//   farm_triage report.json --shrink DIR     delta-debug each cluster's
+//                                            exemplar into DIR/<label>.json
+//
+// Reads the report written by `farm_bench --swarm --out report.json`,
+// groups the failing combos by (violated invariants, fired buggify points),
+// and — with --shrink — reduces one exemplar per cluster to a near-minimal
+// spec that still fails with the same signature.  Everything is
+// deterministic: the table, the artifact, and the shrunk specs are
+// byte-identical across runs and across --threads values.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/shrink.hpp"
+#include "workload/triage.hpp"
+
+namespace {
+
+using namespace farm;
+
+int usage(std::ostream& os, int exit_code) {
+  os << "usage: farm_triage REPORT.json [options]\n"
+        "  --json FILE     write the triage artifact to FILE\n"
+        "  --shrink DIR    shrink each cluster's exemplar repro spec into\n"
+        "                  DIR/<label>.json (delta debugging; deterministic)\n"
+        "  --trials N      Monte-Carlo trials per shrink probe (default: the\n"
+        "                  report's per-combo trial count)\n"
+        "  --max-probes N  shrink probe budget per exemplar (default 256)\n"
+        "  --threads N     worker threads for shrink probes (never changes\n"
+        "                  the shrunk bytes)\n"
+        "  -h, --help      this message\n"
+        "exit status: 0 on success (even with failures to triage), 2 on\n"
+        "bad usage or unreadable input\n";
+  return exit_code;
+}
+
+struct Args {
+  std::string report_path;
+  std::optional<std::string> json_path;
+  std::optional<std::string> shrink_dir;
+  std::size_t trials = 0;  // 0 = the report's trial count
+  std::size_t max_probes = 256;
+  std::optional<std::size_t> threads;
+};
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args args;
+  const auto next = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      throw std::invalid_argument(std::string(flag) + " requires a value");
+    }
+    return argv[++i];
+  };
+  const auto positive = [&](const char* flag, const char* v) -> std::size_t {
+    char* end = nullptr;
+    const long long n = std::strtoll(v, &end, 10);
+    if (end == v || *end != '\0' || n <= 0) {
+      throw std::invalid_argument(std::string(flag) +
+                                  " expects a positive integer, got '" +
+                                  std::string(v) + "'");
+    }
+    return static_cast<std::size_t>(n);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "-h" || a == "--help") {
+      usage(std::cout, 0);
+      return std::nullopt;
+    } else if (a == "--json") {
+      args.json_path = next(i, "--json");
+    } else if (a == "--shrink") {
+      args.shrink_dir = next(i, "--shrink");
+    } else if (a == "--trials") {
+      args.trials = positive("--trials", next(i, "--trials"));
+    } else if (a == "--max-probes") {
+      args.max_probes = positive("--max-probes", next(i, "--max-probes"));
+    } else if (a == "--threads") {
+      args.threads = positive("--threads", next(i, "--threads"));
+    } else if (!a.empty() && a[0] == '-') {
+      throw std::invalid_argument("unknown option '" + std::string(a) + "'");
+    } else if (args.report_path.empty()) {
+      args.report_path = a;
+    } else {
+      throw std::invalid_argument("unexpected argument '" + std::string(a) +
+                                  "'");
+    }
+  }
+  if (args.report_path.empty()) {
+    throw std::invalid_argument("a swarm report path is required");
+  }
+  return args;
+}
+
+std::string join(const std::vector<std::string>& names) {
+  std::string s;
+  for (const std::string& n : names) {
+    if (!s.empty()) s += ' ';
+    s += n;
+  }
+  return s.empty() ? "-" : s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<Args> parsed;
+  try {
+    parsed = parse_args(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "farm_triage: " << e.what() << "\n\n";
+    return usage(std::cerr, 2);
+  }
+  if (!parsed) return 0;  // --help
+  const Args& args = *parsed;
+
+  std::ifstream in(args.report_path);
+  if (!in) {
+    std::cerr << "farm_triage: cannot read '" << args.report_path << "'\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  util::JsonValue report;
+  workload::TriageReport triage;
+  try {
+    report = util::JsonValue::parse(text.str());
+    triage = workload::triage_swarm_report(report);
+  } catch (const std::exception& e) {
+    std::cerr << "farm_triage: " << args.report_path << ": " << e.what()
+              << "\n";
+    return 2;
+  }
+
+  std::cout << "=== triage: " << triage.failed << " of " << triage.combos
+            << " combos failed, " << triage.clusters.size()
+            << " distinct signature(s), master seed " << triage.master_seed
+            << " ===\n\n";
+  if (!triage.clusters.empty()) {
+    util::Table table({"cluster", "invariants", "fired points", "combos"});
+    for (std::size_t i = 0; i < triage.clusters.size(); ++i) {
+      const workload::TriageCluster& c = triage.clusters[i];
+      table.add_row({std::to_string(i), join(c.invariants), join(c.fired),
+                     std::to_string(c.combos.size()) + " (" + c.combos[0] +
+                         (c.combos.size() > 1 ? ", ...)" : ")")});
+    }
+    std::cout << table;
+  }
+
+  if (args.json_path) {
+    std::ofstream out(*args.json_path);
+    if (!out) {
+      std::cerr << "farm_triage: cannot write '" << *args.json_path << "'\n";
+      return 2;
+    }
+    out << workload::to_json(triage);
+    if (!out.flush()) {
+      std::cerr << "farm_triage: error writing '" << *args.json_path << "'\n";
+      return 2;
+    }
+    std::cout << "wrote " << *args.json_path << "\n";
+  }
+
+  if (args.shrink_dir && !triage.clusters.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(*args.shrink_dir, ec);
+    if (ec) {
+      std::cerr << "farm_triage: cannot create '" << *args.shrink_dir
+                << "': " << ec.message() << "\n";
+      return 2;
+    }
+    std::unique_ptr<util::ThreadPool> pool;
+    if (args.threads) pool = std::make_unique<util::ThreadPool>(*args.threads);
+
+    for (const workload::TriageCluster& cluster : triage.clusters) {
+      const std::string& label = cluster.combos.front();
+      const util::JsonValue* combo =
+          workload::find_swarm_combo(report, label);
+      const util::JsonValue* repro =
+          combo != nullptr ? combo->find("repro_spec") : nullptr;
+      if (repro == nullptr) {
+        std::cerr << "farm_triage: no repro_spec for '" << label << "'\n";
+        return 2;
+      }
+      try {
+        workload::ShrinkOptions sopts;
+        sopts.trials = args.trials > 0 ? args.trials : triage.trials;
+        sopts.master_seed = triage.master_seed;
+        sopts.pool = pool.get();
+        sopts.max_probes = args.max_probes;
+        const workload::ShrinkResult shrunk =
+            workload::shrink_spec(workload::parse_spec(*repro), sopts);
+        const std::filesystem::path path =
+            std::filesystem::path(*args.shrink_dir) / (label + ".json");
+        std::ofstream out(path);
+        if (!out) {
+          std::cerr << "farm_triage: cannot write '" << path.string()
+                    << "'\n";
+          return 2;
+        }
+        out << workload::spec_to_json(shrunk.spec);
+        if (!out.flush()) {
+          std::cerr << "farm_triage: error writing '" << path.string()
+                    << "'\n";
+          return 2;
+        }
+        std::cout << label << ": " << shrunk.atoms_initial << " -> "
+                  << shrunk.atoms_final << " atoms in " << shrunk.probes
+                  << " probes (signature: " << join(shrunk.signature)
+                  << "); wrote " << path.string() << "\n";
+      } catch (const std::exception& e) {
+        std::cerr << "farm_triage: shrink of '" << label
+                  << "' failed: " << e.what() << "\n";
+        return 2;
+      }
+    }
+  }
+  return 0;
+}
