@@ -1,0 +1,73 @@
+#include "lint/fix.hpp"
+
+#include <algorithm>
+
+#include "lint/index.hpp"
+
+namespace farm::lint {
+
+std::optional<std::string> apply_fix_edits(
+    std::string_view content, const std::vector<Finding>& findings,
+    std::size_t* edits_applied) {
+  // Gather every edit from unsuppressed findings, ordered by position;
+  // overlapping or duplicate edits apply first-wins so two findings cannot
+  // stomp each other's rewrite.
+  std::vector<const TextEdit*> edits;
+  for (const Finding& f : findings) {
+    if (f.suppressed) continue;
+    for (const TextEdit& e : f.fixes) {
+      if (e.begin <= e.end && e.end <= content.size()) edits.push_back(&e);
+    }
+  }
+  if (edits.empty()) return std::nullopt;
+  std::stable_sort(edits.begin(), edits.end(),
+                   [](const TextEdit* a, const TextEdit* b) {
+                     if (a->begin != b->begin) return a->begin < b->begin;
+                     return a->end < b->end;
+                   });
+
+  std::string out;
+  out.reserve(content.size() + 64);
+  std::size_t at = 0;
+  std::size_t applied = 0;
+  for (const TextEdit* e : edits) {
+    if (e->begin < at) continue;  // overlaps an already-applied edit
+    out.append(content.substr(at, e->begin - at));
+    out.append(e->replacement);
+    at = e->end;
+    ++applied;
+  }
+  out.append(content.substr(at));
+  if (edits_applied != nullptr) *edits_applied += applied;
+  if (applied == 0) return std::nullopt;
+  return out;
+}
+
+FixResult fix_source(std::string_view path, std::string_view content) {
+  FixResult r;
+  r.content = std::string(content);
+  // Fix offsets are only valid against the exact content they were computed
+  // from, so each pass re-lints before applying.
+  for (int pass = 0; pass < 8; ++pass) {
+    const std::vector<Finding> findings = lint_source(path, r.content);
+    std::optional<std::string> fixed =
+        apply_fix_edits(r.content, findings, &r.edits);
+    if (!fixed.has_value()) break;
+    r.content = std::move(*fixed);
+    ++r.passes;
+  }
+  return r;
+}
+
+std::optional<GoldenManifest> fix_manifest(const GoldenManifest& manifest,
+                                           const RepoIndex& index) {
+  GoldenManifest pruned;
+  for (const GoldenEntry& e : manifest.entries) {
+    const FileIndex* fi = index.find(e.path);
+    if (fi != nullptr && fi->emits_floats) pruned.entries.push_back(e);
+  }
+  if (pruned.entries.size() == manifest.entries.size()) return std::nullopt;
+  return pruned;
+}
+
+}  // namespace farm::lint

@@ -1,0 +1,45 @@
+// `farm_lint --fix`: applies the mechanical TextEdits that phase-1 rules
+// attach to their findings (R4 missing include guards, R3 time-magnitude
+// literals routed through util::units), plus the R10 manifest refresh
+// (dropping entries whose file is gone or float-free).
+//
+// Fixing is fixed-point: apply every edit, re-lint the new content, and
+// repeat until a pass changes nothing — so a fix that exposes another
+// fixable finding converges in one `--fix` invocation, and a second
+// invocation is always a no-op (the idempotence CI check).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "lint/rules.hpp"
+
+namespace farm::lint {
+
+struct FixResult {
+  std::string content;       // content after all passes
+  std::size_t edits = 0;     // individual TextEdits applied
+  std::size_t passes = 0;    // re-lint rounds that changed something
+};
+
+/// Applies one round of fix edits from `findings` to `content`.  Suppressed
+/// findings never fix; overlapping or duplicate edits apply first-wins in
+/// (begin, end) order.  Returns nullopt when nothing applied.
+[[nodiscard]] std::optional<std::string> apply_fix_edits(
+    std::string_view content, const std::vector<Finding>& findings,
+    std::size_t* edits_applied);
+
+/// Lint + fix + re-lint until stable (bounded at 8 passes — a cycle would
+/// mean two fixes fight, which is a rule bug, not a user error).
+[[nodiscard]] FixResult fix_source(std::string_view path,
+                                   std::string_view content);
+
+/// R10 manifest refresh: drops entries for files `index` does not contain
+/// or that no longer emit floats.  Returns the pruned manifest, or nullopt
+/// when every entry is still live.
+[[nodiscard]] std::optional<GoldenManifest> fix_manifest(
+    const GoldenManifest& manifest, const RepoIndex& index);
+
+}  // namespace farm::lint

@@ -1,0 +1,179 @@
+#include "lint/graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "lint/index.hpp"
+
+namespace farm::lint {
+
+namespace {
+
+/// Repo-relative path the quoted include resolves to within the index:
+/// first relative to the including file's directory (bench-local headers),
+/// then relative to src/ (the project include root).  Empty when the target
+/// is outside the indexed tree (system and third-party headers).
+[[nodiscard]] std::string resolve_include(const RepoIndex& index,
+                                          std::string_view from,
+                                          std::string_view inc) {
+  const std::size_t slash = from.rfind('/');
+  if (slash != std::string_view::npos) {
+    std::string sibling = std::string(from.substr(0, slash + 1));
+    sibling += inc;
+    if (index.find(sibling) != nullptr) return sibling;
+  }
+  std::string under_src = "src/";
+  under_src += inc;
+  if (index.find(under_src) != nullptr) return under_src;
+  return {};
+}
+
+struct Edge {
+  const FileIndex* from;
+  const IncludeRef* ref;
+  std::string to;  // resolved index path
+};
+
+}  // namespace
+
+const std::vector<ModuleLayer>& layering_table() {
+  static const std::vector<ModuleLayer> kLayers = {
+      {"util", 0},
+      {"gf", 1},      {"sim", 1},       {"stress", 1},
+      {"disk", 2},    {"erasure", 2},   {"placement", 2}, {"store", 2},
+      {"farm", 3},    {"net", 3},       {"fault", 3},     {"client", 3},
+      {"fleet", 3},
+      {"workload", 4}, {"analysis", 4}, {"lint", 4},
+  };
+  return kLayers;
+}
+
+std::string_view module_of(std::string_view path) {
+  constexpr std::string_view kSrc = "src/";
+  if (path.substr(0, kSrc.size()) != kSrc) return {};
+  const std::string_view rest = path.substr(kSrc.size());
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return {};
+  return rest.substr(0, slash);
+}
+
+int module_layer(std::string_view module) {
+  for (const ModuleLayer& m : layering_table()) {
+    if (m.module == module) return m.layer;
+  }
+  return -1;
+}
+
+std::vector<Finding> check_layering(const RepoIndex& index) {
+  std::vector<Finding> findings;
+  const auto add = [&](const FileIndex& fi, unsigned line,
+                       std::string message) {
+    Finding f;
+    f.file = fi.path;
+    f.line = line;
+    f.rule = "R7";
+    f.message = std::move(message);
+    if (const SuppressionNote* s =
+            find_suppression(fi.suppressions, "R7", line)) {
+      f.suppressed = true;
+      f.suppress_reason = s->reason;
+    }
+    findings.push_back(std::move(f));
+  };
+
+  // --- layering over resolved src-to-src edges ------------------------------
+  std::vector<Edge> edges;
+  for (const FileIndex& fi : index.files) {
+    for (const IncludeRef& ref : fi.includes) {
+      std::string to = resolve_include(index, fi.path, ref.path);
+      if (to.empty()) continue;
+      edges.push_back({&fi, &ref, std::move(to)});
+
+      const std::string_view from_mod = module_of(fi.path);
+      const std::string_view to_mod = module_of(edges.back().to);
+      if (from_mod.empty() || to_mod.empty() || from_mod == to_mod) continue;
+      const int from_layer = module_layer(from_mod);
+      const int to_layer = module_layer(to_mod);
+      if (from_layer < 0) {
+        add(fi, ref.line,
+            "module src/" + std::string(from_mod) +
+                " is not declared in the layering DAG (lint/graph.cpp): a "
+                "new subsystem must pick its layer before it can include "
+                "across modules");
+        continue;
+      }
+      if (to_layer < 0) {
+        add(fi, ref.line,
+            "include of undeclared module src/" + std::string(to_mod) +
+                ": add it to the layering DAG in lint/graph.cpp");
+        continue;
+      }
+      if (to_layer > from_layer) {
+        add(fi, ref.line,
+            "upward include: src/" + std::string(from_mod) + " (layer " +
+                std::to_string(from_layer) + ") includes " + ref.path +
+                " from src/" + std::string(to_mod) + " (layer " +
+                std::to_string(to_layer) +
+                "); higher layers depend on lower ones, never the reverse — "
+                "move the shared type down or invert the dependency");
+      }
+    }
+  }
+
+  // --- file-level include cycles --------------------------------------------
+  // Iterative DFS in sorted index order; a back edge to an on-stack file is
+  // a cycle, reported once at the include that closes it.
+  std::map<std::string_view, std::vector<const Edge*>> adj;
+  for (const Edge& e : edges) adj[e.from->path].push_back(&e);
+
+  enum class Mark { kNew, kOnStack, kDone };
+  std::map<std::string_view, Mark> mark;
+  for (const FileIndex& fi : index.files) mark[fi.path] = Mark::kNew;
+
+  struct Frame {
+    std::string_view path;
+    std::size_t next = 0;
+  };
+  for (const FileIndex& root : index.files) {
+    if (mark[root.path] != Mark::kNew) continue;
+    std::vector<Frame> stack;
+    stack.push_back({root.path});
+    mark[root.path] = Mark::kOnStack;
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      const auto it = adj.find(top.path);
+      if (it == adj.end() || top.next >= it->second.size()) {
+        mark[top.path] = Mark::kDone;
+        stack.pop_back();
+        continue;
+      }
+      const Edge* e = it->second[top.next++];
+      const Mark m = mark.count(e->to) != 0 ? mark[e->to] : Mark::kDone;
+      if (m == Mark::kNew) {
+        mark[e->to] = Mark::kOnStack;
+        stack.push_back({index.find(e->to)->path});
+      } else if (m == Mark::kOnStack) {
+        // Walk the stack from the cycle entry point to spell the loop out.
+        std::string loop;
+        bool in_loop = false;
+        for (const Frame& fr : stack) {
+          if (fr.path == e->to) in_loop = true;
+          if (in_loop) {
+            loop += fr.path;
+            loop += " -> ";
+          }
+        }
+        loop += e->to;
+        add(*e->from, e->ref->line,
+            "include cycle: " + loop +
+                "; the guards make it compile but the mutual dependency "
+                "makes layering meaningless — split the shared piece into "
+                "its own header");
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace farm::lint

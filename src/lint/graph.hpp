@@ -1,0 +1,52 @@
+// Rule R7: module layering over the repo-wide include graph.
+//
+// src/ is layered; an #include may point at the same layer or below, never
+// upward, and no file-level include cycle may exist anywhere in the tree.
+// The declared DAG (one layer per line, lowest first):
+//
+//   util
+//   gf, sim, stress
+//   disk, erasure, placement, store
+//   farm, net, fault, client, fleet
+//   workload, analysis, lint
+//
+// Two deliberate departures from the roadmap sketch, forced by real
+// dependencies: `stress` sits just above util (the BUGGIFY gates are hosted
+// by every simulation subsystem, so net/client/farm/fleet all include it),
+// and `fleet` is a peer of farm (fleet config is part of the core
+// SystemConfig surface, and the rebalance engine drives RecoveryPolicy).
+//
+// A module missing from the table is itself a finding: a new src/
+// subdirectory must declare its layer here before it can ship, which is
+// what keeps `src/fleet quietly imports from src/analysis` impossible.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace farm::lint {
+
+struct ModuleLayer {
+  std::string_view module;
+  int layer;
+};
+
+/// The declared layering table, lowest layer first.
+[[nodiscard]] const std::vector<ModuleLayer>& layering_table();
+
+/// "src/farm/recovery.cpp" -> "farm"; empty for paths outside src/.
+[[nodiscard]] std::string_view module_of(std::string_view path);
+
+/// Declared layer of `module`, or -1 when undeclared.
+[[nodiscard]] int module_layer(std::string_view module);
+
+/// R7 over the whole index: upward includes between declared src/ modules,
+/// includes touching an undeclared module, and file-level include cycles
+/// (quoted includes resolved against the index; system/external includes
+/// are ignored).  Output order is deterministic: files in index order,
+/// includes in line order, each cycle reported once.
+[[nodiscard]] std::vector<Finding> check_layering(const RepoIndex& index);
+
+}  // namespace farm::lint

@@ -1,0 +1,385 @@
+#include "lint/index.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lint/lexer.hpp"
+#include "util/json.hpp"
+#include "util/random.hpp"
+
+namespace farm::lint {
+
+namespace {
+
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view p) {
+  return s.size() >= p.size() && s.substr(s.size() - p.size()) == p;
+}
+
+/// Extracts the quoted path from an `#include "..."` directive token, or
+/// empty for any other directive (angle includes are external and carry no
+/// layering information).
+[[nodiscard]] std::string_view quoted_include(std::string_view directive) {
+  const std::size_t inc = directive.find("include");
+  if (inc == std::string_view::npos) return {};
+  const std::size_t open = directive.find('"', inc);
+  if (open == std::string_view::npos) return {};
+  const std::size_t close = directive.find('"', open + 1);
+  if (close == std::string_view::npos) return {};
+  return directive.substr(open + 1, close - open - 1);
+}
+
+/// `// --- StorageSystem streams (...) ---------` → the trimmed text
+/// between the leading dashes and the trailing dash run; empty when the
+/// comment is not a section header.
+[[nodiscard]] std::string section_header(std::string_view comment) {
+  std::size_t at = comment.find("---");
+  if (at == std::string_view::npos) return {};
+  at += 3;
+  while (at < comment.size() && (comment[at] == '-' || comment[at] == ' '))
+    ++at;
+  std::size_t end = comment.size();
+  while (end > at && (comment[end - 1] == '-' || comment[end - 1] == ' ' ||
+                      comment[end - 1] == '\n' || comment[end - 1] == '\r'))
+    --end;
+  return std::string(comment.substr(at, end - at));
+}
+
+[[nodiscard]] std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+[[nodiscard]] std::uint64_t parse_hex16(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+}  // namespace
+
+FileIndex index_file(std::string_view path, std::string_view content) {
+  FileIndex fi;
+  fi.path = std::string(path);
+  fi.content_hash = util::hash_string(content);
+
+  const std::vector<Token> tokens = tokenize(content);
+  fi.suppressions = collect_suppressions(tokens);
+  fi.golden_fp = golden_fingerprint(tokens);
+  fi.emits_floats = fi.golden_fp != golden_fingerprint(std::string_view{});
+
+  // Code tokens (comments/preproc stripped) for the pattern scans.
+  std::vector<const Token*> code;
+  code.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kPreproc) {
+      const std::string_view inc = quoted_include(t.text);
+      if (!inc.empty()) fi.includes.push_back({std::string(inc), t.line});
+    } else if (t.kind != TokKind::kComment) {
+      code.push_back(&t);
+    }
+  }
+  const auto at = [&](std::size_t i) -> const Token* {
+    return i < code.size() ? code[i] : nullptr;
+  };
+  const auto is = [&](std::size_t i, std::string_view text) {
+    const Token* t = at(i);
+    return t != nullptr && t->text == text;
+  };
+
+  // Lane definitions: `inline constexpr std::uint64_t kName = N;` in the
+  // seed-lane registry header, grouped by the `// --- group ---` section
+  // comments above them.
+  if (ends_with(fi.path, "util/seed_lanes.hpp")) {
+    // Section header (`// --- group ---`) active at each code token.
+    std::vector<std::string> group_at;
+    group_at.reserve(code.size());
+    {
+      std::string group;
+      for (const Token& t : tokens) {
+        if (t.kind == TokKind::kComment) {
+          const std::string h = section_header(t.text);
+          if (!h.empty()) group = h;
+        } else if (t.kind != TokKind::kPreproc) {
+          group_at.push_back(group);
+        }
+      }
+    }
+    for (std::size_t i = 0; i + 4 < code.size(); ++i) {
+      if (code[i]->kind == TokKind::kIdent && code[i]->text == "uint64_t" &&
+          code[i + 1]->kind == TokKind::kIdent && is(i + 2, "=") &&
+          code[i + 3]->kind == TokKind::kNumber && is(i + 4, ";")) {
+        LaneDef d;
+        d.name = std::string(code[i + 1]->text);
+        d.index = std::strtoull(std::string(code[i + 3]->text).c_str(),
+                                nullptr, 0);
+        d.line = code[i + 1]->line;
+        d.group = group_at[i];
+        fi.lane_defs.push_back(std::move(d));
+      }
+    }
+  }
+
+  // Catalog registrations: inside kBuggifyCatalog, every `{` immediately
+  // followed by a string literal opens one BuggifyPoint entry whose first
+  // element is the point name.
+  if (ends_with(fi.path, "stress/catalog.hpp")) {
+    bool in_catalog = false;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (code[i]->kind == TokKind::kIdent &&
+          code[i]->text == "kBuggifyCatalog") {
+        in_catalog = true;
+        continue;
+      }
+      if (!in_catalog) continue;
+      if (code[i]->text == ";") break;  // end of the table initializer
+      if (code[i]->text == "{" && at(i + 1) != nullptr &&
+          code[i + 1]->kind == TokKind::kString) {
+        const std::string_view text = code[i + 1]->text;
+        if (text.size() >= 2 && text.front() == '"' && text.back() == '"') {
+          fi.catalog_points.push_back(
+              {std::string(text.substr(1, text.size() - 2)),
+               code[i + 1]->line});
+        }
+      }
+    }
+  }
+
+  // Lane use sites: `lanes :: kName`.
+  for (std::size_t i = 0; i + 2 < code.size(); ++i) {
+    if (code[i]->kind == TokKind::kIdent && code[i]->text == "lanes" &&
+        is(i + 1, "::") && at(i + 2)->kind == TokKind::kIdent) {
+      fi.lane_uses.push_back(
+          {std::string(code[i + 2]->text), code[i + 2]->line});
+    }
+  }
+
+  // Well-formed BUGGIFY("...") call sites.
+  for (std::size_t i = 0; i + 3 < code.size(); ++i) {
+    if (code[i]->kind != TokKind::kIdent || code[i]->text != "BUGGIFY")
+      continue;
+    if (!is(i + 1, "(") || !is(i + 3, ")")) continue;
+    const Token* arg = at(i + 2);
+    if (arg == nullptr || arg->kind != TokKind::kString) continue;
+    const std::string_view text = arg->text;
+    if (text.size() >= 2 && text.front() == '"' && text.back() == '"') {
+      fi.buggify_uses.push_back(
+          {std::string(text.substr(1, text.size() - 2)), arg->line});
+    }
+  }
+
+  fi.findings = lint_source(path, content);
+  return fi;
+}
+
+void RepoIndex::sort_by_path() {
+  std::sort(files.begin(), files.end(),
+            [](const FileIndex& a, const FileIndex& b) {
+              return a.path < b.path;
+            });
+}
+
+const FileIndex* RepoIndex::find(std::string_view path) const {
+  const auto it = std::lower_bound(
+      files.begin(), files.end(), path,
+      [](const FileIndex& fi, std::string_view p) { return fi.path < p; });
+  if (it != files.end() && it->path == path) return &*it;
+  return nullptr;
+}
+
+// --- incremental cache ------------------------------------------------------
+
+IndexCache::IndexCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  enabled_ = !ec && std::filesystem::is_directory(dir_, ec);
+}
+
+std::string IndexCache::entry_path(std::string_view path) const {
+  return dir_ + "/" + hex16(util::hash_string(path)) + ".json";
+}
+
+std::string IndexCache::serialize(const FileIndex& fi) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.kv("cache_version", std::uint64_t{1});
+  w.kv("rule_version", kLintRuleVersion);
+  w.kv("path", fi.path);
+  // 64-bit hashes travel as hex strings: JSON numbers are doubles.
+  w.kv("content_hash", hex16(fi.content_hash));
+  w.kv("golden_fp", hex16(fi.golden_fp));
+  w.kv("emits_floats", fi.emits_floats);
+  w.key("includes");
+  w.begin_array();
+  for (const IncludeRef& r : fi.includes) {
+    w.begin_object();
+    w.kv("path", r.path);
+    w.kv("line", static_cast<std::uint64_t>(r.line));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("lane_defs");
+  w.begin_array();
+  for (const LaneDef& d : fi.lane_defs) {
+    w.begin_object();
+    w.kv("name", d.name);
+    w.kv("index", d.index);
+    w.kv("line", static_cast<std::uint64_t>(d.line));
+    w.kv("group", d.group);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("lane_uses");
+  w.begin_array();
+  for (const LaneUse& u : fi.lane_uses) {
+    w.begin_object();
+    w.kv("name", u.name);
+    w.kv("line", static_cast<std::uint64_t>(u.line));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("buggify_uses");
+  w.begin_array();
+  for (const BuggifyUse& u : fi.buggify_uses) {
+    w.begin_object();
+    w.kv("name", u.name);
+    w.kv("line", static_cast<std::uint64_t>(u.line));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("catalog_points");
+  w.begin_array();
+  for (const CatalogPoint& p : fi.catalog_points) {
+    w.begin_object();
+    w.kv("name", p.name);
+    w.kv("line", static_cast<std::uint64_t>(p.line));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("suppressions");
+  w.begin_array();
+  for (const SuppressionNote& n : fi.suppressions) {
+    w.begin_object();
+    w.kv("line", static_cast<std::uint64_t>(n.line));
+    w.kv("rule", n.rule);
+    w.kv("reason", n.reason);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("findings");
+  w.begin_array();
+  for (const Finding& f : fi.findings) {
+    w.begin_object();
+    w.kv("file", f.file);
+    w.kv("line", static_cast<std::uint64_t>(f.line));
+    w.kv("rule", f.rule);
+    w.kv("message", f.message);
+    w.kv("suppressed", f.suppressed);
+    w.kv("reason", f.suppress_reason);
+    w.key("fixes");
+    w.begin_array();
+    for (const TextEdit& e : f.fixes) {
+      w.begin_object();
+      w.kv("begin", static_cast<std::uint64_t>(e.begin));
+      w.kv("end", static_cast<std::uint64_t>(e.end));
+      w.kv("replacement", e.replacement);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(os).str();
+}
+
+std::optional<FileIndex> IndexCache::deserialize(std::string_view text) {
+  try {
+    const util::JsonValue doc = util::JsonValue::parse(text);
+    if (doc.at("cache_version").as_number() != 1.0) return std::nullopt;
+    if (doc.at("rule_version").as_number() !=
+        static_cast<double>(kLintRuleVersion)) {
+      return std::nullopt;
+    }
+    FileIndex fi;
+    fi.path = doc.at("path").as_string();
+    fi.content_hash = parse_hex16(doc.at("content_hash").as_string());
+    fi.golden_fp = parse_hex16(doc.at("golden_fp").as_string());
+    fi.emits_floats = doc.at("emits_floats").as_bool();
+    for (const util::JsonValue& v : doc.at("includes").as_array()) {
+      fi.includes.push_back({v.at("path").as_string(),
+                             static_cast<unsigned>(v.at("line").as_number())});
+    }
+    for (const util::JsonValue& v : doc.at("lane_defs").as_array()) {
+      fi.lane_defs.push_back(
+          {v.at("name").as_string(),
+           static_cast<std::uint64_t>(v.at("index").as_number()),
+           static_cast<unsigned>(v.at("line").as_number()),
+           v.at("group").as_string()});
+    }
+    for (const util::JsonValue& v : doc.at("lane_uses").as_array()) {
+      fi.lane_uses.push_back({v.at("name").as_string(),
+                              static_cast<unsigned>(v.at("line").as_number())});
+    }
+    for (const util::JsonValue& v : doc.at("buggify_uses").as_array()) {
+      fi.buggify_uses.push_back(
+          {v.at("name").as_string(),
+           static_cast<unsigned>(v.at("line").as_number())});
+    }
+    for (const util::JsonValue& v : doc.at("catalog_points").as_array()) {
+      fi.catalog_points.push_back(
+          {v.at("name").as_string(),
+           static_cast<unsigned>(v.at("line").as_number())});
+    }
+    for (const util::JsonValue& v : doc.at("suppressions").as_array()) {
+      fi.suppressions.push_back(
+          {static_cast<unsigned>(v.at("line").as_number()),
+           v.at("rule").as_string(), v.at("reason").as_string()});
+    }
+    for (const util::JsonValue& v : doc.at("findings").as_array()) {
+      Finding f;
+      f.file = v.at("file").as_string();
+      f.line = static_cast<unsigned>(v.at("line").as_number());
+      f.rule = v.at("rule").as_string();
+      f.message = v.at("message").as_string();
+      f.suppressed = v.at("suppressed").as_bool();
+      f.suppress_reason = v.at("reason").as_string();
+      for (const util::JsonValue& e : v.at("fixes").as_array()) {
+        f.fixes.push_back(
+            {static_cast<std::size_t>(e.at("begin").as_number()),
+             static_cast<std::size_t>(e.at("end").as_number()),
+             e.at("replacement").as_string()});
+      }
+      fi.findings.push_back(std::move(f));
+    }
+    return fi;
+  } catch (const std::exception&) {
+    return std::nullopt;  // corrupt entry: treat as a miss
+  }
+}
+
+std::optional<FileIndex> IndexCache::load(std::string_view path,
+                                          std::uint64_t content_hash) const {
+  if (!enabled_) return std::nullopt;
+  std::ifstream in(entry_path(path), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::optional<FileIndex> fi = deserialize(std::move(ss).str());
+  if (!fi || fi->path != path || fi->content_hash != content_hash) {
+    return std::nullopt;
+  }
+  return fi;
+}
+
+void IndexCache::store(const FileIndex& fi) const {
+  if (!enabled_) return;
+  std::ofstream out(entry_path(fi.path), std::ios::binary | std::ios::trunc);
+  out << serialize(fi);
+}
+
+}  // namespace farm::lint

@@ -1,0 +1,127 @@
+// Phase 1 of the two-phase linter: a repo-wide semantic index.
+//
+// `index_file()` tokenizes one translation unit and extracts the facts the
+// cross-TU rules (R7-R10, lint/graph.hpp and rules.hpp) need: its quoted
+// includes, seed-lane constant definitions and use sites, BUGGIFY call
+// sites, buggify-catalog registrations, golden-fingerprint summary, its
+// suppression notes, and the phase-1 findings themselves.  A `RepoIndex` is
+// just the sorted collection of those per-file records — phase 2 never
+// re-reads source text.
+//
+// `IndexCache` persists FileIndex records to disk (`farm_lint --cache DIR`),
+// keyed by content hash and `kLintRuleVersion`, so a repo-wide re-lint only
+// re-tokenizes files that actually changed.  Cached records round-trip
+// byte-exactly: a warm run's findings document is identical to a cold run's.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace farm::lint {
+
+/// Bump when any rule's behaviour, message text, or the index/cache schema
+/// changes: a stale cache must never smuggle an old rule's verdict into a
+/// new run.  CI additionally keys its cache on a hash of src/lint/**.
+inline constexpr std::uint64_t kLintRuleVersion = 2;
+
+/// One quoted `#include "..."` directive, as written.
+struct IncludeRef {
+  std::string path;
+  unsigned line = 0;
+};
+
+/// One seed-lane constant definition in util/seed_lanes.hpp
+/// (`inline constexpr std::uint64_t kName = N;`).  `group` is the section
+/// header comment the definition sits under — lanes are scoped per master
+/// seed, so indices must be unique within a group but may repeat across
+/// groups.
+struct LaneDef {
+  std::string name;
+  std::uint64_t index = 0;
+  unsigned line = 0;
+  std::string group;
+};
+
+/// One `lanes::kName` use site.
+struct LaneUse {
+  std::string name;
+  unsigned line = 0;
+};
+
+/// One well-formed BUGGIFY("name") call site (malformed sites are R6
+/// findings, not index facts).
+struct BuggifyUse {
+  std::string name;
+  unsigned line = 0;
+};
+
+/// One point registered in stress/catalog.hpp's kBuggifyCatalog table.
+struct CatalogPoint {
+  std::string name;
+  unsigned line = 0;
+};
+
+struct FileIndex {
+  std::string path;               // repo-relative, '/' separators
+  std::uint64_t content_hash = 0; // util::hash_string of the file text
+  std::vector<IncludeRef> includes;
+  std::vector<LaneDef> lane_defs;
+  std::vector<LaneUse> lane_uses;
+  std::vector<BuggifyUse> buggify_uses;
+  std::vector<CatalogPoint> catalog_points;
+  std::uint64_t golden_fp = 0;
+  bool emits_floats = false;      // golden_fp differs from an empty file's
+  std::vector<SuppressionNote> suppressions;
+  std::vector<Finding> findings;  // phase-1 findings (R1-R4, R6)
+};
+
+/// Tokenizes `content` once and extracts every index fact plus the phase-1
+/// findings.
+[[nodiscard]] FileIndex index_file(std::string_view path,
+                                   std::string_view content);
+
+struct RepoIndex {
+  std::vector<FileIndex> files;  // callers keep this sorted by path
+
+  void sort_by_path();
+  [[nodiscard]] const FileIndex* find(std::string_view path) const;
+};
+
+// --- incremental cache ------------------------------------------------------
+
+class IndexCache {
+ public:
+  /// Opens (creating if needed) the cache directory.  A directory that
+  /// cannot be created disables the cache (loads miss, stores are no-ops)
+  /// rather than failing the lint.
+  explicit IndexCache(std::string dir);
+
+  /// The cached record for `path`, iff one exists with the same content
+  /// hash and rule version; nullopt on any mismatch or unreadable entry.
+  [[nodiscard]] std::optional<FileIndex> load(std::string_view path,
+                                              std::uint64_t content_hash) const;
+
+  /// Persists `fi` (overwriting any previous record for its path).
+  void store(const FileIndex& fi) const;
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Serialized cache record (exposed for tests; `load`/`store` wrap it in
+  /// file IO).
+  [[nodiscard]] static std::string serialize(const FileIndex& fi);
+  [[nodiscard]] static std::optional<FileIndex> deserialize(
+      std::string_view text);
+
+ private:
+  [[nodiscard]] std::string entry_path(std::string_view path) const;
+
+  std::string dir_;
+  bool enabled_ = false;
+};
+
+}  // namespace farm::lint

@@ -4,11 +4,15 @@
 #include <array>
 #include <cctype>
 #include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
+#include "lint/index.hpp"
 #include "lint/lexer.hpp"
 #include "stress/catalog.hpp"
 #include "util/json.hpp"
@@ -53,22 +57,10 @@ namespace {
   return out;
 }
 
-// --- suppressions -----------------------------------------------------------
-
-struct Suppression {
-  std::string rule;
-  std::string reason;
-};
-
-/// line → suppressions declared in a comment starting on that line.  A
-/// suppression covers its own line and the next one, so both trailing
-/// comments and comment-above style work.
-using SuppressionMap = std::map<unsigned, std::vector<Suppression>>;
-
 constexpr std::string_view kMarker = "farm-lint:";
 
 void parse_suppressions(std::string_view comment, unsigned line,
-                        SuppressionMap& out) {
+                        std::vector<SuppressionNote>& out) {
   std::size_t at = comment.find(kMarker);
   while (at != std::string_view::npos) {
     std::string_view rest = trim(comment.substr(at + kMarker.size()));
@@ -85,7 +77,7 @@ void parse_suppressions(std::string_view comment, unsigned line,
         if (comma == std::string_view::npos) comma = ids.size();
         const std::string_view id = trim(ids.substr(start, comma - start));
         if (!id.empty()) {
-          out[line].push_back({std::string(id), std::string(reason)});
+          out.push_back({line, std::string(id), std::string(reason)});
         }
         start = comma + 1;
       }
@@ -94,29 +86,15 @@ void parse_suppressions(std::string_view comment, unsigned line,
   }
 }
 
-[[nodiscard]] const Suppression* find_suppression(const SuppressionMap& sups,
-                                                 std::string_view rule,
-                                                 unsigned line) {
-  for (const unsigned l : {line, line > 0 ? line - 1 : 0u}) {
-    const auto it = sups.find(l);
-    if (it == sups.end()) continue;
-    for (const Suppression& s : it->second) {
-      if (s.rule == rule) return &s;
-    }
-  }
-  return nullptr;
-}
-
 // --- rule context -----------------------------------------------------------
 
 class Linter {
  public:
   Linter(std::string_view path, std::string_view content)
-      : path_(path), tokens_(tokenize(content)) {
+      : path_(path), content_(content), tokens_(tokenize(content)),
+        suppressions_(collect_suppressions(tokens_)) {
     for (const Token& t : tokens_) {
-      if (t.kind == TokKind::kComment) {
-        parse_suppressions(t.text, t.line, suppressions_);
-      } else if (t.kind != TokKind::kPreproc) {
+      if (t.kind != TokKind::kComment && t.kind != TokKind::kPreproc) {
         code_.push_back(&t);
       }
     }
@@ -134,17 +112,19 @@ class Linter {
   }
 
  private:
-  void add(std::string rule, unsigned line, std::string message) {
+  Finding& add(std::string rule, unsigned line, std::string message) {
     Finding f;
     f.file = std::string(path_);
     f.line = line;
     f.rule = std::move(rule);
     f.message = std::move(message);
-    if (const Suppression* s = find_suppression(suppressions_, f.rule, line)) {
+    if (const SuppressionNote* s =
+            find_suppression(suppressions_, f.rule, line)) {
       f.suppressed = true;
       f.suppress_reason = s->reason;
     }
     findings_.push_back(std::move(f));
+    return findings_.back();
   }
 
   [[nodiscard]] const Token* code(std::size_t i) const {
@@ -153,6 +133,11 @@ class Linter {
   [[nodiscard]] bool code_is(std::size_t i, std::string_view text) const {
     const Token* t = code(i);
     return t != nullptr && t->text == text;
+  }
+
+  /// Byte offset of `t` in content_ (token views alias the content buffer).
+  [[nodiscard]] std::size_t offset_of(const Token& t) const {
+    return static_cast<std::size_t>(t.text.data() - content_.data());
   }
 
   // --- R1: no nondeterminism in sim paths ----------------------------------
@@ -276,6 +261,14 @@ class Linter {
     });
   }
 
+  /// Stems whose repo convention is SI seconds — these get an automatic fix
+  /// through the util::units time helpers.  Bandwidth is excluded: a raw
+  /// bandwidth literal's unit (B/s? MB/s?) cannot be inferred mechanically.
+  [[nodiscard]] static bool time_stem(std::string_view name) {
+    return quantity_stem(name) &&
+           name.find("bandwidth") == std::string_view::npos;
+  }
+
   [[nodiscard]] static bool unit_suffixed(std::string_view name) {
     static constexpr std::array<std::string_view, 31> kSuffixes = {
         "sec",     "secs",   "seconds", "_s",     "_ms",      "_us",
@@ -307,7 +300,60 @@ class Linter {
     return std::strtod(digits.c_str(), nullptr) >= 60.0;
   }
 
+  /// `7200` → `util::hours(2).value()` — the largest time helper that
+  /// divides the value exactly, assuming the repo's SI-seconds convention.
+  [[nodiscard]] static std::string units_rewrite(double v) {
+    struct Helper {
+      const char* name;
+      double factor;
+    };
+    static constexpr std::array<Helper, 4> kHelpers = {{
+        {"days", 86400.0}, {"hours", 3600.0}, {"minutes", 60.0},
+        {"seconds", 1.0}}};
+    const Helper* pick = &kHelpers.back();
+    for (const Helper& h : kHelpers) {
+      const double n = v / h.factor;
+      if (n == std::floor(n) && n >= 1.0) {
+        pick = &h;
+        break;
+      }
+    }
+    const double n = v / pick->factor;
+    char num[32];
+    if (n == std::floor(n) && n < 1e15) {
+      std::snprintf(num, sizeof num, "%.0f", n);
+    } else {
+      std::snprintf(num, sizeof num, "%.17g", n);
+    }
+    return std::string("util::") + pick->name + "(" + num + ").value()";
+  }
+
+  /// Offset just after the last `#include "..."` line, for inserting a
+  /// units include; falls back to the start of the file.
+  [[nodiscard]] std::size_t include_insertion_offset() const {
+    std::size_t at = 0;
+    for (const Token& t : tokens_) {
+      if (t.kind != TokKind::kPreproc) continue;
+      if (normalize_directive(t.text).find("include \"") != 0) continue;
+      std::size_t end = offset_of(t) + t.text.size();
+      while (end < content_.size() && content_[end] != '\n') ++end;
+      at = end < content_.size() ? end + 1 : end;
+    }
+    return at;
+  }
+
+  [[nodiscard]] bool has_units_include() const {
+    for (const Token& t : tokens_) {
+      if (t.kind == TokKind::kPreproc &&
+          t.text.find("util/units.hpp") != std::string_view::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   void rule_r3() {
+    bool units_include_pending = !has_units_include();
     for (std::size_t i = 0; i + 2 < code_.size(); ++i) {
       const Token& name = *code_[i];
       if (name.kind != TokKind::kIdent || !code_is(i + 1, "=")) continue;
@@ -321,12 +367,27 @@ class Linter {
       }
       if (!quantity_stem(name.text) || unit_suffixed(name.text)) continue;
       if (!magnitude_literal(lit.text)) continue;
-      add("R3", name.line,
+      Finding& f = add(
+          "R3", name.line,
           "raw literal " + std::string(lit.text) + " assigned to '" +
               std::string(name.text) +
               "', whose name does not state its unit: route it through a "
               "util::units helper (seconds(), hours(), gigabytes(), "
               "mb_per_sec()) or add a unit suffix to the name");
+      if (f.suppressed || !time_stem(name.text)) continue;
+      std::string digits;
+      for (const char c : lit.text) {
+        if (c != '\'') digits.push_back(c);
+      }
+      const double v = std::strtod(digits.c_str(), nullptr);
+      f.fixes.push_back({offset_of(lit), offset_of(lit) + lit.text.size(),
+                         units_rewrite(v)});
+      if (units_include_pending) {
+        f.fixes.push_back({include_insertion_offset(),
+                           include_insertion_offset(),
+                           "#include \"util/units.hpp\"\n"});
+        units_include_pending = false;
+      }
     }
   }
 
@@ -375,6 +436,18 @@ class Linter {
 
   // --- R4: header hygiene --------------------------------------------------
 
+  /// Insertion point for a missing `#pragma once`: the start of the first
+  /// non-comment line, so a leading file-doc comment block stays on top.
+  [[nodiscard]] std::size_t guard_insertion_offset() const {
+    for (const Token& t : tokens_) {
+      if (t.kind == TokKind::kComment) continue;
+      std::size_t at = offset_of(t);
+      while (at > 0 && content_[at - 1] != '\n') --at;
+      return at;
+    }
+    return content_.size();
+  }
+
   void rule_r4() {
     bool guarded = false;
     for (const Token& t : tokens_) {
@@ -386,8 +459,13 @@ class Linter {
       }
     }
     if (!guarded) {
-      add("R4", 1,
+      Finding& f = add(
+          "R4", 1,
           "header has no include guard: add #pragma once near the top");
+      if (!f.suppressed) {
+        const std::size_t at = guard_insertion_offset();
+        f.fixes.push_back({at, at, "#pragma once\n"});
+      }
     }
     for (std::size_t i = 0; i + 1 < code_.size(); ++i) {
       if (code_[i]->text == "using" && code_[i + 1]->text == "namespace") {
@@ -399,11 +477,32 @@ class Linter {
   }
 
   std::string_view path_;
+  std::string_view content_;
   std::vector<Token> tokens_;
   std::vector<const Token*> code_;  // comments and preproc stripped
-  SuppressionMap suppressions_;
+  std::vector<SuppressionNote> suppressions_;
   std::vector<Finding> findings_;
 };
+
+/// Suppression-aware add for the cross-TU checks: looks the file up in the
+/// index and honours its in-source allow() notes.
+void add_cross(const RepoIndex& index, std::vector<Finding>& out,
+               std::string file, unsigned line, std::string rule,
+               std::string message) {
+  Finding f;
+  f.file = std::move(file);
+  f.line = line;
+  f.rule = std::move(rule);
+  f.message = std::move(message);
+  if (const FileIndex* fi = index.find(f.file)) {
+    if (const SuppressionNote* s =
+            find_suppression(fi->suppressions, f.rule, f.line)) {
+      f.suppressed = true;
+      f.suppress_reason = s->reason;
+    }
+  }
+  out.push_back(std::move(f));
+}
 
 }  // namespace
 
@@ -428,14 +527,26 @@ const std::vector<RuleInfo>& rule_table() {
        "buggify discipline: every BUGGIFY call site passes one plain string "
        "literal registered in stress/catalog.hpp — no computed point names, "
        "no unnamed seed lanes"},
+      {"R7",
+       "module layering: includes follow the declared src/ layering DAG — "
+       "no upward includes, no undeclared modules, no include cycles"},
+      {"R8",
+       "seed-lane registry: every lane constant has a unique index in its "
+       "group, at least one stream() use site, and exactly one owning module"},
+      {"R9",
+       "buggify catalog coverage: every registered stress point has at "
+       "least one BUGGIFY call site (the reverse of R6)"},
+      {"R10",
+       "golden-manifest staleness: no pinned file may be missing from the "
+       "tree or emit no floats at all"},
   };
   return kRules;
 }
 
 bool in_sim_path(std::string_view path) {
-  static constexpr std::array<std::string_view, 6> kDirs = {
-      "src/sim/",    "src/farm/",   "src/fault/",
-      "src/net/",    "src/client/", "src/workload/"};
+  static constexpr std::array<std::string_view, 8> kDirs = {
+      "src/sim/",   "src/farm/",     "src/fault/",  "src/net/",
+      "src/client/", "src/workload/", "src/fleet/",  "src/stress/"};
   return std::any_of(kDirs.begin(), kDirs.end(), [&](std::string_view d) {
     return path.find(d) != std::string_view::npos;
   });
@@ -451,11 +562,34 @@ std::vector<Finding> lint_source(std::string_view path,
   return Linter(path, content).run();
 }
 
+// --- suppressions -----------------------------------------------------------
+
+std::vector<SuppressionNote> collect_suppressions(
+    const std::vector<Token>& tokens) {
+  std::vector<SuppressionNote> notes;
+  for (const Token& t : tokens) {
+    if (t.kind == TokKind::kComment) {
+      parse_suppressions(t.text, t.line, notes);
+    }
+  }
+  return notes;
+}
+
+const SuppressionNote* find_suppression(
+    const std::vector<SuppressionNote>& notes, std::string_view rule,
+    unsigned line) {
+  for (const SuppressionNote& n : notes) {
+    if (n.rule != rule) continue;
+    if (n.line == line || (line > 0 && n.line == line - 1)) return &n;
+  }
+  return nullptr;
+}
+
 // --- R5 ---------------------------------------------------------------------
 
 GoldenManifest GoldenManifest::parse(std::string_view text) {
   GoldenManifest m;
-  std::size_t line_no = 0;
+  unsigned line_no = 0;
   std::size_t start = 0;
   while (start <= text.size()) {
     std::size_t nl = text.find('\n', start);
@@ -472,6 +606,7 @@ GoldenManifest GoldenManifest::parse(std::string_view text) {
     }
     GoldenEntry e;
     e.path = std::string(trim(line.substr(0, sp)));
+    e.line = line_no;
     const std::string_view hex = trim(line.substr(sp + 1));
     const auto [ptr, ec] = std::from_chars(hex.data(), hex.data() + hex.size(),
                                            e.fingerprint, 16);
@@ -488,7 +623,7 @@ GoldenManifest GoldenManifest::parse(std::string_view text) {
 
 std::string GoldenManifest::serialize() const {
   std::ostringstream os;
-  os << "# farm_lint golden manifest (rule R5).\n"
+  os << "# farm_lint golden manifest (rules R5 + R10).\n"
      << "# Each line pins a golden-output-critical file's float/double and\n"
      << "# accumulation structure.  If farm_lint reports a mismatch: re-run\n"
      << "# the golden regression tests, document any intended change, then\n"
@@ -504,8 +639,7 @@ std::string GoldenManifest::serialize() const {
   return os.str();
 }
 
-std::uint64_t golden_fingerprint(std::string_view content) {
-  const std::vector<Token> tokens = tokenize(content);
+std::uint64_t golden_fingerprint(const std::vector<Token>& tokens) {
   std::uint64_t h = util::hash_string("farm-golden-v1");
   const Token* prev_ident = nullptr;
   for (const Token& t : tokens) {
@@ -527,6 +661,10 @@ std::uint64_t golden_fingerprint(std::string_view content) {
   return h;
 }
 
+std::uint64_t golden_fingerprint(std::string_view content) {
+  return golden_fingerprint(tokenize(content));
+}
+
 std::vector<Finding> check_manifest(
     const GoldenManifest& manifest,
     const std::function<std::optional<std::string>(const std::string&)>&
@@ -534,19 +672,15 @@ std::vector<Finding> check_manifest(
   std::vector<Finding> findings;
   for (const GoldenEntry& e : manifest.entries) {
     const std::optional<std::string> content = read_file(e.path);
-    Finding f;
-    f.file = e.path;
-    f.line = 1;
-    f.rule = "R5";
-    if (!content.has_value()) {
-      f.message =
-          "golden-pinned file is missing; remove it from the manifest if it "
-          "was intentionally deleted";
-      findings.push_back(std::move(f));
-      continue;
-    }
+    // Missing files are R10 staleness (check_manifest_staleness), not
+    // fingerprint drift.
+    if (!content.has_value()) continue;
     const std::uint64_t fp = golden_fingerprint(*content);
     if (fp != e.fingerprint) {
+      Finding f;
+      f.file = e.path;
+      f.line = 1;
+      f.rule = "R5";
       char got[17];
       char want[17];
       std::snprintf(got, sizeof got, "%016llx",
@@ -565,6 +699,120 @@ std::vector<Finding> check_manifest(
   return findings;
 }
 
+// --- phase-2 cross-TU rules -------------------------------------------------
+
+std::vector<Finding> check_seed_lanes(const RepoIndex& index) {
+  std::vector<Finding> findings;
+
+  // All definitions, in index (path, line) order.
+  struct DefRef {
+    const FileIndex* file;
+    const LaneDef* def;
+  };
+  std::vector<DefRef> defs;
+  for (const FileIndex& fi : index.files) {
+    for (const LaneDef& d : fi.lane_defs) defs.push_back({&fi, &d});
+  }
+
+  // Duplicate index within one group.
+  std::map<std::pair<std::string, std::uint64_t>, const DefRef*> by_slot;
+  for (const DefRef& d : defs) {
+    const auto key = std::make_pair(d.def->group, d.def->index);
+    const auto [it, inserted] = by_slot.emplace(key, &d);
+    if (!inserted) {
+      add_cross(index, findings, d.file->path, d.def->line, "R8",
+                "lane " + d.def->name + " reuses index " +
+                    std::to_string(d.def->index) + " of " +
+                    it->second->def->name + " within group '" + d.def->group +
+                    "': two streams seeded from one master seed would emit "
+                    "identical bits — pick the next free index");
+    }
+  }
+
+  // Use sites per lane name, bucketed by src/ module ('' for non-src files,
+  // which don't count toward ownership).
+  std::map<std::string, std::set<std::string>> use_modules;
+  for (const FileIndex& fi : index.files) {
+    if (fi.lane_uses.empty()) continue;
+    std::string module;
+    if (starts_with(fi.path, "src/")) {
+      const std::size_t slash = fi.path.find('/', 4);
+      if (slash != std::string::npos) module = fi.path.substr(4, slash - 4);
+    }
+    if (module.empty() || module == "util") continue;  // defs live in util
+    for (const LaneUse& u : fi.lane_uses) use_modules[u.name].insert(module);
+  }
+
+  for (const DefRef& d : defs) {
+    const auto it = use_modules.find(d.def->name);
+    if (it == use_modules.end() || it->second.empty()) {
+      add_cross(index, findings, d.file->path, d.def->line, "R8",
+                "lane " + d.def->name +
+                    " has no stream() use site anywhere under src/: a dead "
+                    "lane invites silent reuse — delete it or wire it up");
+      continue;
+    }
+    if (it->second.size() > 1) {
+      std::string owners;
+      for (const std::string& m : it->second) {
+        if (!owners.empty()) owners += ", ";
+        owners += "src/" + m;
+      }
+      add_cross(index, findings, d.file->path, d.def->line, "R8",
+                "lane " + d.def->name + " is drawn from by " +
+                    std::to_string(it->second.size()) + " modules (" + owners +
+                    "): two subsystems sharing one lane correlate streams "
+                    "that the reproduction contract says are independent — "
+                    "give each subsystem its own lane");
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> check_buggify_coverage(const RepoIndex& index) {
+  std::vector<Finding> findings;
+  std::set<std::string> fired;
+  for (const FileIndex& fi : index.files) {
+    if (!starts_with(fi.path, "src/")) continue;
+    for (const BuggifyUse& u : fi.buggify_uses) fired.insert(u.name);
+  }
+  for (const FileIndex& fi : index.files) {
+    for (const CatalogPoint& p : fi.catalog_points) {
+      if (fired.count(p.name) != 0) continue;
+      add_cross(index, findings, fi.path, p.line, "R9",
+                "stress point \"" + p.name +
+                    "\" has no BUGGIFY call site under src/: the swarm "
+                    "samples a probability for it but nothing can ever fire "
+                    "— wire the point in or remove the catalog entry");
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> check_manifest_staleness(const GoldenManifest& manifest,
+                                              std::string_view manifest_path,
+                                              const RepoIndex& index) {
+  std::vector<Finding> findings;
+  for (const GoldenEntry& e : manifest.entries) {
+    const FileIndex* fi = index.find(e.path);
+    if (fi == nullptr) {
+      add_cross(index, findings, std::string(manifest_path), e.line, "R10",
+                "golden-pinned " + e.path +
+                    " no longer exists in the tree: remove the entry "
+                    "(farm_lint --fix prunes it)");
+      continue;
+    }
+    if (!fi->emits_floats) {
+      add_cross(index, findings, std::string(manifest_path), e.line, "R10",
+                "golden-pinned " + e.path +
+                    " no longer emits floats or accumulations: the "
+                    "fingerprint guards nothing — remove the entry "
+                    "(farm_lint --fix prunes it)");
+    }
+  }
+  return findings;
+}
+
 // --- JSON report ------------------------------------------------------------
 
 void write_findings_json(std::ostream& os, std::string_view root,
@@ -575,7 +823,8 @@ void write_findings_json(std::ostream& os, std::string_view root,
                     [](const Finding& f) { return !f.suppressed; }));
   util::JsonWriter w(os);
   w.begin_object();
-  w.kv("schema_version", std::uint64_t{1});
+  // 2: R7-R10 added, findings sorted by (file, line, rule).
+  w.kv("schema_version", std::uint64_t{2});
   w.kv("tool", "farm_lint");
   w.kv("root", root);
   w.kv("files_scanned", static_cast<std::uint64_t>(files_scanned));
@@ -592,6 +841,7 @@ void write_findings_json(std::ostream& os, std::string_view root,
     w.kv("message", f.message);
     w.kv("suppressed", f.suppressed);
     if (f.suppressed) w.kv("reason", f.suppress_reason);
+    if (!f.fixes.empty()) w.kv("fixable", true);
     w.end_object();
   }
   w.end_array();

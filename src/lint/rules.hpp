@@ -1,13 +1,15 @@
 // farm_lint rule library.
 //
 // Project-specific static checks that keep the Monte-Carlo reproduction
-// bit-identical and unit-safe:
+// bit-identical and unit-safe.  The linter runs in two phases:
 //
+// Phase 1 — per-file token rules (lint_source):
 //   R1  no nondeterminism in sim paths — std::unordered_* containers,
 //       rand()/srand(), std::random_device, wall-clock reads
 //       (system_clock/steady_clock/high_resolution_clock, gettimeofday)
 //       and pointer-keyed ordered containers (address-dependent iteration)
-//       are banned under src/sim, src/farm, src/fault, src/net, src/client.
+//       are banned under src/sim, src/farm, src/fault, src/net, src/client,
+//       src/fleet, src/stress and src/workload.
 //   R2  seed-lane discipline — SeedSequence::stream() and Xoshiro256
 //       construction must name a seed-lane constant (util/seed_lanes.hpp),
 //       never a raw integer literal, in sim paths.
@@ -16,9 +18,23 @@
 //       through a util::units helper (seconds(), gigabytes(), mb_per_sec()).
 //   R4  header hygiene — headers need an include guard (#pragma once or
 //       #ifndef) and must not contain `using namespace`.
+//   R6  buggify discipline — every BUGGIFY call site passes one plain
+//       string literal registered in stress/catalog.hpp.
+//
+// Phase 2 — cross-TU rules over the repo-wide index (lint/index.hpp):
 //   R5  golden-output guard — files listed in the golden manifest must not
 //       change their float/double usage or accumulation structure without a
 //       manifest bump (`farm_lint --update-manifest`).
+//   R7  module layering — includes must follow the declared layering DAG
+//       (lint/graph.hpp); upward includes, undeclared modules and
+//       file-level include cycles are findings.
+//   R8  seed-lane registry — every lane constant in util/seed_lanes.hpp has
+//       a unique index within its group, is used by at least one stream()
+//       call, and no two modules share one lane constant.
+//   R9  buggify catalog coverage — every stress::catalog point has at least
+//       one BUGGIFY call site (the reverse direction of R6).
+//   R10 golden-manifest staleness — manifest entries whose file no longer
+//       exists or no longer emits floats.
 //
 // Suppression: `// farm-lint: allow(R1) reason text` on a finding's line or
 // the line directly above suppresses that rule there.  A reason is
@@ -33,15 +49,34 @@
 #include <string_view>
 #include <vector>
 
+#include "lint/lexer.hpp"
+
 namespace farm::lint {
+
+struct RepoIndex;  // lint/index.hpp
+
+/// One mechanical edit: replace content [begin, end) with `replacement`
+/// (begin == end is a pure insertion).  Offsets are byte offsets into the
+/// exact content the finding was produced from.
+struct TextEdit {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::string replacement;
+
+  friend bool operator==(const TextEdit&, const TextEdit&) = default;
+};
 
 struct Finding {
   std::string file;  // repo-relative path, '/' separators
   unsigned line = 0;
-  std::string rule;  // "R1".."R5"
+  std::string rule;  // "R1".."R10"
   std::string message;
   bool suppressed = false;
   std::string suppress_reason;  // set iff suppressed
+  /// Machine-applicable fix, filled by rules that know one (R4 missing
+  /// guard, R3 time-magnitude literals).  Applied by `farm_lint --fix`
+  /// (lint/fix.hpp); never applied when the finding is suppressed.
+  std::vector<TextEdit> fixes;
 };
 
 /// Rule ids with one-line summaries, for `farm_lint --list-rules` and docs.
@@ -52,23 +87,48 @@ struct RuleInfo {
 [[nodiscard]] const std::vector<RuleInfo>& rule_table();
 
 /// True for paths under the directories whose code feeds the deterministic
-/// event loop (src/sim, src/farm, src/fault, src/net, src/client).
+/// event loop (src/sim, src/farm, src/fault, src/net, src/client,
+/// src/fleet, src/stress, src/workload).
 [[nodiscard]] bool in_sim_path(std::string_view path);
 
 /// True for header files (.hpp / .h).
 [[nodiscard]] bool is_header(std::string_view path);
 
-/// Runs R1-R4 over one file.  `path` is the repo-relative path and selects
-/// which rules apply; `content` is the file text.  Suppressed findings are
-/// included (flagged `suppressed`) so reports can show them.
+/// Runs the phase-1 rules (R1-R4, R6) over one file.  `path` is the
+/// repo-relative path and selects which rules apply; `content` is the file
+/// text.  Suppressed findings are included (flagged `suppressed`) so reports
+/// can show them.
 [[nodiscard]] std::vector<Finding> lint_source(std::string_view path,
                                                std::string_view content);
 
-// --- R5: golden manifest ----------------------------------------------------
+// --- suppressions -----------------------------------------------------------
+
+/// One in-source `// farm-lint: allow(Rn) reason` annotation.  A note covers
+/// its own line and the next one, so both trailing comments and
+/// comment-above style work.
+struct SuppressionNote {
+  unsigned line = 0;
+  std::string rule;
+  std::string reason;
+};
+
+/// Extracts every suppression note from a token stream's comments, in line
+/// order.  Shared between phase 1 (lint_source) and the repo index so the
+/// cross-TU rules honour the same annotations.
+[[nodiscard]] std::vector<SuppressionNote> collect_suppressions(
+    const std::vector<Token>& tokens);
+
+/// The note covering (`rule`, `line`), or nullptr.
+[[nodiscard]] const SuppressionNote* find_suppression(
+    const std::vector<SuppressionNote>& notes, std::string_view rule,
+    unsigned line);
+
+// --- R5 + R10: golden manifest ----------------------------------------------
 
 struct GoldenEntry {
   std::string path;
   std::uint64_t fingerprint = 0;
+  unsigned line = 0;  // 1-based manifest line, for R10 findings
 };
 
 struct GoldenManifest {
@@ -86,19 +146,47 @@ struct GoldenManifest {
 /// accumulation statements, or adding/removing one changes the fingerprint;
 /// renaming an unrelated variable does not.
 [[nodiscard]] std::uint64_t golden_fingerprint(std::string_view content);
+/// Same hash computed from an existing token stream (the repo index
+/// tokenizes each file once and reuses the tokens).
+[[nodiscard]] std::uint64_t golden_fingerprint(
+    const std::vector<Token>& tokens);
 
-/// Checks every manifest entry against the current file contents.
-/// `read_file` returns the content of a repo-relative path, or nullopt if
-/// missing (which is itself a finding).
+/// R5: checks every manifest entry's fingerprint against the current file
+/// contents.  `read_file` returns the content of a repo-relative path, or
+/// nullopt if missing — missing and float-free files are R10's business
+/// (check_manifest_staleness), not R5's.
 [[nodiscard]] std::vector<Finding> check_manifest(
     const GoldenManifest& manifest,
     const std::function<std::optional<std::string>(const std::string&)>&
         read_file);
 
+// --- phase-2 cross-TU rules (R8, R9, R10) -----------------------------------
+// R7 (module layering) lives in lint/graph.hpp next to the layering table.
+
+/// R8: seed-lane registry checks over every lane definition and use site in
+/// the index — duplicate indices within a group, lanes no stream() call
+/// uses, and lanes shared by more than one src/ module.
+[[nodiscard]] std::vector<Finding> check_seed_lanes(const RepoIndex& index);
+
+/// R9: every catalog point registered in stress/catalog.hpp must have at
+/// least one BUGGIFY call site somewhere under src/ — a dead point is a
+/// chaos lane the swarm believes it exercises but never fires.
+[[nodiscard]] std::vector<Finding> check_buggify_coverage(
+    const RepoIndex& index);
+
+/// R10: manifest entries whose file is gone from the index or no longer
+/// emits floats (nothing left for the fingerprint to guard).
+/// `manifest_path` is the repo-relative manifest location the findings
+/// attach to.
+[[nodiscard]] std::vector<Finding> check_manifest_staleness(
+    const GoldenManifest& manifest, std::string_view manifest_path,
+    const RepoIndex& index);
+
 // --- reporting --------------------------------------------------------------
 
 /// Machine-readable findings document (consumed by CI and by the round-trip
-/// tests via util::JsonValue).
+/// tests via util::JsonValue).  Findings are emitted in the order given;
+/// callers sort by (file, line, rule) first so artifacts diff stably.
 void write_findings_json(std::ostream& os, std::string_view root,
                          std::size_t files_scanned,
                          const std::vector<Finding>& findings);

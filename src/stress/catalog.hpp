@@ -10,6 +10,12 @@
 // hash_string(name)), so renaming a point re-seeds it (and invalidates any
 // pinned repro spec that fired it).  Add new points at the end of their
 // subsystem group; never rename or reuse a name.
+//
+// farm_lint checks this table from both directions: R6 rejects BUGGIFY
+// call sites naming unregistered points, and R8's sibling rule R9 flags
+// registered points with no call site anywhere under src/ — a dead entry
+// makes the swarm sample probabilities for chaos that can never fire, so
+// wire the point in (or delete the entry) in the same commit that adds it.
 #pragma once
 
 #include <array>

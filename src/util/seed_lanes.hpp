@@ -12,6 +12,15 @@
 // Lanes are scoped per master seed, so the StorageSystem lanes and the
 // FaultInjector lanes may reuse indices: the two subsystems hash different
 // master seeds.  Never reuse an index *within* one group.
+//
+// This file is additionally a registry that farm_lint rule R8 checks
+// cross-TU: the `// --- Group ... ---` section comments delimit the
+// master-seed groups, and within each group every constant must have a
+// unique index, at least one `lanes::kName` use site somewhere under src/,
+// and exactly one owning module (two subsystems drawing from the same lane
+// would correlate streams the reproduction contract says are independent).
+// When adding a subsystem, open a new section for its master seed rather
+// than appending to an existing group.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,69 @@
+#!/bin/sh
+# End-to-end check of farm_lint's incremental cache, run as a ctest:
+#
+#   farm_lint_cache_test.sh <farm_lint binary> <repo root>
+#
+# A cold run must analyze every file; a warm re-run over an unchanged tree
+# must analyze at least 5x fewer files while producing a byte-identical
+# --json findings document (cache stats go to stderr precisely so that the
+# JSON artifact cannot differ between cache states).
+set -eu
+
+FARM_LINT="$1"
+ROOT="$2"
+WORK="${TMPDIR:-/tmp}/farm_lint_cache_test.$$"
+trap 'rm -rf "$WORK"' EXIT
+mkdir -p "$WORK"
+
+analyzed() {
+  # "farm_lint: analyzed N of M files (K cached)" -> N
+  sed -n 's/^farm_lint: analyzed \([0-9]*\) of .*/\1/p' "$1"
+}
+
+"$FARM_LINT" --root "$ROOT" --cache "$WORK/cache" --json \
+  > "$WORK/cold.json" 2> "$WORK/cold.err"
+"$FARM_LINT" --root "$ROOT" --cache "$WORK/cache" --json \
+  > "$WORK/warm.json" 2> "$WORK/warm.err"
+
+cold=$(analyzed "$WORK/cold.err")
+warm=$(analyzed "$WORK/warm.err")
+if [ -z "$cold" ] || [ -z "$warm" ]; then
+  echo "FAIL: could not parse analyzed counts" >&2
+  cat "$WORK/cold.err" "$WORK/warm.err" >&2
+  exit 1
+fi
+echo "cold analyzed: $cold, warm analyzed: $warm"
+
+if [ "$cold" -lt 1 ]; then
+  echo "FAIL: cold run analyzed nothing" >&2
+  exit 1
+fi
+if [ $((warm * 5)) -gt "$cold" ]; then
+  echo "FAIL: warm run analyzed $warm files; need at least 5x fewer than cold ($cold)" >&2
+  exit 1
+fi
+if ! cmp -s "$WORK/cold.json" "$WORK/warm.json"; then
+  echo "FAIL: warm-cache JSON differs from cold run" >&2
+  diff "$WORK/cold.json" "$WORK/warm.json" | head -20 >&2
+  exit 1
+fi
+
+# Invalidation: touching one file's content must re-analyze exactly that
+# file, not the world.  Copy a small tree so the real repo stays pristine.
+mkdir -p "$WORK/tree/src/util"
+cp "$ROOT/src/util/units.hpp" "$WORK/tree/src/util/units.hpp"
+cp "$ROOT/src/util/random.hpp" "$WORK/tree/src/util/random.hpp"
+"$FARM_LINT" --root "$WORK/tree" --cache "$WORK/cache2" \
+  > /dev/null 2> "$WORK/t0.err"
+printf '// trailing comment for cache invalidation test\n' \
+  >> "$WORK/tree/src/util/units.hpp"
+"$FARM_LINT" --root "$WORK/tree" --cache "$WORK/cache2" \
+  > /dev/null 2> "$WORK/t1.err"
+t1=$(analyzed "$WORK/t1.err")
+if [ "$t1" != "1" ]; then
+  echo "FAIL: expected exactly 1 re-analyzed file after an edit, got $t1" >&2
+  cat "$WORK/t1.err" >&2
+  exit 1
+fi
+
+echo "PASS"

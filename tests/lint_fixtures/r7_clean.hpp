@@ -1,0 +1,4 @@
+// Fixture: a high-layer file including a low-layer header — the allowed
+// direction (rule R7).  Indexed at a virtual src/farm/ path.
+#pragma once
+#include "util/r7_target.hpp"

@@ -1,0 +1,3 @@
+// Fixture: half of a two-file include cycle (rule R7).
+#pragma once
+#include "farm/r7_cycle_b.hpp"

@@ -1,0 +1,3 @@
+// Fixture: other half of a two-file include cycle (rule R7).
+#pragma once
+#include "farm/r7_cycle_a.hpp"

@@ -1,0 +1,2 @@
+// Fixture: inert include target for the R7 layering tests.
+#pragma once

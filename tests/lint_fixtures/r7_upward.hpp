@@ -1,0 +1,4 @@
+// Fixture: a low-layer file including a high-layer header (rule R7).
+// Indexed at a virtual src/util/ path; the include resolves to src/workload/.
+#pragma once
+#include "workload/r7_target.hpp"

@@ -1,0 +1,20 @@
+// Fixture: seed-lane registry violations (rule R8).  Indexed at the virtual
+// path src/util/seed_lanes.hpp.  GroupA holds a duplicated index and a dead
+// lane; kBeta repeating index 0 in GroupB is fine — groups are scoped per
+// master seed.
+#pragma once
+#include <cstdint>
+
+namespace farm::util::lanes {
+
+// --- GroupA streams ----------------------------------------------------------
+
+inline constexpr std::uint64_t kAlpha = 0;
+inline constexpr std::uint64_t kDupIdx = 0;  // reuses kAlpha's index
+inline constexpr std::uint64_t kDead = 1;    // no stream() use site anywhere
+
+// --- GroupB streams ----------------------------------------------------------
+
+inline constexpr std::uint64_t kBeta = 0;
+
+}  // namespace farm::util::lanes

@@ -1,0 +1,13 @@
+// Fixture: a well-formed seed-lane registry (rule R8).  Indexed at the
+// virtual path src/util/seed_lanes.hpp.
+#pragma once
+#include <cstdint>
+
+namespace farm::util::lanes {
+
+// --- GroupA streams ----------------------------------------------------------
+
+inline constexpr std::uint64_t kAlpha = 0;
+inline constexpr std::uint64_t kBeta = 1;
+
+}  // namespace farm::util::lanes

@@ -1,0 +1,9 @@
+// Fixture: seed-lane use sites in one module (rule R8).  Indexed at a
+// virtual src/farm/ path.
+#include "util/seed_lanes.hpp"
+
+namespace farm {
+std::uint64_t r8_uses_farm(std::uint64_t seed) {
+  return seed + util::lanes::kAlpha + util::lanes::kBeta;
+}
+}  // namespace farm

@@ -1,0 +1,9 @@
+// Fixture: a second module drawing from a lane that src/farm already uses
+// (rule R8 shared-lane violation).  Indexed at a virtual src/net/ path.
+#include "util/seed_lanes.hpp"
+
+namespace farm {
+std::uint64_t r8_uses_net(std::uint64_t seed) {
+  return seed ^ util::lanes::kAlpha;
+}
+}  // namespace farm

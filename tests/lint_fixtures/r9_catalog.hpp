@@ -1,0 +1,18 @@
+// Fixture: a two-point buggify catalog (rule R9).  Indexed at the virtual
+// path src/stress/catalog.hpp.  "disk.stall" has a call site in
+// r9_uses.cpp; "net.dup" is a dead point.
+#pragma once
+
+namespace farm::stress {
+
+struct BuggifyPoint {
+  const char* name;
+  double probability;
+};
+
+inline constexpr BuggifyPoint kBuggifyCatalog[] = {
+    {"disk.stall", 0.05},
+    {"net.dup", 0.01},
+};
+
+}  // namespace farm::stress

@@ -1,0 +1,11 @@
+// Fixture: one BUGGIFY call site (rule R9).  Indexed at a virtual
+// src/disk/ path; fires "disk.stall" so only "net.dup" is dead.
+#include "stress/buggify.hpp"
+
+namespace farm {
+void r9_uses() {
+  if (BUGGIFY("disk.stall")) {
+    // stall path under test
+  }
+}
+}  // namespace farm

@@ -3,11 +3,25 @@
 //   farm_lint [--root DIR] [files...]     lint the repo (or specific files)
 //   farm_lint --json                      machine-readable findings document
 //   farm_lint --list-rules                print the rule table
+//   farm_lint --list-rules-md             ... as a markdown table (for docs)
+//   farm_lint --fix                       apply mechanical fixes in place
+//   farm_lint --cache DIR                 incremental cache (re-lint only
+//                                         files whose content changed)
 //   farm_lint --update-manifest           rewrite the golden manifest (R5)
 //   farm_lint --include-suppressed        show suppressed findings too
 //   farm_lint --manifest PATH             override the manifest location
+//   farm_lint --rule-version              print the lint rule version
 //
 // Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/IO error.
+//
+// The lint runs in two phases.  Phase 1 tokenizes each file and runs the
+// per-file rules (R1-R4, R6) while building a semantic index (includes,
+// seed lanes, BUGGIFY sites, catalog entries, golden fingerprints); with
+// --cache, unchanged files load their phase-1 record from disk instead of
+// re-tokenizing.  Phase 2 runs the cross-TU rules (R5 golden drift, R7
+// layering, R8 seed-lane registry, R9 buggify coverage, R10 manifest
+// staleness) over the whole index — phase 2 needs the whole repo, so it is
+// skipped when explicit file arguments narrow the scan.
 //
 // With no file arguments the tool walks src/, bench/, tests/, tools/ and
 // examples/ under --root (default: the current directory), skipping
@@ -21,7 +35,11 @@
 #include <string>
 #include <vector>
 
+#include "lint/fix.hpp"
+#include "lint/graph.hpp"
+#include "lint/index.hpp"
 #include "lint/rules.hpp"
+#include "util/random.hpp"
 
 namespace fs = std::filesystem;
 
@@ -32,17 +50,21 @@ constexpr const char* kDefaultManifest = "tools/golden_manifest.txt";
 struct Options {
   std::string root = ".";
   std::string manifest;  // empty: <root>/tools/golden_manifest.txt if present
+  std::string cache_dir;
   std::vector<std::string> files;
   bool json = false;
+  bool fix = false;
   bool list_rules = false;
+  bool list_rules_md = false;
   bool update_manifest = false;
   bool include_suppressed = false;
 };
 
 void usage(std::ostream& os) {
-  os << "usage: farm_lint [--root DIR] [--manifest PATH] [--json]\n"
-        "                 [--list-rules] [--update-manifest]\n"
-        "                 [--include-suppressed] [files...]\n";
+  os << "usage: farm_lint [--root DIR] [--manifest PATH] [--cache DIR]\n"
+        "                 [--json] [--fix] [--list-rules] [--list-rules-md]\n"
+        "                 [--update-manifest] [--include-suppressed]\n"
+        "                 [--rule-version] [files...]\n";
 }
 
 [[nodiscard]] std::optional<std::string> read_file(const fs::path& p) {
@@ -51,6 +73,12 @@ void usage(std::ostream& os) {
   std::ostringstream ss;
   ss << in.rdbuf();
   return std::move(ss).str();
+}
+
+[[nodiscard]] bool write_file(const fs::path& p, std::string_view content) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out << content;
+  return static_cast<bool>(out);
 }
 
 [[nodiscard]] bool lintable(const fs::path& p) {
@@ -102,14 +130,23 @@ int main(int argc, char** argv) {
       opt.root = next();
     } else if (arg == "--manifest") {
       opt.manifest = next();
+    } else if (arg == "--cache") {
+      opt.cache_dir = next();
     } else if (arg == "--json") {
       opt.json = true;
+    } else if (arg == "--fix") {
+      opt.fix = true;
     } else if (arg == "--list-rules") {
       opt.list_rules = true;
+    } else if (arg == "--list-rules-md") {
+      opt.list_rules_md = true;
     } else if (arg == "--update-manifest") {
       opt.update_manifest = true;
     } else if (arg == "--include-suppressed") {
       opt.include_suppressed = true;
+    } else if (arg == "--rule-version") {
+      std::cout << farm::lint::kLintRuleVersion << '\n';
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       return 0;
@@ -122,9 +159,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (opt.list_rules) {
-    for (const auto& r : farm::lint::rule_table()) {
-      std::cout << r.id << "  " << r.summary << '\n';
+  if (opt.list_rules || opt.list_rules_md) {
+    if (opt.list_rules_md) {
+      std::cout << "| Rule | What it enforces |\n|------|------------------|\n";
+      for (const auto& r : farm::lint::rule_table()) {
+        std::cout << "| " << r.id << " | " << r.summary << " |\n";
+      }
+    } else {
+      for (const auto& r : farm::lint::rule_table()) {
+        std::cout << r.id << "  " << r.summary << '\n';
+      }
     }
     return 0;
   }
@@ -138,7 +182,7 @@ int main(int argc, char** argv) {
   fs::path manifest_path =
       opt.manifest.empty() ? root / kDefaultManifest : fs::path(opt.manifest);
 
-  // --- R5 manifest ----------------------------------------------------------
+  // --- R5/R10 manifest ------------------------------------------------------
   farm::lint::GoldenManifest manifest;
   bool have_manifest = false;
   if (const auto text = read_file(manifest_path)) {
@@ -170,9 +214,7 @@ int main(int argc, char** argv) {
       }
       entry.fingerprint = farm::lint::golden_fingerprint(*content);
     }
-    std::ofstream out(manifest_path, std::ios::binary | std::ios::trunc);
-    out << manifest.serialize();
-    if (!out) {
+    if (!write_file(manifest_path, manifest.serialize())) {
       std::cerr << "farm_lint: cannot write "
                 << manifest_path.generic_string() << '\n';
       return 2;
@@ -182,41 +224,122 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // --- gather + lint --------------------------------------------------------
+  // --- phase 1: per-file lint + index (cache-aware) -------------------------
+  const bool whole_repo = opt.files.empty();
   std::vector<std::string> files =
-      opt.files.empty() ? collect_files(root) : opt.files;
+      whole_repo ? collect_files(root) : opt.files;
 
-  std::vector<farm::lint::Finding> findings;
+  std::optional<farm::lint::IndexCache> cache;
+  if (!opt.cache_dir.empty()) {
+    cache.emplace(opt.cache_dir);
+    if (!cache->enabled()) {
+      std::cerr << "farm_lint: cannot create cache dir " << opt.cache_dir
+                << "; running without a cache\n";
+    }
+  }
+
+  farm::lint::RepoIndex index;
+  index.files.reserve(files.size());
+  std::size_t analyzed = 0;  // cache misses: files actually tokenized
+  std::size_t fixed_files = 0;
+  std::size_t fix_edits = 0;
   for (const std::string& f : files) {
     const fs::path full = fs::path(f).is_absolute() ? fs::path(f) : root / f;
-    const auto content = read_file(full);
+    auto content = read_file(full);
     if (!content) {
       std::cerr << "farm_lint: cannot read " << f << '\n';
       return 2;
     }
-    auto file_findings =
-        farm::lint::lint_source(rel_path(root, full), *content);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
+    const std::string rel = rel_path(root, full);
+
+    if (opt.fix) {
+      // Fixing rewrites content before indexing, so the index and findings
+      // below always describe the post-fix tree.
+      const farm::lint::FixResult fr = farm::lint::fix_source(rel, *content);
+      if (fr.edits > 0) {
+        if (!write_file(full, fr.content)) {
+          std::cerr << "farm_lint: cannot write " << f << '\n';
+          return 2;
+        }
+        *content = fr.content;
+        ++fixed_files;
+        fix_edits += fr.edits;
+      }
+    }
+
+    const std::uint64_t hash = farm::util::hash_string(*content);
+    if (cache && cache->enabled()) {
+      if (auto hit = cache->load(rel, hash)) {
+        index.files.push_back(std::move(*hit));
+        continue;
+      }
+    }
+    farm::lint::FileIndex fi = farm::lint::index_file(rel, *content);
+    ++analyzed;
+    if (cache && cache->enabled()) cache->store(fi);
+    index.files.push_back(std::move(fi));
   }
-  if (have_manifest && opt.files.empty()) {
-    auto r5 = farm::lint::check_manifest(
-        manifest, [&](const std::string& p) { return read_file(root / p); });
-    findings.insert(findings.end(), std::make_move_iterator(r5.begin()),
-                    std::make_move_iterator(r5.end()));
+  index.sort_by_path();
+
+  std::vector<farm::lint::Finding> findings;
+  for (const farm::lint::FileIndex& fi : index.files) {
+    findings.insert(findings.end(), fi.findings.begin(), fi.findings.end());
   }
 
+  // --- phase 2: cross-TU rules over the index -------------------------------
+  if (whole_repo) {
+    auto append = [&](std::vector<farm::lint::Finding> more) {
+      findings.insert(findings.end(), std::make_move_iterator(more.begin()),
+                      std::make_move_iterator(more.end()));
+    };
+    append(farm::lint::check_layering(index));
+    append(farm::lint::check_seed_lanes(index));
+    append(farm::lint::check_buggify_coverage(index));
+    if (have_manifest) {
+      const std::string manifest_rel = rel_path(root, manifest_path);
+      if (opt.fix) {
+        if (auto pruned = farm::lint::fix_manifest(manifest, index)) {
+          if (!write_file(manifest_path, pruned->serialize())) {
+            std::cerr << "farm_lint: cannot write "
+                      << manifest_path.generic_string() << '\n';
+            return 2;
+          }
+          fix_edits += manifest.entries.size() - pruned->entries.size();
+          ++fixed_files;
+          manifest = std::move(*pruned);
+        }
+      }
+      append(farm::lint::check_manifest(
+          manifest, [&](const std::string& p) { return read_file(root / p); }));
+      append(farm::lint::check_manifest_staleness(manifest, manifest_rel,
+                                                  index));
+    }
+  }
+
+  // (file, line, rule) order keeps JSON artifacts diffable across runs,
+  // thread counts and cache states.
   std::stable_sort(findings.begin(), findings.end(),
                    [](const farm::lint::Finding& a,
                       const farm::lint::Finding& b) {
                      if (a.file != b.file) return a.file < b.file;
-                     return a.line < b.line;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
                    });
 
   const auto unsuppressed = static_cast<std::size_t>(std::count_if(
       findings.begin(), findings.end(),
       [](const farm::lint::Finding& f) { return !f.suppressed; }));
+
+  if (opt.fix && fix_edits > 0) {
+    std::cerr << "farm_lint: fixed " << fix_edits << " finding(s) in "
+              << fixed_files << " file(s)\n";
+  }
+  if (cache && cache->enabled()) {
+    // Cache stats go to stderr so --json output stays byte-identical
+    // between cold and warm runs.
+    std::cerr << "farm_lint: analyzed " << analyzed << " of " << files.size()
+              << " files (" << files.size() - analyzed << " cached)\n";
+  }
 
   if (opt.json) {
     farm::lint::write_findings_json(std::cout, root.generic_string(),
